@@ -1,0 +1,131 @@
+// Ablation bench for the ordering design choices Section 4 calls out:
+//
+//  1. ParBuckets bucket count (100 vs 1000 vs max+1): more buckets shrink
+//     the approximation error (the paper tested 1000 and still saw a gap).
+//  2. ParMax threshold fraction: how much of the vertex mass goes through
+//     the locked parallel loop vs the sequential tail.
+//  3. MultiLists par_ratio: how much of the merge phase runs in parallel.
+//  4. Ordering procedure roster head-to-head (time + downstream sweep work),
+//     including Peng's adaptive variant (our extension).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  const auto cfg = bench::BenchConfig::from_args(argc, argv);
+  bench::banner("Ablation: ordering design choices (WordNet analog)", cfg);
+
+  const auto g_small = bench::make_analog(bench::dataset_by_name("WordNet"),
+                                          cfg.scaled(3000), cfg.seed);
+  const auto g_big = bench::make_analog(bench::dataset_by_name("WordNet"),
+                                        cfg.scaled(146005), cfg.seed);
+  const auto degrees = g_big.degrees();
+  std::printf("ordering graph: %s | APSP graph: %s\n", g_big.summary().c_str(),
+              g_small.summary().c_str());
+
+  // --- 1. ParBuckets bucket count: error + time ---
+  {
+    util::Table t({"num_ranges", "order_ms", "adjacent_inversions"});
+    for (const std::uint32_t ranges : {100u, 1000u, 10000u}) {
+      const order::ParBucketsOptions opts{.num_ranges = ranges};
+      const double ms = bench::mean_seconds(
+          [&] { (void)order::parbuckets_order(degrees, opts); }, cfg.repeats) * 1e3;
+      const auto order = order::parbuckets_order(degrees, opts);
+      t.add(ranges, util::fixed(ms, 3),
+            order::count_degree_inversions(order, degrees));
+    }
+    {
+      const double ms = bench::mean_seconds(
+          [&] { (void)order::parmax_order(degrees); }, cfg.repeats) * 1e3;
+      t.add("max+1 (ParMax)", util::fixed(ms, 3), std::uint64_t{0});
+    }
+    t.emit("ParBuckets bucket-count ablation", cfg.csv_path("ablation_parbuckets.csv"));
+  }
+
+  // --- 2. ParMax threshold fraction ---
+  {
+    util::Table t({"threshold_fraction", "order_ms"});
+    for (const double frac : {0.0, 0.001, 0.01, 0.05, 0.2, 1.0}) {
+      const order::ParMaxOptions opts{.threshold_fraction = frac};
+      const double ms = bench::mean_seconds(
+          [&] { (void)order::parmax_order(degrees, opts); }, cfg.repeats) * 1e3;
+      t.add(util::fixed(frac, 3), util::fixed(ms, 3));
+    }
+    t.emit("ParMax threshold ablation (paper default 0.01)",
+           cfg.csv_path("ablation_parmax.csv"));
+  }
+
+  // --- 3. MultiLists par_ratio ---
+  {
+    util::Table t({"par_ratio", "order_ms"});
+    for (const double ratio : {0.0, 0.01, 0.1, 0.5, 1.0}) {
+      const order::MultiListsOptions opts{.par_ratio = ratio};
+      const double ms = bench::mean_seconds(
+          [&] { (void)order::multilists_order(degrees, opts); }, cfg.repeats) * 1e3;
+      t.add(util::fixed(ratio, 2), util::fixed(ms, 3));
+    }
+    t.emit("MultiLists par_ratio ablation (paper default 0.1)",
+           cfg.csv_path("ablation_multilists.csv"));
+  }
+
+  // --- 3b. Algorithm 3's ratio r: how much of the order must actually be
+  // sorted before the sweep stops caring? (Peng et al. expose r; the paper
+  // runs r = 1.)
+  {
+    util::Table t({"selection_ratio", "order_ms", "sweep_edge_relaxations"});
+    for (const double r : {0.01, 0.05, 0.2, 0.5, 1.0}) {
+      util::WallTimer timer;
+      const auto ord = order::selection_order(g_small.degrees(), r);
+      const double ms = timer.milliseconds();
+      apsp::DistanceMatrix<std::uint32_t> D(g_small.num_vertices());
+      apsp::FlagArray flags(g_small.num_vertices());
+      const auto stats = apsp::sweep_sequential(g_small, ord, D, flags);
+      t.add(util::fixed(r, 2), util::fixed(ms, 3), stats.edge_relaxations);
+    }
+    t.emit("selection-sort ratio ablation (Algorithm 3's r)",
+           cfg.csv_path("ablation_ratio.csv"));
+  }
+
+  // --- 3c. Vertex-layout locality: does storing hub rows first (relabel by
+  // descending degree) speed the sweep? The row-reuse pass streams rows of
+  // the most-reused vertices; packing them at the top of the matrix improves
+  // cache behaviour independent of the visiting order.
+  {
+    util::Table t({"vertex_layout", "sweep_s"});
+    const auto degree_order = order::counting_order(g_small.degrees());
+    std::vector<VertexId> to_position(degree_order.size());
+    for (std::size_t i = 0; i < degree_order.size(); ++i) {
+      to_position[degree_order[i]] = static_cast<VertexId>(i);
+    }
+    const auto packed = graph::relabel(g_small, to_position);
+    const double original = bench::mean_seconds(
+        [&] { (void)apsp::par_apsp(g_small); }, cfg.repeats);
+    const double hubs_first = bench::mean_seconds(
+        [&] { (void)apsp::par_apsp(packed); }, cfg.repeats);
+    t.add("shuffled (as loaded)", util::fixed(original, 3));
+    t.add("hubs-first relabel", util::fixed(hubs_first, 3));
+    t.emit("vertex-layout locality ablation", cfg.csv_path("ablation_locality.csv"));
+  }
+
+  // --- 4. Full ordering roster: ordering time + downstream sweep work ---
+  {
+    util::Table t({"ordering", "order_ms", "sweep_s", "edge_relaxations", "row_reuses"});
+    for (const auto kind :
+         {order::OrderingKind::kIdentity, order::OrderingKind::kSelection,
+          order::OrderingKind::kStdSort, order::OrderingKind::kCounting,
+          order::OrderingKind::kParBuckets, order::OrderingKind::kParMax,
+          order::OrderingKind::kMultiLists}) {
+      const auto result = apsp::par_apsp_with(g_small, kind);
+      t.add(order::to_string(kind), util::fixed(result.ordering_seconds * 1e3, 3),
+            util::fixed(result.sweep_seconds, 3), result.kernel.edge_relaxations,
+            result.kernel.row_reuses);
+    }
+    // Peng's adaptive variant (sequential; our extension).
+    const auto adaptive = apsp::peng_adaptive(g_small);
+    t.add("adaptive (seq, ext.)", util::fixed(adaptive.ordering_seconds * 1e3, 3),
+          util::fixed(adaptive.sweep_seconds, 3), adaptive.kernel.edge_relaxations,
+          adaptive.kernel.row_reuses);
+    t.emit("ordering roster: cost vs downstream sweep quality",
+           cfg.csv_path("ablation_roster.csv"));
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Context bench: the empirical-complexity methodology of Peng et al. [14].
+//
+// They report their basic algorithm at O(n^2.4) on complex networks from a
+// log-log linear regression of runtime against n. This bench repeats that
+// fit for the library's main algorithms on BA graphs of fixed average
+// degree, printing the estimated exponent and R^2 — Floyd-Warshall should
+// land near 3.0, the Peng-style algorithms well below it.
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <functional>
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  const auto cfg = bench::BenchConfig::from_args(argc, argv);
+  bench::banner("Context: empirical complexity exponents (log-log fit)", cfg);
+
+  const std::vector<VertexId> sizes{500, 841, 1414, 2378, 4000};
+
+  struct Algo {
+    const char* label;
+    std::function<void(const graph::Graph<std::uint32_t>&)> run;
+    bool cubic;  ///< skip the largest size for O(n^3) algorithms
+  };
+  const std::vector<Algo> algos = {
+      {"floyd-warshall",
+       [](const graph::Graph<std::uint32_t>& g) { (void)apsp::floyd_warshall(g); },
+       true},
+      {"repeated-dijkstra",
+       [](const graph::Graph<std::uint32_t>& g) { (void)apsp::repeated_dijkstra(g); },
+       false},
+      {"peng-basic",
+       [](const graph::Graph<std::uint32_t>& g) { (void)apsp::peng_basic(g); }, false},
+      {"parapsp",
+       [](const graph::Graph<std::uint32_t>& g) { (void)apsp::par_apsp(g); }, false},
+  };
+
+  util::Table t({"algorithm", "exponent", "r_squared", "largest_n_seconds"});
+  for (const auto& algo : algos) {
+    std::vector<double> log_n, log_t;
+    double largest_seconds = 0.0;
+    for (const VertexId n : sizes) {
+      if (algo.cubic && n > 2400) continue;
+      const auto raw = graph::barabasi_albert<std::uint32_t>(
+          static_cast<VertexId>(cfg.scaled(n)), 4, cfg.seed);
+      const auto g =
+          graph::relabel(raw, graph::random_permutation(raw.num_vertices(),
+                                                        cfg.seed ^ n));
+      const double secs =
+          bench::mean_seconds([&] { algo.run(g); }, std::max(1, cfg.repeats - 1));
+      log_n.push_back(std::log(static_cast<double>(g.num_vertices())));
+      log_t.push_back(std::log(std::max(secs, 1e-9)));
+      largest_seconds = secs;
+    }
+    const auto fit = util::linear_regression(log_n, log_t);
+    t.add(algo.label, util::fixed(fit.slope, 2), util::fixed(fit.r_squared, 3),
+          util::fixed(largest_seconds, 3));
+  }
+  t.emit("runtime ~ n^exponent on BA graphs, avg degree 8 "
+         "(Peng et al. report ~2.4 for peng-basic; FW is 3.0 by construction)",
+         cfg.csv_path("ext_complexity_fit.csv"));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Extension design study: distributed-memory ParAPSP (the paper's future
+// work), simulated. Sweeps rank counts, sharing policies and batch sizes on
+// the WordNet analog and reports the three quantities a distributed port
+// trades off:
+//   * total + critical-path work (edge relaxations),
+//   * communication volume (messages / MiB),
+//   * supersteps (latency proxy).
+#include "bench_common.hpp"
+
+#include "dist/dist_apsp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  const auto cfg = bench::BenchConfig::from_args(argc, argv);
+  bench::banner("Extension: distributed ParAPSP design study (simulated)", cfg);
+
+  const auto g = bench::make_analog(bench::dataset_by_name("WordNet"),
+                                    cfg.scaled(3000), cfg.seed);
+  std::printf("graph: %s\n", g.summary().c_str());
+
+  // --- sharing policy x rank count ---
+  {
+    util::Table t({"ranks", "sharing", "total_relax", "critical_path_relax",
+                   "row_reuses", "messages", "MiB_moved", "supersteps"});
+    for (const int ranks : {2, 4, 8, 16}) {
+      for (const auto policy : {dist::SharingPolicy::kNone,
+                                dist::SharingPolicy::kRing,
+                                dist::SharingPolicy::kBroadcast}) {
+        const auto r = dist::dist_apsp_simulate(
+            g, {.ranks = ranks, .batch = 8, .sharing = policy});
+        t.add(ranks, dist::to_string(policy), r.total_work.edge_relaxations,
+              r.critical_path_relaxations(), r.total_work.row_reuses,
+              r.comm.messages,
+              util::fixed(static_cast<double>(r.comm.bytes) / (1024.0 * 1024.0), 1),
+              r.comm.supersteps);
+      }
+    }
+    t.emit("sharing policy vs work and traffic",
+           cfg.csv_path("ext_distributed_policy.csv"));
+  }
+
+  // --- batch size (how often ranks exchange rows) ---
+  {
+    util::Table t({"batch", "total_relax", "supersteps", "MiB_moved"});
+    for (const std::size_t batch : {1u, 4u, 16u, 64u, 256u}) {
+      const auto r = dist::dist_apsp_simulate(
+          g, {.ranks = 8, .batch = batch, .sharing = dist::SharingPolicy::kBroadcast});
+      t.add(batch, r.total_work.edge_relaxations, r.comm.supersteps,
+            util::fixed(static_cast<double>(r.comm.bytes) / (1024.0 * 1024.0), 1));
+    }
+    t.emit("batch-size trade-off (8 ranks, broadcast)",
+           cfg.csv_path("ext_distributed_batch.csv"));
+  }
+
+  // --- partition scheme load balance ---
+  {
+    util::Table t({"ranks", "scheme", "min_sources", "max_sources", "imbalance",
+                   "critical_path_relax"});
+    for (const int ranks : {4, 16}) {
+      for (const auto scheme :
+           {dist::PartitionScheme::kBlock, dist::PartitionScheme::kCyclic}) {
+        const auto r = dist::dist_apsp_simulate(
+            g, {.ranks = ranks, .batch = 8,
+                .sharing = dist::SharingPolicy::kBroadcast, .partition = scheme});
+        t.add(ranks, dist::to_string(scheme), r.balance.min_sources,
+              r.balance.max_sources, util::fixed(r.balance.imbalance(), 3),
+              r.critical_path_relaxations());
+      }
+    }
+    t.emit("partition scheme load balance",
+           cfg.csv_path("ext_distributed_partition.csv"));
+  }
+  return 0;
+}

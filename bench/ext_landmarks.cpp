@@ -1,0 +1,59 @@
+// Extension bench: landmark-based approximate APSP — how far the paper's
+// "hubs intercept shortest paths" insight stretches when the O(n^2) matrix
+// is too big. Compares hub (top-degree) vs random landmark selection:
+// index build time, memory, and upper-bound tightness against exact ParAPSP.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  const auto cfg = bench::BenchConfig::from_args(argc, argv);
+  bench::banner("Extension: landmark approximation (WordNet analog)", cfg);
+
+  const auto g = bench::make_analog(bench::dataset_by_name("WordNet"),
+                                    cfg.scaled(3000), cfg.seed);
+  std::printf("graph: %s\n", g.summary().c_str());
+
+  util::WallTimer timer;
+  const auto exact = apsp::par_apsp(g);
+  const double exact_s = timer.seconds();
+  std::printf("exact ParAPSP: %.3f s, %.1f MiB matrix\n", exact_s,
+              static_cast<double>(exact.distances.bytes()) / (1024.0 * 1024.0));
+
+  util::Table t({"policy", "k", "build_s", "index_MiB", "mean_rel_error",
+                 "exact_fraction", "max_abs_error"});
+  util::Xoshiro256 rng(cfg.seed);
+  const VertexId n = g.num_vertices();
+
+  for (const auto policy :
+       {apsp::LandmarkPolicy::kTopDegree, apsp::LandmarkPolicy::kRandom}) {
+    for (const VertexId k : {2u, 4u, 8u, 16u, 32u}) {
+      timer.reset();
+      const apsp::LandmarkIndex<std::uint32_t> index(g, k, policy, cfg.seed);
+      const double build_s = timer.seconds();
+
+      double rel_error = 0.0;
+      std::uint64_t exact_hits = 0, pairs = 0, max_abs = 0;
+      for (int q = 0; q < 20000; ++q) {
+        const auto u = static_cast<VertexId>(rng.bounded(n));
+        const auto v = static_cast<VertexId>(rng.bounded(n));
+        const auto d = exact.distances.at(u, v);
+        if (u == v || is_infinite(d)) continue;
+        const auto ub = index.upper_bound(u, v);
+        rel_error += static_cast<double>(ub - d) / static_cast<double>(d);
+        exact_hits += (ub == d);
+        max_abs = std::max<std::uint64_t>(max_abs, ub - d);
+        ++pairs;
+      }
+      t.add(apsp::to_string(policy), k, util::fixed(build_s, 4),
+            util::fixed(static_cast<double>(index.bytes()) / (1024.0 * 1024.0), 2),
+            util::fixed(rel_error / static_cast<double>(pairs), 4),
+            util::fixed(static_cast<double>(exact_hits) / static_cast<double>(pairs), 3),
+            max_abs);
+    }
+  }
+  t.emit("landmark upper-bound quality vs exact distances",
+         cfg.csv_path("ext_landmarks.csv"));
+  std::printf("\nreading guide: top-degree landmarks should dominate random ones on\n"
+              "scale-free graphs — the same hub property the ParAPSP ordering exploits.\n");
+  return 0;
+}

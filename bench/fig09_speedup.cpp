@@ -1,0 +1,62 @@
+// Figure 9: parallel speedup (t1 / tp) of ParAlg1, ParAlg2 and ParAPSP on
+// the WordNet dataset — derived from the same measurements as Figure 8.
+//
+// Paper shape: ParAlg1 and ParAPSP scale near-linearly (ParAPSP even
+// hyper-linearly); ParAlg2 saturates because its sequential O(n^2) ordering
+// becomes Amdahl overhead (45s of a 122s 16-thread run in the paper).
+//
+// NOTE: wall-clock speedup needs real cores. On a machine with fewer
+// hardware threads than the sweep, the reproduced series flattens at the
+// core count — the *relative* shape (ParAlg2 lowest, ParAPSP >= ParAlg1)
+// still holds up to that point. EXPERIMENTS.md discusses this.
+#include <functional>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  const auto cfg = bench::BenchConfig::from_args(argc, argv);
+  bench::banner("Figure 9: parallel speedup, ParAlg1 / ParAlg2 / ParAPSP (WordNet analog)",
+                cfg);
+
+  const auto ds = bench::dataset_by_name("WordNet");
+  const auto g = bench::make_analog(ds, cfg.scaled(ds.bench_vertices), cfg.seed);
+  std::printf("graph: %s\n", g.summary().c_str());
+
+  struct Algo {
+    const char* label;
+    std::function<double()> run;
+  };
+  const std::vector<Algo> algos = {
+      {"paralg1", [&] {
+         return bench::mean_seconds([&] { (void)apsp::par_alg1(g); }, cfg.repeats);
+       }},
+      {"paralg2", [&] {
+         return bench::mean_seconds([&] { (void)apsp::par_alg2(g); }, cfg.repeats);
+       }},
+      {"parapsp", [&] {
+         return bench::mean_seconds([&] { (void)apsp::par_apsp(g); }, cfg.repeats);
+       }},
+  };
+
+  std::vector<double> base(algos.size(), 0.0);
+  std::vector<std::string> header{"threads"};
+  for (const auto& a : algos) header.push_back(std::string(a.label) + "_speedup");
+  util::Table table(header);
+
+  bool first = true;
+  for (const int t : cfg.threads()) {
+    util::ThreadScope scope(t);
+    std::vector<std::string> row{std::to_string(t)};
+    for (std::size_t i = 0; i < algos.size(); ++i) {
+      const double secs = algos[i].run();
+      if (first) base[i] = secs;
+      row.push_back(util::fixed(base[i] / secs, 2));
+    }
+    first = false;
+    table.add_row(std::move(row));
+  }
+  table.emit("speedup relative to 1 thread (ideal = thread count)",
+             cfg.csv_path("fig09_speedup.csv"));
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 10 (+ Table 2): ParAPSP elapsed time (a) and speedup (b) across all
+// five datasets of Table 2, on the thread sweep.
+//
+// Paper shape: near-linear (sometimes hyper-linear) speedup on every
+// dataset. Also prints the Table 2 roster beside the synthetic analogs
+// actually used (see DESIGN.md for the substitution rationale).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  auto cfg = bench::BenchConfig::from_args(argc, argv);
+  bench::banner("Figure 10: ParAPSP on all Table 2 datasets", cfg);
+
+  // Table 2 roster + analogs.
+  util::Table roster({"dataset", "type", "paper_V", "paper_E", "analog_V", "analog_E"});
+  std::vector<graph::Graph<std::uint32_t>> graphs;
+  for (const auto& ds : bench::table2()) {
+    auto g = bench::make_analog(ds, cfg.scaled(ds.bench_vertices), cfg.seed);
+    roster.add(ds.name, to_string(ds.dir), ds.paper_vertices, ds.paper_edges,
+               g.num_vertices(), g.num_edges());
+    graphs.push_back(std::move(g));
+  }
+  roster.emit("Table 2 datasets and their synthetic analogs",
+              cfg.csv_path("table2_datasets.csv"));
+
+  std::vector<std::string> header{"dataset"};
+  for (const int t : cfg.threads()) header.push_back("t" + std::to_string(t) + "_s");
+  for (const int t : cfg.threads()) header.push_back("su_t" + std::to_string(t));
+  util::Table table(header);
+
+  const auto datasets = bench::table2();
+  for (std::size_t i = 0; i < datasets.size(); ++i) {
+    const auto& g = graphs[i];
+    std::vector<double> elapsed;
+    for (const int t : cfg.threads()) {
+      util::ThreadScope scope(t);
+      elapsed.push_back(
+          bench::mean_seconds([&] { (void)apsp::par_apsp(g); }, cfg.repeats));
+    }
+    std::vector<std::string> row{datasets[i].name};
+    for (const double s : elapsed) row.push_back(util::fixed(s, 3));
+    for (const double s : elapsed) row.push_back(util::fixed(elapsed.front() / s, 2));
+    table.add_row(std::move(row));
+  }
+  table.emit("ParAPSP elapsed seconds (a) and speedup vs 1 thread (b)",
+             cfg.csv_path("fig10_datasets.csv"));
+  return 0;
+}

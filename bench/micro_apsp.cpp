@@ -1,0 +1,60 @@
+// google-benchmark microbenchmarks for the full APSP algorithms at small
+// sizes: the asymptotic separation between Floyd-Warshall O(n^3), repeated
+// Dijkstra, and the Peng-style algorithms.
+#include <benchmark/benchmark.h>
+
+#include "apsp/floyd_warshall.hpp"
+#include "apsp/parallel.hpp"
+#include "apsp/peng.hpp"
+#include "apsp/repeated_dijkstra.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+graph::Graph<std::uint32_t> graph_for(std::int64_t n) {
+  return graph::barabasi_albert<std::uint32_t>(static_cast<VertexId>(n), 4, 13);
+}
+
+void BM_FloydWarshall(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(apsp::floyd_warshall(g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FloydWarshall)->Range(1 << 7, 1 << 9)->Complexity(benchmark::oNCubed);
+
+void BM_FloydWarshallBlocked(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(apsp::floyd_warshall_blocked(g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FloydWarshallBlocked)->Range(1 << 7, 1 << 9)->Complexity(benchmark::oNCubed);
+
+void BM_RepeatedDijkstra(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(apsp::repeated_dijkstra(g));
+}
+BENCHMARK(BM_RepeatedDijkstra)->Range(1 << 7, 1 << 10);
+
+void BM_PengBasic(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(apsp::peng_basic(g));
+}
+BENCHMARK(BM_PengBasic)->Range(1 << 7, 1 << 10);
+
+void BM_PengOptimized(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(apsp::peng_optimized(g));
+}
+BENCHMARK(BM_PengOptimized)->Range(1 << 7, 1 << 10);
+
+void BM_ParApsp(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(apsp::par_apsp(g));
+}
+BENCHMARK(BM_ParApsp)->Range(1 << 7, 1 << 10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

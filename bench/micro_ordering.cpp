@@ -1,0 +1,79 @@
+// google-benchmark microbenchmarks for the ordering procedures: time vs
+// input size for each procedure, on power-law degree arrays.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "order/counting.hpp"
+#include "order/multilists.hpp"
+#include "order/parbuckets.hpp"
+#include "order/parmax.hpp"
+#include "order/selection.hpp"
+#include "order/stdsort.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+std::vector<VertexId> degrees_for(std::int64_t n) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(
+      static_cast<VertexId>(n), 4, 20180813);
+  return g.degrees();
+}
+
+void BM_OrderSelection(benchmark::State& state) {
+  const auto degrees = degrees_for(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(order::selection_order(degrees));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OrderSelection)->Range(1 << 10, 1 << 13)->Complexity(benchmark::oNSquared);
+
+void BM_OrderStdSort(benchmark::State& state) {
+  const auto degrees = degrees_for(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(order::stdsort_order(degrees));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OrderStdSort)->Range(1 << 10, 1 << 18)->Complexity(benchmark::oNLogN);
+
+void BM_OrderCounting(benchmark::State& state) {
+  const auto degrees = degrees_for(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(order::counting_order(degrees));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OrderCounting)->Range(1 << 10, 1 << 18)->Complexity(benchmark::oN);
+
+void BM_OrderParBuckets(benchmark::State& state) {
+  const auto degrees = degrees_for(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(order::parbuckets_order(degrees));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OrderParBuckets)->Range(1 << 10, 1 << 18)->Complexity(benchmark::oN);
+
+void BM_OrderParMax(benchmark::State& state) {
+  const auto degrees = degrees_for(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(order::parmax_order(degrees));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OrderParMax)->Range(1 << 10, 1 << 18)->Complexity(benchmark::oN);
+
+void BM_OrderMultiLists(benchmark::State& state) {
+  const auto degrees = degrees_for(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(order::multilists_order(degrees));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OrderMultiLists)->Range(1 << 10, 1 << 18)->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

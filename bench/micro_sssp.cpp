@@ -1,0 +1,109 @@
+// google-benchmark microbenchmarks for the SSSP kernels: classic Dijkstra,
+// Bellman-Ford/SPFA, and Peng's modified Dijkstra with cold vs warm
+// (all-rows-published) distance matrices — the per-kernel view of the row
+// reuse that powers the whole APSP algorithm.
+#include <benchmark/benchmark.h>
+
+#include "apsp/flags.hpp"
+#include "apsp/modified_dijkstra.hpp"
+#include "apsp/sweep.hpp"
+#include "graph/generators.hpp"
+#include "order/counting.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/bfs.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+graph::Graph<std::uint32_t> graph_for(std::int64_t n) {
+  return graph::barabasi_albert<std::uint32_t>(static_cast<VertexId>(n), 4, 7);
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  VertexId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::dijkstra(g, s));
+    s = (s + 1) % g.num_vertices();
+  }
+}
+BENCHMARK(BM_Dijkstra)->Range(1 << 10, 1 << 14);
+
+void BM_Spfa(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  VertexId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::spfa(g, s));
+    s = (s + 1) % g.num_vertices();
+  }
+}
+BENCHMARK(BM_Spfa)->Range(1 << 10, 1 << 14);
+
+void BM_BellmanFord(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  VertexId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::bellman_ford(g, s));
+    s = (s + 1) % g.num_vertices();
+  }
+}
+BENCHMARK(BM_BellmanFord)->Range(1 << 10, 1 << 12);
+
+void BM_Bfs(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  VertexId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::bfs_hops(g, s));
+    s = (s + 1) % g.num_vertices();
+  }
+}
+BENCHMARK(BM_Bfs)->Range(1 << 10, 1 << 14);
+
+/// The kernel with an empty matrix: behaves like plain SPFA over row s.
+void BM_ModifiedDijkstraCold(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  const VertexId n = g.num_vertices();
+  apsp::DijkstraWorkspace ws;
+  ws.resize(n);
+  apsp::DistanceMatrix<std::uint32_t> D(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    D.reset();
+    apsp::FlagArray flags(n);  // all unpublished
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(apsp::modified_dijkstra(g, 0, D, flags, ws));
+  }
+}
+BENCHMARK(BM_ModifiedDijkstraCold)->Range(1 << 10, 1 << 12);
+
+/// The kernel once every other row is published: the steady-state fast path
+/// of the late APSP iterations.
+void BM_ModifiedDijkstraWarm(benchmark::State& state) {
+  const auto g = graph_for(state.range(0));
+  const VertexId n = g.num_vertices();
+  apsp::DistanceMatrix<std::uint32_t> D(n);
+  apsp::FlagArray flags(n);
+  const auto order = order::counting_order(g.degrees());
+  (void)apsp::sweep_sequential(g, order, D, flags);
+
+  apsp::DijkstraWorkspace ws;
+  ws.resize(n);
+  std::vector<std::uint32_t> saved(D.row(0).begin(), D.row(0).end());
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Re-run source 0 against a matrix where all other rows are final.
+    std::fill(D.row(0).begin(), D.row(0).end(), infinity<std::uint32_t>());
+    apsp::FlagArray warm(n);
+    for (VertexId v = 1; v < n; ++v) warm.publish(v);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(apsp::modified_dijkstra(g, 0, D, warm, ws));
+  }
+  std::copy(saved.begin(), saved.end(), D.row(0).begin());
+}
+BENCHMARK(BM_ModifiedDijkstraWarm)->Range(1 << 10, 1 << 12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

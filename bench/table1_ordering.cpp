@@ -1,0 +1,43 @@
+// Table 1: ordering-phase time, the original selection sort (ParAlg2) vs
+// ParBuckets, on the WordNet dataset, threads 1..16.
+//
+// Paper numbers (ms): ParAlg2 constant ~46,850 (O(n^2), sequential);
+// ParBuckets 10 -> 166 rising with threads (lock contention on the
+// power-law low buckets). Expected shape here: several orders of magnitude
+// between the two rows, with the selection row flat across threads.
+//
+// Default is a ~27%-scale WordNet analog because the selection sort is
+// O(n^2) (--scale 3.65 for the paper's n=146,005).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  const auto cfg = bench::BenchConfig::from_args(argc, argv);
+  bench::banner("Table 1: selection-sort vs ParBuckets ordering time (WordNet analog)",
+                cfg);
+
+  const VertexId n = cfg.scaled(40000);
+  const auto g = bench::make_analog(bench::dataset_by_name("WordNet"), n, cfg.seed);
+  std::printf("graph: %s (WordNet: 146005 v, 656999 e)\n", g.summary().c_str());
+  const auto degrees = g.degrees();
+
+  std::vector<std::string> sel_row{"ParAlg2 (selection)"};
+  std::vector<std::string> bkt_row{"ParBuckets"};
+  for (const int t : cfg.threads()) {
+    util::ThreadScope scope(t);
+    const double sel = bench::mean_seconds(
+        [&] { (void)order::selection_order(degrees); }, cfg.repeats);
+    const double bkt = bench::mean_seconds(
+        [&] { (void)order::parbuckets_order(degrees); }, cfg.repeats);
+    sel_row.push_back(util::fixed(sel * 1e3, 1));
+    bkt_row.push_back(util::fixed(bkt * 1e3, 3));
+  }
+  // Column headers follow the actual sweep.
+  std::vector<std::string> header{"ordering"};
+  for (const int t : cfg.threads()) header.push_back("t" + std::to_string(t) + "_ms");
+  util::Table out(header);
+  out.add_row(std::move(sel_row));
+  out.add_row(std::move(bkt_row));
+  out.emit("ordering elapsed milliseconds", cfg.csv_path("table1_ordering.csv"));
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Algorithm tour: run every APSP algorithm in the library on the same graph,
+// verify they all agree, and print a comparison table — a one-binary view of
+// the paper's story (classic baselines -> Peng's reuse -> parallel ->
+// ordering-optimized parallel).
+//
+//   ./algorithm_tour [--n 1200] [--m 4] [--threads 0]
+#include <cstdio>
+
+#include "parapsp/parapsp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  const util::Args args(argc, argv);
+  const auto n = static_cast<VertexId>(args.get_int("n", 1200));
+  const auto m = static_cast<VertexId>(args.get_int("m", 4));
+
+  // Shuffle ids so the identity order carries no degree information (BA
+  // gives its oldest — highest-degree — vertices the lowest ids).
+  const auto ba = graph::barabasi_albert<std::uint32_t>(n, m, /*seed=*/99);
+  const auto g = graph::relabel(ba, graph::random_permutation(n, 1234));
+  std::printf("graph: %s | %d OpenMP threads\n\n", g.summary().c_str(),
+              util::max_threads());
+
+  const auto reference = apsp::floyd_warshall(g);
+
+  util::Table table({"algorithm", "total_s", "ordering_s", "sweep_s", "row_reuses",
+                     "matches_reference"});
+  for (const auto algo :
+       {core::Algorithm::kFloydWarshall, core::Algorithm::kFloydWarshallBlocked,
+        core::Algorithm::kRepeatedDijkstra, core::Algorithm::kRepeatedDijkstraPar,
+        core::Algorithm::kPengBasic, core::Algorithm::kPengOptimized,
+        core::Algorithm::kPengAdaptive, core::Algorithm::kParAlg1,
+        core::Algorithm::kParAlg2, core::Algorithm::kParApsp}) {
+    core::SolverOptions opts;
+    opts.algorithm = algo;
+    opts.threads = static_cast<int>(args.get_int("threads", 0));
+    const auto result = core::solve(g, opts);
+    VertexId u = 0, v = 0;
+    const bool same = !result.distances.first_difference(reference, u, v);
+    table.add(core::to_string(algo), util::fixed(result.total_seconds(), 3),
+              util::fixed(result.ordering_seconds, 4),
+              util::fixed(result.sweep_seconds, 3),
+              static_cast<std::uint64_t>(result.kernel.row_reuses),
+              same ? "yes" : "NO!");
+  }
+  table.emit("every algorithm, same exact distance matrix");
+  std::printf(
+      "\nreading guide: peng-basic beats repeated-dijkstra via row reuse;\n"
+      "peng-optimized/paralg2/parapsp add the degree-descending order (more\n"
+      "row_reuses => less edge work); parapsp additionally makes the ordering\n"
+      "phase parallel and O(n) (ordering_s column).\n");
+  return 0;
+}

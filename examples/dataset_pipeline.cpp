@@ -1,0 +1,92 @@
+// End-to-end dataset pipeline, the shape of the paper's actual experiments:
+//
+//   edge-list file -> clean (dedup, drop self-loops, largest component)
+//                  -> APSP with a chosen algorithm
+//                  -> analysis report (+ optional distance-matrix export)
+//
+// Works on any SNAP/KONECT-style edge list. A tiny sample network ships in
+// data/sample_collab.txt; run without arguments to use it.
+//
+//   ./dataset_pipeline [file] [--directed] [--algorithm parapsp]
+//                      [--threads 0] [--lcc true] [--export-distances out.csv]
+#include <cstdio>
+#include <fstream>
+
+#include "parapsp/parapsp.hpp"
+
+namespace {
+
+// Locate the bundled sample relative to common invocation directories.
+std::string find_sample() {
+  for (const char* candidate :
+       {"data/sample_collab.txt", "../data/sample_collab.txt",
+        "../../data/sample_collab.txt", "../../../data/sample_collab.txt"}) {
+    if (std::ifstream(candidate).good()) return candidate;
+  }
+  throw std::runtime_error(
+      "cannot find data/sample_collab.txt; pass an edge-list file as the first "
+      "argument");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  try {
+    const util::Args args(argc, argv);
+    const std::string path =
+        args.positional().empty() ? find_sample() : args.positional().front();
+    const auto dir = args.get_flag("directed") ? graph::Directedness::kDirected
+                                               : graph::Directedness::kUndirected;
+
+    std::printf("-- loading %s --\n", path.c_str());
+    auto g = graph::load_edge_list<std::uint32_t>(path, dir);
+    std::printf("raw: %s\n", g.summary().c_str());
+
+    if (args.get_flag("lcc", true)) {
+      g = graph::largest_component(g);
+      std::printf("largest component: %s\n", g.summary().c_str());
+    }
+    const auto report = graph::validate(g);
+    if (!report.ok()) {
+      std::fprintf(stderr, "graph failed validation: %s\n", report.to_string().c_str());
+      return 1;
+    }
+
+    core::SolverOptions opts;
+    opts.algorithm = core::algorithm_from_string(args.get("algorithm", "parapsp"));
+    opts.threads = static_cast<int>(args.get_int("threads", 0));
+
+    std::printf("\n-- APSP via %s --\n", core::to_string(opts.algorithm));
+    const auto result = core::solve(g, opts);
+    std::printf("done in %.3f s (ordering %.4f s, sweep %.3f s)\n",
+                result.total_seconds(), result.ordering_seconds, result.sweep_seconds);
+
+    const auto& D = result.distances;
+    std::printf("\n-- report --\n");
+    std::printf("diameter:        %u\n", analysis::diameter(D));
+    std::printf("radius:          %u\n", analysis::radius(D));
+    std::printf("avg path length: %.4f\n", analysis::average_path_length(D));
+    std::printf("reachable pairs: %llu\n",
+                static_cast<unsigned long long>(analysis::reachable_pairs(D)));
+    const auto deg = analysis::degree_distribution(g);
+    std::printf("degree min/mean/max: %u / %.2f / %u\n", deg.min_degree,
+                deg.mean_degree, deg.max_degree);
+
+    if (const auto out = args.get("export-distances"); !out.empty()) {
+      std::ofstream f(out);
+      f << "source,target,distance\n";
+      for (VertexId u = 0; u < D.size(); ++u) {
+        for (VertexId v = 0; v < D.size(); ++v) {
+          if (u == v || is_infinite(D.at(u, v))) continue;
+          f << u << ',' << v << ',' << D.at(u, v) << '\n';
+        }
+      }
+      std::printf("distances exported to %s\n", out.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

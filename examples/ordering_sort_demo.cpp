@@ -1,0 +1,80 @@
+// The general-purpose side of the paper's contribution: the MultiLists
+// scheme as a reusable parallel sort for bounded integer keys
+// (order::parallel_range_sort), demonstrated on a non-graph workload and
+// raced against std::stable_sort.
+//
+//   ./ordering_sort_demo [--n 2000000] [--key-bound 100]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "parapsp/parapsp.hpp"
+
+namespace {
+
+struct Purchase {
+  std::uint32_t customer_age;  // the bounded sort key: [0, 120)
+  std::uint64_t order_id;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  const util::Args args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("n", 2'000'000));
+  const auto key_bound = static_cast<std::size_t>(args.get_int("key-bound", 120));
+
+  std::printf("sorting %zu records by a key in [0, %zu) — %d OpenMP threads\n", n,
+              key_bound, util::max_threads());
+
+  util::Xoshiro256 rng(7);
+  std::vector<Purchase> records(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records[i] = {static_cast<std::uint32_t>(rng.bounded(key_bound)),
+                  static_cast<std::uint64_t>(i)};
+  }
+
+  // MultiLists-style parallel range sort (stable, lock-free).
+  util::WallTimer timer;
+  const auto sorted = order::parallel_range_sort(
+      records, [](const Purchase& p) { return p.customer_age; }, key_bound);
+  const double range_sort_s = timer.seconds();
+
+  // std::stable_sort baseline.
+  auto baseline = records;
+  timer.reset();
+  std::stable_sort(baseline.begin(), baseline.end(),
+                   [](const Purchase& a, const Purchase& b) {
+                     return a.customer_age < b.customer_age;
+                   });
+  const double std_sort_s = timer.seconds();
+
+  // Verify agreement (both stable => identical).
+  bool same = sorted.size() == baseline.size();
+  for (std::size_t i = 0; same && i < sorted.size(); ++i) {
+    same = sorted[i].order_id == baseline[i].order_id;
+  }
+  std::printf("parallel_range_sort: %s  std::stable_sort: %s  speedup: %.2fx  %s\n",
+              util::format_duration(range_sort_s).c_str(),
+              util::format_duration(std_sort_s).c_str(), std_sort_s / range_sort_s,
+              same ? "[outputs identical]" : "[MISMATCH!]");
+
+  // And the original use: descending-degree vertex ordering.
+  std::printf("\nthe same scheme orders APSP source vertices by degree:\n");
+  const auto g = graph::barabasi_albert<std::uint32_t>(100000, 4, 11);
+  const auto degrees = g.degrees();
+  timer.reset();
+  const auto ml = order::multilists_order(degrees);
+  const double ml_s = timer.seconds();
+  timer.reset();
+  const auto sel = order::selection_order(degrees, 0.02);  // even 2% is slow
+  const double sel_s = timer.seconds();
+  std::printf("graph %s: MultiLists %s vs selection sort (r=0.02 only!) %s\n",
+              g.summary().c_str(), util::format_duration(ml_s).c_str(),
+              util::format_duration(sel_s).c_str());
+  std::printf("top-degree vertex by MultiLists: %u (degree %u)\n", ml.front(),
+              degrees[ml.front()]);
+  return same ? 0 : 1;
+}

@@ -1,0 +1,160 @@
+// Community detection via (weighted) label propagation (Raghavan et al.
+// 2007) — the complex-network analysis staple next to centrality and cores.
+// Deterministic for a fixed seed: vertices update in a seeded random order,
+// ties break toward the smallest label.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "apsp/distance_matrix.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/ops.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::analysis {
+
+struct Communities {
+  std::vector<VertexId> label;  ///< community id per vertex, compacted to [0, count)
+  VertexId count = 0;
+  std::uint32_t iterations = 0;  ///< sweeps until stable (or the cap)
+
+  /// Sizes of each community.
+  [[nodiscard]] std::vector<std::size_t> sizes() const {
+    std::vector<std::size_t> s(count, 0);
+    for (const auto c : label) ++s[c];
+    return s;
+  }
+};
+
+/// Asynchronous label propagation. Edge weights act as vote strength.
+/// `max_iterations` caps the sweeps (label propagation can oscillate on
+/// bipartite-ish structures).
+template <WeightType W>
+[[nodiscard]] Communities label_propagation(const graph::Graph<W>& g,
+                                            std::uint64_t seed = 1,
+                                            std::uint32_t max_iterations = 100) {
+  const VertexId n = g.num_vertices();
+  Communities out;
+  out.label.resize(n);
+  for (VertexId v = 0; v < n; ++v) out.label[v] = v;
+  if (n == 0) return out;
+
+  const auto order = graph::random_permutation(n, seed);
+  util::Xoshiro256 rng(seed ^ 0x1abe17ab);
+  std::unordered_map<VertexId, double> votes;
+  std::vector<VertexId> maxima;
+
+  bool changed = true;
+  while (changed && out.iterations < max_iterations) {
+    changed = false;
+    ++out.iterations;
+    for (const VertexId v : order) {
+      const auto nb = g.neighbors(v);
+      if (nb.empty()) continue;
+      const auto ws = g.weights(v);
+      votes.clear();
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (nb[i] == v) continue;
+        votes[out.label[nb[i]]] += static_cast<double>(ws[i]);
+      }
+      if (votes.empty()) continue;
+      double best_votes = -1.0;
+      maxima.clear();
+      for (const auto& [lab, weight] : votes) {
+        if (weight > best_votes) {
+          best_votes = weight;
+          maxima.assign(1, lab);
+        } else if (weight == best_votes) {
+          maxima.push_back(lab);
+        }
+      }
+      // Retain the current label when it ties the maximum (stabilizes
+      // convergence); otherwise pick uniformly among the maxima — any
+      // deterministic tie-break (e.g. smallest label) floods one community
+      // across bridges during the first, all-labels-distinct sweep.
+      VertexId best;
+      const auto current_it = votes.find(out.label[v]);
+      if (current_it != votes.end() && current_it->second >= best_votes) {
+        best = out.label[v];
+      } else if (maxima.size() == 1) {
+        best = maxima.front();
+      } else {
+        best = maxima[rng.bounded(maxima.size())];
+      }
+      if (best != out.label[v]) {
+        out.label[v] = best;
+        changed = true;
+      }
+    }
+  }
+
+  // Compact labels to [0, count).
+  std::vector<VertexId> remap(n, kInvalidVertex);
+  for (auto& lab : out.label) {
+    if (remap[lab] == kInvalidVertex) remap[lab] = out.count++;
+    lab = remap[lab];
+  }
+  return out;
+}
+
+/// Newman modularity of a labeling on an undirected graph: the standard
+/// quality score in [-1/2, 1). Self-loops are ignored.
+template <WeightType W>
+[[nodiscard]] double modularity(const graph::Graph<W>& g,
+                                const std::vector<VertexId>& label) {
+  double total = 0.0;  // 2m in weighted arc terms
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (nb[i] != u) total += static_cast<double>(ws[i]);
+    }
+  }
+  if (total == 0.0) return 0.0;
+
+  // Per-community: internal arc weight and total incident strength.
+  std::unordered_map<VertexId, double> internal, strength;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (nb[i] == u) continue;
+      strength[label[u]] += static_cast<double>(ws[i]);
+      if (label[u] == label[nb[i]]) internal[label[u]] += static_cast<double>(ws[i]);
+    }
+  }
+  double q = 0.0;
+  for (const auto& [c, s] : strength) {
+    const double in = internal.count(c) ? internal.at(c) : 0.0;
+    q += in / total - (s / total) * (s / total);
+  }
+  return q;
+}
+
+/// Harmonic centrality: sum of 1/d(u, v) over v != u (0 contribution from
+/// unreachable pairs) — the closeness variant that is well-defined on
+/// disconnected graphs without component corrections.
+template <WeightType W>
+[[nodiscard]] std::vector<double> harmonic_centrality(
+    const apsp::DistanceMatrix<W>& D) {
+  const VertexId n = D.size();
+  std::vector<double> h(n, 0.0);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
+    const auto row = D.row(static_cast<VertexId>(u));
+    double sum = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (static_cast<VertexId>(u) == v || is_infinite(row[v]) || row[v] == W{0}) {
+        continue;
+      }
+      sum += 1.0 / static_cast<double>(row[v]);
+    }
+    h[static_cast<std::size_t>(u)] = sum;
+  }
+  return h;
+}
+
+}  // namespace parapsp::analysis

@@ -1,0 +1,39 @@
+#include "analysis/degree_distribution.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace parapsp::analysis {
+
+double DegreeDistribution::fraction_below(VertexId threshold) const {
+  std::uint64_t below = 0, total = 0;
+  for (const auto& p : points) {
+    total += p.count;
+    if (p.degree < threshold) below += p.count;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(below) / static_cast<double>(total);
+}
+
+DegreeDistribution degree_distribution(const std::vector<VertexId>& degrees,
+                                       double powerlaw_xmin) {
+  DegreeDistribution dist;
+  if (degrees.empty()) return dist;
+
+  std::map<VertexId, std::uint64_t> counts;
+  std::uint64_t sum = 0;
+  for (const auto d : degrees) {
+    ++counts[d];
+    sum += d;
+  }
+  dist.points.reserve(counts.size());
+  for (const auto& [deg, cnt] : counts) dist.points.push_back({deg, cnt});
+  dist.min_degree = dist.points.front().degree;
+  dist.max_degree = dist.points.back().degree;
+  dist.mean_degree = static_cast<double>(sum) / static_cast<double>(degrees.size());
+
+  std::vector<std::uint64_t> samples(degrees.begin(), degrees.end());
+  dist.fit = util::fit_power_law(samples, powerlaw_xmin);
+  return dist;
+}
+
+}  // namespace parapsp::analysis

@@ -1,0 +1,43 @@
+// Degree-distribution extraction and scale-free shape checks (Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/powerlaw.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::analysis {
+
+/// One (degree, vertex count) point of the distribution, sorted by degree.
+struct DegreePoint {
+  VertexId degree = 0;
+  std::uint64_t count = 0;
+};
+
+/// The full degree distribution plus the paper-relevant summary values.
+struct DegreeDistribution {
+  std::vector<DegreePoint> points;  ///< only degrees with count > 0
+  VertexId min_degree = 0;
+  VertexId max_degree = 0;
+  double mean_degree = 0.0;
+  util::PowerLawFit fit;  ///< MLE power-law fit over degrees >= xmin
+
+  /// Fraction of vertices with degree below `threshold` — the skew statistic
+  /// driving the paper's lock-contention analysis (Section 4.2: ~99% of
+  /// vertices fall under 1% of the max degree).
+  [[nodiscard]] double fraction_below(VertexId threshold) const;
+};
+
+/// Computes the distribution from a degree vector (use graph.degrees()).
+[[nodiscard]] DegreeDistribution degree_distribution(
+    const std::vector<VertexId>& degrees, double powerlaw_xmin = 2.0);
+
+template <WeightType W>
+[[nodiscard]] DegreeDistribution degree_distribution(const graph::Graph<W>& g,
+                                                     double powerlaw_xmin = 2.0) {
+  return degree_distribution(g.degrees(), powerlaw_xmin);
+}
+
+}  // namespace parapsp::analysis

@@ -1,0 +1,150 @@
+// Complex-graph analysis on top of the all-pairs distance matrix — the
+// consumers the paper's title and introduction motivate: eccentricity,
+// diameter/radius, closeness centrality, average path length, and the
+// distance histogram.
+//
+// All metrics follow the standard conventions for possibly-disconnected
+// graphs: unreachable pairs are excluded, and closeness uses the
+// Wasserman-Faust component correction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apsp/distance_matrix.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::analysis {
+
+/// Eccentricity of every vertex: max finite distance to any other vertex.
+/// Vertices that reach nothing get 0.
+template <WeightType W>
+[[nodiscard]] std::vector<W> eccentricities(const apsp::DistanceMatrix<W>& D) {
+  const VertexId n = D.size();
+  std::vector<W> ecc(n, W{0});
+#pragma omp parallel for schedule(static)
+  for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
+    const auto row = D.row(static_cast<VertexId>(u));
+    W m = W{0};
+    for (VertexId v = 0; v < n; ++v) {
+      if (static_cast<VertexId>(u) == v || is_infinite(row[v])) continue;
+      m = std::max(m, row[v]);
+    }
+    ecc[static_cast<std::size_t>(u)] = m;
+  }
+  return ecc;
+}
+
+/// Diameter: max finite pairwise distance (0 for empty/edgeless graphs).
+template <WeightType W>
+[[nodiscard]] W diameter(const apsp::DistanceMatrix<W>& D) {
+  W best = W{0};
+  for (const auto e : eccentricities(D)) best = std::max(best, e);
+  return best;
+}
+
+/// Radius: min eccentricity over vertices that reach at least one other
+/// vertex (0 when no such vertex exists).
+template <WeightType W>
+[[nodiscard]] W radius(const apsp::DistanceMatrix<W>& D) {
+  bool found = false;
+  W best = W{0};
+  for (const auto e : eccentricities(D)) {
+    if (e == W{0}) continue;  // isolated or self-only
+    if (!found || e < best) {
+      best = e;
+      found = true;
+    }
+  }
+  return best;
+}
+
+/// Average shortest-path length over all ordered reachable pairs (u != v).
+/// Returns 0 when no pair is reachable.
+template <WeightType W>
+[[nodiscard]] double average_path_length(const apsp::DistanceMatrix<W>& D) {
+  const VertexId n = D.size();
+  double sum = 0.0;
+  std::uint64_t pairs = 0;
+#pragma omp parallel for schedule(static) reduction(+ : sum, pairs)
+  for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
+    const auto row = D.row(static_cast<VertexId>(u));
+    for (VertexId v = 0; v < n; ++v) {
+      if (static_cast<VertexId>(u) == v || is_infinite(row[v])) continue;
+      sum += static_cast<double>(row[v]);
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : sum / static_cast<double>(pairs);
+}
+
+/// Closeness centrality with the Wasserman-Faust correction for
+/// disconnected graphs:
+///   C(u) = ((r-1) / (n-1)) * ((r-1) / sum of distances to reachable)
+/// where r is the number of vertices u reaches (including itself).
+template <WeightType W>
+[[nodiscard]] std::vector<double> closeness_centrality(const apsp::DistanceMatrix<W>& D) {
+  const VertexId n = D.size();
+  std::vector<double> closeness(n, 0.0);
+  if (n <= 1) return closeness;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
+    const auto row = D.row(static_cast<VertexId>(u));
+    double sum = 0.0;
+    std::uint64_t reachable = 1;  // self
+    for (VertexId v = 0; v < n; ++v) {
+      if (static_cast<VertexId>(u) == v || is_infinite(row[v])) continue;
+      sum += static_cast<double>(row[v]);
+      ++reachable;
+    }
+    if (sum > 0.0) {
+      const auto r = static_cast<double>(reachable);
+      closeness[static_cast<std::size_t>(u)] =
+          ((r - 1.0) / static_cast<double>(n - 1)) * ((r - 1.0) / sum);
+    }
+  }
+  return closeness;
+}
+
+/// Histogram of finite pairwise distances rounded down to integers:
+/// result[d] = number of ordered pairs at distance in [d, d+1).
+/// (Exact bucket per distance for integral W.)
+template <WeightType W>
+[[nodiscard]] std::vector<std::uint64_t> distance_histogram(
+    const apsp::DistanceMatrix<W>& D) {
+  const VertexId n = D.size();
+  W max_d = W{0};
+  for (VertexId u = 0; u < n; ++u) {
+    const auto row = D.row(u);
+    for (VertexId v = 0; v < n; ++v) {
+      if (u == v || is_infinite(row[v])) continue;
+      max_d = std::max(max_d, row[v]);
+    }
+  }
+  std::vector<std::uint64_t> hist(static_cast<std::size_t>(max_d) + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    const auto row = D.row(u);
+    for (VertexId v = 0; v < n; ++v) {
+      if (u == v || is_infinite(row[v])) continue;
+      ++hist[static_cast<std::size_t>(row[v])];
+    }
+  }
+  return hist;
+}
+
+/// Number of ordered (u, v), u != v, pairs with a finite distance.
+template <WeightType W>
+[[nodiscard]] std::uint64_t reachable_pairs(const apsp::DistanceMatrix<W>& D) {
+  const VertexId n = D.size();
+  std::uint64_t pairs = 0;
+#pragma omp parallel for schedule(static) reduction(+ : pairs)
+  for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
+    const auto row = D.row(static_cast<VertexId>(u));
+    for (VertexId v = 0; v < n; ++v) {
+      if (static_cast<VertexId>(u) != v && !is_infinite(row[v])) ++pairs;
+    }
+  }
+  return pairs;
+}
+
+}  // namespace parapsp::analysis

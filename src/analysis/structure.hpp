@@ -1,0 +1,168 @@
+// Structural graph metrics that need no distance matrix: clustering
+// coefficients, degree assortativity, and k-core decomposition — the rest
+// of the standard complex-network analysis toolbox next to the APSP-based
+// metrics (metrics.hpp) and betweenness (betweenness.hpp).
+//
+// All three treat the graph as undirected simple structure (multi-edges and
+// self-loops are skipped where they would distort counts).
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::analysis {
+
+/// Local clustering coefficient per vertex:
+///   c(v) = #closed-triplets-at-v / (deg(v) choose 2)
+/// Vertices with degree < 2 get 0. Intended for undirected graphs; directed
+/// graphs are treated as their underlying undirected structure per-row.
+template <WeightType W>
+[[nodiscard]] std::vector<double> local_clustering(const graph::Graph<W>& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> c(n, 0.0);
+
+  // Sorted unique neighbor lists (drop self-loops/multi-edges) once.
+  std::vector<std::vector<VertexId>> adj(n);
+  for (VertexId v = 0; v < n; ++v) {
+    auto& a = adj[v];
+    for (const VertexId u : g.neighbors(v)) {
+      if (u != v) a.push_back(u);
+    }
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
+    const auto v = static_cast<VertexId>(vi);
+    const auto& nb = adj[v];
+    if (nb.size() < 2) continue;
+    std::uint64_t links = 0;
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const auto& other = adj[nb[i]];
+      for (std::size_t j = i + 1; j < nb.size(); ++j) {
+        if (std::binary_search(other.begin(), other.end(), nb[j])) ++links;
+      }
+    }
+    const double possible =
+        static_cast<double>(nb.size()) * static_cast<double>(nb.size() - 1) / 2.0;
+    c[v] = static_cast<double>(links) / possible;
+  }
+  return c;
+}
+
+/// Average of the local clustering coefficients (Watts-Strogatz convention).
+template <WeightType W>
+[[nodiscard]] double average_clustering(const graph::Graph<W>& g) {
+  const auto c = local_clustering(g);
+  if (c.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto x : c) sum += x;
+  return sum / static_cast<double>(c.size());
+}
+
+/// Degree assortativity: the Pearson correlation of degrees across edges
+/// (Newman 2002). Positive = hubs attach to hubs; BA graphs trend slightly
+/// negative; social networks positive. Returns 0 for degenerate inputs.
+template <WeightType W>
+[[nodiscard]] double degree_assortativity(const graph::Graph<W>& g) {
+  // Iterate stored arcs (undirected graphs: both directions — the standard
+  // symmetric treatment).
+  double sum_xy = 0.0, sum_x = 0.0, sum_x2 = 0.0;
+  std::uint64_t m = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto du = static_cast<double>(g.degree(u));
+    for (const VertexId v : g.neighbors(u)) {
+      if (u == v) continue;
+      const auto dv = static_cast<double>(g.degree(v));
+      sum_xy += du * dv;
+      sum_x += du;        // source-endpoint degree (and by symmetry target)
+      sum_x2 += du * du;
+      ++m;
+    }
+  }
+  if (m == 0) return 0.0;
+  const auto dm = static_cast<double>(m);
+  // Newman's formula with x and y symmetric over arcs.
+  double sum_y = 0.0, sum_y2 = 0.0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u == v) continue;
+      const auto dv = static_cast<double>(g.degree(v));
+      sum_y += dv;
+      sum_y2 += dv * dv;
+    }
+  }
+  const double num = sum_xy / dm - (sum_x / dm) * (sum_y / dm);
+  const double den = std::sqrt((sum_x2 / dm - (sum_x / dm) * (sum_x / dm)) *
+                               (sum_y2 / dm - (sum_y / dm) * (sum_y / dm)));
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+/// k-core decomposition: core[v] is the largest k such that v belongs to a
+/// subgraph where every vertex has degree >= k (Batagelj-Zaversnik peeling,
+/// O(n + m)). Self-loops are ignored.
+template <WeightType W>
+[[nodiscard]] std::vector<VertexId> core_numbers(const graph::Graph<W>& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> degree(n);
+  VertexId max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId d = 0;
+    for (const VertexId u : g.neighbors(v)) d += (u != v);
+    degree[v] = d;
+    max_deg = std::max(max_deg, d);
+  }
+
+  // Bucket-sorted vertices by current degree (the classic bin-based peel).
+  std::vector<VertexId> bin(static_cast<std::size_t>(max_deg) + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[degree[v] + 1];
+  for (std::size_t d = 1; d < bin.size(); ++d) bin[d] += bin[d - 1];
+  std::vector<VertexId> pos(n), vert(n);
+  {
+    std::vector<VertexId> cursor(bin.begin(), bin.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]]++;
+      vert[pos[v]] = v;
+    }
+  }
+
+  std::vector<VertexId> core = degree;
+  std::vector<VertexId> bin_start(bin.begin(), bin.end() - 1);
+  for (VertexId i = 0; i < n; ++i) {
+    const VertexId v = vert[i];
+    core[v] = degree[v];
+    for (const VertexId u : g.neighbors(v)) {
+      if (u == v || degree[u] <= degree[v]) continue;
+      // Move u one bin down: swap it with the first vertex of its bin.
+      const VertexId du = degree[u];
+      const VertexId pu = pos[u];
+      const VertexId pw = bin_start[du];
+      const VertexId w = vert[pw];
+      if (u != w) {
+        std::swap(vert[pu], vert[pw]);
+        pos[u] = pw;
+        pos[w] = pu;
+      }
+      ++bin_start[du];
+      --degree[u];
+    }
+  }
+  return core;
+}
+
+/// Maximum core number (the graph's degeneracy).
+template <WeightType W>
+[[nodiscard]] VertexId degeneracy(const graph::Graph<W>& g) {
+  VertexId best = 0;
+  for (const auto c : core_numbers(g)) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace parapsp::analysis

@@ -1,0 +1,81 @@
+// Dense n x n all-pairs distance matrix.
+//
+// APSP on shared memory is memory-bound by this structure (the paper's
+// sx-superuser run needed 160 GB); the matrix is row-major so the modified
+// Dijkstra's row reuse streams contiguously, and rows are the unit of
+// ownership in the parallel algorithms (thread owning source s writes only
+// row s).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parapsp::apsp {
+
+template <WeightType W>
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+
+  /// n x n matrix with every entry set to `fill` (default: unreachable).
+  explicit DistanceMatrix(VertexId n, W fill = infinity<W>())
+      : n_(n), data_(static_cast<std::size_t>(n) * n, fill) {}
+
+  [[nodiscard]] VertexId size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  [[nodiscard]] W& at(VertexId u, VertexId v) noexcept {
+    return data_[static_cast<std::size_t>(u) * n_ + v];
+  }
+  [[nodiscard]] const W& at(VertexId u, VertexId v) const noexcept {
+    return data_[static_cast<std::size_t>(u) * n_ + v];
+  }
+
+  [[nodiscard]] std::span<W> row(VertexId u) noexcept {
+    return {data_.data() + static_cast<std::size_t>(u) * n_, n_};
+  }
+  [[nodiscard]] std::span<const W> row(VertexId u) const noexcept {
+    return {data_.data() + static_cast<std::size_t>(u) * n_, n_};
+  }
+
+  /// Resets every entry to unreachable and the diagonal convention is left
+  /// to the algorithm (Peng's Alg 2 sets D[s,s]=0 at the start of each run).
+  void reset(W fill = infinity<W>()) {
+    std::fill(data_.begin(), data_.end(), fill);
+  }
+
+  friend bool operator==(const DistanceMatrix& a, const DistanceMatrix& b) {
+    return a.n_ == b.n_ && a.data_ == b.data_;
+  }
+
+  /// Index of the first differing entry, as (u, v); returns false if equal.
+  [[nodiscard]] bool first_difference(const DistanceMatrix& other, VertexId& u,
+                                      VertexId& v) const {
+    if (n_ != other.n_) throw std::invalid_argument("first_difference: size mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      if (data_[i] != other.data_[i]) {
+        u = static_cast<VertexId>(i / n_);
+        v = static_cast<VertexId>(i % n_);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Bytes of storage — benches print this so memory-bound runs are legible.
+  [[nodiscard]] std::size_t bytes() const noexcept { return data_.size() * sizeof(W); }
+
+  [[nodiscard]] const std::vector<W>& raw() const noexcept { return data_; }
+  /// Mutable flat storage (deserialization only; prefer row()/at()).
+  [[nodiscard]] std::vector<W>& raw_mutable() noexcept { return data_; }
+
+ private:
+  VertexId n_ = 0;
+  std::vector<W> data_;
+};
+
+}  // namespace parapsp::apsp

@@ -1,0 +1,90 @@
+// Incremental APSP maintenance — the dynamic-shortest-paths direction the
+// paper's background cites (Roditty & Zwick 2004).
+//
+// Supported updates: edge insertions and weight *decreases*. Both can only
+// shorten distances, so the classic O(n^2) pivot update keeps the matrix
+// exact:
+//     D[a,b] = min(D[a,b], D[a,u] + w + D[v,b])    for all (a,b)
+// (plus the mirrored pivot for undirected edges). Deletions / weight
+// increases can lengthen distances and need a recompute — deliberately not
+// hidden behind this API.
+//
+// The update is embarrassingly parallel over rows `a` and costs O(n^2) per
+// edge vs O(n^2.4) for a full ParAPSP recompute — worth it for small batches
+// of changes on large matrices.
+#pragma once
+
+#include <omp.h>
+
+#include <stdexcept>
+
+#include "apsp/distance_matrix.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::apsp {
+
+/// One distance-shortening update: a new edge u->v (or a decreased weight on
+/// an existing one) of weight w.
+template <WeightType W>
+struct EdgeInsertion {
+  VertexId u = 0;
+  VertexId v = 0;
+  W w = W{1};
+  bool undirected = false;  ///< also pivot through v->u
+};
+
+/// Applies one insertion to an exact matrix, keeping it exact.
+/// Returns the number of (a, b) entries that improved.
+template <WeightType W>
+std::uint64_t apply_insertion(DistanceMatrix<W>& D, const EdgeInsertion<W>& e) {
+  const VertexId n = D.size();
+  if (e.u >= n || e.v >= n) throw std::out_of_range("apply_insertion: vertex out of range");
+  if (e.w < W{0}) throw std::invalid_argument("apply_insertion: negative weight");
+
+  std::uint64_t improved = 0;
+
+  auto pivot = [&](VertexId u, VertexId v, W w) {
+    // D[a,b] <- min(D[a,b], D[a,u] + w + D[v,b])
+    //
+    // Row v is read by every thread while thread a==v nominally updates it —
+    // but that update can never fire: the candidate for (v, b) is
+    // D[v,u] + w + D[v,b] >= D[v,b] (non-negative additions never round
+    // below the addend), so no write to row v ever executes and the loop is
+    // race-free with rows otherwise disjoint.
+    std::uint64_t count = 0;
+#pragma omp parallel for schedule(static) reduction(+ : count)
+    for (std::int64_t ai = 0; ai < static_cast<std::int64_t>(n); ++ai) {
+      const auto a = static_cast<VertexId>(ai);
+      const W au = D.at(a, u);
+      if (is_infinite(au)) continue;
+      const W base = dist_add(au, w);
+      if (is_infinite(base)) continue;
+      auto row_a = D.row(a);
+      const auto row_v = D.row(v);
+      for (VertexId b = 0; b < n; ++b) {
+        const W cand = dist_add(base, row_v[b]);
+        if (cand < row_a[b]) {
+          row_a[b] = cand;
+          ++count;
+        }
+      }
+    }
+    return count;
+  };
+
+  improved += pivot(e.u, e.v, e.w);
+  if (e.undirected && e.u != e.v) improved += pivot(e.v, e.u, e.w);
+  return improved;
+}
+
+/// Applies a batch of insertions in order. (Order matters only for the
+/// improvement counts; the final matrix is the same for any order.)
+template <WeightType W>
+std::uint64_t apply_insertions(DistanceMatrix<W>& D,
+                               const std::vector<EdgeInsertion<W>>& edges) {
+  std::uint64_t improved = 0;
+  for (const auto& e : edges) improved += apply_insertion(D, e);
+  return improved;
+}
+
+}  // namespace parapsp::apsp

@@ -1,0 +1,61 @@
+// Per-source completion flags with the release/acquire protocol that makes
+// cross-source row reuse safe under parallel execution.
+//
+// flag[s] == 1 publishes "row s of the distance matrix is final". The owner
+// thread stores with memory_order_release after its last write to row s; any
+// reader that observes 1 with memory_order_acquire therefore sees the whole
+// finished row. A reader that observes 0 simply skips the reuse — correct
+// either way, which is why ParAPSP's output is identical to the sequential
+// algorithms' regardless of interleaving.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "util/types.hpp"
+
+namespace parapsp::apsp {
+
+class FlagArray {
+ public:
+  FlagArray() = default;
+
+  explicit FlagArray(VertexId n)
+      : flags_(std::make_unique<std::atomic<std::uint8_t>[]>(n)), n_(n) {
+    for (VertexId i = 0; i < n; ++i) flags_[i].store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] VertexId size() const noexcept { return n_; }
+
+  /// Has row `v` been published? (acquire: pairs with publish()).
+  [[nodiscard]] bool is_complete(VertexId v) const noexcept {
+    return flags_[v].load(std::memory_order_acquire) != 0;
+  }
+
+  /// Publishes row `v` (release: all prior writes to the row become visible
+  /// to any thread that subsequently observes the flag).
+  void publish(VertexId v) noexcept { flags_[v].store(1, std::memory_order_release); }
+
+  /// Clears one flag (relaxed: only for single-thread-visible flag arrays,
+  /// e.g. the reuse-ablation variants' thread-private views).
+  void unpublish(VertexId v) noexcept { flags_[v].store(0, std::memory_order_relaxed); }
+
+  void reset() noexcept {
+    for (VertexId i = 0; i < n_; ++i) flags_[i].store(0, std::memory_order_relaxed);
+  }
+
+  /// Number of published rows (relaxed; for diagnostics only).
+  [[nodiscard]] VertexId count_complete() const noexcept {
+    VertexId c = 0;
+    for (VertexId i = 0; i < n_; ++i) {
+      c += flags_[i].load(std::memory_order_relaxed) != 0;
+    }
+    return c;
+  }
+
+ private:
+  std::unique_ptr<std::atomic<std::uint8_t>[]> flags_;
+  VertexId n_ = 0;
+};
+
+}  // namespace parapsp::apsp

@@ -1,0 +1,104 @@
+// Distance-matrix persistence: binary save/load (for checkpointing long
+// APSP runs) and CSV export (for downstream analysis tools).
+//
+// Binary format (little-endian):
+//   magic "PADM" | u32 version | u8 weight_code | u8x3 pad | u32 n | data[n*n]
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "apsp/distance_matrix.hpp"
+#include "graph/io_binary.hpp"  // weight_code<W>
+#include "util/types.hpp"
+
+namespace parapsp::apsp {
+
+namespace detail {
+inline constexpr std::uint32_t kMatrixMagic = 0x4d444150u;  // "PADM"
+inline constexpr std::uint32_t kMatrixVersion = 1;
+
+struct MatrixHeader {
+  std::uint32_t magic = kMatrixMagic;
+  std::uint32_t version = kMatrixVersion;
+  std::uint8_t weight_code = 0;
+  std::uint8_t pad[3] = {};
+  std::uint32_t n = 0;
+};
+}  // namespace detail
+
+/// Writes the matrix to `path`; throws std::runtime_error on I/O failure.
+template <WeightType W>
+void save_matrix(const DistanceMatrix<W>& D, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot write matrix '" + path + "': " +
+                             std::strerror(errno));
+  }
+  detail::MatrixHeader hdr;
+  hdr.weight_code = graph::detail::weight_code<W>();
+  hdr.n = D.size();
+  out.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+  out.write(reinterpret_cast<const char*>(D.raw().data()),
+            static_cast<std::streamsize>(D.raw().size() * sizeof(W)));
+  if (!out) throw std::runtime_error("write failed for '" + path + "'");
+}
+
+/// Loads a matrix written by save_matrix with the same weight type.
+template <WeightType W>
+[[nodiscard]] DistanceMatrix<W> load_matrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open matrix '" + path + "': " +
+                             std::strerror(errno));
+  }
+  detail::MatrixHeader hdr;
+  in.read(reinterpret_cast<char*>(&hdr), sizeof hdr);
+  if (in.gcount() != sizeof hdr || hdr.magic != detail::kMatrixMagic) {
+    throw std::runtime_error("matrix file '" + path + "': bad header");
+  }
+  if (hdr.version != detail::kMatrixVersion) {
+    throw std::runtime_error("matrix file '" + path + "': unsupported version");
+  }
+  if (hdr.weight_code != graph::detail::weight_code<W>()) {
+    throw std::runtime_error("matrix file '" + path + "': weight type mismatch");
+  }
+  DistanceMatrix<W> D(hdr.n);
+  const auto bytes = static_cast<std::streamsize>(
+      static_cast<std::size_t>(hdr.n) * hdr.n * sizeof(W));
+  in.read(reinterpret_cast<char*>(D.raw_mutable().data()), bytes);
+  if (in.gcount() != bytes) {
+    throw std::runtime_error("matrix file '" + path + "': truncated payload");
+  }
+  return D;
+}
+
+/// Exports as CSV: header row "v0,v1,..."; "inf" marks unreachable pairs.
+template <WeightType W>
+void export_matrix_csv(const DistanceMatrix<W>& D, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write CSV '" + path + "': " + std::strerror(errno));
+  }
+  const VertexId n = D.size();
+  for (VertexId v = 0; v < n; ++v) out << (v ? "," : "") << 'v' << v;
+  out << '\n';
+  for (VertexId u = 0; u < n; ++u) {
+    const auto row = D.row(u);
+    for (VertexId v = 0; v < n; ++v) {
+      if (v) out << ',';
+      if (is_infinite(row[v])) {
+        out << "inf";
+      } else {
+        out << +row[v];  // promote char-sized W to a printable number
+      }
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed for '" + path + "'");
+}
+
+}  // namespace parapsp::apsp

@@ -1,0 +1,149 @@
+// Peng et al.'s modified Dijkstra — Algorithm 1 of the paper, the kernel
+// every APSP algorithm in this library (except the baselines) runs once per
+// source vertex.
+//
+// A label-correcting (SPFA-style) search over row s of the distance matrix
+// that exploits previously *completed* rows: when the dequeued vertex t has
+// flag[t] set, row t holds exact distances, so the search relaxes every
+// D[s,v] against D[s,t] + D[t,v] in one O(n) streaming pass and does NOT
+// expand t's edges — any path continuing through t is dominated by that row
+// relaxation (Peng et al. prove this; our tests re-verify against
+// Floyd-Warshall on randomized graphs). Vertices improved by a row
+// relaxation are not re-enqueued for the same reason.
+//
+// Thread safety: the kernel writes only row `source`; it reads other rows
+// only after observing their flag with acquire semantics (see flags.hpp).
+#pragma once
+
+#include <vector>
+
+#include "apsp/distance_matrix.hpp"
+#include "apsp/flags.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::apsp {
+
+/// Per-thread scratch for the kernel, reused across sources to avoid
+/// allocating a queue + bitmap per SSSP run.
+class DijkstraWorkspace {
+ public:
+  void resize(VertexId n) {
+    queue_.reserve(n);
+    in_queue_.assign(n, 0);
+  }
+
+  std::vector<VertexId> queue_;        ///< FIFO storage (head index below)
+  std::size_t head_ = 0;               ///< dequeue position into queue_
+  std::vector<std::uint8_t> in_queue_; ///< SPFA dedup bitmap
+
+  void clear() noexcept {
+    // in_queue_ is already all-zero after a run (every dequeue clears its bit).
+    queue_.clear();
+    head_ = 0;
+  }
+};
+
+/// Statistics a single kernel run can report (used by the adaptive variant
+/// and by diagnostics; counting is cheap enough to keep unconditional).
+struct KernelStats {
+  std::uint64_t dequeues = 0;        ///< vertices popped from the queue
+  std::uint64_t row_reuses = 0;      ///< dequeues that hit a completed row
+  std::uint64_t edge_relaxations = 0;
+};
+
+/// Runs Algorithm 1 for `source`: fills row `source` of D with exact
+/// shortest-path distances, then publishes flag[source].
+///
+/// Requires: D.row(source) is all-infinity on entry (the standard Alg 2
+/// initialization); ws.resize(n) was called.
+///
+/// `reuse_credit`, when non-null, accumulates per-vertex counts of distance
+/// improvements each completed row contributed — the signal Peng's adaptive
+/// variant reorders by (see peng_adaptive.hpp). Must be sized n.
+///
+/// `succ_row`, when non-empty (sized n), receives the successor (next-hop)
+/// entries for row `source`: succ_row[v] is the first vertex after `source`
+/// on a shortest source->v path, kInvalidVertex for unreachable v and for
+/// v == source. Successor maintenance composes with row reuse because the
+/// first hop toward v through a completed row t equals the first hop toward
+/// t — an own-row lookup, no cross-thread reads (see paths.hpp).
+template <WeightType W>
+KernelStats modified_dijkstra(const graph::Graph<W>& g, VertexId source,
+                              DistanceMatrix<W>& D, FlagArray& flags,
+                              DijkstraWorkspace& ws,
+                              std::vector<std::uint64_t>* reuse_credit = nullptr,
+                              std::span<VertexId> succ_row = {}) {
+  KernelStats stats;
+  const VertexId n = g.num_vertices();
+  auto row_s = D.row(source);
+  row_s[source] = W{0};
+
+  ws.clear();
+  ws.queue_.push_back(source);
+  ws.in_queue_[source] = 1;
+
+  while (ws.head_ < ws.queue_.size()) {
+    const VertexId t = ws.queue_[ws.head_++];
+    ws.in_queue_[t] = 0;
+    ++stats.dequeues;
+
+    if (t != source && flags.is_complete(t)) {
+      // Row t is exact and immutable: one streaming pass replaces the whole
+      // subtree expansion below t. No enqueues — dominated (see header).
+      ++stats.row_reuses;
+      const W base = row_s[t];
+      const auto row_t = D.row(t);
+      std::uint64_t improvements = 0;
+      if (succ_row.empty()) {
+        for (VertexId v = 0; v < n; ++v) {
+          const W cand = dist_add(base, row_t[v]);
+          if (cand < row_s[v]) {
+            row_s[v] = cand;
+            ++improvements;
+          }
+        }
+      } else {
+        const VertexId hop_to_t = succ_row[t];
+        for (VertexId v = 0; v < n; ++v) {
+          const W cand = dist_add(base, row_t[v]);
+          if (cand < row_s[v]) {
+            row_s[v] = cand;
+            succ_row[v] = hop_to_t;  // path to v starts like the path to t
+            ++improvements;
+          }
+        }
+      }
+      if (reuse_credit) (*reuse_credit)[t] += improvements;
+    } else {
+      const auto nb = g.neighbors(t);
+      const auto wts = g.weights(t);
+      const W base = row_s[t];
+      std::uint64_t improvements = 0;
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        const VertexId v = nb[i];
+        const W cand = dist_add(base, wts[i]);
+        ++stats.edge_relaxations;
+        if (cand < row_s[v]) {
+          row_s[v] = cand;
+          ++improvements;
+          if (!succ_row.empty()) {
+            succ_row[v] = (t == source) ? v : succ_row[t];
+          }
+          if (!ws.in_queue_[v]) {
+            ws.queue_.push_back(v);
+            ws.in_queue_[v] = 1;
+          }
+        }
+      }
+      // Successful expansions mark t as a shortest-path intermediate — the
+      // signal the adaptive variant promotes pending sources by.
+      if (reuse_credit && t != source) (*reuse_credit)[t] += improvements;
+    }
+  }
+
+  flags.publish(source);
+  return stats;
+}
+
+}  // namespace parapsp::apsp

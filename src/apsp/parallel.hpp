@@ -1,0 +1,104 @@
+// The paper's parallel APSP algorithms.
+//
+//   ParAlg1 (Section 3.1)  — parallel basic algorithm: no ordering, sources
+//                            dispatched across threads.
+//   ParAlg2 (Section 3.2, Algorithm 4) — parallel optimized algorithm:
+//                            *sequential* selection-sort ordering (the
+//                            bottleneck), parallel sweep with a selectable
+//                            OpenMP schedule (Figure 1's comparison).
+//   ParAPSP (Section 4.3, Algorithm 8) — the proposed solution: parallel
+//                            MultiLists ordering + dynamic-cyclic sweep.
+//
+// All three produce a distance matrix identical to the sequential
+// algorithms' output, independent of thread count and interleaving.
+#pragma once
+
+#include "apsp/result.hpp"
+#include "apsp/sweep.hpp"
+#include "order/dispatch.hpp"
+#include "order/multilists.hpp"
+#include "order/selection.hpp"
+#include "util/timer.hpp"
+
+namespace parapsp::apsp {
+
+/// ParAlg1: parallelized Algorithm 2. Runs under the ambient OpenMP thread
+/// count.
+template <WeightType W>
+[[nodiscard]] ApspResult<W> par_alg1(const graph::Graph<W>& g,
+                                     Schedule sched = Schedule::kDynamicCyclic) {
+  ApspResult<W> result;
+  result.distances = DistanceMatrix<W>(g.num_vertices());
+  FlagArray flags(g.num_vertices());
+
+  util::WallTimer timer;
+  const auto order = order::identity_order(g.num_vertices());
+  result.kernel = sweep_parallel(g, order, result.distances, flags, sched);
+  result.sweep_seconds = timer.seconds();
+  return result;
+}
+
+/// ParAlg2: parallelized Algorithm 3 with the ordering left sequential, as
+/// in the paper (Algorithm 4). The ordering phase is the parallel overhead
+/// Figures 8/9 attribute ParAlg2's efficiency loss to.
+template <WeightType W>
+[[nodiscard]] ApspResult<W> par_alg2(const graph::Graph<W>& g,
+                                     Schedule sched = Schedule::kDynamicCyclic,
+                                     double ratio = 1.0) {
+  ApspResult<W> result;
+  result.distances = DistanceMatrix<W>(g.num_vertices());
+  FlagArray flags(g.num_vertices());
+
+  util::WallTimer timer;
+  const auto order = order::selection_order(g.degrees(), ratio);
+  result.ordering_seconds = timer.seconds();
+
+  timer.reset();
+  result.kernel = sweep_parallel(g, order, result.distances, flags, sched);
+  result.sweep_seconds = timer.seconds();
+  return result;
+}
+
+/// ParAPSP (Algorithm 8): the proposed solution. MultiLists parallel
+/// ordering + dynamic-cyclic parallel sweep.
+template <WeightType W>
+[[nodiscard]] ApspResult<W> par_apsp(const graph::Graph<W>& g,
+                                     const order::MultiListsOptions& ml_opts = {}) {
+  ApspResult<W> result;
+  result.distances = DistanceMatrix<W>(g.num_vertices());
+  FlagArray flags(g.num_vertices());
+
+  util::WallTimer timer;
+  const auto order = order::multilists_order(g.degrees(), ml_opts);
+  result.ordering_seconds = timer.seconds();
+
+  timer.reset();
+  result.kernel = sweep_parallel(g, order, result.distances, flags,
+                                 Schedule::kDynamicCyclic);
+  result.sweep_seconds = timer.seconds();
+  return result;
+}
+
+/// Generalized parallel Peng-style APSP: any ordering procedure, any
+/// schedule — the configuration space the benchmark harness sweeps
+/// (Figures 1, 5 and the ablations).
+template <WeightType W>
+[[nodiscard]] ApspResult<W> par_apsp_with(const graph::Graph<W>& g,
+                                          order::OrderingKind ordering,
+                                          Schedule sched = Schedule::kDynamicCyclic,
+                                          const order::OrderingOptions& opts = {}) {
+  ApspResult<W> result;
+  result.distances = DistanceMatrix<W>(g.num_vertices());
+  FlagArray flags(g.num_vertices());
+
+  util::WallTimer timer;
+  const auto order = order::compute_ordering(ordering, g.degrees(), opts);
+  result.ordering_seconds = timer.seconds();
+
+  timer.reset();
+  result.kernel = sweep_parallel(g, order, result.distances, flags, sched);
+  result.sweep_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace parapsp::apsp

@@ -1,0 +1,130 @@
+// APSP with path reconstruction: distances plus the full successor (next-
+// hop) matrix, so any shortest path can be walked in O(path length).
+//
+// The successor matrix composes with Peng's row reuse without cross-thread
+// reads: when row t improves D[s,v], the first hop from s toward v is the
+// (already known) first hop from s toward t. Memory doubles relative to the
+// distance-only solve (one VertexId per pair).
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "apsp/result.hpp"
+#include "apsp/sweep.hpp"
+#include "order/multilists.hpp"
+#include "util/timer.hpp"
+
+namespace parapsp::apsp {
+
+/// Dense successor matrix: next(s, v) is the first vertex after s on a
+/// shortest s->v path (kInvalidVertex when v is unreachable or v == s).
+class SuccessorMatrix {
+ public:
+  SuccessorMatrix() = default;
+  explicit SuccessorMatrix(VertexId n)
+      : n_(n), next_(static_cast<std::size_t>(n) * n, kInvalidVertex) {}
+
+  [[nodiscard]] VertexId size() const noexcept { return n_; }
+
+  [[nodiscard]] VertexId next(VertexId s, VertexId v) const noexcept {
+    return next_[static_cast<std::size_t>(s) * n_ + v];
+  }
+
+  [[nodiscard]] std::span<VertexId> row(VertexId s) noexcept {
+    return {next_.data() + static_cast<std::size_t>(s) * n_, n_};
+  }
+  [[nodiscard]] std::span<const VertexId> row(VertexId s) const noexcept {
+    return {next_.data() + static_cast<std::size_t>(s) * n_, n_};
+  }
+
+  /// Walks s -> v (inclusive of both endpoints). Empty when unreachable;
+  /// {s} when v == s. Throws std::logic_error if the matrix is inconsistent
+  /// (walk exceeds n hops — cannot happen for matrices this library built).
+  [[nodiscard]] std::vector<VertexId> path(VertexId s, VertexId v) const {
+    if (s == v) return {s};
+    if (next(s, v) == kInvalidVertex) return {};
+    std::vector<VertexId> out{s};
+    VertexId u = s;
+    while (u != v) {
+      if (out.size() > n_) {
+        throw std::logic_error("SuccessorMatrix::path: inconsistent successor chain");
+      }
+      u = next(u, v);
+      if (u == kInvalidVertex) {
+        throw std::logic_error("SuccessorMatrix::path: chain hit an unreachable link");
+      }
+      out.push_back(u);
+    }
+    return out;
+  }
+
+ private:
+  VertexId n_ = 0;
+  std::vector<VertexId> next_;
+};
+
+template <WeightType W>
+struct ApspPathsResult {
+  DistanceMatrix<W> distances;
+  SuccessorMatrix successors;
+  double ordering_seconds = 0.0;
+  double sweep_seconds = 0.0;
+};
+
+/// ParAPSP (MultiLists + dynamic-cyclic sweep) with successor tracking.
+/// Exact distances, same as par_apsp; adds the next-hop matrix.
+template <WeightType W>
+[[nodiscard]] ApspPathsResult<W> par_apsp_paths(const graph::Graph<W>& g) {
+  const VertexId n = g.num_vertices();
+  ApspPathsResult<W> result;
+  result.distances = DistanceMatrix<W>(n);
+  result.successors = SuccessorMatrix(n);
+  FlagArray flags(n);
+
+  util::WallTimer timer;
+  const auto order = order::multilists_order(g.degrees());
+  result.ordering_seconds = timer.seconds();
+
+  timer.reset();
+  ScheduleScope scope(Schedule::kDynamicCyclic);
+#pragma omp parallel
+  {
+    DijkstraWorkspace ws;
+    ws.resize(n);
+#pragma omp for schedule(runtime) nowait
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(order.size()); ++i) {
+      const VertexId s = order[static_cast<std::size_t>(i)];
+      (void)modified_dijkstra(g, s, result.distances, flags, ws,
+                              /*reuse_credit=*/nullptr, result.successors.row(s));
+    }
+  }
+  result.sweep_seconds = timer.seconds();
+  return result;
+}
+
+/// Sequential variant (Peng optimized order) with successor tracking.
+template <WeightType W>
+[[nodiscard]] ApspPathsResult<W> peng_optimized_paths(const graph::Graph<W>& g) {
+  const VertexId n = g.num_vertices();
+  ApspPathsResult<W> result;
+  result.distances = DistanceMatrix<W>(n);
+  result.successors = SuccessorMatrix(n);
+  FlagArray flags(n);
+
+  util::WallTimer timer;
+  const auto order = order::multilists_order(g.degrees());
+  result.ordering_seconds = timer.seconds();
+
+  timer.reset();
+  DijkstraWorkspace ws;
+  ws.resize(n);
+  for (const VertexId s : order) {
+    (void)modified_dijkstra(g, s, result.distances, flags, ws, nullptr,
+                            result.successors.row(s));
+  }
+  result.sweep_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace parapsp::apsp

@@ -1,0 +1,44 @@
+// Unweighted APSP baseline: one BFS per source. On unit-weight graphs this
+// is the strongest no-reuse baseline (no priority queue, no weights) — the
+// fairest yardstick for what Peng's row reuse actually buys.
+#pragma once
+
+#include <omp.h>
+
+#include "apsp/distance_matrix.hpp"
+#include "graph/csr_graph.hpp"
+#include "sssp/bfs.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::apsp {
+
+/// True if every stored edge weight equals 1.
+template <WeightType W>
+[[nodiscard]] bool is_unit_weighted(const graph::Graph<W>& g) {
+  for (const W w : g.edge_weights()) {
+    if (w != W{1}) return false;
+  }
+  return true;
+}
+
+/// Repeated-BFS APSP. Throws std::invalid_argument on non-unit weights
+/// (hop counts would not be distances).
+template <WeightType W>
+[[nodiscard]] DistanceMatrix<W> repeated_bfs(const graph::Graph<W>& g) {
+  if (!is_unit_weighted(g)) {
+    throw std::invalid_argument("repeated_bfs: graph is not unit-weighted");
+  }
+  const VertexId n = g.num_vertices();
+  DistanceMatrix<W> D(n);
+#pragma omp parallel for schedule(dynamic, 16)
+  for (std::int64_t s = 0; s < static_cast<std::int64_t>(n); ++s) {
+    const auto hops = sssp::bfs_hops(g, static_cast<VertexId>(s));
+    auto row = D.row(static_cast<VertexId>(s));
+    for (VertexId v = 0; v < n; ++v) {
+      row[v] = hops[v] == kInvalidVertex ? infinity<W>() : static_cast<W>(hops[v]);
+    }
+  }
+  return D;
+}
+
+}  // namespace parapsp::apsp

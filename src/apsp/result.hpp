@@ -1,0 +1,27 @@
+// APSP run result: the distance matrix plus the phase timing breakdown the
+// paper's evaluation reports (ordering time vs Dijkstra-sweep time).
+#pragma once
+
+#include <cstdint>
+
+#include "apsp/distance_matrix.hpp"
+#include "apsp/modified_dijkstra.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::apsp {
+
+template <WeightType W>
+struct ApspResult {
+  DistanceMatrix<W> distances;
+
+  double ordering_seconds = 0.0;  ///< degree-ordering phase (0 for baselines)
+  double sweep_seconds = 0.0;     ///< the per-source SSSP sweep
+  [[nodiscard]] double total_seconds() const noexcept {
+    return ordering_seconds + sweep_seconds;
+  }
+
+  /// Kernel statistics aggregated over all sources.
+  KernelStats kernel;
+};
+
+}  // namespace parapsp::apsp

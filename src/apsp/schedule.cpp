@@ -1,0 +1,14 @@
+#include "apsp/schedule.hpp"
+
+#include <stdexcept>
+
+namespace parapsp::apsp {
+
+Schedule schedule_from_string(const std::string& name) {
+  for (const auto s : {Schedule::kBlock, Schedule::kStaticCyclic, Schedule::kDynamicCyclic}) {
+    if (name == to_string(s)) return s;
+  }
+  throw std::invalid_argument("unknown schedule '" + name + "'");
+}
+
+}  // namespace parapsp::apsp

@@ -1,0 +1,63 @@
+// OpenMP loop-scheduling selection for the parallel SSSP sweep.
+//
+// Section 3.2 / Figure 1 of the paper compares three schemes for the
+// source-vertex loop; because the visiting *order* is the optimization, the
+// scheme decides how faithfully the parallel execution follows the computed
+// order. The paper picks dynamic-cyclic (schedule(dynamic,1)): it dispatches
+// sources strictly in order as threads free up.
+#pragma once
+
+#include <omp.h>
+
+#include <cstdint>
+#include <string>
+
+namespace parapsp::apsp {
+
+enum class Schedule : std::uint8_t {
+  kBlock,         ///< OpenMP default static block partitioning
+  kStaticCyclic,  ///< schedule(static, 1)
+  kDynamicCyclic, ///< schedule(dynamic, 1) — the paper's choice
+};
+
+[[nodiscard]] constexpr const char* to_string(Schedule s) noexcept {
+  switch (s) {
+    case Schedule::kBlock: return "block";
+    case Schedule::kStaticCyclic: return "static-cyclic";
+    case Schedule::kDynamicCyclic: return "dynamic-cyclic";
+  }
+  return "?";
+}
+
+[[nodiscard]] Schedule schedule_from_string(const std::string& name);
+
+/// Applies a Schedule to the runtime scheduler (the sweep loops use
+/// schedule(runtime)); restores the previous setting on destruction.
+class ScheduleScope {
+ public:
+  explicit ScheduleScope(Schedule s) {
+    omp_get_schedule(&saved_kind_, &saved_chunk_);
+    switch (s) {
+      case Schedule::kBlock:
+        omp_set_schedule(omp_sched_static, 0);
+        break;
+      case Schedule::kStaticCyclic:
+        omp_set_schedule(omp_sched_static, 1);
+        break;
+      case Schedule::kDynamicCyclic:
+        omp_set_schedule(omp_sched_dynamic, 1);
+        break;
+    }
+  }
+
+  ScheduleScope(const ScheduleScope&) = delete;
+  ScheduleScope& operator=(const ScheduleScope&) = delete;
+
+  ~ScheduleScope() { omp_set_schedule(saved_kind_, saved_chunk_); }
+
+ private:
+  omp_sched_t saved_kind_{};
+  int saved_chunk_ = 0;
+};
+
+}  // namespace parapsp::apsp

@@ -1,0 +1,121 @@
+// Distance-matrix verification: structural checks plus sampled cross-checks
+// against an independent SSSP oracle. Used by tests, examples, and anyone
+// integrating a new algorithm — a matrix that passes verify_distances with a
+// healthy sample size is overwhelmingly likely to be the exact APSP answer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apsp/distance_matrix.hpp"
+#include "graph/csr_graph.hpp"
+#include "sssp/dijkstra.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::apsp {
+
+struct VerifyReport {
+  std::vector<std::string> problems;
+
+  [[nodiscard]] bool ok() const noexcept { return problems.empty(); }
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "ok";
+    std::string out;
+    for (const auto& p : problems) {
+      out += p;
+      out += "; ";
+    }
+    return out;
+  }
+};
+
+/// Verifies that `D` is a plausible exact APSP answer for `g`:
+///   1. diagonal is zero;
+///   2. every edge is an upper bound: D[u,v] <= w(u,v);
+///   3. one-step consistency (no edge can improve any entry) — this is the
+///      full local optimality condition; together with (4) it pins the
+///      matrix to THE shortest-path solution;
+///   4. `sample_rows` randomly chosen rows equal an independent Dijkstra.
+/// Undirected graphs additionally check symmetry.
+/// Stops after `max_problems` findings to keep reports readable.
+template <WeightType W>
+[[nodiscard]] VerifyReport verify_distances(const graph::Graph<W>& g,
+                                            const DistanceMatrix<W>& D,
+                                            VertexId sample_rows = 8,
+                                            std::uint64_t seed = 1,
+                                            std::size_t max_problems = 8) {
+  VerifyReport report;
+  const VertexId n = g.num_vertices();
+  auto complain = [&](std::string msg) {
+    if (report.problems.size() < max_problems) report.problems.push_back(std::move(msg));
+  };
+
+  if (D.size() != n) {
+    complain("matrix size " + std::to_string(D.size()) + " != vertex count " +
+             std::to_string(n));
+    return report;
+  }
+
+  // (1) diagonal
+  for (VertexId v = 0; v < n; ++v) {
+    if (D.at(v, v) != W{0}) {
+      complain("diagonal not zero at vertex " + std::to_string(v));
+      break;
+    }
+  }
+
+  // (2)+(3) edge upper bounds and local optimality: for every edge (t, v)
+  // and every source s: D[s,v] <= D[s,t] + w(t,v).
+  bool relaxable = false;
+  for (VertexId s = 0; s < n && !relaxable; ++s) {
+    const auto row = D.row(s);
+    for (VertexId t = 0; t < n && !relaxable; ++t) {
+      if (is_infinite(row[t])) continue;
+      const auto nb = g.neighbors(t);
+      const auto ws = g.weights(t);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (dist_add(row[t], ws[i]) < row[nb[i]]) {
+          complain("entry (" + std::to_string(s) + "," + std::to_string(nb[i]) +
+                   ") can still be relaxed through edge (" + std::to_string(t) + "," +
+                   std::to_string(nb[i]) + ")");
+          relaxable = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // symmetry for undirected graphs
+  if (!g.is_directed()) {
+    bool asym = false;
+    for (VertexId u = 0; u < n && !asym; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) {
+        if (D.at(u, v) != D.at(v, u)) {
+          complain("asymmetric entries at (" + std::to_string(u) + "," +
+                   std::to_string(v) + ") on an undirected graph");
+          asym = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // (4) sampled oracle rows
+  util::Xoshiro256 rng(seed);
+  const VertexId samples = std::min<VertexId>(sample_rows, n);
+  for (VertexId i = 0; i < samples; ++i) {
+    const auto s = static_cast<VertexId>(rng.bounded(n));
+    const auto oracle = sssp::dijkstra(g, s);
+    for (VertexId v = 0; v < n; ++v) {
+      if (D.at(s, v) != oracle[v]) {
+        complain("row " + std::to_string(s) + " disagrees with Dijkstra at vertex " +
+                 std::to_string(v));
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace parapsp::apsp

@@ -1,0 +1,80 @@
+// The paper's Table 2 dataset roster and their synthetic stand-ins.
+//
+// The ICPP'18 evaluation uses five SNAP/KONECT downloads. This registry
+// records their published statistics and builds offline analogs: synthetic
+// graphs with the same directedness and average degree, scale-free degree
+// shape (Barabási–Albert for undirected, R-MAT for directed), and randomly
+// shuffled vertex ids (generator ids correlate with degree; real dumps
+// don't). See DESIGN.md "Substitutions" for why this preserves every
+// mechanism the paper measures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+
+namespace parapsp::datasets {
+
+/// One Table 2 dataset and its synthetic stand-in recipe.
+struct Dataset {
+  std::string name;  ///< the paper's dataset name
+  graph::Directedness dir;
+  VertexId paper_vertices;
+  EdgeId paper_edges;
+  /// Suggested scaled vertex count for APSP-feasible benchmark runs.
+  VertexId bench_vertices;
+
+  [[nodiscard]] double average_degree() const noexcept {
+    return paper_vertices == 0
+               ? 0.0
+               : static_cast<double>(paper_edges) / static_cast<double>(paper_vertices);
+  }
+};
+
+/// The Table 2 roster, in the paper's order.
+[[nodiscard]] inline std::vector<Dataset> table2() {
+  return {
+      {"ego-Twitter", graph::Directedness::kDirected, 81306, 1768149, 2048},
+      {"Livemocha", graph::Directedness::kUndirected, 104103, 2193083, 2600},
+      {"Flickr", graph::Directedness::kUndirected, 105938, 2316948, 2650},
+      {"WordNet", graph::Directedness::kUndirected, 146005, 656999, 3650},
+      {"sx-superuser", graph::Directedness::kDirected, 194085, 1443339, 4096},
+  };
+}
+
+/// Finds a dataset by exact name; throws std::invalid_argument otherwise.
+[[nodiscard]] inline Dataset dataset_by_name(const std::string& name) {
+  for (const auto& d : table2()) {
+    if (d.name == name) return d;
+  }
+  throw std::invalid_argument("unknown dataset '" + name + "'");
+}
+
+/// Builds the scaled synthetic analog of a dataset with ~`n` vertices,
+/// preserving directedness and average degree, with shuffled vertex ids.
+/// Directed datasets use R-MAT, whose vertex count rounds up to the next
+/// power of two.
+[[nodiscard]] inline graph::Graph<std::uint32_t> make_analog(
+    const Dataset& d, VertexId n, std::uint64_t seed = 20180813) {
+  if (n == 0) throw std::invalid_argument("make_analog: n must be > 0");
+  const double avg_degree = d.average_degree();
+  graph::Graph<std::uint32_t> g;
+  if (d.dir == graph::Directedness::kUndirected) {
+    const auto m = std::max<VertexId>(1, static_cast<VertexId>(avg_degree / 2.0 + 0.5));
+    if (n <= m) throw std::invalid_argument("make_analog: n too small for this density");
+    g = graph::barabasi_albert<std::uint32_t>(n, m, seed);
+  } else {
+    std::uint32_t scale = 1;
+    while ((VertexId{1} << scale) < n) ++scale;
+    const auto edges =
+        static_cast<EdgeId>(avg_degree * static_cast<double>(VertexId{1} << scale));
+    g = graph::rmat<std::uint32_t>(scale, edges, seed);
+  }
+  return graph::relabel(
+      g, graph::random_permutation(g.num_vertices(), seed ^ 0x5eed5eedULL));
+}
+
+}  // namespace parapsp::datasets

@@ -1,0 +1,17 @@
+#include "core/solver.hpp"
+
+namespace parapsp::core {
+
+Algorithm algorithm_from_string(const std::string& name) {
+  for (const auto a :
+       {Algorithm::kFloydWarshall, Algorithm::kFloydWarshallBlocked,
+        Algorithm::kRepeatedDijkstra, Algorithm::kRepeatedDijkstraPar,
+        Algorithm::kPengBasic, Algorithm::kPengOptimized, Algorithm::kPengAdaptive,
+        Algorithm::kParAlg1, Algorithm::kParAlg2, Algorithm::kParApsp,
+        Algorithm::kCustom}) {
+    if (name == to_string(a)) return a;
+  }
+  throw std::invalid_argument("unknown algorithm '" + name + "'");
+}
+
+}  // namespace parapsp::core

@@ -1,0 +1,120 @@
+// apsp::Solver — the library's front door.
+//
+// Picks an algorithm / ordering / schedule / thread count through an options
+// struct, runs it, and returns the distance matrix with the phase timing
+// breakdown. Everything the benchmark harness and the examples do goes
+// through this facade; algorithm code stays directly usable for power users.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "apsp/floyd_warshall.hpp"
+#include "apsp/parallel.hpp"
+#include "apsp/peng.hpp"
+#include "apsp/peng_adaptive.hpp"
+#include "apsp/repeated_dijkstra.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace parapsp::core {
+
+/// Every APSP algorithm the library implements.
+enum class Algorithm : std::uint8_t {
+  kFloydWarshall,         ///< O(n^3) reference
+  kFloydWarshallBlocked,  ///< tiled + OpenMP
+  kRepeatedDijkstra,      ///< naive baseline, sequential
+  kRepeatedDijkstraPar,   ///< naive baseline, parallel
+  kPengBasic,             ///< Alg 2 (sequential)
+  kPengOptimized,         ///< Alg 3 (sequential)
+  kPengAdaptive,          ///< Peng's adaptive variant (sequential, extension)
+  kParAlg1,               ///< parallel basic
+  kParAlg2,               ///< parallel optimized, sequential ordering
+  kParApsp,               ///< the paper's proposed ParAPSP (Alg 8)
+  kCustom,                ///< ordering/schedule taken from SolverOptions
+};
+
+[[nodiscard]] constexpr const char* to_string(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kFloydWarshall: return "floyd-warshall";
+    case Algorithm::kFloydWarshallBlocked: return "floyd-warshall-blocked";
+    case Algorithm::kRepeatedDijkstra: return "repeated-dijkstra";
+    case Algorithm::kRepeatedDijkstraPar: return "repeated-dijkstra-par";
+    case Algorithm::kPengBasic: return "peng-basic";
+    case Algorithm::kPengOptimized: return "peng-optimized";
+    case Algorithm::kPengAdaptive: return "peng-adaptive";
+    case Algorithm::kParAlg1: return "paralg1";
+    case Algorithm::kParAlg2: return "paralg2";
+    case Algorithm::kParApsp: return "parapsp";
+    case Algorithm::kCustom: return "custom";
+  }
+  return "?";
+}
+
+[[nodiscard]] Algorithm algorithm_from_string(const std::string& name);
+
+struct SolverOptions {
+  Algorithm algorithm = Algorithm::kParApsp;
+
+  /// OpenMP thread count for parallel algorithms; 0 = ambient default.
+  int threads = 0;
+
+  /// Source-loop schedule (parallel sweeps). The paper's pick is
+  /// dynamic-cyclic.
+  apsp::Schedule schedule = apsp::Schedule::kDynamicCyclic;
+
+  /// Algorithm 3's ratio r for the selection ordering.
+  double selection_ratio = 1.0;
+
+  /// Ordering for Algorithm::kCustom.
+  order::OrderingKind ordering = order::OrderingKind::kMultiLists;
+  order::OrderingOptions ordering_options{};
+
+  /// Tile size for the blocked Floyd-Warshall.
+  VertexId fw_block = 64;
+};
+
+/// Runs the selected algorithm. Throws std::invalid_argument on bad options.
+template <WeightType W>
+[[nodiscard]] apsp::ApspResult<W> solve(const graph::Graph<W>& g,
+                                        const SolverOptions& opts = {}) {
+  util::ThreadScope threads(opts.threads > 0 ? opts.threads : util::max_threads());
+
+  auto timed = [](auto&& fn) {
+    apsp::ApspResult<W> r;
+    util::WallTimer t;
+    r.distances = fn();
+    r.sweep_seconds = t.seconds();
+    return r;
+  };
+
+  switch (opts.algorithm) {
+    case Algorithm::kFloydWarshall:
+      return timed([&] { return apsp::floyd_warshall(g); });
+    case Algorithm::kFloydWarshallBlocked:
+      return timed([&] { return apsp::floyd_warshall_blocked(g, opts.fw_block); });
+    case Algorithm::kRepeatedDijkstra:
+      return timed([&] { return apsp::repeated_dijkstra(g); });
+    case Algorithm::kRepeatedDijkstraPar:
+      return timed([&] { return apsp::repeated_dijkstra_parallel(g); });
+    case Algorithm::kPengBasic:
+      return apsp::peng_basic(g);
+    case Algorithm::kPengOptimized:
+      return apsp::peng_optimized(g, opts.selection_ratio);
+    case Algorithm::kPengAdaptive:
+      return apsp::peng_adaptive(g);
+    case Algorithm::kParAlg1:
+      return apsp::par_alg1(g, opts.schedule);
+    case Algorithm::kParAlg2:
+      return apsp::par_alg2(g, opts.schedule, opts.selection_ratio);
+    case Algorithm::kParApsp:
+      return apsp::par_apsp(g);
+    case Algorithm::kCustom:
+      return apsp::par_apsp_with(g, opts.ordering, opts.schedule,
+                                 opts.ordering_options);
+  }
+  throw std::logic_error("solve: unhandled algorithm");
+}
+
+}  // namespace parapsp::core

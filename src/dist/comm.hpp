@@ -1,0 +1,60 @@
+// Simulated message-passing substrate for the distributed-memory extension.
+//
+// The paper's future work is to "extend the ParAPSP algorithm on
+// distributed-memory parallel environments so that we could find APSP
+// solutions for much larger graphs". This directory builds that extension
+// against a *simulated* cluster: P ranks live in one process, rows move
+// between them through an accounting layer that records every message and
+// byte, and per-rank visibility bitmaps stand in for the per-rank row
+// copies (one real copy of the matrix backs all ranks, so the simulation
+// runs on a laptop while preserving exactly who-can-see-what-and-when).
+//
+// What the simulation preserves (and the design study measures):
+//   * the reuse opportunities available to each rank over time,
+//   * the communication volume each sharing policy costs,
+//   * the per-rank work imbalance.
+// What it does not model: network latency/bandwidth (reported volume can be
+// fed into any machine model downstream).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parapsp::dist {
+
+/// Aggregate communication accounting for one simulated run.
+struct CommStats {
+  std::uint64_t messages = 0;   ///< point-to-point transfers (a broadcast to
+                                ///< P-1 peers counts as P-1 messages)
+  std::uint64_t bytes = 0;      ///< payload bytes moved
+  std::uint64_t supersteps = 0; ///< BSP rounds executed
+
+  CommStats& operator+=(const CommStats& o) noexcept {
+    messages += o.messages;
+    bytes += o.bytes;
+    supersteps += o.supersteps;
+    return *this;
+  }
+};
+
+/// How completed rows propagate between ranks at superstep boundaries.
+/// Per-rank visibility itself is tracked with one apsp::FlagArray per rank
+/// (see dist_apsp.hpp) so the kernel runs unmodified against a rank's view.
+enum class SharingPolicy : std::uint8_t {
+  kNone,       ///< no sharing: each rank reuses only rows it computed
+  kBroadcast,  ///< every completed row goes to every other rank (allgather)
+  kRing,       ///< rows hop one neighbor per superstep around a ring
+};
+
+[[nodiscard]] constexpr const char* to_string(SharingPolicy p) noexcept {
+  switch (p) {
+    case SharingPolicy::kNone: return "none";
+    case SharingPolicy::kBroadcast: return "broadcast";
+    case SharingPolicy::kRing: return "ring";
+  }
+  return "?";
+}
+
+}  // namespace parapsp::dist

@@ -1,0 +1,178 @@
+// Distributed-memory ParAPSP, simulated — the paper's future work as a
+// BSP-style design study.
+//
+// P ranks each own a slice of the source vertices (dealt by position in the
+// global degree-descending order). Execution alternates:
+//
+//   compute phase      — every rank runs the modified-Dijkstra kernel for
+//                        its next `batch` sources against its *local view*
+//                        of completed rows (its own + whatever the sharing
+//                        policy has delivered);
+//   communicate phase  — newly completed rows move between ranks according
+//                        to the SharingPolicy (none / broadcast / ring),
+//                        with every message and byte accounted.
+//
+// The simulation backs all ranks with one physical distance matrix; a
+// per-rank FlagArray gates which rows each rank's kernel may read, so the
+// reuse opportunities and communication volume are exactly those of a real
+// cluster run, while memory stays O(n^2 + P n). Output distances are exact
+// for every configuration — only the work and traffic change.
+#pragma once
+
+#include <omp.h>
+
+#include <memory>
+#include <vector>
+
+#include "apsp/distance_matrix.hpp"
+#include "apsp/flags.hpp"
+#include "apsp/modified_dijkstra.hpp"
+#include "dist/comm.hpp"
+#include "dist/partition.hpp"
+#include "graph/csr_graph.hpp"
+#include "order/multilists.hpp"
+#include "util/timer.hpp"
+
+namespace parapsp::dist {
+
+struct DistOptions {
+  int ranks = 4;
+  /// Sources each rank processes per superstep. Smaller batches share rows
+  /// sooner (more reuse) but cost more supersteps (more latency in a real
+  /// deployment).
+  std::size_t batch = 8;
+  SharingPolicy sharing = SharingPolicy::kBroadcast;
+  PartitionScheme partition = PartitionScheme::kCyclic;
+};
+
+template <WeightType W>
+struct DistApspResult {
+  apsp::DistanceMatrix<W> distances;
+  CommStats comm;
+  LoadBalance balance;
+  apsp::KernelStats total_work;                  ///< summed over ranks
+  std::vector<apsp::KernelStats> rank_work;      ///< per-rank breakdown
+  std::vector<std::uint64_t> rows_held;          ///< per-rank final row count
+  double elapsed_seconds = 0.0;
+
+  /// Max-over-ranks edge relaxations: the BSP critical path proxy.
+  [[nodiscard]] std::uint64_t critical_path_relaxations() const {
+    std::uint64_t worst = 0;
+    for (const auto& w : rank_work) worst = std::max(worst, w.edge_relaxations);
+    return worst;
+  }
+};
+
+/// Runs the simulated distributed ParAPSP. Deterministic in (graph, opts).
+template <WeightType W>
+[[nodiscard]] DistApspResult<W> dist_apsp_simulate(const graph::Graph<W>& g,
+                                                   const DistOptions& opts = {}) {
+  if (opts.ranks <= 0) throw std::invalid_argument("dist_apsp: ranks must be > 0");
+  if (opts.batch == 0) throw std::invalid_argument("dist_apsp: batch must be > 0");
+
+  const VertexId n = g.num_vertices();
+  const auto ranks = static_cast<std::size_t>(opts.ranks);
+  util::WallTimer timer;
+
+  DistApspResult<W> result;
+  result.distances = apsp::DistanceMatrix<W>(n);
+  result.rank_work.resize(ranks);
+  result.rows_held.assign(ranks, 0);
+
+  const auto order = order::multilists_order(g.degrees());
+  const auto assignment = partition_sources(order, opts.ranks, opts.partition);
+  result.balance = load_balance(assignment);
+
+  // Per-rank local view of completed rows.
+  std::vector<apsp::FlagArray> view;
+  view.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) view.emplace_back(n);
+
+  // Per-rank scratch.
+  std::vector<apsp::DijkstraWorkspace> ws(ranks);
+  for (auto& w : ws) w.resize(n);
+
+  std::vector<std::size_t> cursor(ranks, 0);
+  // Ring policy: rows waiting to hop to the right neighbor next superstep.
+  std::vector<std::vector<VertexId>> outbox(ranks);
+  const std::uint64_t row_bytes = static_cast<std::uint64_t>(n) * sizeof(W);
+
+  auto all_done = [&] {
+    for (std::size_t r = 0; r < ranks; ++r) {
+      if (cursor[r] < assignment[r].size()) return false;
+    }
+    return true;
+  };
+
+  std::vector<std::vector<VertexId>> completed(ranks);  // this superstep
+  while (!all_done()) {
+    // --- compute phase: ranks are independent (disjoint rows, own views) ---
+#pragma omp parallel for schedule(static, 1)
+    for (std::int64_t ri = 0; ri < static_cast<std::int64_t>(ranks); ++ri) {
+      const auto r = static_cast<std::size_t>(ri);
+      completed[r].clear();
+      const std::size_t end = std::min(assignment[r].size(), cursor[r] + opts.batch);
+      for (std::size_t i = cursor[r]; i < end; ++i) {
+        const VertexId s = assignment[r][i];
+        const auto stats =
+            apsp::modified_dijkstra(g, s, result.distances, view[r], ws[r]);
+        result.rank_work[r].dequeues += stats.dequeues;
+        result.rank_work[r].row_reuses += stats.row_reuses;
+        result.rank_work[r].edge_relaxations += stats.edge_relaxations;
+        completed[r].push_back(s);
+      }
+      cursor[r] = end;
+    }
+
+    // --- communicate phase (sequential: this is the simulated network) ---
+    switch (opts.sharing) {
+      case SharingPolicy::kNone:
+        break;
+      case SharingPolicy::kBroadcast:
+        for (std::size_t r = 0; r < ranks; ++r) {
+          for (const VertexId row : completed[r]) {
+            for (std::size_t r2 = 0; r2 < ranks; ++r2) {
+              if (r2 == r) continue;
+              view[r2].publish(row);
+            }
+            result.comm.messages += ranks - 1;
+            result.comm.bytes += (ranks - 1) * row_bytes;
+          }
+        }
+        break;
+      case SharingPolicy::kRing: {
+        // Forward last superstep's outbox one hop; a row keeps traveling
+        // until it reaches a rank that already holds it (after P-1 hops it
+        // returns toward its owner and stops). Own completions start their
+        // trip next superstep.
+        std::vector<std::vector<VertexId>> next_outbox(ranks);
+        for (std::size_t r = 0; r < ranks; ++r) {
+          const std::size_t right = (r + 1) % ranks;
+          for (const VertexId row : outbox[r]) {
+            if (!view[right].is_complete(row)) {
+              view[right].publish(row);
+              result.comm.messages += 1;
+              result.comm.bytes += row_bytes;
+              next_outbox[right].push_back(row);
+            }
+          }
+          for (const VertexId row : completed[r]) next_outbox[r].push_back(row);
+        }
+        outbox.swap(next_outbox);
+        break;
+      }
+    }
+    ++result.comm.supersteps;
+  }
+
+  for (std::size_t r = 0; r < ranks; ++r) {
+    result.rows_held[r] = view[r].count_complete();
+    result.total_work.dequeues += result.rank_work[r].dequeues;
+    result.total_work.row_reuses += result.rank_work[r].row_reuses;
+    result.total_work.edge_relaxations += result.rank_work[r].edge_relaxations;
+  }
+  result.elapsed_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace parapsp::dist

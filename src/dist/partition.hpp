@@ -1,0 +1,77 @@
+// Source partitioning for the distributed ParAPSP simulation.
+//
+// The shared-memory algorithm's insight carries over: the *position in the
+// degree-descending order* decides how valuable a source's row is to
+// others, so the partitioner deals order positions, not raw vertex ids.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "order/ordering.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::dist {
+
+/// How order positions map to ranks.
+enum class PartitionScheme : std::uint8_t {
+  kBlock,   ///< rank r gets the r-th contiguous slice of the order
+  kCyclic,  ///< position i goes to rank i % P (the dynamic-cyclic analog)
+};
+
+[[nodiscard]] constexpr const char* to_string(PartitionScheme s) noexcept {
+  return s == PartitionScheme::kBlock ? "block" : "cyclic";
+}
+
+/// Per-rank work lists: assignment[r] holds the sources rank r processes, in
+/// its local processing order (which follows the global degree order).
+[[nodiscard]] inline std::vector<std::vector<VertexId>> partition_sources(
+    const order::Ordering& order, int ranks, PartitionScheme scheme) {
+  if (ranks <= 0) throw std::invalid_argument("partition_sources: ranks must be > 0");
+  std::vector<std::vector<VertexId>> assignment(static_cast<std::size_t>(ranks));
+  const std::size_t n = order.size();
+  if (scheme == PartitionScheme::kCyclic) {
+    for (std::size_t i = 0; i < n; ++i) {
+      assignment[i % static_cast<std::size_t>(ranks)].push_back(order[i]);
+    }
+  } else {
+    const std::size_t chunk = (n + static_cast<std::size_t>(ranks) - 1) /
+                              static_cast<std::size_t>(ranks);
+    for (std::size_t i = 0; i < n; ++i) {
+      assignment[std::min(i / std::max<std::size_t>(chunk, 1),
+                          static_cast<std::size_t>(ranks) - 1)]
+          .push_back(order[i]);
+    }
+  }
+  return assignment;
+}
+
+/// Max/min/mean sources per rank — the load-balance summary the design
+/// study reports.
+struct LoadBalance {
+  std::size_t min_sources = 0;
+  std::size_t max_sources = 0;
+  double mean_sources = 0.0;
+
+  [[nodiscard]] double imbalance() const noexcept {
+    return mean_sources == 0.0 ? 0.0
+                               : static_cast<double>(max_sources) / mean_sources;
+  }
+};
+
+[[nodiscard]] inline LoadBalance load_balance(
+    const std::vector<std::vector<VertexId>>& assignment) {
+  LoadBalance lb;
+  if (assignment.empty()) return lb;
+  lb.min_sources = assignment.front().size();
+  std::size_t total = 0;
+  for (const auto& a : assignment) {
+    lb.min_sources = std::min(lb.min_sources, a.size());
+    lb.max_sources = std::max(lb.max_sources, a.size());
+    total += a.size();
+  }
+  lb.mean_sources = static_cast<double>(total) / static_cast<double>(assignment.size());
+  return lb;
+}
+
+}  // namespace parapsp::dist

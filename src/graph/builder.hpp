@@ -1,0 +1,132 @@
+// Mutable edge accumulator that produces an immutable CSR Graph.
+//
+// Handles the messy parts of real-world edge lists up front: duplicate
+// edges, self-loops, and undirected mirroring, so algorithm code never has
+// to special-case them.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::graph {
+
+/// Policy for repeated (u,v) pairs in the input.
+enum class DuplicatePolicy : std::uint8_t {
+  kKeepAll,    ///< store parallel edges as-is
+  kKeepMinWeight,  ///< collapse to the lightest parallel edge
+};
+
+/// Policy for u==v edges in the input.
+enum class SelfLoopPolicy : std::uint8_t {
+  kKeep,  ///< store them (they never shorten any path with W >= 0)
+  kDrop,  ///< discard them
+};
+
+template <WeightType W>
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Directedness directedness, VertexId num_vertices = 0)
+      : directedness_(directedness), num_vertices_(num_vertices) {}
+
+  /// Adds an edge u->v (and v->u when undirected) with weight w.
+  /// Vertex ids beyond the current count grow the graph.
+  void add_edge(VertexId u, VertexId v, W w = W{1}) {
+    if (w < W{0}) {
+      throw std::invalid_argument("GraphBuilder: negative edge weights are not supported");
+    }
+    num_vertices_ = std::max(num_vertices_, std::max(u, v) + 1);
+    edges_.push_back({u, v, w});
+  }
+
+  /// Number of edges accumulated so far (before dedup policies apply).
+  [[nodiscard]] std::size_t pending_edges() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return num_vertices_; }
+
+  /// Grows the vertex count without adding edges (for isolated vertices).
+  void reserve_vertices(VertexId n) { num_vertices_ = std::max(num_vertices_, n); }
+  void reserve_edges(std::size_t m) { edges_.reserve(m); }
+
+  /// Produces the CSR graph. The builder can be reused afterwards (it keeps
+  /// its edges); call clear() to start over.
+  [[nodiscard]] Graph<W> build(DuplicatePolicy dup = DuplicatePolicy::kKeepAll,
+                               SelfLoopPolicy loops = SelfLoopPolicy::kKeep) const {
+    // Materialize arcs: undirected edges become two arcs (self-loops one).
+    std::vector<Arc> arcs;
+    arcs.reserve(edges_.size() * (directedness_ == Directedness::kUndirected ? 2 : 1));
+    EdgeId self_loops = 0;
+    for (const auto& e : edges_) {
+      if (e.u == e.v) {
+        if (loops == SelfLoopPolicy::kDrop) continue;
+        ++self_loops;
+        arcs.push_back({e.u, e.v, e.w});
+        continue;
+      }
+      arcs.push_back({e.u, e.v, e.w});
+      if (directedness_ == Directedness::kUndirected) {
+        arcs.push_back({e.v, e.u, e.w});
+      }
+    }
+
+    std::sort(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
+      if (a.u != b.u) return a.u < b.u;
+      if (a.v != b.v) return a.v < b.v;
+      return a.w < b.w;
+    });
+
+    if (dup == DuplicatePolicy::kKeepMinWeight) {
+      // After the sort the lightest parallel arc comes first per (u,v) group.
+      auto last = std::unique(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
+        return a.u == b.u && a.v == b.v;
+      });
+      // Recount surviving self-loops.
+      self_loops = 0;
+      for (auto it = arcs.begin(); it != last; ++it) {
+        if (it->u == it->v) ++self_loops;
+      }
+      arcs.erase(last, arcs.end());
+    }
+
+    std::vector<EdgeId> offsets(static_cast<std::size_t>(num_vertices_) + 1, 0);
+    for (const auto& a : arcs) ++offsets[a.u + 1];
+    std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
+
+    std::vector<VertexId> targets(arcs.size());
+    std::vector<W> weights(arcs.size());
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      targets[i] = arcs[i].v;
+      weights[i] = arcs[i].w;
+    }
+
+    Graph<W> g(directedness_, num_vertices_, std::move(offsets), std::move(targets),
+               std::move(weights));
+    g.set_num_self_loops(self_loops);
+    return g;
+  }
+
+  void clear() noexcept {
+    edges_.clear();
+    num_vertices_ = 0;
+  }
+
+ private:
+  struct Arc {
+    VertexId u, v;
+    W w;
+  };
+  struct InputEdge {
+    VertexId u, v;
+    W w;
+  };
+
+  Directedness directedness_;
+  VertexId num_vertices_ = 0;
+  std::vector<InputEdge> edges_;
+};
+
+}  // namespace parapsp::graph

@@ -1,0 +1,90 @@
+// Connected components (weakly connected for directed graphs) and largest-
+// component extraction — dataset preparation mirrors what SNAP distributions
+// do before APSP experiments.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/ops.hpp"
+
+namespace parapsp::graph {
+
+/// Result of a component decomposition.
+struct Components {
+  std::vector<VertexId> label;  ///< component id per vertex, ids are [0, count)
+  VertexId count = 0;           ///< number of components
+
+  /// Vertices of the largest component, in increasing id order.
+  [[nodiscard]] std::vector<VertexId> largest() const {
+    std::vector<std::size_t> sizes(count, 0);
+    for (const auto c : label) ++sizes[c];
+    const auto best = static_cast<VertexId>(
+        std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+    std::vector<VertexId> verts;
+    for (VertexId v = 0; v < label.size(); ++v) {
+      if (label[v] == best) verts.push_back(v);
+    }
+    return verts;
+  }
+};
+
+/// Union-find over vertex ids with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(VertexId n) : parent_(n), size_(n, 1) {
+    for (VertexId v = 0; v < n; ++v) parent_[v] = v;
+  }
+
+  VertexId find(VertexId v) noexcept {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];  // path halving
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  /// Returns true if the two sets were distinct (i.e. a merge happened).
+  bool unite(VertexId a, VertexId b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<VertexId> size_;
+};
+
+/// Weakly connected components (edge direction ignored).
+template <WeightType W>
+[[nodiscard]] Components connected_components(const Graph<W>& g) {
+  const VertexId n = g.num_vertices();
+  UnionFind uf(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId v : g.neighbors(u)) uf.unite(u, v);
+  }
+  Components out;
+  out.label.assign(n, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId root = uf.find(v);
+    if (out.label[root] == kInvalidVertex) out.label[root] = out.count++;
+    out.label[v] = out.label[root];
+  }
+  return out;
+}
+
+/// Subgraph induced by the largest (weakly) connected component.
+template <WeightType W>
+[[nodiscard]] Graph<W> largest_component(const Graph<W>& g) {
+  if (g.num_vertices() == 0) return g;
+  const auto comps = connected_components(g);
+  return induced_subgraph(g, comps.largest());
+}
+
+}  // namespace parapsp::graph

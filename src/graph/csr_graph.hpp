@@ -1,0 +1,136 @@
+// Compressed-sparse-row graph, the substrate every algorithm in this library
+// runs on.
+//
+// The graph is immutable after construction (build it with GraphBuilder).
+// Directed graphs store out-edges; undirected graphs store each edge in both
+// endpoint adjacency lists (so `num_stored_edges` is twice the logical edge
+// count). Edge weights share the template parameter `W` with distances.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parapsp::graph {
+
+/// Whether a graph's edges are one-directional.
+enum class Directedness : std::uint8_t { kDirected, kUndirected };
+
+[[nodiscard]] constexpr const char* to_string(Directedness d) noexcept {
+  return d == Directedness::kDirected ? "directed" : "undirected";
+}
+
+/// Immutable CSR graph with per-edge weights.
+template <WeightType W>
+class Graph {
+ public:
+  using weight_type = W;
+
+  Graph() = default;
+
+  /// Assembles a graph from prebuilt CSR arrays. Prefer GraphBuilder; this
+  /// constructor is for deserialization and graph transformations.
+  Graph(Directedness directedness, VertexId num_vertices,
+        std::vector<EdgeId> offsets, std::vector<VertexId> targets,
+        std::vector<W> weights)
+      : directedness_(directedness),
+        num_vertices_(num_vertices),
+        offsets_(std::move(offsets)),
+        targets_(std::move(targets)),
+        weights_(std::move(weights)) {
+    assert(offsets_.size() == static_cast<std::size_t>(num_vertices_) + 1);
+    assert(targets_.size() == weights_.size());
+    assert(offsets_.empty() || offsets_.back() == targets_.size());
+  }
+
+  [[nodiscard]] Directedness directedness() const noexcept { return directedness_; }
+  [[nodiscard]] bool is_directed() const noexcept {
+    return directedness_ == Directedness::kDirected;
+  }
+
+  /// Number of vertices n; vertex ids are [0, n).
+  [[nodiscard]] VertexId num_vertices() const noexcept { return num_vertices_; }
+
+  /// Number of stored arcs. For undirected graphs this counts each logical
+  /// edge twice (once per direction).
+  [[nodiscard]] EdgeId num_stored_edges() const noexcept {
+    return static_cast<EdgeId>(targets_.size());
+  }
+
+  /// Number of logical edges: arcs for directed graphs, arc-pairs for
+  /// undirected (self-loops in undirected graphs are stored once).
+  [[nodiscard]] EdgeId num_edges() const noexcept {
+    return is_directed() ? num_stored_edges()
+                         : (num_stored_edges() + num_self_loops_) / 2;
+  }
+
+  /// Out-degree of v (== degree for undirected graphs). This is the degree
+  /// the ordering procedures sort by, following the paper.
+  [[nodiscard]] VertexId degree(VertexId v) const noexcept {
+    assert(v < num_vertices_);
+    return static_cast<VertexId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Neighbors of v, parallel to weights(v).
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    assert(v < num_vertices_);
+    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+  }
+
+  /// Weights of v's out-edges, parallel to neighbors(v).
+  [[nodiscard]] std::span<const W> weights(VertexId v) const noexcept {
+    assert(v < num_vertices_);
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  /// Maximum degree over all vertices (0 for an empty graph).
+  [[nodiscard]] VertexId max_degree() const noexcept {
+    VertexId m = 0;
+    for (VertexId v = 0; v < num_vertices_; ++v) m = std::max(m, degree(v));
+    return m;
+  }
+
+  /// Minimum degree over all vertices (0 for an empty graph).
+  [[nodiscard]] VertexId min_degree() const noexcept {
+    if (num_vertices_ == 0) return 0;
+    VertexId m = degree(0);
+    for (VertexId v = 1; v < num_vertices_; ++v) m = std::min(m, degree(v));
+    return m;
+  }
+
+  /// All vertex degrees in one vector (index = vertex id).
+  [[nodiscard]] std::vector<VertexId> degrees() const {
+    std::vector<VertexId> d(num_vertices_);
+    for (VertexId v = 0; v < num_vertices_; ++v) d[v] = degree(v);
+    return d;
+  }
+
+  /// Raw CSR access for serialization and transformation code.
+  [[nodiscard]] const std::vector<EdgeId>& offsets() const noexcept { return offsets_; }
+  [[nodiscard]] const std::vector<VertexId>& targets() const noexcept { return targets_; }
+  [[nodiscard]] const std::vector<W>& edge_weights() const noexcept { return weights_; }
+
+  /// Number of stored self-loop arcs (used by the edge-count bookkeeping).
+  [[nodiscard]] EdgeId num_self_loops() const noexcept { return num_self_loops_; }
+  void set_num_self_loops(EdgeId c) noexcept { num_self_loops_ = c; }
+
+  /// One-line human-readable summary, e.g. "undirected, n=1000, m=4975".
+  [[nodiscard]] std::string summary() const {
+    return std::string(to_string(directedness_)) + ", n=" +
+           std::to_string(num_vertices_) + ", m=" + std::to_string(num_edges());
+  }
+
+ private:
+  Directedness directedness_ = Directedness::kDirected;
+  VertexId num_vertices_ = 0;
+  EdgeId num_self_loops_ = 0;
+  std::vector<EdgeId> offsets_{0};
+  std::vector<VertexId> targets_;
+  std::vector<W> weights_;
+};
+
+}  // namespace parapsp::graph

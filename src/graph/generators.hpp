@@ -1,0 +1,298 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on SNAP/KONECT downloads; offline we substitute
+// Barabási–Albert and R-MAT graphs with matched size/density (see DESIGN.md).
+// Erdős–Rényi and Watts–Strogatz cover the non-scale-free baselines Peng et
+// al. evaluated, and the deterministic families (path/star/complete/grid)
+// give tests closed-form shortest-path answers.
+//
+// All generators are deterministic in their seed.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/rng.hpp"
+
+namespace parapsp::graph {
+
+/// Erdős–Rényi G(n, m): exactly `m` distinct edges chosen uniformly among all
+/// unordered (directed: ordered) non-loop pairs.
+template <WeightType W = std::uint32_t>
+[[nodiscard]] Graph<W> erdos_renyi_gnm(VertexId n, EdgeId m, std::uint64_t seed,
+                                       Directedness dir = Directedness::kUndirected) {
+  const auto pairs = static_cast<std::uint64_t>(n) * (n - 1) /
+                     (dir == Directedness::kUndirected ? 2 : 1);
+  if (n >= 2 && m > pairs) {
+    throw std::invalid_argument("erdos_renyi_gnm: m exceeds the number of vertex pairs");
+  }
+  util::Xoshiro256 rng(seed);
+  GraphBuilder<W> b(dir, n);
+  b.reserve_edges(m);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(static_cast<std::size_t>(m) * 2);
+  EdgeId added = 0;
+  while (added < m) {
+    auto u = static_cast<VertexId>(rng.bounded(n));
+    auto v = static_cast<VertexId>(rng.bounded(n));
+    if (u == v) continue;
+    if (dir == Directedness::kUndirected && u > v) std::swap(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (!used.insert(key).second) continue;
+    b.add_edge(u, v);
+    ++added;
+  }
+  return b.build();
+}
+
+/// Erdős–Rényi G(n, p) via geometric skip sampling (O(n^2 p) expected time).
+template <WeightType W = std::uint32_t>
+[[nodiscard]] Graph<W> erdos_renyi_gnp(VertexId n, double p, std::uint64_t seed,
+                                       Directedness dir = Directedness::kUndirected) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("erdos_renyi_gnp: p out of [0,1]");
+  util::Xoshiro256 rng(seed);
+  GraphBuilder<W> b(dir, n);
+  if (p <= 0.0 || n < 2) return b.build();
+  const double log1mp = std::log1p(-p);
+  auto sample_range = [&](std::uint64_t total, auto&& emit) {
+    if (p >= 1.0) {
+      for (std::uint64_t i = 0; i < total; ++i) emit(i);
+      return;
+    }
+    std::uint64_t i = 0;
+    while (true) {
+      const double r = std::max(rng.uniform(), 1e-300);
+      const double skip = std::floor(std::log(r) / log1mp);
+      if (skip >= static_cast<double>(total - i)) break;
+      i += static_cast<std::uint64_t>(skip);
+      emit(i);
+      if (++i >= total) break;
+    }
+  };
+  if (dir == Directedness::kUndirected) {
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    sample_range(total, [&](std::uint64_t idx) {
+      // Decode linear index into the upper-triangular pair (u, v), u < v.
+      // Row u holds (n-1-u) entries; walk rows (fast enough for test sizes).
+      VertexId u = 0;
+      std::uint64_t remaining = idx;
+      while (remaining >= n - 1 - u) {
+        remaining -= n - 1 - u;
+        ++u;
+      }
+      const auto v = static_cast<VertexId>(u + 1 + remaining);
+      b.add_edge(u, v);
+    });
+  } else {
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1);
+    sample_range(total, [&](std::uint64_t idx) {
+      const auto u = static_cast<VertexId>(idx / (n - 1));
+      auto v = static_cast<VertexId>(idx % (n - 1));
+      if (v >= u) ++v;  // skip the diagonal
+      b.add_edge(u, v);
+    });
+  }
+  return b.build();
+}
+
+/// Barabási–Albert preferential attachment: starts from a connected seed of
+/// `m_per_vertex` vertices, then each new vertex attaches `m_per_vertex`
+/// edges to existing vertices with probability proportional to degree.
+/// Produces the scale-free degree distribution the paper's optimization
+/// exploits (power-law exponent ~3).
+template <WeightType W = std::uint32_t>
+[[nodiscard]] Graph<W> barabasi_albert(VertexId n, VertexId m_per_vertex,
+                                       std::uint64_t seed,
+                                       Directedness dir = Directedness::kUndirected) {
+  if (m_per_vertex == 0) throw std::invalid_argument("barabasi_albert: m_per_vertex == 0");
+  if (n <= m_per_vertex) {
+    throw std::invalid_argument("barabasi_albert: need n > m_per_vertex");
+  }
+  util::Xoshiro256 rng(seed);
+  GraphBuilder<W> b(dir, n);
+
+  // `endpoints` holds one entry per edge endpoint; sampling uniformly from it
+  // is sampling vertices proportionally to degree.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * m_per_vertex * 2);
+
+  // Seed: a path over the first m_per_vertex+1 vertices keeps it connected.
+  for (VertexId v = 0; v + 1 <= m_per_vertex; ++v) {
+    b.add_edge(v, v + 1);
+    endpoints.push_back(v);
+    endpoints.push_back(v + 1);
+  }
+
+  std::vector<VertexId> chosen;
+  for (VertexId v = m_per_vertex + 1; v < n; ++v) {
+    chosen.clear();
+    while (chosen.size() < m_per_vertex) {
+      const VertexId t = endpoints[rng.bounded(endpoints.size())];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (const VertexId t : chosen) {
+      b.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+/// Watts–Strogatz small-world: ring lattice with `k` nearest neighbors per
+/// side, each edge rewired with probability `beta`.
+template <WeightType W = std::uint32_t>
+[[nodiscard]] Graph<W> watts_strogatz(VertexId n, VertexId k, double beta,
+                                      std::uint64_t seed) {
+  if (k == 0 || 2 * k >= n) throw std::invalid_argument("watts_strogatz: need 0 < 2k < n");
+  if (beta < 0.0 || beta > 1.0) throw std::invalid_argument("watts_strogatz: beta out of [0,1]");
+  util::Xoshiro256 rng(seed);
+  GraphBuilder<W> b(Directedness::kUndirected, n);
+  std::unordered_set<std::uint64_t> used;
+  auto key = [](VertexId a, VertexId c) {
+    if (a > c) std::swap(a, c);
+    return (static_cast<std::uint64_t>(a) << 32) | c;
+  };
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId j = 1; j <= k; ++j) {
+      VertexId v = (u + j) % n;
+      if (rng.uniform() < beta) {
+        // Rewire to a uniform non-self, non-duplicate target.
+        for (int attempts = 0; attempts < 64; ++attempts) {
+          const auto w = static_cast<VertexId>(rng.bounded(n));
+          if (w != u && !used.contains(key(u, w))) {
+            v = w;
+            break;
+          }
+        }
+      }
+      if (used.insert(key(u, v)).second && u != v) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+/// R-MAT (Chakrabarti et al.): recursive quadrant sampling over a 2^scale
+/// adjacency matrix. Defaults to the Graph500 (0.57, 0.19, 0.19, 0.05)
+/// parameters, producing heavy-tailed degree distributions.
+template <WeightType W = std::uint32_t>
+[[nodiscard]] Graph<W> rmat(VertexId scale, EdgeId num_edges, std::uint64_t seed,
+                            Directedness dir = Directedness::kDirected,
+                            double a = 0.57, double b_ = 0.19, double c = 0.19) {
+  if (scale == 0 || scale > 30) throw std::invalid_argument("rmat: scale out of (0, 30]");
+  const double d = 1.0 - a - b_ - c;
+  if (d < 0.0) throw std::invalid_argument("rmat: probabilities exceed 1");
+  const VertexId n = VertexId{1} << scale;
+  util::Xoshiro256 rng(seed);
+  GraphBuilder<W> b(dir, n);
+  b.reserve_edges(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    VertexId u = 0, v = 0;
+    for (VertexId bit = n >> 1; bit > 0; bit >>= 1) {
+      const double r = rng.uniform();
+      if (r < a) {
+        // upper-left: no bits set
+      } else if (r < a + b_) {
+        v |= bit;
+      } else if (r < a + b_ + c) {
+        u |= bit;
+      } else {
+        u |= bit;
+        v |= bit;
+      }
+    }
+    if (u == v) {
+      --e;  // resample self-loops to keep the edge count exact
+      continue;
+    }
+    b.add_edge(u, v);
+  }
+  // R-MAT naturally produces duplicates; collapse them like SNAP loaders do.
+  return b.build(DuplicatePolicy::kKeepMinWeight, SelfLoopPolicy::kDrop);
+}
+
+/// Configuration model: a random simple graph with (approximately) the
+/// given degree sequence. Stubs are paired uniformly at random; self-loops
+/// and duplicate pairings are discarded (so realized degrees can fall
+/// slightly short of the requested ones — the standard "erased"
+/// configuration model). This reproduces an *exact measured* degree
+/// distribution, e.g. a Table 2 dataset's, without its edge structure.
+template <WeightType W = std::uint32_t>
+[[nodiscard]] Graph<W> configuration_model(const std::vector<VertexId>& degrees,
+                                           std::uint64_t seed) {
+  std::uint64_t stub_count = 0;
+  for (const auto d : degrees) stub_count += d;
+  std::vector<VertexId> stubs;
+  stubs.reserve(stub_count);
+  for (VertexId v = 0; v < degrees.size(); ++v) {
+    for (VertexId i = 0; i < degrees[v]; ++i) stubs.push_back(v);
+  }
+  // Fisher-Yates shuffle, then pair consecutive stubs.
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.bounded(i)]);
+  }
+  GraphBuilder<W> b(Directedness::kUndirected, static_cast<VertexId>(degrees.size()));
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] != stubs[i + 1]) b.add_edge(stubs[i], stubs[i + 1]);
+  }
+  return b.build(DuplicatePolicy::kKeepMinWeight, SelfLoopPolicy::kDrop);
+}
+
+/// Path graph 0-1-2-...-(n-1).
+template <WeightType W = std::uint32_t>
+[[nodiscard]] Graph<W> path_graph(VertexId n, W w = W{1}) {
+  GraphBuilder<W> b(Directedness::kUndirected, n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1, w);
+  return b.build();
+}
+
+/// Cycle graph 0-1-...-(n-1)-0.
+template <WeightType W = std::uint32_t>
+[[nodiscard]] Graph<W> cycle_graph(VertexId n, W w = W{1}) {
+  GraphBuilder<W> b(Directedness::kUndirected, n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1, w);
+  if (n >= 3) b.add_edge(n - 1, 0, w);
+  return b.build();
+}
+
+/// Star graph: vertex 0 is the hub, connected to 1..n-1.
+template <WeightType W = std::uint32_t>
+[[nodiscard]] Graph<W> star_graph(VertexId n, W w = W{1}) {
+  GraphBuilder<W> b(Directedness::kUndirected, n);
+  for (VertexId v = 1; v < n; ++v) b.add_edge(0, v, w);
+  return b.build();
+}
+
+/// Complete graph K_n.
+template <WeightType W = std::uint32_t>
+[[nodiscard]] Graph<W> complete_graph(VertexId n, W w = W{1}) {
+  GraphBuilder<W> b(Directedness::kUndirected, n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v, w);
+  }
+  return b.build();
+}
+
+/// rows x cols 2-D grid with 4-neighborhood.
+template <WeightType W = std::uint32_t>
+[[nodiscard]] Graph<W> grid_graph(VertexId rows, VertexId cols, W w = W{1}) {
+  GraphBuilder<W> b(Directedness::kUndirected, rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1), w);
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c), w);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace parapsp::graph

@@ -1,0 +1,75 @@
+#include "graph/io_binary.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace parapsp::graph::detail {
+
+namespace {
+
+void write_bytes(std::ofstream& out, const void* data, std::size_t bytes) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+}
+
+void read_bytes(std::ifstream& in, void* data, std::size_t bytes, const char* what) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+    throw std::runtime_error(std::string("binary graph: truncated ") + what);
+  }
+}
+
+}  // namespace
+
+void write_blob(const std::string& path, const BinaryHeader& hdr, const void* offsets,
+                std::size_t offsets_bytes, const void* targets, std::size_t targets_bytes,
+                const void* weights, std::size_t weights_bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot write binary graph '" + path + "': " +
+                             std::strerror(errno));
+  }
+  write_bytes(out, &hdr, sizeof hdr);
+  write_bytes(out, offsets, offsets_bytes);
+  write_bytes(out, targets, targets_bytes);
+  write_bytes(out, weights, weights_bytes);
+  if (!out) throw std::runtime_error("write failed for '" + path + "'");
+}
+
+BinaryHeader read_header_and_payload(const std::string& path, std::uint8_t expected_code,
+                                     std::vector<EdgeId>& offsets,
+                                     std::vector<VertexId>& targets,
+                                     std::vector<std::byte>& weight_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open binary graph '" + path + "': " +
+                             std::strerror(errno));
+  }
+  BinaryHeader hdr;
+  read_bytes(in, &hdr, sizeof hdr, "header");
+  if (hdr.magic != kBinaryMagic) throw std::runtime_error("binary graph: bad magic");
+  if (hdr.version != kBinaryVersion) {
+    throw std::runtime_error("binary graph: unsupported version " +
+                             std::to_string(hdr.version));
+  }
+  if (hdr.weight_code != expected_code) {
+    throw std::runtime_error("binary graph: weight type mismatch");
+  }
+  const std::size_t weight_size = hdr.weight_code == 0   ? sizeof(std::uint32_t)
+                                  : hdr.weight_code == 1 ? sizeof(float)
+                                                         : sizeof(double);
+  offsets.resize(static_cast<std::size_t>(hdr.n) + 1);
+  targets.resize(hdr.stored_edges);
+  weight_bytes.resize(hdr.stored_edges * weight_size);
+  read_bytes(in, offsets.data(), offsets.size() * sizeof(EdgeId), "offsets");
+  read_bytes(in, targets.data(), targets.size() * sizeof(VertexId), "targets");
+  read_bytes(in, weight_bytes.data(), weight_bytes.size(), "weights");
+  if (offsets.back() != hdr.stored_edges) {
+    throw std::runtime_error("binary graph: inconsistent offsets");
+  }
+  return hdr;
+}
+
+}  // namespace parapsp::graph::detail

@@ -1,0 +1,84 @@
+// Binary graph serialization for fast reload of large generated datasets.
+//
+// Format (little-endian):
+//   magic "PAPG" | u32 version | u8 directed | u8 weight_code | u16 pad
+//   u32 n | u64 stored_edges | u64 self_loops
+//   offsets[n+1] (u64) | targets[m] (u32) | weights[m] (W)
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace parapsp::graph {
+
+namespace detail {
+
+inline constexpr std::uint32_t kBinaryMagic = 0x47504150u;  // "PAPG"
+inline constexpr std::uint32_t kBinaryVersion = 1;
+
+struct BinaryHeader {
+  std::uint32_t magic = kBinaryMagic;
+  std::uint32_t version = kBinaryVersion;
+  std::uint8_t directed = 0;
+  std::uint8_t weight_code = 0;  // 0=u32, 1=float, 2=double
+  std::uint16_t pad = 0;
+  std::uint32_t n = 0;
+  std::uint64_t stored_edges = 0;
+  std::uint64_t self_loops = 0;
+};
+
+template <typename W>
+constexpr std::uint8_t weight_code() {
+  if constexpr (std::is_same_v<W, std::uint32_t>) return 0;
+  else if constexpr (std::is_same_v<W, float>) return 1;
+  else if constexpr (std::is_same_v<W, double>) return 2;
+  else static_assert(sizeof(W) == 0, "unsupported weight type for binary I/O");
+}
+
+void write_blob(const std::string& path, const BinaryHeader& hdr, const void* offsets,
+                std::size_t offsets_bytes, const void* targets, std::size_t targets_bytes,
+                const void* weights, std::size_t weights_bytes);
+
+BinaryHeader read_header_and_payload(const std::string& path, std::uint8_t expected_code,
+                                     std::vector<EdgeId>& offsets,
+                                     std::vector<VertexId>& targets,
+                                     std::vector<std::byte>& weight_bytes);
+
+}  // namespace detail
+
+/// Writes `g` to `path`; throws std::runtime_error on failure.
+template <WeightType W>
+void save_binary(const Graph<W>& g, const std::string& path) {
+  detail::BinaryHeader hdr;
+  hdr.directed = g.is_directed() ? 1 : 0;
+  hdr.weight_code = detail::weight_code<W>();
+  hdr.n = g.num_vertices();
+  hdr.stored_edges = g.num_stored_edges();
+  hdr.self_loops = g.num_self_loops();
+  detail::write_blob(path, hdr, g.offsets().data(), g.offsets().size() * sizeof(EdgeId),
+                     g.targets().data(), g.targets().size() * sizeof(VertexId),
+                     g.edge_weights().data(), g.edge_weights().size() * sizeof(W));
+}
+
+/// Loads a graph written by save_binary with the same weight type; throws
+/// std::runtime_error on corruption or weight-type mismatch.
+template <WeightType W>
+[[nodiscard]] Graph<W> load_binary(const std::string& path) {
+  std::vector<EdgeId> offsets;
+  std::vector<VertexId> targets;
+  std::vector<std::byte> weight_bytes;
+  const auto hdr = detail::read_header_and_payload(path, detail::weight_code<W>(),
+                                                   offsets, targets, weight_bytes);
+  std::vector<W> weights(weight_bytes.size() / sizeof(W));
+  std::memcpy(weights.data(), weight_bytes.data(), weight_bytes.size());
+  Graph<W> g(hdr.directed ? Directedness::kDirected : Directedness::kUndirected, hdr.n,
+             std::move(offsets), std::move(targets), std::move(weights));
+  g.set_num_self_loops(hdr.self_loops);
+  return g;
+}
+
+}  // namespace parapsp::graph

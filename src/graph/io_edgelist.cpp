@@ -1,0 +1,102 @@
+#include "graph/io_edgelist.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace parapsp::graph {
+
+namespace {
+
+/// Skips spaces/tabs; returns pointer to the next token or end.
+const char* skip_ws(const char* p, const char* end) {
+  while (p != end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  return p;
+}
+
+bool parse_line(const char* p, const char* end, RawEdge& edge, bool& has_weight) {
+  p = skip_ws(p, end);
+  if (p == end || *p == '#' || *p == '%') return false;  // comment/blank
+
+  auto [p1, ec1] = std::from_chars(p, end, edge.u);
+  if (ec1 != std::errc{}) throw std::runtime_error("expected source vertex id");
+  p = skip_ws(p1, end);
+
+  auto [p2, ec2] = std::from_chars(p, end, edge.v);
+  if (ec2 != std::errc{}) throw std::runtime_error("expected target vertex id");
+  p = skip_ws(p2, end);
+
+  if (p != end) {
+    auto [p3, ec3] = std::from_chars(p, end, edge.w);
+    if (ec3 != std::errc{}) throw std::runtime_error("malformed weight column");
+    p = skip_ws(p3, end);
+    if (p != end) throw std::runtime_error("trailing characters after weight");
+    has_weight = true;
+  } else {
+    edge.w = 1.0;
+    has_weight = false;
+  }
+  return true;
+}
+
+EdgeListData parse_stream(std::istream& in, const std::string& origin) {
+  EdgeListData data;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    RawEdge edge;
+    bool has_weight = false;
+    try {
+      if (!parse_line(line.data(), line.data() + line.size(), edge, has_weight)) {
+        continue;
+      }
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error(origin + ":" + std::to_string(line_no) + ": " + e.what());
+    }
+    data.weighted |= has_weight;
+    data.edges.push_back(edge);
+  }
+  return data;
+}
+
+}  // namespace
+
+EdgeListData read_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open edge list '" + path + "': " +
+                             std::strerror(errno));
+  }
+  return parse_stream(in, path);
+}
+
+EdgeListData parse_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  return parse_stream(in, "<string>");
+}
+
+namespace detail {
+
+void write_edge_list_text(const std::string& path, const std::string& header,
+                          const std::vector<RawEdge>& edges, bool weighted) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write edge list '" + path + "': " +
+                             std::strerror(errno));
+  }
+  out << header << '\n';
+  for (const auto& e : edges) {
+    out << e.u << '\t' << e.v;
+    if (weighted) out << '\t' << e.w;
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed for '" + path + "'");
+}
+
+}  // namespace detail
+
+}  // namespace parapsp::graph

@@ -1,0 +1,110 @@
+// Text edge-list I/O.
+//
+// Reads the formats the paper's datasets ship in:
+//   * SNAP style  — `#`-prefixed comment lines, "u<TAB>v" pairs
+//   * KONECT style — `%`-prefixed comment lines, "u v [w]" triples
+// Vertex ids in files are arbitrary 64-bit integers; loading compacts them
+// to dense [0, n) preserving first-appearance order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace parapsp::graph {
+
+/// One parsed line of an edge-list file.
+struct RawEdge {
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+  double w = 1.0;  ///< 1.0 when the file has no weight column
+};
+
+/// A parsed edge-list file before id compaction.
+struct EdgeListData {
+  std::vector<RawEdge> edges;
+  bool weighted = false;  ///< true if any line carried a weight column
+};
+
+/// Parses an edge-list file. Throws std::runtime_error on I/O or syntax
+/// errors (with the offending line number).
+[[nodiscard]] EdgeListData read_edge_list(const std::string& path);
+
+/// Parses edge-list text from a string (same grammar as read_edge_list).
+[[nodiscard]] EdgeListData parse_edge_list(const std::string& text);
+
+/// Writes a graph as a SNAP-style edge list ("# ..." header, one edge per
+/// line, weight column only when not all weights are 1).
+struct EdgeListWriteOptions {
+  std::string comment;  ///< extra header comment line (optional)
+};
+
+/// Builds a CSR graph from parsed edges, compacting arbitrary ids to [0, n).
+/// `out_id_map`, when non-null, receives original-id -> dense-id.
+template <WeightType W>
+[[nodiscard]] Graph<W> build_from_edge_list(
+    const EdgeListData& data, Directedness dir,
+    DuplicatePolicy dup = DuplicatePolicy::kKeepMinWeight,
+    SelfLoopPolicy loops = SelfLoopPolicy::kDrop,
+    std::unordered_map<std::uint64_t, VertexId>* out_id_map = nullptr) {
+  std::unordered_map<std::uint64_t, VertexId> ids;
+  ids.reserve(data.edges.size() * 2);
+  auto dense = [&](std::uint64_t raw) {
+    const auto [it, inserted] = ids.try_emplace(raw, static_cast<VertexId>(ids.size()));
+    return it->second;
+  };
+  GraphBuilder<W> b(dir);
+  b.reserve_edges(data.edges.size());
+  for (const auto& e : data.edges) {
+    // Sequenced explicitly: argument evaluation order is unspecified, and
+    // dense() must see u before v for first-appearance id assignment.
+    const VertexId u = dense(e.u);
+    const VertexId v = dense(e.v);
+    b.add_edge(u, v, static_cast<W>(e.w));
+  }
+  if (out_id_map) *out_id_map = std::move(ids);
+  return b.build(dup, loops);
+}
+
+/// Convenience: read + build in one call.
+template <WeightType W>
+[[nodiscard]] Graph<W> load_edge_list(const std::string& path, Directedness dir) {
+  return build_from_edge_list<W>(read_edge_list(path), dir);
+}
+
+/// Serializes a graph to SNAP-style text.
+template <WeightType W>
+void write_edge_list(const Graph<W>& g, const std::string& path,
+                     const EdgeListWriteOptions& opts = {});
+
+// --- implementation detail shared with the .cpp ---
+namespace detail {
+void write_edge_list_text(const std::string& path, const std::string& header,
+                          const std::vector<RawEdge>& edges, bool weighted);
+}  // namespace detail
+
+template <WeightType W>
+void write_edge_list(const Graph<W>& g, const std::string& path,
+                     const EdgeListWriteOptions& opts) {
+  std::vector<RawEdge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  bool weighted = false;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (!g.is_directed() && u > nb[i]) continue;  // one line per edge
+      edges.push_back({u, nb[i], static_cast<double>(ws[i])});
+      weighted |= (ws[i] != W{1});
+    }
+  }
+  std::string header = "# " + g.summary();
+  if (!opts.comment.empty()) header += "\n# " + opts.comment;
+  detail::write_edge_list_text(path, header, edges, weighted);
+}
+
+}  // namespace parapsp::graph

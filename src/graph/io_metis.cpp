@@ -1,0 +1,162 @@
+#include "graph/io_metis.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace parapsp::graph::detail {
+
+namespace {
+
+const char* skip_ws(const char* p, const char* end) {
+  while (p != end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  return p;
+}
+
+/// Parses whitespace-separated numbers from a line into `out`.
+template <typename T>
+void parse_numbers(const std::string& line, std::vector<T>& out) {
+  const char* p = line.data();
+  const char* end = line.data() + line.size();
+  out.clear();
+  while (true) {
+    p = skip_ws(p, end);
+    if (p == end) break;
+    T value{};
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{}) throw std::runtime_error("malformed number");
+    out.push_back(value);
+    p = next;
+  }
+}
+
+MetisData parse_stream(std::istream& in, const std::string& origin) {
+  MetisData data;
+  std::string line;
+  std::size_t line_no = 0;
+  std::vector<double> numbers;
+
+  // Header: n m [fmt]
+  bool have_header = false;
+  std::uint64_t vertex = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const char* p = skip_ws(line.data(), line.data() + line.size());
+    if (p == line.data() + line.size() && !have_header) continue;  // blank before header
+    if (p != line.data() + line.size() && *p == '%') continue;     // comment
+
+    try {
+      parse_numbers(line, numbers);
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error(origin + ":" + std::to_string(line_no) + ": " + e.what());
+    }
+
+    if (!have_header) {
+      if (numbers.size() < 2 || numbers.size() > 3) {
+        throw std::runtime_error(origin + ":" + std::to_string(line_no) +
+                                 ": header must be 'n m [fmt]'");
+      }
+      data.n = static_cast<std::uint64_t>(numbers[0]);
+      data.m = static_cast<std::uint64_t>(numbers[1]);
+      const int fmt = numbers.size() == 3 ? static_cast<int>(numbers[2]) : 0;
+      if (fmt != 0 && fmt != 1) {
+        throw std::runtime_error(origin + ":" + std::to_string(line_no) +
+                                 ": unsupported fmt " + std::to_string(fmt) +
+                                 " (only 0 and 1 = edge weights)");
+      }
+      data.weighted = (fmt == 1);
+      data.adj.resize(data.n);
+      have_header = true;
+      continue;
+    }
+
+    if (vertex >= data.n) {
+      throw std::runtime_error(origin + ":" + std::to_string(line_no) +
+                               ": more vertex lines than the header's n");
+    }
+    auto& adj = data.adj[vertex];
+    if (data.weighted) {
+      if (numbers.size() % 2 != 0) {
+        throw std::runtime_error(origin + ":" + std::to_string(line_no) +
+                                 ": weighted line must hold (neighbor, weight) pairs");
+      }
+      for (std::size_t i = 0; i < numbers.size(); i += 2) {
+        const auto u = static_cast<std::uint64_t>(numbers[i]);
+        if (u < 1 || u > data.n) {
+          throw std::runtime_error(origin + ":" + std::to_string(line_no) +
+                                   ": neighbor id out of range");
+        }
+        adj.push_back({u - 1, numbers[i + 1]});
+      }
+    } else {
+      for (const double x : numbers) {
+        const auto u = static_cast<std::uint64_t>(x);
+        if (u < 1 || u > data.n) {
+          throw std::runtime_error(origin + ":" + std::to_string(line_no) +
+                                   ": neighbor id out of range");
+        }
+        adj.push_back({u - 1, 1.0});
+      }
+    }
+    ++vertex;
+  }
+
+  if (!have_header) throw std::runtime_error(origin + ": empty METIS file");
+  if (vertex != data.n) {
+    throw std::runtime_error(origin + ": expected " + std::to_string(data.n) +
+                             " vertex lines, got " + std::to_string(vertex));
+  }
+  // Symmetry + edge count check.
+  std::uint64_t arcs = 0;
+  for (const auto& a : data.adj) arcs += a.size();
+  if (arcs != 2 * data.m) {
+    throw std::runtime_error(origin + ": header claims " + std::to_string(data.m) +
+                             " edges but lines hold " + std::to_string(arcs) +
+                             " arc entries (expected twice the edge count)");
+  }
+  return data;
+}
+
+}  // namespace
+
+MetisData read_metis_data(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open METIS file '" + path + "': " +
+                             std::strerror(errno));
+  }
+  return parse_stream(in, path);
+}
+
+MetisData parse_metis_data(const std::string& text) {
+  std::istringstream in(text);
+  return parse_stream(in, "<string>");
+}
+
+void write_metis_text(const std::string& path, const MetisData& data) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write METIS file '" + path + "': " +
+                             std::strerror(errno));
+  }
+  out << "% written by parapsp\n";
+  out << data.n << ' ' << data.m;
+  if (data.weighted) out << " 1";
+  out << '\n';
+  for (std::uint64_t v = 0; v < data.n; ++v) {
+    bool first = true;
+    for (const auto& [u, w] : data.adj[v]) {
+      if (!first) out << ' ';
+      first = false;
+      out << (u + 1);
+      if (data.weighted) out << ' ' << w;
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed for '" + path + "'");
+}
+
+}  // namespace parapsp::graph::detail

@@ -1,0 +1,91 @@
+// METIS graph-file I/O — the format HPC graph partitioners and many
+// benchmark suites exchange.
+//
+// Format: header "n m [fmt]" (fmt 1 = edge weights present), then one line
+// per vertex listing its neighbors as 1-based ids, "v w" pairs when
+// weighted. '%' starts a comment line. METIS files are undirected by
+// definition: every edge appears in both endpoint lines.
+#pragma once
+
+#include <string>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace parapsp::graph {
+
+namespace detail {
+
+struct MetisData {
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  bool weighted = false;
+  // Flattened adjacency: per vertex, (neighbor, weight) pairs.
+  std::vector<std::vector<std::pair<std::uint64_t, double>>> adj;
+};
+
+MetisData read_metis_data(const std::string& path);
+MetisData parse_metis_data(const std::string& text);
+void write_metis_text(const std::string& path, const MetisData& data);
+
+}  // namespace detail
+
+/// Loads a METIS file as an undirected graph. Throws std::runtime_error with
+/// the offending line on malformed input (including edge-count and symmetry
+/// mismatches).
+template <WeightType W>
+[[nodiscard]] Graph<W> load_metis(const std::string& path) {
+  const auto data = detail::read_metis_data(path);
+  GraphBuilder<W> b(Directedness::kUndirected, static_cast<VertexId>(data.n));
+  for (std::uint64_t v = 0; v < data.n; ++v) {
+    for (const auto& [u, w] : data.adj[v]) {
+      if (u >= v) continue;  // each undirected edge listed twice; emit once
+      b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(u), static_cast<W>(w));
+    }
+  }
+  return b.build(DuplicatePolicy::kKeepAll, SelfLoopPolicy::kDrop);
+}
+
+/// Parses METIS text (same grammar as load_metis).
+template <WeightType W>
+[[nodiscard]] Graph<W> parse_metis(const std::string& text) {
+  const auto data = detail::parse_metis_data(text);
+  GraphBuilder<W> b(Directedness::kUndirected, static_cast<VertexId>(data.n));
+  for (std::uint64_t v = 0; v < data.n; ++v) {
+    for (const auto& [u, w] : data.adj[v]) {
+      if (u >= v) continue;
+      b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(u), static_cast<W>(w));
+    }
+  }
+  return b.build(DuplicatePolicy::kKeepAll, SelfLoopPolicy::kDrop);
+}
+
+/// Writes an undirected graph in METIS format (self-loops are dropped —
+/// METIS does not represent them). Throws std::invalid_argument for
+/// directed graphs.
+template <WeightType W>
+void save_metis(const Graph<W>& g, const std::string& path) {
+  if (g.is_directed()) {
+    throw std::invalid_argument("save_metis: METIS files are undirected");
+  }
+  detail::MetisData data;
+  data.n = g.num_vertices();
+  data.adj.resize(data.n);
+  bool weighted = false;
+  std::uint64_t edges = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (nb[i] == v) continue;  // self-loop
+      data.adj[v].push_back({nb[i], static_cast<double>(ws[i])});
+      weighted |= (ws[i] != W{1});
+      if (v < nb[i]) ++edges;
+    }
+  }
+  data.m = edges;
+  data.weighted = weighted;
+  detail::write_metis_text(path, data);
+}
+
+}  // namespace parapsp::graph

@@ -1,0 +1,144 @@
+// Graph transformations: transpose, relabel, induced subgraph, weight
+// randomization, undirected conversion.
+#pragma once
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/rng.hpp"
+
+namespace parapsp::graph {
+
+/// Reverses every arc of a directed graph; undirected graphs are returned
+/// unchanged (their arc sets are already symmetric).
+template <WeightType W>
+[[nodiscard]] Graph<W> transpose(const Graph<W>& g) {
+  if (!g.is_directed()) return g;
+  const VertexId n = g.num_vertices();
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId v : g.neighbors(u)) ++offsets[v + 1];
+  }
+  std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  std::vector<VertexId> targets(g.num_stored_edges());
+  std::vector<W> weights(g.num_stored_edges());
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const EdgeId slot = cursor[nb[i]]++;
+      targets[slot] = u;
+      weights[slot] = ws[i];
+    }
+  }
+  Graph<W> out(Directedness::kDirected, n, std::move(offsets), std::move(targets),
+               std::move(weights));
+  out.set_num_self_loops(g.num_self_loops());
+  return out;
+}
+
+/// Renames vertices: new id of v is `perm[v]`. `perm` must be a permutation
+/// of [0, n).
+template <WeightType W>
+[[nodiscard]] Graph<W> relabel(const Graph<W>& g, const std::vector<VertexId>& perm) {
+  const VertexId n = g.num_vertices();
+  if (perm.size() != n) throw std::invalid_argument("relabel: permutation size mismatch");
+  GraphBuilder<W> b(g.directedness(), n);
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const VertexId v = nb[i];
+      // Undirected graphs store both arcs; emit each logical edge once.
+      if (!g.is_directed() && (u > v || (u == v && false))) continue;
+      b.add_edge(perm[u], perm[v], ws[i]);
+    }
+  }
+  // Self-loops in undirected graphs are stored once, so they pass the u<=v
+  // filter exactly once already.
+  return b.build();
+}
+
+/// Extracts the subgraph induced by `keep` (ids are compacted to [0, keep.size())
+/// in the order given).
+template <WeightType W>
+[[nodiscard]] Graph<W> induced_subgraph(const Graph<W>& g,
+                                        const std::vector<VertexId>& keep) {
+  std::vector<VertexId> map(g.num_vertices(), kInvalidVertex);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i] >= g.num_vertices()) {
+      throw std::invalid_argument("induced_subgraph: vertex out of range");
+    }
+    map[keep[i]] = static_cast<VertexId>(i);
+  }
+  GraphBuilder<W> b(g.directedness(), static_cast<VertexId>(keep.size()));
+  for (const VertexId u : keep) {
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const VertexId v = nb[i];
+      if (map[v] == kInvalidVertex) continue;
+      if (!g.is_directed() && map[u] > map[v]) continue;  // one arc per edge
+      b.add_edge(map[u], map[v], ws[i]);
+    }
+  }
+  return b.build();
+}
+
+/// Directed -> undirected conversion (arcs become edges; duplicates collapse
+/// to the lighter weight).
+template <WeightType W>
+[[nodiscard]] Graph<W> to_undirected(const Graph<W>& g) {
+  GraphBuilder<W> b(Directedness::kUndirected, g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) b.add_edge(u, nb[i], ws[i]);
+  }
+  return b.build(DuplicatePolicy::kKeepMinWeight, SelfLoopPolicy::kKeep);
+}
+
+/// Returns a copy of `g` with every edge weight drawn uniformly from
+/// [lo, hi]. Undirected graphs keep both arcs of an edge equal.
+template <WeightType W>
+[[nodiscard]] Graph<W> randomize_weights(const Graph<W>& g, W lo, W hi,
+                                         std::uint64_t seed) {
+  if (lo > hi || lo < W{0}) throw std::invalid_argument("randomize_weights: bad range");
+  util::Xoshiro256 rng(seed);
+  auto draw = [&]() -> W {
+    if constexpr (std::is_floating_point_v<W>) {
+      return lo + static_cast<W>(rng.uniform()) * (hi - lo);
+    } else {
+      return static_cast<W>(lo + rng.bounded(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+  };
+  GraphBuilder<W> b(g.directedness(), g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nb = g.neighbors(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const VertexId v = nb[i];
+      if (!g.is_directed() && u > v) continue;  // assign per logical edge
+      b.add_edge(u, v, draw());
+    }
+  }
+  return b.build();
+}
+
+/// Random permutation of [0, n) for relabeling experiments.
+[[nodiscard]] inline std::vector<VertexId> random_permutation(VertexId n,
+                                                              std::uint64_t seed) {
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  util::Xoshiro256 rng(seed);
+  for (VertexId i = n; i > 1; --i) {
+    const auto j = static_cast<VertexId>(rng.bounded(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace parapsp::graph

@@ -1,0 +1,116 @@
+// Strongly connected components (Tarjan, iterative) — the directed-graph
+// complement to the weakly-connected decomposition in components.hpp.
+// Directed APSP workflows extract the largest SCC the way undirected ones
+// extract the largest component (unreachable pairs dominate a raw directed
+// crawl otherwise).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/ops.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::graph {
+
+/// Result of an SCC decomposition. Component ids are assigned in reverse
+/// topological order of the condensation (Tarjan's natural output order):
+/// if there is an arc from component A to component B (A != B), then
+/// label-of-A > label-of-B.
+struct StronglyConnectedComponents {
+  std::vector<VertexId> label;  ///< component id per vertex, ids in [0, count)
+  VertexId count = 0;
+
+  /// Vertices of the largest SCC, ascending ids.
+  [[nodiscard]] std::vector<VertexId> largest() const {
+    std::vector<std::size_t> sizes(count, 0);
+    for (const auto c : label) ++sizes[c];
+    if (sizes.empty()) return {};
+    const auto best = static_cast<VertexId>(
+        std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+    std::vector<VertexId> verts;
+    for (VertexId v = 0; v < label.size(); ++v) {
+      if (label[v] == best) verts.push_back(v);
+    }
+    return verts;
+  }
+};
+
+/// Tarjan's algorithm, iterative (explicit stack — safe for deep graphs).
+/// Works for undirected graphs too (every connected component is one SCC).
+template <WeightType W>
+[[nodiscard]] StronglyConnectedComponents strongly_connected_components(
+    const Graph<W>& g) {
+  const VertexId n = g.num_vertices();
+  StronglyConnectedComponents out;
+  out.label.assign(n, kInvalidVertex);
+
+  constexpr VertexId kUnvisited = kInvalidVertex;
+  std::vector<VertexId> index(n, kUnvisited);  // discovery order
+  std::vector<VertexId> lowlink(n, 0);
+  std::vector<std::uint8_t> on_stack(n, 0);
+  std::vector<VertexId> stack;  // Tarjan's component stack
+  VertexId next_index = 0;
+
+  struct Frame {
+    VertexId v;
+    std::size_t edge;  // next out-edge to explore
+  };
+  std::vector<Frame> call_stack;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!call_stack.empty()) {
+      auto& frame = call_stack.back();
+      const VertexId v = frame.v;
+      const auto nb = g.neighbors(v);
+
+      if (frame.edge < nb.size()) {
+        const VertexId w = nb[frame.edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+
+      // v fully explored: pop it and propagate its lowlink to the parent.
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        lowlink[call_stack.back().v] = std::min(lowlink[call_stack.back().v],
+                                                lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        // v is an SCC root: pop the component off Tarjan's stack.
+        while (true) {
+          const VertexId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          out.label[w] = out.count;
+          if (w == v) break;
+        }
+        ++out.count;
+      }
+    }
+  }
+  return out;
+}
+
+/// Subgraph induced by the largest strongly connected component.
+template <WeightType W>
+[[nodiscard]] Graph<W> largest_scc(const Graph<W>& g) {
+  if (g.num_vertices() == 0) return g;
+  return induced_subgraph(g, strongly_connected_components(g).largest());
+}
+
+}  // namespace parapsp::graph

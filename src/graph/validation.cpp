@@ -1,0 +1,63 @@
+#include "graph/validation.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace parapsp::graph {
+
+std::string ValidationReport::to_string() const {
+  if (ok()) return "ok";
+  std::ostringstream out;
+  for (const auto& p : problems) out << p << "; ";
+  return out.str();
+}
+
+namespace detail {
+
+ValidationReport validate_csr(VertexId n, const std::vector<EdgeId>& offsets,
+                              const std::vector<VertexId>& targets, bool undirected) {
+  ValidationReport report;
+  if (offsets.size() != static_cast<std::size_t>(n) + 1) {
+    report.problems.push_back("offsets array has wrong length");
+    return report;
+  }
+  if (offsets.front() != 0) report.problems.push_back("offsets[0] != 0");
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      report.problems.push_back("offsets not monotone at vertex " + std::to_string(i));
+      return report;
+    }
+  }
+  if (offsets.back() != targets.size()) {
+    report.problems.push_back("offsets back != number of targets");
+    return report;
+  }
+  for (const auto t : targets) {
+    if (t >= n) {
+      report.problems.push_back("edge target " + std::to_string(t) + " out of range");
+      return report;
+    }
+  }
+  if (undirected) {
+    // Arc symmetry: the multiset of (u,v) arcs must equal that of (v,u).
+    std::vector<std::uint64_t> fwd, rev;
+    fwd.reserve(targets.size());
+    rev.reserve(targets.size());
+    for (VertexId u = 0; u < n; ++u) {
+      for (EdgeId e = offsets[u]; e < offsets[u + 1]; ++e) {
+        fwd.push_back((static_cast<std::uint64_t>(u) << 32) | targets[e]);
+        rev.push_back((static_cast<std::uint64_t>(targets[e]) << 32) | u);
+      }
+    }
+    std::sort(fwd.begin(), fwd.end());
+    std::sort(rev.begin(), rev.end());
+    if (fwd != rev) {
+      report.problems.push_back("undirected graph is not arc-symmetric");
+    }
+  }
+  return report;
+}
+
+}  // namespace detail
+
+}  // namespace parapsp::graph

@@ -1,0 +1,46 @@
+// Structural invariant checks for CSR graphs.
+//
+// Used by tests and by the loaders in debug builds: a graph that violates
+// these invariants would make every downstream algorithm silently wrong, so
+// failures carry a human-readable reason.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace parapsp::graph {
+
+/// Outcome of validate(): ok() is true when no problems were found.
+struct ValidationReport {
+  std::vector<std::string> problems;
+
+  [[nodiscard]] bool ok() const noexcept { return problems.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+namespace detail {
+ValidationReport validate_csr(VertexId n, const std::vector<EdgeId>& offsets,
+                              const std::vector<VertexId>& targets, bool undirected);
+}  // namespace detail
+
+/// Checks: monotone offsets, in-range targets, and (for undirected graphs)
+/// arc symmetry — every stored arc u->v has a matching v->u.
+template <WeightType W>
+[[nodiscard]] ValidationReport validate(const Graph<W>& g) {
+  auto report = detail::validate_csr(g.num_vertices(), g.offsets(), g.targets(),
+                                     !g.is_directed());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const W w : g.weights(u)) {
+      if (w < W{0}) {
+        report.problems.push_back("negative weight on an edge of vertex " +
+                                  std::to_string(u));
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace parapsp::graph

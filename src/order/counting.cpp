@@ -1,0 +1,31 @@
+#include "order/counting.hpp"
+
+#include <algorithm>
+
+namespace parapsp::order {
+
+Ordering counting_order(const std::vector<VertexId>& degrees) {
+  const std::size_t n = degrees.size();
+  Ordering order(n);
+  if (n == 0) return order;
+
+  const VertexId max_deg = *std::max_element(degrees.begin(), degrees.end());
+
+  std::vector<std::size_t> counts(static_cast<std::size_t>(max_deg) + 1, 0);
+  for (const auto d : degrees) ++counts[d];
+
+  // Descending layout: degree d starts after all strictly larger degrees.
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(max_deg) + 1);
+  std::size_t pos = 0;
+  for (std::size_t d = static_cast<std::size_t>(max_deg) + 1; d-- > 0;) {
+    cursor[d] = pos;
+    pos += counts[d];
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    order[cursor[degrees[v]]++] = v;
+  }
+  return order;
+}
+
+}  // namespace parapsp::order

@@ -1,0 +1,18 @@
+// Sequential exact counting sort over the degree range.
+//
+// The single-threaded O(n + max_degree) reference the parallel bucket
+// procedures (ParMax, MultiLists) are measured against: any parallel variant
+// must beat this to justify its synchronization machinery.
+#pragma once
+
+#include <vector>
+
+#include "order/ordering.hpp"
+
+namespace parapsp::order {
+
+/// Exact descending degree order via counting sort; ties keep ascending
+/// vertex-id order, making the result deterministic.
+[[nodiscard]] Ordering counting_order(const std::vector<VertexId>& degrees);
+
+}  // namespace parapsp::order

@@ -1,0 +1,32 @@
+#include "order/dispatch.hpp"
+
+#include <stdexcept>
+
+#include "order/counting.hpp"
+#include "order/selection.hpp"
+#include "order/stdsort.hpp"
+
+namespace parapsp::order {
+
+Ordering compute_ordering(OrderingKind kind, const std::vector<VertexId>& degrees,
+                          const OrderingOptions& opts) {
+  switch (kind) {
+    case OrderingKind::kIdentity:
+      return identity_order(degrees.size());
+    case OrderingKind::kSelection:
+      return selection_order(degrees, opts.selection_ratio);
+    case OrderingKind::kStdSort:
+      return stdsort_order(degrees);
+    case OrderingKind::kCounting:
+      return counting_order(degrees);
+    case OrderingKind::kParBuckets:
+      return parbuckets_order(degrees, opts.parbuckets);
+    case OrderingKind::kParMax:
+      return parmax_order(degrees, opts.parmax);
+    case OrderingKind::kMultiLists:
+      return multilists_order(degrees, opts.multilists);
+  }
+  throw std::logic_error("compute_ordering: unhandled ordering kind");
+}
+
+}  // namespace parapsp::order

@@ -1,0 +1,28 @@
+// Single entry point over all ordering procedures, used by the solver facade
+// and the benchmark harness.
+#pragma once
+
+#include <vector>
+
+#include "order/multilists.hpp"
+#include "order/ordering.hpp"
+#include "order/parbuckets.hpp"
+#include "order/parmax.hpp"
+
+namespace parapsp::order {
+
+/// Tuning knobs for the parameterized procedures; defaults match the paper.
+struct OrderingOptions {
+  double selection_ratio = 1.0;      ///< Alg 3's r (selection sort)
+  ParBucketsOptions parbuckets{};    ///< Alg 5
+  ParMaxOptions parmax{};            ///< Alg 6
+  MultiListsOptions multilists{};    ///< Alg 7
+};
+
+/// Computes the source-vertex visiting order with the chosen procedure.
+/// Parallel procedures run under the ambient OpenMP thread count.
+[[nodiscard]] Ordering compute_ordering(OrderingKind kind,
+                                        const std::vector<VertexId>& degrees,
+                                        const OrderingOptions& opts = {});
+
+}  // namespace parapsp::order

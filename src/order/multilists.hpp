@@ -1,0 +1,35 @@
+// MultiLists — Algorithm 7 of the paper, the ordering procedure inside the
+// final ParAPSP solution.
+//
+// Lock-free exact descending order in two phases:
+//  1. every thread fills its *own* list of (max_degree+1) buckets — no locks,
+//     no sharing;
+//  2. the per-thread buckets are merged into the global order[] array at
+//     precomputed disjoint positions (orderPos). Low-degree buckets — which
+//     hold ~99% of a power-law graph's vertices — are copied in parallel;
+//     the sparse high-degree buckets are copied sequentially to avoid false
+//     sharing on neighboring order[] cells (paper, Section 4.3).
+//
+// With OpenMP static scheduling the result is fully deterministic and ties
+// within a degree come out in ascending vertex-id order — i.e. MultiLists
+// produces byte-identical output to the sequential counting sort. Tests
+// assert exactly that.
+#pragma once
+
+#include <vector>
+
+#include "order/ordering.hpp"
+
+namespace parapsp::order {
+
+struct MultiListsOptions {
+  /// Buckets with degree < par_ratio * max_degree are merged in parallel;
+  /// the rest sequentially. Paper: 0.1.
+  double par_ratio = 0.1;
+};
+
+/// Exact descending degree order. Runs under the ambient OpenMP thread count.
+[[nodiscard]] Ordering multilists_order(const std::vector<VertexId>& degrees,
+                                        const MultiListsOptions& opts = {});
+
+}  // namespace parapsp::order

@@ -1,0 +1,51 @@
+#include "order/ordering.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace parapsp::order {
+
+OrderingKind ordering_kind_from_string(const std::string& name) {
+  for (const auto k :
+       {OrderingKind::kIdentity, OrderingKind::kSelection, OrderingKind::kStdSort,
+        OrderingKind::kCounting, OrderingKind::kParBuckets, OrderingKind::kParMax,
+        OrderingKind::kMultiLists}) {
+    if (name == to_string(k)) return k;
+  }
+  throw std::invalid_argument("unknown ordering kind '" + name + "'");
+}
+
+bool is_permutation_of_vertices(std::span<const VertexId> order, std::size_t n) {
+  if (order.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (const auto v : order) {
+    if (v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+bool is_descending_degree_order(std::span<const VertexId> order,
+                                std::span<const VertexId> degrees) {
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    if (degrees[order[i]] < degrees[order[i + 1]]) return false;
+  }
+  return true;
+}
+
+std::size_t count_degree_inversions(std::span<const VertexId> order,
+                                    std::span<const VertexId> degrees) {
+  std::size_t inversions = 0;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    if (degrees[order[i]] < degrees[order[i + 1]]) ++inversions;
+  }
+  return inversions;
+}
+
+Ordering identity_order(std::size_t n) {
+  Ordering order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  return order;
+}
+
+}  // namespace parapsp::order

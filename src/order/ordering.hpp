@@ -1,0 +1,67 @@
+// Common types and verification helpers for the degree-ordering procedures.
+//
+// Every ordering procedure in this directory consumes the vertex degree array
+// and produces a permutation of [0, n) — the order in which the APSP sweep
+// visits source vertices. The paper's optimization requires a *descending*
+// degree order; procedures differ in cost (O(n^2) selection sort vs O(n)
+// bucket methods) and in exactness (ParBuckets is approximate).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parapsp::order {
+
+/// A visiting order of vertices: order[i] is the i-th source to process.
+using Ordering = std::vector<VertexId>;
+
+/// The ordering procedures the library implements, in paper order.
+enum class OrderingKind : std::uint8_t {
+  kIdentity,    ///< no ordering (basic algorithm / ParAlg1)
+  kSelection,   ///< Alg 3 lines 6-12: partial selection sort, O(r n^2)
+  kStdSort,     ///< std::stable_sort baseline, O(n log n)
+  kCounting,    ///< sequential counting sort, O(n + max_degree)
+  kParBuckets,  ///< Alg 5: 101 fixed-width buckets + locks (approximate!)
+  kParMax,      ///< Alg 6: max+1 buckets, threshold split, locks (exact)
+  kMultiLists,  ///< Alg 7: per-thread bucket lists, lock-free merge (exact)
+};
+
+[[nodiscard]] constexpr const char* to_string(OrderingKind k) noexcept {
+  switch (k) {
+    case OrderingKind::kIdentity: return "identity";
+    case OrderingKind::kSelection: return "selection";
+    case OrderingKind::kStdSort: return "stdsort";
+    case OrderingKind::kCounting: return "counting";
+    case OrderingKind::kParBuckets: return "parbuckets";
+    case OrderingKind::kParMax: return "parmax";
+    case OrderingKind::kMultiLists: return "multilists";
+  }
+  return "?";
+}
+
+/// Parses the names printed by to_string; throws std::invalid_argument.
+[[nodiscard]] OrderingKind ordering_kind_from_string(const std::string& name);
+
+/// True if `order` is a permutation of [0, degrees.size()).
+[[nodiscard]] bool is_permutation_of_vertices(std::span<const VertexId> order,
+                                              std::size_t n);
+
+/// True if degrees[order[i]] is non-increasing in i (an *exact* descending
+/// degree order; ties may appear in any relative order).
+[[nodiscard]] bool is_descending_degree_order(std::span<const VertexId> order,
+                                              std::span<const VertexId> degrees);
+
+/// Number of adjacent inversions: positions i where the next vertex has a
+/// strictly larger degree. 0 for exact orders; ParBuckets' approximation
+/// error is measured with this.
+[[nodiscard]] std::size_t count_degree_inversions(std::span<const VertexId> order,
+                                                  std::span<const VertexId> degrees);
+
+/// The identity ordering 0,1,...,n-1 (what the basic algorithm uses).
+[[nodiscard]] Ordering identity_order(std::size_t n);
+
+}  // namespace parapsp::order

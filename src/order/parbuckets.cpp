@@ -1,0 +1,85 @@
+#include "order/parbuckets.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace parapsp::order {
+
+namespace {
+
+/// RAII wrapper for an array of omp_lock_t.
+class LockArray {
+ public:
+  explicit LockArray(std::size_t count) : locks_(std::make_unique<omp_lock_t[]>(count)), count_(count) {
+    for (std::size_t i = 0; i < count_; ++i) omp_init_lock(&locks_[i]);
+  }
+  LockArray(const LockArray&) = delete;
+  LockArray& operator=(const LockArray&) = delete;
+  ~LockArray() {
+    for (std::size_t i = 0; i < count_; ++i) omp_destroy_lock(&locks_[i]);
+  }
+
+  void lock(std::size_t i) noexcept { omp_set_lock(&locks_[i]); }
+  void unlock(std::size_t i) noexcept { omp_unset_lock(&locks_[i]); }
+
+ private:
+  std::unique_ptr<omp_lock_t[]> locks_;
+  std::size_t count_;
+};
+
+}  // namespace
+
+Ordering parbuckets_order(const std::vector<VertexId>& degrees,
+                          const ParBucketsOptions& opts) {
+  if (opts.num_ranges == 0) {
+    throw std::invalid_argument("parbuckets_order: num_ranges must be > 0");
+  }
+  const std::size_t n = degrees.size();
+  if (n == 0) return {};
+
+  const auto [min_it, max_it] = std::minmax_element(degrees.begin(), degrees.end());
+  const VertexId min_deg = *min_it;
+  const VertexId max_deg = *max_it;
+  const std::size_t num_buckets = static_cast<std::size_t>(opts.num_ranges) + 1;
+
+  // Equation (1): bucket index in [0, num_ranges] from the degree's position
+  // in the [min, max] range. Integer arithmetic computes the floor exactly
+  // (the obvious double formula drops degrees into the wrong bucket when
+  // num_ranges*frac lands at 16.999...). Degenerate range -> bucket 0.
+  const std::uint64_t span = max_deg - min_deg;
+  auto find_bin = [&](VertexId deg) -> std::size_t {
+    if (span == 0) return 0;
+    return static_cast<std::size_t>(
+        static_cast<std::uint64_t>(opts.num_ranges) * (deg - min_deg) / span);
+  };
+
+  std::vector<std::vector<VertexId>> buckets(num_buckets);
+  LockArray locks(num_buckets);
+
+  // Algorithm 5 lines 3-9: every thread hashes its vertices into the shared
+  // bucket list, serialized per bucket by the lock. On power-law inputs most
+  // vertices collide on the lowest buckets — the contention the paper
+  // documents; we keep the faithful structure rather than "fixing" it here
+  // (ParMax and MultiLists are the fixes).
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    const auto v = static_cast<VertexId>(i);
+    const std::size_t bin = find_bin(degrees[v]);
+    locks.lock(bin);
+    buckets[bin].push_back(v);
+    locks.unlock(bin);
+  }
+
+  // Algorithm 5 lines 10-16: drain buckets from the highest range downwards.
+  Ordering order;
+  order.reserve(n);
+  for (std::size_t j = num_buckets; j-- > 0;) {
+    order.insert(order.end(), buckets[j].begin(), buckets[j].end());
+  }
+  return order;
+}
+
+}  // namespace parapsp::order

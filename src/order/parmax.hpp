@@ -1,0 +1,27 @@
+// ParMax — Algorithm 6 of the paper.
+//
+// Exact descending order with one bucket per possible degree (max+1 buckets,
+// no equation-(1) rounding). Vertices with degree >= threshold (1% of the
+// max degree by default) are inserted in parallel under per-bucket locks;
+// the long low-degree tail — where power-law graphs put ~99% of vertices and
+// where lock contention killed ParBuckets — is inserted sequentially,
+// guarded by the `added` bitmap so no vertex is placed twice.
+#pragma once
+
+#include <vector>
+
+#include "order/ordering.hpp"
+
+namespace parapsp::order {
+
+struct ParMaxOptions {
+  /// Vertices with degree >= threshold_fraction * max_degree go through the
+  /// parallel locked loop; the rest are appended sequentially. Paper: 0.01.
+  double threshold_fraction = 0.01;
+};
+
+/// Exact descending degree order. Runs under the ambient OpenMP thread count.
+[[nodiscard]] Ordering parmax_order(const std::vector<VertexId>& degrees,
+                                    const ParMaxOptions& opts = {});
+
+}  // namespace parapsp::order

@@ -1,0 +1,99 @@
+// Generalized parallel fixed-range sort.
+//
+// The paper notes that the MultiLists procedure "can be used in general
+// parallel sorting problems when keys are in limited ranges". This header is
+// that claim as a reusable API: sort arbitrary items by an integer key in
+// [0, key_bound) — ascending or descending — using the same per-thread
+// bucket-lists + positional-merge scheme, lock-free and stable.
+#pragma once
+
+#include <omp.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace parapsp::order {
+
+enum class SortDirection : std::uint8_t { kAscending, kDescending };
+
+/// Sorts `items` by `key_of(item)` (which must return a value in
+/// [0, key_bound)) using the MultiLists scheme. Stable: items with equal keys
+/// keep their input order. Runs under the ambient OpenMP thread count.
+///
+/// Complexity: O(n/p + key_bound * p) time, O(n + key_bound * p) space,
+/// where p is the thread count — the classic counting-sort trade-off, so use
+/// it when key_bound is small relative to n (vertex degrees, ages, byte
+/// values, bounded scores, ...).
+template <typename T, typename KeyFn>
+std::vector<T> parallel_range_sort(const std::vector<T>& items, KeyFn&& key_of,
+                                   std::size_t key_bound,
+                                   SortDirection dir = SortDirection::kAscending) {
+  if (key_bound == 0) {
+    if (!items.empty()) throw std::invalid_argument("parallel_range_sort: key_bound == 0");
+    return {};
+  }
+  const std::size_t n = items.size();
+  const int num_threads = omp_get_max_threads();
+
+  // Phase 1: per-thread buckets of item *indices* (stability: static
+  // scheduling hands thread t a contiguous ascending index chunk).
+  std::vector<std::vector<std::vector<std::size_t>>> buckets(
+      static_cast<std::size_t>(num_threads));
+  for (auto& b : buckets) b.resize(key_bound);
+
+#pragma omp parallel
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    auto& mine = buckets[tid];
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      const std::size_t key = static_cast<std::size_t>(key_of(items[static_cast<std::size_t>(i)]));
+      // Exceptions cannot propagate out of an OpenMP region; an out-of-range
+      // key is a precondition violation, so at() aborting is the best option.
+      mine.at(key).push_back(static_cast<std::size_t>(i));
+    }
+  }
+
+  // Merge positions: key-major (in the requested direction), thread-minor.
+  std::vector<std::vector<std::size_t>> pos(static_cast<std::size_t>(num_threads));
+  for (auto& p : pos) p.resize(key_bound);
+  std::size_t cursor = 0;
+  auto place_key = [&](std::size_t k) {
+    for (int t = 0; t < num_threads; ++t) {
+      pos[static_cast<std::size_t>(t)][k] = cursor;
+      cursor += buckets[static_cast<std::size_t>(t)][k].size();
+    }
+  };
+  if (dir == SortDirection::kAscending) {
+    for (std::size_t k = 0; k < key_bound; ++k) place_key(k);
+  } else {
+    for (std::size_t k = key_bound; k-- > 0;) place_key(k);
+  }
+
+  // Phase 2: positional merge, parallel over (key, thread) pairs — every
+  // bucket writes a disjoint output range.
+  std::vector<T> out(n);
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t k = 0; k < static_cast<std::int64_t>(key_bound); ++k) {
+    for (int t = 0; t < num_threads; ++t) {
+      const auto& bucket = buckets[static_cast<std::size_t>(t)][static_cast<std::size_t>(k)];
+      std::size_t idx = pos[static_cast<std::size_t>(t)][static_cast<std::size_t>(k)];
+      for (const std::size_t item_idx : bucket) out[idx++] = items[item_idx];
+    }
+  }
+  return out;
+}
+
+/// Convenience overload for plain integer vectors: sorts values in
+/// [0, key_bound).
+template <typename Int>
+  requires std::is_integral_v<Int>
+std::vector<Int> parallel_range_sort_values(const std::vector<Int>& values,
+                                            std::size_t key_bound,
+                                            SortDirection dir = SortDirection::kAscending) {
+  return parallel_range_sort(values, [](Int v) { return static_cast<std::size_t>(v); },
+                             key_bound, dir);
+}
+
+}  // namespace parapsp::order

@@ -1,0 +1,28 @@
+#include "order/selection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace parapsp::order {
+
+Ordering selection_order(const std::vector<VertexId>& degrees, double ratio) {
+  if (ratio <= 0.0 || ratio > 1.0) {
+    throw std::invalid_argument("selection_order: ratio must be in (0, 1]");
+  }
+  const std::size_t n = degrees.size();
+  Ordering order = identity_order(n);
+  const auto limit = static_cast<std::size_t>(std::ceil(ratio * static_cast<double>(n)));
+  // Faithful transcription of Algorithm 3 lines 6-12: each outer pass bubbles
+  // the maximum remaining degree into position i via pairwise swaps.
+  for (std::size_t i = 0; i < limit && i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (degrees[order[j]] > degrees[order[i]]) {
+        std::swap(order[j], order[i]);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace parapsp::order

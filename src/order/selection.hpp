@@ -1,0 +1,21 @@
+// The paper's original ordering procedure (Algorithm 3, lines 6-12).
+//
+// A partial selection sort: the outer loop runs for the first ceil(r*n)
+// positions, each pass swapping the maximum remaining degree into place.
+// O(r * n^2) — the sequential bottleneck the rest of Section 4 removes.
+#pragma once
+
+#include <vector>
+
+#include "order/ordering.hpp"
+
+namespace parapsp::order {
+
+/// Exact descending order of the first ceil(r*n) positions (r in (0, 1]);
+/// with r == 1.0 the whole array is exactly descending, matching the
+/// configuration the paper benchmarks. Remaining positions keep whatever
+/// vertices the selection passes left behind, as in the original algorithm.
+[[nodiscard]] Ordering selection_order(const std::vector<VertexId>& degrees,
+                                       double ratio = 1.0);
+
+}  // namespace parapsp::order

@@ -1,0 +1,15 @@
+#include "order/stdsort.hpp"
+
+#include <algorithm>
+
+namespace parapsp::order {
+
+Ordering stdsort_order(const std::vector<VertexId>& degrees) {
+  Ordering order = identity_order(degrees.size());
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return degrees[a] > degrees[b];
+  });
+  return order;
+}
+
+}  // namespace parapsp::order

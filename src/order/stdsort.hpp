@@ -1,0 +1,17 @@
+// Comparison-sort ordering baseline: std::stable_sort by descending degree.
+//
+// Not in the paper — included to position the bucket methods against the
+// obvious O(n log n) library answer (the ablation bench sweeps all of them).
+#pragma once
+
+#include <vector>
+
+#include "order/ordering.hpp"
+
+namespace parapsp::order {
+
+/// Exact descending degree order; ties keep ascending vertex-id order
+/// (stable), which makes the result fully deterministic.
+[[nodiscard]] Ordering stdsort_order(const std::vector<VertexId>& degrees);
+
+}  // namespace parapsp::order

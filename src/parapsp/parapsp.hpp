@@ -1,0 +1,88 @@
+// Umbrella header: the full ParAPSP public API.
+//
+//   #include <parapsp/parapsp.hpp>
+//
+//   auto g = parapsp::graph::barabasi_albert(10'000, 8, /*seed=*/42);
+//   auto result = parapsp::core::solve(g);          // runs ParAPSP
+//   auto diam = parapsp::analysis::diameter(result.distances);
+//
+// See README.md for the architecture overview and examples/ for runnable
+// programs.
+#pragma once
+
+// Utilities
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+#include "util/powerlaw.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+// Graph substrate
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/io_binary.hpp"
+#include "graph/io_edgelist.hpp"
+#include "graph/io_metis.hpp"
+#include "graph/ops.hpp"
+#include "graph/scc.hpp"
+#include "graph/validation.hpp"
+
+// Ordering procedures (the paper's Section 4)
+#include "order/counting.hpp"
+#include "order/dispatch.hpp"
+#include "order/multilists.hpp"
+#include "order/ordering.hpp"
+#include "order/parbuckets.hpp"
+#include "order/parmax.hpp"
+#include "order/range_sort.hpp"
+#include "order/selection.hpp"
+#include "order/stdsort.hpp"
+
+// SSSP substrate
+#include "sssp/bellman_ford.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/bfs.hpp"
+#include "sssp/dial.hpp"
+#include "sssp/dijkstra.hpp"
+
+// APSP algorithms
+#include "apsp/bounded.hpp"
+#include "apsp/distance_matrix.hpp"
+#include "apsp/dynamic.hpp"
+#include "apsp/flags.hpp"
+#include "apsp/floyd_warshall.hpp"
+#include "apsp/landmarks.hpp"
+#include "apsp/matrix_io.hpp"
+#include "apsp/modified_dijkstra.hpp"
+#include "apsp/parallel.hpp"
+#include "apsp/peng.hpp"
+#include "apsp/paths.hpp"
+#include "apsp/peng_adaptive.hpp"
+#include "apsp/repeated_bfs.hpp"
+#include "apsp/repeated_dijkstra.hpp"
+#include "apsp/reuse_ablation.hpp"
+#include "apsp/result.hpp"
+#include "apsp/verify.hpp"
+#include "apsp/schedule.hpp"
+#include "apsp/sweep.hpp"
+
+// Distributed-memory extension (simulated; the paper's future work)
+#include "dist/comm.hpp"
+#include "dist/dist_apsp.hpp"
+#include "dist/partition.hpp"
+
+// Solver facade
+#include "core/datasets.hpp"
+#include "core/solver.hpp"
+
+// Complex-graph analysis
+#include "analysis/betweenness.hpp"
+#include "analysis/communities.hpp"
+#include "analysis/degree_distribution.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/structure.hpp"

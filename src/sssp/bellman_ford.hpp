@@ -1,0 +1,80 @@
+// Bellman-Ford SSSP — the O(nm) baseline from the paper's background section.
+//
+// The queue-based (SPFA) formulation is also the skeleton Peng et al.'s
+// modified Dijkstra extends, so having it standalone lets tests isolate the
+// row-reuse logic from the label-correcting machinery.
+#pragma once
+
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::sssp {
+
+/// Classic round-based Bellman-Ford. O(n*m). Returns distances from source;
+/// with the builder's non-negative weight guarantee it always converges.
+template <WeightType W>
+[[nodiscard]] std::vector<W> bellman_ford(const graph::Graph<W>& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("bellman_ford: source out of range");
+
+  std::vector<W> dist(n, infinity<W>());
+  dist[source] = W{0};
+
+  for (VertexId round = 0; round + 1 < n || round == 0; ++round) {
+    bool changed = false;
+    for (VertexId u = 0; u < n; ++u) {
+      if (is_infinite(dist[u])) continue;
+      const auto nb = g.neighbors(u);
+      const auto ws = g.weights(u);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        const W cand = dist_add(dist[u], ws[i]);
+        if (cand < dist[nb[i]]) {
+          dist[nb[i]] = cand;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+/// Queue-based label-correcting variant (SPFA). Same output as bellman_ford,
+/// usually far fewer relaxations on sparse graphs.
+template <WeightType W>
+[[nodiscard]] std::vector<W> spfa(const graph::Graph<W>& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("spfa: source out of range");
+
+  std::vector<W> dist(n, infinity<W>());
+  std::vector<std::uint8_t> in_queue(n, 0);
+  std::deque<VertexId> queue;
+  dist[source] = W{0};
+  queue.push_back(source);
+  in_queue[source] = 1;
+
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    in_queue[u] = 0;
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const W cand = dist_add(dist[u], ws[i]);
+      if (cand < dist[nb[i]]) {
+        dist[nb[i]] = cand;
+        if (!in_queue[nb[i]]) {
+          queue.push_back(nb[i]);
+          in_queue[nb[i]] = 1;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace parapsp::sssp

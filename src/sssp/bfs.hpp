@@ -1,0 +1,50 @@
+// Breadth-first search: hop distances for unweighted analysis, and the
+// fast path APSP algorithms can take when every edge weight is 1.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::sssp {
+
+/// Hop count (number of edges) from source to every vertex, ignoring
+/// weights; unreachable vertices get kInvalidVertex-equivalent max value.
+template <WeightType W>
+[[nodiscard]] std::vector<VertexId> bfs_hops(const graph::Graph<W>& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("bfs_hops: source out of range");
+
+  std::vector<VertexId> hops(n, kInvalidVertex);
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  hops[source] = 0;
+  VertexId level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const VertexId u : frontier) {
+      for (const VertexId v : g.neighbors(u)) {
+        if (hops[v] == kInvalidVertex) {
+          hops[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return hops;
+}
+
+/// True if every vertex is reachable from `source` (directed reachability).
+template <WeightType W>
+[[nodiscard]] bool all_reachable_from(const graph::Graph<W>& g, VertexId source) {
+  for (const auto h : bfs_hops(g, source)) {
+    if (h == kInvalidVertex) return false;
+  }
+  return true;
+}
+
+}  // namespace parapsp::sssp

@@ -1,0 +1,91 @@
+// Dial's algorithm: Dijkstra with a bucket queue — the SSSP cousin of the
+// paper's bucket-based ordering procedures. For integer weights bounded by
+// C, the priority queue becomes an array of n*C buckets scanned in order,
+// trading the heap's O(log n) for O(1) updates.
+//
+// Only defined for integral weight types (bucket indices are distances).
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::sssp {
+
+/// Dial's bucket-queue Dijkstra. `max_weight` bounds every edge weight; 0
+/// means "derive it from the graph". Throws std::invalid_argument when an
+/// edge exceeds the bound. O(m + n + D) where D is the largest finite
+/// distance — best for small integer weight ranges (e.g. unit weights).
+template <WeightType W>
+  requires std::is_integral_v<W>
+[[nodiscard]] std::vector<W> dial(const graph::Graph<W>& g, VertexId source,
+                                  W max_weight = W{0}) {
+  const VertexId n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("dial: source out of range");
+
+  if (max_weight == W{0}) {
+    for (const W w : g.edge_weights()) max_weight = std::max(max_weight, w);
+    if (max_weight == W{0}) max_weight = W{1};  // all-zero weights
+  } else {
+    for (const W w : g.edge_weights()) {
+      if (w > max_weight) {
+        throw std::invalid_argument("dial: edge weight exceeds max_weight");
+      }
+    }
+  }
+
+  std::vector<W> dist(n, infinity<W>());
+  dist[source] = W{0};
+
+  // Circular bucket array of size max_weight*? Classic Dial uses C+1 wrapped
+  // buckets (any tentative distance is within C of the current minimum), but
+  // lazy deletion needs distances to identify stale entries, so the wrap is
+  // on the *index* only.
+  const std::size_t num_buckets = static_cast<std::size_t>(max_weight) + 1;
+  std::vector<std::vector<VertexId>> buckets(num_buckets);
+  buckets[0].push_back(source);
+  std::size_t remaining = 1;
+
+  std::uint64_t current = 0;  // distance being scanned (monotone)
+  std::vector<VertexId> settled;
+  while (remaining > 0) {
+    auto& bucket = buckets[current % num_buckets];
+    // Drain the bucket to fixpoint: relaxing a zero-weight edge can push new
+    // entries at the *current* distance back into this very bucket.
+    while (true) {
+      std::size_t kept = 0;
+      settled.clear();
+      for (const VertexId v : bucket) {
+        if (static_cast<std::uint64_t>(dist[v]) == current) {
+          settled.push_back(v);
+        } else if (static_cast<std::uint64_t>(dist[v]) > current) {
+          bucket[kept++] = v;  // entry for a later wrap of this index
+        }
+        // else: stale (already settled at a smaller distance) — drop
+      }
+      remaining -= bucket.size() - kept;
+      bucket.resize(kept);
+      if (settled.empty()) break;
+
+      for (const VertexId u : settled) {
+        const auto nb = g.neighbors(u);
+        const auto ws = g.weights(u);
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          const W cand = dist_add(dist[u], ws[i]);
+          if (cand < dist[nb[i]]) {
+            dist[nb[i]] = cand;
+            buckets[static_cast<std::size_t>(cand) % num_buckets].push_back(nb[i]);
+            ++remaining;  // lazy: stale duplicates are dropped on scan
+          }
+        }
+      }
+    }
+    ++current;
+  }
+  return dist;
+}
+
+}  // namespace parapsp::sssp

@@ -1,0 +1,102 @@
+// Classic single-source shortest paths: Dijkstra with a binary heap.
+//
+// The library's trusted reference for weighted SSSP (tests compare every
+// APSP algorithm against it) and the building block of the naive
+// repeated-Dijkstra APSP baseline from the paper's background section.
+#pragma once
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::sssp {
+
+/// Shortest distances from `source` to every vertex; unreachable vertices
+/// get infinity<W>(). Requires non-negative weights (enforced by the graph
+/// builder). O((n + m) log n).
+template <WeightType W>
+[[nodiscard]] std::vector<W> dijkstra(const graph::Graph<W>& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("dijkstra: source out of range");
+
+  std::vector<W> dist(n, infinity<W>());
+  dist[source] = W{0};
+
+  using Entry = std::pair<W, VertexId>;  // (distance, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({W{0}, source});
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const W cand = dist_add(d, ws[i]);
+      if (cand < dist[nb[i]]) {
+        dist[nb[i]] = cand;
+        heap.push({cand, nb[i]});
+      }
+    }
+  }
+  return dist;
+}
+
+/// Dijkstra with parent tracking for path reconstruction.
+template <WeightType W>
+struct ShortestPathTree {
+  std::vector<W> dist;
+  std::vector<VertexId> parent;  ///< kInvalidVertex for source/unreachable
+
+  /// Reconstructs the path source -> v (inclusive); empty when unreachable.
+  [[nodiscard]] std::vector<VertexId> path_to(VertexId v) const {
+    if (is_infinite(dist[v])) return {};
+    std::vector<VertexId> path;
+    for (VertexId cur = v;; cur = parent[cur]) {
+      path.push_back(cur);
+      if (parent[cur] == kInvalidVertex) break;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+};
+
+template <WeightType W>
+[[nodiscard]] ShortestPathTree<W> dijkstra_tree(const graph::Graph<W>& g,
+                                                VertexId source) {
+  const VertexId n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("dijkstra_tree: source out of range");
+
+  ShortestPathTree<W> out;
+  out.dist.assign(n, infinity<W>());
+  out.parent.assign(n, kInvalidVertex);
+  out.dist[source] = W{0};
+
+  using Entry = std::pair<W, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({W{0}, source});
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > out.dist[u]) continue;
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const W cand = dist_add(d, ws[i]);
+      if (cand < out.dist[nb[i]]) {
+        out.dist[nb[i]] = cand;
+        out.parent[nb[i]] = u;
+        heap.push({cand, nb[i]});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace parapsp::sssp

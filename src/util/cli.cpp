@@ -1,0 +1,72 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace parapsp::util {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string body = arg.substr(2);
+      const auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        options_.emplace_back(body.substr(0, eq), body.substr(eq + 1));
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_.emplace_back(body, argv[++i]);
+      } else {
+        options_.emplace_back(body, "");
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::optional<std::string> Args::find(const std::string& name) const {
+  // Last occurrence wins so callers can override earlier defaults.
+  for (auto it = options_.rbegin(); it != options_.rend(); ++it) {
+    if (it->first == name) return it->second;
+  }
+  return std::nullopt;
+}
+
+bool Args::has(const std::string& name) const { return find(name).has_value(); }
+
+std::string Args::get(const std::string& name, const std::string& def) const {
+  return find(name).value_or(def);
+}
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t def) const {
+  const auto v = find(name);
+  if (!v) return def;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects an integer, got '" + *v + "'");
+  }
+}
+
+double Args::get_double(const std::string& name, double def) const {
+  const auto v = find(name);
+  if (!v) return def;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects a number, got '" + *v + "'");
+  }
+}
+
+bool Args::get_flag(const std::string& name, bool def) const {
+  const auto v = find(name);
+  if (!v) return def;
+  if (v->empty()) return true;
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return lower == "1" || lower == "true" || lower == "yes" || lower == "on";
+}
+
+}  // namespace parapsp::util

@@ -1,0 +1,49 @@
+// Minimal command-line argument parsing for benches and examples.
+//
+// Supports `--key value`, `--key=value`, boolean flags (`--flag`), and
+// positional arguments, with typed getters and defaults.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parapsp::util {
+
+/// Parsed command line. Unknown options are collected rather than rejected so
+/// harness wrappers can pass extra flags through.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// True if `--name` was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// String option value, or `def` when absent.
+  [[nodiscard]] std::string get(const std::string& name, const std::string& def = "") const;
+
+  /// Integer option value, or `def` when absent. Throws on malformed input.
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
+
+  /// Floating-point option value, or `def` when absent. Throws on malformed input.
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+
+  /// Boolean flag: present without value, or with value in {1,true,yes,on}.
+  [[nodiscard]] bool get_flag(const std::string& name, bool def = false) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> find(const std::string& name) const;
+
+  std::string program_;
+  std::vector<std::pair<std::string, std::string>> options_;  // name -> raw value ("" for bare flags)
+  std::vector<std::string> positional_;
+};
+
+}  // namespace parapsp::util

@@ -1,0 +1,43 @@
+// OpenMP helpers: scoped thread-count control and hardware introspection.
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace parapsp::util {
+
+/// Number of threads OpenMP will use by default.
+[[nodiscard]] inline int max_threads() noexcept { return omp_get_max_threads(); }
+
+/// Temporarily overrides the OpenMP thread count; restores on destruction.
+///
+/// The paper sweeps thread counts 1..16/32; benches wrap each configuration
+/// in a ThreadScope so the sweep leaves the global state untouched.
+class ThreadScope {
+ public:
+  explicit ThreadScope(int threads) : saved_(omp_get_max_threads()) {
+    omp_set_num_threads(std::max(1, threads));
+  }
+
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+  ~ThreadScope() { omp_set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// The standard thread sweep used throughout the benchmark harness:
+/// powers of two from 1 up to `limit` (inclusive of `limit` itself even when
+/// it is not a power of two, matching the paper's 1,2,4,8,16[,32] pattern).
+[[nodiscard]] inline std::vector<int> thread_sweep(int limit) {
+  std::vector<int> sweep;
+  for (int t = 1; t <= limit; t *= 2) sweep.push_back(t);
+  if (sweep.empty() || (sweep.back() != limit && limit > 1)) sweep.push_back(limit);
+  return sweep;
+}
+
+}  // namespace parapsp::util

@@ -1,0 +1,32 @@
+#include "util/powerlaw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parapsp::util {
+
+PowerLawFit fit_power_law(const std::vector<std::uint64_t>& samples, double xmin) {
+  PowerLawFit fit;
+  fit.xmin = std::max(1.0, xmin);
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (const auto s : samples) {
+    const auto x = static_cast<double>(s);
+    if (x < fit.xmin || s == 0) continue;
+    log_sum += std::log(x / (fit.xmin - 0.5));
+    ++n;
+  }
+  fit.n = n;
+  fit.alpha = (n == 0 || log_sum <= 0.0) ? 0.0 : 1.0 + static_cast<double>(n) / log_sum;
+  return fit;
+}
+
+std::vector<std::uint64_t> frequency_histogram(const std::vector<std::uint64_t>& samples) {
+  std::uint64_t max_v = 0;
+  for (const auto s : samples) max_v = std::max(max_v, s);
+  std::vector<std::uint64_t> hist(static_cast<std::size_t>(max_v) + 1, 0);
+  for (const auto s : samples) ++hist[static_cast<std::size_t>(s)];
+  return hist;
+}
+
+}  // namespace parapsp::util

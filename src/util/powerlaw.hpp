@@ -1,0 +1,31 @@
+// Power-law exponent estimation for degree distributions.
+//
+// Figure 3 of the paper shows the (scale-free) degree distribution of the
+// WordNet graph. Our synthetic dataset analogs must exhibit the same shape;
+// this module provides the discrete maximum-likelihood estimator (Clauset,
+// Shalizi & Newman 2009, eq. 3.7 approximation) used both by tests (to verify
+// the generators are scale-free) and by the Fig. 3 bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parapsp::util {
+
+struct PowerLawFit {
+  double alpha = 0.0;   ///< estimated exponent (degree ~ k^-alpha)
+  double xmin = 1.0;    ///< lower cutoff used for the fit
+  std::size_t n = 0;    ///< number of samples >= xmin
+};
+
+/// Fits a discrete power law to the samples using the MLE approximation
+///   alpha = 1 + n / sum(ln(x_i / (xmin - 1/2))).
+/// Samples below `xmin` are ignored; zero samples are always ignored.
+[[nodiscard]] PowerLawFit fit_power_law(const std::vector<std::uint64_t>& samples,
+                                        double xmin = 1.0);
+
+/// Histogram of sample frequencies: result[k] = #samples equal to k.
+[[nodiscard]] std::vector<std::uint64_t> frequency_histogram(
+    const std::vector<std::uint64_t>& samples);
+
+}  // namespace parapsp::util

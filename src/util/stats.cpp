@@ -1,0 +1,76 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parapsp::util {
+
+void RunStats::add(double sample) {
+  if (samples_.empty()) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  samples_.push_back(sample);
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+}
+
+double RunStats::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double RunStats::stddev() const noexcept {
+  const auto n = static_cast<double>(samples_.size());
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  const double var = (sum_sq_ - n * m * m) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double RunStats::min() const noexcept { return min_; }
+double RunStats::max() const noexcept { return max_; }
+
+double RunStats::median() const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  if (sorted.size() % 2 == 1) return sorted[mid];
+  return 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+double RunStats::cv() const noexcept {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+LinearFit linear_regression(const std::vector<double>& x, const std::vector<double>& y) {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const auto dn = static_cast<double>(n);
+  const double var_x = sxx - sx * sx / dn;
+  if (var_x <= 0.0) return fit;
+  fit.slope = (sxy - sx * sy / dn) / var_x;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  const double var_y = syy - sy * sy / dn;
+  if (var_y > 0.0) {
+    const double cov = sxy - sx * sy / dn;
+    fit.r_squared = (cov * cov) / (var_x * var_y);
+  } else {
+    fit.r_squared = 1.0;  // constant y fitted exactly by slope 0
+  }
+  return fit;
+}
+
+}  // namespace parapsp::util

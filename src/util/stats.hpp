@@ -1,0 +1,76 @@
+// Summary statistics over repeated benchmark measurements.
+//
+// The paper reports the average of 10 runs per configuration; RunStats is the
+// harness-side accumulator for that protocol.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace parapsp::util {
+
+/// Accumulates samples and reports summary statistics.
+class RunStats {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Arithmetic mean; 0 when empty.
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample standard deviation (n-1 denominator); 0 when fewer than 2 samples.
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  /// Median (average of the two middle samples for even counts); 0 when empty.
+  [[nodiscard]] double median() const;
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const noexcept;
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< goodness of fit in [0, 1]
+};
+
+/// Ordinary least squares over (x, y) pairs; returns a zero fit for fewer
+/// than 2 points or zero x-variance. Feed log(n)/log(time) pairs to estimate
+/// empirical complexity exponents (Peng et al.'s O(n^2.4) methodology).
+[[nodiscard]] LinearFit linear_regression(const std::vector<double>& x,
+                                          const std::vector<double>& y);
+
+/// Runs `fn` `repeats` times, timing each invocation, and returns the stats.
+/// `fn` must be a callable taking no arguments.
+template <typename Fn>
+RunStats time_repeated(Fn&& fn, std::size_t repeats);
+
+}  // namespace parapsp::util
+
+#include "util/timer.hpp"
+
+namespace parapsp::util {
+
+template <typename Fn>
+RunStats time_repeated(Fn&& fn, std::size_t repeats) {
+  RunStats stats;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    WallTimer t;
+    fn();
+    stats.add(t.seconds());
+  }
+  return stats;
+}
+
+}  // namespace parapsp::util

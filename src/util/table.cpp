@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace parapsp::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table::add_row: arity mismatch with header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::cell_to_string(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << std::string(width[c] - row[c].size(), ' ') << row[c];
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = header_.empty() ? 0 : (header_.size() - 1) * 2;
+  for (auto w : width) total += w;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::emit(const std::string& title, const std::string& csv_path) const {
+  std::cout << "\n== " << title << " ==\n" << to_text();
+  if (!csv_path.empty()) {
+    std::ofstream f(csv_path);
+    if (f) {
+      f << to_csv();
+      std::cout << "[csv written to " << csv_path << "]\n";
+    } else {
+      std::cerr << "[warning: could not write " << csv_path << "]\n";
+    }
+  }
+  std::cout.flush();
+}
+
+std::string fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace parapsp::util

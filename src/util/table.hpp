@@ -1,0 +1,56 @@
+// Console table and CSV emission for the benchmark harness.
+//
+// Every bench binary prints the same rows/series the paper's table or figure
+// reports, and mirrors them into a CSV file for plotting.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace parapsp::util {
+
+/// A simple right-aligned text table with a header row and CSV export.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells with %g-style formatting.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    add_row({cell_to_string(cells)...});
+  }
+
+  /// Renders the table with column alignment for terminal output.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders comma-separated values (header + rows).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Prints to stdout and, when `csv_path` is non-empty, writes the CSV.
+  void emit(const std::string& title, const std::string& csv_path = "") const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(double v);
+  static std::string cell_to_string(float v) { return cell_to_string(static_cast<double>(v)); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string cell_to_string(T v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with a fixed number of decimals.
+[[nodiscard]] std::string fixed(double v, int decimals = 3);
+
+}  // namespace parapsp::util

@@ -1,0 +1,62 @@
+// Wall-clock timing for the benchmark harness and the solver's phase
+// breakdown (ordering time vs SSSP-sweep time, as the paper reports them).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace parapsp::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+  [[nodiscard]] double microseconds() const noexcept { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across start()/stop() intervals.
+class PhaseTimer {
+ public:
+  void start() noexcept {
+    running_ = true;
+    timer_.reset();
+  }
+
+  void stop() noexcept {
+    if (running_) {
+      total_ += timer_.seconds();
+      running_ = false;
+    }
+  }
+
+  void reset() noexcept {
+    total_ = 0.0;
+    running_ = false;
+  }
+
+  [[nodiscard]] double seconds() const noexcept { return total_; }
+  [[nodiscard]] double milliseconds() const noexcept { return total_ * 1e3; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+/// Human-readable duration, e.g. "1.234 s", "56.7 ms", "890 us".
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace parapsp::util

@@ -1,0 +1,59 @@
+// Fundamental scalar types and distance arithmetic shared by every module.
+//
+// The library is templated on a weight type `W`; distances use the same type
+// with an `infinity` sentinel and saturating addition so that relaxations of
+// unreachable vertices never overflow (integral W) or misbehave (float W).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace parapsp {
+
+/// Vertex identifier. Graphs index vertices densely as [0, n).
+using VertexId = std::uint32_t;
+
+/// Edge index into a CSR adjacency array.
+using EdgeId = std::uint64_t;
+
+/// Maximum representable vertex count (one id is reserved as an invalid mark).
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// A weight type must be an arithmetic type with a total order.
+template <typename W>
+concept WeightType = std::is_arithmetic_v<W> && !std::is_same_v<W, bool>;
+
+/// The "unreachable" sentinel for a weight type.
+///
+/// Integral types use their max value; floating types use IEEE infinity.
+template <WeightType W>
+[[nodiscard]] constexpr W infinity() noexcept {
+  if constexpr (std::is_floating_point_v<W>) {
+    return std::numeric_limits<W>::infinity();
+  } else {
+    return std::numeric_limits<W>::max();
+  }
+}
+
+/// True if `w` is the unreachable sentinel.
+template <WeightType W>
+[[nodiscard]] constexpr bool is_infinite(W w) noexcept {
+  return w == infinity<W>();
+}
+
+/// Saturating distance addition: inf + x == inf, and integral sums that
+/// would overflow clamp to inf. Assumes non-negative operands (shortest-path
+/// algorithms in this library require non-negative weights).
+template <WeightType W>
+[[nodiscard]] constexpr W dist_add(W a, W b) noexcept {
+  if constexpr (std::is_floating_point_v<W>) {
+    return a + b;  // IEEE handles inf natively
+  } else {
+    if (is_infinite(a) || is_infinite(b)) return infinity<W>();
+    if (a > infinity<W>() - b) return infinity<W>();
+    return static_cast<W>(a + b);
+  }
+}
+
+}  // namespace parapsp

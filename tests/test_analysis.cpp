@@ -1,0 +1,156 @@
+// Tests for the analysis layer on graphs with closed-form answers.
+#include <gtest/gtest.h>
+
+#include "analysis/degree_distribution.hpp"
+#include "analysis/metrics.hpp"
+#include "apsp/floyd_warshall.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace parapsp;
+using namespace parapsp::analysis;
+
+template <typename G>
+apsp::DistanceMatrix<std::uint32_t> distances(const G& g) {
+  return apsp::floyd_warshall(g);
+}
+
+TEST(Metrics, PathGraphClosedForms) {
+  const auto D = distances(graph::path_graph<std::uint32_t>(5));
+  EXPECT_EQ(diameter(D), 4u);
+  EXPECT_EQ(radius(D), 2u);
+  const auto ecc = eccentricities(D);
+  EXPECT_EQ(ecc, (std::vector<std::uint32_t>{4, 3, 2, 3, 4}));
+  // Average path length of P5: sum over ordered pairs |i-j| / 20 = 2.
+  EXPECT_DOUBLE_EQ(average_path_length(D), 2.0);
+  EXPECT_EQ(reachable_pairs(D), 20u);
+}
+
+TEST(Metrics, CycleGraphClosedForms) {
+  const auto D = distances(graph::cycle_graph<std::uint32_t>(6));
+  EXPECT_EQ(diameter(D), 3u);
+  EXPECT_EQ(radius(D), 3u);  // vertex-transitive: all eccentricities equal
+  for (const auto e : eccentricities(D)) EXPECT_EQ(e, 3u);
+}
+
+TEST(Metrics, StarGraphClosedForms) {
+  const auto D = distances(graph::star_graph<std::uint32_t>(8));
+  EXPECT_EQ(diameter(D), 2u);
+  EXPECT_EQ(radius(D), 1u);
+  const auto cc = closeness_centrality(D);
+  // Hub at distance 1 from all 7 leaves: closeness 7/7 = 1.
+  EXPECT_DOUBLE_EQ(cc[0], 1.0);
+  // Leaf: distances 1 + 2*6 = 13; closeness 7/13.
+  EXPECT_NEAR(cc[1], 7.0 / 13.0, 1e-12);
+  // Hub is strictly more central.
+  for (VertexId v = 1; v < 8; ++v) EXPECT_GT(cc[0], cc[v]);
+}
+
+TEST(Metrics, CompleteGraphClosedForms) {
+  const auto D = distances(graph::complete_graph<std::uint32_t>(6));
+  EXPECT_EQ(diameter(D), 1u);
+  EXPECT_EQ(radius(D), 1u);
+  EXPECT_DOUBLE_EQ(average_path_length(D), 1.0);
+  for (const auto c : closeness_centrality(D)) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(Metrics, GridGraphDiameter) {
+  const auto D = distances(graph::grid_graph<std::uint32_t>(3, 4));
+  EXPECT_EQ(diameter(D), 2u + 3u);  // Manhattan across corners
+}
+
+TEST(Metrics, DisconnectedConventions) {
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kUndirected, 5);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);  // vertex 4 isolated
+  const auto D = distances(b.build());
+  EXPECT_EQ(diameter(D), 1u);
+  EXPECT_EQ(radius(D), 1u);
+  EXPECT_EQ(reachable_pairs(D), 4u);
+  EXPECT_DOUBLE_EQ(average_path_length(D), 1.0);
+  const auto cc = closeness_centrality(D);
+  EXPECT_DOUBLE_EQ(cc[4], 0.0) << "isolated vertex has zero closeness";
+  // Wasserman-Faust: component size 2 -> (1/4) * (1/1).
+  EXPECT_NEAR(cc[0], 0.25, 1e-12);
+}
+
+TEST(Metrics, EmptyAndSingleton) {
+  const apsp::DistanceMatrix<std::uint32_t> empty(0);
+  EXPECT_EQ(diameter(empty), 0u);
+  EXPECT_EQ(radius(empty), 0u);
+  EXPECT_DOUBLE_EQ(average_path_length(empty), 0.0);
+
+  apsp::DistanceMatrix<std::uint32_t> one(1);
+  one.at(0, 0) = 0;
+  EXPECT_EQ(diameter(one), 0u);
+  EXPECT_TRUE(closeness_centrality(one).at(0) == 0.0);
+}
+
+TEST(Metrics, DistanceHistogram) {
+  const auto D = distances(graph::path_graph<std::uint32_t>(4));
+  const auto hist = distance_histogram(D);
+  // P4 ordered pairs: d=1 x6, d=2 x4, d=3 x2.
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 6u);
+  EXPECT_EQ(hist[2], 4u);
+  EXPECT_EQ(hist[3], 2u);
+}
+
+TEST(Metrics, DirectedAsymmetry) {
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kDirected, 3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  const auto D = distances(b.build());
+  EXPECT_EQ(diameter(D), 2u);       // 0 -> 2
+  EXPECT_EQ(reachable_pairs(D), 3u);  // (0,1),(0,2),(1,2)
+  const auto ecc = eccentricities(D);
+  EXPECT_EQ(ecc[0], 2u);
+  EXPECT_EQ(ecc[2], 0u);  // sink reaches nothing
+}
+
+// ---------- degree distribution ----------
+
+TEST(DegreeDist, StarShape) {
+  const auto g = graph::star_graph<std::uint32_t>(10);
+  const auto dist = degree_distribution(g);
+  EXPECT_EQ(dist.min_degree, 1u);
+  EXPECT_EQ(dist.max_degree, 9u);
+  EXPECT_NEAR(dist.mean_degree, 18.0 / 10.0, 1e-12);
+  ASSERT_EQ(dist.points.size(), 2u);
+  EXPECT_EQ(dist.points[0].degree, 1u);
+  EXPECT_EQ(dist.points[0].count, 9u);
+  EXPECT_EQ(dist.points[1].degree, 9u);
+  EXPECT_EQ(dist.points[1].count, 1u);
+}
+
+TEST(DegreeDist, FractionBelow) {
+  const auto g = graph::star_graph<std::uint32_t>(10);
+  const auto dist = degree_distribution(g);
+  EXPECT_DOUBLE_EQ(dist.fraction_below(2), 0.9);
+  EXPECT_DOUBLE_EQ(dist.fraction_below(100), 1.0);
+  EXPECT_DOUBLE_EQ(dist.fraction_below(0), 0.0);
+}
+
+TEST(DegreeDist, EmptyGraph) {
+  const std::vector<VertexId> none;
+  const auto dist = degree_distribution(none);
+  EXPECT_TRUE(dist.points.empty());
+  EXPECT_DOUBLE_EQ(dist.fraction_below(5), 0.0);
+}
+
+TEST(DegreeDist, BaGraphIsSkewedLikeThePaper) {
+  // Section 4.2's premise on our WordNet stand-in: the overwhelming majority
+  // of vertices sit in the lowest degrees (this is what causes ParBuckets'
+  // lock contention and justifies ParMax's 1% threshold).
+  const auto g = graph::barabasi_albert<std::uint32_t>(20000, 2, 77);
+  const auto dist = degree_distribution(g);
+  const auto threshold = static_cast<VertexId>(
+      std::max<VertexId>(1, static_cast<VertexId>(0.01 * dist.max_degree)));
+  EXPECT_GT(dist.fraction_below(threshold), 0.45);
+  EXPECT_GT(dist.fraction_below(static_cast<VertexId>(0.1 * dist.max_degree)), 0.95);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// The central correctness property of the whole library: every APSP
+// algorithm produces the byte-identical distance matrix, across graph
+// families, directedness, weights, and (dis)connectivity — parameterized
+// over the standard case roster from test_helpers.hpp.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace parapsp;
+using parapsp::testing::GraphCase;
+
+class ApspCorrectness : public ::testing::TestWithParam<GraphCase> {
+ protected:
+  void SetUp() override {
+    g_ = parapsp::testing::make_graph(GetParam());
+    reference_ = apsp::floyd_warshall(g_);
+  }
+
+  graph::Graph<std::uint32_t> g_;
+  apsp::DistanceMatrix<std::uint32_t> reference_;
+};
+
+TEST_P(ApspCorrectness, FloydWarshallBlocked) {
+  for (const VertexId block : {1u, 7u, 32u, 1024u}) {
+    parapsp::testing::expect_same_distances(apsp::floyd_warshall_blocked(g_, block),
+                                            reference_,
+                                            "blocked fw, block=" + std::to_string(block));
+  }
+}
+
+TEST_P(ApspCorrectness, RepeatedDijkstra) {
+  parapsp::testing::expect_same_distances(apsp::repeated_dijkstra(g_), reference_,
+                                          "repeated dijkstra");
+  parapsp::testing::expect_same_distances(apsp::repeated_dijkstra_parallel(g_),
+                                          reference_, "repeated dijkstra parallel");
+}
+
+TEST_P(ApspCorrectness, PengBasic) {
+  parapsp::testing::expect_same_distances(apsp::peng_basic(g_).distances, reference_,
+                                          "peng basic");
+}
+
+TEST_P(ApspCorrectness, PengOptimizedRatioSweep) {
+  for (const double r : {0.05, 0.5, 1.0}) {
+    parapsp::testing::expect_same_distances(apsp::peng_optimized(g_, r).distances,
+                                            reference_,
+                                            "peng optimized r=" + std::to_string(r));
+  }
+}
+
+TEST_P(ApspCorrectness, PengAdaptive) {
+  parapsp::testing::expect_same_distances(apsp::peng_adaptive(g_).distances, reference_,
+                                          "peng adaptive");
+}
+
+TEST_P(ApspCorrectness, ParAlg1) {
+  parapsp::testing::expect_same_distances(apsp::par_alg1(g_).distances, reference_,
+                                          "paralg1");
+}
+
+TEST_P(ApspCorrectness, ParAlg2AllSchedules) {
+  for (const auto sched : {apsp::Schedule::kBlock, apsp::Schedule::kStaticCyclic,
+                           apsp::Schedule::kDynamicCyclic}) {
+    parapsp::testing::expect_same_distances(
+        apsp::par_alg2(g_, sched).distances, reference_,
+        std::string("paralg2 ") + apsp::to_string(sched));
+  }
+}
+
+TEST_P(ApspCorrectness, ParApsp) {
+  parapsp::testing::expect_same_distances(apsp::par_apsp(g_).distances, reference_,
+                                          "parapsp");
+}
+
+TEST_P(ApspCorrectness, ParApspWithEveryOrdering) {
+  for (const auto kind :
+       {order::OrderingKind::kIdentity, order::OrderingKind::kSelection,
+        order::OrderingKind::kStdSort, order::OrderingKind::kCounting,
+        order::OrderingKind::kParBuckets, order::OrderingKind::kParMax,
+        order::OrderingKind::kMultiLists}) {
+    parapsp::testing::expect_same_distances(
+        apsp::par_apsp_with(g_, kind).distances, reference_,
+        std::string("parapsp ordering=") + order::to_string(kind));
+  }
+}
+
+TEST_P(ApspCorrectness, DiagonalIsZeroAndRowsOfUnreachableStayInfinite) {
+  const auto result = apsp::par_apsp(g_);
+  for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+    EXPECT_EQ(result.distances.at(v, v), 0u);
+  }
+}
+
+TEST_P(ApspCorrectness, TriangleInequalityHolds) {
+  // Property check independent of the reference: D[u,w] <= D[u,v] + D[v,w].
+  const auto& D = reference_;
+  const VertexId n = g_.num_vertices();
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const auto u = static_cast<VertexId>(rng.bounded(n));
+    const auto v = static_cast<VertexId>(rng.bounded(n));
+    const auto w = static_cast<VertexId>(rng.bounded(n));
+    EXPECT_LE(D.at(u, w), dist_add(D.at(u, v), D.at(v, w)));
+  }
+}
+
+TEST_P(ApspCorrectness, EdgesAreUpperBounds) {
+  const auto& D = reference_;
+  for (VertexId u = 0; u < g_.num_vertices(); ++u) {
+    const auto nb = g_.neighbors(u);
+    const auto ws = g_.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      EXPECT_LE(D.at(u, nb[i]), ws[i]);
+    }
+  }
+}
+
+TEST_P(ApspCorrectness, UndirectedMatrixIsSymmetric) {
+  if (g_.is_directed()) GTEST_SKIP() << "directed case";
+  const auto& D = reference_;
+  for (VertexId u = 0; u < g_.num_vertices(); ++u) {
+    for (VertexId v = u + 1; v < g_.num_vertices(); ++v) {
+      ASSERT_EQ(D.at(u, v), D.at(v, u)) << u << "," << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ApspCorrectness,
+                         ::testing::ValuesIn(parapsp::testing::standard_cases()),
+                         parapsp::testing::case_name);
+
+// ---------- double-weighted instantiation ----------
+
+TEST(ApspCorrectnessDouble, AllPengVariantsMatchFloydWarshall) {
+  auto g = graph::erdos_renyi_gnm<double>(90, 320, 31);
+  g = graph::randomize_weights<double>(g, 0.25, 4.0, 32);
+  const auto reference = apsp::floyd_warshall(g);
+
+  const auto check = [&](const apsp::DistanceMatrix<double>& got, const char* label) {
+    ASSERT_EQ(got.size(), reference.size());
+    for (VertexId u = 0; u < got.size(); ++u) {
+      for (VertexId v = 0; v < got.size(); ++v) {
+        const double a = got.at(u, v), b = reference.at(u, v);
+        if (is_infinite(a) || is_infinite(b)) {
+          ASSERT_EQ(is_infinite(a), is_infinite(b)) << label << " " << u << "," << v;
+          continue;
+        }
+        // Different relaxation orders sum doubles differently; allow ulp-
+        // level drift.
+        ASSERT_NEAR(a, b, 1e-9) << label;
+      }
+    }
+  };
+  check(apsp::peng_basic(g).distances, "peng basic");
+  check(apsp::peng_optimized(g).distances, "peng optimized");
+  check(apsp::par_apsp(g).distances, "parapsp");
+}
+
+TEST(ApspCorrectnessFloat, ParApspMatchesRepeatedDijkstra) {
+  auto g = graph::barabasi_albert<float>(120, 3, 33);
+  g = graph::randomize_weights<float>(g, 0.5f, 2.0f, 34);
+  const auto got = apsp::par_apsp(g).distances;
+  const auto rd = apsp::repeated_dijkstra(g);
+  for (VertexId u = 0; u < got.size(); ++u) {
+    for (VertexId v = 0; v < got.size(); ++v) {
+      const float a = got.at(u, v), b = rd.at(u, v);
+      if (is_infinite(a) || is_infinite(b)) {
+        ASSERT_EQ(is_infinite(a), is_infinite(b)) << u << "," << v;
+        continue;
+      }
+      ASSERT_NEAR(a, b, 1e-4f) << u << "," << v;
+    }
+  }
+}
+
+}  // namespace

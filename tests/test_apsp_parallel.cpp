@@ -1,0 +1,110 @@
+// Parallel-specific properties: thread-count invariance, determinism across
+// repeated runs, the flag publication protocol under concurrency, and the
+// phase-timing contract of the result type.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+class ThreadInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadInvariance, ParApspMatchesSequentialAtAnyThreadCount) {
+  util::ThreadScope scope(GetParam());
+  const auto g = graph::barabasi_albert<std::uint32_t>(300, 3, 41);
+  const auto want = apsp::peng_basic(g).distances;
+  const auto got = apsp::par_apsp(g).distances;
+  parapsp::testing::expect_same_distances(got, want,
+                                          "t=" + std::to_string(GetParam()));
+}
+
+TEST_P(ThreadInvariance, ParAlg1MatchesSequential) {
+  util::ThreadScope scope(GetParam());
+  const auto g = graph::rmat<std::uint32_t>(8, 900, 42);
+  const auto want = apsp::peng_basic(g).distances;
+  parapsp::testing::expect_same_distances(apsp::par_alg1(g).distances, want, "paralg1");
+}
+
+TEST_P(ThreadInvariance, ParAlg2EverySchedule) {
+  util::ThreadScope scope(GetParam());
+  const auto g = graph::erdos_renyi_gnm<std::uint32_t>(200, 800, 43);
+  const auto want = apsp::peng_basic(g).distances;
+  for (const auto sched : {apsp::Schedule::kBlock, apsp::Schedule::kStaticCyclic,
+                           apsp::Schedule::kDynamicCyclic}) {
+    parapsp::testing::expect_same_distances(apsp::par_alg2(g, sched).distances, want,
+                                            apsp::to_string(sched));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadInvariance, ::testing::Values(1, 2, 3, 4, 7, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(ParallelDeterminism, RepeatedRunsIdentical) {
+  // The distance matrix is the exact APSP solution, so any two runs — any
+  // interleaving — must agree bit-for-bit.
+  util::ThreadScope scope(4);
+  const auto g = graph::barabasi_albert<std::uint32_t>(250, 4, 44);
+  const auto first = apsp::par_apsp(g).distances;
+  for (int run = 0; run < 5; ++run) {
+    const auto again = apsp::par_apsp(g).distances;
+    ASSERT_EQ(again, first) << "run " << run;
+  }
+}
+
+TEST(ParallelProtocol, AllFlagsPublishedAfterRun) {
+  util::ThreadScope scope(4);
+  const auto g = graph::erdos_renyi_gnm<std::uint32_t>(150, 500, 45);
+  apsp::DistanceMatrix<std::uint32_t> D(g.num_vertices());
+  apsp::FlagArray flags(g.num_vertices());
+  const auto order = order::multilists_order(g.degrees());
+  (void)apsp::sweep_parallel(g, order, D, flags);
+  EXPECT_EQ(flags.count_complete(), g.num_vertices());
+}
+
+TEST(ParallelProtocol, KernelStatsAggregateAcrossThreads) {
+  util::ThreadScope scope(4);
+  const auto g = graph::barabasi_albert<std::uint32_t>(200, 3, 46);
+
+  // Sequential identity-order stats as the baseline for dequeues: every
+  // source dequeues at least once, so the total must be >= n in both modes.
+  const auto seq = apsp::peng_basic(g);
+  EXPECT_GE(seq.kernel.dequeues, static_cast<std::uint64_t>(g.num_vertices()));
+
+  const auto par = apsp::par_apsp(g);
+  EXPECT_GE(par.kernel.dequeues, static_cast<std::uint64_t>(g.num_vertices()));
+  EXPECT_GT(par.kernel.edge_relaxations, 0u);
+}
+
+TEST(ParallelTiming, PhaseBreakdownIsPopulated) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(400, 3, 47);
+  const auto r1 = apsp::par_alg2(g);
+  EXPECT_GT(r1.ordering_seconds, 0.0) << "selection sort cannot take zero time";
+  EXPECT_GT(r1.sweep_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r1.total_seconds(), r1.ordering_seconds + r1.sweep_seconds);
+
+  const auto r2 = apsp::par_alg1(g);
+  EXPECT_EQ(r2.ordering_seconds, 0.0) << "paralg1 has no ordering phase";
+}
+
+TEST(ParallelOrderingQuality, OptimizedOrderReducesSweepWork) {
+  // The modified Dijkstra does measurably less edge work under the
+  // descending-degree order than under identity — the paper's core claim,
+  // checked as an algorithmic invariant rather than a wall-clock claim.
+  const auto g = graph::barabasi_albert<std::uint32_t>(600, 4, 48);
+  const auto basic = apsp::peng_basic(g);
+  const auto optimized = apsp::peng_optimized(g);
+  EXPECT_LT(optimized.kernel.edge_relaxations, basic.kernel.edge_relaxations);
+}
+
+TEST(ParallelOrderingQuality, ApproximateOrderDoesNoWorseThanIdentity) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(600, 4, 49);
+  const auto identity = apsp::par_apsp_with(g, order::OrderingKind::kIdentity);
+  const auto approx = apsp::par_apsp_with(g, order::OrderingKind::kParBuckets);
+  EXPECT_LE(approx.kernel.edge_relaxations, identity.kernel.edge_relaxations);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Tests for label-propagation communities, modularity, and harmonic
+// centrality.
+#include <gtest/gtest.h>
+
+#include "analysis/communities.hpp"
+#include "analysis/metrics.hpp"
+#include "apsp/floyd_warshall.hpp"
+#include "util/stats.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace parapsp;
+using namespace parapsp::analysis;
+using graph::Directedness;
+
+graph::Graph<std::uint32_t> two_cliques_bridged(VertexId size) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected);
+  for (VertexId u = 0; u < size; ++u) {
+    for (VertexId v = u + 1; v < size; ++v) b.add_edge(u, v);
+  }
+  for (VertexId u = size; u < 2 * size; ++u) {
+    for (VertexId v = u + 1; v < 2 * size; ++v) b.add_edge(u, v);
+  }
+  b.add_edge(0, size);  // single bridge
+  return b.build();
+}
+
+TEST(LabelPropagation, SeparatesTwoCliques) {
+  const auto g = two_cliques_bridged(8);
+  const auto comms = label_propagation(g, 3);
+  EXPECT_EQ(comms.count, 2u);
+  for (VertexId v = 1; v < 8; ++v) EXPECT_EQ(comms.label[v], comms.label[0]);
+  for (VertexId v = 9; v < 16; ++v) EXPECT_EQ(comms.label[v], comms.label[8]);
+  EXPECT_NE(comms.label[0], comms.label[8]);
+}
+
+TEST(LabelPropagation, CliqueIsOneCommunity) {
+  const auto comms = label_propagation(graph::complete_graph<std::uint32_t>(10), 4);
+  EXPECT_EQ(comms.count, 1u);
+}
+
+TEST(LabelPropagation, IsolatedVerticesKeepOwnCommunities) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected, 5);
+  b.add_edge(0, 1);
+  const auto comms = label_propagation(b.build(), 5);
+  // {0,1} merge; 2,3,4 remain singletons.
+  EXPECT_EQ(comms.count, 4u);
+  EXPECT_EQ(comms.label[0], comms.label[1]);
+  const auto sizes = comms.sizes();
+  EXPECT_EQ(*std::max_element(sizes.begin(), sizes.end()), 2u);
+}
+
+TEST(LabelPropagation, DeterministicInSeed) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(300, 3, 6);
+  const auto a = label_propagation(g, 7);
+  const auto b = label_propagation(g, 7);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(LabelPropagation, EmptyGraph) {
+  const graph::Graph<std::uint32_t> g;
+  const auto comms = label_propagation(g);
+  EXPECT_EQ(comms.count, 0u);
+}
+
+TEST(LabelPropagation, WeightedVotesDominate) {
+  // Triangle 0-1-2 with heavy edges + vertex 3 tied to 0 by a heavier edge
+  // than 3's tie to a far community: 3 follows the weight.
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected);
+  b.add_edge(0, 1, 10);
+  b.add_edge(1, 2, 10);
+  b.add_edge(0, 2, 10);
+  b.add_edge(4, 5, 10);
+  b.add_edge(3, 0, 5);  // strong pull to the triangle
+  b.add_edge(3, 4, 1);  // weak pull to the pair
+  const auto comms = label_propagation(b.build(), 8);
+  EXPECT_EQ(comms.label[3], comms.label[0]);
+  EXPECT_NE(comms.label[3], comms.label[4]);
+}
+
+// ---------- modularity ----------
+
+TEST(Modularity, GoodSplitBeatsTrivialSplits) {
+  const auto g = two_cliques_bridged(8);
+  const auto comms = label_propagation(g, 9);
+  const double q_good = modularity(g, comms.label);
+
+  std::vector<VertexId> all_one(g.num_vertices(), 0);
+  const double q_one = modularity(g, all_one);
+
+  std::vector<VertexId> singletons(g.num_vertices());
+  std::iota(singletons.begin(), singletons.end(), VertexId{0});
+  const double q_single = modularity(g, singletons);
+
+  EXPECT_GT(q_good, q_one);
+  EXPECT_GT(q_good, q_single);
+  EXPECT_NEAR(q_one, 0.0, 1e-12);
+  EXPECT_GT(q_good, 0.4);  // two near-disjoint cliques are strongly modular
+}
+
+TEST(Modularity, EdgelessGraphIsZero) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected, 4);
+  EXPECT_DOUBLE_EQ(modularity(b.build(), {0, 0, 1, 1}), 0.0);
+}
+
+// ---------- harmonic centrality ----------
+
+TEST(Harmonic, StarClosedForm) {
+  const auto D = apsp::floyd_warshall(graph::star_graph<std::uint32_t>(6));
+  const auto h = harmonic_centrality(D);
+  EXPECT_DOUBLE_EQ(h[0], 5.0);                    // five leaves at distance 1
+  EXPECT_NEAR(h[1], 1.0 + 4.0 * 0.5, 1e-12);      // hub at 1, four leaves at 2
+}
+
+TEST(Harmonic, DisconnectedContributesNothing) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected, 4);
+  b.add_edge(0, 1);
+  const auto D = apsp::floyd_warshall(b.build());
+  const auto h = harmonic_centrality(D);
+  EXPECT_DOUBLE_EQ(h[0], 1.0);
+  EXPECT_DOUBLE_EQ(h[2], 0.0);
+}
+
+TEST(Harmonic, CorrelatesWithClosenessOnConnected) {
+  // The two centralities rank near-identically on a connected graph; exact
+  // top-1 agreement is not guaranteed, so check Pearson correlation.
+  const auto g = graph::barabasi_albert<std::uint32_t>(200, 3, 10);
+  const auto D = apsp::floyd_warshall(g);
+  const auto h = harmonic_centrality(D);
+  const auto c = closeness_centrality(D);
+  const auto fit = util::linear_regression(c, h);
+  EXPECT_GT(fit.r_squared, 0.8);
+  EXPECT_GT(fit.slope, 0.0);
+}
+
+}  // namespace

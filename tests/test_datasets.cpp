@@ -1,0 +1,92 @@
+// Tests for the Table 2 dataset registry and analog builder.
+#include <gtest/gtest.h>
+
+#include "analysis/degree_distribution.hpp"
+#include "core/datasets.hpp"
+#include "graph/validation.hpp"
+#include "order/counting.hpp"
+#include "order/ordering.hpp"
+
+namespace {
+
+using namespace parapsp;
+using datasets::dataset_by_name;
+using datasets::make_analog;
+using datasets::table2;
+
+TEST(Datasets, RosterMatchesThePaper) {
+  const auto roster = table2();
+  ASSERT_EQ(roster.size(), 5u);
+  EXPECT_EQ(roster[0].name, "ego-Twitter");
+  EXPECT_EQ(roster[3].name, "WordNet");
+  EXPECT_EQ(roster[3].paper_vertices, 146005u);
+  EXPECT_EQ(roster[3].paper_edges, 656999u);
+  EXPECT_EQ(roster[4].dir, graph::Directedness::kDirected);
+}
+
+TEST(Datasets, LookupByName) {
+  EXPECT_EQ(dataset_by_name("Flickr").paper_vertices, 105938u);
+  EXPECT_THROW((void)dataset_by_name("nope"), std::invalid_argument);
+}
+
+TEST(Datasets, AverageDegree) {
+  const auto wn = dataset_by_name("WordNet");
+  EXPECT_NEAR(wn.average_degree(), 4.5, 0.01);
+}
+
+TEST(Datasets, AnalogPreservesTypeAndDensity) {
+  for (const auto& d : table2()) {
+    const auto g = make_analog(d, 1500, 99);
+    EXPECT_EQ(g.is_directed(), d.dir == graph::Directedness::kDirected) << d.name;
+    EXPECT_TRUE(graph::validate(g).ok()) << d.name;
+    // Average degree within 2x of the paper's (generators quantize m; R-MAT
+    // drops duplicate arcs).
+    const double paper = d.average_degree();
+    const double got = static_cast<double>(g.num_edges()) *
+                       (g.is_directed() ? 1.0 : 2.0) /
+                       static_cast<double>(g.num_vertices());
+    EXPECT_GT(got, paper * 0.5) << d.name;
+    EXPECT_LT(got, paper * 2.0) << d.name;
+  }
+}
+
+TEST(Datasets, AnalogIdsCarryNoDegreeInformation) {
+  // The shuffle property the basic-vs-optimized comparisons depend on: the
+  // identity order must not be accidentally descending-degree.
+  const auto g = make_analog(dataset_by_name("WordNet"), 4000, 7);
+  const auto degrees = g.degrees();
+  EXPECT_FALSE(order::is_descending_degree_order(order::identity_order(degrees.size()),
+                                                 degrees));
+  // Correlation check: the top-degree vertex should rarely be vertex 0.
+  std::size_t low_id_hubs = 0;
+  const auto sorted = order::counting_order(degrees);
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (sorted[i] < 40) ++low_id_hubs;  // top-10 hub with an id in the lowest 1%
+  }
+  EXPECT_LE(low_id_hubs, 3u);
+}
+
+TEST(Datasets, AnalogIsScaleFree) {
+  const auto g = make_analog(dataset_by_name("Livemocha"), 20000, 11);
+  const auto dist = analysis::degree_distribution(g);
+  EXPECT_GT(dist.max_degree, 20 * dist.mean_degree);
+  EXPECT_GT(dist.fraction_below(static_cast<VertexId>(0.1 * dist.max_degree)), 0.9);
+}
+
+TEST(Datasets, AnalogDeterministicInSeed) {
+  const auto d = dataset_by_name("ego-Twitter");
+  const auto a = make_analog(d, 1024, 5);
+  const auto b = make_analog(d, 1024, 5);
+  EXPECT_EQ(a.targets(), b.targets());
+  const auto c = make_analog(d, 1024, 6);
+  EXPECT_NE(a.targets(), c.targets());
+}
+
+TEST(Datasets, AnalogRejectsDegenerateSize) {
+  EXPECT_THROW((void)make_analog(dataset_by_name("Flickr"), 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_analog(dataset_by_name("Flickr"), 10, 1),
+               std::invalid_argument);  // n <= m for BA density ~22
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// Tests for the simulated distributed-memory ParAPSP (the paper's future
+// work): exactness across every configuration, communication accounting,
+// sharing-policy work ordering, and partitioning/load-balance.
+#include <gtest/gtest.h>
+
+#include "dist/dist_apsp.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace parapsp;
+using dist::DistOptions;
+using dist::PartitionScheme;
+using dist::SharingPolicy;
+
+// ---------- partitioning ----------
+
+TEST(Partition, CyclicDealsRoundRobin) {
+  const order::Ordering order{10, 11, 12, 13, 14};
+  const auto a = dist::partition_sources(order, 2, PartitionScheme::kCyclic);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], (std::vector<VertexId>{10, 12, 14}));
+  EXPECT_EQ(a[1], (std::vector<VertexId>{11, 13}));
+}
+
+TEST(Partition, BlockSlices) {
+  const order::Ordering order{1, 2, 3, 4, 5};
+  const auto a = dist::partition_sources(order, 2, PartitionScheme::kBlock);
+  EXPECT_EQ(a[0], (std::vector<VertexId>{1, 2, 3}));
+  EXPECT_EQ(a[1], (std::vector<VertexId>{4, 5}));
+}
+
+TEST(Partition, MoreRanksThanSources) {
+  const order::Ordering order{7};
+  const auto a = dist::partition_sources(order, 4, PartitionScheme::kCyclic);
+  EXPECT_EQ(a[0], (std::vector<VertexId>{7}));
+  for (int r = 1; r < 4; ++r) EXPECT_TRUE(a[static_cast<std::size_t>(r)].empty());
+}
+
+TEST(Partition, RejectsZeroRanks) {
+  EXPECT_THROW((void)dist::partition_sources({}, 0, PartitionScheme::kCyclic),
+               std::invalid_argument);
+}
+
+TEST(Partition, LoadBalanceStats) {
+  const auto a = dist::partition_sources(order::identity_order(10), 3,
+                                         PartitionScheme::kCyclic);
+  const auto lb = dist::load_balance(a);
+  EXPECT_EQ(lb.max_sources, 4u);
+  EXPECT_EQ(lb.min_sources, 3u);
+  EXPECT_NEAR(lb.mean_sources, 10.0 / 3.0, 1e-12);
+  EXPECT_NEAR(lb.imbalance(), 4.0 / (10.0 / 3.0), 1e-12);
+}
+
+// ---------- exactness across the configuration space ----------
+
+struct DistCase {
+  std::string name;
+  DistOptions opts;
+};
+
+class DistExactness : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistExactness, MatchesFloydWarshall) {
+  const auto g = parapsp::testing::make_graph(
+      {"ba", parapsp::testing::GraphCase::Family::kBA, 180, 3,
+       graph::Directedness::kUndirected, false, 91});
+  const auto want = apsp::floyd_warshall(g);
+  const auto result = dist::dist_apsp_simulate(g, GetParam().opts);
+  parapsp::testing::expect_same_distances(result.distances, want, GetParam().name);
+  // Every source dequeues at least once.
+  EXPECT_GE(result.total_work.dequeues, static_cast<std::uint64_t>(g.num_vertices()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DistExactness,
+    ::testing::Values(
+        DistCase{"ranks1", {.ranks = 1, .batch = 8, .sharing = SharingPolicy::kBroadcast}},
+        DistCase{"ranks2_none", {.ranks = 2, .batch = 4, .sharing = SharingPolicy::kNone}},
+        DistCase{"ranks4_bcast", {.ranks = 4, .batch = 8, .sharing = SharingPolicy::kBroadcast}},
+        DistCase{"ranks4_ring", {.ranks = 4, .batch = 8, .sharing = SharingPolicy::kRing}},
+        DistCase{"ranks7_batch1", {.ranks = 7, .batch = 1, .sharing = SharingPolicy::kBroadcast}},
+        DistCase{"ranks3_block",
+                 {.ranks = 3, .batch = 16, .sharing = SharingPolicy::kBroadcast,
+                  .partition = PartitionScheme::kBlock}},
+        DistCase{"ranks16_small_ring", {.ranks = 16, .batch = 2, .sharing = SharingPolicy::kRing}}),
+    [](const ::testing::TestParamInfo<DistCase>& info) { return info.param.name; });
+
+// ---------- accounting and policy semantics ----------
+
+TEST(DistApsp, NoSharingMovesNoBytes) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(120, 3, 92);
+  const auto r = dist::dist_apsp_simulate(
+      g, {.ranks = 4, .batch = 4, .sharing = SharingPolicy::kNone});
+  EXPECT_EQ(r.comm.messages, 0u);
+  EXPECT_EQ(r.comm.bytes, 0u);
+  // Each rank ends up holding exactly the rows it computed.
+  std::uint64_t held = 0;
+  for (const auto h : r.rows_held) held += h;
+  EXPECT_EQ(held, g.num_vertices());
+}
+
+TEST(DistApsp, BroadcastDeliversEverythingEverywhere) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(120, 3, 93);
+  const auto r = dist::dist_apsp_simulate(
+      g, {.ranks = 4, .batch = 4, .sharing = SharingPolicy::kBroadcast});
+  const auto n = static_cast<std::uint64_t>(g.num_vertices());
+  // Every row broadcast to 3 peers.
+  EXPECT_EQ(r.comm.messages, n * 3);
+  EXPECT_EQ(r.comm.bytes, n * 3 * n * sizeof(std::uint32_t));
+  for (const auto h : r.rows_held) EXPECT_EQ(h, n);
+}
+
+TEST(DistApsp, RingCostsAtMostBroadcast) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(150, 3, 94);
+  const auto ring = dist::dist_apsp_simulate(
+      g, {.ranks = 5, .batch = 4, .sharing = SharingPolicy::kRing});
+  const auto bcast = dist::dist_apsp_simulate(
+      g, {.ranks = 5, .batch = 4, .sharing = SharingPolicy::kBroadcast});
+  EXPECT_LE(ring.comm.bytes, bcast.comm.bytes);
+  EXPECT_GT(ring.comm.bytes, 0u);
+  // Ring pays more supersteps for its cheaper traffic.
+  EXPECT_GE(ring.comm.supersteps, bcast.comm.supersteps);
+}
+
+TEST(DistApsp, SharingReducesWork) {
+  // The future-work version of the paper's core effect: visibility of
+  // other ranks' rows cuts edge relaxations.
+  const auto g = graph::barabasi_albert<std::uint32_t>(300, 4, 95);
+  const auto none = dist::dist_apsp_simulate(
+      g, {.ranks = 4, .batch = 4, .sharing = SharingPolicy::kNone});
+  const auto bcast = dist::dist_apsp_simulate(
+      g, {.ranks = 4, .batch = 4, .sharing = SharingPolicy::kBroadcast});
+  EXPECT_LT(bcast.total_work.edge_relaxations, none.total_work.edge_relaxations);
+  // Note: raw row-reuse *event* counts go the other way — unshared searches
+  // are much longer and re-hit the rank's own rows repeatedly — so the
+  // meaningful comparison is the relaxation work above, plus reuse density:
+  const double bcast_density = static_cast<double>(bcast.total_work.row_reuses) /
+                               static_cast<double>(bcast.total_work.dequeues);
+  const double none_density = static_cast<double>(none.total_work.row_reuses) /
+                              static_cast<double>(none.total_work.dequeues);
+  EXPECT_GT(bcast_density, none_density);
+}
+
+TEST(DistApsp, SmallerBatchesShareSooner) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(300, 4, 96);
+  const auto fine = dist::dist_apsp_simulate(
+      g, {.ranks = 4, .batch = 1, .sharing = SharingPolicy::kBroadcast});
+  const auto coarse = dist::dist_apsp_simulate(
+      g, {.ranks = 4, .batch = 64, .sharing = SharingPolicy::kBroadcast});
+  EXPECT_LE(fine.total_work.edge_relaxations, coarse.total_work.edge_relaxations);
+  EXPECT_GT(fine.comm.supersteps, coarse.comm.supersteps);
+}
+
+TEST(DistApsp, SingleRankMatchesSequentialWork) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(200, 3, 97);
+  const auto one = dist::dist_apsp_simulate(
+      g, {.ranks = 1, .batch = 32, .sharing = SharingPolicy::kBroadcast});
+  EXPECT_EQ(one.comm.messages, 0u);  // broadcast to zero peers
+  const auto seq = apsp::peng_optimized(g);
+  // Same order (multilists vs selection differ only in ties) -> work within
+  // a few percent.
+  const double ratio =
+      static_cast<double>(one.total_work.edge_relaxations) /
+      static_cast<double>(seq.kernel.edge_relaxations);
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+TEST(DistApsp, DeterministicAcrossRuns) {
+  const auto g = graph::rmat<std::uint32_t>(7, 500, 98);
+  const DistOptions opts{.ranks = 3, .batch = 5, .sharing = SharingPolicy::kRing};
+  const auto a = dist::dist_apsp_simulate(g, opts);
+  const auto b = dist::dist_apsp_simulate(g, opts);
+  EXPECT_EQ(a.distances, b.distances);
+  EXPECT_EQ(a.comm.messages, b.comm.messages);
+  EXPECT_EQ(a.comm.bytes, b.comm.bytes);
+  EXPECT_EQ(a.total_work.edge_relaxations, b.total_work.edge_relaxations);
+}
+
+TEST(DistApsp, RejectsBadOptions) {
+  const auto g = graph::path_graph<std::uint32_t>(4);
+  EXPECT_THROW((void)dist::dist_apsp_simulate(g, {.ranks = 0}), std::invalid_argument);
+  EXPECT_THROW((void)dist::dist_apsp_simulate(g, {.ranks = 2, .batch = 0}),
+               std::invalid_argument);
+}
+
+TEST(DistApsp, EmptyGraph) {
+  const graph::Graph<std::uint32_t> g;
+  const auto r = dist::dist_apsp_simulate(g, {.ranks = 3});
+  EXPECT_EQ(r.distances.size(), 0u);
+  EXPECT_EQ(r.comm.supersteps, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Tests for incremental APSP updates (edge insertions / weight decreases).
+#include <gtest/gtest.h>
+
+#include "apsp/dynamic.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace parapsp;
+using apsp::EdgeInsertion;
+
+TEST(DynamicApsp, SingleInsertionMatchesRecompute) {
+  // Two far-apart grid corners get a shortcut; incremental must equal
+  // rebuild-from-scratch.
+  auto g = graph::grid_graph<std::uint32_t>(6, 6);
+  auto D = apsp::floyd_warshall(g);
+
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kUndirected, 36);
+  for (VertexId u = 0; u < 36; ++u) {
+    for (std::size_t i = 0; i < g.neighbors(u).size(); ++i) {
+      if (u < g.neighbors(u)[i]) b.add_edge(u, g.neighbors(u)[i], g.weights(u)[i]);
+    }
+  }
+  b.add_edge(0, 35, 1);
+  const auto g2 = b.build();
+
+  const auto improved = apsp::apply_insertion(
+      D, EdgeInsertion<std::uint32_t>{0, 35, 1, /*undirected=*/true});
+  EXPECT_GT(improved, 0u);
+  parapsp::testing::expect_same_distances(D, apsp::floyd_warshall(g2),
+                                          "incremental vs recompute");
+}
+
+TEST(DynamicApsp, DirectedInsertion) {
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kDirected);
+  b.add_edge(0, 1, 4);
+  b.add_edge(1, 2, 4);
+  auto D = apsp::floyd_warshall(b.build());
+  EXPECT_EQ(D.at(0, 2), 8u);
+  (void)apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{0, 2, 3, false});
+  EXPECT_EQ(D.at(0, 2), 3u);
+  // Directed: the reverse pair must be untouched.
+  EXPECT_TRUE(is_infinite(D.at(2, 0)));
+}
+
+TEST(DynamicApsp, WeightDecreaseIsInsertion) {
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kUndirected);
+  b.add_edge(0, 1, 10);
+  b.add_edge(1, 2, 1);
+  auto D = apsp::floyd_warshall(b.build());
+  EXPECT_EQ(D.at(0, 2), 11u);
+  // Edge (0,1) drops from 10 to 2: model as an insertion of the new weight.
+  (void)apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{0, 1, 2, true});
+  EXPECT_EQ(D.at(0, 1), 2u);
+  EXPECT_EQ(D.at(0, 2), 3u);
+  EXPECT_EQ(D.at(2, 0), 3u);
+}
+
+TEST(DynamicApsp, NoopWhenEdgeDoesNotHelp) {
+  const auto g = graph::complete_graph<std::uint32_t>(5);
+  auto D = apsp::floyd_warshall(g);
+  const auto improved =
+      apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{0, 1, 7, true});
+  EXPECT_EQ(improved, 0u);
+}
+
+TEST(DynamicApsp, ConnectsComponents) {
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kUndirected, 6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  auto D = apsp::floyd_warshall(b.build());
+  EXPECT_TRUE(is_infinite(D.at(0, 5)));
+  (void)apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{2, 3, 1, true});
+  EXPECT_EQ(D.at(0, 5), 5u);  // 0-1-2-3-4-5
+  EXPECT_EQ(D.at(5, 0), 5u);
+}
+
+TEST(DynamicApsp, RandomBatchMatchesRecompute) {
+  // Property: a random base graph + a random batch of insertions, applied
+  // incrementally, equals the from-scratch solve of the final graph.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    util::Xoshiro256 rng(seed);
+    const VertexId n = 60;
+    auto base = graph::erdos_renyi_gnm<std::uint32_t>(n, 120, seed);
+    base = graph::randomize_weights<std::uint32_t>(base, 1, 9, seed ^ 7);
+    auto D = apsp::floyd_warshall(base);
+
+    graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kUndirected, n);
+    for (VertexId u = 0; u < n; ++u) {
+      const auto nb = base.neighbors(u);
+      const auto ws = base.weights(u);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        if (u < nb[i]) b.add_edge(u, nb[i], ws[i]);
+      }
+    }
+
+    std::vector<EdgeInsertion<std::uint32_t>> batch;
+    for (int e = 0; e < 12; ++e) {
+      const auto u = static_cast<VertexId>(rng.bounded(n));
+      const auto v = static_cast<VertexId>(rng.bounded(n));
+      if (u == v) continue;
+      const auto w = static_cast<std::uint32_t>(1 + rng.bounded(9));
+      batch.push_back({u, v, w, true});
+      b.add_edge(u, v, w);
+    }
+    (void)apsp::apply_insertions(D, batch);
+    parapsp::testing::expect_same_distances(
+        D, apsp::floyd_warshall(b.build()),
+        "batch seed " + std::to_string(seed));
+  }
+}
+
+TEST(DynamicApsp, RejectsBadInput) {
+  apsp::DistanceMatrix<std::uint32_t> D(3, 0);
+  EXPECT_THROW((void)apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{0, 9, 1}),
+               std::out_of_range);
+  apsp::DistanceMatrix<double> Dd(3, 0.0);
+  EXPECT_THROW((void)apsp::apply_insertion(Dd, EdgeInsertion<double>{0, 1, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(DynamicApsp, ThreadInvariant) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(100, 3, 9);
+  auto base = apsp::floyd_warshall(g);
+  auto d1 = base;
+  auto d4 = base;
+  const EdgeInsertion<std::uint32_t> e{3, 77, 1, true};
+  {
+    util::ThreadScope scope(1);
+    (void)apsp::apply_insertion(d1, e);
+  }
+  {
+    util::ThreadScope scope(4);
+    (void)apsp::apply_insertion(d4, e);
+  }
+  EXPECT_EQ(d1, d4);
+}
+
+}  // namespace

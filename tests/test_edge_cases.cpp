@@ -1,0 +1,166 @@
+// Degenerate-input behavior across the whole APSP stack: empty graphs,
+// singletons, isolated vertices, self-loops, parallel edges, zero weights,
+// and saturation at the integer infinity boundary.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace parapsp;
+using graph::Directedness;
+
+std::vector<core::Algorithm> all_algorithms() {
+  return {core::Algorithm::kFloydWarshall, core::Algorithm::kFloydWarshallBlocked,
+          core::Algorithm::kRepeatedDijkstra, core::Algorithm::kRepeatedDijkstraPar,
+          core::Algorithm::kPengBasic, core::Algorithm::kPengOptimized,
+          core::Algorithm::kPengAdaptive, core::Algorithm::kParAlg1,
+          core::Algorithm::kParAlg2, core::Algorithm::kParApsp,
+          core::Algorithm::kCustom};
+}
+
+TEST(EdgeCases, EmptyGraphAllAlgorithms) {
+  const graph::Graph<std::uint32_t> g;
+  for (const auto a : all_algorithms()) {
+    core::SolverOptions opts;
+    opts.algorithm = a;
+    const auto result = core::solve(g, opts);
+    EXPECT_EQ(result.distances.size(), 0u) << core::to_string(a);
+  }
+}
+
+TEST(EdgeCases, SingleVertexAllAlgorithms) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected, 1);
+  const auto g = b.build();
+  for (const auto a : all_algorithms()) {
+    core::SolverOptions opts;
+    opts.algorithm = a;
+    const auto result = core::solve(g, opts);
+    ASSERT_EQ(result.distances.size(), 1u) << core::to_string(a);
+    EXPECT_EQ(result.distances.at(0, 0), 0u) << core::to_string(a);
+  }
+}
+
+TEST(EdgeCases, TwoIsolatedVertices) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected, 2);
+  const auto g = b.build();
+  const auto D = core::solve(g).distances;
+  EXPECT_EQ(D.at(0, 0), 0u);
+  EXPECT_TRUE(is_infinite(D.at(0, 1)));
+  EXPECT_TRUE(is_infinite(D.at(1, 0)));
+}
+
+TEST(EdgeCases, SelfLoopsAreInert) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected);
+  b.add_edge(0, 0, 1);
+  b.add_edge(0, 1, 3);
+  b.add_edge(1, 1, 0);  // even a zero self-loop must not corrupt distances
+  const auto g = b.build(graph::DuplicatePolicy::kKeepAll, graph::SelfLoopPolicy::kKeep);
+  const auto want = apsp::floyd_warshall(g);
+  EXPECT_EQ(want.at(0, 0), 0u);
+  EXPECT_EQ(want.at(0, 1), 3u);
+  for (const auto a : all_algorithms()) {
+    core::SolverOptions opts;
+    opts.algorithm = a;
+    parapsp::testing::expect_same_distances(core::solve(g, opts).distances, want,
+                                            core::to_string(a));
+  }
+}
+
+TEST(EdgeCases, ParallelEdgesUseMinimum) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 1, 9);
+  b.add_edge(0, 1, 2);
+  b.add_edge(0, 1, 5);
+  const auto g = b.build(graph::DuplicatePolicy::kKeepAll);
+  for (const auto a : all_algorithms()) {
+    core::SolverOptions opts;
+    opts.algorithm = a;
+    EXPECT_EQ(core::solve(g, opts).distances.at(0, 1), 2u) << core::to_string(a);
+  }
+}
+
+TEST(EdgeCases, ZeroWeightCyclesTerminate) {
+  // A zero-weight cycle is the classic label-correcting termination trap.
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 1, 0);
+  b.add_edge(1, 2, 0);
+  b.add_edge(2, 0, 0);
+  b.add_edge(1, 3, 4);
+  const auto g = b.build();
+  const auto want = apsp::floyd_warshall(g);
+  for (const auto a : all_algorithms()) {
+    core::SolverOptions opts;
+    opts.algorithm = a;
+    parapsp::testing::expect_same_distances(core::solve(g, opts).distances, want,
+                                            core::to_string(a));
+  }
+  EXPECT_EQ(want.at(0, 3), 4u);
+  EXPECT_EQ(want.at(2, 1), 0u);
+}
+
+TEST(EdgeCases, LargeWeightsSaturateNotOverflow) {
+  const auto big = infinity<std::uint32_t>() - 2;
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 1, big);
+  b.add_edge(1, 2, big);
+  const auto g = b.build();
+  const auto D = apsp::floyd_warshall(g);
+  EXPECT_EQ(D.at(0, 1), big);
+  // big + big would wrap a plain uint32 add; must clamp to infinity.
+  EXPECT_TRUE(is_infinite(D.at(0, 2)));
+  const auto P = apsp::par_apsp(g).distances;
+  EXPECT_TRUE(is_infinite(P.at(0, 2)));
+  EXPECT_EQ(P.at(0, 1), big);
+}
+
+TEST(EdgeCases, StarGraphAllAlgorithms) {
+  // The most extreme degree skew possible — one vertex of degree n-1.
+  const auto g = graph::star_graph<std::uint32_t>(64);
+  const auto want = apsp::floyd_warshall(g);
+  for (const auto a : all_algorithms()) {
+    core::SolverOptions opts;
+    opts.algorithm = a;
+    parapsp::testing::expect_same_distances(core::solve(g, opts).distances, want,
+                                            core::to_string(a));
+  }
+}
+
+TEST(EdgeCases, ManySmallComponents) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected, 60);
+  for (VertexId v = 0; v + 1 < 60; v += 2) b.add_edge(v, v + 1);
+  const auto g = b.build();
+  const auto want = apsp::floyd_warshall(g);
+  parapsp::testing::expect_same_distances(apsp::par_apsp(g).distances, want,
+                                          "parapsp on islands");
+  EXPECT_EQ(analysis::reachable_pairs(want), 60u);
+}
+
+TEST(EdgeCases, DirectedSinkAndSource) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected, 4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  const auto g = b.build();  // 0 pure source, 3 pure sink
+  const auto D = apsp::par_apsp(g).distances;
+  EXPECT_EQ(D.at(0, 3), 2u);
+  EXPECT_TRUE(is_infinite(D.at(3, 0)));
+  EXPECT_TRUE(is_infinite(D.at(1, 0)));
+}
+
+TEST(EdgeCases, OrderingProceduresOnDegenerateDegreeShapes) {
+  // Graphs where min == max degree (cycle) stress ParBuckets' bin formula
+  // (division by zero span) and MultiLists' single bucket.
+  const auto g = graph::cycle_graph<std::uint32_t>(32);
+  const auto want = apsp::floyd_warshall(g);
+  for (const auto kind :
+       {order::OrderingKind::kParBuckets, order::OrderingKind::kParMax,
+        order::OrderingKind::kMultiLists}) {
+    parapsp::testing::expect_same_distances(
+        apsp::par_apsp_with(g, kind).distances, want,
+        std::string("cycle + ") + order::to_string(kind));
+  }
+}
+
+}  // namespace

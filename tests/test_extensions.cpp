@@ -1,0 +1,145 @@
+// Tests for the extension modules: delta-stepping SSSP and the row-reuse
+// ablation variants of ParAPSP.
+#include <gtest/gtest.h>
+
+#include "apsp/reuse_ablation.hpp"
+#include "test_helpers.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+// ---------- delta-stepping ----------
+
+TEST(DeltaStepping, MatchesDijkstraUnitWeights) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(300, 3, 61);
+  for (const VertexId s : {VertexId{0}, VertexId{150}, VertexId{299}}) {
+    EXPECT_EQ(sssp::delta_stepping(g, s), sssp::dijkstra(g, s)) << "s=" << s;
+  }
+}
+
+TEST(DeltaStepping, MatchesDijkstraWeighted) {
+  auto g = graph::erdos_renyi_gnm<std::uint32_t>(200, 800, 62);
+  g = graph::randomize_weights<std::uint32_t>(g, 1, 50, 63);
+  for (const VertexId s : {VertexId{0}, VertexId{99}}) {
+    EXPECT_EQ(sssp::delta_stepping(g, s), sssp::dijkstra(g, s)) << "s=" << s;
+  }
+}
+
+TEST(DeltaStepping, DeltaSweepAllExact) {
+  auto g = graph::erdos_renyi_gnm<std::uint32_t>(150, 600, 64);
+  g = graph::randomize_weights<std::uint32_t>(g, 1, 20, 65);
+  const auto want = sssp::dijkstra(g, 5);
+  for (const std::uint32_t delta : {1u, 3u, 10u, 100u, 10000u}) {
+    EXPECT_EQ(sssp::delta_stepping(g, 5, delta), want) << "delta=" << delta;
+  }
+}
+
+TEST(DeltaStepping, DirectedAndDisconnected) {
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kDirected, 5);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 3);
+  const auto g = b.build();
+  const auto d = sssp::delta_stepping(g, 0);
+  EXPECT_EQ(d[2], 5u);
+  EXPECT_TRUE(is_infinite(d[3]));
+  EXPECT_TRUE(is_infinite(d[4]));
+}
+
+TEST(DeltaStepping, ZeroWeightEdges) {
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kDirected);
+  b.add_edge(0, 1, 0);
+  b.add_edge(1, 2, 0);
+  b.add_edge(0, 2, 3);
+  const auto d = sssp::delta_stepping(b.build(), 0, 2u);
+  EXPECT_EQ(d[2], 0u);
+}
+
+TEST(DeltaStepping, DoubleWeights) {
+  auto g = graph::erdos_renyi_gnm<double>(100, 350, 66);
+  g = graph::randomize_weights<double>(g, 0.1, 3.0, 67);
+  const auto want = sssp::dijkstra(g, 7);
+  const auto got = sssp::delta_stepping(g, 7);
+  for (VertexId v = 0; v < 100; ++v) {
+    if (is_infinite(want[v])) {
+      EXPECT_TRUE(is_infinite(got[v]));
+    } else {
+      EXPECT_NEAR(got[v], want[v], 1e-9);
+    }
+  }
+}
+
+TEST(DeltaStepping, SourceOutOfRangeThrows) {
+  const auto g = graph::path_graph<std::uint32_t>(3);
+  EXPECT_THROW((void)sssp::delta_stepping(g, 9), std::out_of_range);
+}
+
+TEST(DeltaStepping, DefaultDeltaReasonable) {
+  auto g = graph::erdos_renyi_gnm<std::uint32_t>(50, 150, 68);
+  g = graph::randomize_weights<std::uint32_t>(g, 4, 6, 69);
+  const auto delta = sssp::default_delta(g);
+  EXPECT_GE(delta, 4u);
+  EXPECT_LE(delta, 6u);
+}
+
+class DeltaSteppingThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaSteppingThreads, ThreadCountInvariant) {
+  util::ThreadScope scope(GetParam());
+  auto g = graph::barabasi_albert<std::uint32_t>(250, 4, 70);
+  g = graph::randomize_weights<std::uint32_t>(g, 1, 9, 71);
+  EXPECT_EQ(sssp::delta_stepping(g, 0), sssp::dijkstra(g, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, DeltaSteppingThreads, ::testing::Values(1, 2, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+// ---------- reuse ablation ----------
+
+TEST(ReuseAblation, AllVariantsExact) {
+  const auto g = parapsp::testing::make_graph(
+      {"ba", parapsp::testing::GraphCase::Family::kBA, 200, 3,
+       graph::Directedness::kUndirected, false, 72});
+  const auto want = apsp::floyd_warshall(g);
+  parapsp::testing::expect_same_distances(apsp::par_apsp_no_reuse(g).distances, want,
+                                          "no reuse");
+  parapsp::testing::expect_same_distances(apsp::par_apsp_private_reuse(g).distances,
+                                          want, "private reuse");
+}
+
+TEST(ReuseAblation, NoReuseNeverHitsTheReuseBranch) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(150, 3, 73);
+  const auto result = apsp::par_apsp_no_reuse(g);
+  EXPECT_EQ(result.kernel.row_reuses, 0u);
+}
+
+TEST(ReuseAblation, WorkOrdering) {
+  // Full sharing <= private reuse <= no reuse, in edge relaxations — the
+  // mechanism behind the paper's hyper-linear speedup conjecture.
+  util::ThreadScope scope(4);
+  const auto g = graph::barabasi_albert<std::uint32_t>(500, 4, 74);
+  const auto full = apsp::par_apsp(g);
+  const auto priv = apsp::par_apsp_private_reuse(g);
+  const auto none = apsp::par_apsp_no_reuse(g);
+  // Dynamic scheduling makes the exact counts run-dependent; full sharing
+  // must be within noise of private reuse and both far below no reuse.
+  EXPECT_LE(full.kernel.edge_relaxations,
+            priv.kernel.edge_relaxations + priv.kernel.edge_relaxations / 10);
+  EXPECT_LT(priv.kernel.edge_relaxations, none.kernel.edge_relaxations);
+  EXPECT_GT(full.kernel.row_reuses, 0u);
+}
+
+TEST(ReuseAblation, PrivateReuseStillBenefits) {
+  util::ThreadScope scope(2);
+  const auto g = graph::barabasi_albert<std::uint32_t>(400, 4, 75);
+  const auto priv = apsp::par_apsp_private_reuse(g);
+  const auto none = apsp::par_apsp_no_reuse(g);
+  EXPECT_GT(priv.kernel.row_reuses, 0u);
+  EXPECT_LT(priv.kernel.edge_relaxations, none.kernel.edge_relaxations);
+}
+
+}  // namespace

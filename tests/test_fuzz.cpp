@@ -1,0 +1,126 @@
+// Randomized consistency fuzzing: many seeds, random configuration per
+// seed, cross-checking ParAPSP (and one randomly chosen other algorithm)
+// against the sampled-oracle verifier. Catches interaction bugs the
+// hand-written cases miss.
+#include <gtest/gtest.h>
+
+#include "apsp/verify.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+graph::Graph<std::uint32_t> random_config_graph(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  const auto family = rng.bounded(4);
+  const auto n = static_cast<VertexId>(40 + rng.bounded(160));
+  graph::Graph<std::uint32_t> g;
+  switch (family) {
+    case 0:
+      g = graph::erdos_renyi_gnm<std::uint32_t>(
+          n, std::min<EdgeId>(static_cast<EdgeId>(n) * (n - 1) / 2,
+                              static_cast<EdgeId>(n) * (1 + rng.bounded(5))),
+          rng(), rng.bounded(2) ? graph::Directedness::kDirected
+                                : graph::Directedness::kUndirected);
+      break;
+    case 1:
+      g = graph::barabasi_albert<std::uint32_t>(
+          n, static_cast<VertexId>(1 + rng.bounded(5)), rng());
+      break;
+    case 2: {
+      std::uint32_t scale = 1;
+      while ((VertexId{1} << scale) < n) ++scale;
+      g = graph::rmat<std::uint32_t>(scale, static_cast<EdgeId>(n) * 4, rng());
+      break;
+    }
+    default: {
+      const auto k = static_cast<VertexId>(1 + rng.bounded(3));
+      if (2 * k < n) {
+        g = graph::watts_strogatz<std::uint32_t>(n, k, 0.3, rng());
+      } else {
+        g = graph::cycle_graph<std::uint32_t>(n);
+      }
+      break;
+    }
+  }
+  if (rng.bounded(2)) {
+    g = graph::randomize_weights<std::uint32_t>(g, 1, 1 + static_cast<std::uint32_t>(rng.bounded(30)),
+                                                rng());
+  }
+  if (rng.bounded(2)) {
+    g = graph::relabel(g, graph::random_permutation(g.num_vertices(), rng()));
+  }
+  return g;
+}
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fuzz, ParApspVerifies) {
+  const auto g = random_config_graph(GetParam());
+  const auto D = apsp::par_apsp(g).distances;
+  const auto report = apsp::verify_distances(g, D, /*sample_rows=*/6, GetParam());
+  EXPECT_TRUE(report.ok()) << g.summary() << ": " << report.to_string();
+}
+
+TEST_P(Fuzz, RandomOtherAlgorithmAgrees) {
+  const auto seed = GetParam();
+  const auto g = random_config_graph(seed);
+  util::Xoshiro256 rng(seed ^ 0xfeedULL);
+  const core::Algorithm algos[] = {
+      core::Algorithm::kFloydWarshallBlocked, core::Algorithm::kRepeatedDijkstraPar,
+      core::Algorithm::kPengBasic,            core::Algorithm::kPengOptimized,
+      core::Algorithm::kPengAdaptive,         core::Algorithm::kParAlg1,
+      core::Algorithm::kParAlg2,              core::Algorithm::kCustom,
+  };
+  core::SolverOptions opts;
+  opts.algorithm = algos[rng.bounded(std::size(algos))];
+  opts.ordering = static_cast<order::OrderingKind>(rng.bounded(7));
+  opts.schedule = static_cast<apsp::Schedule>(rng.bounded(3));
+  opts.threads = static_cast<int>(1 + rng.bounded(4));
+
+  const auto got = core::solve(g, opts).distances;
+  const auto want = apsp::par_apsp(g).distances;
+  VertexId u = 0, v = 0;
+  const bool differs = got.first_difference(want, u, v);
+  EXPECT_FALSE(differs) << g.summary() << " algo=" << core::to_string(opts.algorithm)
+                        << " differs at (" << u << "," << v << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range<std::uint64_t>(1, 49),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+
+namespace {
+
+// Metamorphic property: relabeling the graph permutes the distance matrix.
+// Exercises the full stack (builder, ordering, kernel, parallel sweep) under
+// an arbitrary vertex renaming.
+class RelabelInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RelabelInvariance, DistancesCommuteWithRelabeling) {
+  const auto seed = GetParam();
+  const auto g = random_config_graph(seed + 1000);
+  const auto perm = graph::random_permutation(g.num_vertices(), seed ^ 0xabc);
+  const auto h = graph::relabel(g, perm);
+
+  const auto Dg = apsp::par_apsp(g).distances;
+  const auto Dh = apsp::par_apsp(h).distances;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(Dg.at(u, v), Dh.at(perm[u], perm[v]))
+          << g.summary() << " at " << u << "," << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelabelInvariance,
+                         ::testing::Range<std::uint64_t>(1, 9),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace

@@ -1,0 +1,202 @@
+// Unit + property tests for graph/generators.hpp.
+//
+// Includes the scale-free shape checks DESIGN.md leans on: the BA/R-MAT
+// substitutes for the paper's SNAP datasets must exhibit power-law degree
+// skew (that skew is what drives every mechanism the paper measures).
+#include <gtest/gtest.h>
+
+#include "analysis/degree_distribution.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/validation.hpp"
+
+namespace {
+
+using namespace parapsp;
+using namespace parapsp::graph;
+
+// ---------- Erdős–Rényi ----------
+
+TEST(ErdosRenyi, GnmExactEdgeCount) {
+  const auto g = erdos_renyi_gnm<std::uint32_t>(100, 250, 1);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 250u);
+  EXPECT_TRUE(validate(g).ok());
+}
+
+TEST(ErdosRenyi, GnmDirected) {
+  const auto g = erdos_renyi_gnm<std::uint32_t>(50, 200, 2, Directedness::kDirected);
+  EXPECT_TRUE(g.is_directed());
+  EXPECT_EQ(g.num_edges(), 200u);
+  EXPECT_TRUE(validate(g).ok());
+}
+
+TEST(ErdosRenyi, GnmDeterministicInSeed) {
+  const auto a = erdos_renyi_gnm<std::uint32_t>(80, 150, 3);
+  const auto b = erdos_renyi_gnm<std::uint32_t>(80, 150, 3);
+  EXPECT_EQ(a.targets(), b.targets());
+  EXPECT_EQ(a.offsets(), b.offsets());
+  const auto c = erdos_renyi_gnm<std::uint32_t>(80, 150, 4);
+  EXPECT_NE(a.targets(), c.targets());
+}
+
+TEST(ErdosRenyi, GnmRejectsOverfull) {
+  EXPECT_THROW(erdos_renyi_gnm<std::uint32_t>(4, 7, 1), std::invalid_argument);
+  // Complete graph is fine.
+  const auto g = erdos_renyi_gnm<std::uint32_t>(4, 6, 1);
+  EXPECT_EQ(g.num_edges(), 6u);
+}
+
+TEST(ErdosRenyi, GnpEdgeCountNearExpectation) {
+  const VertexId n = 200;
+  const double p = 0.1;
+  const auto g = erdos_renyi_gnp<std::uint32_t>(n, p, 5);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 0.15 * expected);
+  EXPECT_TRUE(validate(g).ok());
+}
+
+TEST(ErdosRenyi, GnpEdgeCases) {
+  EXPECT_EQ(erdos_renyi_gnp<std::uint32_t>(50, 0.0, 1).num_edges(), 0u);
+  const auto full = erdos_renyi_gnp<std::uint32_t>(20, 1.0, 1);
+  EXPECT_EQ(full.num_edges(), 190u);
+  EXPECT_THROW(erdos_renyi_gnp<std::uint32_t>(10, 1.5, 1), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, GnpDirectedHasNoSelfLoops) {
+  const auto g = erdos_renyi_gnp<std::uint32_t>(60, 0.2, 6, Directedness::kDirected);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const auto v : g.neighbors(u)) EXPECT_NE(u, v);
+  }
+}
+
+// ---------- Barabási–Albert ----------
+
+TEST(BarabasiAlbert, SizeAndConnectivity) {
+  const auto g = barabasi_albert<std::uint32_t>(500, 3, 7);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  // m edges per new vertex + seed path.
+  EXPECT_EQ(g.num_edges(), 3u + (500u - 4u) * 3u);
+  EXPECT_TRUE(validate(g).ok());
+  EXPECT_EQ(connected_components(g).count, 1u);
+}
+
+TEST(BarabasiAlbert, MinDegreeIsAttachment) {
+  const auto g = barabasi_albert<std::uint32_t>(300, 4, 8);
+  EXPECT_GE(g.min_degree(), 1u);
+  // Newly attached vertices have degree >= m... except seed-path endpoints.
+  // The *max* degree must be far above m on a scale-free graph.
+  EXPECT_GT(g.max_degree(), 4u * 4u);
+}
+
+TEST(BarabasiAlbert, ScaleFreeShape) {
+  const auto g = barabasi_albert<std::uint32_t>(20000, 4, 9);
+  const auto dist = analysis::degree_distribution(g, /*xmin=*/8.0);
+  // BA theory: alpha -> 3. MLE on finite samples lands in [2, 4].
+  EXPECT_GT(dist.fit.alpha, 2.0) << "not heavy-tailed";
+  EXPECT_LT(dist.fit.alpha, 4.2);
+  // The skew the paper's Section 4.2 exploits: most vertices far below max.
+  EXPECT_GT(dist.fraction_below(static_cast<VertexId>(0.1 * dist.max_degree)), 0.9);
+}
+
+TEST(BarabasiAlbert, RejectsBadParameters) {
+  EXPECT_THROW(barabasi_albert<std::uint32_t>(5, 0, 1), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert<std::uint32_t>(3, 3, 1), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, Deterministic) {
+  const auto a = barabasi_albert<std::uint32_t>(200, 3, 11);
+  const auto b = barabasi_albert<std::uint32_t>(200, 3, 11);
+  EXPECT_EQ(a.targets(), b.targets());
+}
+
+// ---------- Watts–Strogatz ----------
+
+TEST(WattsStrogatz, NoRewireIsRingLattice) {
+  const auto g = watts_strogatz<std::uint32_t>(30, 2, 0.0, 1);
+  EXPECT_EQ(g.num_edges(), 60u);  // n*k
+  for (VertexId v = 0; v < 30; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(validate(g).ok());
+}
+
+TEST(WattsStrogatz, RewirePreservesEdgeBudget) {
+  const auto g = watts_strogatz<std::uint32_t>(100, 3, 0.3, 2);
+  // Rewiring can only drop an edge on a rare duplicate collision.
+  EXPECT_GE(g.num_edges(), 290u);
+  EXPECT_LE(g.num_edges(), 300u);
+  EXPECT_TRUE(validate(g).ok());
+}
+
+TEST(WattsStrogatz, RejectsBadParameters) {
+  EXPECT_THROW(watts_strogatz<std::uint32_t>(10, 5, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz<std::uint32_t>(10, 0, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz<std::uint32_t>(10, 2, 1.5, 1), std::invalid_argument);
+}
+
+// ---------- R-MAT ----------
+
+TEST(Rmat, BasicShape) {
+  const auto g = rmat<std::uint32_t>(8, 1000, 3);
+  EXPECT_EQ(g.num_vertices(), 256u);
+  EXPECT_TRUE(g.is_directed());
+  // Duplicates are collapsed, so <= requested.
+  EXPECT_LE(g.num_edges(), 1000u);
+  EXPECT_GT(g.num_edges(), 500u);
+  EXPECT_TRUE(validate(g).ok());
+}
+
+TEST(Rmat, SkewedDegrees) {
+  const auto g = rmat<std::uint32_t>(12, 40000, 4);
+  const auto dist = analysis::degree_distribution(g, 2.0);
+  // Heavy-tailed: max degree far above mean.
+  EXPECT_GT(dist.max_degree, 10 * dist.mean_degree);
+}
+
+TEST(Rmat, RejectsBadParameters) {
+  EXPECT_THROW(rmat<std::uint32_t>(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(rmat<std::uint32_t>(31, 10, 1), std::invalid_argument);
+  EXPECT_THROW(rmat<std::uint32_t>(4, 10, 1, Directedness::kDirected, 0.5, 0.4, 0.4),
+               std::invalid_argument);
+}
+
+// ---------- deterministic families ----------
+
+TEST(Deterministic, PathGraph) {
+  const auto g = path_graph<std::uint32_t>(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Deterministic, CycleGraph) {
+  const auto g = cycle_graph<std::uint32_t>(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Deterministic, CycleDegenerate) {
+  EXPECT_EQ(cycle_graph<std::uint32_t>(2).num_edges(), 1u);  // no double edge
+  EXPECT_EQ(cycle_graph<std::uint32_t>(1).num_edges(), 0u);
+}
+
+TEST(Deterministic, StarGraph) {
+  const auto g = star_graph<std::uint32_t>(10);
+  EXPECT_EQ(g.degree(0), 9u);
+  for (VertexId v = 1; v < 10; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Deterministic, CompleteGraph) {
+  const auto g = complete_graph<std::uint32_t>(7);
+  EXPECT_EQ(g.num_edges(), 21u);
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 6u);
+}
+
+TEST(Deterministic, GridGraph) {
+  const auto g = grid_graph<std::uint32_t>(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3u + 2u * 4u);  // horizontal + vertical
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior (row 1, col 1)
+}
+
+}  // namespace

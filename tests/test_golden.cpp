@@ -1,0 +1,200 @@
+// Golden-value tests: small graphs with fully hand-computed distance
+// matrices, direct tests of the sweep API, and weighted analysis metrics.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace parapsp;
+using graph::Directedness;
+
+TEST(Golden, WeightedDiamondFullMatrix) {
+  //      1
+  //  0 ----- 1
+  //  |       |
+  //  4|      |2       plus edge 1->3 (6), 2->3 (3), directed
+  //  2 ------3
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 1, 1);
+  b.add_edge(0, 2, 4);
+  b.add_edge(1, 2, 2);
+  b.add_edge(1, 3, 6);
+  b.add_edge(2, 3, 3);
+  const auto g = b.build();
+  const auto D = apsp::par_apsp(g).distances;
+
+  const auto inf = infinity<std::uint32_t>();
+  const std::uint32_t want[4][4] = {
+      {0, 1, 3, 6},
+      {inf, 0, 2, 5},
+      {inf, inf, 0, 3},
+      {inf, inf, inf, 0},
+  };
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = 0; v < 4; ++v) {
+      EXPECT_EQ(D.at(u, v), want[u][v]) << u << "," << v;
+    }
+  }
+}
+
+TEST(Golden, UndirectedTriangleWithTail) {
+  // Triangle 0-1-2 (unit) with a tail 2-3 of weight 5.
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(0, 2, 1);
+  b.add_edge(2, 3, 5);
+  const auto D = apsp::par_apsp(b.build()).distances;
+  const std::uint32_t want[4][4] = {
+      {0, 1, 1, 6},
+      {1, 0, 1, 6},
+      {1, 1, 0, 5},
+      {6, 6, 5, 0},
+  };
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = 0; v < 4; ++v) {
+      EXPECT_EQ(D.at(u, v), want[u][v]) << u << "," << v;
+    }
+  }
+}
+
+TEST(Golden, PathGraphDistancesAreIndexDifferences) {
+  const auto g = graph::path_graph<std::uint32_t>(9);
+  const auto D = apsp::par_apsp(g).distances;
+  for (VertexId u = 0; u < 9; ++u) {
+    for (VertexId v = 0; v < 9; ++v) {
+      EXPECT_EQ(D.at(u, v), static_cast<std::uint32_t>(u > v ? u - v : v - u));
+    }
+  }
+}
+
+TEST(Golden, CycleGraphWrapsAround) {
+  const auto g = graph::cycle_graph<std::uint32_t>(8);
+  const auto D = apsp::par_apsp(g).distances;
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = 0; v < 8; ++v) {
+      const auto direct = static_cast<std::uint32_t>(u > v ? u - v : v - u);
+      EXPECT_EQ(D.at(u, v), std::min(direct, 8 - direct));
+    }
+  }
+}
+
+// ---------- sweep API directly ----------
+
+TEST(Sweep, PartialSourceSetFillsOnlyThoseRows) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(60, 3, 61);
+  apsp::DistanceMatrix<std::uint32_t> D(60);
+  apsp::FlagArray flags(60);
+  const order::Ordering some{5, 17, 42};
+  (void)apsp::sweep_sequential(g, some, D, flags);
+  EXPECT_EQ(flags.count_complete(), 3u);
+  for (const VertexId s : some) {
+    const auto want = sssp::dijkstra(g, s);
+    for (VertexId v = 0; v < 60; ++v) {
+      ASSERT_EQ(D.at(s, v), want[v]) << s << "," << v;
+    }
+  }
+  // Untouched rows stay all-infinite.
+  EXPECT_TRUE(is_infinite(D.at(0, 1)));
+}
+
+TEST(Sweep, ParallelMatchesSequentialOnSameOrder) {
+  const auto g = graph::rmat<std::uint32_t>(7, 600, 62);
+  const auto order = order::multilists_order(g.degrees());
+
+  apsp::DistanceMatrix<std::uint32_t> Ds(g.num_vertices()), Dp(g.num_vertices());
+  apsp::FlagArray fs(g.num_vertices()), fp(g.num_vertices());
+  (void)apsp::sweep_sequential(g, order, Ds, fs);
+  util::ThreadScope scope(4);
+  (void)apsp::sweep_parallel(g, order, Dp, fp);
+  EXPECT_EQ(Ds, Dp);
+}
+
+TEST(Sweep, StatsAccumulateAcrossCalls) {
+  const auto g = graph::star_graph<std::uint32_t>(20);
+  apsp::DistanceMatrix<std::uint32_t> D(20);
+  apsp::FlagArray flags(20);
+  const auto s1 = apsp::sweep_sequential(g, {0}, D, flags);
+  const auto s2 = apsp::sweep_sequential(g, {1, 2}, D, flags);
+  EXPECT_GE(s1.dequeues, 1u);
+  EXPECT_GE(s2.dequeues, 2u);
+  EXPECT_GT(s2.row_reuses, 0u) << "hub row published first must be reused";
+}
+
+// ---------- weighted analysis metrics ----------
+
+TEST(GoldenAnalysis, WeightedPathMetrics) {
+  // 0 -2- 1 -3- 2: distances 0-2: 5.
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 3);
+  const auto D = apsp::floyd_warshall(b.build());
+  EXPECT_EQ(analysis::diameter(D), 5u);
+  EXPECT_EQ(analysis::radius(D), 3u);
+  // Ordered pairs: (0,1)=2 (0,2)=5 (1,2)=3 and mirrors -> mean = 10/3.
+  EXPECT_NEAR(analysis::average_path_length(D), 10.0 / 3.0, 1e-12);
+  const auto hist = analysis::distance_histogram(D);
+  ASSERT_EQ(hist.size(), 6u);
+  EXPECT_EQ(hist[2], 2u);
+  EXPECT_EQ(hist[3], 2u);
+  EXPECT_EQ(hist[5], 2u);
+}
+
+TEST(GoldenAnalysis, WeightedClosenessOrdering) {
+  // Heavier edges push closeness down: middle of a weighted path still wins.
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected);
+  b.add_edge(0, 1, 4);
+  b.add_edge(1, 2, 4);
+  const auto D = apsp::floyd_warshall(b.build());
+  const auto cc = analysis::closeness_centrality(D);
+  EXPECT_GT(cc[1], cc[0]);
+  EXPECT_GT(cc[1], cc[2]);
+  EXPECT_DOUBLE_EQ(cc[0], cc[2]);
+}
+
+TEST(GoldenAnalysis, BetweennessWeightedReroutesAroundHeavyEdge) {
+  // Square 0-1-2-3-0; edge 0-3 heavy (10), others 1. All 0<->3 traffic goes
+  // through 1 and 2, giving them betweenness; the heavy edge carries none.
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 1);
+  b.add_edge(3, 0, 10);
+  const auto bc = analysis::betweenness_centrality(b.build());
+  EXPECT_GT(bc[1], 0.0);
+  EXPECT_GT(bc[2], 0.0);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[3], 0.0);
+}
+
+// ---------- isolated / offbeat structures through the full stack ----------
+
+TEST(Golden, IsolatedHighIdVertex) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected);
+  b.add_edge(0, 1);
+  b.reserve_vertices(50);  // vertices 2..49 isolated
+  const auto g = b.build();
+  const auto D = apsp::par_apsp(g).distances;
+  EXPECT_EQ(D.at(0, 1), 1u);
+  EXPECT_TRUE(is_infinite(D.at(0, 49)));
+  EXPECT_EQ(D.at(49, 49), 0u);
+  EXPECT_TRUE(apsp::verify_distances(g, D).ok());
+}
+
+TEST(Golden, TwoStarsBridged) {
+  // Hubs 0 and 1 with 10 leaves each, bridge 0-1: classic barbell-ish case
+  // where both hubs should be processed first by every exact ordering.
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected);
+  for (VertexId leaf = 2; leaf < 12; ++leaf) b.add_edge(0, leaf);
+  for (VertexId leaf = 12; leaf < 22; ++leaf) b.add_edge(1, leaf);
+  b.add_edge(0, 1);
+  const auto g = b.build();
+  const auto order = order::multilists_order(g.degrees());
+  EXPECT_TRUE((order[0] == 0 && order[1] == 1) || (order[0] == 1 && order[1] == 0));
+  const auto D = apsp::par_apsp(g).distances;
+  EXPECT_EQ(D.at(2, 12), 3u);  // leaf -> hub -> hub -> leaf
+  EXPECT_EQ(analysis::diameter(D), 3u);
+}
+
+}  // namespace

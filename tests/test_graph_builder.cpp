@@ -1,0 +1,180 @@
+// Unit tests for graph/csr_graph.hpp and graph/builder.hpp.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/validation.hpp"
+
+namespace {
+
+using namespace parapsp;
+using namespace parapsp::graph;
+using G32 = Graph<std::uint32_t>;
+using B32 = GraphBuilder<std::uint32_t>;
+
+TEST(Builder, EmptyGraph) {
+  B32 b(Directedness::kUndirected);
+  const auto g = b.build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_TRUE(validate(g).ok());
+}
+
+TEST(Builder, DirectedBasics) {
+  B32 b(Directedness::kDirected);
+  b.add_edge(0, 1, 5);
+  b.add_edge(0, 2, 3);
+  b.add_edge(2, 1, 1);
+  const auto g = b.build();
+  EXPECT_TRUE(g.is_directed());
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_stored_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 0u);
+  EXPECT_EQ(g.degree(2), 1u);
+  // Adjacency is sorted by target.
+  ASSERT_EQ(g.neighbors(0).size(), 2u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.neighbors(0)[1], 2u);
+  EXPECT_EQ(g.weights(0)[0], 5u);
+  EXPECT_EQ(g.weights(0)[1], 3u);
+  EXPECT_TRUE(validate(g).ok());
+}
+
+TEST(Builder, UndirectedStoresBothArcs) {
+  B32 b(Directedness::kUndirected);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const auto g = b.build();
+  EXPECT_FALSE(g.is_directed());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_stored_edges(), 4u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_TRUE(validate(g).ok());
+}
+
+TEST(Builder, VertexCountGrowsWithIds) {
+  B32 b(Directedness::kDirected);
+  b.add_edge(0, 9);
+  const auto g = b.build();
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.degree(5), 0u);  // isolated middle vertices exist
+}
+
+TEST(Builder, ReserveVerticesAddsIsolated) {
+  B32 b(Directedness::kUndirected);
+  b.add_edge(0, 1);
+  b.reserve_vertices(5);
+  const auto g = b.build();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.degree(4), 0u);
+}
+
+TEST(Builder, NegativeWeightRejected) {
+  GraphBuilder<double> b(Directedness::kDirected);
+  EXPECT_THROW(b.add_edge(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Builder, SelfLoopKeepPolicy) {
+  B32 b(Directedness::kUndirected);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  const auto g = b.build(DuplicatePolicy::kKeepAll, SelfLoopPolicy::kKeep);
+  EXPECT_EQ(g.num_self_loops(), 1u);
+  // Undirected self-loop stored once; edge count = 2.
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_stored_edges(), 3u);
+}
+
+TEST(Builder, SelfLoopDropPolicy) {
+  B32 b(Directedness::kUndirected);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  const auto g = b.build(DuplicatePolicy::kKeepAll, SelfLoopPolicy::kDrop);
+  EXPECT_EQ(g.num_self_loops(), 0u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Builder, DuplicateKeepAll) {
+  B32 b(Directedness::kDirected);
+  b.add_edge(0, 1, 5);
+  b.add_edge(0, 1, 2);
+  const auto g = b.build(DuplicatePolicy::kKeepAll);
+  EXPECT_EQ(g.num_edges(), 2u);
+  // Sorted by weight within the (0,1) group.
+  EXPECT_EQ(g.weights(0)[0], 2u);
+  EXPECT_EQ(g.weights(0)[1], 5u);
+}
+
+TEST(Builder, DuplicateKeepMinWeight) {
+  B32 b(Directedness::kDirected);
+  b.add_edge(0, 1, 5);
+  b.add_edge(0, 1, 2);
+  b.add_edge(0, 1, 9);
+  const auto g = b.build(DuplicatePolicy::kKeepMinWeight);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.weights(0)[0], 2u);
+}
+
+TEST(Builder, DuplicateCollapseUndirectedKeepsSymmetry) {
+  B32 b(Directedness::kUndirected);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 0, 2);  // same logical edge, both orientations present
+  const auto g = b.build(DuplicatePolicy::kKeepMinWeight);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.weights(0)[0], 2u);
+  EXPECT_EQ(g.weights(1)[0], 2u);
+  EXPECT_TRUE(validate(g).ok()) << validate(g).to_string();
+}
+
+TEST(Builder, ClearResets) {
+  B32 b(Directedness::kDirected);
+  b.add_edge(0, 1);
+  b.clear();
+  EXPECT_EQ(b.pending_edges(), 0u);
+  const auto g = b.build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+}
+
+TEST(Graph, DegreeExtremes) {
+  B32 b(Directedness::kUndirected);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const auto g = b.build();
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  const auto degs = g.degrees();
+  EXPECT_EQ(degs, (std::vector<VertexId>{3, 1, 1, 1}));
+}
+
+TEST(Graph, SummaryString) {
+  B32 b(Directedness::kDirected);
+  b.add_edge(0, 1);
+  const auto g = b.build();
+  EXPECT_EQ(g.summary(), "directed, n=2, m=1");
+}
+
+TEST(Validation, DetectsBrokenOffsets) {
+  // Hand-build a corrupt CSR: target out of range.
+  std::vector<EdgeId> offsets{0, 1};
+  std::vector<VertexId> targets{5};
+  std::vector<std::uint32_t> weights{1};
+  const G32 g(Directedness::kDirected, 1, std::move(offsets), std::move(targets),
+              std::move(weights));
+  EXPECT_FALSE(validate(g).ok());
+}
+
+TEST(Validation, DetectsAsymmetricUndirected) {
+  // An "undirected" graph with only one arc direction stored.
+  std::vector<EdgeId> offsets{0, 1, 1};
+  std::vector<VertexId> targets{1};
+  std::vector<std::uint32_t> weights{1};
+  const G32 g(Directedness::kUndirected, 2, std::move(offsets), std::move(targets),
+              std::move(weights));
+  EXPECT_FALSE(validate(g).ok());
+}
+
+}  // namespace

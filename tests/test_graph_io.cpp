@@ -1,0 +1,188 @@
+// Unit tests for graph I/O: SNAP/KONECT edge-list parsing, roundtrips, and
+// the binary format.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.hpp"
+#include "graph/io_binary.hpp"
+#include "graph/io_edgelist.hpp"
+#include "graph/ops.hpp"
+#include "graph/validation.hpp"
+
+namespace {
+
+using namespace parapsp;
+using namespace parapsp::graph;
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("parapsp_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+// ---------- parsing ----------
+
+TEST(EdgeListParse, SnapStyle) {
+  const auto data = parse_edge_list(
+      "# Directed graph: example\n"
+      "# Nodes: 3 Edges: 2\n"
+      "10\t20\n"
+      "20\t30\n");
+  ASSERT_EQ(data.edges.size(), 2u);
+  EXPECT_FALSE(data.weighted);
+  EXPECT_EQ(data.edges[0].u, 10u);
+  EXPECT_EQ(data.edges[0].v, 20u);
+  EXPECT_DOUBLE_EQ(data.edges[0].w, 1.0);
+}
+
+TEST(EdgeListParse, KonectStyleWithWeights) {
+  const auto data = parse_edge_list(
+      "% sym weighted\n"
+      "1 2 3.5\n"
+      "2 3 0.5\n");
+  ASSERT_EQ(data.edges.size(), 2u);
+  EXPECT_TRUE(data.weighted);
+  EXPECT_DOUBLE_EQ(data.edges[0].w, 3.5);
+}
+
+TEST(EdgeListParse, SkipsBlankLines) {
+  const auto data = parse_edge_list("\n1 2\n\n  \n3 4\n");
+  EXPECT_EQ(data.edges.size(), 2u);
+}
+
+TEST(EdgeListParse, MixedWhitespace) {
+  const auto data = parse_edge_list("1\t 2\n3   4\t\n");
+  ASSERT_EQ(data.edges.size(), 2u);
+  EXPECT_EQ(data.edges[1].u, 3u);
+}
+
+TEST(EdgeListParse, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_edge_list("1 2\nbroken line\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos) << e.what();
+  }
+}
+
+TEST(EdgeListParse, RejectsMissingTarget) {
+  EXPECT_THROW((void)parse_edge_list("1\n"), std::runtime_error);
+}
+
+TEST(EdgeListParse, RejectsTrailingGarbage) {
+  EXPECT_THROW((void)parse_edge_list("1 2 3.0 extra\n"), std::runtime_error);
+}
+
+TEST(EdgeListBuild, CompactsArbitraryIds) {
+  const auto data = parse_edge_list("1000000 5\n5 42\n");
+  std::unordered_map<std::uint64_t, VertexId> id_map;
+  const auto g = build_from_edge_list<std::uint32_t>(
+      data, Directedness::kDirected, DuplicatePolicy::kKeepMinWeight,
+      SelfLoopPolicy::kDrop, &id_map);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(id_map.at(1000000), 0u);  // first-appearance order
+  EXPECT_EQ(id_map.at(5), 1u);
+  EXPECT_EQ(id_map.at(42), 2u);
+}
+
+TEST(EdgeListBuild, DefaultPoliciesCleanInput) {
+  // Duplicates collapse, self-loops drop — what SNAP loaders do.
+  const auto data = parse_edge_list("1 2\n1 2\n3 3\n2 1\n");
+  const auto g = build_from_edge_list<std::uint32_t>(data, Directedness::kUndirected);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_self_loops(), 0u);
+}
+
+// ---------- file roundtrip ----------
+
+TEST_F(TempDir, EdgeListFileRoundtrip) {
+  const auto g = barabasi_albert<std::uint32_t>(80, 3, 5);
+  write_edge_list(g, path("g.txt"), {.comment = "roundtrip test"});
+  const auto g2 = load_edge_list<std::uint32_t>(path("g.txt"), Directedness::kUndirected);
+  EXPECT_EQ(g2.num_vertices(), g.num_vertices());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  EXPECT_TRUE(validate(g2).ok());
+}
+
+TEST_F(TempDir, WeightedEdgeListRoundtrip) {
+  auto g = erdos_renyi_gnm<std::uint32_t>(40, 80, 6);
+  g = randomize_weights<std::uint32_t>(g, 2, 9, 7);
+  write_edge_list(g, path("w.txt"));
+  const auto g2 = load_edge_list<std::uint32_t>(path("w.txt"), Directedness::kUndirected);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  // Weight multiset preserved per vertex degree sequence; spot check totals.
+  std::uint64_t sum1 = 0, sum2 = 0;
+  for (const auto w : g.edge_weights()) sum1 += w;
+  for (const auto w : g2.edge_weights()) sum2 += w;
+  // Ids may be remapped but total arc weight is invariant.
+  EXPECT_EQ(sum1, sum2);
+}
+
+TEST_F(TempDir, ReadMissingFileThrows) {
+  EXPECT_THROW((void)read_edge_list(path("nope.txt")), std::runtime_error);
+}
+
+// ---------- binary format ----------
+
+TEST_F(TempDir, BinaryRoundtripExact) {
+  auto g = rmat<std::uint32_t>(7, 400, 8);
+  save_binary(g, path("g.bin"));
+  const auto g2 = load_binary<std::uint32_t>(path("g.bin"));
+  EXPECT_EQ(g2.is_directed(), g.is_directed());
+  EXPECT_EQ(g2.offsets(), g.offsets());
+  EXPECT_EQ(g2.targets(), g.targets());
+  EXPECT_EQ(g2.edge_weights(), g.edge_weights());
+  EXPECT_EQ(g2.num_self_loops(), g.num_self_loops());
+}
+
+TEST_F(TempDir, BinaryRoundtripDoubleWeights) {
+  auto g = erdos_renyi_gnm<double>(50, 120, 9);
+  g = randomize_weights<double>(g, 0.1, 5.0, 10);
+  save_binary(g, path("gd.bin"));
+  const auto g2 = load_binary<double>(path("gd.bin"));
+  EXPECT_EQ(g2.edge_weights(), g.edge_weights());
+}
+
+TEST_F(TempDir, BinaryWeightTypeMismatchRejected) {
+  const auto g = path_graph<std::uint32_t>(4);
+  save_binary(g, path("m.bin"));
+  EXPECT_THROW((void)load_binary<double>(path("m.bin")), std::runtime_error);
+}
+
+TEST_F(TempDir, BinaryCorruptMagicRejected) {
+  const auto g = path_graph<std::uint32_t>(4);
+  save_binary(g, path("c.bin"));
+  std::fstream f(path("c.bin"), std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(0);
+  f.write("XXXX", 4);
+  f.close();
+  EXPECT_THROW((void)load_binary<std::uint32_t>(path("c.bin")), std::runtime_error);
+}
+
+TEST_F(TempDir, BinaryTruncationRejected) {
+  const auto g = barabasi_albert<std::uint32_t>(50, 2, 11);
+  save_binary(g, path("t.bin"));
+  const auto full = std::filesystem::file_size(path("t.bin"));
+  std::filesystem::resize_file(path("t.bin"), full / 2);
+  EXPECT_THROW((void)load_binary<std::uint32_t>(path("t.bin")), std::runtime_error);
+}
+
+TEST_F(TempDir, BinaryMissingFileThrows) {
+  EXPECT_THROW((void)load_binary<std::uint32_t>(path("missing.bin")), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Unit tests for graph/ops.hpp and graph/components.hpp.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "graph/validation.hpp"
+
+namespace {
+
+using namespace parapsp;
+using namespace parapsp::graph;
+
+TEST(Transpose, ReversesArcs) {
+  GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 1, 5);
+  b.add_edge(0, 2, 3);
+  b.add_edge(2, 1, 7);
+  const auto t = transpose(b.build());
+  EXPECT_EQ(t.degree(0), 0u);
+  EXPECT_EQ(t.degree(1), 2u);
+  EXPECT_EQ(t.degree(2), 1u);
+  EXPECT_EQ(t.neighbors(2)[0], 0u);
+  EXPECT_EQ(t.weights(2)[0], 3u);
+  EXPECT_TRUE(validate(t).ok());
+}
+
+TEST(Transpose, InvolutionOnRandomDigraph) {
+  const auto g = erdos_renyi_gnm<std::uint32_t>(60, 300, 1, Directedness::kDirected);
+  const auto tt = transpose(transpose(g));
+  EXPECT_EQ(g.offsets(), tt.offsets());
+  EXPECT_EQ(g.targets(), tt.targets());
+  EXPECT_EQ(g.edge_weights(), tt.edge_weights());
+}
+
+TEST(Transpose, UndirectedIsNoop) {
+  const auto g = erdos_renyi_gnm<std::uint32_t>(30, 50, 2);
+  const auto t = transpose(g);
+  EXPECT_EQ(g.targets(), t.targets());
+}
+
+TEST(Relabel, PreservesStructure) {
+  const auto g = barabasi_albert<std::uint32_t>(50, 2, 3);
+  const auto perm = random_permutation(50, 9);
+  const auto r = relabel(g, perm);
+  EXPECT_EQ(r.num_vertices(), g.num_vertices());
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  EXPECT_TRUE(validate(r).ok());
+  // Degrees are carried through the permutation.
+  for (VertexId v = 0; v < 50; ++v) {
+    EXPECT_EQ(r.degree(perm[v]), g.degree(v));
+  }
+}
+
+TEST(Relabel, RejectsWrongSize) {
+  const auto g = path_graph<std::uint32_t>(4);
+  EXPECT_THROW(relabel(g, {0, 1}), std::invalid_argument);
+}
+
+TEST(InducedSubgraph, ExtractsCorrectEdges) {
+  // path 0-1-2-3-4; keep {1,2,3} -> path of 3.
+  const auto g = path_graph<std::uint32_t>(5);
+  const auto s = induced_subgraph(g, {1, 2, 3});
+  EXPECT_EQ(s.num_vertices(), 3u);
+  EXPECT_EQ(s.num_edges(), 2u);
+  EXPECT_TRUE(validate(s).ok());
+}
+
+TEST(InducedSubgraph, DirectedKeepsOrientation) {
+  GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  const auto s = induced_subgraph(b.build(), {0, 2});
+  EXPECT_EQ(s.num_edges(), 1u);  // only 2->0 survives
+  EXPECT_EQ(s.degree(1), 1u);    // new id of old vertex 2
+}
+
+TEST(InducedSubgraph, RejectsOutOfRange) {
+  const auto g = path_graph<std::uint32_t>(3);
+  EXPECT_THROW(induced_subgraph(g, {0, 7}), std::invalid_argument);
+}
+
+TEST(ToUndirected, SymmetrizesAndCollapses) {
+  GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 0, 3);  // anti-parallel pair -> one edge, min weight
+  b.add_edge(1, 2, 2);
+  const auto u = to_undirected(b.build());
+  EXPECT_FALSE(u.is_directed());
+  EXPECT_EQ(u.num_edges(), 2u);
+  EXPECT_EQ(u.weights(0)[0], 3u);
+  EXPECT_TRUE(validate(u).ok());
+}
+
+TEST(RandomizeWeights, RangeAndSymmetry) {
+  const auto g = erdos_renyi_gnm<std::uint32_t>(40, 100, 4);
+  const auto w = randomize_weights<std::uint32_t>(g, 2, 9, 5);
+  EXPECT_EQ(w.num_edges(), g.num_edges());
+  for (VertexId u = 0; u < w.num_vertices(); ++u) {
+    for (const auto wt : w.weights(u)) {
+      EXPECT_GE(wt, 2u);
+      EXPECT_LE(wt, 9u);
+    }
+  }
+  EXPECT_TRUE(validate(w).ok());  // includes arc symmetry of weights
+}
+
+TEST(RandomizeWeights, FloatingRange) {
+  const auto g0 = erdos_renyi_gnm<double>(30, 60, 6);
+  const auto w = randomize_weights<double>(g0, 0.5, 2.5, 7);
+  for (VertexId u = 0; u < w.num_vertices(); ++u) {
+    for (const auto wt : w.weights(u)) {
+      EXPECT_GE(wt, 0.5);
+      EXPECT_LE(wt, 2.5);
+    }
+  }
+}
+
+TEST(RandomizeWeights, RejectsBadRange) {
+  const auto g = path_graph<std::uint32_t>(3);
+  EXPECT_THROW(randomize_weights<std::uint32_t>(g, 5, 2, 1), std::invalid_argument);
+}
+
+TEST(RandomPermutation, IsPermutation) {
+  const auto p = random_permutation(100, 8);
+  std::vector<VertexId> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<VertexId> expect(100);
+  std::iota(expect.begin(), expect.end(), VertexId{0});
+  EXPECT_EQ(sorted, expect);
+}
+
+// ---------- components ----------
+
+TEST(Components, SingleComponent) {
+  const auto g = cycle_graph<std::uint32_t>(10);
+  EXPECT_EQ(connected_components(g).count, 1u);
+}
+
+TEST(Components, CountsIslands) {
+  GraphBuilder<std::uint32_t> b(Directedness::kUndirected, 7);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  // 5, 6 isolated.
+  const auto comps = connected_components(b.build());
+  EXPECT_EQ(comps.count, 4u);
+  EXPECT_EQ(comps.label[0], comps.label[1]);
+  EXPECT_EQ(comps.label[2], comps.label[4]);
+  EXPECT_NE(comps.label[0], comps.label[2]);
+  EXPECT_NE(comps.label[5], comps.label[6]);
+}
+
+TEST(Components, DirectedUsesWeakConnectivity) {
+  GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 1);
+  b.add_edge(2, 1);  // 0->1<-2 weakly connected
+  EXPECT_EQ(connected_components(b.build()).count, 1u);
+}
+
+TEST(Components, LargestComponentExtraction) {
+  GraphBuilder<std::uint32_t> b(Directedness::kUndirected, 10);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);  // component of 4
+  b.add_edge(5, 6);  // component of 2
+  const auto lcc = largest_component(b.build());
+  EXPECT_EQ(lcc.num_vertices(), 4u);
+  EXPECT_EQ(lcc.num_edges(), 3u);
+  EXPECT_EQ(connected_components(lcc).count, 1u);
+}
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_FALSE(uf.unite(1, 0));  // already merged
+  EXPECT_TRUE(uf.unite(0, 2));
+  EXPECT_EQ(uf.find(3), uf.find(1));
+  EXPECT_NE(uf.find(4), uf.find(0));
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Shared fixtures and case generators for the ParAPSP test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parapsp/parapsp.hpp"
+
+namespace parapsp::testing {
+
+/// A named random-graph configuration for parameterized suites.
+struct GraphCase {
+  std::string name;
+  enum class Family : std::uint8_t { kER, kBA, kWS, kRMAT } family = Family::kER;
+  VertexId n = 100;
+  std::uint64_t param = 3;  ///< edges (ER), m per vertex (BA), k (WS), edges (RMAT)
+  graph::Directedness dir = graph::Directedness::kUndirected;
+  bool weighted = false;    ///< random weights in [1, 20] when true
+  std::uint64_t seed = 1;
+};
+
+inline std::uint32_t rmat_scale_for(VertexId n) {
+  std::uint32_t scale = 1;
+  while ((VertexId{1} << scale) < n) ++scale;
+  return scale;
+}
+
+/// Materializes the case as a uint32-weighted graph.
+inline graph::Graph<std::uint32_t> make_graph(const GraphCase& c) {
+  graph::Graph<std::uint32_t> g;
+  switch (c.family) {
+    case GraphCase::Family::kER:
+      g = graph::erdos_renyi_gnm<std::uint32_t>(c.n, c.param, c.seed, c.dir);
+      break;
+    case GraphCase::Family::kBA:
+      g = graph::barabasi_albert<std::uint32_t>(c.n, static_cast<VertexId>(c.param),
+                                                c.seed, c.dir);
+      break;
+    case GraphCase::Family::kWS:
+      g = graph::watts_strogatz<std::uint32_t>(c.n, static_cast<VertexId>(c.param), 0.2,
+                                               c.seed);
+      break;
+    case GraphCase::Family::kRMAT:
+      g = graph::rmat<std::uint32_t>(rmat_scale_for(c.n), c.param, c.seed, c.dir);
+      break;
+  }
+  if (c.weighted) g = graph::randomize_weights<std::uint32_t>(g, 1, 20, c.seed ^ 0xabcdef);
+  return g;
+}
+
+/// Pretty-printer so gtest names parameterized cases readably.
+inline std::string case_name(const ::testing::TestParamInfo<GraphCase>& info) {
+  return info.param.name;
+}
+
+/// EXPECT_* that two distance matrices are identical, reporting the first
+/// mismatching pair.
+template <WeightType W>
+void expect_same_distances(const apsp::DistanceMatrix<W>& got,
+                           const apsp::DistanceMatrix<W>& want,
+                           const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  VertexId u = 0, v = 0;
+  const bool differs = got.first_difference(want, u, v);
+  EXPECT_FALSE(differs) << label << ": differs at (" << u << "," << v << "): got "
+                        << got.at(u, v) << ", want " << want.at(u, v);
+}
+
+/// The standard cross-algorithm case roster: families x direction x weights.
+inline std::vector<GraphCase> standard_cases() {
+  using F = GraphCase::Family;
+  return {
+      {"er_undirected", F::kER, 120, 400, graph::Directedness::kUndirected, false, 11},
+      {"er_directed", F::kER, 120, 700, graph::Directedness::kDirected, false, 12},
+      {"er_weighted", F::kER, 100, 350, graph::Directedness::kUndirected, true, 13},
+      {"er_sparse_disconnected", F::kER, 150, 60, graph::Directedness::kUndirected, false, 14},
+      {"ba_small", F::kBA, 150, 2, graph::Directedness::kUndirected, false, 15},
+      {"ba_dense", F::kBA, 120, 6, graph::Directedness::kUndirected, false, 16},
+      {"ba_weighted", F::kBA, 100, 3, graph::Directedness::kUndirected, true, 17},
+      {"ws_ring", F::kWS, 140, 3, graph::Directedness::kUndirected, false, 18},
+      {"ws_weighted", F::kWS, 100, 2, graph::Directedness::kUndirected, true, 19},
+      {"rmat_directed", F::kRMAT, 128, 500, graph::Directedness::kDirected, false, 20},
+      {"rmat_undirected", F::kRMAT, 128, 400, graph::Directedness::kUndirected, false, 21},
+      {"rmat_weighted_directed", F::kRMAT, 64, 300, graph::Directedness::kDirected, true, 22},
+  };
+}
+
+}  // namespace parapsp::testing

@@ -1,0 +1,200 @@
+// Tests for landmark-based approximate APSP, distance-matrix persistence,
+// and the repeated-BFS baseline.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "apsp/landmarks.hpp"
+#include "apsp/matrix_io.hpp"
+#include "apsp/repeated_bfs.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+// ---------- landmarks ----------
+
+class LandmarkBounds : public ::testing::TestWithParam<apsp::LandmarkPolicy> {};
+
+TEST_P(LandmarkBounds, BracketExactDistances) {
+  const auto g = parapsp::testing::make_graph(
+      {"ba", parapsp::testing::GraphCase::Family::kBA, 200, 3,
+       graph::Directedness::kUndirected, false, 31});
+  const auto exact = apsp::floyd_warshall(g);
+  const apsp::LandmarkIndex<std::uint32_t> index(g, 8, GetParam(), 32);
+
+  for (VertexId u = 0; u < g.num_vertices(); u += 7) {
+    for (VertexId v = 0; v < g.num_vertices(); v += 11) {
+      const auto d = exact.at(u, v);
+      const auto ub = index.upper_bound(u, v);
+      const auto lb = index.lower_bound(u, v);
+      if (is_infinite(d)) {
+        EXPECT_TRUE(is_infinite(ub)) << u << "," << v;
+      } else {
+        EXPECT_GE(ub, d) << u << "," << v;
+        EXPECT_LE(lb, d) << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST_P(LandmarkBounds, DirectedBracketing) {
+  const auto g = parapsp::testing::make_graph(
+      {"rmat", parapsp::testing::GraphCase::Family::kRMAT, 64, 300,
+       graph::Directedness::kDirected, false, 33});
+  const auto exact = apsp::floyd_warshall(g);
+  const apsp::LandmarkIndex<std::uint32_t> index(g, 6, GetParam(), 34);
+  for (VertexId u = 0; u < g.num_vertices(); u += 3) {
+    for (VertexId v = 0; v < g.num_vertices(); v += 5) {
+      const auto d = exact.at(u, v);
+      if (is_infinite(d)) continue;
+      EXPECT_GE(index.upper_bound(u, v), d) << u << "," << v;
+      EXPECT_LE(index.lower_bound(u, v), d) << u << "," << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, LandmarkBounds,
+                         ::testing::Values(apsp::LandmarkPolicy::kTopDegree,
+                                           apsp::LandmarkPolicy::kRandom),
+                         [](const ::testing::TestParamInfo<apsp::LandmarkPolicy>& info) {
+                           return info.param == apsp::LandmarkPolicy::kTopDegree
+                                      ? "topdegree"
+                                      : "random";
+                         });
+
+TEST(Landmarks, ExactWhenEndpointIsLandmark) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(150, 3, 35);
+  const auto exact = apsp::floyd_warshall(g);
+  const apsp::LandmarkIndex<std::uint32_t> index(g, 5,
+                                                 apsp::LandmarkPolicy::kTopDegree);
+  for (const VertexId L : index.landmarks()) {
+    for (VertexId v = 0; v < g.num_vertices(); v += 13) {
+      EXPECT_EQ(index.upper_bound(L, v), exact.at(L, v));
+    }
+  }
+}
+
+TEST(Landmarks, TopDegreePicksHubs) {
+  const auto g = graph::star_graph<std::uint32_t>(20);
+  const apsp::LandmarkIndex<std::uint32_t> index(g, 1,
+                                                 apsp::LandmarkPolicy::kTopDegree);
+  ASSERT_EQ(index.landmarks().size(), 1u);
+  EXPECT_EQ(index.landmarks()[0], 0u);  // the hub
+  // One hub landmark makes every bound exact on a star.
+  for (VertexId u = 1; u < 20; ++u) {
+    for (VertexId v = 1; v < 20; ++v) {
+      if (u != v) EXPECT_EQ(index.upper_bound(u, v), 2u);
+    }
+  }
+}
+
+TEST(Landmarks, HubLandmarksTighterThanRandomOnScaleFree) {
+  const auto raw = graph::barabasi_albert<std::uint32_t>(600, 3, 36);
+  const auto g = graph::relabel(raw, graph::random_permutation(600, 37));
+  const auto exact = apsp::floyd_warshall(g);
+  auto mean_gap = [&](apsp::LandmarkPolicy policy) {
+    const apsp::LandmarkIndex<std::uint32_t> index(g, 4, policy, 38);
+    double gap = 0.0;
+    std::uint64_t pairs = 0;
+    for (VertexId u = 0; u < 600; u += 17) {
+      for (VertexId v = 0; v < 600; v += 13) {
+        if (u == v || is_infinite(exact.at(u, v))) continue;
+        gap += static_cast<double>(index.upper_bound(u, v) - exact.at(u, v));
+        ++pairs;
+      }
+    }
+    return gap / static_cast<double>(pairs);
+  };
+  EXPECT_LE(mean_gap(apsp::LandmarkPolicy::kTopDegree),
+            mean_gap(apsp::LandmarkPolicy::kRandom));
+}
+
+TEST(Landmarks, RejectsZeroK) {
+  const auto g = graph::path_graph<std::uint32_t>(4);
+  EXPECT_THROW((apsp::LandmarkIndex<std::uint32_t>(g, 0, apsp::LandmarkPolicy::kRandom)),
+               std::invalid_argument);
+}
+
+// ---------- matrix I/O ----------
+
+class MatrixTempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("parapsp_matrix_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(MatrixTempDir, BinaryRoundtrip) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(90, 3, 39);
+  const auto D = apsp::par_apsp(g).distances;
+  apsp::save_matrix(D, path("d.bin"));
+  const auto D2 = apsp::load_matrix<std::uint32_t>(path("d.bin"));
+  EXPECT_EQ(D2, D);
+}
+
+TEST_F(MatrixTempDir, TypeMismatchRejected) {
+  const apsp::DistanceMatrix<std::uint32_t> D(4);
+  apsp::save_matrix(D, path("t.bin"));
+  EXPECT_THROW((void)apsp::load_matrix<double>(path("t.bin")), std::runtime_error);
+}
+
+TEST_F(MatrixTempDir, TruncationRejected) {
+  const apsp::DistanceMatrix<std::uint32_t> D(16);
+  apsp::save_matrix(D, path("c.bin"));
+  std::filesystem::resize_file(path("c.bin"),
+                               std::filesystem::file_size(path("c.bin")) / 2);
+  EXPECT_THROW((void)apsp::load_matrix<std::uint32_t>(path("c.bin")), std::runtime_error);
+}
+
+TEST_F(MatrixTempDir, CsvExportShape) {
+  const auto g = graph::path_graph<std::uint32_t>(3);
+  const auto D = apsp::floyd_warshall(g);
+  apsp::export_matrix_csv(D, path("d.csv"));
+  std::ifstream in(path("d.csv"));
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "v0,v1,v2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,1,2");
+}
+
+TEST_F(MatrixTempDir, CsvMarksUnreachable) {
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kUndirected, 2);
+  const auto D = apsp::floyd_warshall(b.build());
+  apsp::export_matrix_csv(D, path("u.csv"));
+  std::ifstream in(path("u.csv"));
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("inf"), std::string::npos);
+}
+
+// ---------- repeated BFS ----------
+
+TEST(RepeatedBfs, MatchesFloydWarshallOnUnitWeights) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(150, 3, 40);
+  parapsp::testing::expect_same_distances(apsp::repeated_bfs(g),
+                                          apsp::floyd_warshall(g), "repeated bfs");
+}
+
+TEST(RepeatedBfs, RejectsWeightedGraphs) {
+  auto g = graph::path_graph<std::uint32_t>(4);
+  g = graph::randomize_weights<std::uint32_t>(g, 2, 5, 41);
+  EXPECT_THROW((void)apsp::repeated_bfs(g), std::invalid_argument);
+}
+
+TEST(RepeatedBfs, UnitWeightDetector) {
+  EXPECT_TRUE(apsp::is_unit_weighted(graph::path_graph<std::uint32_t>(4)));
+  EXPECT_FALSE(apsp::is_unit_weighted(graph::path_graph<std::uint32_t>(4, 2u)));
+}
+
+}  // namespace

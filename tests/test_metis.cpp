@@ -1,0 +1,116 @@
+// Tests for METIS graph-file I/O.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.hpp"
+#include "graph/io_metis.hpp"
+#include "graph/ops.hpp"
+#include "graph/validation.hpp"
+
+namespace {
+
+using namespace parapsp;
+using namespace parapsp::graph;
+
+class MetisTempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("parapsp_metis_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST(MetisParse, TinyUnweighted) {
+  // The classic 7-vertex example from the METIS manual (shortened): a
+  // triangle plus a pendant.
+  const auto g = parse_metis<std::uint32_t>(
+      "% tiny\n"
+      "4 4\n"
+      "2 3\n"
+      "1 3\n"
+      "1 2 4\n"
+      "3\n");
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_TRUE(validate(g).ok());
+}
+
+TEST(MetisParse, WeightedFormat) {
+  const auto g = parse_metis<std::uint32_t>(
+      "3 2 1\n"
+      "2 7\n"
+      "1 7 3 4\n"
+      "2 4\n");
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.weights(0)[0], 7u);
+  EXPECT_EQ(g.weights(2)[0], 4u);
+}
+
+TEST(MetisParse, IsolatedVertexEmptyLine) {
+  const auto g = parse_metis<std::uint32_t>("3 1\n2\n1\n\n");
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(MetisParse, Rejections) {
+  EXPECT_THROW((void)parse_metis<std::uint32_t>(""), std::runtime_error);
+  // Wrong edge count in header.
+  EXPECT_THROW((void)parse_metis<std::uint32_t>("2 5\n2\n1\n"), std::runtime_error);
+  // Neighbor id out of range.
+  EXPECT_THROW((void)parse_metis<std::uint32_t>("2 1\n9\n1\n"), std::runtime_error);
+  // Too many vertex lines.
+  EXPECT_THROW((void)parse_metis<std::uint32_t>("1 0\n\n\n"), std::runtime_error);
+  // Unsupported fmt (vertex weights).
+  EXPECT_THROW((void)parse_metis<std::uint32_t>("2 1 10\n2\n1\n"), std::runtime_error);
+  // Weighted line with odd token count.
+  EXPECT_THROW((void)parse_metis<std::uint32_t>("2 1 1\n2 5\n1\n"), std::runtime_error);
+}
+
+TEST_F(MetisTempDir, RoundtripUnweighted) {
+  const auto g = barabasi_albert<std::uint32_t>(60, 3, 12);
+  save_metis(g, path("g.metis"));
+  const auto g2 = load_metis<std::uint32_t>(path("g.metis"));
+  EXPECT_EQ(g2.num_vertices(), g.num_vertices());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  EXPECT_EQ(g2.offsets(), g.offsets());
+  EXPECT_EQ(g2.targets(), g.targets());
+}
+
+TEST_F(MetisTempDir, RoundtripWeighted) {
+  auto g = erdos_renyi_gnm<std::uint32_t>(40, 90, 13);
+  g = randomize_weights<std::uint32_t>(g, 2, 9, 14);
+  save_metis(g, path("w.metis"));
+  const auto g2 = load_metis<std::uint32_t>(path("w.metis"));
+  EXPECT_EQ(g2.edge_weights(), g.edge_weights());
+}
+
+TEST_F(MetisTempDir, DirectedRejected) {
+  const auto g = erdos_renyi_gnm<std::uint32_t>(10, 20, 15, Directedness::kDirected);
+  EXPECT_THROW(save_metis(g, path("d.metis")), std::invalid_argument);
+}
+
+TEST_F(MetisTempDir, SelfLoopsDroppedOnSave) {
+  GraphBuilder<std::uint32_t> b(Directedness::kUndirected);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  const auto g = b.build(DuplicatePolicy::kKeepAll, SelfLoopPolicy::kKeep);
+  save_metis(g, path("l.metis"));
+  const auto g2 = load_metis<std::uint32_t>(path("l.metis"));
+  EXPECT_EQ(g2.num_edges(), 1u);
+  EXPECT_EQ(g2.num_self_loops(), 0u);
+}
+
+TEST_F(MetisTempDir, MissingFileThrows) {
+  EXPECT_THROW((void)load_metis<std::uint32_t>(path("nope.metis")), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,321 @@
+// Tests for the ordering procedures — the paper's Section 4 core.
+//
+// Invariants:
+//  * every procedure returns a permutation of [0, n);
+//  * selection(r=1), stdsort, counting, ParMax and MultiLists are *exact*
+//    descending degree orders;
+//  * MultiLists equals the sequential counting sort byte-for-byte (static
+//    scheduling makes ties deterministic);
+//  * ParBuckets is only bucket-monotone (its approximation error is the
+//    point of Figure 5);
+//  * all parallel procedures stay exact at any thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "order/counting.hpp"
+#include "order/dispatch.hpp"
+#include "order/multilists.hpp"
+#include "order/ordering.hpp"
+#include "order/parbuckets.hpp"
+#include "order/parmax.hpp"
+#include "order/selection.hpp"
+#include "order/stdsort.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace parapsp;
+using namespace parapsp::order;
+
+std::vector<VertexId> random_degrees(std::size_t n, VertexId max_deg, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<VertexId> degrees(n);
+  for (auto& d : degrees) d = static_cast<VertexId>(rng.bounded(max_deg + 1));
+  return degrees;
+}
+
+std::vector<VertexId> powerlaw_degrees(std::size_t n, std::uint64_t seed) {
+  // Degree shape mimicking a scale-free graph: most tiny, few huge.
+  util::Xoshiro256 rng(seed);
+  std::vector<VertexId> degrees(n);
+  for (auto& d : degrees) {
+    const double u = rng.uniform();
+    d = static_cast<VertexId>(2.0 * std::pow(1.0 - u, -1.0 / 1.5));
+  }
+  return degrees;
+}
+
+// ---------- shared helpers ----------
+
+TEST(OrderingHelpers, PermutationCheck) {
+  EXPECT_TRUE(is_permutation_of_vertices(std::vector<VertexId>{2, 0, 1}, 3));
+  EXPECT_FALSE(is_permutation_of_vertices(std::vector<VertexId>{0, 0, 1}, 3));
+  EXPECT_FALSE(is_permutation_of_vertices(std::vector<VertexId>{0, 1, 3}, 3));
+  EXPECT_FALSE(is_permutation_of_vertices(std::vector<VertexId>{0, 1}, 3));
+  EXPECT_TRUE(is_permutation_of_vertices(std::vector<VertexId>{}, 0));
+}
+
+TEST(OrderingHelpers, DescendingCheck) {
+  const std::vector<VertexId> degrees{5, 3, 3, 1};
+  EXPECT_TRUE(is_descending_degree_order(std::vector<VertexId>{0, 1, 2, 3}, degrees));
+  EXPECT_TRUE(is_descending_degree_order(std::vector<VertexId>{0, 2, 1, 3}, degrees));
+  EXPECT_FALSE(is_descending_degree_order(std::vector<VertexId>{1, 0, 2, 3}, degrees));
+}
+
+TEST(OrderingHelpers, InversionCount) {
+  const std::vector<VertexId> degrees{1, 2, 3};
+  EXPECT_EQ(count_degree_inversions(std::vector<VertexId>{2, 1, 0}, degrees), 0u);
+  EXPECT_EQ(count_degree_inversions(std::vector<VertexId>{0, 1, 2}, degrees), 2u);
+}
+
+TEST(OrderingHelpers, KindRoundtrip) {
+  for (const auto k : {OrderingKind::kIdentity, OrderingKind::kSelection,
+                       OrderingKind::kStdSort, OrderingKind::kCounting,
+                       OrderingKind::kParBuckets, OrderingKind::kParMax,
+                       OrderingKind::kMultiLists}) {
+    EXPECT_EQ(ordering_kind_from_string(to_string(k)), k);
+  }
+  EXPECT_THROW(ordering_kind_from_string("bogus"), std::invalid_argument);
+}
+
+// ---------- exact procedures, parameterized over degree shapes ----------
+
+struct DegreeShape {
+  std::string name;
+  std::vector<VertexId> degrees;
+};
+
+class ExactOrdering : public ::testing::TestWithParam<DegreeShape> {};
+
+TEST_P(ExactOrdering, SelectionFullRatio) {
+  const auto& degrees = GetParam().degrees;
+  const auto order = selection_order(degrees, 1.0);
+  EXPECT_TRUE(is_permutation_of_vertices(order, degrees.size()));
+  EXPECT_TRUE(is_descending_degree_order(order, degrees));
+}
+
+TEST_P(ExactOrdering, StdSort) {
+  const auto& degrees = GetParam().degrees;
+  const auto order = stdsort_order(degrees);
+  EXPECT_TRUE(is_permutation_of_vertices(order, degrees.size()));
+  EXPECT_TRUE(is_descending_degree_order(order, degrees));
+}
+
+TEST_P(ExactOrdering, Counting) {
+  const auto& degrees = GetParam().degrees;
+  const auto order = counting_order(degrees);
+  EXPECT_TRUE(is_permutation_of_vertices(order, degrees.size()));
+  EXPECT_TRUE(is_descending_degree_order(order, degrees));
+}
+
+TEST_P(ExactOrdering, ParMax) {
+  const auto& degrees = GetParam().degrees;
+  const auto order = parmax_order(degrees);
+  EXPECT_TRUE(is_permutation_of_vertices(order, degrees.size()));
+  EXPECT_TRUE(is_descending_degree_order(order, degrees));
+}
+
+TEST_P(ExactOrdering, MultiLists) {
+  const auto& degrees = GetParam().degrees;
+  const auto order = multilists_order(degrees);
+  EXPECT_TRUE(is_permutation_of_vertices(order, degrees.size()));
+  EXPECT_TRUE(is_descending_degree_order(order, degrees));
+}
+
+TEST_P(ExactOrdering, MultiListsMatchesCountingSort) {
+  const auto& degrees = GetParam().degrees;
+  EXPECT_EQ(multilists_order(degrees), counting_order(degrees));
+}
+
+TEST_P(ExactOrdering, CountingMatchesStdSort) {
+  // Both are stable-by-id within a degree, so they must agree exactly.
+  const auto& degrees = GetParam().degrees;
+  EXPECT_EQ(counting_order(degrees), stdsort_order(degrees));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ExactOrdering,
+    ::testing::Values(
+        DegreeShape{"empty", {}},
+        DegreeShape{"single", {7}},
+        DegreeShape{"all_equal", std::vector<VertexId>(100, 4)},
+        DegreeShape{"all_zero", std::vector<VertexId>(50, 0)},
+        DegreeShape{"already_descending", {9, 7, 5, 3, 1}},
+        DegreeShape{"ascending", {1, 2, 3, 4, 5, 6, 7, 8}},
+        DegreeShape{"uniform_random", random_degrees(1000, 50, 1)},
+        DegreeShape{"uniform_random_wide", random_degrees(2000, 1999, 2)},
+        DegreeShape{"powerlaw", powerlaw_degrees(3000, 3)},
+        DegreeShape{"two_values", []{
+          std::vector<VertexId> d(200, 1);
+          for (std::size_t i = 0; i < d.size(); i += 17) d[i] = 100;
+          return d;
+        }()}),
+    [](const ::testing::TestParamInfo<DegreeShape>& info) { return info.param.name; });
+
+// ---------- selection sort: partial ratio semantics ----------
+
+TEST(Selection, PartialRatioSortsPrefixExactly) {
+  const auto degrees = random_degrees(500, 100, 4);
+  const double r = 0.2;
+  const auto order = selection_order(degrees, r);
+  EXPECT_TRUE(is_permutation_of_vertices(order, degrees.size()));
+  const auto limit = static_cast<std::size_t>(std::ceil(r * 500));
+  // Prefix is exactly descending...
+  for (std::size_t i = 0; i + 1 < limit; ++i) {
+    EXPECT_GE(degrees[order[i]], degrees[order[i + 1]]);
+  }
+  // ...and dominates the tail.
+  const auto tail_max =
+      *std::max_element(order.begin() + static_cast<std::ptrdiff_t>(limit), order.end(),
+                        [&](VertexId a, VertexId b) { return degrees[a] < degrees[b]; });
+  EXPECT_GE(degrees[order[limit - 1]], degrees[tail_max]);
+}
+
+TEST(Selection, RejectsBadRatio) {
+  const std::vector<VertexId> degrees{1, 2};
+  EXPECT_THROW((void)selection_order(degrees, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)selection_order(degrees, 1.5), std::invalid_argument);
+}
+
+// ---------- ParBuckets: approximation semantics ----------
+
+TEST(ParBuckets, PermutationAndBucketMonotone) {
+  const auto degrees = powerlaw_degrees(2000, 5);
+  const auto order = parbuckets_order(degrees);
+  ASSERT_TRUE(is_permutation_of_vertices(order, degrees.size()));
+
+  // Bucket-monotone: the bucket index of consecutive entries never increases.
+  const auto [min_it, max_it] = std::minmax_element(degrees.begin(), degrees.end());
+  const double span = static_cast<double>(*max_it) - static_cast<double>(*min_it);
+  auto bin = [&](VertexId d) {
+    return span == 0.0 ? 0l
+                       : static_cast<long>(100.0 * (static_cast<double>(d) - *min_it) / span);
+  };
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_GE(bin(degrees[order[i]]), bin(degrees[order[i + 1]]));
+  }
+}
+
+TEST(ParBuckets, IsApproximateOnFineGrainedDegrees) {
+  // 2000 distinct degrees crammed into 101 buckets must create inversions.
+  std::vector<VertexId> degrees(2000);
+  util::Xoshiro256 rng(6);
+  for (auto& d : degrees) d = static_cast<VertexId>(rng.bounded(2000));
+  const auto order = parbuckets_order(degrees);
+  EXPECT_GT(count_degree_inversions(order, degrees), 0u);
+}
+
+TEST(ParBuckets, MoreRangesReduceError) {
+  const auto degrees = random_degrees(3000, 2999, 7);
+  const auto coarse = parbuckets_order(degrees, {.num_ranges = 100});
+  const auto fine = parbuckets_order(degrees, {.num_ranges = 1000});
+  EXPECT_LE(count_degree_inversions(fine, degrees),
+            count_degree_inversions(coarse, degrees));
+}
+
+TEST(ParBuckets, ExactWhenBucketsCoverDegrees) {
+  // Degrees 0..100 with 100 ranges: one degree per bucket -> exact.
+  const auto degrees = random_degrees(1000, 100, 8);
+  const auto order = parbuckets_order(degrees, {.num_ranges = 100});
+  EXPECT_TRUE(is_descending_degree_order(order, degrees));
+}
+
+TEST(ParBuckets, AllDegreesEqual) {
+  const std::vector<VertexId> degrees(64, 9);
+  const auto order = parbuckets_order(degrees);
+  EXPECT_TRUE(is_permutation_of_vertices(order, degrees.size()));
+}
+
+TEST(ParBuckets, RejectsZeroRanges) {
+  EXPECT_THROW((void)parbuckets_order({1, 2}, {.num_ranges = 0}), std::invalid_argument);
+}
+
+// ---------- ParMax options ----------
+
+TEST(ParMax, ThresholdSweepStaysExact) {
+  const auto degrees = powerlaw_degrees(2000, 9);
+  for (const double frac : {0.0, 0.01, 0.1, 0.5, 1.0}) {
+    const auto order = parmax_order(degrees, {.threshold_fraction = frac});
+    EXPECT_TRUE(is_permutation_of_vertices(order, degrees.size())) << frac;
+    EXPECT_TRUE(is_descending_degree_order(order, degrees)) << frac;
+  }
+}
+
+TEST(ParMax, RejectsBadThreshold) {
+  EXPECT_THROW((void)parmax_order({1}, {.threshold_fraction = -0.1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parmax_order({1}, {.threshold_fraction = 1.1}),
+               std::invalid_argument);
+}
+
+// ---------- MultiLists options ----------
+
+TEST(MultiLists, ParRatioSweepStaysExact) {
+  const auto degrees = powerlaw_degrees(2000, 10);
+  const auto want = counting_order(degrees);
+  for (const double ratio : {0.0, 0.1, 0.5, 1.0}) {
+    const auto order = multilists_order(degrees, {.par_ratio = ratio});
+    EXPECT_EQ(order, want) << "par_ratio=" << ratio;
+  }
+}
+
+TEST(MultiLists, RejectsBadRatio) {
+  EXPECT_THROW((void)multilists_order({1}, {.par_ratio = 2.0}), std::invalid_argument);
+}
+
+// ---------- thread-count invariance (exact procedures) ----------
+
+class ThreadedOrdering : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadedOrdering, ParMaxExactAtAnyThreadCount) {
+  util::ThreadScope scope(GetParam());
+  const auto degrees = powerlaw_degrees(5000, 11);
+  const auto order = parmax_order(degrees);
+  EXPECT_TRUE(is_permutation_of_vertices(order, degrees.size()));
+  EXPECT_TRUE(is_descending_degree_order(order, degrees));
+}
+
+TEST_P(ThreadedOrdering, MultiListsMatchesCountingAtAnyThreadCount) {
+  util::ThreadScope scope(GetParam());
+  const auto degrees = powerlaw_degrees(5000, 12);
+  EXPECT_EQ(multilists_order(degrees), counting_order(degrees));
+}
+
+TEST_P(ThreadedOrdering, ParBucketsPermutationAtAnyThreadCount) {
+  util::ThreadScope scope(GetParam());
+  const auto degrees = powerlaw_degrees(5000, 13);
+  EXPECT_TRUE(is_permutation_of_vertices(parbuckets_order(degrees), degrees.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadedOrdering, ::testing::Values(1, 2, 3, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+// ---------- dispatch ----------
+
+TEST(Dispatch, RoutesEveryKind) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(300, 3, 14);
+  const auto degrees = g.degrees();
+  for (const auto k : {OrderingKind::kIdentity, OrderingKind::kSelection,
+                       OrderingKind::kStdSort, OrderingKind::kCounting,
+                       OrderingKind::kParBuckets, OrderingKind::kParMax,
+                       OrderingKind::kMultiLists}) {
+    const auto order = compute_ordering(k, degrees);
+    EXPECT_TRUE(is_permutation_of_vertices(order, degrees.size())) << to_string(k);
+    if (k != OrderingKind::kIdentity && k != OrderingKind::kParBuckets) {
+      EXPECT_TRUE(is_descending_degree_order(order, degrees)) << to_string(k);
+    }
+  }
+}
+
+TEST(Dispatch, IdentityIsIota) {
+  const std::vector<VertexId> degrees{5, 1, 3};
+  EXPECT_EQ(compute_ordering(OrderingKind::kIdentity, degrees),
+            (Ordering{0, 1, 2}));
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Tests for APSP path reconstruction (the successor matrix through the
+// row-reuse kernel).
+#include <gtest/gtest.h>
+
+#include "apsp/paths.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+/// Validates a successor matrix against the graph and the exact distances:
+/// every reconstructed path must exist edge-by-edge and cost exactly D[s][v].
+template <typename W>
+void validate_paths(const graph::Graph<W>& g, const apsp::DistanceMatrix<W>& D,
+                    const apsp::SuccessorMatrix& next) {
+  const VertexId n = g.num_vertices();
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (s == v) {
+        ASSERT_EQ(next.next(s, v), kInvalidVertex);
+        continue;
+      }
+      if (is_infinite(D.at(s, v))) {
+        ASSERT_EQ(next.next(s, v), kInvalidVertex) << s << "->" << v;
+        continue;
+      }
+      const auto path = next.path(s, v);
+      ASSERT_GE(path.size(), 2u) << s << "->" << v;
+      ASSERT_EQ(path.front(), s);
+      ASSERT_EQ(path.back(), v);
+      W cost{0};
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto nb = g.neighbors(path[i]);
+        const auto ws = g.weights(path[i]);
+        W best = infinity<W>();
+        for (std::size_t e = 0; e < nb.size(); ++e) {
+          if (nb[e] == path[i + 1]) best = std::min(best, ws[e]);
+        }
+        ASSERT_FALSE(is_infinite(best))
+            << "path " << s << "->" << v << " uses non-edge " << path[i] << "->"
+            << path[i + 1];
+        cost = dist_add(cost, best);
+      }
+      ASSERT_EQ(cost, D.at(s, v)) << "path cost mismatch " << s << "->" << v;
+    }
+  }
+}
+
+class PathsCorrectness
+    : public ::testing::TestWithParam<parapsp::testing::GraphCase> {};
+
+TEST_P(PathsCorrectness, ParallelPathsAreShortest) {
+  const auto g = parapsp::testing::make_graph(GetParam());
+  const auto result = apsp::par_apsp_paths(g);
+  parapsp::testing::expect_same_distances(result.distances, apsp::floyd_warshall(g),
+                                          "paths distances");
+  validate_paths(g, result.distances, result.successors);
+}
+
+TEST_P(PathsCorrectness, SequentialPathsAreShortest) {
+  const auto g = parapsp::testing::make_graph(GetParam());
+  const auto result = apsp::peng_optimized_paths(g);
+  validate_paths(g, result.distances, result.successors);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PathsCorrectness,
+    ::testing::Values(
+        parapsp::testing::GraphCase{"ba", parapsp::testing::GraphCase::Family::kBA, 80,
+                                    3, graph::Directedness::kUndirected, false, 81},
+        parapsp::testing::GraphCase{"er_weighted",
+                                    parapsp::testing::GraphCase::Family::kER, 70, 220,
+                                    graph::Directedness::kUndirected, true, 82},
+        parapsp::testing::GraphCase{"rmat_directed",
+                                    parapsp::testing::GraphCase::Family::kRMAT, 64, 260,
+                                    graph::Directedness::kDirected, false, 83},
+        parapsp::testing::GraphCase{"er_disconnected",
+                                    parapsp::testing::GraphCase::Family::kER, 90, 40,
+                                    graph::Directedness::kUndirected, false, 84}),
+    parapsp::testing::case_name);
+
+TEST(Paths, HandComputedDiamond) {
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kDirected);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(0, 2, 5);
+  const auto result = apsp::par_apsp_paths(b.build());
+  EXPECT_EQ(result.successors.path(0, 2), (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(result.distances.at(0, 2), 2u);
+}
+
+TEST(Paths, SelfPathIsSingleton) {
+  const auto g = graph::path_graph<std::uint32_t>(3);
+  const auto result = apsp::par_apsp_paths(g);
+  EXPECT_EQ(result.successors.path(1, 1), (std::vector<VertexId>{1}));
+}
+
+TEST(Paths, UnreachableIsEmpty) {
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kUndirected, 4);
+  b.add_edge(0, 1);
+  const auto result = apsp::par_apsp_paths(b.build());
+  EXPECT_TRUE(result.successors.path(0, 3).empty());
+}
+
+TEST(Paths, ThreadInvariant) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(150, 3, 85);
+  const auto want = apsp::floyd_warshall(g);
+  for (const int t : {1, 2, 4}) {
+    util::ThreadScope scope(t);
+    const auto result = apsp::par_apsp_paths(g);
+    parapsp::testing::expect_same_distances(result.distances, want,
+                                            "t=" + std::to_string(t));
+    validate_paths(g, result.distances, result.successors);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Property tests for the generalized parallel fixed-range sort — the
+// "general sorting purposes" claim of the paper's MultiLists procedure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "order/range_sort.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace parapsp;
+using namespace parapsp::order;
+
+TEST(RangeSort, EmptyInput) {
+  const std::vector<int> empty;
+  EXPECT_TRUE(parallel_range_sort_values(empty, 10).empty());
+  EXPECT_TRUE(parallel_range_sort_values(empty, 0).empty());
+}
+
+TEST(RangeSort, ZeroBoundWithItemsThrows) {
+  EXPECT_THROW((void)parallel_range_sort_values(std::vector<int>{1}, 0),
+               std::invalid_argument);
+}
+
+TEST(RangeSort, AscendingMatchesStdSort) {
+  util::Xoshiro256 rng(1);
+  std::vector<std::uint32_t> values(5000);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng.bounded(300));
+  auto want = values;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(parallel_range_sort_values(values, 300), want);
+}
+
+TEST(RangeSort, DescendingMatchesStdSort) {
+  util::Xoshiro256 rng(2);
+  std::vector<std::uint32_t> values(5000);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng.bounded(300));
+  auto want = values;
+  std::sort(want.begin(), want.end(), std::greater<>());
+  EXPECT_EQ(parallel_range_sort_values(values, 300, SortDirection::kDescending), want);
+}
+
+TEST(RangeSort, StableOnStructs) {
+  struct Record {
+    int key;
+    int payload;
+    bool operator==(const Record&) const = default;
+  };
+  util::Xoshiro256 rng(3);
+  std::vector<Record> records(3000);
+  for (int i = 0; i < 3000; ++i) {
+    records[static_cast<std::size_t>(i)] = {static_cast<int>(rng.bounded(20)), i};
+  }
+  auto want = records;
+  std::stable_sort(want.begin(), want.end(),
+                   [](const Record& a, const Record& b) { return a.key < b.key; });
+  const auto got =
+      parallel_range_sort(records, [](const Record& r) { return r.key; }, 20);
+  EXPECT_EQ(got, want);
+}
+
+TEST(RangeSort, StableDescendingOnStructs) {
+  struct Record {
+    int key;
+    int payload;
+    bool operator==(const Record&) const = default;
+  };
+  std::vector<Record> records;
+  for (int i = 0; i < 100; ++i) records.push_back({i % 5, i});
+  auto want = records;
+  std::stable_sort(want.begin(), want.end(),
+                   [](const Record& a, const Record& b) { return a.key > b.key; });
+  const auto got = parallel_range_sort(records, [](const Record& r) { return r.key; },
+                                       5, SortDirection::kDescending);
+  EXPECT_EQ(got, want);
+}
+
+TEST(RangeSort, SortsStringsByLength) {
+  const std::vector<std::string> words{"dddd", "a", "ccc", "bb", "e", "ffff"};
+  const auto got = parallel_range_sort(
+      words, [](const std::string& s) { return s.size(); }, 5);
+  const std::vector<std::string> want{"a", "e", "bb", "ccc", "dddd", "ffff"};
+  EXPECT_EQ(got, want);
+}
+
+class RangeSortThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeSortThreads, ThreadCountInvariant) {
+  util::Xoshiro256 rng(4);
+  std::vector<std::uint32_t> values(20000);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng.bounded(1000));
+  auto want = values;
+  std::sort(want.begin(), want.end());
+
+  util::ThreadScope scope(GetParam());
+  EXPECT_EQ(parallel_range_sort_values(values, 1000), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, RangeSortThreads, ::testing::Values(1, 2, 3, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+class RangeSortShapes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RangeSortShapes, KeyBoundSweep) {
+  const std::size_t bound = GetParam();
+  util::Xoshiro256 rng(bound);
+  std::vector<std::uint64_t> values(4000);
+  for (auto& v : values) v = rng.bounded(bound);
+  auto want = values;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(parallel_range_sort_values(values, bound), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RangeSortShapes,
+                         ::testing::Values(1, 2, 16, 255, 1024, 65536),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "bound" + std::to_string(info.param);
+                         });
+
+TEST(RangeSort, AllKeysEqual) {
+  const std::vector<std::uint32_t> values(1000, 7);
+  EXPECT_EQ(parallel_range_sort_values(values, 8), values);
+}
+
+TEST(RangeSort, SingleElement) {
+  const std::vector<std::uint32_t> values{3};
+  EXPECT_EQ(parallel_range_sort_values(values, 4), values);
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Tests for strongly connected components, hop/distance-bounded APSP, and
+// the linear-regression helper.
+#include <gtest/gtest.h>
+
+#include "apsp/bounded.hpp"
+#include "apsp/floyd_warshall.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/scc.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace parapsp;
+using graph::Directedness;
+using graph::strongly_connected_components;
+
+// ---------- SCC ----------
+
+TEST(Scc, SingleCycleIsOneComponent) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  const auto scc = strongly_connected_components(b.build());
+  EXPECT_EQ(scc.count, 1u);
+}
+
+TEST(Scc, DagIsAllSingletons) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  const auto scc = strongly_connected_components(b.build());
+  EXPECT_EQ(scc.count, 4u);
+  // Reverse-topological labels: an arc A -> B across components implies
+  // label(A) > label(B).
+  const auto g = b.build();
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (scc.label[u] != scc.label[v]) EXPECT_GT(scc.label[u], scc.label[v]);
+    }
+  }
+}
+
+TEST(Scc, TwoCyclesLinkedByArc) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // SCC A
+  b.add_edge(2, 3);
+  b.add_edge(3, 2);  // SCC B
+  b.add_edge(1, 2);  // A -> B
+  const auto scc = strongly_connected_components(b.build());
+  EXPECT_EQ(scc.count, 2u);
+  EXPECT_EQ(scc.label[0], scc.label[1]);
+  EXPECT_EQ(scc.label[2], scc.label[3]);
+  EXPECT_GT(scc.label[0], scc.label[2]);  // reverse topological
+}
+
+TEST(Scc, UndirectedEqualsConnectedComponents) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected, 7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(4, 5);
+  const auto scc = strongly_connected_components(b.build());
+  const auto cc = graph::connected_components(b.build());
+  EXPECT_EQ(scc.count, cc.count);
+  for (VertexId u = 0; u < 7; ++u) {
+    for (VertexId v = 0; v < 7; ++v) {
+      EXPECT_EQ(scc.label[u] == scc.label[v], cc.label[u] == cc.label[v]);
+    }
+  }
+}
+
+TEST(Scc, AgreesWithMutualReachability) {
+  // Property: u, v share an SCC iff d(u,v) and d(v,u) are both finite.
+  const auto g = graph::rmat<std::uint32_t>(6, 200, 51);
+  const auto scc = strongly_connected_components(g);
+  const auto D = apsp::floyd_warshall(g);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const bool mutual = !is_infinite(D.at(u, v)) && !is_infinite(D.at(v, u));
+      EXPECT_EQ(scc.label[u] == scc.label[v], mutual) << u << "," << v;
+    }
+  }
+}
+
+TEST(Scc, DeepPathNoStackOverflow) {
+  // 200k-vertex directed path: a recursive Tarjan would blow the stack.
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  const VertexId n = 200000;
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  const auto scc = strongly_connected_components(b.build());
+  EXPECT_EQ(scc.count, n);
+}
+
+TEST(Scc, LargestSccExtraction) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  for (VertexId v = 0; v < 5; ++v) b.add_edge(v, (v + 1) % 5);  // 5-cycle
+  b.add_edge(0, 5);
+  b.add_edge(5, 6);  // tail
+  const auto core = graph::largest_scc(b.build());
+  EXPECT_EQ(core.num_vertices(), 5u);
+  EXPECT_EQ(core.num_edges(), 5u);
+}
+
+// ---------- bounded APSP ----------
+
+TEST(BoundedApsp, MatchesTruncatedFloydWarshall) {
+  const auto g = parapsp::testing::make_graph(
+      {"er_w", parapsp::testing::GraphCase::Family::kER, 80, 250,
+       Directedness::kUndirected, true, 52});
+  const auto full = apsp::floyd_warshall(g);
+  for (const std::uint32_t limit : {0u, 5u, 20u, 1000u}) {
+    const auto bounded = apsp::bounded_apsp(g, limit);
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        const auto want = (!is_infinite(full.at(u, v)) && full.at(u, v) <= limit)
+                              ? full.at(u, v)
+                              : infinity<std::uint32_t>();
+        ASSERT_EQ(bounded.at(u, v), want) << "limit=" << limit << " " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(BoundedApsp, ZeroLimitIsDiagonalOnly) {
+  const auto g = graph::cycle_graph<std::uint32_t>(6);
+  const auto D = apsp::bounded_apsp(g, 0u);
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = 0; v < 6; ++v) {
+      if (u == v) {
+        EXPECT_EQ(D.at(u, v), 0u);
+      } else {
+        EXPECT_TRUE(is_infinite(D.at(u, v)));
+      }
+    }
+  }
+}
+
+TEST(BoundedApsp, BallSizesOnPath) {
+  const auto g = graph::path_graph<std::uint32_t>(7);
+  const auto balls = apsp::ball_sizes(g, 2u);
+  // Middle vertex reaches 2 left + 2 right + itself.
+  EXPECT_EQ(balls[3], 5u);
+  EXPECT_EQ(balls[0], 3u);  // itself + two to the right
+}
+
+TEST(BoundedApsp, BallsGrowWithLimit) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(200, 3, 53);
+  const auto b1 = apsp::ball_sizes(g, 1u);
+  const auto b2 = apsp::ball_sizes(g, 2u);
+  for (VertexId v = 0; v < 200; ++v) {
+    EXPECT_LE(b1[v], b2[v]);
+    EXPECT_EQ(b1[v], static_cast<std::uint64_t>(g.degree(v)) + 1);
+  }
+}
+
+// ---------- linear regression ----------
+
+TEST(LinearRegression, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{3, 5, 7, 9};  // y = 2x + 1
+  const auto fit = util::linear_regression(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearRegression, NoisyLine) {
+  util::Xoshiro256 rng(54);
+  std::vector<double> x, y;
+  for (int i = 0; i < 1000; ++i) {
+    const double xi = static_cast<double>(i) / 100.0;
+    x.push_back(xi);
+    y.push_back(3.0 * xi - 2.0 + (rng.uniform() - 0.5) * 0.1);
+  }
+  const auto fit = util::linear_regression(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.02);
+  EXPECT_NEAR(fit.intercept, -2.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearRegression, DegenerateInputs) {
+  EXPECT_EQ(util::linear_regression({}, {}).slope, 0.0);
+  EXPECT_EQ(util::linear_regression({1.0}, {2.0}).slope, 0.0);
+  // Zero x-variance.
+  EXPECT_EQ(util::linear_regression({2.0, 2.0}, {1.0, 5.0}).slope, 0.0);
+  // Constant y: slope 0, perfect fit.
+  const auto fit = util::linear_regression({1.0, 2.0, 3.0}, {4.0, 4.0, 4.0});
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_EQ(fit.r_squared, 1.0);
+}
+
+TEST(LinearRegression, RecoversComplexityExponent) {
+  // y = c * n^2.4 -> log-log slope 2.4.
+  std::vector<double> log_n, log_t;
+  for (const double n : {100.0, 200.0, 400.0, 800.0}) {
+    log_n.push_back(std::log(n));
+    log_t.push_back(std::log(3e-9 * std::pow(n, 2.4)));
+  }
+  const auto fit = util::linear_regression(log_n, log_t);
+  EXPECT_NEAR(fit.slope, 2.4, 1e-9);
+}
+
+}  // namespace

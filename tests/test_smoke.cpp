@@ -1,0 +1,41 @@
+// End-to-end smoke test: every APSP algorithm must produce the exact
+// Floyd-Warshall matrix on a small scale-free graph, through the public API.
+#include <gtest/gtest.h>
+
+#include "parapsp/parapsp.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+TEST(Smoke, AllAlgorithmsMatchFloydWarshall) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(200, 3, /*seed=*/7);
+  ASSERT_TRUE(graph::validate(g).ok()) << graph::validate(g).to_string();
+
+  const auto reference = apsp::floyd_warshall(g);
+
+  for (const auto algo :
+       {core::Algorithm::kFloydWarshallBlocked, core::Algorithm::kRepeatedDijkstra,
+        core::Algorithm::kRepeatedDijkstraPar, core::Algorithm::kPengBasic,
+        core::Algorithm::kPengOptimized, core::Algorithm::kPengAdaptive,
+        core::Algorithm::kParAlg1, core::Algorithm::kParAlg2,
+        core::Algorithm::kParApsp}) {
+    core::SolverOptions opts;
+    opts.algorithm = algo;
+    const auto result = core::solve(g, opts);
+    VertexId u = 0, v = 0;
+    const bool differs = result.distances.first_difference(reference, u, v);
+    EXPECT_FALSE(differs) << core::to_string(algo) << " differs at (" << u << "," << v
+                          << "): got " << result.distances.at(u, v) << ", want "
+                          << reference.at(u, v);
+  }
+}
+
+TEST(Smoke, AnalysisOnKnownGraph) {
+  const auto g = graph::path_graph<std::uint32_t>(5);
+  const auto result = core::solve(g);
+  EXPECT_EQ(analysis::diameter(result.distances), 4u);
+  EXPECT_EQ(analysis::radius(result.distances), 2u);
+}
+
+}  // namespace

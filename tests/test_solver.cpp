@@ -1,0 +1,104 @@
+// Tests for the core::solve facade: dispatch, options, name parsing.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace parapsp;
+using core::Algorithm;
+
+TEST(SolverNames, RoundtripAllAlgorithms) {
+  for (const auto a :
+       {Algorithm::kFloydWarshall, Algorithm::kFloydWarshallBlocked,
+        Algorithm::kRepeatedDijkstra, Algorithm::kRepeatedDijkstraPar,
+        Algorithm::kPengBasic, Algorithm::kPengOptimized, Algorithm::kPengAdaptive,
+        Algorithm::kParAlg1, Algorithm::kParAlg2, Algorithm::kParApsp,
+        Algorithm::kCustom}) {
+    EXPECT_EQ(core::algorithm_from_string(core::to_string(a)), a);
+  }
+  EXPECT_THROW(core::algorithm_from_string("nope"), std::invalid_argument);
+}
+
+TEST(SolverNames, ScheduleRoundtrip) {
+  for (const auto s : {apsp::Schedule::kBlock, apsp::Schedule::kStaticCyclic,
+                       apsp::Schedule::kDynamicCyclic}) {
+    EXPECT_EQ(apsp::schedule_from_string(apsp::to_string(s)), s);
+  }
+  EXPECT_THROW(apsp::schedule_from_string("nope"), std::invalid_argument);
+}
+
+TEST(Solver, DefaultRunsParApsp) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(150, 3, 51);
+  const auto result = core::solve(g);
+  parapsp::testing::expect_same_distances(result.distances, apsp::floyd_warshall(g),
+                                          "default solve");
+}
+
+TEST(Solver, EveryAlgorithmDispatches) {
+  const auto g = graph::erdos_renyi_gnm<std::uint32_t>(80, 250, 52);
+  const auto want = apsp::floyd_warshall(g);
+  for (const auto a :
+       {Algorithm::kFloydWarshall, Algorithm::kFloydWarshallBlocked,
+        Algorithm::kRepeatedDijkstra, Algorithm::kRepeatedDijkstraPar,
+        Algorithm::kPengBasic, Algorithm::kPengOptimized, Algorithm::kPengAdaptive,
+        Algorithm::kParAlg1, Algorithm::kParAlg2, Algorithm::kParApsp,
+        Algorithm::kCustom}) {
+    core::SolverOptions opts;
+    opts.algorithm = a;
+    parapsp::testing::expect_same_distances(core::solve(g, opts).distances, want,
+                                            core::to_string(a));
+  }
+}
+
+TEST(Solver, ThreadOptionRespectedAndRestored) {
+  const int ambient = util::max_threads();
+  const auto g = graph::barabasi_albert<std::uint32_t>(100, 2, 53);
+  core::SolverOptions opts;
+  opts.threads = 2;
+  (void)core::solve(g, opts);
+  EXPECT_EQ(util::max_threads(), ambient);
+}
+
+TEST(Solver, CustomOrderingAndSchedule) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(120, 3, 54);
+  const auto want = apsp::floyd_warshall(g);
+  core::SolverOptions opts;
+  opts.algorithm = Algorithm::kCustom;
+  for (const auto kind : {order::OrderingKind::kParMax, order::OrderingKind::kParBuckets,
+                          order::OrderingKind::kStdSort}) {
+    opts.ordering = kind;
+    for (const auto sched : {apsp::Schedule::kBlock, apsp::Schedule::kDynamicCyclic}) {
+      opts.schedule = sched;
+      parapsp::testing::expect_same_distances(
+          core::solve(g, opts).distances, want,
+          std::string(order::to_string(kind)) + "/" + apsp::to_string(sched));
+    }
+  }
+}
+
+TEST(Solver, SelectionRatioForwarded) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(100, 3, 55);
+  core::SolverOptions opts;
+  opts.algorithm = Algorithm::kPengOptimized;
+  opts.selection_ratio = 0.1;
+  parapsp::testing::expect_same_distances(core::solve(g, opts).distances,
+                                          apsp::floyd_warshall(g), "ratio 0.1");
+}
+
+TEST(Solver, FwBlockForwarded) {
+  const auto g = graph::erdos_renyi_gnm<std::uint32_t>(70, 200, 56);
+  core::SolverOptions opts;
+  opts.algorithm = Algorithm::kFloydWarshallBlocked;
+  opts.fw_block = 5;
+  parapsp::testing::expect_same_distances(core::solve(g, opts).distances,
+                                          apsp::floyd_warshall(g), "block 5");
+}
+
+TEST(Solver, WorksOnEmptyGraph) {
+  const graph::Graph<std::uint32_t> g;
+  const auto result = core::solve(g);
+  EXPECT_EQ(result.distances.size(), 0u);
+}
+
+}  // namespace

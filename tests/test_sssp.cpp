@@ -1,0 +1,167 @@
+// Tests for the SSSP substrate: Dijkstra, Bellman-Ford/SPFA, BFS.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/bfs.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace {
+
+using namespace parapsp;
+using namespace parapsp::sssp;
+using graph::Directedness;
+
+TEST(Dijkstra, HandComputedExample) {
+  // Classic diamond: 0->1 (1), 0->2 (4), 1->2 (2), 1->3 (6), 2->3 (3).
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 1, 1);
+  b.add_edge(0, 2, 4);
+  b.add_edge(1, 2, 2);
+  b.add_edge(1, 3, 6);
+  b.add_edge(2, 3, 3);
+  const auto dist = dijkstra(b.build(), 0);
+  EXPECT_EQ(dist, (std::vector<std::uint32_t>{0, 1, 3, 6}));
+}
+
+TEST(Dijkstra, UnreachableIsInfinity) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected, 3);
+  b.add_edge(0, 1, 2);
+  const auto dist = dijkstra(b.build(), 0);
+  EXPECT_EQ(dist[2], infinity<std::uint32_t>());
+}
+
+TEST(Dijkstra, SourceOutOfRangeThrows) {
+  const auto g = graph::path_graph<std::uint32_t>(3);
+  EXPECT_THROW((void)dijkstra(g, 5), std::out_of_range);
+}
+
+TEST(Dijkstra, ZeroWeightEdges) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 1, 0);
+  b.add_edge(1, 2, 0);
+  b.add_edge(0, 2, 5);
+  const auto dist = dijkstra(b.build(), 0);
+  EXPECT_EQ(dist[2], 0u);
+}
+
+TEST(Dijkstra, SelfLoopNeverShortens) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 0, 1);
+  b.add_edge(0, 1, 3);
+  const auto dist = dijkstra(b.build(), 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 3u);
+}
+
+TEST(Dijkstra, DoubleWeights) {
+  graph::GraphBuilder<double> b(Directedness::kUndirected);
+  b.add_edge(0, 1, 0.5);
+  b.add_edge(1, 2, 0.25);
+  b.add_edge(0, 2, 1.0);
+  const auto dist = dijkstra(b.build(), 0);
+  EXPECT_DOUBLE_EQ(dist[2], 0.75);
+}
+
+TEST(DijkstraTree, PathReconstruction) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(0, 2, 5);
+  const auto tree = dijkstra_tree(b.build(), 0);
+  EXPECT_EQ(tree.path_to(2), (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(tree.path_to(0), (std::vector<VertexId>{0}));
+}
+
+TEST(DijkstraTree, UnreachablePathEmpty) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected, 3);
+  b.add_edge(0, 1, 1);
+  const auto tree = dijkstra_tree(b.build(), 0);
+  EXPECT_TRUE(tree.path_to(2).empty());
+}
+
+TEST(DijkstraTree, PathCostMatchesDistance) {
+  const auto g0 = graph::erdos_renyi_gnm<std::uint32_t>(60, 200, 3);
+  const auto g = graph::randomize_weights<std::uint32_t>(g0, 1, 9, 4);
+  const auto tree = dijkstra_tree(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto path = tree.path_to(v);
+    if (path.empty()) continue;
+    std::uint32_t cost = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto nb = g.neighbors(path[i]);
+      const auto ws = g.weights(path[i]);
+      std::uint32_t best = infinity<std::uint32_t>();
+      for (std::size_t e = 0; e < nb.size(); ++e) {
+        if (nb[e] == path[i + 1]) best = std::min(best, ws[e]);
+      }
+      ASSERT_FALSE(is_infinite(best)) << "path uses a non-edge";
+      cost += best;
+    }
+    EXPECT_EQ(cost, tree.dist[v]) << "path cost mismatch at vertex " << v;
+  }
+}
+
+// ---------- agreement properties across SSSP algorithms ----------
+
+class SsspAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SsspAgreement, DijkstraEqualsBellmanFordAndSpfa) {
+  const auto seed = GetParam();
+  auto g = graph::erdos_renyi_gnm<std::uint32_t>(80, 300, seed,
+                                                 seed % 2 ? Directedness::kDirected
+                                                          : Directedness::kUndirected);
+  g = graph::randomize_weights<std::uint32_t>(g, 1, 15, seed ^ 0x9999);
+  for (const VertexId s : {VertexId{0}, VertexId{40}, VertexId{79}}) {
+    const auto d1 = dijkstra(g, s);
+    EXPECT_EQ(d1, bellman_ford(g, s)) << "bellman-ford, s=" << s;
+    EXPECT_EQ(d1, spfa(g, s)) << "spfa, s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsspAgreement, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---------- BFS ----------
+
+TEST(Bfs, HopsOnPath) {
+  const auto g = graph::path_graph<std::uint32_t>(5);
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops, (std::vector<VertexId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Bfs, UnreachableMarked) {
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kDirected, 4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const auto hops = bfs_hops(b.build(), 0);
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[2], kInvalidVertex);
+  EXPECT_EQ(hops[3], kInvalidVertex);
+}
+
+TEST(Bfs, EqualsDijkstraOnUnitWeights) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(200, 3, 9);
+  const auto hops = bfs_hops(g, 5);
+  const auto dist = dijkstra(g, 5);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (hops[v] == kInvalidVertex) {
+      EXPECT_TRUE(is_infinite(dist[v]));
+    } else {
+      EXPECT_EQ(hops[v], dist[v]);
+    }
+  }
+}
+
+TEST(Bfs, AllReachableCheck) {
+  EXPECT_TRUE(all_reachable_from(graph::cycle_graph<std::uint32_t>(6), 0));
+  graph::GraphBuilder<std::uint32_t> b(Directedness::kUndirected, 3);
+  b.add_edge(0, 1);
+  EXPECT_FALSE(all_reachable_from(b.build(), 0));
+}
+
+}  // namespace

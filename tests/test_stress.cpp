@@ -1,0 +1,76 @@
+// Larger-scale stress tests: sizes past the unit-test range, exercising the
+// parallel paths under oversubscription and the ordering procedures on
+// million-element inputs. Kept to a few seconds total.
+#include <gtest/gtest.h>
+
+#include "apsp/verify.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+TEST(Stress, ParApspOnMidSizeScaleFreeGraph) {
+  const auto raw = graph::barabasi_albert<std::uint32_t>(1500, 4, 71);
+  const auto g = graph::relabel(raw, graph::random_permutation(1500, 72));
+  util::ThreadScope scope(4);
+  const auto result = apsp::par_apsp(g);
+  const auto report = apsp::verify_distances(g, result.distances, 10, 73);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(result.kernel.row_reuses, 0u);
+}
+
+TEST(Stress, MultiListsOnMillionElements) {
+  // Ordering procedures are O(n); a million-degree array must sort exactly
+  // and match the sequential counting sort.
+  const auto g = graph::barabasi_albert<std::uint32_t>(1'000'000, 3, 74);
+  const auto degrees = g.degrees();
+  const auto ml = order::multilists_order(degrees);
+  EXPECT_TRUE(order::is_descending_degree_order(ml, degrees));
+  EXPECT_EQ(ml, order::counting_order(degrees));
+}
+
+TEST(Stress, ParMaxOnMillionElements) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(1'000'000, 3, 75);
+  const auto degrees = g.degrees();
+  const auto pm = order::parmax_order(degrees);
+  EXPECT_TRUE(order::is_permutation_of_vertices(pm, degrees.size()));
+  EXPECT_TRUE(order::is_descending_degree_order(pm, degrees));
+}
+
+TEST(Stress, RangeSortHalfMillion) {
+  util::Xoshiro256 rng(76);
+  std::vector<std::uint32_t> values(500'000);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng.bounded(4096));
+  auto want = values;
+  std::sort(want.begin(), want.end());
+  util::ThreadScope scope(4);
+  EXPECT_EQ(order::parallel_range_sort_values(values, 4096), want);
+}
+
+TEST(Stress, DenseGraphThroughEveryParallelAlgorithm) {
+  // A dense-ish graph (avg degree ~40) pushes the row-reuse fast path hard.
+  const auto raw = graph::barabasi_albert<std::uint32_t>(700, 20, 77);
+  const auto g = graph::relabel(raw, graph::random_permutation(700, 78));
+  const auto want = apsp::floyd_warshall(g);
+  util::ThreadScope scope(3);
+  parapsp::testing::expect_same_distances(apsp::par_alg1(g).distances, want, "alg1");
+  parapsp::testing::expect_same_distances(apsp::par_alg2(g).distances, want, "alg2");
+  parapsp::testing::expect_same_distances(apsp::par_apsp(g).distances, want, "apsp");
+}
+
+TEST(Stress, RepeatedSolvesShareNoState) {
+  // Back-to-back solves on different graphs must not leak state through any
+  // global (schedule scope, thread settings, ...).
+  const auto g1 = graph::barabasi_albert<std::uint32_t>(300, 3, 79);
+  const auto g2 = graph::erdos_renyi_gnm<std::uint32_t>(250, 900, 80);
+  const auto w1 = apsp::floyd_warshall(g1);
+  const auto w2 = apsp::floyd_warshall(g2);
+  for (int round = 0; round < 3; ++round) {
+    parapsp::testing::expect_same_distances(apsp::par_apsp(g1).distances, w1, "g1");
+    parapsp::testing::expect_same_distances(
+        apsp::par_alg2(g2, apsp::Schedule::kBlock).distances, w2, "g2");
+  }
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Tests for analysis/structure.hpp (clustering, assortativity, k-core) and
+// the configuration-model generator.
+#include <gtest/gtest.h>
+
+#include "analysis/structure.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/validation.hpp"
+
+namespace {
+
+using namespace parapsp;
+using namespace parapsp::analysis;
+
+// ---------- clustering ----------
+
+TEST(Clustering, TriangleIsFullyClustered) {
+  const auto g = graph::complete_graph<std::uint32_t>(3);
+  for (const auto c : local_clustering(g)) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 1.0);
+}
+
+TEST(Clustering, TreeHasNone) {
+  const auto g = graph::star_graph<std::uint32_t>(8);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 0.0);
+}
+
+TEST(Clustering, HandComputed) {
+  // Square with one diagonal 0-2. Diagonal endpoints see 2 of their 3
+  // neighbor pairs linked (1-2 and 2-3, but not 1-3): c = 2/3. The other
+  // two vertices see their only neighbor pair linked by the diagonal: c = 1.
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kUndirected);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  b.add_edge(0, 2);
+  const auto c = local_clustering(b.build());
+  EXPECT_NEAR(c[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c[2], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  EXPECT_DOUBLE_EQ(c[3], 1.0);
+}
+
+TEST(Clustering, LowDegreeVerticesZero) {
+  const auto g = graph::path_graph<std::uint32_t>(4);
+  const auto c = local_clustering(g);
+  EXPECT_DOUBLE_EQ(c[0], 0.0);  // degree 1
+  EXPECT_DOUBLE_EQ(c[1], 0.0);  // degree 2 but neighbors not linked
+}
+
+TEST(Clustering, WattsStrogatzRingIsHigh) {
+  // Ring lattice with k=2: c = 1/2 exactly for every vertex.
+  const auto g = graph::watts_strogatz<std::uint32_t>(50, 2, 0.0, 1);
+  for (const auto c : local_clustering(g)) EXPECT_NEAR(c, 0.5, 1e-12);
+}
+
+TEST(Clustering, SmallWorldBeatsRandom) {
+  // The Watts-Strogatz signature: much higher clustering than an ER graph
+  // of the same size/density.
+  const auto ws = graph::watts_strogatz<std::uint32_t>(500, 4, 0.1, 2);
+  const auto er = graph::erdos_renyi_gnm<std::uint32_t>(500, ws.num_edges(), 3);
+  EXPECT_GT(average_clustering(ws), 3.0 * average_clustering(er));
+}
+
+// ---------- assortativity ----------
+
+TEST(Assortativity, RangeAndDegenerate) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(300, 3, 4);
+  const double r = degree_assortativity(g);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+  // Regular graphs have zero degree variance -> convention 0.
+  EXPECT_DOUBLE_EQ(degree_assortativity(graph::cycle_graph<std::uint32_t>(10)), 0.0);
+  EXPECT_DOUBLE_EQ(degree_assortativity(graph::Graph<std::uint32_t>()), 0.0);
+}
+
+TEST(Assortativity, StarIsMaximallyDisassortative) {
+  // Every edge links degree n-1 to degree 1: perfect negative correlation.
+  const auto g = graph::star_graph<std::uint32_t>(10);
+  EXPECT_NEAR(degree_assortativity(g), -1.0, 1e-9);
+}
+
+TEST(Assortativity, AssortativeConstruction) {
+  // Two cliques of different sizes joined by nothing: within each clique all
+  // degrees equal -> correlation undefined per-component but globally the
+  // edges link equal degrees -> r = 1.
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kUndirected);
+  // K3 on {0,1,2} (degree 2) and K4 on {3,4,5,6} (degree 3).
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  for (VertexId u = 3; u < 7; ++u) {
+    for (VertexId v = u + 1; v < 7; ++v) b.add_edge(u, v);
+  }
+  EXPECT_NEAR(degree_assortativity(b.build()), 1.0, 1e-9);
+}
+
+// ---------- k-core ----------
+
+TEST(KCore, CompleteGraph) {
+  const auto g = graph::complete_graph<std::uint32_t>(5);
+  for (const auto c : core_numbers(g)) EXPECT_EQ(c, 4u);
+  EXPECT_EQ(degeneracy(g), 4u);
+}
+
+TEST(KCore, TreeIsOneCore) {
+  const auto g = graph::star_graph<std::uint32_t>(10);
+  for (const auto c : core_numbers(g)) EXPECT_EQ(c, 1u);
+}
+
+TEST(KCore, HandComputedOnion) {
+  // K4 core {0,1,2,3} + a path 3-4-5 hanging off: core numbers 3,3,3,3,1,1.
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kUndirected);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) b.add_edge(u, v);
+  }
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const auto core = core_numbers(b.build());
+  EXPECT_EQ(core, (std::vector<VertexId>{3, 3, 3, 3, 1, 1}));
+}
+
+TEST(KCore, IsolatedVerticesZero) {
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kUndirected, 3);
+  b.add_edge(0, 1);
+  const auto core = core_numbers(b.build());
+  EXPECT_EQ(core[2], 0u);
+  EXPECT_EQ(core[0], 1u);
+}
+
+TEST(KCore, BaGraphDegeneracyEqualsM) {
+  // BA with attachment m: peeling removes newest vertices (degree m) layer
+  // by layer, so the degeneracy is exactly m.
+  const auto g = graph::barabasi_albert<std::uint32_t>(400, 5, 6);
+  EXPECT_EQ(degeneracy(g), 5u);
+}
+
+TEST(KCore, InvariantCoreLeqDegree) {
+  const auto g = graph::rmat<std::uint32_t>(9, 2000, 7,
+                                            graph::Directedness::kUndirected);
+  const auto core = core_numbers(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(core[v], g.degree(v));
+  }
+}
+
+// ---------- configuration model ----------
+
+TEST(ConfigModel, ApproximatesDegreeSequence) {
+  std::vector<VertexId> degrees{5, 4, 3, 3, 2, 2, 2, 1, 1, 1};
+  const auto g = graph::configuration_model<std::uint32_t>(degrees, 8);
+  ASSERT_EQ(g.num_vertices(), degrees.size());
+  EXPECT_TRUE(graph::validate(g).ok());
+  // Erased model: realized degree never exceeds requested.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(g.degree(v), degrees[v]) << "v=" << v;
+  }
+}
+
+TEST(ConfigModel, ReproducesShapeOfLargeSequence) {
+  // Feed the degree sequence of a BA graph back through the configuration
+  // model; the realized distribution must keep the heavy tail.
+  const auto src = graph::barabasi_albert<std::uint32_t>(3000, 3, 9);
+  const auto degrees = src.degrees();
+  const auto g = graph::configuration_model<std::uint32_t>(degrees, 10);
+  // Erasures cost a few percent of edges at most on this shape.
+  EXPECT_GT(g.num_edges(), src.num_edges() * 9 / 10);
+  EXPECT_GT(g.max_degree(), 30u);
+  EXPECT_TRUE(graph::validate(g).ok());
+}
+
+TEST(ConfigModel, DeterministicInSeed) {
+  std::vector<VertexId> degrees(50, 3);
+  const auto a = graph::configuration_model<std::uint32_t>(degrees, 11);
+  const auto b = graph::configuration_model<std::uint32_t>(degrees, 11);
+  EXPECT_EQ(a.targets(), b.targets());
+}
+
+TEST(ConfigModel, EmptyAndZeroDegrees) {
+  EXPECT_EQ(graph::configuration_model<std::uint32_t>({}, 1).num_vertices(), 0u);
+  const auto g = graph::configuration_model<std::uint32_t>({0, 0, 0}, 2);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace

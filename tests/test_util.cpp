@@ -1,0 +1,308 @@
+// Unit tests for src/util: rng, stats, table, cli, powerlaw, timer, types.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+#include "util/powerlaw.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace {
+
+using namespace parapsp;
+using namespace parapsp::util;
+
+// ---------- types.hpp ----------
+
+TEST(Types, InfinityIntegral) {
+  EXPECT_EQ(infinity<std::uint32_t>(), std::numeric_limits<std::uint32_t>::max());
+  EXPECT_TRUE(is_infinite(infinity<std::uint32_t>()));
+  EXPECT_FALSE(is_infinite(std::uint32_t{0}));
+}
+
+TEST(Types, InfinityFloating) {
+  EXPECT_TRUE(std::isinf(infinity<double>()));
+  EXPECT_TRUE(is_infinite(infinity<float>()));
+  EXPECT_FALSE(is_infinite(1e30f));
+}
+
+TEST(Types, DistAddSaturates) {
+  const auto inf = infinity<std::uint32_t>();
+  EXPECT_EQ(dist_add(inf, std::uint32_t{5}), inf);
+  EXPECT_EQ(dist_add(std::uint32_t{5}, inf), inf);
+  EXPECT_EQ(dist_add(inf, inf), inf);
+  // Near-overflow clamps instead of wrapping.
+  EXPECT_EQ(dist_add(inf - 1, std::uint32_t{5}), inf);
+  EXPECT_EQ(dist_add(std::uint32_t{3}, std::uint32_t{4}), 7u);
+}
+
+TEST(Types, DistAddFloatingUsesIEEE) {
+  EXPECT_TRUE(std::isinf(dist_add(infinity<double>(), 1.0)));
+  EXPECT_DOUBLE_EQ(dist_add(1.5, 2.5), 4.0);
+}
+
+// ---------- rng.hpp ----------
+
+TEST(Rng, SplitMixDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDeterministicAndSeedSensitive) {
+  Xoshiro256 a(1), b(1), c(2);
+  bool all_equal_c = true;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a(), vb = b(), vc = c();
+    EXPECT_EQ(va, vb);
+    all_equal_c &= (va == vc);
+  }
+  EXPECT_FALSE(all_equal_c);
+}
+
+TEST(Rng, BoundedStaysInBound) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Xoshiro256 a(9);
+  auto b = a.split();
+  bool same = true;
+  for (int i = 0; i < 20; ++i) same &= (a() == b());
+  EXPECT_FALSE(same);
+}
+
+// ---------- stats.hpp ----------
+
+TEST(Stats, EmptyDefaults) {
+  RunStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.median(), 0.0);
+}
+
+TEST(Stats, KnownValues) {
+  RunStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 4.5);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Stats, MedianOddCount) {
+  RunStats s;
+  for (const double v : {3.0, 1.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(Stats, SingleSampleStddevZero) {
+  RunStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(Stats, TimeRepeatedCollectsSamples) {
+  int calls = 0;
+  const auto stats = time_repeated([&] { ++calls; }, 5);
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+// ---------- table.hpp ----------
+
+TEST(Table, TextAndCsv) {
+  Table t({"a", "bb", "ccc"});
+  t.add(1, 2.5, "x");
+  t.add(10, 0.125, "yy");
+  const auto text = t.to_text();
+  EXPECT_NE(text.find("ccc"), std::string::npos);
+  EXPECT_NE(text.find("yy"), std::string::npos);
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("a,bb,ccc\n"), std::string::npos);
+  EXPECT_NE(csv.find("1,2.5,x\n"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FixedFormatting) {
+  EXPECT_EQ(fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+// ---------- cli.hpp ----------
+
+TEST(Cli, ParsesOptionsAndPositionals) {
+  // `--opt value` consumes the next token, so bare boolean flags must come
+  // last, use `--flag=true`, or precede another option.
+  const char* argv[] = {"prog", "--n", "100", "pos1", "--ratio=0.5", "pos2", "--flag"};
+  Args args(7, argv);
+  EXPECT_EQ(args.get_int("n", 0), 100);
+  EXPECT_TRUE(args.get_flag("flag"));
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 0.5);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.positional()[1], "pos2");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, FlagFollowedByOption) {
+  const char* argv[] = {"prog", "--verbose", "--n", "3"};
+  Args args(4, argv);
+  EXPECT_TRUE(args.get_flag("verbose"));
+  EXPECT_EQ(args.get_int("n", 0), 3);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Args args(1, argv);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_EQ(args.get("missing", "d"), "d");
+  EXPECT_FALSE(args.get_flag("missing"));
+  EXPECT_TRUE(args.get_flag("missing", true));
+}
+
+TEST(Cli, LastOccurrenceWins) {
+  const char* argv[] = {"prog", "--n", "1", "--n", "2"};
+  Args args(5, argv);
+  EXPECT_EQ(args.get_int("n", 0), 2);
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  const char* argv[] = {"prog", "--n", "abc"};
+  Args args(3, argv);
+  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("n", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, BooleanValueForms) {
+  const char* argv[] = {"prog", "--a", "true", "--b", "off", "--c", "1"};
+  Args args(7, argv);
+  EXPECT_TRUE(args.get_flag("a"));
+  EXPECT_FALSE(args.get_flag("b"));
+  EXPECT_TRUE(args.get_flag("c"));
+}
+
+// ---------- powerlaw.hpp ----------
+
+TEST(PowerLaw, RecoversKnownExponent) {
+  // Sample from a discrete power law with alpha=2.5 via inverse transform on
+  // the continuous approximation, then check the MLE lands near 2.5.
+  Xoshiro256 rng(123);
+  std::vector<std::uint64_t> samples;
+  const double alpha = 2.5, xmin = 2.0;
+  for (int i = 0; i < 200000; ++i) {
+    // Clauset-Shalizi-Newman App. D recipe for discrete power-law samples:
+    // continuous Pareto at (xmin - 1/2), then round to the nearest integer.
+    const double u = rng.uniform();
+    const double x = (xmin - 0.5) * std::pow(1.0 - u, -1.0 / (alpha - 1.0)) + 0.5;
+    samples.push_back(static_cast<std::uint64_t>(x));
+  }
+  const auto fit = fit_power_law(samples, xmin);
+  EXPECT_NEAR(fit.alpha, alpha, 0.15);
+  EXPECT_GT(fit.n, 100000u);
+}
+
+TEST(PowerLaw, IgnoresBelowCutoffAndZeros) {
+  const std::vector<std::uint64_t> samples{0, 0, 1, 1, 5, 6, 7};
+  const auto fit = fit_power_law(samples, 5.0);
+  EXPECT_EQ(fit.n, 3u);
+}
+
+TEST(PowerLaw, FrequencyHistogram) {
+  const std::vector<std::uint64_t> samples{1, 1, 2, 5};
+  const auto hist = frequency_histogram(samples);
+  ASSERT_EQ(hist.size(), 6u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[3], 0u);
+  EXPECT_EQ(hist[5], 1u);
+}
+
+// ---------- timer.hpp ----------
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(Timer, PhaseAccumulates) {
+  PhaseTimer p;
+  p.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  p.stop();
+  const double first = p.seconds();
+  EXPECT_GT(first, 0.0);
+  p.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  p.stop();
+  EXPECT_GT(p.seconds(), first);
+  p.reset();
+  EXPECT_EQ(p.seconds(), 0.0);
+}
+
+TEST(Timer, FormatDuration) {
+  EXPECT_EQ(format_duration(1.5), "1.500 s");
+  EXPECT_EQ(format_duration(0.0025), "2.500 ms");
+  EXPECT_NE(format_duration(2e-6).find("us"), std::string::npos);
+  EXPECT_NE(format_duration(5e-9).find("ns"), std::string::npos);
+}
+
+// ---------- parallel.hpp ----------
+
+TEST(Parallel, ThreadScopeRestores) {
+  const int before = max_threads();
+  {
+    ThreadScope scope(2);
+    EXPECT_EQ(max_threads(), 2);
+  }
+  EXPECT_EQ(max_threads(), before);
+}
+
+TEST(Parallel, ThreadSweepShape) {
+  EXPECT_EQ(thread_sweep(1), (std::vector<int>{1}));
+  EXPECT_EQ(thread_sweep(16), (std::vector<int>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(thread_sweep(12), (std::vector<int>{1, 2, 4, 8, 12}));
+}
+
+}  // namespace
