@@ -1,0 +1,139 @@
+#include "apsp/checkpoint.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/failpoints.hpp"
+
+namespace parapsp::apsp::detail {
+
+namespace {
+
+using util::ErrorCode;
+using util::Status;
+
+[[nodiscard]] bool read_exact(std::ifstream& in, void* data, std::size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  return in.gcount() == static_cast<std::streamsize>(bytes);
+}
+
+[[nodiscard]] std::uint64_t popcount_bitmap(const std::vector<std::uint64_t>& bitmap) {
+  std::uint64_t c = 0;
+  for (const auto w : bitmap) c += static_cast<std::uint64_t>(__builtin_popcountll(w));
+  return c;
+}
+
+}  // namespace
+
+Status write_checkpoint_file(const std::string& path, const CheckpointHeader& hdr,
+                             const std::vector<std::uint64_t>& bitmap,
+                             const std::byte* matrix, std::size_t row_bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || PARAPSP_FAILPOINT("checkpoint_write")) {
+      return {ErrorCode::kIo,
+              "cannot write checkpoint '" + tmp + "': " + std::strerror(errno)};
+    }
+    out.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+    out.write(reinterpret_cast<const char*>(bitmap.data()),
+              static_cast<std::streamsize>(bitmap.size() * sizeof(std::uint64_t)));
+    for (std::uint32_t s = 0; s < hdr.n; ++s) {
+      if (!(bitmap[s / 64] & (std::uint64_t{1} << (s % 64)))) continue;
+      out.write(reinterpret_cast<const char*>(matrix + static_cast<std::size_t>(s) * row_bytes),
+                static_cast<std::streamsize>(row_bytes));
+    }
+    if (!out || PARAPSP_FAILPOINT("checkpoint_write_flush")) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return {ErrorCode::kIo, "checkpoint write failed for '" + tmp + "'"};
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status st{ErrorCode::kIo, "cannot rename checkpoint '" + tmp + "' to '" +
+                                        path + "': " + std::strerror(errno)};
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return st;
+  }
+  return Status::ok();
+}
+
+Status read_checkpoint_file(const std::string& path, std::uint8_t expected_code,
+                            CheckpointHeader& hdr, std::vector<std::uint64_t>& bitmap,
+                            std::vector<std::byte>& packed_rows) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in || PARAPSP_FAILPOINT("io_open_read")) {
+    return {ErrorCode::kIo,
+            "cannot open checkpoint '" + path + "': " + std::strerror(errno)};
+  }
+  if (!read_exact(in, &hdr, sizeof hdr) || PARAPSP_FAILPOINT("io_short_read")) {
+    return {ErrorCode::kFormat, "checkpoint '" + path + "': truncated header"};
+  }
+  if (hdr.magic != kCheckpointMagic) {
+    return {ErrorCode::kFormat, "checkpoint '" + path + "': bad magic"};
+  }
+  if (hdr.version != kCheckpointVersion) {
+    return {ErrorCode::kFormat, "checkpoint '" + path + "': unsupported version " +
+                                    std::to_string(hdr.version)};
+  }
+  if (hdr.weight_code != expected_code) {
+    return {ErrorCode::kFormat, "checkpoint '" + path + "': weight type mismatch"};
+  }
+  if (hdr.completed_count > hdr.n) {
+    return {ErrorCode::kFormat, "checkpoint '" + path + "': completed count " +
+                                    std::to_string(hdr.completed_count) +
+                                    " exceeds n=" + std::to_string(hdr.n)};
+  }
+
+  // Size sanity before allocating, mirroring the binary graph loader.
+  const std::size_t words = (static_cast<std::size_t>(hdr.n) + 63) / 64;
+  std::size_t row_bytes = 0, rows_bytes = 0;
+  const std::size_t weight_size = expected_code == 0   ? sizeof(std::uint32_t)
+                                  : expected_code == 1 ? sizeof(float)
+                                                       : sizeof(double);
+  if (!parapsp::checked_mul(hdr.n, weight_size, row_bytes) ||
+      !parapsp::checked_mul(row_bytes, hdr.completed_count, rows_bytes)) {
+    return {ErrorCode::kFormat, "checkpoint '" + path + "': header sizes overflow"};
+  }
+  std::error_code fs_ec;
+  const auto file_size = std::filesystem::file_size(path, fs_ec);
+  if (fs_ec) {
+    return {ErrorCode::kIo, "cannot stat checkpoint '" + path + "': " + fs_ec.message()};
+  }
+  const std::size_t expected = sizeof hdr + words * sizeof(std::uint64_t) + rows_bytes;
+  if (file_size < expected) {
+    return {ErrorCode::kFormat, "checkpoint '" + path + "': file holds " +
+                                    std::to_string(file_size) + " bytes, header needs " +
+                                    std::to_string(expected)};
+  }
+
+  try {
+    bitmap.resize(words);
+    packed_rows.resize(rows_bytes);
+  } catch (const std::bad_alloc&) {
+    return {ErrorCode::kResource, "checkpoint '" + path + "': allocation failed"};
+  }
+  if (!read_exact(in, bitmap.data(), words * sizeof(std::uint64_t)) ||
+      !read_exact(in, packed_rows.data(), rows_bytes) ||
+      PARAPSP_FAILPOINT("io_short_read")) {
+    return {ErrorCode::kFormat, "checkpoint '" + path + "': truncated payload"};
+  }
+  if (popcount_bitmap(bitmap) != hdr.completed_count) {
+    return {ErrorCode::kFormat,
+            "checkpoint '" + path + "': bitmap disagrees with completed count"};
+  }
+  // Bits past n would address rows outside the matrix.
+  for (std::uint32_t s = hdr.n; s < words * 64; ++s) {
+    if (bitmap[s / 64] & (std::uint64_t{1} << (s % 64))) {
+      return {ErrorCode::kFormat, "checkpoint '" + path + "': bitmap bit past n"};
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace parapsp::apsp::detail

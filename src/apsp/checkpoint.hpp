@@ -1,0 +1,168 @@
+// Checkpoint/resume for long APSP sweeps.
+//
+// A checkpoint stores the *completed* distance-matrix rows plus a bitmap of
+// which sources they belong to, so a cancelled / deadline-expired / crashed
+// run can resume without redoing finished work. Because every completed row
+// holds exact shortest-path distances (independent of thread count and
+// visiting order — the library's core invariant), a resumed run produces a
+// distance matrix bit-identical to an uninterrupted one.
+//
+// Format (".pack", little-endian, versioned):
+//   magic "PACK" | u32 version | u8 weight_code | u8x3 pad | u32 n
+//   u64 graph_fingerprint | u64 completed_count
+//   bitmap[(n+63)/64] (u64, bit s = row s present)
+//   rows: for each set bit in ascending s, n W values
+//
+// Writes go to "<path>.tmp" and are renamed into place, so a crash mid-write
+// never corrupts the previous checkpoint. The writer consults the
+// `checkpoint_write` failpoint.
+//
+// Snapshot safety: rows are immutable once their completion flag is
+// published (release/acquire, see flags.hpp), so a checkpoint taken from a
+// bitmap snapshot while the parallel sweep is still running serializes only
+// frozen data — no locks, no pauses.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apsp/distance_matrix.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/io_binary.hpp"  // weight_code<W>
+#include "util/expected.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::apsp {
+
+namespace detail {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x4b434150u;  // "PACK"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+struct CheckpointHeader {
+  std::uint32_t magic = kCheckpointMagic;
+  std::uint32_t version = kCheckpointVersion;
+  std::uint8_t weight_code = 0;
+  std::uint8_t pad[3] = {};
+  std::uint32_t n = 0;
+  std::uint64_t graph_fingerprint = 0;
+  std::uint64_t completed_count = 0;
+};
+
+/// Byte-level atomic writer/reader (untemplated; checkpoint.cpp).
+/// `matrix` is the flat row-major matrix; only rows set in `bitmap` are
+/// written. The reader returns the packed completed rows in bitmap order.
+[[nodiscard]] util::Status write_checkpoint_file(const std::string& path,
+                                                 const CheckpointHeader& hdr,
+                                                 const std::vector<std::uint64_t>& bitmap,
+                                                 const std::byte* matrix,
+                                                 std::size_t row_bytes);
+[[nodiscard]] util::Status read_checkpoint_file(const std::string& path,
+                                                std::uint8_t expected_code,
+                                                CheckpointHeader& hdr,
+                                                std::vector<std::uint64_t>& bitmap,
+                                                std::vector<std::byte>& packed_rows);
+
+}  // namespace detail
+
+/// Identity of the graph a checkpoint belongs to; resuming against a
+/// different graph is rejected with a format error. Cheap structural hash
+/// (FNV over n, m, directedness and sampled CSR offsets) — not
+/// cryptographic, just a guard against operator mix-ups.
+template <WeightType W>
+[[nodiscard]] std::uint64_t graph_fingerprint(const graph::Graph<W>& g) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(g.num_vertices());
+  mix(g.num_stored_edges());
+  mix(g.is_directed() ? 1 : 0);
+  mix(graph::detail::weight_code<W>());
+  const auto& offs = g.offsets();
+  for (std::size_t i = 1; i < 9 && i <= static_cast<std::size_t>(g.num_vertices());
+       ++i) {
+    mix(offs[i * g.num_vertices() / 9]);
+  }
+  return h;
+}
+
+/// What load_checkpoint returns: a full-size matrix holding the completed
+/// rows (other rows all-infinity) plus the per-source completion bitmap.
+template <WeightType W>
+struct CheckpointState {
+  DistanceMatrix<W> distances;
+  std::vector<std::uint8_t> completed;  ///< size n, completed[s] != 0 ⇔ row s exact
+  std::uint64_t graph_fp = 0;
+
+  [[nodiscard]] VertexId num_completed() const noexcept {
+    VertexId c = 0;
+    for (const auto b : completed) c += (b != 0);
+    return c;
+  }
+};
+
+/// Serializes the rows of `D` marked in `completed` (size n). Atomic:
+/// either the previous checkpoint file survives or the new one replaces it.
+template <WeightType W>
+[[nodiscard]] util::Status save_checkpoint(const std::string& path,
+                                           const DistanceMatrix<W>& D,
+                                           const std::vector<std::uint8_t>& completed,
+                                           std::uint64_t graph_fp) {
+  const VertexId n = D.size();
+  if (completed.size() != n) {
+    return {util::ErrorCode::kInvalidArgument,
+            "save_checkpoint: bitmap size != matrix size"};
+  }
+  detail::CheckpointHeader hdr;
+  hdr.weight_code = graph::detail::weight_code<W>();
+  hdr.n = n;
+  hdr.graph_fingerprint = graph_fp;
+  std::vector<std::uint64_t> bitmap((static_cast<std::size_t>(n) + 63) / 64, 0);
+  for (VertexId s = 0; s < n; ++s) {
+    if (completed[s]) {
+      bitmap[s / 64] |= (std::uint64_t{1} << (s % 64));
+      ++hdr.completed_count;
+    }
+  }
+  return detail::write_checkpoint_file(
+      path, hdr, bitmap, reinterpret_cast<const std::byte*>(D.raw().data()),
+      static_cast<std::size_t>(n) * sizeof(W));
+}
+
+/// Loads a checkpoint written with the same weight type. The caller should
+/// compare `graph_fp` against graph_fingerprint(g) before resuming.
+template <WeightType W>
+[[nodiscard]] util::Expected<CheckpointState<W>> load_checkpoint(const std::string& path) {
+  detail::CheckpointHeader hdr;
+  std::vector<std::uint64_t> bitmap;
+  std::vector<std::byte> packed;
+  if (auto st = detail::read_checkpoint_file(path, graph::detail::weight_code<W>(), hdr,
+                                             bitmap, packed);
+      !st.is_ok()) {
+    return st;
+  }
+  CheckpointState<W> state;
+  auto matrix = DistanceMatrix<W>::try_create(hdr.n);
+  if (!matrix) return matrix.status();
+  state.distances = std::move(*matrix);
+  state.completed.assign(hdr.n, 0);
+  state.graph_fp = hdr.graph_fingerprint;
+
+  const std::size_t row_bytes = static_cast<std::size_t>(hdr.n) * sizeof(W);
+  std::size_t next_row = 0;
+  for (VertexId s = 0; s < hdr.n; ++s) {
+    if (!(bitmap[s / 64] & (std::uint64_t{1} << (s % 64)))) continue;
+    state.completed[s] = 1;
+    std::memcpy(state.distances.row(s).data(), packed.data() + next_row * row_bytes,
+                row_bytes);
+    ++next_row;
+  }
+  return state;
+}
+
+}  // namespace parapsp::apsp

@@ -8,13 +8,32 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdlib>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "util/expected.hpp"
+#include "util/failpoints.hpp"
 #include "util/types.hpp"
 
 namespace parapsp::apsp {
+
+/// Process-wide cap on distance-matrix allocations, read once from the
+/// PARAPSP_MATRIX_BUDGET_BYTES environment variable (0 / unset = unlimited).
+/// try_create enforces it so a huge n yields a typed resource error instead
+/// of driving the machine into swap or OOM.
+[[nodiscard]] inline std::size_t matrix_budget_bytes() noexcept {
+  static const std::size_t budget = [] {
+    const char* env = std::getenv("PARAPSP_MATRIX_BUDGET_BYTES");
+    if (!env) return std::size_t{0};
+    char* end = nullptr;
+    const auto v = std::strtoull(env, &end, 10);
+    return (end && *end == '\0') ? static_cast<std::size_t>(v) : std::size_t{0};
+  }();
+  return budget;
+}
 
 template <WeightType W>
 class DistanceMatrix {
@@ -24,6 +43,49 @@ class DistanceMatrix {
   /// n x n matrix with every entry set to `fill` (default: unreachable).
   explicit DistanceMatrix(VertexId n, W fill = infinity<W>())
       : n_(n), data_(static_cast<std::size_t>(n) * n, fill) {}
+
+  /// Bytes an n x n matrix would occupy; false when n*n*sizeof(W) overflows.
+  [[nodiscard]] static bool bytes_required(VertexId n, std::size_t& out) noexcept {
+    std::size_t cells = 0;
+    return parapsp::checked_mul(static_cast<std::size_t>(n), n, cells) &&
+           parapsp::checked_mul(cells, sizeof(W), out);
+  }
+
+  /// Pre-checks n*n*sizeof(W) against overflow and `budget_bytes` (0 = use
+  /// matrix_budget_bytes()) without allocating.
+  [[nodiscard]] static util::Status allocation_status(VertexId n,
+                                                      std::size_t budget_bytes = 0) {
+    std::size_t bytes = 0;
+    if (!bytes_required(n, bytes)) {
+      return {util::ErrorCode::kResource,
+              "distance matrix size overflows for n=" + std::to_string(n)};
+    }
+    const std::size_t budget = budget_bytes ? budget_bytes : matrix_budget_bytes();
+    if (budget != 0 && bytes > budget) {
+      return {util::ErrorCode::kResource,
+              "distance matrix needs " + std::to_string(bytes) +
+                  " bytes for n=" + std::to_string(n) + ", over the budget of " +
+                  std::to_string(budget)};
+    }
+    return util::Status::ok();
+  }
+
+  /// Budget- and overflow-checked construction: resource error instead of UB
+  /// or bad_alloc on huge n. The `alloc_fail` failpoint injects the failure.
+  [[nodiscard]] static util::Expected<DistanceMatrix> try_create(
+      VertexId n, W fill = infinity<W>(), std::size_t budget_bytes = 0) {
+    if (auto st = allocation_status(n, budget_bytes); !st.is_ok()) return st;
+    if (PARAPSP_FAILPOINT("alloc_fail")) {
+      return util::Status(util::ErrorCode::kResource,
+                          "injected allocation failure (failpoint alloc_fail)");
+    }
+    try {
+      return DistanceMatrix(n, fill);
+    } catch (const std::bad_alloc&) {
+      return util::Status(util::ErrorCode::kResource,
+                          "allocation failed for n=" + std::to_string(n));
+    }
+  }
 
   [[nodiscard]] VertexId size() const noexcept { return n_; }
   [[nodiscard]] bool empty() const noexcept { return n_ == 0; }

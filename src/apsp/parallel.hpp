@@ -11,6 +11,10 @@
 //
 // All three produce a distance matrix identical to the sequential
 // algorithms' output, independent of thread count and interleaving.
+//
+// Each entry point accepts an optional util::ExecutionControl; a cancelled
+// or deadline-expired run returns a partial result whose `status` and
+// `completed_rows` say which rows are exact (see result.hpp).
 #pragma once
 
 #include "apsp/result.hpp"
@@ -18,23 +22,39 @@
 #include "order/dispatch.hpp"
 #include "order/multilists.hpp"
 #include "order/selection.hpp"
+#include "util/exec_control.hpp"
 #include "util/timer.hpp"
 
 namespace parapsp::apsp {
+
+namespace detail {
+
+/// Fills a controlled run's status + completion bitmap from the flag state.
+template <WeightType W>
+void finalize_controlled(ApspResult<W>& result, const FlagArray& flags,
+                         const util::ExecutionControl* ctl) {
+  if (ctl == nullptr) return;
+  result.status = ctl->check();
+  if (!result.status.is_ok()) result.completed_rows = completed_bitmap(flags);
+}
+
+}  // namespace detail
 
 /// ParAlg1: parallelized Algorithm 2. Runs under the ambient OpenMP thread
 /// count.
 template <WeightType W>
 [[nodiscard]] ApspResult<W> par_alg1(const graph::Graph<W>& g,
-                                     Schedule sched = Schedule::kDynamicCyclic) {
+                                     Schedule sched = Schedule::kDynamicCyclic,
+                                     const util::ExecutionControl* ctl = nullptr) {
   ApspResult<W> result;
   result.distances = DistanceMatrix<W>(g.num_vertices());
   FlagArray flags(g.num_vertices());
 
   util::WallTimer timer;
   const auto order = order::identity_order(g.num_vertices());
-  result.kernel = sweep_parallel(g, order, result.distances, flags, sched);
+  result.kernel = sweep_parallel(g, order, result.distances, flags, sched, ctl);
   result.sweep_seconds = timer.seconds();
+  detail::finalize_controlled(result, flags, ctl);
   return result;
 }
 
@@ -44,7 +64,8 @@ template <WeightType W>
 template <WeightType W>
 [[nodiscard]] ApspResult<W> par_alg2(const graph::Graph<W>& g,
                                      Schedule sched = Schedule::kDynamicCyclic,
-                                     double ratio = 1.0) {
+                                     double ratio = 1.0,
+                                     const util::ExecutionControl* ctl = nullptr) {
   ApspResult<W> result;
   result.distances = DistanceMatrix<W>(g.num_vertices());
   FlagArray flags(g.num_vertices());
@@ -54,8 +75,9 @@ template <WeightType W>
   result.ordering_seconds = timer.seconds();
 
   timer.reset();
-  result.kernel = sweep_parallel(g, order, result.distances, flags, sched);
+  result.kernel = sweep_parallel(g, order, result.distances, flags, sched, ctl);
   result.sweep_seconds = timer.seconds();
+  detail::finalize_controlled(result, flags, ctl);
   return result;
 }
 
@@ -63,7 +85,8 @@ template <WeightType W>
 /// ordering + dynamic-cyclic parallel sweep.
 template <WeightType W>
 [[nodiscard]] ApspResult<W> par_apsp(const graph::Graph<W>& g,
-                                     const order::MultiListsOptions& ml_opts = {}) {
+                                     const order::MultiListsOptions& ml_opts = {},
+                                     const util::ExecutionControl* ctl = nullptr) {
   ApspResult<W> result;
   result.distances = DistanceMatrix<W>(g.num_vertices());
   FlagArray flags(g.num_vertices());
@@ -74,8 +97,9 @@ template <WeightType W>
 
   timer.reset();
   result.kernel = sweep_parallel(g, order, result.distances, flags,
-                                 Schedule::kDynamicCyclic);
+                                 Schedule::kDynamicCyclic, ctl);
   result.sweep_seconds = timer.seconds();
+  detail::finalize_controlled(result, flags, ctl);
   return result;
 }
 
@@ -86,7 +110,8 @@ template <WeightType W>
 [[nodiscard]] ApspResult<W> par_apsp_with(const graph::Graph<W>& g,
                                           order::OrderingKind ordering,
                                           Schedule sched = Schedule::kDynamicCyclic,
-                                          const order::OrderingOptions& opts = {}) {
+                                          const order::OrderingOptions& opts = {},
+                                          const util::ExecutionControl* ctl = nullptr) {
   ApspResult<W> result;
   result.distances = DistanceMatrix<W>(g.num_vertices());
   FlagArray flags(g.num_vertices());
@@ -96,8 +121,9 @@ template <WeightType W>
   result.ordering_seconds = timer.seconds();
 
   timer.reset();
-  result.kernel = sweep_parallel(g, order, result.distances, flags, sched);
+  result.kernel = sweep_parallel(g, order, result.distances, flags, sched, ctl);
   result.sweep_seconds = timer.seconds();
+  detail::finalize_controlled(result, flags, ctl);
   return result;
 }
 

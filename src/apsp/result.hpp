@@ -1,11 +1,15 @@
 // APSP run result: the distance matrix plus the phase timing breakdown the
-// paper's evaluation reports (ordering time vs Dijkstra-sweep time).
+// paper's evaluation reports (ordering time vs Dijkstra-sweep time), and —
+// for controlled runs — the completion state a cancelled or deadline-expired
+// sweep leaves behind.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "apsp/distance_matrix.hpp"
 #include "apsp/modified_dijkstra.hpp"
+#include "util/status.hpp"
 #include "util/types.hpp"
 
 namespace parapsp::apsp {
@@ -22,6 +26,25 @@ struct ApspResult {
 
   /// Kernel statistics aggregated over all sources.
   KernelStats kernel;
+
+  /// ok for a full run; kCancelled / kTimeout when an ExecutionControl
+  /// stopped the sweep early (the matrix then holds exact rows only where
+  /// completed_rows says so).
+  util::Status status;
+
+  /// Per-source completion bitmap (completed_rows[s] != 0 ⇔ row s is exact
+  /// and published). Empty for uncontrolled runs, which complete every row.
+  std::vector<std::uint8_t> completed_rows;
+
+  [[nodiscard]] bool complete() const noexcept { return status.is_ok(); }
+
+  /// Number of exact rows. Matrix-size rows for uncontrolled/complete runs.
+  [[nodiscard]] VertexId num_completed_rows() const noexcept {
+    if (completed_rows.empty()) return distances.size();
+    VertexId c = 0;
+    for (const auto b : completed_rows) c += (b != 0);
+    return c;
+  }
 };
 
 }  // namespace parapsp::apsp

@@ -4,6 +4,14 @@
 // source, visiting sources in a caller-supplied order. The parallel variant
 // is the paper's `#pragma omp parallel for schedule(dynamic,1)` loop
 // (Algorithms 4 and 8), generalized to any Schedule via schedule(runtime).
+//
+// Execution control: when a util::ExecutionControl is supplied, the loop
+// checks it once per source row (cheap against a row's O(n + m) kernel
+// cost). On cancel or deadline expiry the remaining iterations become
+// no-ops, so the sweep returns within one in-flight row per thread; the
+// caller reads the partial state from the FlagArray. Sources whose flag is
+// already published are skipped, which is a no-op on fresh runs and is what
+// makes checkpoint-resume work: pre-publish the restored rows and sweep.
 #pragma once
 
 #include <omp.h>
@@ -16,6 +24,7 @@
 #include "apsp/schedule.hpp"
 #include "graph/csr_graph.hpp"
 #include "order/ordering.hpp"
+#include "util/exec_control.hpp"
 #include "util/types.hpp"
 
 namespace parapsp::apsp {
@@ -25,15 +34,21 @@ namespace parapsp::apsp {
 template <WeightType W>
 KernelStats sweep_sequential(const graph::Graph<W>& g, const order::Ordering& order,
                              DistanceMatrix<W>& D, FlagArray& flags,
-                             std::vector<std::uint64_t>* reuse_credit = nullptr) {
+                             std::vector<std::uint64_t>* reuse_credit = nullptr,
+                             const util::ExecutionControl* ctl = nullptr) {
   KernelStats total;
   DijkstraWorkspace ws;
   ws.resize(g.num_vertices());
   for (const VertexId s : order) {
+    if (ctl != nullptr) {
+      if (ctl->should_stop()) break;
+      if (flags.is_complete(s)) continue;  // restored from a checkpoint
+    }
     const auto stats = modified_dijkstra(g, s, D, flags, ws, reuse_credit);
     total.dequeues += stats.dequeues;
     total.row_reuses += stats.row_reuses;
     total.edge_relaxations += stats.edge_relaxations;
+    if (ctl != nullptr) ctl->add_progress();
   }
   return total;
 }
@@ -46,7 +61,8 @@ KernelStats sweep_sequential(const graph::Graph<W>& g, const order::Ordering& or
 template <WeightType W>
 KernelStats sweep_parallel(const graph::Graph<W>& g, const order::Ordering& order,
                            DistanceMatrix<W>& D, FlagArray& flags,
-                           Schedule sched = Schedule::kDynamicCyclic) {
+                           Schedule sched = Schedule::kDynamicCyclic,
+                           const util::ExecutionControl* ctl = nullptr) {
   const auto n = static_cast<std::int64_t>(order.size());
   KernelStats total;
   ScheduleScope scope(sched);
@@ -58,11 +74,18 @@ KernelStats sweep_parallel(const graph::Graph<W>& g, const order::Ordering& orde
     KernelStats local;
 #pragma omp for schedule(runtime) nowait
     for (std::int64_t i = 0; i < n; ++i) {
-      const auto stats = modified_dijkstra(g, order[static_cast<std::size_t>(i)], D,
-                                           flags, ws);
+      const VertexId s = order[static_cast<std::size_t>(i)];
+      if (ctl != nullptr) {
+        // OpenMP loops cannot break; stopped iterations degrade to a flag
+        // check, so the loop drains in microseconds after a cancel.
+        if (ctl->should_stop()) continue;
+        if (flags.is_complete(s)) continue;  // restored from a checkpoint
+      }
+      const auto stats = modified_dijkstra(g, s, D, flags, ws);
       local.dequeues += stats.dequeues;
       local.row_reuses += stats.row_reuses;
       local.edge_relaxations += stats.edge_relaxations;
+      if (ctl != nullptr) ctl->add_progress();
     }
 #pragma omp critical(parapsp_sweep_stats)
     {
@@ -72,6 +95,16 @@ KernelStats sweep_parallel(const graph::Graph<W>& g, const order::Ordering& orde
     }
   }
   return total;
+}
+
+/// Snapshot of the per-source completion state (acquire loads), the bitmap
+/// a partial ApspResult carries and checkpoints serialize.
+inline std::vector<std::uint8_t> completed_bitmap(const FlagArray& flags) {
+  std::vector<std::uint8_t> bitmap(flags.size(), 0);
+  for (VertexId s = 0; s < flags.size(); ++s) {
+    bitmap[s] = flags.is_complete(s) ? 1 : 0;
+  }
+  return bitmap;
 }
 
 }  // namespace parapsp::apsp

@@ -4,17 +4,32 @@
 // struct, runs it, and returns the distance matrix with the phase timing
 // breakdown. Everything the benchmark harness and the examples do goes
 // through this facade; algorithm code stays directly usable for power users.
+//
+// Execution control & fault tolerance: SolverOptions can carry an
+// ExecutionControl (cancel / deadline / progress), a checkpoint path
+// (periodic serialization of completed rows while the sweep runs, plus a
+// final checkpoint when it stops), and a resume path (restored rows are
+// skipped by the sweep). A stopped run returns a partial ApspResult with
+// `status` == cancelled/timeout and the completed-rows bitmap — it does not
+// hang, abort, or discard finished work. try_solve is the non-throwing
+// variant returning Expected<ApspResult<W>>.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
+#include "apsp/checkpoint.hpp"
 #include "apsp/floyd_warshall.hpp"
 #include "apsp/parallel.hpp"
 #include "apsp/peng.hpp"
 #include "apsp/peng_adaptive.hpp"
 #include "apsp/repeated_dijkstra.hpp"
+#include "util/exec_control.hpp"
+#include "util/expected.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -54,6 +69,23 @@ enum class Algorithm : std::uint8_t {
 
 [[nodiscard]] Algorithm algorithm_from_string(const std::string& name);
 
+/// True for the Peng-style per-source-sweep algorithms — the ones that
+/// support execution control, checkpointing, and resume (their unit of work
+/// is a source row; the dense-matrix baselines have no such boundary).
+[[nodiscard]] constexpr bool is_sweep_algorithm(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kPengBasic:
+    case Algorithm::kPengOptimized:
+    case Algorithm::kParAlg1:
+    case Algorithm::kParAlg2:
+    case Algorithm::kParApsp:
+    case Algorithm::kCustom:
+      return true;
+    default:
+      return false;
+  }
+}
+
 struct SolverOptions {
   Algorithm algorithm = Algorithm::kParApsp;
 
@@ -73,13 +105,179 @@ struct SolverOptions {
 
   /// Tile size for the blocked Floyd-Warshall.
   VertexId fw_block = 64;
+
+  // --- execution control / fault tolerance (sweep algorithms only) ---
+
+  /// Cancel / deadline / progress handle, owned by the caller. Optional.
+  const util::ExecutionControl* control = nullptr;
+
+  /// When non-empty, a checkpoint of completed rows is written here
+  /// periodically during the sweep and once when the run stops (complete or
+  /// partial).
+  std::string checkpoint_path;
+
+  /// Seconds between periodic checkpoint writes. <= 0 disables the periodic
+  /// writer (the final checkpoint is still written).
+  double checkpoint_interval_s = 5.0;
+
+  /// When non-empty, restores completed rows from this checkpoint before
+  /// sweeping; the sweep skips them. Rejected (format error) if the
+  /// checkpoint does not match the graph.
+  std::string resume_from;
 };
 
-/// Runs the selected algorithm. Throws std::invalid_argument on bad options.
+namespace detail {
+
+/// The controlled sweep path: resume + ordering + (periodic checkpoints
+/// alongside) sweep + final checkpoint. Throws util::StatusError for
+/// resource/format/io failures; cancel and timeout are NOT errors — they
+/// return a partial result.
+template <WeightType W>
+[[nodiscard]] apsp::ApspResult<W> solve_sweep_controlled(const graph::Graph<W>& g,
+                                                         const SolverOptions& opts) {
+  using util::ErrorCode;
+  using util::StatusError;
+
+  const VertexId n = g.num_vertices();
+  const std::uint64_t fp = apsp::graph_fingerprint(g);
+
+  apsp::ApspResult<W> result;
+  {
+    auto D = apsp::DistanceMatrix<W>::try_create(n);
+    if (!D) throw StatusError(D.status().code(), D.status().message());
+    result.distances = std::move(*D);
+  }
+  apsp::FlagArray flags(n);
+
+  if (!opts.resume_from.empty()) {
+    auto ck = apsp::load_checkpoint<W>(opts.resume_from);
+    if (!ck) throw StatusError(ck.status().code(), ck.status().message());
+    if (ck->graph_fp != fp || ck->distances.size() != n) {
+      throw StatusError(ErrorCode::kFormat,
+                        "checkpoint '" + opts.resume_from +
+                            "' was written for a different graph");
+    }
+    result.distances = std::move(ck->distances);
+    for (VertexId s = 0; s < n; ++s) {
+      if (ck->completed[s]) flags.publish(s);
+    }
+  }
+
+  util::WallTimer timer;
+  order::Ordering order;
+  apsp::Schedule sched = opts.schedule;
+  bool parallel_sweep = true;
+  switch (opts.algorithm) {
+    case Algorithm::kPengBasic:
+      order = order::identity_order(n);
+      parallel_sweep = false;
+      break;
+    case Algorithm::kPengOptimized:
+      order = order::selection_order(g.degrees(), opts.selection_ratio);
+      parallel_sweep = false;
+      break;
+    case Algorithm::kParAlg1:
+      order = order::identity_order(n);
+      break;
+    case Algorithm::kParAlg2:
+      order = order::selection_order(g.degrees(), opts.selection_ratio);
+      break;
+    case Algorithm::kParApsp:
+      order = order::multilists_order(g.degrees());
+      sched = apsp::Schedule::kDynamicCyclic;
+      break;
+    case Algorithm::kCustom:
+      order = order::compute_ordering(opts.ordering, g.degrees(), opts.ordering_options);
+      break;
+    default:
+      throw std::invalid_argument(
+          std::string("algorithm ") + to_string(opts.algorithm) +
+          " does not support execution control / checkpointing");
+  }
+  result.ordering_seconds = timer.seconds();
+
+  // The sweep needs a control handle for the skip-completed-rows logic even
+  // when the caller supplied none.
+  util::ExecutionControl fallback_ctl;
+  const util::ExecutionControl* ctl = opts.control ? opts.control : &fallback_ctl;
+
+  // Periodic checkpointer: snapshots the published-row bitmap (acquire) and
+  // serializes only frozen rows, so it runs concurrently with the sweep
+  // without locks or pauses. First write failure is remembered and surfaced.
+  std::atomic<bool> sweep_done{false};
+  util::Status checkpoint_status;
+  std::thread checkpointer;
+  if (!opts.checkpoint_path.empty() && opts.checkpoint_interval_s > 0) {
+    checkpointer = std::thread([&] {
+      const auto interval =
+          std::chrono::duration<double>(opts.checkpoint_interval_s);
+      auto last = std::chrono::steady_clock::now();
+      while (!sweep_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last < interval) continue;
+        last = now;
+        const auto bitmap = apsp::completed_bitmap(flags);
+        const auto st =
+            apsp::save_checkpoint(opts.checkpoint_path, result.distances, bitmap, fp);
+        if (!st.is_ok() && checkpoint_status.is_ok()) checkpoint_status = st;
+      }
+    });
+  }
+
+  timer.reset();
+  if (parallel_sweep) {
+    result.kernel = apsp::sweep_parallel(g, order, result.distances, flags, sched, ctl);
+  } else {
+    result.kernel =
+        apsp::sweep_sequential(g, order, result.distances, flags, nullptr, ctl);
+  }
+  result.sweep_seconds = timer.seconds();
+
+  sweep_done.store(true, std::memory_order_release);
+  if (checkpointer.joinable()) checkpointer.join();
+
+  result.status = ctl->check();
+  if (!result.status.is_ok()) {
+    result.completed_rows = apsp::completed_bitmap(flags);
+  }
+
+  // Final checkpoint: persists the stop state (or the finished matrix).
+  if (!opts.checkpoint_path.empty()) {
+    const auto bitmap = apsp::completed_bitmap(flags);
+    const auto st =
+        apsp::save_checkpoint(opts.checkpoint_path, result.distances, bitmap, fp);
+    if (!st.is_ok() && checkpoint_status.is_ok()) checkpoint_status = st;
+  }
+  // A checkpoint failure must be visible, but never masks a cancel/timeout.
+  if (result.status.is_ok() && !checkpoint_status.is_ok()) {
+    result.status = checkpoint_status;
+    result.completed_rows = apsp::completed_bitmap(flags);
+  }
+  return result;
+}
+
+}  // namespace detail
+
+/// Runs the selected algorithm. Throws std::invalid_argument on bad options
+/// and util::StatusError (a std::runtime_error) on resource/format/io
+/// failures. A cancelled or deadline-expired controlled run is NOT an
+/// error: it returns normally with result.status set.
 template <WeightType W>
 [[nodiscard]] apsp::ApspResult<W> solve(const graph::Graph<W>& g,
                                         const SolverOptions& opts = {}) {
   util::ThreadScope threads(opts.threads > 0 ? opts.threads : util::max_threads());
+
+  const bool controlled = opts.control != nullptr || !opts.checkpoint_path.empty() ||
+                          !opts.resume_from.empty();
+  if (controlled) {
+    if (!is_sweep_algorithm(opts.algorithm)) {
+      throw std::invalid_argument(
+          std::string("algorithm ") + to_string(opts.algorithm) +
+          " does not support execution control / checkpointing");
+    }
+    return detail::solve_sweep_controlled(g, opts);
+  }
 
   auto timed = [](auto&& fn) {
     apsp::ApspResult<W> r;
@@ -115,6 +313,16 @@ template <WeightType W>
                                  opts.ordering_options);
   }
   throw std::logic_error("solve: unhandled algorithm");
+}
+
+/// Non-throwing solve: every failure (bad options, resource, format, io)
+/// comes back as a typed Status. Partial cancelled/timeout results come
+/// back as *values* with result.status set, matching solve().
+template <WeightType W>
+[[nodiscard]] util::Expected<apsp::ApspResult<W>> try_solve(const graph::Graph<W>& g,
+                                                            const SolverOptions& opts = {}) {
+  return util::try_invoke([&] { return solve(g, opts); },
+                          util::ErrorCode::kInvalidArgument);
 }
 
 }  // namespace parapsp::core

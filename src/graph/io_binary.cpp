@@ -2,13 +2,19 @@
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
-#include <stdexcept>
 #include <vector>
+
+#include "util/failpoints.hpp"
+#include "util/status.hpp"
 
 namespace parapsp::graph::detail {
 
 namespace {
+
+using util::ErrorCode;
+using util::StatusError;
 
 void write_bytes(std::ofstream& out, const void* data, std::size_t bytes) {
   out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
@@ -16,8 +22,10 @@ void write_bytes(std::ofstream& out, const void* data, std::size_t bytes) {
 
 void read_bytes(std::ifstream& in, void* data, std::size_t bytes, const char* what) {
   in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
-  if (in.gcount() != static_cast<std::streamsize>(bytes)) {
-    throw std::runtime_error(std::string("binary graph: truncated ") + what);
+  if (in.gcount() != static_cast<std::streamsize>(bytes) ||
+      PARAPSP_FAILPOINT("io_short_read")) {
+    throw StatusError(ErrorCode::kFormat,
+                      std::string("binary graph: truncated ") + what);
   }
 }
 
@@ -27,15 +35,17 @@ void write_blob(const std::string& path, const BinaryHeader& hdr, const void* of
                 std::size_t offsets_bytes, const void* targets, std::size_t targets_bytes,
                 const void* weights, std::size_t weights_bytes) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw std::runtime_error("cannot write binary graph '" + path + "': " +
-                             std::strerror(errno));
+  if (!out || PARAPSP_FAILPOINT("io_open_write")) {
+    throw StatusError(ErrorCode::kIo, "cannot write binary graph '" + path + "': " +
+                                          std::strerror(errno));
   }
   write_bytes(out, &hdr, sizeof hdr);
   write_bytes(out, offsets, offsets_bytes);
   write_bytes(out, targets, targets_bytes);
   write_bytes(out, weights, weights_bytes);
-  if (!out) throw std::runtime_error("write failed for '" + path + "'");
+  if (!out || PARAPSP_FAILPOINT("io_write_fail")) {
+    throw StatusError(ErrorCode::kIo, "write failed for '" + path + "'");
+  }
 }
 
 BinaryHeader read_header_and_payload(const std::string& path, std::uint8_t expected_code,
@@ -43,31 +53,85 @@ BinaryHeader read_header_and_payload(const std::string& path, std::uint8_t expec
                                      std::vector<VertexId>& targets,
                                      std::vector<std::byte>& weight_bytes) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("cannot open binary graph '" + path + "': " +
-                             std::strerror(errno));
+  if (!in || PARAPSP_FAILPOINT("io_open_read")) {
+    throw StatusError(ErrorCode::kIo, "cannot open binary graph '" + path + "': " +
+                                          std::strerror(errno));
   }
   BinaryHeader hdr;
   read_bytes(in, &hdr, sizeof hdr, "header");
-  if (hdr.magic != kBinaryMagic) throw std::runtime_error("binary graph: bad magic");
+  if (hdr.magic != kBinaryMagic) {
+    throw StatusError(ErrorCode::kFormat, "binary graph: bad magic");
+  }
   if (hdr.version != kBinaryVersion) {
-    throw std::runtime_error("binary graph: unsupported version " +
-                             std::to_string(hdr.version));
+    throw StatusError(ErrorCode::kFormat, "binary graph: unsupported version " +
+                                              std::to_string(hdr.version));
+  }
+  if (hdr.weight_code > 2) {
+    throw StatusError(ErrorCode::kFormat, "binary graph: unknown weight code " +
+                                              std::to_string(hdr.weight_code));
   }
   if (hdr.weight_code != expected_code) {
-    throw std::runtime_error("binary graph: weight type mismatch");
+    throw StatusError(ErrorCode::kFormat, "binary graph: weight type mismatch");
   }
   const std::size_t weight_size = hdr.weight_code == 0   ? sizeof(std::uint32_t)
                                   : hdr.weight_code == 1 ? sizeof(float)
                                                          : sizeof(double);
-  offsets.resize(static_cast<std::size_t>(hdr.n) + 1);
-  targets.resize(hdr.stored_edges);
-  weight_bytes.resize(hdr.stored_edges * weight_size);
-  read_bytes(in, offsets.data(), offsets.size() * sizeof(EdgeId), "offsets");
-  read_bytes(in, targets.data(), targets.size() * sizeof(VertexId), "targets");
-  read_bytes(in, weight_bytes.data(), weight_bytes.size(), "weights");
-  if (offsets.back() != hdr.stored_edges) {
-    throw std::runtime_error("binary graph: inconsistent offsets");
+
+  // Validate the header's claimed sizes against the actual file size BEFORE
+  // allocating: a corrupted n/m must yield a clean format error, not a
+  // multi-GB allocation or bad_alloc.
+  std::size_t offsets_bytes = 0, targets_bytes = 0, weights_bytes = 0, payload = 0;
+  if (!parapsp::checked_mul(static_cast<std::size_t>(hdr.n) + 1, sizeof(EdgeId),
+                         offsets_bytes) ||
+      !parapsp::checked_mul(hdr.stored_edges, sizeof(VertexId), targets_bytes) ||
+      !parapsp::checked_mul(hdr.stored_edges, weight_size, weights_bytes)) {
+    throw StatusError(ErrorCode::kFormat, "binary graph: header sizes overflow");
+  }
+  payload = offsets_bytes + targets_bytes + weights_bytes;
+  std::error_code fs_ec;
+  const auto file_size = std::filesystem::file_size(path, fs_ec);
+  if (fs_ec) {
+    throw StatusError(ErrorCode::kIo,
+                      "cannot stat binary graph '" + path + "': " + fs_ec.message());
+  }
+  if (file_size < sizeof hdr || file_size - sizeof hdr < payload) {
+    throw StatusError(ErrorCode::kFormat,
+                      "binary graph: header claims n=" + std::to_string(hdr.n) +
+                          " m=" + std::to_string(hdr.stored_edges) + " (payload " +
+                          std::to_string(payload) + " bytes) but file holds only " +
+                          std::to_string(file_size) + " bytes");
+  }
+
+  try {
+    offsets.resize(static_cast<std::size_t>(hdr.n) + 1);
+    targets.resize(hdr.stored_edges);
+    weight_bytes.resize(weights_bytes);
+  } catch (const std::bad_alloc&) {
+    throw StatusError(ErrorCode::kResource,
+                      "binary graph: allocation failed for n=" + std::to_string(hdr.n) +
+                          " m=" + std::to_string(hdr.stored_edges));
+  }
+  read_bytes(in, offsets.data(), offsets_bytes, "offsets");
+  read_bytes(in, targets.data(), targets_bytes, "targets");
+  read_bytes(in, weight_bytes.data(), weights_bytes, "weights");
+
+  // CSR consistency: offsets must start at 0, be non-decreasing, and end at
+  // the stored edge count; every target must be a valid vertex id.
+  if (offsets.front() != 0 || offsets.back() != hdr.stored_edges) {
+    throw StatusError(ErrorCode::kFormat, "binary graph: inconsistent offsets");
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      throw StatusError(ErrorCode::kFormat,
+                        "binary graph: offsets decrease at vertex " + std::to_string(i - 1));
+    }
+  }
+  for (const VertexId t : targets) {
+    if (t >= hdr.n) {
+      throw StatusError(ErrorCode::kFormat, "binary graph: target id " +
+                                                std::to_string(t) + " out of range [0, " +
+                                                std::to_string(hdr.n) + ")");
+    }
   }
   return hdr;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "util/expected.hpp"
 
 namespace parapsp::graph {
 
@@ -79,6 +80,14 @@ template <WeightType W>
              std::move(offsets), std::move(targets), std::move(weights));
   g.set_num_self_loops(hdr.self_loops);
   return g;
+}
+
+/// Non-throwing load_binary: maps failures to typed Status codes — kIo for
+/// open/stat errors, kFormat for corruption (bad magic, truncation, sizes
+/// inconsistent with the file), kResource for allocation failure.
+template <WeightType W>
+[[nodiscard]] util::Expected<Graph<W>> try_load_binary(const std::string& path) {
+  return util::try_invoke([&] { return load_binary<W>(path); });
 }
 
 }  // namespace parapsp::graph

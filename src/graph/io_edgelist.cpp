@@ -2,14 +2,21 @@
 
 #include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/failpoints.hpp"
+#include "util/status.hpp"
+
 namespace parapsp::graph {
 
 namespace {
+
+using util::ErrorCode;
+using util::StatusError;
 
 /// Skips spaces/tabs; returns pointer to the next token or end.
 const char* skip_ws(const char* p, const char* end) {
@@ -22,18 +29,29 @@ bool parse_line(const char* p, const char* end, RawEdge& edge, bool& has_weight)
   if (p == end || *p == '#' || *p == '%') return false;  // comment/blank
 
   auto [p1, ec1] = std::from_chars(p, end, edge.u);
-  if (ec1 != std::errc{}) throw std::runtime_error("expected source vertex id");
+  if (ec1 != std::errc{}) {
+    throw StatusError(ErrorCode::kParse, "expected source vertex id");
+  }
   p = skip_ws(p1, end);
 
   auto [p2, ec2] = std::from_chars(p, end, edge.v);
-  if (ec2 != std::errc{}) throw std::runtime_error("expected target vertex id");
+  if (ec2 != std::errc{}) {
+    throw StatusError(ErrorCode::kParse, "expected target vertex id");
+  }
   p = skip_ws(p2, end);
 
   if (p != end) {
     auto [p3, ec3] = std::from_chars(p, end, edge.w);
-    if (ec3 != std::errc{}) throw std::runtime_error("malformed weight column");
+    if (ec3 != std::errc{}) throw StatusError(ErrorCode::kParse, "malformed weight column");
     p = skip_ws(p3, end);
-    if (p != end) throw std::runtime_error("trailing characters after weight");
+    if (p != end) throw StatusError(ErrorCode::kParse, "trailing characters after weight");
+    // from_chars accepts "nan"/"inf" and overflow yields errc::result_out_of_range
+    // only for values outside double's range — shortest paths additionally
+    // require finite, non-negative weights.
+    if (!std::isfinite(edge.w)) {
+      throw StatusError(ErrorCode::kParse, "weight is not finite");
+    }
+    if (edge.w < 0.0) throw StatusError(ErrorCode::kParse, "negative weight");
     has_weight = true;
   } else {
     edge.w = 1.0;
@@ -54,8 +72,9 @@ EdgeListData parse_stream(std::istream& in, const std::string& origin) {
       if (!parse_line(line.data(), line.data() + line.size(), edge, has_weight)) {
         continue;
       }
-    } catch (const std::runtime_error& e) {
-      throw std::runtime_error(origin + ":" + std::to_string(line_no) + ": " + e.what());
+    } catch (const StatusError& e) {
+      throw StatusError(e.code(),
+                        origin + ":" + std::to_string(line_no) + ": " + e.what());
     }
     data.weighted |= has_weight;
     data.edges.push_back(edge);
@@ -67,9 +86,9 @@ EdgeListData parse_stream(std::istream& in, const std::string& origin) {
 
 EdgeListData read_edge_list(const std::string& path) {
   std::ifstream in(path);
-  if (!in) {
-    throw std::runtime_error("cannot open edge list '" + path + "': " +
-                             std::strerror(errno));
+  if (!in || PARAPSP_FAILPOINT("io_open_read")) {
+    throw StatusError(ErrorCode::kIo, "cannot open edge list '" + path + "': " +
+                                          std::strerror(errno));
   }
   return parse_stream(in, path);
 }
@@ -85,8 +104,8 @@ void write_edge_list_text(const std::string& path, const std::string& header,
                           const std::vector<RawEdge>& edges, bool weighted) {
   std::ofstream out(path);
   if (!out) {
-    throw std::runtime_error("cannot write edge list '" + path + "': " +
-                             std::strerror(errno));
+    throw StatusError(ErrorCode::kIo, "cannot write edge list '" + path + "': " +
+                                          std::strerror(errno));
   }
   out << header << '\n';
   for (const auto& e : edges) {
@@ -94,7 +113,7 @@ void write_edge_list_text(const std::string& path, const std::string& header,
     if (weighted) out << '\t' << e.w;
     out << '\n';
   }
-  if (!out) throw std::runtime_error("write failed for '" + path + "'");
+  if (!out) throw StatusError(ErrorCode::kIo, "write failed for '" + path + "'");
 }
 
 }  // namespace detail

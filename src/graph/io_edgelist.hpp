@@ -14,6 +14,7 @@
 
 #include "graph/builder.hpp"
 #include "graph/csr_graph.hpp"
+#include "util/expected.hpp"
 
 namespace parapsp::graph {
 
@@ -74,6 +75,16 @@ template <WeightType W>
 template <WeightType W>
 [[nodiscard]] Graph<W> load_edge_list(const std::string& path, Directedness dir) {
   return build_from_edge_list<W>(read_edge_list(path), dir);
+}
+
+/// Non-throwing load_edge_list: kIo when the file cannot be opened, kParse
+/// for malformed lines (including NaN / negative / out-of-range weights),
+/// kResource when the edge set does not fit in memory.
+template <WeightType W>
+[[nodiscard]] util::Expected<Graph<W>> try_load_edge_list(const std::string& path,
+                                                          Directedness dir) {
+  return util::try_invoke([&] { return load_edge_list<W>(path, dir); },
+                          util::ErrorCode::kParse);
 }
 
 /// Serializes a graph to SNAP-style text.

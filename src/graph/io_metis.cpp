@@ -7,9 +7,15 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/failpoints.hpp"
+#include "util/status.hpp"
+
 namespace parapsp::graph::detail {
 
 namespace {
+
+using util::ErrorCode;
+using util::StatusError;
 
 const char* skip_ws(const char* p, const char* end) {
   while (p != end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
@@ -27,7 +33,7 @@ void parse_numbers(const std::string& line, std::vector<T>& out) {
     if (p == end) break;
     T value{};
     auto [next, ec] = std::from_chars(p, end, value);
-    if (ec != std::errc{}) throw std::runtime_error("malformed number");
+    if (ec != std::errc{}) throw StatusError(ErrorCode::kParse, "malformed number");
     out.push_back(value);
     p = next;
   }
@@ -51,19 +57,19 @@ MetisData parse_stream(std::istream& in, const std::string& origin) {
     try {
       parse_numbers(line, numbers);
     } catch (const std::runtime_error& e) {
-      throw std::runtime_error(origin + ":" + std::to_string(line_no) + ": " + e.what());
+      throw StatusError(ErrorCode::kParse, origin + ":" + std::to_string(line_no) + ": " + e.what());
     }
 
     if (!have_header) {
       if (numbers.size() < 2 || numbers.size() > 3) {
-        throw std::runtime_error(origin + ":" + std::to_string(line_no) +
+        throw StatusError(ErrorCode::kParse, origin + ":" + std::to_string(line_no) +
                                  ": header must be 'n m [fmt]'");
       }
       data.n = static_cast<std::uint64_t>(numbers[0]);
       data.m = static_cast<std::uint64_t>(numbers[1]);
       const int fmt = numbers.size() == 3 ? static_cast<int>(numbers[2]) : 0;
       if (fmt != 0 && fmt != 1) {
-        throw std::runtime_error(origin + ":" + std::to_string(line_no) +
+        throw StatusError(ErrorCode::kParse, origin + ":" + std::to_string(line_no) +
                                  ": unsupported fmt " + std::to_string(fmt) +
                                  " (only 0 and 1 = edge weights)");
       }
@@ -74,19 +80,19 @@ MetisData parse_stream(std::istream& in, const std::string& origin) {
     }
 
     if (vertex >= data.n) {
-      throw std::runtime_error(origin + ":" + std::to_string(line_no) +
+      throw StatusError(ErrorCode::kParse, origin + ":" + std::to_string(line_no) +
                                ": more vertex lines than the header's n");
     }
     auto& adj = data.adj[vertex];
     if (data.weighted) {
       if (numbers.size() % 2 != 0) {
-        throw std::runtime_error(origin + ":" + std::to_string(line_no) +
+        throw StatusError(ErrorCode::kParse, origin + ":" + std::to_string(line_no) +
                                  ": weighted line must hold (neighbor, weight) pairs");
       }
       for (std::size_t i = 0; i < numbers.size(); i += 2) {
         const auto u = static_cast<std::uint64_t>(numbers[i]);
         if (u < 1 || u > data.n) {
-          throw std::runtime_error(origin + ":" + std::to_string(line_no) +
+          throw StatusError(ErrorCode::kParse, origin + ":" + std::to_string(line_no) +
                                    ": neighbor id out of range");
         }
         adj.push_back({u - 1, numbers[i + 1]});
@@ -95,7 +101,7 @@ MetisData parse_stream(std::istream& in, const std::string& origin) {
       for (const double x : numbers) {
         const auto u = static_cast<std::uint64_t>(x);
         if (u < 1 || u > data.n) {
-          throw std::runtime_error(origin + ":" + std::to_string(line_no) +
+          throw StatusError(ErrorCode::kParse, origin + ":" + std::to_string(line_no) +
                                    ": neighbor id out of range");
         }
         adj.push_back({u - 1, 1.0});
@@ -104,16 +110,16 @@ MetisData parse_stream(std::istream& in, const std::string& origin) {
     ++vertex;
   }
 
-  if (!have_header) throw std::runtime_error(origin + ": empty METIS file");
+  if (!have_header) throw StatusError(ErrorCode::kParse, origin + ": empty METIS file");
   if (vertex != data.n) {
-    throw std::runtime_error(origin + ": expected " + std::to_string(data.n) +
+    throw StatusError(ErrorCode::kParse, origin + ": expected " + std::to_string(data.n) +
                              " vertex lines, got " + std::to_string(vertex));
   }
   // Symmetry + edge count check.
   std::uint64_t arcs = 0;
   for (const auto& a : data.adj) arcs += a.size();
   if (arcs != 2 * data.m) {
-    throw std::runtime_error(origin + ": header claims " + std::to_string(data.m) +
+    throw StatusError(ErrorCode::kParse, origin + ": header claims " + std::to_string(data.m) +
                              " edges but lines hold " + std::to_string(arcs) +
                              " arc entries (expected twice the edge count)");
   }
@@ -124,8 +130,8 @@ MetisData parse_stream(std::istream& in, const std::string& origin) {
 
 MetisData read_metis_data(const std::string& path) {
   std::ifstream in(path);
-  if (!in) {
-    throw std::runtime_error("cannot open METIS file '" + path + "': " +
+  if (!in || PARAPSP_FAILPOINT("io_open_read")) {
+    throw StatusError(ErrorCode::kIo, "cannot open METIS file '" + path + "': " +
                              std::strerror(errno));
   }
   return parse_stream(in, path);
@@ -139,7 +145,7 @@ MetisData parse_metis_data(const std::string& text) {
 void write_metis_text(const std::string& path, const MetisData& data) {
   std::ofstream out(path);
   if (!out) {
-    throw std::runtime_error("cannot write METIS file '" + path + "': " +
+    throw StatusError(ErrorCode::kIo, "cannot write METIS file '" + path + "': " +
                              std::strerror(errno));
   }
   out << "% written by parapsp\n";
@@ -156,7 +162,7 @@ void write_metis_text(const std::string& path, const MetisData& data) {
     }
     out << '\n';
   }
-  if (!out) throw std::runtime_error("write failed for '" + path + "'");
+  if (!out) throw StatusError(ErrorCode::kIo, "write failed for '" + path + "'");
 }
 
 }  // namespace parapsp::graph::detail

@@ -11,6 +11,7 @@
 
 #include "graph/builder.hpp"
 #include "graph/csr_graph.hpp"
+#include "util/expected.hpp"
 
 namespace parapsp::graph {
 
@@ -44,6 +45,14 @@ template <WeightType W>
     }
   }
   return b.build(DuplicatePolicy::kKeepAll, SelfLoopPolicy::kDrop);
+}
+
+/// Non-throwing load_metis: kIo when the file cannot be opened, kParse for
+/// grammar/consistency violations, kResource when it does not fit in memory.
+template <WeightType W>
+[[nodiscard]] util::Expected<Graph<W>> try_load_metis(const std::string& path) {
+  return util::try_invoke([&] { return load_metis<W>(path); },
+                          util::ErrorCode::kParse);
 }
 
 /// Parses METIS text (same grammar as load_metis).

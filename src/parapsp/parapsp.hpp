@@ -12,7 +12,11 @@
 
 // Utilities
 #include "util/cli.hpp"
+#include "util/exec_control.hpp"
+#include "util/expected.hpp"
+#include "util/failpoints.hpp"
 #include "util/parallel.hpp"
+#include "util/status.hpp"
 #include "util/powerlaw.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -52,6 +56,7 @@
 
 // APSP algorithms
 #include "apsp/bounded.hpp"
+#include "apsp/checkpoint.hpp"
 #include "apsp/distance_matrix.hpp"
 #include "apsp/dynamic.hpp"
 #include "apsp/flags.hpp"

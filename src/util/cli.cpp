@@ -26,11 +26,29 @@ Args::Args(int argc, const char* const* argv) {
 }
 
 std::optional<std::string> Args::find(const std::string& name) const {
+  queried_.insert(name);
   // Last occurrence wins so callers can override earlier defaults.
   for (auto it = options_.rbegin(); it != options_.rend(); ++it) {
     if (it->first == name) return it->second;
   }
   return std::nullopt;
+}
+
+std::vector<std::string> Args::unknown_options() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : options_) {
+    if (!queried_.contains(name)) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+void Args::reject_unknown() const {
+  const auto unknown = unknown_options();
+  if (unknown.empty()) return;
+  std::string msg = "unknown option";
+  if (unknown.size() > 1) msg += 's';
+  for (const auto& name : unknown) msg += " --" + name;
+  throw std::invalid_argument(msg);
 }
 
 bool Args::has(const std::string& name) const { return find(name).has_value(); }

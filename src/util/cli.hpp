@@ -1,18 +1,20 @@
 // Minimal command-line argument parsing for benches and examples.
 //
 // Supports `--key value`, `--key=value`, boolean flags (`--flag`), and
-// positional arguments, with typed getters and defaults.
+// positional arguments, with typed getters and defaults. Every get/has call
+// marks its option name as known; after pulling all expected options a tool
+// calls reject_unknown() so a mistyped `--flag` fails loudly instead of
+// being silently ignored.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 namespace parapsp::util {
 
-/// Parsed command line. Unknown options are collected rather than rejected so
-/// harness wrappers can pass extra flags through.
 class Args {
  public:
   Args(int argc, const char* const* argv);
@@ -38,12 +40,22 @@ class Args {
 
   [[nodiscard]] const std::string& program() const noexcept { return program_; }
 
+  /// Options given on the command line but never looked up by any getter —
+  /// i.e. flags this tool does not understand. Call after all getters ran.
+  [[nodiscard]] std::vector<std::string> unknown_options() const;
+
+  /// Throws std::invalid_argument naming every unknown option (see
+  /// unknown_options()). Tools call this once their flags are parsed so a
+  /// typo like `--timeout-sec` fails instead of silently doing nothing.
+  void reject_unknown() const;
+
  private:
   [[nodiscard]] std::optional<std::string> find(const std::string& name) const;
 
   std::string program_;
   std::vector<std::pair<std::string, std::string>> options_;  // name -> raw value ("" for bare flags)
   std::vector<std::string> positional_;
+  mutable std::set<std::string> queried_;  ///< names the tool asked about
 };
 
 }  // namespace parapsp::util

@@ -1,0 +1,96 @@
+// Cooperative execution control for long-running sweeps.
+//
+// A multi-hour ParAPSP run is a loop over source rows; ExecutionControl is
+// the handle an owner (CLI, service, test) uses to stop or bound it. The
+// sweep checks the handle once per source row — cheap relative to a row's
+// O(n + m) kernel cost — so a cancel or deadline expiry is honored within
+// one in-flight row per thread, and the run returns a partial ApspResult
+// (Status + completed-rows bitmap) instead of hanging or aborting.
+//
+// Thread safety: every member is safe to call concurrently from any thread;
+// request_cancel() from a signal-handling or watchdog thread is the intended
+// use.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/status.hpp"
+
+namespace parapsp::util {
+
+class ExecutionControl {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ExecutionControl() = default;
+  ExecutionControl(const ExecutionControl&) = delete;
+  ExecutionControl& operator=(const ExecutionControl&) = delete;
+
+  /// Asks the running sweep to stop at the next source-row boundary.
+  void request_cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Bounds the run: checks fail with kTimeout once `seconds` of wall clock
+  /// have elapsed from now. Non-positive values expire immediately.
+  void set_deadline_after(double seconds) noexcept {
+    const auto now = Clock::now().time_since_epoch();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() +
+                    static_cast<std::int64_t>(seconds * 1e9);
+    deadline_ns_.store(ns, std::memory_order_release);
+  }
+
+  void clear_deadline() noexcept { deadline_ns_.store(kNoDeadline, std::memory_order_release); }
+
+  [[nodiscard]] bool deadline_expired() const noexcept {
+    const auto d = deadline_ns_.load(std::memory_order_acquire);
+    if (d == kNoDeadline) return false;
+    const auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         Clock::now().time_since_epoch())
+                         .count();
+    return now >= d;
+  }
+
+  /// The cooperative check the sweep runs per source row: ok, or the first
+  /// stop condition observed (cancel wins over timeout when both hold, so a
+  /// deliberate stop is never reported as an expiry).
+  [[nodiscard]] Status check() const {
+    if (cancel_requested()) return {ErrorCode::kCancelled, "cancelled by caller"};
+    if (deadline_expired()) return {ErrorCode::kTimeout, "deadline expired"};
+    return Status::ok();
+  }
+
+  [[nodiscard]] bool should_stop() const noexcept {
+    return cancel_requested() || deadline_expired();
+  }
+
+  /// Progress counter: completed source rows. The sweep adds; watchers poll.
+  /// const: progress is observability, not control state, and the sweep only
+  /// holds a const handle (it may not cancel itself).
+  void add_progress(std::uint64_t rows = 1) const noexcept {
+    progress_.fetch_add(rows, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t progress() const noexcept {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the handle for another run (clears cancel, deadline, progress).
+  void reset() noexcept {
+    cancelled_.store(false, std::memory_order_release);
+    deadline_ns_.store(kNoDeadline, std::memory_order_release);
+    progress_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline = -1;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};  ///< steady-clock ns since epoch
+  mutable std::atomic<std::uint64_t> progress_{0};
+};
+
+}  // namespace parapsp::util

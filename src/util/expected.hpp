@@ -1,0 +1,152 @@
+// Expected<T>: a value or a Status — the return type of the library's
+// non-throwing API surface (std::expected is C++23; this is the minimal
+// C++20 subset the library needs).
+#pragma once
+
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace parapsp::util {
+
+/// Holds either a T or a non-ok Status. Constructing from an ok Status is a
+/// caller bug and is upgraded to an internal invalid_argument error rather
+/// than silently pretending a value exists.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : has_value_(true) {  // NOLINT(google-explicit-constructor)
+    new (&storage_.value) T(std::move(value));
+  }
+
+  Expected(Status status) : has_value_(false) {  // NOLINT(google-explicit-constructor)
+    if (status.is_ok()) {
+      status = Status(ErrorCode::kInvalidArgument,
+                      "Expected constructed from ok Status without a value");
+    }
+    new (&storage_.status) Status(std::move(status));
+  }
+
+  Expected(const Expected& other) : has_value_(other.has_value_) {
+    if (has_value_) {
+      new (&storage_.value) T(other.storage_.value);
+    } else {
+      new (&storage_.status) Status(other.storage_.status);
+    }
+  }
+
+  Expected(Expected&& other) noexcept : has_value_(other.has_value_) {
+    if (has_value_) {
+      new (&storage_.value) T(std::move(other.storage_.value));
+    } else {
+      new (&storage_.status) Status(std::move(other.storage_.status));
+    }
+  }
+
+  Expected& operator=(const Expected& other) {
+    if (this != &other) {
+      destroy();
+      has_value_ = other.has_value_;
+      if (has_value_) {
+        new (&storage_.value) T(other.storage_.value);
+      } else {
+        new (&storage_.status) Status(other.storage_.status);
+      }
+    }
+    return *this;
+  }
+
+  Expected& operator=(Expected&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      has_value_ = other.has_value_;
+      if (has_value_) {
+        new (&storage_.value) T(std::move(other.storage_.value));
+      } else {
+        new (&storage_.status) Status(std::move(other.storage_.status));
+      }
+    }
+    return *this;
+  }
+
+  ~Expected() { destroy(); }
+
+  [[nodiscard]] bool has_value() const noexcept { return has_value_; }
+  explicit operator bool() const noexcept { return has_value_; }
+
+  /// The error; Status::ok() when a value is held.
+  [[nodiscard]] Status status() const {
+    return has_value_ ? Status::ok() : storage_.status;
+  }
+
+  [[nodiscard]] T& value() & {
+    require_value();
+    return storage_.value;
+  }
+  [[nodiscard]] const T& value() const& {
+    require_value();
+    return storage_.value;
+  }
+  [[nodiscard]] T&& value() && {
+    require_value();
+    return std::move(storage_.value);
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  template <typename U>
+  [[nodiscard]] T value_or(U&& fallback) const& {
+    return has_value_ ? storage_.value : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  void require_value() const {
+    if (!has_value_) {
+      throw StatusError(storage_.status.code(),
+                        "Expected::value() on error: " + storage_.status.to_string());
+    }
+  }
+
+  void destroy() noexcept {
+    if (has_value_) {
+      storage_.value.~T();
+    } else {
+      storage_.status.~Status();
+    }
+  }
+
+  union Storage {
+    Storage() noexcept {}
+    ~Storage() noexcept {}
+    T value;
+    Status status;
+  } storage_;
+  bool has_value_;
+};
+
+/// Runs `fn`, mapping exceptions to an error Expected: StatusError keeps its
+/// typed code, bad_alloc becomes resource, invalid_argument keeps its class,
+/// anything else gets `fallback`. The bridge between the throwing readers
+/// and the non-throwing try_* entry points.
+template <typename F>
+[[nodiscard]] auto try_invoke(F&& fn, ErrorCode fallback = ErrorCode::kIo)
+    -> Expected<std::invoke_result_t<F>> {
+  try {
+    return std::forward<F>(fn)();
+  } catch (const StatusError& e) {
+    return e.to_status();
+  } catch (const std::bad_alloc&) {
+    return Status(ErrorCode::kResource, "allocation failed");
+  } catch (const std::invalid_argument& e) {
+    return Status(ErrorCode::kInvalidArgument, e.what());
+  } catch (const std::exception& e) {
+    return Status(fallback, e.what());
+  }
+}
+
+}  // namespace parapsp::util

@@ -1,0 +1,119 @@
+#include "util/failpoints.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace parapsp::util::failpoints {
+
+namespace {
+
+struct Entry {
+  std::uint64_t first = 1;          ///< first hit index (1-based) that fails
+  std::uint64_t times = UINT64_MAX; ///< how many consecutive hits fail
+  std::uint64_t hits = 0;
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_map<std::string, Entry>& registry() {
+  static std::unordered_map<std::string, Entry> r;
+  return r;
+}
+
+// Fast-path gate: should_fail takes no lock while nothing is armed, so the
+// consult sites stay cheap even in failpoint-enabled builds.
+std::atomic<int>& armed_count() {
+  static std::atomic<int> n{0};
+  return n;
+}
+
+}  // namespace
+
+bool should_fail(const char* name) noexcept {
+  if (armed_count().load(std::memory_order_acquire) == 0) return false;
+  try {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    auto it = registry().find(name);
+    if (it == registry().end()) return false;
+    Entry& e = it->second;
+    ++e.hits;
+    return e.hits >= e.first && e.hits - e.first < e.times;
+  } catch (...) {
+    return false;  // a failpoint must never become a failure itself
+  }
+}
+
+void arm(const std::string& name, std::uint64_t first_failing_hit, std::uint64_t times) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto [it, inserted] = registry().insert_or_assign(
+      name, Entry{first_failing_hit == 0 ? 1 : first_failing_hit, times, 0});
+  (void)it;
+  if (inserted) armed_count().fetch_add(1, std::memory_order_release);
+}
+
+void disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  if (registry().erase(name) > 0) {
+    armed_count().fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  armed_count().fetch_sub(static_cast<int>(registry().size()),
+                          std::memory_order_release);
+  registry().clear();
+}
+
+std::uint64_t hits(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(name);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+bool arm_from_spec(const std::string& spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    std::string name = entry;
+    std::uint64_t first = 1;
+    std::uint64_t times = UINT64_MAX;
+    if (const auto at = entry.find('@'); at != std::string::npos) {
+      name = entry.substr(0, at);
+      try {
+        first = std::stoull(entry.substr(at + 1));
+      } catch (const std::exception&) {
+        return false;
+      }
+      times = 1;  // name@k: fail exactly the k-th hit
+    } else if (const auto eq = entry.find('='); eq != std::string::npos) {
+      name = entry.substr(0, eq);
+      try {
+        times = std::stoull(entry.substr(eq + 1));  // name=k: fail the first k hits
+      } catch (const std::exception&) {
+        return false;
+      }
+    }
+    if (name.empty() || first == 0) return false;
+    arm(name, first, times);
+  }
+  return true;
+}
+
+void arm_from_env() {
+  if (const char* spec = std::getenv("PARAPSP_FAILPOINTS")) {
+    arm_from_spec(spec);
+  }
+}
+
+}  // namespace parapsp::util::failpoints

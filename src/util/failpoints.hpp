@@ -1,0 +1,60 @@
+// Fault-injection points for robustness testing.
+//
+// Library code marks recoverable-failure sites with
+//
+//   if (PARAPSP_FAILPOINT("io_short_read")) { ...return/throw typed error... }
+//
+// The macro expands to `false` unless the build defines
+// PARAPSP_FAILPOINTS_ENABLED (CMake option PARAPSP_FAILPOINTS, ON by
+// default), so production builds carry zero overhead at the consult sites.
+// When compiled in, a site fires only if its name is armed — via the
+// programmatic API below (tests) or the PARAPSP_FAILPOINTS environment
+// variable (tools), e.g.
+//
+//   PARAPSP_FAILPOINTS="io_short_read=1;alloc_fail@3"
+//
+//   name        arm forever (every hit fails)
+//   name=k      fail the first k hits, then pass
+//   name@k      pass until the k-th hit, fail exactly that one
+//
+// Consult sites live only on cold paths (file I/O, matrix allocation,
+// checkpoint writes) — never inside the per-source sweep kernel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if defined(PARAPSP_FAILPOINTS_ENABLED)
+#define PARAPSP_FAILPOINT(name) (::parapsp::util::failpoints::should_fail(name))
+#else
+#define PARAPSP_FAILPOINT(name) (false)
+#endif
+
+namespace parapsp::util::failpoints {
+
+/// True if the named failpoint is armed and this hit should fail. Counts the
+/// hit either way. Lock-free no-op when nothing is armed.
+[[nodiscard]] bool should_fail(const char* name) noexcept;
+
+/// Arms `name`: hits in [first_failing_hit, first_failing_hit + times) fail.
+/// Defaults arm every hit from the first. Resets the hit counter.
+void arm(const std::string& name, std::uint64_t first_failing_hit = 1,
+         std::uint64_t times = UINT64_MAX);
+
+/// Disarms one failpoint / all failpoints (also clears hit counters).
+void disarm(const std::string& name);
+void disarm_all();
+
+/// Hits recorded for `name` since it was armed (0 if never armed).
+[[nodiscard]] std::uint64_t hits(const std::string& name);
+
+/// Parses a PARAPSP_FAILPOINTS-style spec ("a;b=2;c@3") and arms each entry.
+/// Returns false (arming nothing further) on a malformed entry.
+bool arm_from_spec(const std::string& spec);
+
+/// Reads the PARAPSP_FAILPOINTS environment variable, if set, into the
+/// registry. Called by tools at startup; tests use arm() directly.
+void arm_from_env();
+
+}  // namespace parapsp::util::failpoints

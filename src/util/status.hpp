@@ -1,0 +1,95 @@
+// Typed error taxonomy for every recoverable failure the library reports.
+//
+// Status carries an ErrorCode plus a human-readable message; the non-throwing
+// API surface (try_load_*, DistanceMatrix::try_create, checkpointing, the
+// cancellable solver) returns Status / Expected<T> instead of throwing.
+// The throwing readers remain for callers who prefer exceptions; they throw
+// StatusError, which derives from std::runtime_error (so existing catch
+// sites keep working) but carries the typed code for classification.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace parapsp::util {
+
+/// Every failure class the library distinguishes.
+enum class ErrorCode : std::uint8_t {
+  kOk,               ///< success (Status::ok())
+  kIo,               ///< OS-level I/O failure: open, read, write, rename
+  kParse,            ///< malformed text input (edge list, METIS, CLI)
+  kFormat,           ///< malformed binary input: bad magic/version/lengths
+  kResource,         ///< allocation failure or memory-budget/overflow breach
+  kCancelled,        ///< run stopped by ExecutionControl::request_cancel()
+  kTimeout,          ///< run stopped by an expired ExecutionControl deadline
+  kInvalidArgument,  ///< caller error: bad option value, size mismatch
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kFormat: return "format";
+    case ErrorCode::kResource: return "resource";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+  }
+  return "?";
+}
+
+/// An error code plus context message. The ok state carries no message and
+/// never allocates, so hot paths can return Status::ok() freely.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() noexcept { return {}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "code: message" for logs and test diagnostics.
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "ok";
+    std::string s = util::to_string(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;  // messages are context, not identity
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// The exception the throwing readers raise. Derives from std::runtime_error
+/// so legacy `catch (const std::runtime_error&)` sites are unaffected, while
+/// the non-throwing wrappers recover the typed code via to_status().
+class StatusError : public std::runtime_error {
+ public:
+  StatusError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] Status to_status() const { return {code_, what()}; }
+
+ private:
+  ErrorCode code_;
+};
+
+}  // namespace parapsp::util

@@ -5,6 +5,7 @@
 // unreachable vertices never overflow (integral W) or misbehave (float W).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <type_traits>
@@ -40,6 +41,16 @@ template <WeightType W>
 template <WeightType W>
 [[nodiscard]] constexpr bool is_infinite(W w) noexcept {
   return w == infinity<W>();
+}
+
+/// Overflow-checked size multiplication: sets `out = a * b` and returns true,
+/// or returns false (leaving `out` untouched) when the product does not fit
+/// in std::size_t. The guard in front of every n*n-scale allocation.
+[[nodiscard]] constexpr bool checked_mul(std::size_t a, std::size_t b,
+                                         std::size_t& out) noexcept {
+  if (b != 0 && a > std::numeric_limits<std::size_t>::max() / b) return false;
+  out = a * b;
+  return true;
 }
 
 /// Saturating distance addition: inf + x == inf, and integral sums that

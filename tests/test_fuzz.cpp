@@ -4,6 +4,12 @@
 // hand-written cases miss.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
 #include "apsp/verify.hpp"
 #include "test_helpers.hpp"
 
@@ -119,6 +125,239 @@ TEST_P(RelabelInvariance, DistancesCommuteWithRelabeling) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RelabelInvariance,
                          ::testing::Range<std::uint64_t>(1, 9),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Malformed-input corpora: every reader must answer hostile bytes with a
+// typed Status (kParse / kFormat / kIo / kResource) — never a crash, an
+// uncaught exception of the wrong class, or a giant allocation driven by a
+// corrupt header.
+
+namespace {
+
+using namespace parapsp;
+using util::ErrorCode;
+
+class CorpusDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("parapsp_fuzz_" +
+            ::std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string write(const std::string& name,
+                                  const std::string& bytes) const {
+    const auto p = (dir_ / name).string();
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return p;
+  }
+  [[nodiscard]] static std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+  std::filesystem::path dir_;
+};
+
+using EdgeListCorpus = CorpusDir;
+
+TEST_F(EdgeListCorpus, HostileTextYieldsParseErrors) {
+  const std::pair<const char*, const char*> corpus[] = {
+      {"nan_weight", "0 1 nan\n"},
+      {"inf_weight", "0 1 inf\n"},
+      {"negative_weight", "0 1 -3.5\n"},
+      {"overflow_weight", "0 1 1e999999\n"},
+      {"negative_vertex", "-1 2\n"},
+      {"missing_target", "5\n"},
+      {"garbage_tokens", "zero one two\n"},
+      {"trailing_garbage", "0 1 2.0 surprise\n"},
+      {"weight_is_word", "0 1 heavy\n"},
+  };
+  for (const auto& [name, text] : corpus) {
+    const auto p = write(std::string(name) + ".txt", text);
+    const auto r =
+        graph::try_load_edge_list<double>(p, graph::Directedness::kUndirected);
+    ASSERT_FALSE(r.has_value()) << name;
+    EXPECT_EQ(r.status().code(), ErrorCode::kParse) << name << ": "
+                                                    << r.status().to_string();
+  }
+  // Missing file is an io error, not a parse error.
+  EXPECT_EQ(graph::try_load_edge_list<double>((dir_ / "absent.txt").string(),
+                                              graph::Directedness::kUndirected)
+                .status()
+                .code(),
+            ErrorCode::kIo);
+}
+
+TEST_F(EdgeListCorpus, CommentsAndBlanksStillParse) {
+  const auto p = write("fine.txt", "# comment\n% also comment\n\n0 1 2.5\n1 2\n");
+  const auto r = graph::try_load_edge_list<double>(p, graph::Directedness::kUndirected);
+  ASSERT_TRUE(r.has_value()) << r.status().to_string();
+  EXPECT_EQ(r->num_vertices(), 3u);
+}
+
+using MetisCorpus = CorpusDir;
+
+TEST_F(MetisCorpus, HostileTextYieldsParseErrors) {
+  const std::pair<const char*, const char*> corpus[] = {
+      {"empty_header", "\n\n"},
+      {"one_field_header", "10\n"},
+      {"four_field_header", "4 3 0 9\n"},
+      {"unsupported_fmt", "4 3 7\n"},
+      {"letters_in_header", "four three\n"},
+      {"letters_in_adjacency", "2 1\n2\nx\n"},
+  };
+  for (const auto& [name, text] : corpus) {
+    const auto p = write(std::string(name) + ".metis", text);
+    const auto r = graph::try_load_metis<std::uint32_t>(p);
+    ASSERT_FALSE(r.has_value()) << name;
+    EXPECT_EQ(r.status().code(), ErrorCode::kParse) << name << ": "
+                                                    << r.status().to_string();
+  }
+}
+
+using BinaryCorpus = CorpusDir;
+
+TEST_F(BinaryCorpus, CorruptHeadersYieldFormatErrorsWithoutAllocating) {
+  const auto g = graph::cycle_graph<std::uint32_t>(8);
+  const auto valid_path = (dir_ / "valid.bin").string();
+  graph::save_binary(g, valid_path);
+  const std::string valid = slurp(valid_path);
+  ASSERT_GE(valid.size(), sizeof(graph::detail::BinaryHeader));
+
+  auto mutate = [&](const char* name, std::size_t offset, const void* bytes,
+                    std::size_t len) {
+    std::string blob = valid;
+    std::memcpy(blob.data() + offset, bytes, len);
+    return write(std::string(name) + ".bin", blob);
+  };
+
+  // Header field offsets (see BinaryHeader): magic@0 version@4 directed@8
+  // weight_code@9 n@12 stored_edges@16.
+  const std::uint32_t bad_magic = 0xdeadbeefu, bad_version = 42, huge_n = 0xffffffffu;
+  const std::uint8_t bad_code = 3, float_code = 1;
+  const std::uint64_t huge_m = ~std::uint64_t{0} / 2;
+
+  struct Case {
+    const char* name;
+    std::string path;
+  };
+  const Case cases[] = {
+      {"bad_magic", mutate("bad_magic", 0, &bad_magic, 4)},
+      {"bad_version", mutate("bad_version", 4, &bad_version, 4)},
+      {"unknown_weight_code", mutate("unknown_weight_code", 9, &bad_code, 1)},
+      {"weight_type_mismatch", mutate("weight_type_mismatch", 9, &float_code, 1)},
+      // A corrupt n/m must be caught by the file-size precheck, not by
+      // attempting a multi-GB resize.
+      {"huge_n", mutate("huge_n", 12, &huge_n, 4)},
+      {"huge_m", mutate("huge_m", 16, &huge_m, 8)},
+  };
+  for (const auto& c : cases) {
+    const auto r = graph::try_load_binary<std::uint32_t>(c.path);
+    ASSERT_FALSE(r.has_value()) << c.name;
+    EXPECT_EQ(r.status().code(), ErrorCode::kFormat)
+        << c.name << ": " << r.status().to_string();
+  }
+}
+
+TEST_F(BinaryCorpus, TruncationAtEveryBoundaryYieldsFormatError) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(30, 2, 3);
+  const auto valid_path = (dir_ / "valid.bin").string();
+  graph::save_binary(g, valid_path);
+  const std::string valid = slurp(valid_path);
+
+  const std::size_t header = sizeof(graph::detail::BinaryHeader);
+  const std::size_t offsets_end = header + (g.num_vertices() + 1) * sizeof(EdgeId);
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{1}, header - 1, header, offsets_end - 3,
+        offsets_end, valid.size() - 1}) {
+    const auto p = write("trunc_" + std::to_string(keep) + ".bin",
+                         valid.substr(0, keep));
+    const auto r = graph::try_load_binary<std::uint32_t>(p);
+    ASSERT_FALSE(r.has_value()) << "keep=" << keep;
+    EXPECT_EQ(r.status().code(), ErrorCode::kFormat) << "keep=" << keep;
+  }
+}
+
+TEST_F(BinaryCorpus, InconsistentCsrPayloadYieldsFormatError) {
+  const auto g = graph::cycle_graph<std::uint32_t>(8);  // n=8, m=16
+  const auto valid_path = (dir_ / "valid.bin").string();
+  graph::save_binary(g, valid_path);
+  const std::string valid = slurp(valid_path);
+
+  const std::size_t header = sizeof(graph::detail::BinaryHeader);
+  const std::size_t targets_start = header + (g.num_vertices() + 1) * sizeof(EdgeId);
+
+  // offsets[1] jumps past offsets[2]: non-monotone.
+  {
+    std::string blob = valid;
+    const EdgeId big = 1000;
+    std::memcpy(blob.data() + header + sizeof(EdgeId), &big, sizeof big);
+    const auto r = graph::try_load_binary<std::uint32_t>(write("decreasing.bin", blob));
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.status().code(), ErrorCode::kFormat) << r.status().to_string();
+  }
+  // offsets[n] disagrees with the header's edge count.
+  {
+    std::string blob = valid;
+    const EdgeId wrong = g.num_stored_edges() - 1;
+    std::memcpy(blob.data() + targets_start - sizeof(EdgeId), &wrong, sizeof wrong);
+    const auto r = graph::try_load_binary<std::uint32_t>(write("short_back.bin", blob));
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.status().code(), ErrorCode::kFormat) << r.status().to_string();
+  }
+  // A target pointing outside [0, n).
+  {
+    std::string blob = valid;
+    const VertexId rogue = 0xffffffffu;
+    std::memcpy(blob.data() + targets_start, &rogue, sizeof rogue);
+    const auto r = graph::try_load_binary<std::uint32_t>(write("rogue_target.bin", blob));
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.status().code(), ErrorCode::kFormat) << r.status().to_string();
+  }
+}
+
+// Random byte-flip fuzzing: any mutation of a valid file must load cleanly
+// or fail with a typed error — crash/UB/unbounded allocation are the bugs.
+class BinaryByteFlip : public CorpusDir,
+                       public ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(BinaryByteFlip, MutatedFilesNeverCrash) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(60, 3, 11);
+  const auto valid_path = (dir_ / "valid.bin").string();
+  graph::save_binary(g, valid_path);
+  const std::string valid = slurp(valid_path);
+
+  util::Xoshiro256 rng(GetParam() * 0x2545f4914f6cdd1dULL + 99);
+  std::string blob = valid;
+  const auto flips = 1 + rng.bounded(8);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    blob[rng.bounded(blob.size())] ^= static_cast<char>(1 + rng.bounded(255));
+  }
+  const auto r = graph::try_load_binary<std::uint32_t>(
+      write("mut.bin", rng.bounded(8) ? blob : blob.substr(0, rng.bounded(blob.size()))));
+  if (!r.has_value()) {
+    EXPECT_NE(r.status().code(), ErrorCode::kOk);
+  } else {
+    // Mutation survived validation: the graph must still be structurally
+    // sound (the validator re-checks the CSR invariants).
+    EXPECT_TRUE(graph::validate(*r).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryByteFlip, ::testing::Range<std::uint64_t>(1, 33),
                          [](const ::testing::TestParamInfo<std::uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });

@@ -1,0 +1,528 @@
+// Execution-control and fault-tolerance layer: typed Status/Expected,
+// cooperative cancellation and deadlines, checkpoint/resume (bit-identical
+// to an uninterrupted run), fault injection via failpoints, and the
+// memory-budget precheck.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace parapsp;
+using util::ErrorCode;
+
+// ---------------------------------------------------------------------------
+// Status / Expected / try_invoke
+
+TEST(Status, OkCarriesNoMessageAndComparesByCode) {
+  const auto ok = util::Status::ok();
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.to_string(), "ok");
+
+  const util::Status a{ErrorCode::kIo, "open failed"};
+  const util::Status b{ErrorCode::kIo, "different message"};
+  const util::Status c{ErrorCode::kParse, "open failed"};
+  EXPECT_FALSE(a.is_ok());
+  EXPECT_EQ(a, b);  // messages are context, not identity
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.to_string(), "io: open failed");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInvalidArgument); ++c) {
+    EXPECT_STRNE(util::to_string(static_cast<ErrorCode>(c)), "?");
+  }
+}
+
+TEST(Status, StatusErrorIsARuntimeErrorWithTypedCode) {
+  const util::StatusError e{ErrorCode::kFormat, "bad magic"};
+  EXPECT_EQ(e.code(), ErrorCode::kFormat);
+  EXPECT_STREQ(e.what(), "bad magic");
+  EXPECT_EQ(e.to_status().code(), ErrorCode::kFormat);
+  // Legacy catch sites catch std::runtime_error; verify the inheritance.
+  try {
+    throw util::StatusError(ErrorCode::kIo, "x");
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  } catch (...) {
+    FAIL() << "StatusError must derive from std::runtime_error";
+  }
+}
+
+TEST(Expected, HoldsValueOrStatus) {
+  util::Expected<int> v{42};
+  EXPECT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().is_ok());
+  EXPECT_EQ(v.value_or(7), 42);
+
+  util::Expected<int> e{util::Status{ErrorCode::kResource, "oom"}};
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.status().code(), ErrorCode::kResource);
+  EXPECT_EQ(e.value_or(7), 7);
+  EXPECT_THROW((void)e.value(), util::StatusError);
+}
+
+TEST(Expected, OkStatusWithoutValueIsUpgradedToError) {
+  util::Expected<int> e{util::Status::ok()};
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Expected, TryInvokeMapsExceptionsToTypedCodes) {
+  const auto typed = util::try_invoke(
+      []() -> int { throw util::StatusError(ErrorCode::kFormat, "bad"); });
+  EXPECT_EQ(typed.status().code(), ErrorCode::kFormat);
+
+  const auto oom = util::try_invoke([]() -> int { throw std::bad_alloc(); });
+  EXPECT_EQ(oom.status().code(), ErrorCode::kResource);
+
+  const auto arg =
+      util::try_invoke([]() -> int { throw std::invalid_argument("nope"); });
+  EXPECT_EQ(arg.status().code(), ErrorCode::kInvalidArgument);
+
+  const auto fallback = util::try_invoke(
+      []() -> int { throw std::runtime_error("???"); }, ErrorCode::kParse);
+  EXPECT_EQ(fallback.status().code(), ErrorCode::kParse);
+
+  const auto fine = util::try_invoke([] { return 5; });
+  ASSERT_TRUE(fine.has_value());
+  EXPECT_EQ(*fine, 5);
+}
+
+// ---------------------------------------------------------------------------
+// ExecutionControl
+
+TEST(ExecutionControl, CancelAndDeadline) {
+  util::ExecutionControl ctl;
+  EXPECT_TRUE(ctl.check().is_ok());
+  EXPECT_FALSE(ctl.should_stop());
+
+  ctl.request_cancel();
+  EXPECT_TRUE(ctl.cancel_requested());
+  EXPECT_EQ(ctl.check().code(), ErrorCode::kCancelled);
+
+  ctl.reset();
+  EXPECT_TRUE(ctl.check().is_ok());
+
+  ctl.set_deadline_after(0.0);  // expires immediately
+  EXPECT_TRUE(ctl.deadline_expired());
+  EXPECT_EQ(ctl.check().code(), ErrorCode::kTimeout);
+  ctl.clear_deadline();
+  EXPECT_TRUE(ctl.check().is_ok());
+
+  // Cancel wins over timeout: a deliberate stop is never reported as expiry.
+  ctl.set_deadline_after(-1.0);
+  ctl.request_cancel();
+  EXPECT_EQ(ctl.check().code(), ErrorCode::kCancelled);
+}
+
+TEST(ExecutionControl, ProgressCounter) {
+  util::ExecutionControl ctl;
+  EXPECT_EQ(ctl.progress(), 0u);
+  ctl.add_progress();
+  ctl.add_progress(4);
+  EXPECT_EQ(ctl.progress(), 5u);
+  ctl.reset();
+  EXPECT_EQ(ctl.progress(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation / deadline mid-sweep
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("parapsp_robust_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    util::failpoints::disarm_all();
+  }
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+using Robustness = TempDir;
+
+// Rows marked complete in a partial result must hold the exact distances an
+// uninterrupted run produces; unmarked rows are simply absent, not wrong.
+template <typename W>
+void expect_completed_rows_exact(const apsp::ApspResult<W>& partial,
+                                 const apsp::DistanceMatrix<W>& golden) {
+  ASSERT_EQ(partial.completed_rows.size(), golden.size());
+  for (VertexId s = 0; s < golden.size(); ++s) {
+    if (!partial.completed_rows[s]) continue;
+    for (VertexId v = 0; v < golden.size(); ++v) {
+      ASSERT_EQ(partial.distances.at(s, v), golden.at(s, v))
+          << "completed row " << s << " differs at column " << v;
+    }
+  }
+}
+
+TEST_F(Robustness, CancelMidSweepReturnsPromptlyWithCorrectBitmap) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(2500, 8, 77);
+  const auto golden = apsp::par_apsp(g).distances;
+
+  util::ExecutionControl ctl;
+  core::SolverOptions opts;
+  opts.algorithm = core::Algorithm::kParApsp;
+  opts.control = &ctl;
+
+  // The watcher cancels shortly after the sweep starts and records when, so
+  // the main thread can bound the cancel-to-return latency.
+  std::chrono::steady_clock::time_point cancelled_at;
+  std::thread watcher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    cancelled_at = std::chrono::steady_clock::now();
+    ctl.request_cancel();
+  });
+  const auto result = core::solve(g, opts);
+  const auto returned_at = std::chrono::steady_clock::now();
+  watcher.join();
+
+  if (result.complete()) {
+    GTEST_SKIP() << "sweep finished before the cancel landed; nothing to check";
+  }
+  const auto latency =
+      std::chrono::duration_cast<std::chrono::milliseconds>(returned_at - cancelled_at);
+  EXPECT_LT(latency.count(), 250) << "cancel must be honored within one row";
+  EXPECT_EQ(result.status.code(), ErrorCode::kCancelled);
+  EXPECT_LT(result.num_completed_rows(), g.num_vertices());
+  EXPECT_EQ(result.num_completed_rows(), ctl.progress());
+  expect_completed_rows_exact(result, golden);
+}
+
+TEST_F(Robustness, ExpiredDeadlineYieldsTimeoutPartialResult) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(2000, 6, 5);
+
+  util::ExecutionControl ctl;
+  ctl.set_deadline_after(0.0);  // already expired: deterministic partial run
+  core::SolverOptions opts;
+  opts.control = &ctl;
+
+  const auto result = core::solve(g, opts);
+  EXPECT_EQ(result.status.code(), ErrorCode::kTimeout);
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(result.num_completed_rows(), 0u);
+  EXPECT_EQ(result.completed_rows.size(), g.num_vertices());
+}
+
+TEST_F(Robustness, ControlRejectedForNonSweepAlgorithms) {
+  const auto g = graph::cycle_graph<std::uint32_t>(16);
+  util::ExecutionControl ctl;
+  core::SolverOptions opts;
+  opts.algorithm = core::Algorithm::kFloydWarshall;
+  opts.control = &ctl;
+  EXPECT_THROW((void)core::solve(g, opts), std::invalid_argument);
+
+  const auto r = core::try_solve(g, opts);
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume
+
+TEST_F(Robustness, CheckpointRoundTripsCompletedRows) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(300, 4, 9);
+  const auto golden = apsp::par_apsp(g).distances;
+  const auto fp = apsp::graph_fingerprint(g);
+
+  // Mark an arbitrary subset complete and save only those rows.
+  std::vector<std::uint8_t> completed(g.num_vertices(), 0);
+  for (VertexId s = 0; s < g.num_vertices(); s += 3) completed[s] = 1;
+  const auto ck = path("partial.pack");
+  ASSERT_TRUE(apsp::save_checkpoint(ck, golden, completed, fp).is_ok());
+
+  const auto state = apsp::load_checkpoint<std::uint32_t>(ck);
+  ASSERT_TRUE(state.has_value()) << state.status().to_string();
+  EXPECT_EQ(state->graph_fp, fp);
+  ASSERT_EQ(state->completed, completed);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    if (!completed[s]) continue;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(state->distances.at(s, v), golden.at(s, v));
+    }
+  }
+}
+
+TEST_F(Robustness, ResumedRunIsBitIdenticalToUninterruptedRun) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(2000, 8, 31);
+  const auto golden = apsp::par_apsp(g).distances;
+  const auto ck = path("resume.pack");
+
+  // Phase 1: run under a watcher that cancels mid-sweep; the stop state is
+  // checkpointed. If the sweep wins the race the checkpoint holds every row
+  // — resume still has to reproduce the golden matrix.
+  {
+    util::ExecutionControl ctl;
+    core::SolverOptions opts;
+    opts.control = &ctl;
+    opts.checkpoint_path = ck;
+    std::thread watcher([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      ctl.request_cancel();
+    });
+    const auto partial = core::solve(g, opts);
+    watcher.join();
+    ASSERT_TRUE(std::filesystem::exists(ck));
+  }
+
+  // Phase 2: resume from the checkpoint and run to completion.
+  core::SolverOptions opts;
+  opts.resume_from = ck;
+  const auto resumed = core::solve(g, opts);
+  ASSERT_TRUE(resumed.complete()) << resumed.status.to_string();
+  parapsp::testing::expect_same_distances(resumed.distances, golden, "resumed");
+}
+
+TEST_F(Robustness, ResumeRejectsCheckpointFromDifferentGraph) {
+  const auto g1 = graph::barabasi_albert<std::uint32_t>(200, 3, 1);
+  const auto g2 = graph::barabasi_albert<std::uint32_t>(200, 3, 2);  // same n!
+  const auto ck = path("wrong.pack");
+
+  std::vector<std::uint8_t> completed(g1.num_vertices(), 1);
+  const auto D = apsp::par_apsp(g1).distances;
+  ASSERT_TRUE(apsp::save_checkpoint(ck, D, completed, apsp::graph_fingerprint(g1)).is_ok());
+
+  core::SolverOptions opts;
+  opts.resume_from = ck;
+  const auto r = core::try_solve(g2, opts);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), ErrorCode::kFormat);
+}
+
+TEST_F(Robustness, LoadCheckpointRejectsCorruptFiles) {
+  const auto g = graph::cycle_graph<std::uint32_t>(64);
+  const auto D = apsp::par_apsp(g).distances;
+  std::vector<std::uint8_t> completed(64, 1);
+  const auto ck = path("ok.pack");
+  ASSERT_TRUE(
+      apsp::save_checkpoint(ck, D, completed, apsp::graph_fingerprint(g)).is_ok());
+
+  // Missing file -> io.
+  EXPECT_EQ(apsp::load_checkpoint<std::uint32_t>(path("absent.pack")).status().code(),
+            ErrorCode::kIo);
+
+  // Weight-type mismatch -> format.
+  EXPECT_EQ(apsp::load_checkpoint<double>(ck).status().code(), ErrorCode::kFormat);
+
+  // Truncation at every structural boundary -> format, never a crash.
+  const auto full = std::filesystem::file_size(ck);
+  for (const std::uintmax_t keep :
+       {std::uintmax_t{0}, std::uintmax_t{7}, std::uintmax_t{sizeof(std::uint32_t)},
+        full / 2, full - 1}) {
+    const auto trunc = path("trunc.pack");
+    std::filesystem::copy_file(ck, trunc,
+                               std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(trunc, keep);
+    const auto r = apsp::load_checkpoint<std::uint32_t>(trunc);
+    ASSERT_FALSE(r.has_value()) << "keep=" << keep;
+    EXPECT_EQ(r.status().code(), ErrorCode::kFormat) << "keep=" << keep;
+  }
+
+  // Flipped magic -> format.
+  {
+    const auto bad = path("magic.pack");
+    std::filesystem::copy_file(ck, bad,
+                               std::filesystem::copy_options::overwrite_existing);
+    std::FILE* f = std::fopen(bad.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fputc('X', f);
+    std::fclose(f);
+    EXPECT_EQ(apsp::load_checkpoint<std::uint32_t>(bad).status().code(),
+              ErrorCode::kFormat);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Memory budget / overflow precheck
+
+TEST(MemoryBudget, CheckedMulDetectsOverflow) {
+  std::size_t out = 0;
+  EXPECT_TRUE(parapsp::checked_mul(0, SIZE_MAX, out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(parapsp::checked_mul(1u << 16, 1u << 16, out));
+  EXPECT_FALSE(parapsp::checked_mul(SIZE_MAX / 2, 3, out));
+  EXPECT_FALSE(parapsp::checked_mul(SIZE_MAX, SIZE_MAX, out));
+}
+
+TEST(MemoryBudget, HugeMatrixYieldsResourceErrorNotBadAlloc) {
+  // n*n*4 overflows size_t on 32-bit and is denied by the precheck on
+  // 64-bit long before the allocator sees it.
+  const auto st = apsp::DistanceMatrix<std::uint32_t>::allocation_status(
+      std::numeric_limits<VertexId>::max());
+  EXPECT_EQ(st.code(), ErrorCode::kResource);
+
+  const auto m = apsp::DistanceMatrix<std::uint32_t>::try_create(
+      1u << 20, parapsp::infinity<std::uint32_t>(), /*budget_bytes=*/1u << 20);
+  ASSERT_FALSE(m.has_value());
+  EXPECT_EQ(m.status().code(), ErrorCode::kResource);
+}
+
+TEST(MemoryBudget, WithinBudgetSucceeds) {
+  const auto m = apsp::DistanceMatrix<std::uint32_t>::try_create(
+      64, parapsp::infinity<std::uint32_t>(), /*budget_bytes=*/1u << 20);
+  ASSERT_TRUE(m.has_value()) << m.status().to_string();
+  EXPECT_EQ(m->size(), 64u);
+  EXPECT_EQ(m->at(3, 5), parapsp::infinity<std::uint32_t>());
+}
+
+// ---------------------------------------------------------------------------
+// Failpoints (compiled in for test builds via PARAPSP_FAILPOINTS=ON)
+
+#if defined(PARAPSP_FAILPOINTS_ENABLED)
+
+class Failpoints : public TempDir {};
+
+TEST_F(Failpoints, ArmDisarmAndHitSemantics) {
+  namespace fp = util::failpoints;
+  EXPECT_FALSE(fp::should_fail("unarmed"));
+
+  fp::arm("every");
+  EXPECT_TRUE(fp::should_fail("every"));
+  EXPECT_TRUE(fp::should_fail("every"));
+  fp::disarm("every");
+  EXPECT_FALSE(fp::should_fail("every"));
+
+  // name=k: first k hits fail, then pass.
+  fp::arm("firstk", 1, 2);
+  EXPECT_TRUE(fp::should_fail("firstk"));
+  EXPECT_TRUE(fp::should_fail("firstk"));
+  EXPECT_FALSE(fp::should_fail("firstk"));
+  EXPECT_EQ(fp::hits("firstk"), 3u);
+
+  // name@k: pass until the k-th hit, fail exactly that one.
+  fp::arm("third", 3, 1);
+  EXPECT_FALSE(fp::should_fail("third"));
+  EXPECT_FALSE(fp::should_fail("third"));
+  EXPECT_TRUE(fp::should_fail("third"));
+  EXPECT_FALSE(fp::should_fail("third"));
+
+  fp::disarm_all();
+  EXPECT_FALSE(fp::should_fail("firstk"));
+}
+
+TEST_F(Failpoints, SpecGrammar) {
+  namespace fp = util::failpoints;
+  EXPECT_TRUE(fp::arm_from_spec("a;b=2;c@3"));
+  EXPECT_TRUE(fp::should_fail("a"));
+  EXPECT_TRUE(fp::should_fail("b"));
+  EXPECT_TRUE(fp::should_fail("b"));
+  EXPECT_FALSE(fp::should_fail("b"));
+  EXPECT_FALSE(fp::should_fail("c"));
+  EXPECT_FALSE(fp::should_fail("c"));
+  EXPECT_TRUE(fp::should_fail("c"));
+  fp::disarm_all();
+
+  EXPECT_FALSE(fp::arm_from_spec("ok;bad=notanumber"));
+  EXPECT_FALSE(fp::arm_from_spec("=3"));
+  fp::disarm_all();
+}
+
+TEST_F(Failpoints, ShortReadInjectionYieldsFormatError) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(100, 3, 4);
+  const auto file = path("g.bin");
+  graph::save_binary(g, file);
+
+  util::failpoints::arm("io_short_read");
+  const auto r = graph::try_load_binary<std::uint32_t>(file);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), ErrorCode::kFormat);
+
+  util::failpoints::disarm_all();
+  const auto fine = graph::try_load_binary<std::uint32_t>(file);
+  ASSERT_TRUE(fine.has_value()) << fine.status().to_string();
+  EXPECT_EQ(fine->num_vertices(), g.num_vertices());
+}
+
+TEST_F(Failpoints, OpenInjectionYieldsIoErrorForEveryReader) {
+  const auto g = graph::cycle_graph<std::uint32_t>(20);
+  const auto bin = path("g.bin"), txt = path("g.txt"), metis = path("g.metis");
+  graph::save_binary(g, bin);
+  graph::write_edge_list(g, txt);
+  graph::save_metis(g, metis);
+
+  util::failpoints::arm("io_open_read");
+  EXPECT_EQ(graph::try_load_binary<std::uint32_t>(bin).status().code(), ErrorCode::kIo);
+  EXPECT_EQ(graph::try_load_edge_list<std::uint32_t>(txt,
+                                                     graph::Directedness::kUndirected)
+                .status()
+                .code(),
+            ErrorCode::kIo);
+  EXPECT_EQ(graph::try_load_metis<std::uint32_t>(metis).status().code(), ErrorCode::kIo);
+}
+
+TEST_F(Failpoints, AllocInjectionYieldsResourceError) {
+  util::failpoints::arm("alloc_fail");
+  const auto m = apsp::DistanceMatrix<std::uint32_t>::try_create(32);
+  ASSERT_FALSE(m.has_value());
+  EXPECT_EQ(m.status().code(), ErrorCode::kResource);
+}
+
+TEST_F(Failpoints, CheckpointWriteInjectionSurfacesInSolveStatus) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(150, 3, 6);
+  const auto ck = path("inject.pack");
+
+  // Direct save: typed io error, and no half-written file left behind.
+  {
+    const auto D = apsp::par_apsp(g).distances;
+    std::vector<std::uint8_t> completed(g.num_vertices(), 1);
+    util::failpoints::arm("checkpoint_write_flush");
+    const auto st = apsp::save_checkpoint(ck, D, completed, apsp::graph_fingerprint(g));
+    EXPECT_EQ(st.code(), ErrorCode::kIo);
+    EXPECT_FALSE(std::filesystem::exists(ck));
+    EXPECT_FALSE(std::filesystem::exists(ck + ".tmp"));
+    util::failpoints::disarm_all();
+  }
+
+  // Through the solver: the run completes (checkpointing is auxiliary) but
+  // the failure is surfaced in result.status rather than swallowed.
+  {
+    util::failpoints::arm("checkpoint_write");
+    core::SolverOptions opts;
+    opts.checkpoint_path = ck;
+    const auto result = core::solve(g, opts);
+    EXPECT_EQ(result.status.code(), ErrorCode::kIo);
+    EXPECT_EQ(result.num_completed_rows(), g.num_vertices());  // work not lost
+  }
+}
+
+#endif  // PARAPSP_FAILPOINTS_ENABLED
+
+// ---------------------------------------------------------------------------
+// CLI unknown-option rejection
+
+TEST(Cli, UnknownOptionsAreReportedAndRejected) {
+  const char* argv[] = {"tool", "--known", "5", "--typo-flag", "--also-bad", "x"};
+  const util::Args args(static_cast<int>(std::size(argv)), argv);
+  EXPECT_EQ(args.get_int("known", 0), 5);
+
+  const auto unknown = args.unknown_options();
+  ASSERT_EQ(unknown.size(), 2u);
+  EXPECT_THROW(args.reject_unknown(), std::invalid_argument);
+}
+
+TEST(Cli, RejectUnknownPassesWhenAllOptionsQueried) {
+  const char* argv[] = {"tool", "--n", "10", "--verbose"};
+  const util::Args args(static_cast<int>(std::size(argv)), argv);
+  EXPECT_EQ(args.get_int("n", 0), 10);
+  EXPECT_TRUE(args.get_flag("verbose"));
+  EXPECT_TRUE(args.unknown_options().empty());
+  EXPECT_NO_THROW(args.reject_unknown());
+}
+
+}  // namespace

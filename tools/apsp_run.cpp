@@ -1,0 +1,153 @@
+// apsp_run — end-to-end APSP runner with execution control.
+//
+// Loads (or generates) a graph, runs a solver algorithm under an optional
+// wall-clock deadline, and can checkpoint completed rows periodically and
+// resume a previous partial run. This is the operational face of the
+// fault-tolerance layer: a run killed by --timeout-s exits cleanly with a
+// partial-result report instead of being lost, and `--resume` picks the
+// computation back up from the checkpoint.
+//
+//   apsp_run --graph web.txt --algorithm parapsp --threads 16
+//   apsp_run --gen ba --n 20000 --param 8 --timeout-s 60 --checkpoint run.ck
+//   apsp_run --graph web.txt --resume run.ck --checkpoint run.ck
+//
+// Options:
+//   --graph FILE    input graph (format from extension, or --format)
+//   --format        edgelist | binary | metis
+//   --directed      treat edge-list input as directed
+//   --gen MODEL     generate instead of load: ba | er | ws | rmat
+//   --n, --param, --edges, --scale, --beta, --seed   generator knobs
+//   --algorithm     solver algorithm (default parapsp; see --help output)
+//   --threads       OpenMP thread count (0 = ambient)
+//   --ratio         selection ratio for peng-optimized / paralg2
+//   --timeout-s S   stop the sweep after S seconds of wall clock
+//   --checkpoint F  write completed rows to F periodically and on stop
+//   --interval-s S  seconds between periodic checkpoint writes (default 5)
+//   --resume F      restore completed rows from checkpoint F before sweeping
+//   --out FILE      save the (complete) distance matrix
+//
+// Exit codes: 0 = complete, 3 = stopped early (timeout, partial result
+// checkpointed if --checkpoint given), 1 = error, 2 = usage.
+//
+// Fault injection (failpoint-enabled builds): set PARAPSP_FAILPOINTS, e.g.
+//   PARAPSP_FAILPOINTS="checkpoint_write=1" apsp_run ...
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "parapsp/parapsp.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+graph::Graph<std::uint32_t> load_or_generate(const util::Args& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (const std::string gen = args.get("gen"); !gen.empty()) {
+    const auto n = static_cast<VertexId>(args.get_int("n", 2000));
+    if (gen == "ba") {
+      return graph::barabasi_albert<std::uint32_t>(
+          n, static_cast<VertexId>(args.get_int("param", 4)), seed);
+    }
+    if (gen == "er") {
+      return graph::erdos_renyi_gnm<std::uint32_t>(
+          n, static_cast<EdgeId>(args.get_int("edges", 4 * static_cast<std::int64_t>(n))),
+          seed);
+    }
+    if (gen == "ws") {
+      return graph::watts_strogatz<std::uint32_t>(
+          n, static_cast<VertexId>(args.get_int("param", 4)),
+          args.get_double("beta", 0.1), seed);
+    }
+    if (gen == "rmat") {
+      const auto scale = args.get_int("scale", 12);
+      return graph::rmat<std::uint32_t>(
+          static_cast<VertexId>(scale),
+          static_cast<EdgeId>(args.get_int("edges", 8 << scale)), seed);
+    }
+    throw std::invalid_argument("unknown --gen model '" + gen + "'");
+  }
+
+  const std::string path = args.get("graph");
+  if (path.empty()) {
+    throw std::invalid_argument("one of --graph or --gen is required");
+  }
+  std::string format = args.get("format");
+  if (format.empty()) {
+    const auto dot = path.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : path.substr(dot + 1);
+    format = ext == "bin" ? "binary" : ext == "metis" || ext == "graph" ? "metis"
+                                                                        : "edgelist";
+  }
+  const auto dir = args.get_flag("directed") ? graph::Directedness::kDirected
+                                             : graph::Directedness::kUndirected;
+  if (format == "edgelist") return graph::load_edge_list<std::uint32_t>(path, dir);
+  if (format == "binary") return graph::load_binary<std::uint32_t>(path);
+  if (format == "metis") return graph::load_metis<std::uint32_t>(path);
+  throw std::invalid_argument("unknown --format '" + format + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  try {
+    util::failpoints::arm_from_env();
+
+    const util::Args args(argc, argv);
+    if (args.has("help") || (args.get("graph").empty() && args.get("gen").empty())) {
+      std::fprintf(stderr,
+                   "usage: apsp_run (--graph FILE | --gen MODEL --n N) [options]\n"
+                   "(see the header of tools/apsp_run.cpp for the full list)\n");
+      return 2;
+    }
+
+    core::SolverOptions opts;
+    opts.algorithm = core::algorithm_from_string(args.get("algorithm", "parapsp"));
+    opts.threads = static_cast<int>(args.get_int("threads", 0));
+    opts.selection_ratio = args.get_double("ratio", 1.0);
+    opts.checkpoint_path = args.get("checkpoint");
+    opts.checkpoint_interval_s = args.get_double("interval-s", 5.0);
+    opts.resume_from = args.get("resume");
+
+    util::ExecutionControl ctl;
+    const double timeout_s = args.get_double("timeout-s", 0.0);
+    if (timeout_s > 0) ctl.set_deadline_after(timeout_s);
+    const bool controlled = timeout_s > 0 || !opts.checkpoint_path.empty() ||
+                            !opts.resume_from.empty();
+    if (controlled) opts.control = &ctl;
+
+    const std::string out = args.get("out");
+
+    const auto g = load_or_generate(args);
+    args.reject_unknown();  // all getters have run; leftovers are typos
+    std::printf("%s\n", g.summary().c_str());
+
+    const auto result = core::solve(g, opts);
+    std::printf("algorithm=%s ordering=%.3fs sweep=%.3fs rows=%u/%u\n",
+                to_string(opts.algorithm), result.ordering_seconds,
+                result.sweep_seconds, result.num_completed_rows(),
+                g.num_vertices());
+
+    if (!result.complete()) {
+      std::printf("stopped early: %s\n", result.status.to_string().c_str());
+      // A cancelled/timed-out run was checkpointed; any other status means
+      // checkpointing itself failed — don't claim the file is good.
+      const auto code = result.status.code();
+      if (!opts.checkpoint_path.empty() &&
+          (code == util::ErrorCode::kCancelled || code == util::ErrorCode::kTimeout)) {
+        std::printf("partial result checkpointed to '%s' (resume with --resume)\n",
+                    opts.checkpoint_path.c_str());
+      }
+      return 3;
+    }
+    if (!out.empty()) {
+      apsp::save_matrix(result.distances, out);
+      std::printf("distance matrix -> %s\n", out.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
