@@ -40,6 +40,7 @@ struct BenchConfig {
   int repeats = 3;      ///< paper averages 10 runs; 3 keeps defaults fast
   std::uint64_t seed = 20180813;
   std::string csv_dir = ".";
+  bool metrics = false;  ///< --metrics: collect obs counters per measured run
 
   static BenchConfig from_args(int argc, char** argv) {
     const util::Args args(argc, argv);
@@ -49,6 +50,7 @@ struct BenchConfig {
     cfg.repeats = static_cast<int>(args.get_int("repeats", cfg.repeats));
     cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
     cfg.csv_dir = args.get("csv-dir", ".");
+    cfg.metrics = args.get_flag("metrics");
     return cfg;
   }
 
@@ -99,5 +101,43 @@ double mean_seconds(Fn&& fn, int repeats) {
   }
   return stats.mean();
 }
+
+/// Collects one metrics table across a bench's measured runs, behind the
+/// --metrics flag: `sink.add(label, report)` per observed solve, emitted
+/// (text + CSV in csv_dir) when the bench finishes. All methods are no-ops
+/// when --metrics was not passed, so benches can call unconditionally.
+class MetricsSink {
+ public:
+  MetricsSink(const BenchConfig& cfg, std::string bench_name)
+      : enabled_(cfg.metrics),
+        csv_path_(cfg.csv_path(bench_name + "_metrics.csv")),
+        table_(util::Table::metrics_header()) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void add(const std::string& label, const obs::Report& report) {
+    if (enabled_) table_.add_metrics_row(label, report);
+  }
+
+  /// Runs one observed solve through the Runner facade and records its
+  /// counters under `label`; returns the result for timing extraction.
+  template <WeightType W>
+  apsp::ApspResult<W> run(const std::string& label, const graph::Graph<W>& g,
+                          core::Algorithm algo) {
+    auto result =
+        core::Runner(g).algorithm(algo).collect_metrics(enabled_).run_or_throw();
+    add(label, result.report);
+    return result;
+  }
+
+  void emit() {
+    if (enabled_ && table_.rows() > 0) table_.emit("per-run metrics", csv_path_);
+  }
+
+ private:
+  bool enabled_;
+  std::string csv_path_;
+  util::Table table_;
+};
 
 }  // namespace parapsp::bench

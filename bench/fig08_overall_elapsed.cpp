@@ -18,19 +18,27 @@ int main(int argc, char** argv) {
   const auto g = bench::make_analog(ds, cfg.scaled(ds.bench_vertices), cfg.seed);
   std::printf("graph: %s (WordNet: 146005 v, 656999 e)\n", g.summary().c_str());
 
+  // Each measured solve goes through the Runner facade; with --metrics the
+  // sink additionally tabulates the obs counters (relaxations, reuses, ...)
+  // behind each timing row — the "why" of the figure next to the "what".
+  bench::MetricsSink sink(cfg, "fig08_overall_elapsed");
   util::Table table({"threads", "paralg1_s", "paralg2_s", "parapsp_s",
                      "paralg2_ordering_s", "parapsp_ordering_s"});
   for (const int t : cfg.threads()) {
     util::ThreadScope scope(t);
-    const double a1 = bench::mean_seconds([&] { (void)apsp::par_alg1(g); }, cfg.repeats);
+    const double a1 = bench::mean_seconds(
+        [&] { (void)core::Runner(g).algorithm(core::Algorithm::kParAlg1).run_or_throw(); },
+        cfg.repeats);
 
     util::RunStats a2_total, a2_order;
     util::RunStats ap_total, ap_order;
     for (int r = 0; r < cfg.repeats; ++r) {
-      const auto r2 = apsp::par_alg2(g);
+      const auto r2 = sink.run("paralg2@" + std::to_string(t), g,
+                               core::Algorithm::kParAlg2);
       a2_total.add(r2.total_seconds());
       a2_order.add(r2.ordering_seconds);
-      const auto rp = apsp::par_apsp(g);
+      const auto rp = sink.run("parapsp@" + std::to_string(t), g,
+                               core::Algorithm::kParApsp);
       ap_total.add(rp.total_seconds());
       ap_order.add(rp.ordering_seconds);
     }
@@ -40,5 +48,6 @@ int main(int argc, char** argv) {
   }
   table.emit("overall elapsed seconds with ordering-phase breakdown",
              cfg.csv_path("fig08_overall_elapsed.csv"));
+  sink.emit();
   return 0;
 }

@@ -31,10 +31,18 @@ int main(int argc, char** argv) {
         core::Algorithm::kPengBasic, core::Algorithm::kPengOptimized,
         core::Algorithm::kPengAdaptive, core::Algorithm::kParAlg1,
         core::Algorithm::kParAlg2, core::Algorithm::kParApsp}) {
-    core::SolverOptions opts;
-    opts.algorithm = algo;
-    opts.threads = static_cast<int>(args.get_int("threads", 0));
-    const auto result = core::solve(g, opts);
+    // One fluent chain per algorithm; run() returns Expected, so a broken
+    // configuration would show up here as a status instead of an exception.
+    auto solved = core::Runner(g)
+                      .algorithm(algo)
+                      .threads(static_cast<int>(args.get_int("threads", 0)))
+                      .run();
+    if (!solved) {
+      std::fprintf(stderr, "%s failed: %s\n", core::to_string(algo),
+                   solved.status().to_string().c_str());
+      return 1;
+    }
+    const auto& result = *solved;
     VertexId u = 0, v = 0;
     const bool same = !result.distances.first_difference(reference, u, v);
     table.add(core::to_string(algo), util::fixed(result.total_seconds(), 3),

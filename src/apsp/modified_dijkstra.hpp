@@ -44,12 +44,25 @@ class DijkstraWorkspace {
   }
 };
 
-/// Statistics a single kernel run can report (used by the adaptive variant
-/// and by diagnostics; counting is cheap enough to keep unconditional).
+/// Statistics a single kernel run can report (used by the adaptive variant,
+/// the observability layer, and diagnostics; counting is cheap enough to
+/// keep unconditional — the sweeps flush these into the obs metrics registry
+/// per thread, see sweep.hpp).
 struct KernelStats {
-  std::uint64_t dequeues = 0;        ///< vertices popped from the queue
-  std::uint64_t row_reuses = 0;      ///< dequeues that hit a completed row
+  std::uint64_t dequeues = 0;           ///< vertices popped from the queue
+  std::uint64_t enqueues = 0;           ///< vertices pushed onto the queue
+  std::uint64_t row_reuses = 0;         ///< dequeues that hit a completed row
+  std::uint64_t reuse_improvements = 0; ///< entries improved via reused rows
   std::uint64_t edge_relaxations = 0;
+
+  KernelStats& operator+=(const KernelStats& o) noexcept {
+    dequeues += o.dequeues;
+    enqueues += o.enqueues;
+    row_reuses += o.row_reuses;
+    reuse_improvements += o.reuse_improvements;
+    edge_relaxations += o.edge_relaxations;
+    return *this;
+  }
 };
 
 /// Runs Algorithm 1 for `source`: fills row `source` of D with exact
@@ -82,6 +95,7 @@ KernelStats modified_dijkstra(const graph::Graph<W>& g, VertexId source,
   ws.clear();
   ws.queue_.push_back(source);
   ws.in_queue_[source] = 1;
+  ++stats.enqueues;
 
   while (ws.head_ < ws.queue_.size()) {
     const VertexId t = ws.queue_[ws.head_++];
@@ -114,6 +128,7 @@ KernelStats modified_dijkstra(const graph::Graph<W>& g, VertexId source,
           }
         }
       }
+      stats.reuse_improvements += improvements;
       if (reuse_credit) (*reuse_credit)[t] += improvements;
     } else {
       const auto nb = g.neighbors(t);
@@ -133,6 +148,7 @@ KernelStats modified_dijkstra(const graph::Graph<W>& g, VertexId source,
           if (!ws.in_queue_[v]) {
             ws.queue_.push_back(v);
             ws.in_queue_[v] = 1;
+            ++stats.enqueues;
           }
         }
       }

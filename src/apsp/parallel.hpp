@@ -19,6 +19,7 @@
 
 #include "apsp/result.hpp"
 #include "apsp/sweep.hpp"
+#include "obs/trace.hpp"
 #include "order/dispatch.hpp"
 #include "order/multilists.hpp"
 #include "order/selection.hpp"
@@ -52,7 +53,10 @@ template <WeightType W>
 
   util::WallTimer timer;
   const auto order = order::identity_order(g.num_vertices());
-  result.kernel = sweep_parallel(g, order, result.distances, flags, sched, ctl);
+  {
+    obs::ScopedSpan span("sweep");
+    result.kernel = sweep_parallel(g, order, result.distances, flags, sched, ctl);
+  }
   result.sweep_seconds = timer.seconds();
   detail::finalize_controlled(result, flags, ctl);
   return result;
@@ -71,11 +75,18 @@ template <WeightType W>
   FlagArray flags(g.num_vertices());
 
   util::WallTimer timer;
-  const auto order = order::selection_order(g.degrees(), ratio);
+  order::Ordering order;
+  {
+    obs::ScopedSpan span("ordering");
+    order = order::selection_order(g.degrees(), ratio);
+  }
   result.ordering_seconds = timer.seconds();
 
   timer.reset();
-  result.kernel = sweep_parallel(g, order, result.distances, flags, sched, ctl);
+  {
+    obs::ScopedSpan span("sweep");
+    result.kernel = sweep_parallel(g, order, result.distances, flags, sched, ctl);
+  }
   result.sweep_seconds = timer.seconds();
   detail::finalize_controlled(result, flags, ctl);
   return result;
@@ -92,12 +103,19 @@ template <WeightType W>
   FlagArray flags(g.num_vertices());
 
   util::WallTimer timer;
-  const auto order = order::multilists_order(g.degrees(), ml_opts);
+  order::Ordering order;
+  {
+    obs::ScopedSpan span("ordering");
+    order = order::multilists_order(g.degrees(), ml_opts);
+  }
   result.ordering_seconds = timer.seconds();
 
   timer.reset();
-  result.kernel = sweep_parallel(g, order, result.distances, flags,
-                                 Schedule::kDynamicCyclic, ctl);
+  {
+    obs::ScopedSpan span("sweep");
+    result.kernel = sweep_parallel(g, order, result.distances, flags,
+                                   Schedule::kDynamicCyclic, ctl);
+  }
   result.sweep_seconds = timer.seconds();
   detail::finalize_controlled(result, flags, ctl);
   return result;
@@ -117,11 +135,18 @@ template <WeightType W>
   FlagArray flags(g.num_vertices());
 
   util::WallTimer timer;
-  const auto order = order::compute_ordering(ordering, g.degrees(), opts);
+  order::Ordering order;
+  {
+    obs::ScopedSpan span("ordering");
+    order = order::compute_ordering(ordering, g.degrees(), opts);
+  }
   result.ordering_seconds = timer.seconds();
 
   timer.reset();
-  result.kernel = sweep_parallel(g, order, result.distances, flags, sched, ctl);
+  {
+    obs::ScopedSpan span("sweep");
+    result.kernel = sweep_parallel(g, order, result.distances, flags, sched, ctl);
+  }
   result.sweep_seconds = timer.seconds();
   detail::finalize_controlled(result, flags, ctl);
   return result;

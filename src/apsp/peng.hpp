@@ -3,6 +3,7 @@
 
 #include "apsp/result.hpp"
 #include "apsp/sweep.hpp"
+#include "obs/trace.hpp"
 #include "order/selection.hpp"
 #include "util/timer.hpp"
 
@@ -18,7 +19,10 @@ template <WeightType W>
 
   util::WallTimer timer;
   const auto order = order::identity_order(g.num_vertices());
-  result.kernel = sweep_sequential(g, order, result.distances, flags);
+  {
+    obs::ScopedSpan span("sweep");
+    result.kernel = sweep_sequential(g, order, result.distances, flags);
+  }
   result.sweep_seconds = timer.seconds();
   return result;
 }
@@ -35,11 +39,18 @@ template <WeightType W>
   FlagArray flags(g.num_vertices());
 
   util::WallTimer timer;
-  const auto order = order::selection_order(g.degrees(), ratio);
+  order::Ordering order;
+  {
+    obs::ScopedSpan span("ordering");
+    order = order::selection_order(g.degrees(), ratio);
+  }
   result.ordering_seconds = timer.seconds();
 
   timer.reset();
-  result.kernel = sweep_sequential(g, order, result.distances, flags);
+  {
+    obs::ScopedSpan span("sweep");
+    result.kernel = sweep_sequential(g, order, result.distances, flags);
+  }
   result.sweep_seconds = timer.seconds();
   return result;
 }

@@ -52,11 +52,8 @@ template <WeightType W>
   while (done < pending.size()) {
     const std::size_t end = std::min(pending.size(), done + batch);
     for (std::size_t i = done; i < end; ++i) {
-      const auto stats =
-          modified_dijkstra(g, pending[i], result.distances, flags, ws, &credit);
-      result.kernel.dequeues += stats.dequeues;
-      result.kernel.row_reuses += stats.row_reuses;
-      result.kernel.edge_relaxations += stats.edge_relaxations;
+      result.kernel += modified_dijkstra(g, pending[i], result.distances, flags,
+                                         ws, &credit);
     }
     done = end;
     // Adapt: rank the unprocessed tail by accumulated reuse credit, breaking

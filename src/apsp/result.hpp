@@ -9,6 +9,7 @@
 
 #include "apsp/distance_matrix.hpp"
 #include "apsp/modified_dijkstra.hpp"
+#include "obs/report.hpp"
 #include "util/status.hpp"
 #include "util/types.hpp"
 
@@ -26,6 +27,12 @@ struct ApspResult {
 
   /// Kernel statistics aggregated over all sources.
   KernelStats kernel;
+
+  /// Observability report: phase wall times + per-thread counter breakdowns.
+  /// Populated (collected == true) only when the run was made through
+  /// core::solve / core::Runner with collect_metrics set and the obs layer
+  /// is compiled in; empty otherwise.
+  obs::Report report;
 
   /// ok for a full run; kCancelled / kTimeout when an ExecutionControl
   /// stopped the sweep early (the matrix then holds exact rows only where

@@ -56,16 +56,10 @@ template <WeightType W>
       const VertexId s = order[static_cast<std::size_t>(i)];
       const auto stats = modified_dijkstra(g, s, result.distances, dummy, ws);
       dummy.unpublish(s);
-      local.dequeues += stats.dequeues;
-      local.row_reuses += stats.row_reuses;
-      local.edge_relaxations += stats.edge_relaxations;
+      local += stats;
     }
 #pragma omp critical(parapsp_no_reuse_stats)
-    {
-      total.dequeues += local.dequeues;
-      total.row_reuses += local.row_reuses;
-      total.edge_relaxations += local.edge_relaxations;
-    }
+    total += local;
   }
   result.kernel = total;
   result.sweep_seconds = timer.seconds();
@@ -96,16 +90,10 @@ template <WeightType W>
     for (std::int64_t i = 0; i < n; ++i) {
       const auto stats = modified_dijkstra(g, order[static_cast<std::size_t>(i)],
                                            result.distances, private_flags, ws);
-      local.dequeues += stats.dequeues;
-      local.row_reuses += stats.row_reuses;
-      local.edge_relaxations += stats.edge_relaxations;
+      local += stats;
     }
 #pragma omp critical(parapsp_private_reuse_stats)
-    {
-      total.dequeues += local.dequeues;
-      total.row_reuses += local.row_reuses;
-      total.edge_relaxations += local.edge_relaxations;
-    }
+    total += local;
   }
   result.kernel = total;
   result.sweep_seconds = timer.seconds();

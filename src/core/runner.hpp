@@ -1,0 +1,191 @@
+// core::Runner — the fluent front door to the solver.
+//
+// Before this facade, callers juggled core::solve / core::try_solve /
+// detail::solve_sweep_controlled plus hand-rolled SolverOptions field
+// assignment, and had to own an ExecutionControl themselves just to get a
+// deadline. Runner folds all of that into one chain:
+//
+//   auto result = core::Runner(g)
+//                     .algorithm(core::Algorithm::kParApsp)
+//                     .threads(16)
+//                     .deadline(60.0)
+//                     .collect_metrics(true)
+//                     .run();                  // Expected<ApspResult<W>>
+//   if (!result) { ... result.status() ... }
+//   else         { ... result->distances, result->report ... }
+//
+// run() never throws: configuration mistakes (unknown algorithm name, bad
+// ratio) come back as a typed Status, deferred from the setter that caused
+// them so the chain stays uncluttered. run_or_throw() is the throwing
+// variant for callers that prefer exceptions. The pre-existing free
+// functions (core::solve / core::try_solve) remain as thin wrappers over
+// the same SolverOptions plumbing.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/solver.hpp"
+#include "util/exec_control.hpp"
+#include "util/expected.hpp"
+#include "util/status.hpp"
+
+namespace parapsp::core {
+
+template <WeightType W>
+class Runner {
+ public:
+  /// Binds the runner to a graph. The graph must outlive run().
+  explicit Runner(const graph::Graph<W>& g) : g_(&g) {}
+
+  // --- algorithm selection -------------------------------------------------
+
+  Runner& algorithm(Algorithm a) {
+    opts_.algorithm = a;
+    return *this;
+  }
+
+  /// By name ("parapsp", "floyd-warshall", ...). An unknown name is
+  /// remembered and reported by run() as kInvalidArgument — it does not
+  /// throw out of the chain.
+  Runner& algorithm(const std::string& name) {
+    return defer([&] { opts_.algorithm = algorithm_from_string(name); });
+  }
+
+  /// Ordering procedure + schedule for Algorithm::kCustom (selects kCustom).
+  Runner& ordering(order::OrderingKind kind,
+                   const order::OrderingOptions& opts = {}) {
+    opts_.algorithm = Algorithm::kCustom;
+    opts_.ordering = kind;
+    opts_.ordering_options = opts;
+    return *this;
+  }
+
+  Runner& schedule(apsp::Schedule s) {
+    opts_.schedule = s;
+    return *this;
+  }
+
+  /// Algorithm 3's selection ratio r (peng-optimized / paralg2).
+  Runner& selection_ratio(double r) {
+    opts_.selection_ratio = r;
+    return *this;
+  }
+
+  /// Tile size for the blocked Floyd-Warshall.
+  Runner& fw_block(VertexId block) {
+    opts_.fw_block = block;
+    return *this;
+  }
+
+  // --- execution -----------------------------------------------------------
+
+  /// OpenMP thread count; 0 = ambient default.
+  Runner& threads(int t) {
+    opts_.threads = t;
+    return *this;
+  }
+
+  /// Stops the sweep after `seconds` of wall clock (sweep algorithms only).
+  /// The deadline is armed when run() starts, not when this setter runs, so
+  /// a Runner can be configured ahead of time and reused.
+  Runner& deadline(double seconds) {
+    deadline_s_ = seconds;
+    return *this;
+  }
+
+  /// Attaches a caller-owned control handle (cancel / progress watching).
+  /// Composes with deadline(): the deadline is then set on *this* handle.
+  Runner& control(util::ExecutionControl& ctl) {
+    external_control_ = &ctl;
+    return *this;
+  }
+
+  /// Periodic + final checkpointing of completed rows (sweep algorithms).
+  Runner& checkpoint(std::string path, double interval_s = 5.0) {
+    opts_.checkpoint_path = std::move(path);
+    opts_.checkpoint_interval_s = interval_s;
+    return *this;
+  }
+
+  /// Restores completed rows from a checkpoint before sweeping.
+  Runner& resume(std::string path) {
+    opts_.resume_from = std::move(path);
+    return *this;
+  }
+
+  // --- observability -------------------------------------------------------
+
+  /// Collect counters + phase times into result.report (obs/report.hpp).
+  Runner& collect_metrics(bool on = true) {
+    opts_.collect_metrics = on;
+    return *this;
+  }
+
+  // --- inspection ----------------------------------------------------------
+
+  /// The options run() will pass to the solver (deadline/control excluded —
+  /// those are wired up at run time).
+  [[nodiscard]] const SolverOptions& options() const noexcept { return opts_; }
+
+  /// The control handle run() will use: the external one when attached,
+  /// otherwise the runner-owned handle. Poll progress() on it from another
+  /// thread, or request_cancel() to stop a running sweep.
+  [[nodiscard]] util::ExecutionControl& execution_control() noexcept {
+    return external_control_ != nullptr ? *external_control_ : owned_control_;
+  }
+
+  // --- execution -----------------------------------------------------------
+
+  /// Runs the configured solve. Never throws: setter errors, bad options,
+  /// and resource/format/io failures all come back as a typed Status.
+  /// Cancel/timeout are NOT errors — they return a value whose
+  /// result.status and completed_rows describe the partial state.
+  [[nodiscard]] util::Expected<apsp::ApspResult<W>> run() {
+    if (!setup_error_.is_ok()) return setup_error_;
+    return util::try_invoke([&] { return run_or_throw(); },
+                            util::ErrorCode::kInvalidArgument);
+  }
+
+  /// Throwing variant of run() (std::invalid_argument / util::StatusError),
+  /// for callers already structured around exceptions.
+  [[nodiscard]] apsp::ApspResult<W> run_or_throw() {
+    if (!setup_error_.is_ok()) {
+      throw util::StatusError(setup_error_.code(), setup_error_.message());
+    }
+    SolverOptions opts = opts_;
+    const bool wants_control = deadline_s_ > 0.0 || external_control_ != nullptr;
+    if (wants_control) {
+      auto& ctl = execution_control();
+      if (external_control_ == nullptr) ctl.reset();  // reusable runner
+      if (deadline_s_ > 0.0) ctl.set_deadline_after(deadline_s_);
+      opts.control = &ctl;
+    }
+    return solve(*g_, opts);
+  }
+
+ private:
+  /// Runs a fluent setter body, capturing its exception (if any) as the
+  /// deferred error run() reports. First error wins.
+  template <typename Fn>
+  Runner& defer(Fn&& fn) {
+    if (!setup_error_.is_ok()) return *this;
+    const auto r = util::try_invoke(
+        [&] {
+          fn();
+          return 0;
+        },
+        util::ErrorCode::kInvalidArgument);
+    if (!r.has_value()) setup_error_ = r.status();
+    return *this;
+  }
+
+  const graph::Graph<W>* g_;
+  SolverOptions opts_;
+  double deadline_s_ = 0.0;
+  util::ExecutionControl* external_control_ = nullptr;
+  util::ExecutionControl owned_control_;
+  util::Status setup_error_;
+};
+
+}  // namespace parapsp::core

@@ -28,6 +28,7 @@
 #include "apsp/peng.hpp"
 #include "apsp/peng_adaptive.hpp"
 #include "apsp/repeated_dijkstra.hpp"
+#include "obs/obs.hpp"
 #include "util/exec_control.hpp"
 #include "util/expected.hpp"
 #include "util/parallel.hpp"
@@ -124,6 +125,14 @@ struct SolverOptions {
   /// sweeping; the sweep skips them. Rejected (format error) if the
   /// checkpoint does not match the graph.
   std::string resume_from;
+
+  // --- observability ---
+
+  /// Collect per-thread counters and phase times into result.report (see
+  /// obs/report.hpp). Uses the global obs registry, so concurrent solve()
+  /// calls in one process should not both set this. Off by default: the
+  /// disabled cost is one branch per flush point.
+  bool collect_metrics = false;
 };
 
 namespace detail {
@@ -167,32 +176,35 @@ template <WeightType W>
   order::Ordering order;
   apsp::Schedule sched = opts.schedule;
   bool parallel_sweep = true;
-  switch (opts.algorithm) {
-    case Algorithm::kPengBasic:
-      order = order::identity_order(n);
-      parallel_sweep = false;
-      break;
-    case Algorithm::kPengOptimized:
-      order = order::selection_order(g.degrees(), opts.selection_ratio);
-      parallel_sweep = false;
-      break;
-    case Algorithm::kParAlg1:
-      order = order::identity_order(n);
-      break;
-    case Algorithm::kParAlg2:
-      order = order::selection_order(g.degrees(), opts.selection_ratio);
-      break;
-    case Algorithm::kParApsp:
-      order = order::multilists_order(g.degrees());
-      sched = apsp::Schedule::kDynamicCyclic;
-      break;
-    case Algorithm::kCustom:
-      order = order::compute_ordering(opts.ordering, g.degrees(), opts.ordering_options);
-      break;
-    default:
-      throw std::invalid_argument(
-          std::string("algorithm ") + to_string(opts.algorithm) +
-          " does not support execution control / checkpointing");
+  {
+    obs::ScopedSpan ordering_span("ordering");
+    switch (opts.algorithm) {
+      case Algorithm::kPengBasic:
+        order = order::identity_order(n);
+        parallel_sweep = false;
+        break;
+      case Algorithm::kPengOptimized:
+        order = order::selection_order(g.degrees(), opts.selection_ratio);
+        parallel_sweep = false;
+        break;
+      case Algorithm::kParAlg1:
+        order = order::identity_order(n);
+        break;
+      case Algorithm::kParAlg2:
+        order = order::selection_order(g.degrees(), opts.selection_ratio);
+        break;
+      case Algorithm::kParApsp:
+        order = order::multilists_order(g.degrees());
+        sched = apsp::Schedule::kDynamicCyclic;
+        break;
+      case Algorithm::kCustom:
+        order = order::compute_ordering(opts.ordering, g.degrees(), opts.ordering_options);
+        break;
+      default:
+        throw std::invalid_argument(
+            std::string("algorithm ") + to_string(opts.algorithm) +
+            " does not support execution control / checkpointing");
+    }
   }
   result.ordering_seconds = timer.seconds();
 
@@ -217,6 +229,7 @@ template <WeightType W>
         const auto now = std::chrono::steady_clock::now();
         if (now - last < interval) continue;
         last = now;
+        obs::ScopedSpan span("checkpoint", "io");
         const auto bitmap = apsp::completed_bitmap(flags);
         const auto st =
             apsp::save_checkpoint(opts.checkpoint_path, result.distances, bitmap, fp);
@@ -226,11 +239,15 @@ template <WeightType W>
   }
 
   timer.reset();
-  if (parallel_sweep) {
-    result.kernel = apsp::sweep_parallel(g, order, result.distances, flags, sched, ctl);
-  } else {
-    result.kernel =
-        apsp::sweep_sequential(g, order, result.distances, flags, nullptr, ctl);
+  {
+    obs::ScopedSpan sweep_span("sweep");
+    if (parallel_sweep) {
+      result.kernel =
+          apsp::sweep_parallel(g, order, result.distances, flags, sched, ctl);
+    } else {
+      result.kernel =
+          apsp::sweep_sequential(g, order, result.distances, flags, nullptr, ctl);
+    }
   }
   result.sweep_seconds = timer.seconds();
 
@@ -244,6 +261,7 @@ template <WeightType W>
 
   // Final checkpoint: persists the stop state (or the finished matrix).
   if (!opts.checkpoint_path.empty()) {
+    obs::ScopedSpan span("checkpoint", "io");
     const auto bitmap = apsp::completed_bitmap(flags);
     const auto st =
         apsp::save_checkpoint(opts.checkpoint_path, result.distances, bitmap, fp);
@@ -259,60 +277,82 @@ template <WeightType W>
 
 }  // namespace detail
 
-/// Runs the selected algorithm. Throws std::invalid_argument on bad options
-/// and util::StatusError (a std::runtime_error) on resource/format/io
-/// failures. A cancelled or deadline-expired controlled run is NOT an
-/// error: it returns normally with result.status set.
+/// Runs the selected algorithm. Throws std::invalid_argument on bad options,
+/// util::StatusError with ErrorCode::kInvalidArgument on an unknown
+/// Algorithm value, and util::StatusError on resource/format/io failures. A
+/// cancelled or deadline-expired controlled run is NOT an error: it returns
+/// normally with result.status set.
 template <WeightType W>
 [[nodiscard]] apsp::ApspResult<W> solve(const graph::Graph<W>& g,
                                         const SolverOptions& opts = {}) {
   util::ThreadScope threads(opts.threads > 0 ? opts.threads : util::max_threads());
 
-  const bool controlled = opts.control != nullptr || !opts.checkpoint_path.empty() ||
-                          !opts.resume_from.empty();
-  if (controlled) {
-    if (!is_sweep_algorithm(opts.algorithm)) {
-      throw std::invalid_argument(
-          std::string("algorithm ") + to_string(opts.algorithm) +
-          " does not support execution control / checkpointing");
-    }
-    return detail::solve_sweep_controlled(g, opts);
-  }
+  // Opens a collection window on the global metrics registry for this run;
+  // no-op (one branch per flush site) when collect_metrics is off.
+  obs::Collection metrics(opts.collect_metrics);
 
-  auto timed = [](auto&& fn) {
-    apsp::ApspResult<W> r;
-    util::WallTimer t;
-    r.distances = fn();
-    r.sweep_seconds = t.seconds();
-    return r;
+  auto run = [&]() -> apsp::ApspResult<W> {
+    const bool controlled = opts.control != nullptr ||
+                            !opts.checkpoint_path.empty() ||
+                            !opts.resume_from.empty();
+    if (controlled) {
+      if (!is_sweep_algorithm(opts.algorithm)) {
+        throw std::invalid_argument(
+            std::string("algorithm ") + to_string(opts.algorithm) +
+            " does not support execution control / checkpointing");
+      }
+      return detail::solve_sweep_controlled(g, opts);
+    }
+
+    auto timed = [](auto&& fn) {
+      apsp::ApspResult<W> r;
+      util::WallTimer t;
+      obs::ScopedSpan span("sweep");
+      r.distances = fn();
+      r.sweep_seconds = t.seconds();
+      return r;
+    };
+
+    switch (opts.algorithm) {
+      case Algorithm::kFloydWarshall:
+        return timed([&] { return apsp::floyd_warshall(g); });
+      case Algorithm::kFloydWarshallBlocked:
+        return timed([&] { return apsp::floyd_warshall_blocked(g, opts.fw_block); });
+      case Algorithm::kRepeatedDijkstra:
+        return timed([&] { return apsp::repeated_dijkstra(g); });
+      case Algorithm::kRepeatedDijkstraPar:
+        return timed([&] { return apsp::repeated_dijkstra_parallel(g); });
+      case Algorithm::kPengBasic:
+        return apsp::peng_basic(g);
+      case Algorithm::kPengOptimized:
+        return apsp::peng_optimized(g, opts.selection_ratio);
+      case Algorithm::kPengAdaptive:
+        return apsp::peng_adaptive(g);
+      case Algorithm::kParAlg1:
+        return apsp::par_alg1(g, opts.schedule);
+      case Algorithm::kParAlg2:
+        return apsp::par_alg2(g, opts.schedule, opts.selection_ratio);
+      case Algorithm::kParApsp:
+        return apsp::par_apsp(g);
+      case Algorithm::kCustom:
+        return apsp::par_apsp_with(g, opts.ordering, opts.schedule,
+                                   opts.ordering_options);
+    }
+    // An Algorithm value outside the enum (forced cast, version skew): a
+    // caller error, reported through the typed taxonomy so try_solve maps it
+    // to ErrorCode::kInvalidArgument instead of an opaque logic_error.
+    throw util::StatusError(
+        util::ErrorCode::kInvalidArgument,
+        "solve: unknown algorithm value " +
+            std::to_string(static_cast<unsigned>(opts.algorithm)));
   };
 
-  switch (opts.algorithm) {
-    case Algorithm::kFloydWarshall:
-      return timed([&] { return apsp::floyd_warshall(g); });
-    case Algorithm::kFloydWarshallBlocked:
-      return timed([&] { return apsp::floyd_warshall_blocked(g, opts.fw_block); });
-    case Algorithm::kRepeatedDijkstra:
-      return timed([&] { return apsp::repeated_dijkstra(g); });
-    case Algorithm::kRepeatedDijkstraPar:
-      return timed([&] { return apsp::repeated_dijkstra_parallel(g); });
-    case Algorithm::kPengBasic:
-      return apsp::peng_basic(g);
-    case Algorithm::kPengOptimized:
-      return apsp::peng_optimized(g, opts.selection_ratio);
-    case Algorithm::kPengAdaptive:
-      return apsp::peng_adaptive(g);
-    case Algorithm::kParAlg1:
-      return apsp::par_alg1(g, opts.schedule);
-    case Algorithm::kParAlg2:
-      return apsp::par_alg2(g, opts.schedule, opts.selection_ratio);
-    case Algorithm::kParApsp:
-      return apsp::par_apsp(g);
-    case Algorithm::kCustom:
-      return apsp::par_apsp_with(g, opts.ordering, opts.schedule,
-                                 opts.ordering_options);
+  auto result = run();
+  if (opts.collect_metrics) {
+    result.report = obs::capture_report({{"ordering", result.ordering_seconds},
+                                         {"sweep", result.sweep_seconds}});
   }
-  throw std::logic_error("solve: unhandled algorithm");
+  return result;
 }
 
 /// Non-throwing solve: every failure (bad options, resource, format, io)

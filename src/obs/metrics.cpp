@@ -1,0 +1,62 @@
+#include "obs/metrics.hpp"
+
+namespace parapsp::obs {
+
+Registry& Registry::global() noexcept {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Shard& Registry::shard_for_this_thread() {
+  // One slot per thread, assigned on first use and cached thread-locally.
+  // The cache is keyed by registry so test-local registries don't alias the
+  // global one's slots.
+  struct Slot {
+    Registry* owner = nullptr;
+    Shard* shard = nullptr;
+  };
+  thread_local Slot slot;
+  if (slot.owner != this) {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::make_unique<Shard>());
+    slot.owner = this;
+    slot.shard = shards_.back().get();
+  }
+  return *slot.shard;
+}
+
+void Registry::reset() noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& shard : shards_) {
+    for (auto& cell : shard->values) cell.store(0, std::memory_order_relaxed);
+  }
+}
+
+CounterArray Registry::totals() const {
+  CounterArray sums{};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      sums[i] += shard->values[i].load(std::memory_order_relaxed);
+    }
+  }
+  return sums;
+}
+
+std::vector<ThreadCounters> Registry::per_thread() const {
+  std::vector<ThreadCounters> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t t = 0; t < shards_.size(); ++t) {
+    ThreadCounters tc;
+    tc.thread = static_cast<int>(t);
+    bool any = false;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      tc.values[i] = shards_[t]->values[i].load(std::memory_order_relaxed);
+      any = any || tc.values[i] != 0;
+    }
+    if (any) out.push_back(tc);
+  }
+  return out;
+}
+
+}  // namespace parapsp::obs

@@ -1,0 +1,180 @@
+// Metrics registry with per-thread sharded counters — the low-overhead
+// counting backbone of the observability layer (docs/OBSERVABILITY.md).
+//
+// The paper's claims are measurements: how much cross-source row reuse
+// prunes, where time goes between the ordering and the sweep, how evenly
+// `schedule(dynamic,1)` spreads the work. The registry makes those numbers
+// first-class: a fixed catalog of counters (enum Counter below), one
+// cache-line-aligned shard per thread, no locks on the count path.
+//
+// Cost model, by design:
+//  - compiled out (`-DPARAPSP_OBS=OFF`): every call is an empty inline
+//    function; the hot paths carry zero observability code.
+//  - compiled in, runtime disabled (the default): one relaxed atomic load
+//    and a predictable branch per add() — and the library only calls add()
+//    at flush points (once per thread per sweep, once per ordering run),
+//    never per edge.
+//  - enabled: the hot loops still count into their existing stack-local
+//    KernelStats; sweeps flush those into this registry per thread, so the
+//    sharded totals are exact with no inner-loop overhead.
+//
+// Thread safety: a shard is written by exactly one thread; concurrent
+// snapshot/reset readers see relaxed-atomic values (counters are
+// monotonic between resets, so a racy snapshot is merely slightly stale,
+// never torn).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace parapsp::obs {
+
+/// True when the subsystem is compiled in (CMake option PARAPSP_OBS).
+#ifdef PARAPSP_OBS_ENABLED
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+/// The counter catalog. Every counter the library emits is listed here so
+/// exporters (JSON, Chrome trace metadata, util::Table) can enumerate them.
+enum class Counter : std::uint8_t {
+  kEdgeRelaxations,       ///< edge relaxation attempts in the Dijkstra kernel
+  kQueuePushes,           ///< SPFA queue enqueues (kernel frontier growth)
+  kQueuePops,             ///< SPFA queue dequeues (kernel iterations)
+  kRowReuses,             ///< dequeues answered by a completed row (pruned expansions)
+  kRowReuseImprovements,  ///< distance entries improved through a reused row
+  kSourcesCompleted,      ///< source rows finished and published
+  kBucketInsertions,      ///< vertex insertions into ordering-procedure buckets
+};
+inline constexpr std::size_t kNumCounters = 7;
+
+[[nodiscard]] constexpr const char* to_string(Counter c) noexcept {
+  switch (c) {
+    case Counter::kEdgeRelaxations: return "edge_relaxations";
+    case Counter::kQueuePushes: return "queue_pushes";
+    case Counter::kQueuePops: return "queue_pops";
+    case Counter::kRowReuses: return "row_reuses";
+    case Counter::kRowReuseImprovements: return "row_reuse_improvements";
+    case Counter::kSourcesCompleted: return "sources_completed";
+    case Counter::kBucketInsertions: return "bucket_insertions";
+  }
+  return "?";
+}
+
+/// All counters, in catalog order — for exporters that iterate the catalog.
+[[nodiscard]] constexpr std::array<Counter, kNumCounters> all_counters() noexcept {
+  return {Counter::kEdgeRelaxations,      Counter::kQueuePushes,
+          Counter::kQueuePops,            Counter::kRowReuses,
+          Counter::kRowReuseImprovements, Counter::kSourcesCompleted,
+          Counter::kBucketInsertions};
+}
+
+/// One value per catalog entry, indexed by static_cast<size_t>(Counter).
+using CounterArray = std::array<std::uint64_t, kNumCounters>;
+
+/// Snapshot of one thread's shard. `thread` is the registration ordinal (the
+/// order threads first counted something), not an OS id — stable within a
+/// run, dense, and meaningful across OpenMP and std::thread workers alike.
+struct ThreadCounters {
+  int thread = 0;
+  CounterArray values{};
+};
+
+/// The process-wide counter registry. Use Registry::global(); separate
+/// instances exist only so tests can exercise the machinery in isolation.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] static Registry& global() noexcept;
+
+  /// Runtime gate. Enabling is a no-op in compiled-out builds.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(kCompiledIn && on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Adds `v` to this thread's shard of counter `c`. The call sites are
+  /// flush points (per sweep-thread, per ordering run), not inner loops.
+  void add(Counter c, std::uint64_t v = 1) noexcept {
+#ifdef PARAPSP_OBS_ENABLED
+    if (!enabled() || v == 0) return;
+    auto& cell = shard_for_this_thread().values[static_cast<std::size_t>(c)];
+    // Single-writer shard: load+store beats fetch_add, and relaxed order is
+    // enough because snapshots only need eventually-consistent sums.
+    cell.store(cell.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+#else
+    (void)c;
+    (void)v;
+#endif
+  }
+
+  /// Zeroes every shard. Thread slots persist, so cached shard pointers in
+  /// running threads stay valid across collections.
+  void reset() noexcept;
+
+  /// Sum of all shards per counter.
+  [[nodiscard]] CounterArray totals() const;
+
+  /// Per-thread snapshots, registration order; all-zero shards are skipped.
+  [[nodiscard]] std::vector<ThreadCounters> per_thread() const;
+
+ private:
+  /// One cache line per thread so counting never bounces lines between cores.
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kNumCounters> values{};
+  };
+
+  [[nodiscard]] Shard& shard_for_this_thread();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;                        ///< guards shards_ growth
+  std::vector<std::unique_ptr<Shard>> shards_;   ///< slot index == thread ordinal
+};
+
+/// Convenience: count into the global registry.
+inline void count(Counter c, std::uint64_t v = 1) noexcept {
+  Registry::global().add(c, v);
+}
+
+/// True when the global registry is currently collecting.
+[[nodiscard]] inline bool collecting() noexcept {
+  return Registry::global().enabled();
+}
+
+/// RAII collection window on the global registry: resets and enables on
+/// construction (when `armed`), disables on destruction. The solver opens
+/// one around a run when SolverOptions::collect_metrics is set.
+class Collection {
+ public:
+  explicit Collection(bool armed) : armed_(armed && kCompiledIn) {
+    if (armed_) {
+      Registry::global().reset();
+      Registry::global().set_enabled(true);
+    }
+  }
+  Collection(const Collection&) = delete;
+  Collection& operator=(const Collection&) = delete;
+  ~Collection() {
+    if (armed_) Registry::global().set_enabled(false);
+  }
+
+  /// Whether counters are actually being gathered (false in compiled-out
+  /// builds even when collection was requested).
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+ private:
+  bool armed_;
+};
+
+}  // namespace parapsp::obs

@@ -1,0 +1,8 @@
+// Umbrella header for the observability subsystem: sharded counters
+// (metrics.hpp), span tracing with Chrome trace export (trace.hpp), and the
+// per-run Report (report.hpp). See docs/OBSERVABILITY.md.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"

@@ -1,0 +1,79 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace parapsp::obs {
+
+namespace {
+
+/// Doubles formatted like the rest of the harness (%g keeps JSON compact and
+/// round-trippable for the plotting scripts).
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void append_counters(std::ostringstream& out, const CounterArray& values) {
+  out << '{';
+  bool first = true;
+  for (const Counter c : all_counters()) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << to_string(c) << "\":" << values[static_cast<std::size_t>(c)];
+  }
+  out << '}';
+}
+
+}  // namespace
+
+std::string Report::to_json() const {
+  std::ostringstream out;
+  out << "{\"collected\":" << (collected ? "true" : "false");
+  out << ",\"phases\":{";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i) out << ',';
+    out << '"' << phases[i].name << "\":" << num(phases[i].seconds);
+  }
+  out << "},\"totals\":";
+  append_counters(out, totals);
+  out << ",\"per_thread\":[";
+  for (std::size_t i = 0; i < per_thread.size(); ++i) {
+    if (i) out << ',';
+    out << "{\"thread\":" << per_thread[i].thread << ",\"counters\":";
+    append_counters(out, per_thread[i].values);
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+Report capture_report(std::vector<PhaseTime> phases) {
+  Report report;
+  report.collected = kCompiledIn;
+  report.phases = std::move(phases);
+  if (kCompiledIn) {
+    const auto& reg = Registry::global();
+    report.totals = reg.totals();
+    report.per_thread = reg.per_thread();
+  }
+  return report;
+}
+
+util::Status write_report_json(const Report& report, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    return {util::ErrorCode::kIo,
+            "cannot open metrics file '" + path + "' for writing"};
+  }
+  f << report.to_json() << '\n';
+  f.flush();
+  if (!f) {
+    return {util::ErrorCode::kIo, "write to metrics file '" + path + "' failed"};
+  }
+  return util::Status::ok();
+}
+
+}  // namespace parapsp::obs

@@ -1,0 +1,60 @@
+// obs::Report — the structured outcome of one observed solver run: phase
+// wall times plus the counter totals and per-thread breakdowns snapshotted
+// from the metrics registry.
+//
+// core::solve attaches a Report to ApspResult when
+// SolverOptions::collect_metrics is set (Runner: .collect_metrics(true)),
+// so tests can assert counter invariants and tools/benches can export
+// machine-readable metrics (to_json / write_report_json) or tabulate them
+// (util::Table::add_metrics_row).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/status.hpp"
+
+namespace parapsp::obs {
+
+/// One named phase and its wall-clock duration.
+struct PhaseTime {
+  std::string name;
+  double seconds = 0.0;
+};
+
+struct Report {
+  /// True when counters were actually gathered (collection requested AND the
+  /// subsystem compiled in). A default-constructed / un-collected result
+  /// carries an empty report with collected == false.
+  bool collected = false;
+
+  std::vector<PhaseTime> phases;       ///< e.g. {"ordering", ...}, {"sweep", ...}
+  CounterArray totals{};               ///< summed over all threads
+  std::vector<ThreadCounters> per_thread;  ///< sharded breakdown, thread ordinal
+
+  [[nodiscard]] std::uint64_t total(Counter c) const noexcept {
+    return totals[static_cast<std::size_t>(c)];
+  }
+
+  /// Seconds of the named phase; 0 when the phase was not recorded.
+  [[nodiscard]] double phase_seconds(const std::string& name) const noexcept {
+    for (const auto& p : phases) {
+      if (p.name == name) return p.seconds;
+    }
+    return 0.0;
+  }
+
+  /// {"collected":...,"phases":{...},"totals":{...},"per_thread":[...]}
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Snapshots the global registry into a Report carrying `phases`.
+[[nodiscard]] Report capture_report(std::vector<PhaseTime> phases);
+
+/// Writes report.to_json() to `path`. kIo on failure.
+[[nodiscard]] util::Status write_report_json(const Report& report,
+                                             const std::string& path);
+
+}  // namespace parapsp::obs

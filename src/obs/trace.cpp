@@ -1,0 +1,133 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/metrics.hpp"  // kCompiledIn
+
+namespace parapsp::obs {
+
+TraceRecorder& TraceRecorder::global() noexcept {
+  static TraceRecorder instance;
+  return instance;
+}
+
+void TraceRecorder::set_enabled(bool on) {
+#ifdef PARAPSP_OBS_ENABLED
+  if (on) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool empty = true;
+    for (const auto& b : buffers_) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      empty = empty && b->events.empty();
+    }
+    if (empty) epoch_ = Clock::now();
+  }
+  enabled_.store(kCompiledIn && on, std::memory_order_relaxed);
+#else
+  (void)on;
+#endif
+}
+
+TraceRecorder::Buffer& TraceRecorder::buffer_for_this_thread() {
+  struct Slot {
+    TraceRecorder* owner = nullptr;
+    Buffer* buffer = nullptr;
+  };
+  thread_local Slot slot;
+  if (slot.owner != this) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<Buffer>());
+    buffers_.back()->tid = static_cast<int>(buffers_.size()) - 1;
+    slot.owner = this;
+    slot.buffer = buffers_.back().get();
+  }
+  return *slot.buffer;
+}
+
+void TraceRecorder::record(std::string name, const char* cat, std::int64_t ts_us,
+                           std::int64_t dur_us) {
+  if (!enabled()) return;
+  auto& buf = buffer_for_this_thread();
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = cat;
+  ev.tid = buf.tid;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(ev));
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buf : buffers_) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    buf->events.clear();
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> bl(buf->mu);
+      all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.ts_us < b.ts_us;
+  });
+  return all;
+}
+
+namespace {
+
+/// Minimal JSON string escape (names are ASCII identifiers, but be safe).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Status TraceRecorder::write_chrome_trace(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    return {util::ErrorCode::kIo, "cannot open trace file '" + path + "' for writing"};
+  }
+  f << "{\"traceEvents\":[";
+  const auto all = events();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto& ev = all[i];
+    if (i) f << ',';
+    f << "\n{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+      << json_escape(ev.cat) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
+      << ",\"ts\":" << ev.ts_us << ",\"dur\":" << ev.dur_us << "}";
+  }
+  f << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  f.flush();
+  if (!f) return {util::ErrorCode::kIo, "write to trace file '" + path + "' failed"};
+  return util::Status::ok();
+}
+
+}  // namespace parapsp::obs

@@ -1,0 +1,135 @@
+// Span-based tracing with Chrome trace-event JSON export.
+//
+// A span is a named wall-clock interval (a solver phase, one source row of
+// the sweep, a checkpoint write). Spans are recorded into per-thread buffers
+// and exported as Chrome "complete" events ("ph":"X"), so a trace file
+// written by write_chrome_trace() loads directly in about://tracing (or
+// https://ui.perfetto.dev) and shows the sweep's per-thread timeline — which
+// threads ran which sources, where the ordering phase ended, how
+// schedule(dynamic,1) interleaved the work.
+//
+// Cost model matches the metrics registry: compiled out, everything is an
+// empty inline; compiled in but disabled (default), a ScopedSpan is one
+// relaxed load and a branch; enabled, each span end appends one event to a
+// thread-owned buffer under an uncontended per-buffer mutex.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace parapsp::obs {
+
+/// One Chrome "complete" event: a named interval on a thread track.
+struct TraceEvent {
+  std::string name;      ///< e.g. "ordering", "sweep", "source 1234"
+  const char* cat = "";  ///< Chrome category, e.g. "phase", "sweep"
+  int tid = 0;           ///< thread track (registration ordinal)
+  std::int64_t ts_us = 0;   ///< start, microseconds since the recorder epoch
+  std::int64_t dur_us = 0;  ///< duration in microseconds
+};
+
+/// Collects spans from all threads; exports Chrome trace JSON.
+class TraceRecorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TraceRecorder() : epoch_(Clock::now()) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  [[nodiscard]] static TraceRecorder& global() noexcept;
+
+  /// Runtime gate; enabling also (re)bases the time epoch when the buffer is
+  /// empty so traces start near t=0. No-op in compiled-out builds.
+  void set_enabled(bool on);
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the recorder epoch (span timestamps).
+  [[nodiscard]] std::int64_t now_us() const noexcept {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 epoch_)
+        .count();
+  }
+
+  /// Appends one complete event to this thread's buffer (when enabled).
+  void record(std::string name, const char* cat, std::int64_t ts_us,
+              std::int64_t dur_us);
+
+  /// Drops all recorded events (buffers and thread tracks persist).
+  void clear();
+
+  /// All events so far, merged across threads and sorted by start time.
+  /// Call after the traced work has quiesced.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Writes {"traceEvents":[...]} for about://tracing. kIo on write failure.
+  [[nodiscard]] util::Status write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct Buffer {
+    mutable std::mutex mu;
+    int tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  [[nodiscard]] Buffer& buffer_for_this_thread();
+
+  std::atomic<bool> enabled_{false};
+  Clock::time_point epoch_;
+  mutable std::mutex mu_;  ///< guards buffers_ growth and epoch_ rebase
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// RAII span against the global recorder. Construction snapshots the start
+/// time only when tracing is enabled; destruction records the event.
+///
+/// `name` must outlive the span (string literals at every call site). The
+/// optional `arg` suffixes the exported name ("source 1234") without
+/// allocating unless the span is actually recorded.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat = "phase") noexcept
+      : name_(name), cat_(cat), active_(TraceRecorder::global().enabled()) {
+    if (active_) start_us_ = TraceRecorder::global().now_us();
+  }
+
+  ScopedSpan(const char* name, const char* cat, std::uint64_t arg) noexcept
+      : ScopedSpan(name, cat) {
+    arg_ = arg;
+    has_arg_ = true;
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (!active_) return;
+    auto& rec = TraceRecorder::global();
+    const std::int64_t end = rec.now_us();
+    std::string label = name_;
+    if (has_arg_) {
+      label += ' ';
+      label += std::to_string(arg_);
+    }
+    rec.record(std::move(label), cat_, start_us_, end - start_us_);
+  }
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::int64_t start_us_ = 0;
+  std::uint64_t arg_ = 0;
+  bool has_arg_ = false;
+  bool active_;
+};
+
+}  // namespace parapsp::obs

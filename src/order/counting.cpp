@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace parapsp::order {
 
 Ordering counting_order(const std::vector<VertexId>& degrees) {
@@ -25,6 +27,7 @@ Ordering counting_order(const std::vector<VertexId>& degrees) {
   for (VertexId v = 0; v < n; ++v) {
     order[cursor[degrees[v]]++] = v;
   }
+  obs::count(obs::Counter::kBucketInsertions, n);
   return order;
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "order/counting.hpp"
 #include "order/selection.hpp"
 #include "order/stdsort.hpp"
@@ -10,6 +11,7 @@ namespace parapsp::order {
 
 Ordering compute_ordering(OrderingKind kind, const std::vector<VertexId>& degrees,
                           const OrderingOptions& opts) {
+  obs::ScopedSpan span(to_string(kind), "ordering");
   switch (kind) {
     case OrderingKind::kIdentity:
       return identity_order(degrees.size());

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace parapsp::order {
 
 Ordering multilists_order(const std::vector<VertexId>& degrees,
@@ -30,11 +32,14 @@ Ordering multilists_order(const std::vector<VertexId>& degrees,
   {
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
     auto& lists = bucket_lists[tid];
+    std::uint64_t inserted = 0;
 #pragma omp for schedule(static)
     for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
       const auto v = static_cast<VertexId>(i);
       lists[degrees[v]].push_back(v);
+      ++inserted;
     }
+    obs::count(obs::Counter::kBucketInsertions, inserted);
   }
 
   // Alg 7 line 9: starting position in order[] for every (thread, degree)

@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace parapsp::order {
 
 namespace {
@@ -64,13 +66,19 @@ Ordering parbuckets_order(const std::vector<VertexId>& degrees,
   // vertices collide on the lowest buckets — the contention the paper
   // documents; we keep the faithful structure rather than "fixing" it here
   // (ParMax and MultiLists are the fixes).
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
-    const auto v = static_cast<VertexId>(i);
-    const std::size_t bin = find_bin(degrees[v]);
-    locks.lock(bin);
-    buckets[bin].push_back(v);
-    locks.unlock(bin);
+#pragma omp parallel
+  {
+    std::uint64_t inserted = 0;
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      const auto v = static_cast<VertexId>(i);
+      const std::size_t bin = find_bin(degrees[v]);
+      locks.lock(bin);
+      buckets[bin].push_back(v);
+      locks.unlock(bin);
+      ++inserted;
+    }
+    obs::count(obs::Counter::kBucketInsertions, inserted);
   }
 
   // Algorithm 5 lines 10-16: drain buckets from the highest range downwards.

@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace parapsp::order {
 
 Ordering parmax_order(const std::vector<VertexId>& degrees, const ParMaxOptions& opts) {
@@ -27,24 +29,35 @@ Ordering parmax_order(const std::vector<VertexId>& degrees, const ParMaxOptions&
   // High-degree buckets are sparsely populated on power-law graphs, so the
   // per-bucket locks see little contention here.
   std::vector<std::uint8_t> added(n, 0);
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
-    const auto v = static_cast<VertexId>(i);
-    const VertexId d = degrees[v];
-    if (static_cast<double>(d) >= threshold) {
-      omp_set_lock(&locks[d]);
-      buckets[d].push_back(v);
-      omp_unset_lock(&locks[d]);
-      added[v] = 1;
+#pragma omp parallel
+  {
+    std::uint64_t inserted = 0;
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      const auto v = static_cast<VertexId>(i);
+      const VertexId d = degrees[v];
+      if (static_cast<double>(d) >= threshold) {
+        omp_set_lock(&locks[d]);
+        buckets[d].push_back(v);
+        omp_unset_lock(&locks[d]);
+        added[v] = 1;
+        ++inserted;
+      }
     }
+    obs::count(obs::Counter::kBucketInsertions, inserted);
   }
   for (std::size_t i = 0; i < num_buckets; ++i) omp_destroy_lock(&locks[i]);
 
   // Algorithm 6 lines 12-16: sequential insertion of the low-degree tail —
   // the buckets where locking would have been contended.
+  std::uint64_t tail_inserted = 0;
   for (VertexId v = 0; v < n; ++v) {
-    if (!added[v]) buckets[degrees[v]].push_back(v);
+    if (!added[v]) {
+      buckets[degrees[v]].push_back(v);
+      ++tail_inserted;
+    }
   }
+  obs::count(obs::Counter::kBucketInsertions, tail_inserted);
 
   // Algorithm 6 lines 17-23: drain from max degree down to 0.
   Ordering order;

@@ -24,6 +24,11 @@
 #include "util/timer.hpp"
 #include "util/types.hpp"
 
+// Observability: sharded counters, span tracing, per-run reports
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
 // Graph substrate
 #include "graph/builder.hpp"
 #include "graph/components.hpp"
@@ -83,6 +88,7 @@
 
 // Solver facade
 #include "core/datasets.hpp"
+#include "core/runner.hpp"
 #include "core/solver.hpp"
 
 // Complex-graph analysis

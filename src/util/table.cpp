@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/report.hpp"
+
 namespace parapsp::util {
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
@@ -15,6 +17,24 @@ void Table::add_row(std::vector<std::string> row) {
     throw std::invalid_argument("Table::add_row: arity mismatch with header");
   }
   rows_.push_back(std::move(row));
+}
+
+std::vector<std::string> Table::metrics_header() {
+  return {"run",          "relaxations", "pushes",  "pops",
+          "reuses",       "reuse_improved", "sources", "bucket_ins",
+          "ordering_s",   "sweep_s"};
+}
+
+void Table::add_metrics_row(const std::string& label, const obs::Report& report) {
+  using obs::Counter;
+  add(label, report.total(Counter::kEdgeRelaxations),
+      report.total(Counter::kQueuePushes), report.total(Counter::kQueuePops),
+      report.total(Counter::kRowReuses),
+      report.total(Counter::kRowReuseImprovements),
+      report.total(Counter::kSourcesCompleted),
+      report.total(Counter::kBucketInsertions),
+      fixed(report.phase_seconds("ordering")),
+      fixed(report.phase_seconds("sweep")));
 }
 
 std::string Table::cell_to_string(double v) {

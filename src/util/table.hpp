@@ -8,6 +8,10 @@
 #include <string>
 #include <vector>
 
+namespace parapsp::obs {
+struct Report;
+}
+
 namespace parapsp::util {
 
 /// A simple right-aligned text table with a header row and CSV export.
@@ -23,6 +27,17 @@ class Table {
   void add(const Cells&... cells) {
     add_row({cell_to_string(cells)...});
   }
+
+  /// Overload for the observability structs: one row summarising a solver
+  /// run's obs::Report — counter totals plus ordering/sweep phase seconds.
+  /// Pair with a table constructed from metrics_header(). An un-collected
+  /// report yields a row of zeros.
+  void add_metrics_row(const std::string& label, const obs::Report& report);
+
+  /// The header matching add_metrics_row():
+  /// {run, relaxations, pushes, pops, reuses, reuse_improved, sources,
+  ///  bucket_ins, ordering_s, sweep_s}.
+  [[nodiscard]] static std::vector<std::string> metrics_header();
 
   /// Renders the table with column alignment for terminal output.
   [[nodiscard]] std::string to_text() const;

@@ -1,0 +1,272 @@
+// Observability layer: sharded counters, the per-run Report, span tracing,
+// and the Runner facade that surfaces them.
+//
+// The counter assertions come in two flavors. Sequentially the kernel is
+// deterministic, so a hand-traced 3-vertex path graph pins the exact
+// relaxation/queue/reuse counts. In parallel the counts depend on which rows
+// were already published when each source ran, so the tests assert the
+// interleaving-independent invariants instead: shard sums equal totals,
+// every source completes exactly once, and reuse can't exceed n*(n-1).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "test_helpers.hpp"
+
+namespace parapsp {
+namespace {
+
+using obs::Counter;
+
+/// The path graph 0-1-2 (unit weights, undirected) whose sequential
+/// identity-order sweep the header comment's counts were hand-traced on.
+graph::Graph<std::uint32_t> path3() {
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kUndirected, 3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  return b.build();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+TEST(Metrics, ExactCountsOnHandTracedSequentialSweep) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PARAPSP_OBS=OFF";
+  const auto g = path3();
+
+  // peng-basic = identity order + sequential sweep: source 0 runs a plain
+  // SPFA (3 pops, 4 relaxations), sources 1 and 2 each hit one completed row.
+  auto solved = core::Runner(g)
+                    .algorithm(core::Algorithm::kPengBasic)
+                    .collect_metrics(true)
+                    .run();
+  ASSERT_TRUE(solved.has_value()) << solved.status().to_string();
+  const auto& report = solved->report;
+
+  EXPECT_TRUE(report.collected);
+  EXPECT_EQ(report.total(Counter::kQueuePops), 8u);
+  EXPECT_EQ(report.total(Counter::kQueuePushes), 8u);
+  EXPECT_EQ(report.total(Counter::kEdgeRelaxations), 8u);
+  EXPECT_EQ(report.total(Counter::kRowReuses), 2u);
+  EXPECT_EQ(report.total(Counter::kRowReuseImprovements), 1u);
+  EXPECT_EQ(report.total(Counter::kSourcesCompleted), 3u);
+  // Identity order inserts into no buckets.
+  EXPECT_EQ(report.total(Counter::kBucketInsertions), 0u);
+
+  // The registry counts must agree with the kernel's own aggregate.
+  EXPECT_EQ(report.total(Counter::kQueuePops), solved->kernel.dequeues);
+  EXPECT_EQ(report.total(Counter::kEdgeRelaxations), solved->kernel.edge_relaxations);
+  EXPECT_EQ(report.total(Counter::kRowReuses), solved->kernel.row_reuses);
+}
+
+TEST(Metrics, ShardsSumToTotalsAcrossThreads) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PARAPSP_OBS=OFF";
+  const auto g = graph::barabasi_albert<std::uint32_t>(400, 3, /*seed=*/7);
+  const VertexId n = g.num_vertices();
+
+  auto solved = core::Runner(g)
+                    .algorithm(core::Algorithm::kParApsp)
+                    .threads(4)
+                    .collect_metrics(true)
+                    .run();
+  ASSERT_TRUE(solved.has_value()) << solved.status().to_string();
+  const auto& report = solved->report;
+
+  ASSERT_TRUE(report.collected);
+  ASSERT_FALSE(report.per_thread.empty());
+  for (const auto c : obs::all_counters()) {
+    std::uint64_t sum = 0;
+    for (const auto& shard : report.per_thread) {
+      sum += shard.values[static_cast<std::size_t>(c)];
+    }
+    EXPECT_EQ(sum, report.total(c)) << "counter " << obs::to_string(c);
+  }
+
+  // Interleaving-independent invariants.
+  EXPECT_EQ(report.total(Counter::kSourcesCompleted), static_cast<std::uint64_t>(n));
+  EXPECT_LE(report.total(Counter::kRowReuses),
+            static_cast<std::uint64_t>(n) * (n - 1));
+  // MultiLists inserts every vertex into a bucket exactly once.
+  EXPECT_EQ(report.total(Counter::kBucketInsertions), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(report.total(Counter::kQueuePushes), report.total(Counter::kQueuePops));
+  // Phase times surfaced alongside the counters.
+  EXPECT_EQ(report.phase_seconds("sweep"), solved->sweep_seconds);
+}
+
+TEST(Metrics, OffByDefaultAndBitIdenticalMatrices) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(300, 3, /*seed=*/21);
+
+  const auto plain = core::Runner(g).run_or_throw();
+  EXPECT_FALSE(plain.report.collected);
+  for (const auto c : obs::all_counters()) {
+    EXPECT_EQ(plain.report.total(c), 0u) << obs::to_string(c);
+  }
+
+  const auto observed = core::Runner(g).collect_metrics(true).run_or_throw();
+  testing::expect_same_distances(observed.distances, plain.distances,
+                                 "metrics on vs off");
+}
+
+TEST(Metrics, CollectionWindowIsolatesRuns) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PARAPSP_OBS=OFF";
+  const auto g = path3();
+  // Two observed runs back to back: each must see only its own counts (the
+  // Collection RAII resets the registry), and an unobserved run in between
+  // must not leak counts into the second window.
+  const auto first = core::Runner(g).algorithm(core::Algorithm::kPengBasic)
+                         .collect_metrics(true).run_or_throw();
+  const auto unobserved = core::Runner(g).algorithm(core::Algorithm::kPengBasic)
+                              .run_or_throw();
+  (void)unobserved;
+  const auto second = core::Runner(g).algorithm(core::Algorithm::kPengBasic)
+                          .collect_metrics(true).run_or_throw();
+  for (const auto c : obs::all_counters()) {
+    EXPECT_EQ(first.report.total(c), second.report.total(c)) << obs::to_string(c);
+  }
+}
+
+TEST(Report, JsonExportRoundTrip) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PARAPSP_OBS=OFF";
+  const auto g = path3();
+  const auto result = core::Runner(g).algorithm(core::Algorithm::kPengBasic)
+                          .collect_metrics(true).run_or_throw();
+
+  const std::string json = result.report.to_json();
+  EXPECT_NE(json.find("\"collected\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"edge_relaxations\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"per_thread\""), std::string::npos);
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "obs_report.json";
+  ASSERT_TRUE(obs::write_report_json(result.report, path).is_ok());
+  EXPECT_EQ(slurp(path), json + "\n");
+  std::remove(path.c_str());
+
+  const auto bad = obs::write_report_json(result.report, "/nonexistent-dir/x.json");
+  EXPECT_EQ(bad.code(), util::ErrorCode::kIo);
+}
+
+TEST(Trace, ChromeTraceContainsPhaseSpans) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PARAPSP_OBS=OFF";
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  rec.set_enabled(true);
+  const auto g = graph::barabasi_albert<std::uint32_t>(64, 3, /*seed=*/3);
+  (void)core::Runner(g).run_or_throw();
+  rec.set_enabled(false);
+
+  const auto events = rec.events();
+  ASSERT_FALSE(events.empty());
+  bool saw_ordering = false, saw_sweep = false, saw_source = false;
+  for (const auto& ev : events) {
+    saw_ordering = saw_ordering || ev.name == "ordering";
+    saw_sweep = saw_sweep || ev.name == "sweep";
+    saw_source = saw_source || ev.name.rfind("source", 0) == 0;
+    EXPECT_GE(ev.dur_us, 0);
+  }
+  EXPECT_TRUE(saw_ordering);
+  EXPECT_TRUE(saw_sweep);
+  EXPECT_TRUE(saw_source);
+
+  const std::string path = ::testing::TempDir() + "obs_trace.json";
+  ASSERT_TRUE(rec.write_chrome_trace(path).is_ok());
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sweep\""), std::string::npos);
+  std::remove(path.c_str());
+  rec.clear();
+}
+
+TEST(Trace, DisabledRecorderStaysEmpty) {
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  ASSERT_FALSE(rec.enabled());
+  const auto g = path3();
+  (void)core::Runner(g).run_or_throw();
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(Runner, MatchesFreeFunctionSolve) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(200, 3, /*seed=*/5);
+  const auto via_solve = core::solve(g);
+  auto via_runner = core::Runner(g).algorithm(core::Algorithm::kParApsp).run();
+  ASSERT_TRUE(via_runner.has_value());
+  testing::expect_same_distances(via_runner->distances, via_solve.distances,
+                                 "Runner vs core::solve");
+}
+
+TEST(Runner, AlgorithmByNameAndDeferredError) {
+  const auto g = path3();
+  auto ok = core::Runner(g).algorithm(std::string("floyd-warshall")).run();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->distances.at(0, 2), 2u);
+
+  // A bad name poisons the chain; run() reports it instead of throwing, and
+  // later (valid) setters don't mask the first error.
+  auto bad = core::Runner(g).algorithm(std::string("no-such-algo")).threads(2).run();
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.status().code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_THROW((void)core::Runner(g).algorithm(std::string("no-such-algo")).run_or_throw(),
+               util::StatusError);
+}
+
+TEST(Runner, DeadlineProducesPartialResultNotError) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(600, 4, /*seed=*/9);
+  core::Runner runner(g);
+  auto solved = runner.deadline(1e-9).run();  // expires before the first row
+  ASSERT_TRUE(solved.has_value()) << solved.status().to_string();
+  EXPECT_EQ(solved->status.code(), util::ErrorCode::kTimeout);
+  EXPECT_LT(solved->num_completed_rows(), g.num_vertices());
+}
+
+TEST(Runner, ReusableAfterDeadlineRun) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(150, 3, /*seed=*/13);
+  core::Runner runner(g);
+  const auto partial = runner.deadline(1e-9).run_or_throw();
+  EXPECT_EQ(partial.status.code(), util::ErrorCode::kTimeout);
+  // Second run with a generous deadline must complete: run() re-arms the
+  // owned control handle instead of inheriting the expired state.
+  const auto full = runner.deadline(3600.0).run_or_throw();
+  EXPECT_TRUE(full.complete());
+  EXPECT_EQ(full.num_completed_rows(), g.num_vertices());
+}
+
+TEST(Runner, ExternalControlCancelAndReuse) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(150, 3, /*seed=*/17);
+  util::ExecutionControl ctl;
+  ctl.request_cancel();
+  core::Runner runner(g);
+  runner.control(ctl);
+  const auto cancelled = runner.run_or_throw();
+  EXPECT_EQ(cancelled.status.code(), util::ErrorCode::kCancelled);
+  // A caller-owned handle is the caller's to re-arm; Runner must not reset it.
+  ctl.reset();
+  const auto full = runner.run_or_throw();
+  EXPECT_TRUE(full.complete());
+  EXPECT_EQ(ctl.progress(), static_cast<std::uint64_t>(g.num_vertices()));
+}
+
+TEST(Table, MetricsRowMatchesHeaderArity) {
+  const auto g = path3();
+  const auto result = core::Runner(g).algorithm(core::Algorithm::kPengBasic)
+                          .collect_metrics(true).run_or_throw();
+  util::Table table(util::Table::metrics_header());
+  table.add_metrics_row("peng-basic", result.report);  // arity mismatch throws
+  ASSERT_EQ(table.rows(), 1u);
+  const auto text = table.to_text();
+  EXPECT_NE(text.find("peng-basic"), std::string::npos);
+  if (obs::kCompiledIn) {
+    EXPECT_NE(table.to_csv().find("peng-basic,8,8,8,2,1,3,0"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace parapsp

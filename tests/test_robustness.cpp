@@ -96,6 +96,32 @@ TEST(Expected, TryInvokeMapsExceptionsToTypedCodes) {
   EXPECT_EQ(*fine, 5);
 }
 
+TEST(Solver, UnknownAlgorithmValueIsTypedInvalidArgument) {
+  // An Algorithm value outside the enum (forced cast, version skew) must come
+  // back through the error taxonomy — kInvalidArgument from try_solve, a
+  // StatusError (not an opaque logic_error) from the throwing path.
+  const auto g = graph::barabasi_albert<std::uint32_t>(32, 2, /*seed=*/1);
+  core::SolverOptions opts;
+  opts.algorithm = static_cast<core::Algorithm>(250);
+
+  const auto attempt = core::try_solve(g, opts);
+  ASSERT_FALSE(attempt.has_value());
+  EXPECT_EQ(attempt.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(attempt.status().message().find("250"), std::string::npos);
+
+  try {
+    (void)core::solve(g, opts);
+    FAIL() << "solve accepted an out-of-enum algorithm value";
+  } catch (const util::StatusError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
+
+  // The same bogus value through the fluent facade.
+  auto via_runner = core::Runner(g).algorithm(static_cast<core::Algorithm>(250)).run();
+  ASSERT_FALSE(via_runner.has_value());
+  EXPECT_EQ(via_runner.status().code(), ErrorCode::kInvalidArgument);
+}
+
 // ---------------------------------------------------------------------------
 // ExecutionControl
 

@@ -1,15 +1,18 @@
-// apsp_run — end-to-end APSP runner with execution control.
+// apsp_run — end-to-end APSP runner with execution control & observability.
 //
-// Loads (or generates) a graph, runs a solver algorithm under an optional
-// wall-clock deadline, and can checkpoint completed rows periodically and
-// resume a previous partial run. This is the operational face of the
-// fault-tolerance layer: a run killed by --timeout-s exits cleanly with a
-// partial-result report instead of being lost, and `--resume` picks the
-// computation back up from the checkpoint.
+// Loads (or generates) a graph, runs a solver algorithm through the fluent
+// core::Runner facade under an optional wall-clock deadline, and can
+// checkpoint completed rows periodically and resume a previous partial run.
+// This is the operational face of the fault-tolerance layer: a run killed by
+// --timeout-s exits cleanly with a partial-result report instead of being
+// lost, and `--resume` picks the computation back up from the checkpoint.
+// With the metrics flags it is also the operational face of the
+// observability layer: counters, phase times, and a Chrome-loadable trace.
 //
 //   apsp_run --graph web.txt --algorithm parapsp --threads 16
 //   apsp_run --gen ba --n 20000 --param 8 --timeout-s 60 --checkpoint run.ck
 //   apsp_run --graph web.txt --resume run.ck --checkpoint run.ck
+//   apsp_run --gen ba --n 10000 --param 8 --metrics-json out.json --trace t.json
 //
 // Options:
 //   --graph FILE    input graph (format from extension, or --format)
@@ -25,6 +28,10 @@
 //   --interval-s S  seconds between periodic checkpoint writes (default 5)
 //   --resume F      restore completed rows from checkpoint F before sweeping
 //   --out FILE      save the (complete) distance matrix
+//   --metrics-json F  collect counters + phase times, write report JSON to F
+//   --metrics-table   collect counters, print them as a table on stdout
+//   --trace F         record phase/source spans, write Chrome trace JSON to F
+//                     (load in chrome://tracing or https://ui.perfetto.dev)
 //
 // Exit codes: 0 = complete, 3 = stopped early (timeout, partial result
 // checkpointed if --checkpoint given), 1 = error, 2 = usage.
@@ -96,48 +103,87 @@ int main(int argc, char** argv) {
 
     const util::Args args(argc, argv);
     if (args.has("help") || (args.get("graph").empty() && args.get("gen").empty())) {
-      std::fprintf(stderr,
-                   "usage: apsp_run (--graph FILE | --gen MODEL --n N) [options]\n"
-                   "(see the header of tools/apsp_run.cpp for the full list)\n");
+      std::fprintf(
+          stderr,
+          "usage: apsp_run (--graph FILE | --gen MODEL --n N) [options]\n"
+          "observability: --metrics-json FILE | --metrics-table | --trace FILE\n"
+          "(see the header of tools/apsp_run.cpp or docs/OBSERVABILITY.md for\n"
+          "the full list)\n");
       return 2;
     }
 
-    core::SolverOptions opts;
-    opts.algorithm = core::algorithm_from_string(args.get("algorithm", "parapsp"));
-    opts.threads = static_cast<int>(args.get_int("threads", 0));
-    opts.selection_ratio = args.get_double("ratio", 1.0);
-    opts.checkpoint_path = args.get("checkpoint");
-    opts.checkpoint_interval_s = args.get_double("interval-s", 5.0);
-    opts.resume_from = args.get("resume");
-
-    util::ExecutionControl ctl;
-    const double timeout_s = args.get_double("timeout-s", 0.0);
-    if (timeout_s > 0) ctl.set_deadline_after(timeout_s);
-    const bool controlled = timeout_s > 0 || !opts.checkpoint_path.empty() ||
-                            !opts.resume_from.empty();
-    if (controlled) opts.control = &ctl;
-
+    const std::string algorithm = args.get("algorithm", "parapsp");
+    const std::string checkpoint = args.get("checkpoint");
+    const std::string resume = args.get("resume");
     const std::string out = args.get("out");
+    const std::string metrics_json = args.get("metrics-json");
+    const std::string trace_path = args.get("trace");
+    const bool metrics_table = args.get_flag("metrics-table");
+    const bool collect = !metrics_json.empty() || metrics_table;
+    const double timeout_s = args.get_double("timeout-s", 0.0);
+    const double interval_s = args.get_double("interval-s", 5.0);
+    const double ratio = args.get_double("ratio", 1.0);
+    const int threads = static_cast<int>(args.get_int("threads", 0));
 
     const auto g = load_or_generate(args);
     args.reject_unknown();  // all getters have run; leftovers are typos
     std::printf("%s\n", g.summary().c_str());
 
-    const auto result = core::solve(g, opts);
+    core::Runner runner(g);
+    runner.algorithm(algorithm)
+        .threads(threads)
+        .selection_ratio(ratio)
+        .collect_metrics(collect);
+    if (timeout_s > 0) runner.deadline(timeout_s);
+    if (!checkpoint.empty()) runner.checkpoint(checkpoint, interval_s);
+    if (!resume.empty()) runner.resume(resume);
+
+    // The span recorder is global and off by default; arm it for this run.
+    if (!trace_path.empty()) obs::TraceRecorder::global().set_enabled(true);
+
+    const auto solved = runner.run();
+    if (!solved) {
+      std::fprintf(stderr, "error: %s\n", solved.status().to_string().c_str());
+      return 1;
+    }
+    const auto& result = *solved;
     std::printf("algorithm=%s ordering=%.3fs sweep=%.3fs rows=%u/%u\n",
-                to_string(opts.algorithm), result.ordering_seconds,
+                to_string(runner.options().algorithm), result.ordering_seconds,
                 result.sweep_seconds, result.num_completed_rows(),
                 g.num_vertices());
+
+    if (!trace_path.empty()) {
+      obs::TraceRecorder::global().set_enabled(false);
+      const auto st = obs::TraceRecorder::global().write_chrome_trace(trace_path);
+      if (!st.is_ok()) {
+        std::fprintf(stderr, "warning: %s\n", st.to_string().c_str());
+      } else {
+        std::printf("chrome trace -> %s\n", trace_path.c_str());
+      }
+    }
+    if (!metrics_json.empty()) {
+      const auto st = obs::write_report_json(result.report, metrics_json);
+      if (!st.is_ok()) {
+        std::fprintf(stderr, "warning: %s\n", st.to_string().c_str());
+      } else {
+        std::printf("metrics report -> %s\n", metrics_json.c_str());
+      }
+    }
+    if (metrics_table) {
+      util::Table table(util::Table::metrics_header());
+      table.add_metrics_row(algorithm, result.report);
+      table.emit("metrics");
+    }
 
     if (!result.complete()) {
       std::printf("stopped early: %s\n", result.status.to_string().c_str());
       // A cancelled/timed-out run was checkpointed; any other status means
       // checkpointing itself failed — don't claim the file is good.
       const auto code = result.status.code();
-      if (!opts.checkpoint_path.empty() &&
+      if (!checkpoint.empty() &&
           (code == util::ErrorCode::kCancelled || code == util::ErrorCode::kTimeout)) {
         std::printf("partial result checkpointed to '%s' (resume with --resume)\n",
-                    opts.checkpoint_path.c_str());
+                    checkpoint.c_str());
       }
       return 3;
     }
