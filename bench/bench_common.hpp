@@ -17,6 +17,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -101,6 +103,99 @@ double mean_seconds(Fn&& fn, int repeats) {
   }
   return stats.mean();
 }
+
+/// One flat JSON object, built field by field, for machine-readable bench
+/// output. Bench binaries emit one object per measured configuration into a
+/// BENCH_<name>.json file (JSON Lines: one object per line, no enclosing
+/// array) so runs can be diffed/tracked with line-oriented tools.
+class JsonLine {
+ public:
+  JsonLine& field(const std::string& key, const std::string& value) {
+    append_key(key);
+    body_ += '"';
+    body_ += escaped(value);
+    body_ += '"';
+    return *this;
+  }
+  JsonLine& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonLine& field(const std::string& key, double value) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    append_key(key);
+    body_ += buf;
+    return *this;
+  }
+  JsonLine& field(const std::string& key, std::uint64_t value) {
+    append_key(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+  JsonLine& field(const std::string& key, std::int64_t value) {
+    append_key(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+  JsonLine& field(const std::string& key, bool value) {
+    append_key(key);
+    body_ += value ? "true" : "false";
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void append_key(const std::string& key) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    body_ += escaped(key);
+    body_ += "\":";
+  }
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::string body_;
+};
+
+/// Appends JsonLine objects to a JSONL file, one per line. Write failures
+/// degrade to a stderr warning — bench output on stdout is never at risk.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(std::string path) : path_(std::move(path)), out_(path_) {
+    if (!out_) std::fprintf(stderr, "[warning: could not open %s]\n", path_.c_str());
+  }
+
+  void write(const JsonLine& line) {
+    if (out_) out_ << line.str() << '\n';
+  }
+
+  /// Flushes and reports the destination on stdout (call once at bench end).
+  void finish() {
+    if (!out_) return;
+    out_.flush();
+    std::printf("[jsonl written to %s]\n", path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
 
 /// Collects one metrics table across a bench's measured runs, behind the
 /// --metrics flag: `sink.add(label, report)` per observed solve, emitted

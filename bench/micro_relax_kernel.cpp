@@ -1,0 +1,237 @@
+// Throughput microbench for the min-plus row-relaxation kernel family
+// (src/kernel/relax_row.hpp): scalar vs AVX2 per weight type, variant, and
+// row length, reported as GB/s and as the simd/scalar speedup ratio.
+//
+// The kernel streams two rows (read src, read+write dst), so the effective
+// traffic per cell is 3*sizeof(W) plus sizeof(VertexId) read+write for the
+// successor variant; GB/s below uses that formula. The dst rows are relaxed
+// against a rotating pool of src rows sized to spill L2, so the numbers
+// reflect the memory-bound regime the APSP sweep actually runs in.
+//
+// Usage:
+//   micro_relax_kernel [--repeats N] [--seed S] [--csv-dir DIR]
+//
+// Output: a text table per weight type, plus BENCH_micro_relax_kernel.json
+// (one JSON object per measured configuration, JSONL) for tracking.
+// The bench first verifies that both implementations produce bit-identical
+// dst/succ rows and identical improvement counts from the same inputs, and
+// exits non-zero on any mismatch.
+#include <cinttypes>
+#include <cstring>
+#include <typeinfo>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+constexpr std::size_t kSrcRows = 64;  // rotating source pool (spills L2 at 16k)
+constexpr double kMinSeconds = 0.15;  // per-configuration measurement floor
+
+template <typename W>
+const char* type_name() {
+  if constexpr (std::is_same_v<W, float>) return "f32";
+  if constexpr (std::is_same_v<W, double>) return "f64";
+  if constexpr (std::is_same_v<W, std::int32_t>) return "i32";
+  if constexpr (std::is_same_v<W, std::uint32_t>) return "u32";
+  return "?";
+}
+
+template <typename W>
+W random_weight(util::Xoshiro256& rng) {
+  // Mostly mid-range values with occasional near-infinity ones, so the
+  // saturating paths get exercised during verification.
+  if (rng.bounded(64) == 0) return infinity<W>() - static_cast<W>(rng.bounded(3));
+  return static_cast<W>(1 + rng.bounded(1u << 20));
+}
+
+/// One aligned, strided buffer of kSrcRows+1 rows: row 0 is dst, the rest src.
+template <typename W>
+struct RowPool {
+  std::size_t stride;
+  util::AlignedBuffer<W> cells;
+  util::AlignedBuffer<VertexId> succ;
+
+  RowPool(std::size_t n, std::uint64_t seed)
+      : stride(apsp::DistanceMatrix<W>::padded_stride(static_cast<VertexId>(n))),
+        cells((kSrcRows + 1) * stride),
+        succ(stride) {
+    util::Xoshiro256 rng(seed);
+    for (std::size_t r = 0; r <= kSrcRows; ++r) {
+      W* row = cells.data() + r * stride;
+      for (std::size_t i = 0; i < n; ++i) row[i] = random_weight<W>(rng);
+      for (std::size_t i = n; i < stride; ++i) row[i] = infinity<W>();
+    }
+    for (std::size_t i = 0; i < stride; ++i) succ.data()[i] = 0;
+  }
+
+  W* dst() { return cells.data(); }
+  const W* src(std::size_t pass) { return cells.data() + (1 + pass % kSrcRows) * stride; }
+};
+
+enum class Variant { kCount, kSucc, kNocount };
+
+const char* to_string(Variant v) {
+  switch (v) {
+    case Variant::kCount: return "count";
+    case Variant::kSucc: return "succ";
+    case Variant::kNocount: return "nocount";
+  }
+  return "?";
+}
+
+/// Runs one full pass (all kSrcRows src rows against dst) of `variant`.
+template <typename W>
+std::uint64_t one_pass(RowPool<W>& pool, Variant variant) {
+  std::uint64_t improved = 0;
+  const W base = static_cast<W>(3);
+  for (std::size_t r = 0; r < kSrcRows; ++r) {
+    switch (variant) {
+      case Variant::kCount:
+        improved += kernel::relax_row(base, pool.src(r), pool.dst(), pool.stride);
+        break;
+      case Variant::kSucc:
+        improved += kernel::relax_row_succ(base, pool.src(r), pool.dst(),
+                                           pool.succ.data(), VertexId(1), pool.stride);
+        break;
+      case Variant::kNocount:
+        kernel::relax_row_nocount(base, pool.src(r), pool.dst(), pool.stride);
+        break;
+    }
+  }
+  return improved;
+}
+
+/// Verifies scalar and simd produce bit-identical rows and counts from the
+/// same inputs. Returns false (and reports) on mismatch.
+template <typename W>
+bool verify_equivalence(std::size_t n, std::uint64_t seed) {
+  bool ok = true;
+  for (const Variant variant : {Variant::kCount, Variant::kSucc, Variant::kNocount}) {
+    RowPool<W> a(n, seed), b(n, seed);
+    std::uint64_t ca, cb;
+    {
+      kernel::ImplScope scope(kernel::Impl::kScalar);
+      ca = one_pass(a, variant);
+    }
+    {
+      kernel::ImplScope scope(kernel::Impl::kSimd);
+      cb = one_pass(b, variant);
+    }
+    const bool rows_equal =
+        std::memcmp(a.dst(), b.dst(), a.stride * sizeof(W)) == 0;
+    const bool succ_equal = std::memcmp(a.succ.data(), b.succ.data(),
+                                        a.stride * sizeof(VertexId)) == 0;
+    if (!rows_equal || !succ_equal || ca != cb) {
+      std::printf("MISMATCH %s/%s n=%zu: rows=%d succ=%d counts=%" PRIu64 "/%" PRIu64 "\n",
+                  type_name<W>(), to_string(variant), n, rows_equal, succ_equal, ca, cb);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+struct Measurement {
+  double seconds = 0.0;
+  std::uint64_t cells = 0;
+};
+
+/// Times repeated passes of `variant` under the active impl until the floor.
+template <typename W>
+Measurement measure(std::size_t n, Variant variant, std::uint64_t seed) {
+  RowPool<W> pool(n, seed);
+  (void)one_pass(pool, variant);  // warmup: faults pages, settles improvements
+  Measurement m;
+  util::WallTimer timer;
+  do {
+    std::uint64_t improved = one_pass(pool, variant);
+    // The improvement count depends on the data, not the impl; consuming it
+    // here keeps the counting work from being optimized out.
+    if (improved == ~0ull) std::abort();
+    m.cells += kSrcRows * pool.stride;
+    m.seconds = timer.seconds();
+  } while (m.seconds < kMinSeconds);
+  return m;
+}
+
+double gbps(const Measurement& m, std::size_t weight_bytes, Variant variant) {
+  const std::size_t per_cell =
+      3 * weight_bytes + (variant == Variant::kSucc ? 2 * sizeof(VertexId) : 0);
+  return static_cast<double>(m.cells) * static_cast<double>(per_cell) / m.seconds / 1e9;
+}
+
+template <typename W>
+bool bench_type(const bench::BenchConfig& cfg, bench::JsonlWriter& jsonl,
+                bool& any_simd_pass_measured) {
+  const std::vector<std::size_t> sizes = {1024, 4096, 16384};
+  util::Table table({"n", "variant", "scalar_GBps", "simd_GBps", "speedup"});
+  bool ok = true;
+
+  for (const std::size_t n : sizes) {
+    if (kernel::simd_available() && !verify_equivalence<W>(n, cfg.seed ^ n)) ok = false;
+    for (const Variant variant : {Variant::kCount, Variant::kSucc, Variant::kNocount}) {
+      Measurement scalar, simd;
+      {
+        kernel::ImplScope scope(kernel::Impl::kScalar);
+        scalar = measure<W>(n, variant, cfg.seed);
+      }
+      if (kernel::simd_available()) {
+        kernel::ImplScope scope(kernel::Impl::kSimd);
+        simd = measure<W>(n, variant, cfg.seed);
+        any_simd_pass_measured = true;
+      }
+      const double scalar_gbps = gbps(scalar, sizeof(W), variant);
+      const double simd_gbps = simd.cells ? gbps(simd, sizeof(W), variant) : 0.0;
+      const double speedup =
+          simd.cells ? (scalar.seconds / static_cast<double>(scalar.cells)) /
+                           (simd.seconds / static_cast<double>(simd.cells))
+                     : 0.0;
+      table.add(static_cast<std::uint64_t>(n), to_string(variant),
+                util::fixed(scalar_gbps, 2),
+                simd.cells ? util::fixed(simd_gbps, 2) : std::string("n/a"),
+                simd.cells ? util::fixed(speedup, 2) : std::string("n/a"));
+      bench::JsonLine line;
+      line.field("bench", "micro_relax_kernel")
+          .field("type", type_name<W>())
+          .field("n", static_cast<std::uint64_t>(n))
+          .field("variant", to_string(variant))
+          .field("scalar_gbps", scalar_gbps)
+          .field("simd_gbps", simd_gbps)
+          .field("speedup", speedup)
+          .field("simd_available", kernel::simd_available());
+      jsonl.write(line);
+    }
+  }
+  table.emit(std::string("relax_row throughput: ") + type_name<W>(),
+             cfg.csv_path(std::string("micro_relax_kernel_") + type_name<W>() + ".csv"));
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = parapsp::bench::BenchConfig::from_args(argc, argv);
+  parapsp::bench::banner("min-plus row-relaxation kernel throughput", cfg);
+  std::printf("simd (AVX2) available: %s | active default: %s\n",
+              parapsp::kernel::simd_available() ? "yes" : "no",
+              parapsp::kernel::to_string(parapsp::kernel::active_impl()));
+
+  parapsp::bench::JsonlWriter jsonl(cfg.csv_path("BENCH_micro_relax_kernel.json"));
+  bool ok = true;
+  bool simd_measured = false;
+  ok &= bench_type<std::uint32_t>(cfg, jsonl, simd_measured);
+  ok &= bench_type<std::int32_t>(cfg, jsonl, simd_measured);
+  ok &= bench_type<float>(cfg, jsonl, simd_measured);
+  ok &= bench_type<double>(cfg, jsonl, simd_measured);
+  jsonl.finish();
+
+  if (!ok) {
+    std::printf("FAILED: scalar/simd equivalence mismatch (see above)\n");
+    return 1;
+  }
+  if (!simd_measured) {
+    std::printf("note: AVX2 unavailable — scalar-only numbers reported\n");
+  }
+  return 0;
+}

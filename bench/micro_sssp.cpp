@@ -2,7 +2,13 @@
 // Bellman-Ford/SPFA, and Peng's modified Dijkstra with cold vs warm
 // (all-rows-published) distance matrices — the per-kernel view of the row
 // reuse that powers the whole APSP algorithm.
+//
+// Besides the normal console output, every run is mirrored as one JSON
+// object per line into BENCH_micro_sssp.json (JSONL) in the working
+// directory, so successive runs can be diffed/tracked mechanically.
 #include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
 
 #include "apsp/flags.hpp"
 #include "apsp/modified_dijkstra.hpp"
@@ -104,6 +110,48 @@ void BM_ModifiedDijkstraWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_ModifiedDijkstraWarm)->Range(1 << 10, 1 << 12);
 
+/// ConsoleReporter that also mirrors every run as a JSONL line. Times are
+/// normalized to nanoseconds per iteration regardless of the display unit.
+class JsonlReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonlReporter(const std::string& path) : jsonl_(path) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      parapsp::bench::JsonLine line;
+      line.field("bench", "micro_sssp")
+          .field("name", run.benchmark_name())
+          .field("iterations", static_cast<std::int64_t>(run.iterations))
+          .field("real_ns_per_iter",
+                 run.iterations ? run.real_accumulated_time * 1e9 /
+                                      static_cast<double>(run.iterations)
+                                : 0.0)
+          .field("cpu_ns_per_iter",
+                 run.iterations ? run.cpu_accumulated_time * 1e9 /
+                                      static_cast<double>(run.iterations)
+                                : 0.0);
+      jsonl_.write(line);
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    jsonl_.finish();
+  }
+
+ private:
+  parapsp::bench::JsonlWriter jsonl_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonlReporter reporter("BENCH_micro_sssp.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

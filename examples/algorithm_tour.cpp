@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     }
     const auto& result = *solved;
     VertexId u = 0, v = 0;
-    const bool same = !result.distances.first_difference(reference, u, v);
+    const bool same = !result.distances.first_difference(reference, u, v).value();
     table.add(core::to_string(algo), util::fixed(result.total_seconds(), 3),
               util::fixed(result.ordering_seconds, 4),
               util::fixed(result.sweep_seconds, 3),

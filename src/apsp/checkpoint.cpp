@@ -30,7 +30,8 @@ using util::Status;
 
 Status write_checkpoint_file(const std::string& path, const CheckpointHeader& hdr,
                              const std::vector<std::uint64_t>& bitmap,
-                             const std::byte* matrix, std::size_t row_bytes) {
+                             const std::byte* matrix, std::size_t row_bytes,
+                             std::size_t row_stride_bytes) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -43,7 +44,8 @@ Status write_checkpoint_file(const std::string& path, const CheckpointHeader& hd
               static_cast<std::streamsize>(bitmap.size() * sizeof(std::uint64_t)));
     for (std::uint32_t s = 0; s < hdr.n; ++s) {
       if (!(bitmap[s / 64] & (std::uint64_t{1} << (s % 64)))) continue;
-      out.write(reinterpret_cast<const char*>(matrix + static_cast<std::size_t>(s) * row_bytes),
+      out.write(reinterpret_cast<const char*>(matrix +
+                                              static_cast<std::size_t>(s) * row_stride_bytes),
                 static_cast<std::streamsize>(row_bytes));
     }
     if (!out || PARAPSP_FAILPOINT("checkpoint_write_flush")) {

@@ -53,13 +53,16 @@ struct CheckpointHeader {
 };
 
 /// Byte-level atomic writer/reader (untemplated; checkpoint.cpp).
-/// `matrix` is the flat row-major matrix; only rows set in `bitmap` are
+/// `matrix` is the flat row-major matrix whose rows start `row_stride_bytes`
+/// apart (>= row_bytes — the in-memory rows carry SIMD padding that is not
+/// serialized); only the first `row_bytes` of each row set in `bitmap` are
 /// written. The reader returns the packed completed rows in bitmap order.
 [[nodiscard]] util::Status write_checkpoint_file(const std::string& path,
                                                  const CheckpointHeader& hdr,
                                                  const std::vector<std::uint64_t>& bitmap,
                                                  const std::byte* matrix,
-                                                 std::size_t row_bytes);
+                                                 std::size_t row_bytes,
+                                                 std::size_t row_stride_bytes);
 [[nodiscard]] util::Status read_checkpoint_file(const std::string& path,
                                                 std::uint8_t expected_code,
                                                 CheckpointHeader& hdr,
@@ -130,8 +133,8 @@ template <WeightType W>
     }
   }
   return detail::write_checkpoint_file(
-      path, hdr, bitmap, reinterpret_cast<const std::byte*>(D.raw().data()),
-      static_cast<std::size_t>(n) * sizeof(W));
+      path, hdr, bitmap, reinterpret_cast<const std::byte*>(D.data()),
+      static_cast<std::size_t>(n) * sizeof(W), D.stride() * sizeof(W));
 }
 
 /// Loads a checkpoint written with the same weight type. The caller should

@@ -5,15 +5,29 @@
 // Dijkstra's row reuse streams contiguously, and rows are the unit of
 // ownership in the parallel algorithms (thread owning source s writes only
 // row s).
+//
+// Storage layout (this is what the relaxation kernels in src/kernel/ rely
+// on): rows live in a 64-byte-aligned AlignedBuffer and are padded to a
+// 64-byte multiple, so every row starts on a cache-line boundary and SIMD
+// kernels can process whole vectors with no scalar tail. Padding cells are
+// always infinity<W>() — a min-plus relaxation can stream across them
+// without ever producing an improvement, so they are invisible to the
+// algorithms (and to operator==, which compares logical cells only).
+//
+// NUMA: construction and reset() initialize the matrix row-by-row from a
+// parallel loop, so under a first-touch page placement policy the rows are
+// distributed across the sockets' memories instead of all landing on the
+// allocating thread's node — matching how the parallel sweeps then read and
+// write them. See docs/PERFORMANCE.md.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdlib>
 #include <span>
-#include <stdexcept>
 #include <string>
-#include <vector>
 
+#include "util/aligned_buffer.hpp"
 #include "util/expected.hpp"
 #include "util/failpoints.hpp"
 #include "util/types.hpp"
@@ -38,21 +52,34 @@ namespace parapsp::apsp {
 template <WeightType W>
 class DistanceMatrix {
  public:
+  /// Rows start on this boundary and are padded to a multiple of it.
+  static constexpr std::size_t kRowAlignmentBytes = util::AlignedBuffer<W>::kAlignment;
+
+  /// Elements per stored row: n rounded up to the alignment width. The
+  /// cells in [n, stride) of every row are padding, held at infinity.
+  [[nodiscard]] static constexpr std::size_t padded_stride(VertexId n) noexcept {
+    constexpr std::size_t lane = kRowAlignmentBytes / sizeof(W);
+    return ((static_cast<std::size_t>(n) + lane - 1) / lane) * lane;
+  }
+
   DistanceMatrix() = default;
 
   /// n x n matrix with every entry set to `fill` (default: unreachable).
   explicit DistanceMatrix(VertexId n, W fill = infinity<W>())
-      : n_(n), data_(static_cast<std::size_t>(n) * n, fill) {}
+      : n_(n), stride_(padded_stride(n)), data_(static_cast<std::size_t>(n) * stride_) {
+    first_touch_fill(fill);
+  }
 
-  /// Bytes an n x n matrix would occupy; false when n*n*sizeof(W) overflows.
+  /// Bytes an n x n matrix occupies including row padding; false when the
+  /// padded size overflows.
   [[nodiscard]] static bool bytes_required(VertexId n, std::size_t& out) noexcept {
     std::size_t cells = 0;
-    return parapsp::checked_mul(static_cast<std::size_t>(n), n, cells) &&
+    return parapsp::checked_mul(static_cast<std::size_t>(n), padded_stride(n), cells) &&
            parapsp::checked_mul(cells, sizeof(W), out);
   }
 
-  /// Pre-checks n*n*sizeof(W) against overflow and `budget_bytes` (0 = use
-  /// matrix_budget_bytes()) without allocating.
+  /// Pre-checks the padded allocation against overflow and `budget_bytes`
+  /// (0 = use matrix_budget_bytes()) without allocating.
   [[nodiscard]] static util::Status allocation_status(VertexId n,
                                                       std::size_t budget_bytes = 0) {
     std::size_t bytes = 0;
@@ -90,54 +117,95 @@ class DistanceMatrix {
   [[nodiscard]] VertexId size() const noexcept { return n_; }
   [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
 
+  /// Stored elements per row (>= size(); multiple of the SIMD width).
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+
   [[nodiscard]] W& at(VertexId u, VertexId v) noexcept {
-    return data_[static_cast<std::size_t>(u) * n_ + v];
+    return data_[static_cast<std::size_t>(u) * stride_ + v];
   }
   [[nodiscard]] const W& at(VertexId u, VertexId v) const noexcept {
-    return data_[static_cast<std::size_t>(u) * n_ + v];
+    return data_[static_cast<std::size_t>(u) * stride_ + v];
   }
 
   [[nodiscard]] std::span<W> row(VertexId u) noexcept {
-    return {data_.data() + static_cast<std::size_t>(u) * n_, n_};
+    return {data_.data() + static_cast<std::size_t>(u) * stride_, n_};
   }
   [[nodiscard]] std::span<const W> row(VertexId u) const noexcept {
-    return {data_.data() + static_cast<std::size_t>(u) * n_, n_};
+    return {data_.data() + static_cast<std::size_t>(u) * stride_, n_};
+  }
+
+  /// The full stored row including its infinity padding — what the SIMD
+  /// kernels stream so they never need a scalar tail (padding cells cannot
+  /// improve: both sides hold infinity).
+  [[nodiscard]] std::span<W> row_padded(VertexId u) noexcept {
+    return {data_.data() + static_cast<std::size_t>(u) * stride_, stride_};
+  }
+  [[nodiscard]] std::span<const W> row_padded(VertexId u) const noexcept {
+    return {data_.data() + static_cast<std::size_t>(u) * stride_, stride_};
   }
 
   /// Resets every entry to unreachable and the diagonal convention is left
   /// to the algorithm (Peng's Alg 2 sets D[s,s]=0 at the start of each run).
-  void reset(W fill = infinity<W>()) {
-    std::fill(data_.begin(), data_.end(), fill);
-  }
+  /// Parallel per-row, renewing the NUMA first-touch pattern.
+  void reset(W fill = infinity<W>()) { first_touch_fill(fill); }
 
   friend bool operator==(const DistanceMatrix& a, const DistanceMatrix& b) {
-    return a.n_ == b.n_ && a.data_ == b.data_;
+    if (a.n_ != b.n_) return false;
+    for (VertexId u = 0; u < a.n_; ++u) {
+      const auto ra = a.row(u);
+      const auto rb = b.row(u);
+      if (!std::equal(ra.begin(), ra.end(), rb.begin())) return false;
+    }
+    return true;
   }
 
-  /// Index of the first differing entry, as (u, v); returns false if equal.
-  [[nodiscard]] bool first_difference(const DistanceMatrix& other, VertexId& u,
-                                      VertexId& v) const {
-    if (n_ != other.n_) throw std::invalid_argument("first_difference: size mismatch");
-    for (std::size_t i = 0; i < data_.size(); ++i) {
-      if (data_[i] != other.data_[i]) {
-        u = static_cast<VertexId>(i / n_);
-        v = static_cast<VertexId>(i % n_);
-        return true;
+  /// Index of the first differing entry, as (u, v); false if equal. Size
+  /// mismatch is a typed kInvalidArgument error (PR-1 taxonomy), not a throw.
+  [[nodiscard]] util::Expected<bool> first_difference(const DistanceMatrix& other,
+                                                      VertexId& u, VertexId& v) const {
+    if (n_ != other.n_) {
+      return util::Status(util::ErrorCode::kInvalidArgument,
+                          "first_difference: size mismatch (" + std::to_string(n_) +
+                              " vs " + std::to_string(other.n_) + ")");
+    }
+    for (VertexId i = 0; i < n_; ++i) {
+      const auto ra = row(i);
+      const auto rb = other.row(i);
+      for (VertexId j = 0; j < n_; ++j) {
+        if (ra[j] != rb[j]) {
+          u = i;
+          v = j;
+          return true;
+        }
       }
     }
     return false;
   }
 
-  /// Bytes of storage — benches print this so memory-bound runs are legible.
+  /// Bytes of storage, row padding included — benches print this so
+  /// memory-bound runs are legible.
   [[nodiscard]] std::size_t bytes() const noexcept { return data_.size() * sizeof(W); }
 
-  [[nodiscard]] const std::vector<W>& raw() const noexcept { return data_; }
-  /// Mutable flat storage (deserialization only; prefer row()/at()).
-  [[nodiscard]] std::vector<W>& raw_mutable() noexcept { return data_; }
+  /// Flat aligned storage, stride() elements per row (serialization reads
+  /// row-by-row; prefer row()/at() everywhere else).
+  [[nodiscard]] const W* data() const noexcept { return data_.data(); }
 
  private:
+  /// Writes every logical cell to `fill` and every padding cell to infinity,
+  /// one row per loop iteration so first touch follows row ownership.
+  void first_touch_fill(W fill) {
+    const auto rows = static_cast<std::int64_t>(n_);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t u = 0; u < rows; ++u) {
+      W* r = data_.data() + static_cast<std::size_t>(u) * stride_;
+      std::fill(r, r + n_, fill);
+      std::fill(r + n_, r + stride_, infinity<W>());
+    }
+  }
+
   VertexId n_ = 0;
-  std::vector<W> data_;
+  std::size_t stride_ = 0;
+  util::AlignedBuffer<W> data_;
 };
 
 }  // namespace parapsp::apsp

@@ -9,6 +9,7 @@
 
 #include "apsp/distance_matrix.hpp"
 #include "graph/csr_graph.hpp"
+#include "kernel/relax_row.hpp"
 #include "util/types.hpp"
 
 namespace parapsp::apsp {
@@ -30,21 +31,24 @@ template <WeightType W>
   return D;
 }
 
-/// Textbook triple loop. O(n^3), O(n^2) memory.
+/// Textbook triple loop. O(n^3), O(n^2) memory. The inner j-loop is the
+/// min-plus row kernel (padded spans: full vectors, no scalar tail; the
+/// i == k row is safe because relaxing a row against itself via a finite
+/// diagonal cannot improve any entry).
 template <WeightType W>
 [[nodiscard]] DistanceMatrix<W> floyd_warshall(const graph::Graph<W>& g) {
   DistanceMatrix<W> D = adjacency_matrix(g);
   const VertexId n = D.size();
   for (VertexId k = 0; k < n; ++k) {
-    const auto row_k = D.row(k);
+    const auto row_k = D.row_padded(k);
     for (VertexId i = 0; i < n; ++i) {
-      auto row_i = D.row(i);
+      // Relaxing row k through itself is a no-op (the diagonal stays 0 under
+      // non-negative weights) and would alias the kernel's src/dst — skip.
+      if (i == k) continue;
+      auto row_i = D.row_padded(i);
       const W dik = row_i[k];
       if (is_infinite(dik)) continue;
-      for (VertexId j = 0; j < n; ++j) {
-        const W cand = dist_add(dik, row_k[j]);
-        if (cand < row_i[j]) row_i[j] = cand;
-      }
+      kernel::relax_row_nocount(dik, row_k.data(), row_i.data(), D.stride());
     }
   }
   return D;
@@ -62,21 +66,25 @@ template <WeightType W>
   block = std::max<VertexId>(1, std::min(block, n));
   const VertexId num_blocks = (n + block - 1) / block;
 
-  // Relaxes tile (ib, jb) through pivots in k-block kb.
+  // Relaxes tile (ib, jb) through pivots in k-block kb. The j-run is the
+  // min-plus kernel over a sub-range (unaligned offsets are fine; the kernel
+  // handles tails). i == k is skipped: a row relaxed through itself is a
+  // no-op under non-negative weights and would alias the kernel's src/dst.
   auto relax_tile = [&](VertexId ib, VertexId jb, VertexId kb) {
     const VertexId i_end = std::min(n, (ib + 1) * block);
     const VertexId j_end = std::min(n, (jb + 1) * block);
     const VertexId k_end = std::min(n, (kb + 1) * block);
+    const VertexId j_begin = jb * block;
+    const std::size_t j_len = j_end - j_begin;
     for (VertexId k = kb * block; k < k_end; ++k) {
       const auto row_k = D.row(k);
       for (VertexId i = ib * block; i < i_end; ++i) {
+        if (i == k) continue;
         auto row_i = D.row(i);
         const W dik = row_i[k];
         if (is_infinite(dik)) continue;
-        for (VertexId j = jb * block; j < j_end; ++j) {
-          const W cand = dist_add(dik, row_k[j]);
-          if (cand < row_i[j]) row_i[j] = cand;
-        }
+        kernel::relax_row_nocount(dik, row_k.data() + j_begin,
+                                  row_i.data() + j_begin, j_len);
       }
     }
   };

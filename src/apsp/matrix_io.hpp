@@ -42,8 +42,12 @@ void save_matrix(const DistanceMatrix<W>& D, const std::string& path) {
   hdr.weight_code = graph::detail::weight_code<W>();
   hdr.n = D.size();
   out.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
-  out.write(reinterpret_cast<const char*>(D.raw().data()),
-            static_cast<std::streamsize>(D.raw().size() * sizeof(W)));
+  // Row-by-row: the in-memory rows are padded to the SIMD width, but the
+  // on-disk format stays the dense n*n payload of version 1.
+  for (VertexId u = 0; u < D.size(); ++u) {
+    out.write(reinterpret_cast<const char*>(D.row(u).data()),
+              static_cast<std::streamsize>(static_cast<std::size_t>(D.size()) * sizeof(W)));
+  }
   if (!out) throw std::runtime_error("write failed for '" + path + "'");
 }
 
@@ -67,11 +71,13 @@ template <WeightType W>
     throw std::runtime_error("matrix file '" + path + "': weight type mismatch");
   }
   DistanceMatrix<W> D(hdr.n);
-  const auto bytes = static_cast<std::streamsize>(
-      static_cast<std::size_t>(hdr.n) * hdr.n * sizeof(W));
-  in.read(reinterpret_cast<char*>(D.raw_mutable().data()), bytes);
-  if (in.gcount() != bytes) {
-    throw std::runtime_error("matrix file '" + path + "': truncated payload");
+  const auto row_bytes =
+      static_cast<std::streamsize>(static_cast<std::size_t>(hdr.n) * sizeof(W));
+  for (VertexId u = 0; u < hdr.n; ++u) {
+    in.read(reinterpret_cast<char*>(D.row(u).data()), row_bytes);
+    if (in.gcount() != row_bytes) {
+      throw std::runtime_error("matrix file '" + path + "': truncated payload");
+    }
   }
   return D;
 }

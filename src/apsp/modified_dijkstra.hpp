@@ -15,11 +15,14 @@
 // only after observing their flag with acquire semantics (see flags.hpp).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <vector>
 
 #include "apsp/distance_matrix.hpp"
 #include "apsp/flags.hpp"
 #include "graph/csr_graph.hpp"
+#include "kernel/relax_row.hpp"
 #include "util/types.hpp"
 
 namespace parapsp::apsp {
@@ -28,9 +31,16 @@ namespace parapsp::apsp {
 /// allocating a queue + bitmap per SSSP run.
 class DijkstraWorkspace {
  public:
+  /// Grow-only: the bitmap is all-zero after every kernel run (each dequeue
+  /// clears its bit), so re-sizing to the same or a smaller n must not pay
+  /// an O(n) re-zero per call. The assert re-verifies that invariant in
+  /// debug builds.
   void resize(VertexId n) {
+    assert(std::all_of(in_queue_.begin(), in_queue_.end(),
+                       [](std::uint8_t b) { return b == 0; }) &&
+           "DijkstraWorkspace bitmap not clean on resize");
     queue_.reserve(n);
-    in_queue_.assign(n, 0);
+    if (in_queue_.size() < n) in_queue_.resize(n, 0);
   }
 
   std::vector<VertexId> queue_;        ///< FIFO storage (head index below)
@@ -54,6 +64,7 @@ struct KernelStats {
   std::uint64_t row_reuses = 0;         ///< dequeues that hit a completed row
   std::uint64_t reuse_improvements = 0; ///< entries improved via reused rows
   std::uint64_t edge_relaxations = 0;
+  std::uint64_t row_cells_scanned = 0;  ///< cells streamed by min-plus row passes
 
   KernelStats& operator+=(const KernelStats& o) noexcept {
     dequeues += o.dequeues;
@@ -61,6 +72,7 @@ struct KernelStats {
     row_reuses += o.row_reuses;
     reuse_improvements += o.reuse_improvements;
     edge_relaxations += o.edge_relaxations;
+    row_cells_scanned += o.row_cells_scanned;
     return *this;
   }
 };
@@ -105,32 +117,30 @@ KernelStats modified_dijkstra(const graph::Graph<W>& g, VertexId source,
     if (t != source && flags.is_complete(t)) {
       // Row t is exact and immutable: one streaming pass replaces the whole
       // subtree expansion below t. No enqueues — dominated (see header).
+      // The pass runs through the vectorized min-plus kernel (src/kernel/);
+      // scalar and SIMD paths are bit-identical, see relax_row.hpp.
       ++stats.row_reuses;
       const W base = row_s[t];
-      const auto row_t = D.row(t);
       std::uint64_t improvements = 0;
       if (succ_row.empty()) {
-        for (VertexId v = 0; v < n; ++v) {
-          const W cand = dist_add(base, row_t[v]);
-          if (cand < row_s[v]) {
-            row_s[v] = cand;
-            ++improvements;
-          }
-        }
+        // Padded spans: the tail cells hold infinity on both sides and can
+        // never improve, so the kernel streams whole vectors with no tail.
+        improvements = kernel::relax_row(base, D.row_padded(t).data(),
+                                         D.row_padded(source).data(), D.stride());
       } else {
+        // The successor array is exactly n entries — relax the logical row.
         const VertexId hop_to_t = succ_row[t];
-        for (VertexId v = 0; v < n; ++v) {
-          const W cand = dist_add(base, row_t[v]);
-          if (cand < row_s[v]) {
-            row_s[v] = cand;
-            succ_row[v] = hop_to_t;  // path to v starts like the path to t
-            ++improvements;
-          }
-        }
+        improvements = kernel::relax_row_succ(base, D.row(t).data(), row_s.data(),
+                                              succ_row.data(), hop_to_t, n);
       }
       stats.reuse_improvements += improvements;
+      stats.row_cells_scanned += n;
       if (reuse_credit) (*reuse_credit)[t] += improvements;
     } else {
+      // Edge relaxation stays scalar: the CSR targets make it an indexed
+      // gather/scatter with data-dependent queue pushes, so there is no
+      // contiguous stream for the row kernel to exploit (docs/PERFORMANCE.md
+      // discusses why this loop is not routed through src/kernel/).
       const auto nb = g.neighbors(t);
       const auto wts = g.weights(t);
       const W base = row_s[t];

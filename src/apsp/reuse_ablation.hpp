@@ -15,7 +15,10 @@
 //
 // Both produce the exact distance matrix; only the work differs. The
 // ablation bench reports kernel edge-relaxation counts, which expose the
-// effect even on a single-core machine.
+// effect even on a single-core machine. Both variants run their reuse
+// passes through the vectorized min-plus kernel (src/kernel/relax_row.hpp)
+// via modified_dijkstra, so the ablation isolates the *sharing* mechanism,
+// not kernel throughput.
 #pragma once
 
 #include <omp.h>

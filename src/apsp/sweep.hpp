@@ -49,6 +49,7 @@ inline void flush_kernel_counters(const KernelStats& stats,
   reg.add(obs::Counter::kQueuePushes, stats.enqueues);
   reg.add(obs::Counter::kRowReuses, stats.row_reuses);
   reg.add(obs::Counter::kRowReuseImprovements, stats.reuse_improvements);
+  reg.add(obs::Counter::kRowCellsScanned, stats.row_cells_scanned);
   reg.add(obs::Counter::kEdgeRelaxations, stats.edge_relaxations);
   reg.add(obs::Counter::kSourcesCompleted, sources_completed);
 }

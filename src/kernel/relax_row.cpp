@@ -1,0 +1,450 @@
+// AVX2 specializations and runtime dispatch for the min-plus row kernels.
+//
+// The intrinsics bodies are compiled with the `target("avx2")` function
+// attribute, so the library builds on any x86-64 baseline (no -march flags
+// required) and the vector paths are only ever entered after
+// __builtin_cpu_supports("avx2") says the instructions exist.
+//
+// Bit-identity with the scalar reference (tests/test_kernel.cpp):
+//  * float/double: cand = base + src[i] is the same IEEE add per lane; the
+//    strict `cand < dst` compare + blend keeps the old value on ties exactly
+//    like the scalar select. No horizontal reduction touches the distances,
+//    so there is no reassociation to worry about.
+//  * int32/uint32: dist_add saturates to infinity<W>() (INT32_MAX /
+//    UINT32_MAX). With non-negative operands, a wrapped vector add is
+//    detected by `cand < base` in the respective signedness and the lane is
+//    clamped to the sentinel — the same result dist_add computes without
+//    ever relying on signed-overflow UB (vector adds wrap by definition).
+#include "kernel/relax_row.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PARAPSP_KERNEL_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define PARAPSP_KERNEL_HAVE_AVX2 0
+#endif
+
+namespace parapsp::kernel {
+
+namespace {
+
+#if PARAPSP_KERNEL_HAVE_AVX2
+
+// ---------------------------------------------------------------- float --
+
+__attribute__((target("avx2"))) std::uint64_t relax_f32_avx2(
+    float base, const float* PARAPSP_RESTRICT src, float* PARAPSP_RESTRICT dst,
+    std::size_t len) {
+  const __m256 vbase = _mm256_set1_ps(base);
+  std::uint64_t improved = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const __m256 s = _mm256_loadu_ps(src + i);
+    const __m256 d = _mm256_loadu_ps(dst + i);
+    const __m256 cand = _mm256_add_ps(vbase, s);
+    const __m256 lt = _mm256_cmp_ps(cand, d, _CMP_LT_OQ);
+    _mm256_storeu_ps(dst + i, _mm256_blendv_ps(d, cand, lt));
+    improved += static_cast<std::uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_ps(lt))));
+  }
+  return improved + detail::relax_row_scalar(base, src + i, dst + i, len - i);
+}
+
+__attribute__((target("avx2"))) std::uint64_t relax_succ_f32_avx2(
+    float base, const float* PARAPSP_RESTRICT src, float* PARAPSP_RESTRICT dst,
+    VertexId* PARAPSP_RESTRICT succ, VertexId hop, std::size_t len) {
+  const __m256 vbase = _mm256_set1_ps(base);
+  std::uint64_t improved = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const __m256 s = _mm256_loadu_ps(src + i);
+    const __m256 d = _mm256_loadu_ps(dst + i);
+    const __m256 cand = _mm256_add_ps(vbase, s);
+    const __m256 lt = _mm256_cmp_ps(cand, d, _CMP_LT_OQ);
+    _mm256_storeu_ps(dst + i, _mm256_blendv_ps(d, cand, lt));
+    auto mask = static_cast<unsigned>(_mm256_movemask_ps(lt));
+    improved += static_cast<std::uint64_t>(__builtin_popcount(mask));
+    while (mask != 0) {  // improvements are sparse: scatter the hop scalar-ly
+      succ[i + static_cast<unsigned>(__builtin_ctz(mask))] = hop;
+      mask &= mask - 1;
+    }
+  }
+  return improved +
+         detail::relax_row_succ_scalar(base, src + i, dst + i, succ + i, hop, len - i);
+}
+
+__attribute__((target("avx2"))) void relax_nocount_f32_avx2(
+    float base, const float* PARAPSP_RESTRICT src, float* PARAPSP_RESTRICT dst,
+    std::size_t len) {
+  const __m256 vbase = _mm256_set1_ps(base);
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const __m256 cand = _mm256_add_ps(vbase, _mm256_loadu_ps(src + i));
+    // MINPS picks the second operand on ties — same "keep dst unless
+    // strictly smaller" rule as the scalar select.
+    _mm256_storeu_ps(dst + i, _mm256_min_ps(cand, _mm256_loadu_ps(dst + i)));
+  }
+  detail::relax_row_nocount_scalar(base, src + i, dst + i, len - i);
+}
+
+// --------------------------------------------------------------- double --
+
+__attribute__((target("avx2"))) std::uint64_t relax_f64_avx2(
+    double base, const double* PARAPSP_RESTRICT src, double* PARAPSP_RESTRICT dst,
+    std::size_t len) {
+  const __m256d vbase = _mm256_set1_pd(base);
+  std::uint64_t improved = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const __m256d s = _mm256_loadu_pd(src + i);
+    const __m256d d = _mm256_loadu_pd(dst + i);
+    const __m256d cand = _mm256_add_pd(vbase, s);
+    const __m256d lt = _mm256_cmp_pd(cand, d, _CMP_LT_OQ);
+    _mm256_storeu_pd(dst + i, _mm256_blendv_pd(d, cand, lt));
+    improved += static_cast<std::uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_pd(lt))));
+  }
+  return improved + detail::relax_row_scalar(base, src + i, dst + i, len - i);
+}
+
+__attribute__((target("avx2"))) std::uint64_t relax_succ_f64_avx2(
+    double base, const double* PARAPSP_RESTRICT src, double* PARAPSP_RESTRICT dst,
+    VertexId* PARAPSP_RESTRICT succ, VertexId hop, std::size_t len) {
+  const __m256d vbase = _mm256_set1_pd(base);
+  std::uint64_t improved = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const __m256d s = _mm256_loadu_pd(src + i);
+    const __m256d d = _mm256_loadu_pd(dst + i);
+    const __m256d cand = _mm256_add_pd(vbase, s);
+    const __m256d lt = _mm256_cmp_pd(cand, d, _CMP_LT_OQ);
+    _mm256_storeu_pd(dst + i, _mm256_blendv_pd(d, cand, lt));
+    auto mask = static_cast<unsigned>(_mm256_movemask_pd(lt));
+    improved += static_cast<std::uint64_t>(__builtin_popcount(mask));
+    while (mask != 0) {
+      succ[i + static_cast<unsigned>(__builtin_ctz(mask))] = hop;
+      mask &= mask - 1;
+    }
+  }
+  return improved +
+         detail::relax_row_succ_scalar(base, src + i, dst + i, succ + i, hop, len - i);
+}
+
+__attribute__((target("avx2"))) void relax_nocount_f64_avx2(
+    double base, const double* PARAPSP_RESTRICT src, double* PARAPSP_RESTRICT dst,
+    std::size_t len) {
+  const __m256d vbase = _mm256_set1_pd(base);
+  std::size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const __m256d cand = _mm256_add_pd(vbase, _mm256_loadu_pd(src + i));
+    _mm256_storeu_pd(dst + i, _mm256_min_pd(cand, _mm256_loadu_pd(dst + i)));
+  }
+  detail::relax_row_nocount_scalar(base, src + i, dst + i, len - i);
+}
+
+// ---------------------------------------------------------------- int32 --
+// infinity<int32_t>() == INT32_MAX. Operands are non-negative, so the add
+// wrapped iff cand < base (signed) — clamp those lanes to the sentinel.
+
+__attribute__((target("avx2"))) inline __m256i saturated_add_epi32(__m256i vbase,
+                                                                   __m256i s) {
+  const __m256i cand = _mm256_add_epi32(vbase, s);
+  const __m256i wrapped = _mm256_cmpgt_epi32(vbase, cand);
+  return _mm256_blendv_epi8(cand, _mm256_set1_epi32(INT32_MAX), wrapped);
+}
+
+__attribute__((target("avx2"))) std::uint64_t relax_i32_avx2(
+    std::int32_t base, const std::int32_t* PARAPSP_RESTRICT src,
+    std::int32_t* PARAPSP_RESTRICT dst, std::size_t len) {
+  const __m256i vbase = _mm256_set1_epi32(base);
+  std::uint64_t improved = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i cand = saturated_add_epi32(vbase, s);
+    const __m256i lt = _mm256_cmpgt_epi32(d, cand);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_blendv_epi8(d, cand, lt));
+    improved += static_cast<std::uint64_t>(__builtin_popcount(
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(lt)))));
+  }
+  return improved + detail::relax_row_scalar(base, src + i, dst + i, len - i);
+}
+
+__attribute__((target("avx2"))) std::uint64_t relax_succ_i32_avx2(
+    std::int32_t base, const std::int32_t* PARAPSP_RESTRICT src,
+    std::int32_t* PARAPSP_RESTRICT dst, VertexId* PARAPSP_RESTRICT succ,
+    VertexId hop, std::size_t len) {
+  const __m256i vbase = _mm256_set1_epi32(base);
+  std::uint64_t improved = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i cand = saturated_add_epi32(vbase, s);
+    const __m256i lt = _mm256_cmpgt_epi32(d, cand);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_blendv_epi8(d, cand, lt));
+    auto mask =
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(lt)));
+    improved += static_cast<std::uint64_t>(__builtin_popcount(mask));
+    while (mask != 0) {
+      succ[i + static_cast<unsigned>(__builtin_ctz(mask))] = hop;
+      mask &= mask - 1;
+    }
+  }
+  return improved +
+         detail::relax_row_succ_scalar(base, src + i, dst + i, succ + i, hop, len - i);
+}
+
+__attribute__((target("avx2"))) void relax_nocount_i32_avx2(
+    std::int32_t base, const std::int32_t* PARAPSP_RESTRICT src,
+    std::int32_t* PARAPSP_RESTRICT dst, std::size_t len) {
+  const __m256i vbase = _mm256_set1_epi32(base);
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i cand = saturated_add_epi32(vbase, s);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_min_epi32(cand, d));
+  }
+  detail::relax_row_nocount_scalar(base, src + i, dst + i, len - i);
+}
+
+// --------------------------------------------------------------- uint32 --
+// infinity<uint32_t>() == UINT32_MAX. Unsigned compares are built from
+// signed ones by flipping the sign bit; a wrapped lane ORs to all-ones,
+// which IS the sentinel.
+
+__attribute__((target("avx2"))) inline __m256i flip_sign(__m256i v) {
+  return _mm256_xor_si256(v, _mm256_set1_epi32(INT32_MIN));
+}
+
+__attribute__((target("avx2"))) std::uint64_t relax_u32_avx2(
+    std::uint32_t base, const std::uint32_t* PARAPSP_RESTRICT src,
+    std::uint32_t* PARAPSP_RESTRICT dst, std::size_t len) {
+  const __m256i vbase = _mm256_set1_epi32(static_cast<std::int32_t>(base));
+  const __m256i vbase_f = flip_sign(vbase);
+  std::uint64_t improved = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i cand = _mm256_add_epi32(vbase, s);
+    const __m256i wrapped = _mm256_cmpgt_epi32(vbase_f, flip_sign(cand));
+    cand = _mm256_or_si256(cand, wrapped);  // wrapped lanes -> UINT32_MAX
+    const __m256i lt = _mm256_cmpgt_epi32(flip_sign(d), flip_sign(cand));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_blendv_epi8(d, cand, lt));
+    improved += static_cast<std::uint64_t>(__builtin_popcount(
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(lt)))));
+  }
+  return improved + detail::relax_row_scalar(base, src + i, dst + i, len - i);
+}
+
+__attribute__((target("avx2"))) std::uint64_t relax_succ_u32_avx2(
+    std::uint32_t base, const std::uint32_t* PARAPSP_RESTRICT src,
+    std::uint32_t* PARAPSP_RESTRICT dst, VertexId* PARAPSP_RESTRICT succ,
+    VertexId hop, std::size_t len) {
+  const __m256i vbase = _mm256_set1_epi32(static_cast<std::int32_t>(base));
+  const __m256i vbase_f = flip_sign(vbase);
+  std::uint64_t improved = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i cand = _mm256_add_epi32(vbase, s);
+    const __m256i wrapped = _mm256_cmpgt_epi32(vbase_f, flip_sign(cand));
+    cand = _mm256_or_si256(cand, wrapped);
+    const __m256i lt = _mm256_cmpgt_epi32(flip_sign(d), flip_sign(cand));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_blendv_epi8(d, cand, lt));
+    auto mask =
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(lt)));
+    improved += static_cast<std::uint64_t>(__builtin_popcount(mask));
+    while (mask != 0) {
+      succ[i + static_cast<unsigned>(__builtin_ctz(mask))] = hop;
+      mask &= mask - 1;
+    }
+  }
+  return improved +
+         detail::relax_row_succ_scalar(base, src + i, dst + i, succ + i, hop, len - i);
+}
+
+__attribute__((target("avx2"))) void relax_nocount_u32_avx2(
+    std::uint32_t base, const std::uint32_t* PARAPSP_RESTRICT src,
+    std::uint32_t* PARAPSP_RESTRICT dst, std::size_t len) {
+  const __m256i vbase = _mm256_set1_epi32(static_cast<std::int32_t>(base));
+  const __m256i vbase_f = flip_sign(vbase);
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i cand = _mm256_add_epi32(vbase, s);
+    const __m256i wrapped = _mm256_cmpgt_epi32(vbase_f, flip_sign(cand));
+    cand = _mm256_or_si256(cand, wrapped);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_min_epu32(cand, d));
+  }
+  detail::relax_row_nocount_scalar(base, src + i, dst + i, len - i);
+}
+
+#endif  // PARAPSP_KERNEL_HAVE_AVX2
+
+// ------------------------------------------------------------- dispatch --
+
+/// Per-weight-type function-pointer table; one instance per Impl.
+template <typename W>
+struct Kernels {
+  std::uint64_t (*relax)(W, const W*, W*, std::size_t);
+  std::uint64_t (*relax_succ)(W, const W*, W*, VertexId*, VertexId, std::size_t);
+  void (*relax_nocount)(W, const W*, W*, std::size_t);
+};
+
+template <typename W>
+constexpr Kernels<W> kScalarTable{&detail::relax_row_scalar<W>,
+                                  &detail::relax_row_succ_scalar<W>,
+                                  &detail::relax_row_nocount_scalar<W>};
+
+#if PARAPSP_KERNEL_HAVE_AVX2
+constexpr Kernels<float> kSimdTableF32{&relax_f32_avx2, &relax_succ_f32_avx2,
+                                       &relax_nocount_f32_avx2};
+constexpr Kernels<double> kSimdTableF64{&relax_f64_avx2, &relax_succ_f64_avx2,
+                                        &relax_nocount_f64_avx2};
+constexpr Kernels<std::int32_t> kSimdTableI32{&relax_i32_avx2, &relax_succ_i32_avx2,
+                                              &relax_nocount_i32_avx2};
+constexpr Kernels<std::uint32_t> kSimdTableU32{&relax_u32_avx2, &relax_succ_u32_avx2,
+                                               &relax_nocount_u32_avx2};
+#endif
+
+template <typename W>
+[[nodiscard]] const Kernels<W>& simd_table() noexcept {
+#if PARAPSP_KERNEL_HAVE_AVX2
+  if constexpr (std::is_same_v<W, float>) return kSimdTableF32;
+  else if constexpr (std::is_same_v<W, double>) return kSimdTableF64;
+  else if constexpr (std::is_same_v<W, std::int32_t>) return kSimdTableI32;
+  else return kSimdTableU32;
+#else
+  return kScalarTable<W>;
+#endif
+}
+
+/// The table the next kernel call will use. One relaxed load per row pass
+/// (thousands of cells), so the indirection is free.
+template <typename W>
+[[nodiscard]] const Kernels<W>& active_table() noexcept {
+  return active_impl() == Impl::kSimd ? simd_table<W>() : kScalarTable<W>;
+}
+
+[[nodiscard]] Impl resolve_default_impl() noexcept {
+  if (const char* env = std::getenv("PARAPSP_KERNEL"); env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return Impl::kScalar;
+    if (std::strcmp(env, "simd") == 0) {
+      return simd_available() ? Impl::kSimd : Impl::kScalar;
+    }
+    // Unknown value: fall through to auto-detection rather than failing a
+    // run over an observability knob.
+  }
+  return simd_available() ? Impl::kSimd : Impl::kScalar;
+}
+
+std::atomic<Impl>& impl_slot() noexcept {
+  static std::atomic<Impl> slot{resolve_default_impl()};
+  return slot;
+}
+
+}  // namespace
+
+bool simd_available() noexcept {
+#if PARAPSP_KERNEL_HAVE_AVX2
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+Impl active_impl() noexcept {
+  return impl_slot().load(std::memory_order_relaxed);
+}
+
+void set_impl(Impl impl) noexcept {
+  if (impl == Impl::kSimd && !simd_available()) impl = Impl::kScalar;
+  impl_slot().store(impl, std::memory_order_relaxed);
+}
+
+// Dispatched specializations: one indirect call per whole-row pass.
+
+template <>
+std::uint64_t relax_row<float>(float base, const float* src, float* dst,
+                               std::size_t len) {
+  return active_table<float>().relax(base, src, dst, len);
+}
+template <>
+std::uint64_t relax_row<double>(double base, const double* src, double* dst,
+                                std::size_t len) {
+  return active_table<double>().relax(base, src, dst, len);
+}
+template <>
+std::uint64_t relax_row<std::int32_t>(std::int32_t base, const std::int32_t* src,
+                                      std::int32_t* dst, std::size_t len) {
+  return active_table<std::int32_t>().relax(base, src, dst, len);
+}
+template <>
+std::uint64_t relax_row<std::uint32_t>(std::uint32_t base, const std::uint32_t* src,
+                                       std::uint32_t* dst, std::size_t len) {
+  return active_table<std::uint32_t>().relax(base, src, dst, len);
+}
+
+template <>
+std::uint64_t relax_row_succ<float>(float base, const float* src, float* dst,
+                                    VertexId* succ, VertexId hop, std::size_t len) {
+  return active_table<float>().relax_succ(base, src, dst, succ, hop, len);
+}
+template <>
+std::uint64_t relax_row_succ<double>(double base, const double* src, double* dst,
+                                     VertexId* succ, VertexId hop, std::size_t len) {
+  return active_table<double>().relax_succ(base, src, dst, succ, hop, len);
+}
+template <>
+std::uint64_t relax_row_succ<std::int32_t>(std::int32_t base, const std::int32_t* src,
+                                           std::int32_t* dst, VertexId* succ,
+                                           VertexId hop, std::size_t len) {
+  return active_table<std::int32_t>().relax_succ(base, src, dst, succ, hop, len);
+}
+template <>
+std::uint64_t relax_row_succ<std::uint32_t>(std::uint32_t base,
+                                            const std::uint32_t* src,
+                                            std::uint32_t* dst, VertexId* succ,
+                                            VertexId hop, std::size_t len) {
+  return active_table<std::uint32_t>().relax_succ(base, src, dst, succ, hop, len);
+}
+
+template <>
+void relax_row_nocount<float>(float base, const float* src, float* dst,
+                              std::size_t len) {
+  active_table<float>().relax_nocount(base, src, dst, len);
+}
+template <>
+void relax_row_nocount<double>(double base, const double* src, double* dst,
+                               std::size_t len) {
+  active_table<double>().relax_nocount(base, src, dst, len);
+}
+template <>
+void relax_row_nocount<std::int32_t>(std::int32_t base, const std::int32_t* src,
+                                     std::int32_t* dst, std::size_t len) {
+  active_table<std::int32_t>().relax_nocount(base, src, dst, len);
+}
+template <>
+void relax_row_nocount<std::uint32_t>(std::uint32_t base, const std::uint32_t* src,
+                                      std::uint32_t* dst, std::size_t len) {
+  active_table<std::uint32_t>().relax_nocount(base, src, dst, len);
+}
+
+}  // namespace parapsp::kernel

@@ -1,0 +1,207 @@
+// The min-plus row-relaxation kernel family — the hottest loop in the
+// library, factored into one place.
+//
+// Every Peng-style APSP algorithm spends the bulk of its time relaxing a
+// destination row against `base + src[v]` for a full n-length source row:
+// the modified Dijkstra's row-reuse streaming pass, Floyd-Warshall's inner
+// j-loop, and the blocked-FW tile loop are all this one element-wise
+// operation. This header provides three variants:
+//
+//   relax_row          — counts improvements (the reuse pass needs the count
+//                        for KernelStats and Peng's adaptive reuse credit)
+//   relax_row_succ     — also writes the next-hop id on every improvement
+//                        (path-reconstructing solves)
+//   relax_row_nocount  — neither; the Floyd-Warshall inner loop
+//
+// Two implementations sit behind a runtime-dispatched function-pointer
+// table:
+//
+//   scalar — portable branchless loops with #pragma omp simd + restrict, the
+//            reference semantics (and the fallback on non-x86 or pre-AVX2
+//            hardware)
+//   simd   — explicit AVX2 intrinsics for float / double / int32 / uint32
+//            (relax_row.cpp), selected when the CPU supports AVX2
+//
+// Selection: PARAPSP_KERNEL=scalar|simd in the environment pins the choice
+// (for A/B testing — see bench/micro_relax_kernel.cpp); otherwise the best
+// available implementation wins. Both paths are BIT-IDENTICAL by
+// construction: min-plus is element-wise (no reduction across lanes, so no
+// reassociation), comparisons are strict (`cand < dst` keeps the old value
+// on ties, matching the historical scalar code), and integer saturation in
+// the SIMD path reproduces dist_add()'s clamp-to-infinity exactly. The
+// equivalence suite in tests/test_kernel.cpp enforces this on randomized
+// graphs for every weight type.
+//
+// Contract shared by all variants: distances are non-negative or the
+// infinity<W>() sentinel, `src` and `dst` do not alias, and `succ` (when
+// present) does not alias either row.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/types.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PARAPSP_RESTRICT __restrict__
+#else
+#define PARAPSP_RESTRICT
+#endif
+
+namespace parapsp::kernel {
+
+/// The implementations the dispatcher can select.
+enum class Impl : std::uint8_t {
+  kScalar,  ///< portable omp-simd loops (reference semantics)
+  kSimd,    ///< explicit AVX2 intrinsics (x86 with AVX2 only)
+};
+
+[[nodiscard]] constexpr const char* to_string(Impl impl) noexcept {
+  return impl == Impl::kSimd ? "simd" : "scalar";
+}
+
+/// True when the AVX2 path is compiled in and this CPU supports it.
+[[nodiscard]] bool simd_available() noexcept;
+
+/// The currently selected implementation. Resolved once from PARAPSP_KERNEL
+/// (scalar|simd) and CPU capability; overridable via set_impl.
+[[nodiscard]] Impl active_impl() noexcept;
+
+/// Overrides the dispatch choice (benches and the equivalence tests A/B the
+/// two paths with this). Requesting kSimd where simd_available() is false
+/// silently degrades to kScalar. Do not call while kernels are running on
+/// other threads.
+void set_impl(Impl impl) noexcept;
+
+/// RAII implementation override: selects `impl` for the enclosing scope and
+/// restores the previous choice on destruction.
+class ImplScope {
+ public:
+  explicit ImplScope(Impl impl) noexcept : saved_(active_impl()) { set_impl(impl); }
+  ImplScope(const ImplScope&) = delete;
+  ImplScope& operator=(const ImplScope&) = delete;
+  ~ImplScope() { set_impl(saved_); }
+
+ private:
+  Impl saved_;
+};
+
+namespace detail {
+
+/// Scalar reference: dst[i] = min(dst[i], base + src[i]), returning the
+/// number of strict improvements. Branchless select so the compiler can
+/// if-convert and vectorize under `omp simd`; also serves as the tail loop
+/// of the AVX2 specializations (identical per-element semantics).
+template <WeightType W>
+inline std::uint64_t relax_row_scalar(W base, const W* PARAPSP_RESTRICT src,
+                                      W* PARAPSP_RESTRICT dst, std::size_t len) {
+  std::uint64_t improved = 0;
+#pragma omp simd reduction(+ : improved)
+  for (std::size_t i = 0; i < len; ++i) {
+    const W cand = dist_add(base, src[i]);
+    const bool better = cand < dst[i];
+    dst[i] = better ? cand : dst[i];
+    improved += better ? 1u : 0u;
+  }
+  return improved;
+}
+
+/// Scalar reference with successor maintenance: improvements additionally
+/// record `hop` as the next vertex on the path (see paths.hpp).
+template <WeightType W>
+inline std::uint64_t relax_row_succ_scalar(W base, const W* PARAPSP_RESTRICT src,
+                                           W* PARAPSP_RESTRICT dst,
+                                           VertexId* PARAPSP_RESTRICT succ,
+                                           VertexId hop, std::size_t len) {
+  std::uint64_t improved = 0;
+#pragma omp simd reduction(+ : improved)
+  for (std::size_t i = 0; i < len; ++i) {
+    const W cand = dist_add(base, src[i]);
+    const bool better = cand < dst[i];
+    dst[i] = better ? cand : dst[i];
+    succ[i] = better ? hop : succ[i];
+    improved += better ? 1u : 0u;
+  }
+  return improved;
+}
+
+/// Scalar reference without counting — the Floyd-Warshall inner loop.
+template <WeightType W>
+inline void relax_row_nocount_scalar(W base, const W* PARAPSP_RESTRICT src,
+                                     W* PARAPSP_RESTRICT dst, std::size_t len) {
+#pragma omp simd
+  for (std::size_t i = 0; i < len; ++i) {
+    const W cand = dist_add(base, src[i]);
+    dst[i] = cand < dst[i] ? cand : dst[i];
+  }
+}
+
+}  // namespace detail
+
+/// dst[i] = min(dst[i], base + src[i]) over [0, len); returns the number of
+/// entries strictly improved. Generic weights run the scalar reference;
+/// float/double/int32/uint32 dispatch through the runtime-selected table.
+template <WeightType W>
+inline std::uint64_t relax_row(W base, const W* src, W* dst, std::size_t len) {
+  return detail::relax_row_scalar(base, src, dst, len);
+}
+
+/// relax_row + successor maintenance: every improved entry i also gets
+/// succ[i] = hop. `succ` must be sized len.
+template <WeightType W>
+inline std::uint64_t relax_row_succ(W base, const W* src, W* dst, VertexId* succ,
+                                    VertexId hop, std::size_t len) {
+  return detail::relax_row_succ_scalar(base, src, dst, succ, hop, len);
+}
+
+/// relax_row without the improvement count (cheapest variant).
+template <WeightType W>
+inline void relax_row_nocount(W base, const W* src, W* dst, std::size_t len) {
+  detail::relax_row_nocount_scalar(base, src, dst, len);
+}
+
+// Runtime-dispatched specializations (relax_row.cpp): scalar or AVX2 via the
+// active function-pointer table.
+template <>
+std::uint64_t relax_row<float>(float base, const float* src, float* dst,
+                               std::size_t len);
+template <>
+std::uint64_t relax_row<double>(double base, const double* src, double* dst,
+                                std::size_t len);
+template <>
+std::uint64_t relax_row<std::int32_t>(std::int32_t base, const std::int32_t* src,
+                                      std::int32_t* dst, std::size_t len);
+template <>
+std::uint64_t relax_row<std::uint32_t>(std::uint32_t base, const std::uint32_t* src,
+                                       std::uint32_t* dst, std::size_t len);
+
+template <>
+std::uint64_t relax_row_succ<float>(float base, const float* src, float* dst,
+                                    VertexId* succ, VertexId hop, std::size_t len);
+template <>
+std::uint64_t relax_row_succ<double>(double base, const double* src, double* dst,
+                                     VertexId* succ, VertexId hop, std::size_t len);
+template <>
+std::uint64_t relax_row_succ<std::int32_t>(std::int32_t base, const std::int32_t* src,
+                                           std::int32_t* dst, VertexId* succ,
+                                           VertexId hop, std::size_t len);
+template <>
+std::uint64_t relax_row_succ<std::uint32_t>(std::uint32_t base,
+                                            const std::uint32_t* src,
+                                            std::uint32_t* dst, VertexId* succ,
+                                            VertexId hop, std::size_t len);
+
+template <>
+void relax_row_nocount<float>(float base, const float* src, float* dst,
+                              std::size_t len);
+template <>
+void relax_row_nocount<double>(double base, const double* src, double* dst,
+                               std::size_t len);
+template <>
+void relax_row_nocount<std::int32_t>(std::int32_t base, const std::int32_t* src,
+                                     std::int32_t* dst, std::size_t len);
+template <>
+void relax_row_nocount<std::uint32_t>(std::uint32_t base, const std::uint32_t* src,
+                                      std::uint32_t* dst, std::size_t len);
+
+}  // namespace parapsp::kernel

@@ -49,10 +49,11 @@ enum class Counter : std::uint8_t {
   kQueuePops,             ///< SPFA queue dequeues (kernel iterations)
   kRowReuses,             ///< dequeues answered by a completed row (pruned expansions)
   kRowReuseImprovements,  ///< distance entries improved through a reused row
+  kRowCellsScanned,       ///< matrix cells streamed by the min-plus row kernel
   kSourcesCompleted,      ///< source rows finished and published
   kBucketInsertions,      ///< vertex insertions into ordering-procedure buckets
 };
-inline constexpr std::size_t kNumCounters = 7;
+inline constexpr std::size_t kNumCounters = 8;
 
 [[nodiscard]] constexpr const char* to_string(Counter c) noexcept {
   switch (c) {
@@ -61,6 +62,7 @@ inline constexpr std::size_t kNumCounters = 7;
     case Counter::kQueuePops: return "queue_pops";
     case Counter::kRowReuses: return "row_reuses";
     case Counter::kRowReuseImprovements: return "row_reuse_improvements";
+    case Counter::kRowCellsScanned: return "row_cells_scanned";
     case Counter::kSourcesCompleted: return "sources_completed";
     case Counter::kBucketInsertions: return "bucket_insertions";
   }
@@ -71,8 +73,8 @@ inline constexpr std::size_t kNumCounters = 7;
 [[nodiscard]] constexpr std::array<Counter, kNumCounters> all_counters() noexcept {
   return {Counter::kEdgeRelaxations,      Counter::kQueuePushes,
           Counter::kQueuePops,            Counter::kRowReuses,
-          Counter::kRowReuseImprovements, Counter::kSourcesCompleted,
-          Counter::kBucketInsertions};
+          Counter::kRowReuseImprovements, Counter::kRowCellsScanned,
+          Counter::kSourcesCompleted,     Counter::kBucketInsertions};
 }
 
 /// One value per catalog entry, indexed by static_cast<size_t>(Counter).

@@ -11,6 +11,7 @@
 #pragma once
 
 // Utilities
+#include "util/aligned_buffer.hpp"
 #include "util/cli.hpp"
 #include "util/exec_control.hpp"
 #include "util/expected.hpp"
@@ -23,6 +24,9 @@
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
+
+// Relaxation kernels: vectorized min-plus row operations (docs/PERFORMANCE.md)
+#include "kernel/relax_row.hpp"
 
 // Observability: sharded counters, span tracing, per-run reports
 #include "obs/metrics.hpp"

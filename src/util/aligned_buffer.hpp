@@ -1,0 +1,95 @@
+// Cache-line-aligned flat storage for the hot numeric arrays.
+//
+// The dense distance matrix is the library's dominant memory consumer and
+// the min-plus relaxation kernels stream it with vector loads, so its
+// backing store must start on a 64-byte boundary (one cache line, and wide
+// enough for any SSE/AVX/AVX-512 register). std::vector cannot guarantee
+// that, and it also value-initializes every element on construction from a
+// single thread — which would first-touch every page on one NUMA node.
+// AlignedBuffer allocates aligned *uninitialized* memory; the owner decides
+// who touches which pages first (DistanceMatrix fills per-row from a
+// parallel loop, see distance_matrix.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace parapsp::util {
+
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>,
+                "AlignedBuffer holds raw uninitialized storage; element types "
+                "must be trivial (arithmetic weights, vertex ids)");
+
+ public:
+  /// One cache line; also covers the widest vector register in use (AVX2
+  /// needs 32, AVX-512 would need 64 — aligning to the line costs nothing).
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+
+  /// Allocates `count` elements, UNINITIALIZED — the caller must write every
+  /// element it will read (the point: initialization is where first-touch
+  /// page placement happens, and it belongs to the owner's parallel loop).
+  explicit AlignedBuffer(std::size_t count) : size_(count) {
+    if (count != 0) {
+      data_ = static_cast<T*>(
+          ::operator new(count * sizeof(T), std::align_val_t{kAlignment}));
+    }
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
+    if (size_ != 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) *this = AlignedBuffer(other);  // strong guarantee
+    return *this;
+  }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void release() noexcept {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kAlignment});
+      data_ = nullptr;
+    }
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace parapsp::util

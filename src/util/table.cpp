@@ -21,7 +21,7 @@ void Table::add_row(std::vector<std::string> row) {
 
 std::vector<std::string> Table::metrics_header() {
   return {"run",          "relaxations", "pushes",  "pops",
-          "reuses",       "reuse_improved", "sources", "bucket_ins",
+          "reuses",       "reuse_improved", "row_cells", "sources", "bucket_ins",
           "ordering_s",   "sweep_s"};
 }
 
@@ -31,6 +31,7 @@ void Table::add_metrics_row(const std::string& label, const obs::Report& report)
       report.total(Counter::kQueuePushes), report.total(Counter::kQueuePops),
       report.total(Counter::kRowReuses),
       report.total(Counter::kRowReuseImprovements),
+      report.total(Counter::kRowCellsScanned),
       report.total(Counter::kSourcesCompleted),
       report.total(Counter::kBucketInsertions),
       fixed(report.phase_seconds("ordering")),

@@ -88,7 +88,7 @@ TEST_P(Fuzz, RandomOtherAlgorithmAgrees) {
   const auto got = core::solve(g, opts).distances;
   const auto want = apsp::par_apsp(g).distances;
   VertexId u = 0, v = 0;
-  const bool differs = got.first_difference(want, u, v);
+  const bool differs = got.first_difference(want, u, v).value();
   EXPECT_FALSE(differs) << g.summary() << " algo=" << core::to_string(opts.algorithm)
                         << " differs at (" << u << "," << v << ")";
 }

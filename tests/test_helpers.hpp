@@ -64,7 +64,7 @@ void expect_same_distances(const apsp::DistanceMatrix<W>& got,
                            const std::string& label) {
   ASSERT_EQ(got.size(), want.size()) << label;
   VertexId u = 0, v = 0;
-  const bool differs = got.first_difference(want, u, v);
+  const bool differs = got.first_difference(want, u, v).value();
   EXPECT_FALSE(differs) << label << ": differs at (" << u << "," << v << "): got "
                         << got.at(u, v) << ", want " << want.at(u, v);
 }

@@ -24,7 +24,7 @@ TEST(Smoke, AllAlgorithmsMatchFloydWarshall) {
     opts.algorithm = algo;
     const auto result = core::solve(g, opts);
     VertexId u = 0, v = 0;
-    const bool differs = result.distances.first_difference(reference, u, v);
+    const bool differs = result.distances.first_difference(reference, u, v).value();
     EXPECT_FALSE(differs) << core::to_string(algo) << " differs at (" << u << "," << v
                           << "): got " << result.distances.at(u, v) << ", want "
                           << reference.at(u, v);
