@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "obs/metrics.hpp"
+#include "util/exec_control.hpp"
 #include "util/types.hpp"
 
 namespace parapsp::analysis {
@@ -117,9 +119,16 @@ void brandes_source(const graph::Graph<W>& g, VertexId s, bool unit_weights,
 ///
 /// Undirected graphs count each unordered pair once (the two-directions
 /// double count is divided out); pass normalize=true for scores in [0, 1].
+///
+/// `control` (optional) is checked once per source, the same cadence as the
+/// main sweeps: on cancel or deadline expiry the remaining sources are
+/// skipped, leaving partial (under-counted) scores — callers that pass a
+/// control must consult control->check() before trusting the result.
+/// Completed-source counts flush into an open obs collection window.
 template <WeightType W>
-[[nodiscard]] std::vector<double> betweenness_centrality(const graph::Graph<W>& g,
-                                                         bool normalize = false) {
+[[nodiscard]] std::vector<double> betweenness_centrality(
+    const graph::Graph<W>& g, bool normalize = false,
+    const util::ExecutionControl* control = nullptr) {
   const VertexId n = g.num_vertices();
   std::vector<double> score(n, 0.0);
   bool unit = true;
@@ -135,12 +144,20 @@ template <WeightType W>
 #pragma omp parallel
   {
     std::vector<double> local(n, 0.0);
+    std::uint64_t sources_done = 0;
 #pragma omp for schedule(dynamic, 16) nowait
     for (std::int64_t s = 0; s < static_cast<std::int64_t>(n); ++s) {
+      // Cooperative stop: OpenMP loops cannot break, so remaining
+      // iterations fall through as no-ops.
+      if (control != nullptr && control->should_stop()) continue;
       detail::brandes_source(g, static_cast<VertexId>(s), unit, local);
+      ++sources_done;
+      if (control != nullptr) control->add_progress();
     }
 #pragma omp critical(parapsp_betweenness_reduce)
     for (VertexId v = 0; v < n; ++v) score[v] += local[v];
+    // Per-thread flush point (the obs cost model: never count per edge).
+    obs::count(obs::Counter::kSourcesCompleted, sources_done);
   }
 
   if (!g.is_directed()) {

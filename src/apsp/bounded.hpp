@@ -10,14 +10,24 @@
 
 #include "apsp/distance_matrix.hpp"
 #include "graph/csr_graph.hpp"
+#include "obs/metrics.hpp"
+#include "util/exec_control.hpp"
 #include "util/types.hpp"
 
 namespace parapsp::apsp {
 
 /// Bounded APSP: D[s,v] = d(s,v) when d(s,v) <= limit, infinity otherwise.
 /// Dijkstra per source pruned at the bound; parallel over sources.
+///
+/// `control` (optional) is checked once per source row, the same cadence as
+/// the main sweeps: on cancel or deadline expiry the remaining rows are left
+/// all-infinity and the matrix returns early. Callers that pass a control
+/// must consult control->check() before treating every row as computed.
+/// Relaxation and completed-source counters flush into an open obs
+/// collection window once per thread.
 template <WeightType W>
-[[nodiscard]] DistanceMatrix<W> bounded_apsp(const graph::Graph<W>& g, W limit) {
+[[nodiscard]] DistanceMatrix<W> bounded_apsp(const graph::Graph<W>& g, W limit,
+                                             const util::ExecutionControl* control = nullptr) {
   const VertexId n = g.num_vertices();
   DistanceMatrix<W> D(n);
 
@@ -25,8 +35,13 @@ template <WeightType W>
   {
     using Entry = std::pair<W, VertexId>;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-#pragma omp for schedule(dynamic, 16)
+    std::uint64_t relaxations = 0;
+    std::uint64_t sources_done = 0;
+#pragma omp for schedule(dynamic, 16) nowait
     for (std::int64_t si = 0; si < static_cast<std::int64_t>(n); ++si) {
+      // Cooperative stop: OpenMP loops cannot break, so remaining
+      // iterations fall through as no-ops (their rows stay all-infinity).
+      if (control != nullptr && control->should_stop()) continue;
       const auto s = static_cast<VertexId>(si);
       auto row = D.row(s);
       row[s] = W{0};
@@ -38,6 +53,7 @@ template <WeightType W>
         const auto nb = g.neighbors(u);
         const auto ws = g.weights(u);
         for (std::size_t i = 0; i < nb.size(); ++i) {
+          ++relaxations;
           const W cand = dist_add(d, ws[i]);
           if (cand <= limit && cand < row[nb[i]]) {
             row[nb[i]] = cand;
@@ -45,7 +61,12 @@ template <WeightType W>
           }
         }
       }
+      ++sources_done;
+      if (control != nullptr) control->add_progress();
     }
+    // Per-thread flush point (the obs cost model: never count per edge).
+    obs::count(obs::Counter::kEdgeRelaxations, relaxations);
+    obs::count(obs::Counter::kSourcesCompleted, sources_done);
   }
   return D;
 }

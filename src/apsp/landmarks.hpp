@@ -52,7 +52,17 @@ class LandmarkIndex {
 
     switch (policy) {
       case LandmarkPolicy::kTopDegree: {
-        const auto order = order::counting_order(g.degrees());
+        // Rank by total (in + out) degree. On directed graphs the out-degree
+        // alone picks "broadcaster" vertices that many paths leave but few
+        // reach, which is useless for the to-landmark side of the triangle
+        // bound; a hub must be easy to reach *and* to leave. (Undirected
+        // graphs store each edge in both adjacency lists, so there
+        // g.degrees() already is the total degree.)
+        auto degrees = g.degrees();
+        if (g.is_directed()) {
+          for (const VertexId t : g.targets()) degrees[t] += 1;
+        }
+        const auto order = order::counting_order(degrees);
         landmarks_.assign(order.begin(), order.begin() + k);
         break;
       }

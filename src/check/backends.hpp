@@ -1,0 +1,194 @@
+// Backend catalog for the differential oracle — the registration point where
+// every solver in the library becomes oracle-comparable:
+//
+//   apsp_backends()      every core::Algorithm through the solver facade
+//   ordering_backends()  the ParAPSP sweep over every order/ procedure
+//   sssp_backends()      every sssp/ substrate lifted to a per-source matrix
+//
+// All of them must produce the same distances on the same graph; the fuzz
+// driver (fuzz.hpp, tools/apsp_check) diffs each against the trusted
+// repeated-Dijkstra reference. A backend with preconditions declares them
+// through Backend::applicable instead of silently misbehaving (Dial needs
+// integral weights of modest range, BFS needs unit weights).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "apsp/repeated_dijkstra.hpp"
+#include "check/oracle.hpp"
+#include "core/solver.hpp"
+#include "graph/csr_graph.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/bfs.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/dial.hpp"
+#include "sssp/dijkstra.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::check {
+
+/// Lifts a per-source SSSP routine `(g, source) -> vector<W>` to the dense
+/// matrix the oracle compares.
+template <WeightType W, typename Fn>
+[[nodiscard]] apsp::DistanceMatrix<W> matrix_from_sssp(const graph::Graph<W>& g,
+                                                       Fn&& sssp) {
+  const VertexId n = g.num_vertices();
+  apsp::DistanceMatrix<W> D(n);
+  for (VertexId s = 0; s < n; ++s) {
+    const auto dist = sssp(g, s);
+    auto row = D.row(s);
+    std::copy(dist.begin(), dist.end(), row.begin());
+  }
+  return D;
+}
+
+/// The trusted reference: one independent heap Dijkstra per source. Every
+/// other backend is diffed against this one.
+template <WeightType W>
+[[nodiscard]] Backend<W> reference_backend() {
+  return {"apsp:repeated-dijkstra-ref",
+          [](const graph::Graph<W>& g) { return apsp::repeated_dijkstra(g); },
+          nullptr};
+}
+
+/// Every core::Algorithm, run through the solver facade (kCustom is covered
+/// per ordering by ordering_backends()).
+template <WeightType W>
+[[nodiscard]] std::vector<Backend<W>> apsp_backends() {
+  using core::Algorithm;
+  constexpr Algorithm algorithms[] = {
+      Algorithm::kFloydWarshall,  Algorithm::kFloydWarshallBlocked,
+      Algorithm::kRepeatedDijkstra, Algorithm::kRepeatedDijkstraPar,
+      Algorithm::kPengBasic,      Algorithm::kPengOptimized,
+      Algorithm::kPengAdaptive,   Algorithm::kParAlg1,
+      Algorithm::kParAlg2,        Algorithm::kParApsp,
+  };
+  std::vector<Backend<W>> out;
+  out.reserve(std::size(algorithms));
+  for (const Algorithm a : algorithms) {
+    out.push_back({std::string("apsp:") + core::to_string(a),
+                   [a](const graph::Graph<W>& g) {
+                     core::SolverOptions opts;
+                     opts.algorithm = a;
+                     return core::solve(g, opts).distances;
+                   },
+                   nullptr});
+  }
+  return out;
+}
+
+/// The ParAPSP sweep under every ordering procedure. Orderings only permute
+/// the source visiting sequence, so all of them — including the approximate
+/// ParBuckets — must still yield the exact matrix.
+template <WeightType W>
+[[nodiscard]] std::vector<Backend<W>> ordering_backends() {
+  using order::OrderingKind;
+  constexpr OrderingKind kinds[] = {
+      OrderingKind::kIdentity,   OrderingKind::kSelection, OrderingKind::kStdSort,
+      OrderingKind::kCounting,   OrderingKind::kParBuckets, OrderingKind::kParMax,
+      OrderingKind::kMultiLists,
+  };
+  std::vector<Backend<W>> out;
+  out.reserve(std::size(kinds));
+  for (const OrderingKind k : kinds) {
+    out.push_back({std::string("order:") + order::to_string(k),
+                   [k](const graph::Graph<W>& g) {
+                     core::SolverOptions opts;
+                     opts.algorithm = core::Algorithm::kCustom;
+                     opts.ordering = k;
+                     return core::solve(g, opts).distances;
+                   },
+                   nullptr});
+  }
+  return out;
+}
+
+/// Every SSSP substrate, lifted per source. Preconditioned backends carry an
+/// `applicable` gate instead of failing mid-fuzz.
+template <WeightType W>
+[[nodiscard]] std::vector<Backend<W>> sssp_backends() {
+  std::vector<Backend<W>> out;
+  out.push_back({"sssp:dijkstra",
+                 [](const graph::Graph<W>& g) {
+                   return matrix_from_sssp(g, [](const auto& gr, VertexId s) {
+                     return sssp::dijkstra(gr, s);
+                   });
+                 },
+                 nullptr});
+  out.push_back({"sssp:bellman-ford",
+                 [](const graph::Graph<W>& g) {
+                   return matrix_from_sssp(g, [](const auto& gr, VertexId s) {
+                     return sssp::bellman_ford(gr, s);
+                   });
+                 },
+                 nullptr});
+  out.push_back({"sssp:spfa",
+                 [](const graph::Graph<W>& g) {
+                   return matrix_from_sssp(g, [](const auto& gr, VertexId s) {
+                     return sssp::spfa(gr, s);
+                   });
+                 },
+                 nullptr});
+  out.push_back({"sssp:delta-stepping",
+                 [](const graph::Graph<W>& g) {
+                   return matrix_from_sssp(g, [](const auto& gr, VertexId s) {
+                     return sssp::delta_stepping(gr, s);
+                   });
+                 },
+                 nullptr});
+  if constexpr (std::is_integral_v<W>) {
+    // Dial's bucket count is max_weight + 1 and its runtime carries the
+    // largest finite distance, so gate on a modest weight range.
+    out.push_back({"sssp:dial",
+                   [](const graph::Graph<W>& g) {
+                     return matrix_from_sssp(g, [](const auto& gr, VertexId s) {
+                       return sssp::dial(gr, s);
+                     });
+                   },
+                   [](const graph::Graph<W>& g) {
+                     W maxw{0};
+                     for (const W w : g.edge_weights()) maxw = std::max(maxw, w);
+                     return maxw <= W{4096};
+                   }});
+  }
+  // BFS hop counts equal weighted distances exactly when every edge weight
+  // is one.
+  out.push_back({"sssp:bfs-hops",
+                 [](const graph::Graph<W>& g) {
+                   return matrix_from_sssp(g, [](const auto& gr, VertexId s) {
+                     const auto hops = sssp::bfs_hops(gr, s);
+                     std::vector<W> dist(hops.size(), infinity<W>());
+                     for (std::size_t v = 0; v < hops.size(); ++v) {
+                       if (hops[v] != kInvalidVertex) dist[v] = static_cast<W>(hops[v]);
+                     }
+                     return dist;
+                   });
+                 },
+                 [](const graph::Graph<W>& g) {
+                   const auto& ws = g.edge_weights();
+                   return std::all_of(ws.begin(), ws.end(),
+                                      [](W w) { return w == W{1}; });
+                 }});
+  return out;
+}
+
+/// The full catalog: every backend the library claims computes exact APSP.
+template <WeightType W>
+[[nodiscard]] std::vector<Backend<W>> all_backends() {
+  auto out = apsp_backends<W>();
+  for (auto& b : ordering_backends<W>()) out.push_back(std::move(b));
+  for (auto& b : sssp_backends<W>()) out.push_back(std::move(b));
+  return out;
+}
+
+/// Looks a backend up by its catalog name (empty optional if unknown).
+template <WeightType W>
+[[nodiscard]] std::optional<Backend<W>> find_backend(const std::string& name) {
+  for (auto& b : all_backends<W>()) {
+    if (b.name == name) return std::move(b);
+  }
+  return std::nullopt;
+}
+
+}  // namespace parapsp::check

@@ -1,0 +1,219 @@
+// Seeded differential fuzz driver — generator sweep for the oracle.
+//
+// Each round deterministically builds a graph (family × directedness × one
+// of the four weight types), runs the trusted repeated-Dijkstra reference,
+// and diffs every applicable backend in the catalog against it; the
+// reference matrix additionally passes the invariant catalog. Every graph is
+// a pure function of (family, n, param, directedness, unit-weights, seed),
+// so a reported divergence carries a one-line replay command
+// (tools/apsp_check accepts exactly these flags). Weights are integer-valued
+// (1..20) in *all* weight types, keeping floating-point arithmetic exact so
+// backends stay bit-comparable even for f32/f64.
+//
+// The driver starts by testing the tester: mutation_self_test plants a
+// single-entry corruption and requires the oracle to pinpoint it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/backends.hpp"
+#include "check/invariants.hpp"
+#include "check/oracle.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::check {
+
+/// Graph families the fuzzer samples (the generators tests rely on).
+enum class FuzzFamily : std::uint8_t { kER, kBA, kWS, kRMAT };
+
+[[nodiscard]] constexpr const char* to_string(FuzzFamily f) noexcept {
+  switch (f) {
+    case FuzzFamily::kER: return "er";
+    case FuzzFamily::kBA: return "ba";
+    case FuzzFamily::kWS: return "ws";
+    case FuzzFamily::kRMAT: return "rmat";
+  }
+  return "?";
+}
+
+/// One deterministic graph configuration; the replay unit.
+struct FuzzGraphSpec {
+  FuzzFamily family = FuzzFamily::kER;
+  VertexId n = 96;
+  std::uint64_t param = 4;  ///< edges (ER/RMAT), m per vertex (BA), k (WS)
+  bool directed = false;
+  bool unit_weights = false;  ///< all-ones weights (enables the BFS backend)
+  std::uint64_t seed = 1;
+
+  /// The tools/apsp_check flags that rebuild exactly this graph.
+  [[nodiscard]] std::string replay_flags(const char* weight_name) const {
+    std::string out = std::string("--family ") + to_string(family) +
+                      " --weight " + weight_name + " --n " + std::to_string(n) +
+                      " --param " + std::to_string(param) + " --seed " +
+                      std::to_string(seed);
+    if (directed) out += " --directed";
+    if (unit_weights) out += " --unit-weights";
+    return out;
+  }
+};
+
+/// Rebuilds a graph of weight type W from a spec. Structure is generated in
+/// u32 and re-weighted with integers 1..20 (or all ones), then the weights
+/// are cast — exact for every supported weight type, so all four types see
+/// the *same* graph for a given (family, seed).
+template <WeightType W>
+[[nodiscard]] graph::Graph<W> build_fuzz_graph(const FuzzGraphSpec& spec) {
+  using graph::Directedness;
+  const auto dir = spec.directed ? Directedness::kDirected : Directedness::kUndirected;
+  graph::Graph<std::uint32_t> g;
+  switch (spec.family) {
+    case FuzzFamily::kER:
+      g = graph::erdos_renyi_gnm<std::uint32_t>(spec.n, spec.param, spec.seed, dir);
+      break;
+    case FuzzFamily::kBA:
+      g = graph::barabasi_albert<std::uint32_t>(
+          spec.n, static_cast<VertexId>(spec.param), spec.seed, dir);
+      break;
+    case FuzzFamily::kWS:
+      g = graph::watts_strogatz<std::uint32_t>(
+          spec.n, static_cast<VertexId>(spec.param), 0.2, spec.seed);
+      break;
+    case FuzzFamily::kRMAT: {
+      VertexId scale = 1;
+      while ((VertexId{1} << scale) < spec.n) ++scale;
+      g = graph::rmat<std::uint32_t>(scale, spec.param, spec.seed, dir);
+      break;
+    }
+  }
+  if (!spec.unit_weights) {
+    g = graph::randomize_weights<std::uint32_t>(g, 1, 20, spec.seed ^ 0x9e3779b97f4a7c15ULL);
+  }
+  std::vector<W> weights(g.edge_weights().begin(), g.edge_weights().end());
+  graph::Graph<W> out(g.directedness(), g.num_vertices(), g.offsets(), g.targets(),
+                      std::move(weights));
+  out.set_num_self_loops(g.num_self_loops());
+  return out;
+}
+
+struct FuzzConfig {
+  VertexId n = 96;             ///< vertex count per graph
+  std::uint64_t rounds = 2;    ///< seeds per (family × directedness) spec
+  std::uint64_t base_seed = 1;
+  std::size_t max_failures = 4;  ///< stop a weight type after this many
+  std::size_t triangle_samples = 256;
+  bool run_self_test = true;   ///< mutation self-test before fuzzing
+};
+
+/// A quick configuration for CI gates (small graphs, one seed each).
+[[nodiscard]] inline FuzzConfig smoke_config() {
+  FuzzConfig cfg;
+  cfg.n = 48;
+  cfg.rounds = 1;
+  return cfg;
+}
+
+struct FuzzOutcome {
+  std::uint64_t graphs = 0;       ///< graphs generated and referenced
+  std::uint64_t comparisons = 0;  ///< backend-vs-reference diffs run
+  std::vector<std::string> failures;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// The family × directedness × weighting specs one round covers. Sized by
+/// `n`; the WS/BA params keep the graphs connected but sparse.
+[[nodiscard]] inline std::vector<FuzzGraphSpec> fuzz_specs(VertexId n) {
+  const std::uint64_t er_edges = static_cast<std::uint64_t>(n) * 3;
+  return {
+      {FuzzFamily::kER, n, er_edges, /*directed=*/false, /*unit=*/false, 0},
+      {FuzzFamily::kER, n, er_edges, /*directed=*/true, /*unit=*/false, 0},
+      {FuzzFamily::kER, n, er_edges / 4, /*directed=*/false, /*unit=*/true, 0},
+      {FuzzFamily::kBA, n, 3, /*directed=*/false, /*unit=*/false, 0},
+      {FuzzFamily::kBA, n, 2, /*directed=*/false, /*unit=*/true, 0},
+      {FuzzFamily::kWS, n, 3, /*directed=*/false, /*unit=*/false, 0},
+      {FuzzFamily::kRMAT, n, static_cast<std::uint64_t>(n) * 4, /*directed=*/true,
+       /*unit=*/false, 0},
+      {FuzzFamily::kRMAT, n, static_cast<std::uint64_t>(n) * 3, /*directed=*/false,
+       /*unit=*/false, 0},
+  };
+}
+
+/// Fuzzes one weight type: every spec × round × backend vs the reference,
+/// plus invariants on the reference matrix and the mutation self-test.
+template <WeightType W>
+void fuzz_weight_type(const FuzzConfig& cfg, const char* weight_name,
+                      FuzzOutcome& outcome) {
+  const auto reference = reference_backend<W>();
+  const auto backends = all_backends<W>();
+
+  if (cfg.run_self_test) {
+    FuzzGraphSpec self_spec{FuzzFamily::kBA, cfg.n, 3, false, false, cfg.base_seed};
+    const auto g = build_fuzz_graph<W>(self_spec);
+    const auto st = mutation_self_test(g, reference, cfg.base_seed);
+    if (!st.is_ok()) {
+      outcome.failures.push_back(std::string("[") + weight_name +
+                                 "] mutation self-test FAILED: " + st.message());
+      return;  // the oracle itself is broken; fuzzing would prove nothing
+    }
+  }
+
+  auto specs = fuzz_specs(cfg.n);
+  for (std::uint64_t round = 0; round < cfg.rounds; ++round) {
+    for (std::size_t si = 0; si < specs.size(); ++si) {
+      if (outcome.failures.size() >= cfg.max_failures) return;
+      FuzzGraphSpec spec = specs[si];
+      spec.seed = cfg.base_seed + round * 1000 + si * 37 + 1;
+      const auto g = build_fuzz_graph<W>(spec);
+      const auto D_ref = reference.run(g);
+      ++outcome.graphs;
+
+      InvariantOptions iopts;
+      iopts.triangle_samples = cfg.triangle_samples;
+      iopts.seed = spec.seed;
+      const auto inv = check_invariants(g, D_ref, iopts);
+      if (!inv.ok()) {
+        outcome.failures.push_back(std::string("[") + weight_name +
+                                   "] reference invariants: " + inv.to_string() +
+                                   " replay: " + spec.replay_flags(weight_name));
+      }
+
+      for (const auto& backend : backends) {
+        if (!backend.is_applicable(g)) continue;
+        Provenance prov;
+        prov.backend_a = reference.name;
+        prov.backend_b = backend.name;
+        prov.graph_fp = apsp::graph_fingerprint(g);
+        prov.seed = spec.seed;
+        prov.graph_desc = spec.replay_flags(weight_name);
+        const auto D = backend.run(g);
+        auto diff = diff_matrices(D_ref, D, prov);
+        ++outcome.comparisons;
+        if (!diff) {
+          outcome.failures.push_back(std::string("[") + weight_name +
+                                     "] oracle error: " + diff.status().message());
+          continue;
+        }
+        if (diff->has_value()) {
+          outcome.failures.push_back(std::string("[") + weight_name + "] " +
+                                     (**diff).to_string());
+          if (outcome.failures.size() >= cfg.max_failures) return;
+        }
+      }
+    }
+  }
+}
+
+/// The full driver: all four weight types. Deterministic in cfg.base_seed.
+[[nodiscard]] inline FuzzOutcome run_fuzz(const FuzzConfig& cfg) {
+  FuzzOutcome outcome;
+  fuzz_weight_type<std::uint32_t>(cfg, "u32", outcome);
+  fuzz_weight_type<std::int32_t>(cfg, "i32", outcome);
+  fuzz_weight_type<float>(cfg, "f32", outcome);
+  fuzz_weight_type<double>(cfg, "f64", outcome);
+  return outcome;
+}
+
+}  // namespace parapsp::check

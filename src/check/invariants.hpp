@@ -1,0 +1,209 @@
+// Invariant catalog over a DistanceMatrix — structural laws every exact
+// shortest-path matrix must satisfy, checkable without recomputing anything:
+//
+//   1. zero diagonal:        D[v,v] == 0
+//   2. symmetry:             D[u,v] == D[v,u] on undirected graphs
+//   3. triangle inequality:  D[i,k] <= D[i,j] + D[j,k]  (spot-sampled triples)
+//   4. landmark sandwich:    lower(u,v) <= D[u,v] <= upper(u,v) for a
+//                            LandmarkIndex built on the same graph
+//   5. monotone refinement:  apply_insertion never lengthens any entry
+//
+// These complement the differential oracle (oracle.hpp): the oracle needs a
+// second backend, the invariants need only the matrix, so they also guard
+// deserialized / checkpoint-restored / dynamically-updated matrices where no
+// second computation exists.
+//
+// Floating-point note: exact distances are folds of edge weights in path
+// order, while the triangle/sandwich right-hand sides re-associate those
+// sums, so a violation within a few ulps is rounding, not a bug. Floating
+// checks use a relative tolerance; integral checks are exact.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "apsp/distance_matrix.hpp"
+#include "apsp/landmarks.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::check {
+
+/// Findings from an invariant pass; empty == all invariants hold.
+struct InvariantReport {
+  std::vector<std::string> problems;
+
+  [[nodiscard]] bool ok() const noexcept { return problems.empty(); }
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "ok";
+    std::string out;
+    for (const auto& p : problems) {
+      out += p;
+      out += "; ";
+    }
+    return out;
+  }
+};
+
+struct InvariantOptions {
+  std::size_t triangle_samples = 512;  ///< random (i,j,k) triples to test
+  std::uint64_t seed = 1;              ///< sampling seed (reports replay it)
+  std::size_t max_problems = 8;        ///< stop after this many findings
+};
+
+namespace detail {
+
+/// `lhs <= rhs` up to rounding: exact for integral W, a small relative
+/// tolerance for floating W (see the header comment).
+template <WeightType W>
+[[nodiscard]] bool le_tolerant(W lhs, W rhs) {
+  if constexpr (std::is_floating_point_v<W>) {
+    if (lhs <= rhs) return true;
+    if (is_infinite(rhs)) return true;
+    const W scale = std::max(std::abs(lhs), std::abs(rhs));
+    return lhs - rhs <= scale * W(8) * std::numeric_limits<W>::epsilon();
+  } else {
+    return lhs <= rhs;
+  }
+}
+
+inline void complain(InvariantReport& report, std::size_t max_problems,
+                     std::string msg) {
+  if (report.problems.size() < max_problems) report.problems.push_back(std::move(msg));
+}
+
+}  // namespace detail
+
+/// Invariant 1: the diagonal is zero.
+template <WeightType W>
+void check_zero_diagonal(const apsp::DistanceMatrix<W>& D, InvariantReport& report,
+                         std::size_t max_problems = 8) {
+  for (VertexId v = 0; v < D.size(); ++v) {
+    if (D.at(v, v) != W{0}) {
+      detail::complain(report, max_problems,
+                       "diagonal not zero at vertex " + std::to_string(v));
+      return;
+    }
+  }
+}
+
+/// Invariant 2: symmetry on undirected graphs (no-op for directed).
+template <WeightType W>
+void check_symmetry(const graph::Graph<W>& g, const apsp::DistanceMatrix<W>& D,
+                    InvariantReport& report, std::size_t max_problems = 8) {
+  if (g.is_directed()) return;
+  for (VertexId u = 0; u < D.size(); ++u) {
+    for (VertexId v = u + 1; v < D.size(); ++v) {
+      if (D.at(u, v) != D.at(v, u)) {
+        detail::complain(report, max_problems,
+                         "asymmetric entries at (" + std::to_string(u) + "," +
+                             std::to_string(v) + ") on an undirected graph");
+        return;
+      }
+    }
+  }
+}
+
+/// Invariant 3: triangle inequality D[i,k] <= D[i,j] + D[j,k] on
+/// `samples` seeded random triples (O(n^3) exhaustively — sampling keeps the
+/// check usable inside fuzz loops and CI).
+template <WeightType W>
+void check_triangle_sampled(const apsp::DistanceMatrix<W>& D, InvariantReport& report,
+                            std::size_t samples = 512, std::uint64_t seed = 1,
+                            std::size_t max_problems = 8) {
+  const VertexId n = D.size();
+  if (n == 0) return;
+  util::Xoshiro256 rng(seed);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto i = static_cast<VertexId>(rng.bounded(n));
+    const auto j = static_cast<VertexId>(rng.bounded(n));
+    const auto k = static_cast<VertexId>(rng.bounded(n));
+    const W via = dist_add(D.at(i, j), D.at(j, k));
+    if (!detail::le_tolerant(D.at(i, k), via)) {
+      detail::complain(report, max_problems,
+                       "triangle inequality violated: D(" + std::to_string(i) + "," +
+                           std::to_string(k) + ") > D(" + std::to_string(i) + "," +
+                           std::to_string(j) + ") + D(" + std::to_string(j) + "," +
+                           std::to_string(k) + ")");
+      if (report.problems.size() >= max_problems) return;
+    }
+  }
+}
+
+/// Invariant 4: a LandmarkIndex built on the same graph sandwiches every
+/// exact entry: lower_bound <= D[u,v] <= upper_bound (spot-sampled pairs).
+template <WeightType W>
+void check_landmark_sandwich(const apsp::LandmarkIndex<W>& index,
+                             const apsp::DistanceMatrix<W>& D, InvariantReport& report,
+                             std::size_t samples = 512, std::uint64_t seed = 1,
+                             std::size_t max_problems = 8) {
+  const VertexId n = D.size();
+  if (n == 0) return;
+  util::Xoshiro256 rng(seed);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto u = static_cast<VertexId>(rng.bounded(n));
+    const auto v = static_cast<VertexId>(rng.bounded(n));
+    const W exact = D.at(u, v);
+    const W lo = index.lower_bound(u, v);
+    const W hi = index.upper_bound(u, v);
+    if (!detail::le_tolerant(lo, exact) || !detail::le_tolerant(exact, hi)) {
+      detail::complain(report, max_problems,
+                       "landmark sandwich violated at (" + std::to_string(u) + "," +
+                           std::to_string(v) + "): lower " + std::to_string(lo) +
+                           ", exact " + std::to_string(exact) + ", upper " +
+                           std::to_string(hi));
+      if (report.problems.size() >= max_problems) return;
+    }
+  }
+}
+
+/// Invariant 5: a refinement step (apply_insertion, any min-plus update)
+/// never lengthens a distance — `after` must be entrywise <= `before`.
+template <WeightType W>
+void check_monotone_refinement(const apsp::DistanceMatrix<W>& before,
+                               const apsp::DistanceMatrix<W>& after,
+                               InvariantReport& report, std::size_t max_problems = 8) {
+  if (before.size() != after.size()) {
+    detail::complain(report, max_problems,
+                     "refinement changed matrix size: " + std::to_string(before.size()) +
+                         " -> " + std::to_string(after.size()));
+    return;
+  }
+  for (VertexId u = 0; u < before.size(); ++u) {
+    const auto rb = before.row(u);
+    const auto ra = after.row(u);
+    for (VertexId v = 0; v < before.size(); ++v) {
+      if (ra[v] > rb[v]) {
+        detail::complain(report, max_problems,
+                         "refinement lengthened (" + std::to_string(u) + "," +
+                             std::to_string(v) + "): " + std::to_string(rb[v]) +
+                             " -> " + std::to_string(ra[v]));
+        if (report.problems.size() >= max_problems) return;
+      }
+    }
+  }
+}
+
+/// Runs invariants 1-3 (the ones needing only graph + matrix). The landmark
+/// sandwich and refinement checks have their own inputs; call them directly.
+template <WeightType W>
+[[nodiscard]] InvariantReport check_invariants(const graph::Graph<W>& g,
+                                               const apsp::DistanceMatrix<W>& D,
+                                               const InvariantOptions& opts = {}) {
+  InvariantReport report;
+  if (D.size() != g.num_vertices()) {
+    detail::complain(report, opts.max_problems,
+                     "matrix size " + std::to_string(D.size()) + " != vertex count " +
+                         std::to_string(g.num_vertices()));
+    return report;
+  }
+  check_zero_diagonal(D, report, opts.max_problems);
+  check_symmetry(g, D, report, opts.max_problems);
+  check_triangle_sampled(D, report, opts.triangle_samples, opts.seed,
+                         opts.max_problems);
+  return report;
+}
+
+}  // namespace parapsp::check

@@ -1,0 +1,182 @@
+// Differential oracle — the correctness backbone of the library.
+//
+// ParAPSP's central claim is that every backend (each apsp/ algorithm, each
+// order/ procedure plugged into the sweep, each sssp/ substrate lifted to a
+// per-source matrix) computes the *same* distances; the paper's row-reuse
+// trick is only safe while that equivalence holds. The oracle makes the
+// claim executable: run any two backends on the same graph and report the
+// first divergent entry with full provenance — backend names, (source,
+// target), both values, the graph fingerprint, and the RNG seed that
+// regenerates the graph — so any failure replays from one command line (see
+// docs/TESTING.md, "Replay from seed").
+//
+// The oracle itself is tested by the deterministic mutation self-test below:
+// perturb one matrix entry and assert the oracle flags exactly that entry.
+// A checker that cannot catch a planted bug is worse than none.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "apsp/checkpoint.hpp"  // graph_fingerprint
+#include "apsp/distance_matrix.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/expected.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::check {
+
+/// Everything needed to reproduce a comparison: which backends ran, on which
+/// graph (structural fingerprint + the generator seed / description that
+/// rebuilds it deterministically).
+struct Provenance {
+  std::string backend_a;
+  std::string backend_b;
+  std::uint64_t graph_fp = 0;   ///< apsp::graph_fingerprint of the input
+  std::uint64_t seed = 0;       ///< RNG seed that regenerates the graph
+  std::string graph_desc;       ///< human/replay form, e.g. "--family ba --n 96"
+};
+
+/// The first divergent entry between two backends, with provenance.
+template <WeightType W>
+struct Divergence {
+  VertexId source = 0;
+  VertexId target = 0;
+  W value_a{};
+  W value_b{};
+  Provenance prov;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "divergence at (" + std::to_string(source) + "," +
+                      std::to_string(target) + "): " + prov.backend_a + " says " +
+                      std::to_string(value_a) + ", " + prov.backend_b + " says " +
+                      std::to_string(value_b) + " [graph_fp=" +
+                      std::to_string(prov.graph_fp) + " seed=" +
+                      std::to_string(prov.seed) + "]";
+    if (!prov.graph_desc.empty()) out += " replay: " + prov.graph_desc;
+    return out;
+  }
+};
+
+/// Outcome of one differential comparison: empty optional = agreement.
+template <WeightType W>
+using DiffResult = std::optional<Divergence<W>>;
+
+/// Entry-by-entry comparison; the first differing entry comes back with the
+/// supplied provenance attached. Size mismatch is a typed kInvalidArgument.
+template <WeightType W>
+[[nodiscard]] util::Expected<DiffResult<W>> diff_matrices(
+    const apsp::DistanceMatrix<W>& a, const apsp::DistanceMatrix<W>& b,
+    Provenance prov = {}) {
+  VertexId u = 0, v = 0;
+  auto differs = a.first_difference(b, u, v);
+  if (!differs) return differs.status();
+  if (!*differs) return DiffResult<W>{};
+  Divergence<W> d;
+  d.source = u;
+  d.target = v;
+  d.value_a = a.at(u, v);
+  d.value_b = b.at(u, v);
+  d.prov = std::move(prov);
+  return DiffResult<W>{std::move(d)};
+}
+
+/// A solver backend the oracle can run: a name (stable, used in reports and
+/// replay lines) plus the matrix-producing callable. `applicable` gates
+/// backends with preconditions (e.g. Dial needs integral weights of modest
+/// range, BFS needs unit weights); null means "always applicable".
+template <WeightType W>
+struct Backend {
+  std::string name;
+  std::function<apsp::DistanceMatrix<W>(const graph::Graph<W>&)> run;
+  std::function<bool(const graph::Graph<W>&)> applicable;
+
+  [[nodiscard]] bool is_applicable(const graph::Graph<W>& g) const {
+    return !applicable || applicable(g);
+  }
+};
+
+/// Runs two backends on `g` and diffs their matrices. `seed`/`graph_desc`
+/// flow into the provenance so a reported divergence is replayable.
+template <WeightType W>
+[[nodiscard]] util::Expected<DiffResult<W>> diff_backends(
+    const graph::Graph<W>& g, const Backend<W>& a, const Backend<W>& b,
+    std::uint64_t seed = 0, std::string graph_desc = "") {
+  Provenance prov;
+  prov.backend_a = a.name;
+  prov.backend_b = b.name;
+  prov.graph_fp = apsp::graph_fingerprint(g);
+  prov.seed = seed;
+  prov.graph_desc = std::move(graph_desc);
+  const auto da = a.run(g);
+  const auto db = b.run(g);
+  return diff_matrices(da, db, std::move(prov));
+}
+
+/// Perturbs one off-diagonal entry of `m`, chosen and sized by `seed`, and
+/// returns its coordinates. Finite entries are bumped by one (halved toward
+/// zero for the rare value at the saturation cap); infinite entries become a
+/// large finite value. Requires m.size() >= 2.
+template <WeightType W>
+[[nodiscard]] std::pair<VertexId, VertexId> perturb_one_entry(apsp::DistanceMatrix<W>& m,
+                                                              std::uint64_t seed) {
+  const VertexId n = m.size();
+  util::Xoshiro256 rng(seed);
+  auto u = static_cast<VertexId>(rng.bounded(n));
+  auto v = static_cast<VertexId>(rng.bounded(n));
+  if (u == v) v = (v + 1) % n;
+  W& cell = m.at(u, v);
+  if (is_infinite(cell)) {
+    cell = W{1};
+  } else if (cell >= infinity<W>() - W{1}) {
+    cell = static_cast<W>(cell / W{2});
+  } else {
+    cell = static_cast<W>(cell + W{1});
+  }
+  return {u, v};
+}
+
+/// Deterministic self-test of the oracle machinery: computes the matrix via
+/// `backend`, perturbs one entry of a copy, and verifies the oracle reports
+/// exactly that entry (and reports agreement on the unperturbed copy).
+/// Returns ok, or kInternal describing what the oracle missed.
+template <WeightType W>
+[[nodiscard]] util::Status mutation_self_test(const graph::Graph<W>& g,
+                                              const Backend<W>& backend,
+                                              std::uint64_t seed = 1) {
+  using util::ErrorCode;
+  if (g.num_vertices() < 2) {
+    return {ErrorCode::kInvalidArgument, "mutation_self_test: need >= 2 vertices"};
+  }
+  const auto D = backend.run(g);
+
+  auto clean = diff_matrices(D, D);
+  if (!clean) return clean.status();
+  if (clean->has_value()) {
+    return {ErrorCode::kInternal,
+            "oracle reported a divergence between identical matrices: " +
+                (*clean)->to_string()};
+  }
+
+  apsp::DistanceMatrix<W> mutated = D;
+  const auto [u, v] = perturb_one_entry(mutated, seed);
+  auto flagged = diff_matrices(D, mutated);
+  if (!flagged) return flagged.status();
+  if (!flagged->has_value()) {
+    return {ErrorCode::kInternal,
+            "oracle missed a planted mutation at (" + std::to_string(u) + "," +
+                std::to_string(v) + ")"};
+  }
+  if ((*flagged)->source != u || (*flagged)->target != v) {
+    return {ErrorCode::kInternal,
+            "oracle flagged (" + std::to_string((*flagged)->source) + "," +
+                std::to_string((*flagged)->target) + ") instead of the planted (" +
+                std::to_string(u) + "," + std::to_string(v) + ")"};
+  }
+  return util::Status::ok();
+}
+
+}  // namespace parapsp::check

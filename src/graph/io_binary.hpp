@@ -25,7 +25,7 @@ struct BinaryHeader {
   std::uint32_t magic = kBinaryMagic;
   std::uint32_t version = kBinaryVersion;
   std::uint8_t directed = 0;
-  std::uint8_t weight_code = 0;  // 0=u32, 1=float, 2=double
+  std::uint8_t weight_code = 0;  // 0=u32, 1=float, 2=double, 3=i32
   std::uint16_t pad = 0;
   std::uint32_t n = 0;
   std::uint64_t stored_edges = 0;
@@ -37,6 +37,7 @@ constexpr std::uint8_t weight_code() {
   if constexpr (std::is_same_v<W, std::uint32_t>) return 0;
   else if constexpr (std::is_same_v<W, float>) return 1;
   else if constexpr (std::is_same_v<W, double>) return 2;
+  else if constexpr (std::is_same_v<W, std::int32_t>) return 3;
   else static_assert(sizeof(W) == 0, "unsupported weight type for binary I/O");
 }
 

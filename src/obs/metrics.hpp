@@ -52,8 +52,9 @@ enum class Counter : std::uint8_t {
   kRowCellsScanned,       ///< matrix cells streamed by the min-plus row kernel
   kSourcesCompleted,      ///< source rows finished and published
   kBucketInsertions,      ///< vertex insertions into ordering-procedure buckets
+  kHeavyEdgeRelaxations,  ///< delta-stepping heavy-edge relaxation attempts
 };
-inline constexpr std::size_t kNumCounters = 8;
+inline constexpr std::size_t kNumCounters = 9;
 
 [[nodiscard]] constexpr const char* to_string(Counter c) noexcept {
   switch (c) {
@@ -65,6 +66,7 @@ inline constexpr std::size_t kNumCounters = 8;
     case Counter::kRowCellsScanned: return "row_cells_scanned";
     case Counter::kSourcesCompleted: return "sources_completed";
     case Counter::kBucketInsertions: return "bucket_insertions";
+    case Counter::kHeavyEdgeRelaxations: return "heavy_relaxations";
   }
   return "?";
 }
@@ -74,7 +76,8 @@ inline constexpr std::size_t kNumCounters = 8;
   return {Counter::kEdgeRelaxations,      Counter::kQueuePushes,
           Counter::kQueuePops,            Counter::kRowReuses,
           Counter::kRowReuseImprovements, Counter::kRowCellsScanned,
-          Counter::kSourcesCompleted,     Counter::kBucketInsertions};
+          Counter::kSourcesCompleted,     Counter::kBucketInsertions,
+          Counter::kHeavyEdgeRelaxations};
 }
 
 /// One value per catalog entry, indexed by static_cast<size_t>(Counter).

@@ -85,6 +85,13 @@
 #include "apsp/schedule.hpp"
 #include "apsp/sweep.hpp"
 
+// Correctness verification: differential oracle, invariant catalog,
+// seeded fuzz driver (docs/TESTING.md)
+#include "check/backends.hpp"
+#include "check/fuzz.hpp"
+#include "check/invariants.hpp"
+#include "check/oracle.hpp"
+
 // Distributed-memory extension (simulated; the paper's future work)
 #include "dist/comm.hpp"
 #include "dist/dist_apsp.hpp"

@@ -6,6 +6,14 @@
 // buckets in order, relaxing *light* edges (weight < delta) iteratively
 // within a bucket and *heavy* edges once when the bucket empties. Inner
 // relaxation rounds parallelize over the current frontier.
+//
+// Deferred-set dedup: a vertex can be settled several times within one
+// bucket (each light-phase improvement that lands in the same bucket
+// re-settles it). Only the *final* settlement matters for the heavy phase —
+// heavy edges read dist[u] after the light fixpoint — so the deferred set
+// keeps one entry per vertex per bucket (tracked by `deferred_in`). The
+// differential oracle (src/check/) plus DeltaSteppingStats prove the dedup
+// changes relaxation counts, never distances.
 #pragma once
 
 #include <omp.h>
@@ -15,6 +23,8 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "obs/metrics.hpp"
+#include "util/exec_control.hpp"
 #include "util/types.hpp"
 
 namespace parapsp::sssp {
@@ -33,18 +43,36 @@ template <WeightType W>
   }
 }
 
-/// Delta-stepping from `source`. `delta` <= 0 selects default_delta(g).
-/// Requires non-negative weights. Exact distances, same as dijkstra().
+/// Work counters for one delta-stepping run (also flushed into the obs
+/// registry when a collection window is open). `heavy_relaxations` is the
+/// number of heavy-edge relaxation attempts — the quantity the deferred-set
+/// dedup strictly reduces on re-settlement-prone graphs.
+struct DeltaSteppingStats {
+  std::uint64_t light_relaxations = 0;  ///< light-edge relaxation attempts
+  std::uint64_t heavy_relaxations = 0;  ///< heavy-edge relaxation attempts
+  std::uint64_t settlements = 0;        ///< frontier pops (incl. re-settlements)
+  std::uint64_t buckets_processed = 0;  ///< non-empty buckets drained
+};
+
+namespace detail {
+
+/// Implementation with the deferred-set dedup as a knob so tests can show
+/// the duplicate heavy relaxations the dedup removes (`dedup_deferred =
+/// false` reproduces the historical behavior: one heavy pass per
+/// re-settlement). Distances are identical either way.
 template <WeightType W>
-[[nodiscard]] std::vector<W> delta_stepping(const graph::Graph<W>& g, VertexId source,
-                                            W delta = W{0}) {
+[[nodiscard]] std::vector<W> delta_stepping_impl(
+    const graph::Graph<W>& g, VertexId source, W delta, bool dedup_deferred,
+    DeltaSteppingStats* stats, const util::ExecutionControl* control) {
   const VertexId n = g.num_vertices();
   if (source >= n) throw std::out_of_range("delta_stepping: source out of range");
   if (delta <= W{0}) delta = default_delta(g);
 
   std::vector<W> dist(n, infinity<W>());
-  std::vector<std::int64_t> bucket_of(n, -1);  // current bucket index, -1 = none
+  std::vector<std::int64_t> bucket_of(n, -1);    // current bucket index, -1 = none
+  std::vector<std::int64_t> deferred_in(n, -1);  // bucket the vertex is deferred for
   std::vector<std::vector<VertexId>> buckets;
+  DeltaSteppingStats local_stats;
 
   auto bucket_index = [&](W d) {
     return static_cast<std::size_t>(static_cast<double>(d) / static_cast<double>(delta));
@@ -66,7 +94,9 @@ template <WeightType W>
 
   std::vector<VertexId> frontier, deferred;
   for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (control != nullptr && control->should_stop()) break;
     deferred.clear();  // vertices settled in this bucket (for heavy edges)
+    bool bucket_nonempty = false;
 
     // Light-edge phases: re-relax within the bucket until it stabilizes.
     while (b < buckets.size() && !buckets[b].empty()) {
@@ -76,10 +106,18 @@ template <WeightType W>
         if (bucket_of[v] == static_cast<std::int64_t>(b)) {
           frontier.push_back(v);
           bucket_of[v] = -1;
-          deferred.push_back(v);
+          // One deferred entry per vertex per bucket: a re-settlement only
+          // updates dist[v], which the heavy phase reads after the fixpoint.
+          if (!dedup_deferred || deferred_in[v] != static_cast<std::int64_t>(b)) {
+            deferred_in[v] = static_cast<std::int64_t>(b);
+            deferred.push_back(v);
+          }
         }
       }
       buckets[b].clear();
+      if (frontier.empty()) continue;
+      bucket_nonempty = true;
+      local_stats.settlements += frontier.size();
 
       // Relax light edges of the frontier. Collected first, applied under a
       // per-target CAS-free critical-min loop kept simple: the sequential
@@ -90,9 +128,11 @@ template <WeightType W>
         W d;
       };
       std::vector<Request> requests;
+      std::uint64_t light_attempts = 0;
 #pragma omp parallel
       {
         std::vector<Request> local;
+        std::uint64_t attempts = 0;
 #pragma omp for schedule(static) nowait
         for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size()); ++i) {
           const VertexId u = frontier[static_cast<std::size_t>(i)];
@@ -101,14 +141,19 @@ template <WeightType W>
           const auto ws = g.weights(u);
           for (std::size_t e = 0; e < nb.size(); ++e) {
             if (ws[e] < delta) {
+              ++attempts;
               const W cand = dist_add(du, ws[e]);
               if (cand < dist[nb[e]]) local.push_back({nb[e], cand});
             }
           }
         }
 #pragma omp critical(parapsp_delta_light)
-        requests.insert(requests.end(), local.begin(), local.end());
+        {
+          requests.insert(requests.end(), local.begin(), local.end());
+          light_attempts += attempts;
+        }
       }
+      local_stats.light_relaxations += light_attempts;
       for (const auto& r : requests) {
         if (r.d < dist[r.v]) {
           dist[r.v] = r.d;
@@ -116,16 +161,20 @@ template <WeightType W>
         }
       }
     }
+    if (bucket_nonempty) ++local_stats.buckets_processed;
 
-    // Heavy-edge phase: each settled vertex relaxes its heavy edges once.
+    // Heavy-edge phase: each settled vertex relaxes its heavy edges once,
+    // using its post-fixpoint (final in-bucket) distance.
     struct Request {
       VertexId v;
       W d;
     };
     std::vector<Request> requests;
+    std::uint64_t heavy_attempts = 0;
 #pragma omp parallel
     {
       std::vector<Request> local;
+      std::uint64_t attempts = 0;
 #pragma omp for schedule(static) nowait
       for (std::int64_t i = 0; i < static_cast<std::int64_t>(deferred.size()); ++i) {
         const VertexId u = deferred[static_cast<std::size_t>(i)];
@@ -134,22 +183,54 @@ template <WeightType W>
         const auto ws = g.weights(u);
         for (std::size_t e = 0; e < nb.size(); ++e) {
           if (!(ws[e] < delta)) {
+            ++attempts;
             const W cand = dist_add(du, ws[e]);
             if (cand < dist[nb[e]]) local.push_back({nb[e], cand});
           }
         }
       }
 #pragma omp critical(parapsp_delta_heavy)
-      requests.insert(requests.end(), local.begin(), local.end());
+      {
+        requests.insert(requests.end(), local.begin(), local.end());
+        heavy_attempts += attempts;
+      }
     }
+    local_stats.heavy_relaxations += heavy_attempts;
     for (const auto& r : requests) {
       if (r.d < dist[r.v]) {
         dist[r.v] = r.d;
         place(r.v, r.d);
       }
     }
+    if (control != nullptr) control->add_progress();
   }
+
+  // Flush point (once per run, never per edge): mirror the counters into an
+  // open obs collection window.
+  obs::count(obs::Counter::kEdgeRelaxations,
+             local_stats.light_relaxations + local_stats.heavy_relaxations);
+  obs::count(obs::Counter::kHeavyEdgeRelaxations, local_stats.heavy_relaxations);
+  if (stats != nullptr) *stats = local_stats;
   return dist;
+}
+
+}  // namespace detail
+
+/// Delta-stepping from `source`. `delta` <= 0 selects default_delta(g).
+/// Requires non-negative weights. Exact distances, same as dijkstra().
+///
+/// `stats` (optional) receives the run's relaxation counters. `control`
+/// (optional) is checked once per bucket: on cancel or deadline expiry the
+/// run stops early and returns the tentative (upper-bound) distances settled
+/// so far — callers that pass a control must consult control->check() before
+/// trusting the result as exact.
+template <WeightType W>
+[[nodiscard]] std::vector<W> delta_stepping(const graph::Graph<W>& g, VertexId source,
+                                            W delta = W{0},
+                                            DeltaSteppingStats* stats = nullptr,
+                                            const util::ExecutionControl* control = nullptr) {
+  return detail::delta_stepping_impl(g, source, delta, /*dedup_deferred=*/true, stats,
+                                     control);
 }
 
 }  // namespace parapsp::sssp

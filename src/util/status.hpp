@@ -25,6 +25,7 @@ enum class ErrorCode : std::uint8_t {
   kCancelled,        ///< run stopped by ExecutionControl::request_cancel()
   kTimeout,          ///< run stopped by an expired ExecutionControl deadline
   kInvalidArgument,  ///< caller error: bad option value, size mismatch
+  kInternal,         ///< library invariant violated (oracle/self-test failure)
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode c) noexcept {
@@ -37,6 +38,7 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kInternal: return "internal";
   }
   return "?";
 }

@@ -22,7 +22,7 @@ void Table::add_row(std::vector<std::string> row) {
 std::vector<std::string> Table::metrics_header() {
   return {"run",          "relaxations", "pushes",  "pops",
           "reuses",       "reuse_improved", "row_cells", "sources", "bucket_ins",
-          "ordering_s",   "sweep_s"};
+          "heavy_relax",  "ordering_s",  "sweep_s"};
 }
 
 void Table::add_metrics_row(const std::string& label, const obs::Report& report) {
@@ -34,6 +34,7 @@ void Table::add_metrics_row(const std::string& label, const obs::Report& report)
       report.total(Counter::kRowCellsScanned),
       report.total(Counter::kSourcesCompleted),
       report.total(Counter::kBucketInsertions),
+      report.total(Counter::kHeavyEdgeRelaxations),
       fixed(report.phase_seconds("ordering")),
       fixed(report.phase_seconds("sweep")));
 }

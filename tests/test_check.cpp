@@ -1,0 +1,458 @@
+// Tests for the correctness-verification subsystem (src/check/): the
+// differential oracle, the invariant catalog, the backend registry, the
+// seeded fuzz driver — and the fixes the subsystem guards: the
+// delta-stepping deferred-set dedup, execution-control wiring in the
+// secondary solvers, and the dynamic-update refinement law.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+// ---------- oracle: diff_matrices / perturb / mutation self-test ----------
+
+template <WeightType W>
+void run_mutation_self_test(const char* weight_name) {
+  check::FuzzGraphSpec spec{check::FuzzFamily::kBA, 64, 3, false, false, 7};
+  const auto g = check::build_fuzz_graph<W>(spec);
+  const auto st = check::mutation_self_test(g, check::reference_backend<W>(), 7);
+  EXPECT_TRUE(st.is_ok()) << weight_name << ": " << st.to_string();
+}
+
+TEST(OracleSelfTest, CatchesPlantedMutationU32) { run_mutation_self_test<std::uint32_t>("u32"); }
+TEST(OracleSelfTest, CatchesPlantedMutationI32) { run_mutation_self_test<std::int32_t>("i32"); }
+TEST(OracleSelfTest, CatchesPlantedMutationF32) { run_mutation_self_test<float>("f32"); }
+TEST(OracleSelfTest, CatchesPlantedMutationF64) { run_mutation_self_test<double>("f64"); }
+
+TEST(Oracle, IdenticalMatricesAgree) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(50, 3, 11);
+  const auto D = apsp::repeated_dijkstra(g);
+  const auto diff = check::diff_matrices(D, D);
+  ASSERT_TRUE(diff) << diff.status().to_string();
+  EXPECT_FALSE(diff->has_value());
+}
+
+TEST(Oracle, DivergenceCarriesProvenance) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(50, 3, 12);
+  const auto D = apsp::repeated_dijkstra(g);
+  auto mutated = D;
+  const auto [u, v] = check::perturb_one_entry(mutated, 99);
+
+  check::Provenance prov;
+  prov.backend_a = "ref";
+  prov.backend_b = "mutant";
+  prov.graph_fp = apsp::graph_fingerprint(g);
+  prov.seed = 99;
+  prov.graph_desc = "--family ba --n 50 --seed 12";
+  const auto diff = check::diff_matrices(D, mutated, prov);
+  ASSERT_TRUE(diff) << diff.status().to_string();
+  ASSERT_TRUE(diff->has_value());
+  EXPECT_EQ((*diff)->source, u);
+  EXPECT_EQ((*diff)->target, v);
+  EXPECT_EQ((*diff)->value_a, D.at(u, v));
+  EXPECT_EQ((*diff)->value_b, mutated.at(u, v));
+  const auto text = (*diff)->to_string();
+  EXPECT_NE(text.find("ref"), std::string::npos);
+  EXPECT_NE(text.find("mutant"), std::string::npos);
+  EXPECT_NE(text.find("seed=99"), std::string::npos);
+  EXPECT_NE(text.find("--family ba"), std::string::npos);
+}
+
+TEST(Oracle, SizeMismatchIsTypedError) {
+  const apsp::DistanceMatrix<std::uint32_t> a(4), b(5);
+  const auto diff = check::diff_matrices(a, b);
+  ASSERT_FALSE(diff);
+  EXPECT_EQ(diff.status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(Oracle, PerturbNeverTouchesDiagonalAndAlwaysChanges) {
+  const auto g = graph::erdos_renyi_gnm<std::uint32_t>(30, 40, 13);  // disconnected
+  const auto D = apsp::repeated_dijkstra(g);
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    auto mutated = D;
+    const auto [u, v] = check::perturb_one_entry(mutated, seed);
+    EXPECT_NE(u, v);
+    EXPECT_NE(mutated.at(u, v), D.at(u, v)) << "seed " << seed;
+    EXPECT_FALSE(is_infinite(mutated.at(u, v))) << "seed " << seed;
+  }
+}
+
+// ---------- backend registry ----------
+
+TEST(Backends, CatalogCoversEverySolverLayer) {
+  // 10 apsp algorithms + 7 orderings + 6 sssp substrates (dial is
+  // integral-only, so the float catalogs have one fewer).
+  EXPECT_EQ(check::all_backends<std::uint32_t>().size(), 23u);
+  EXPECT_EQ(check::all_backends<std::int32_t>().size(), 23u);
+  EXPECT_EQ(check::all_backends<float>().size(), 22u);
+  EXPECT_EQ(check::all_backends<double>().size(), 22u);
+}
+
+TEST(Backends, FindByName) {
+  EXPECT_TRUE(check::find_backend<std::uint32_t>("sssp:dial").has_value());
+  EXPECT_TRUE(check::find_backend<std::uint32_t>("order:parbuckets").has_value());
+  EXPECT_FALSE(check::find_backend<std::uint32_t>("sssp:nonexistent").has_value());
+  EXPECT_FALSE(check::find_backend<float>("sssp:dial").has_value());
+}
+
+TEST(Backends, PreconditionGates) {
+  const auto unit = graph::path_graph<std::uint32_t>(6);
+  auto weighted = graph::randomize_weights<std::uint32_t>(unit, 2, 9000, 14);
+
+  const auto bfs = check::find_backend<std::uint32_t>("sssp:bfs-hops");
+  ASSERT_TRUE(bfs.has_value());
+  EXPECT_TRUE(bfs->is_applicable(unit));
+  EXPECT_FALSE(bfs->is_applicable(weighted));
+
+  const auto dial = check::find_backend<std::uint32_t>("sssp:dial");
+  ASSERT_TRUE(dial.has_value());
+  EXPECT_TRUE(dial->is_applicable(unit));
+  EXPECT_FALSE(dial->is_applicable(weighted));  // max weight > 4096
+}
+
+TEST(Backends, WholeCatalogAgreesOnOneGraph) {
+  check::FuzzGraphSpec spec{check::FuzzFamily::kBA, 40, 3, false, false, 15};
+  const auto g = check::build_fuzz_graph<std::uint32_t>(spec);
+  const auto reference = check::reference_backend<std::uint32_t>();
+  for (const auto& backend : check::all_backends<std::uint32_t>()) {
+    if (!backend.is_applicable(g)) continue;
+    const auto diff = check::diff_backends(g, reference, backend, spec.seed,
+                                           spec.replay_flags("u32"));
+    ASSERT_TRUE(diff) << backend.name << ": " << diff.status().to_string();
+    EXPECT_FALSE(diff->has_value()) << (**diff).to_string();
+  }
+}
+
+// ---------- invariant catalog ----------
+
+TEST(Invariants, CleanMatrixPasses) {
+  check::FuzzGraphSpec spec{check::FuzzFamily::kBA, 60, 3, false, false, 16};
+  const auto g = check::build_fuzz_graph<std::uint32_t>(spec);
+  const auto D = apsp::repeated_dijkstra(g);
+  const auto report = check::check_invariants(g, D);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Invariants, DetectsSizeMismatch) {
+  const auto g = graph::path_graph<std::uint32_t>(5);
+  const apsp::DistanceMatrix<std::uint32_t> D(4);
+  EXPECT_FALSE(check::check_invariants(g, D).ok());
+}
+
+TEST(Invariants, DetectsNonzeroDiagonal) {
+  const auto g = graph::path_graph<std::uint32_t>(5);
+  auto D = apsp::floyd_warshall(g);
+  D.at(2, 2) = 1;
+  check::InvariantReport report;
+  check::check_zero_diagonal(D, report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.problems[0].find("vertex 2"), std::string::npos);
+}
+
+TEST(Invariants, DetectsAsymmetryOnUndirected) {
+  const auto g = graph::path_graph<std::uint32_t>(5);
+  auto D = apsp::floyd_warshall(g);
+  D.at(1, 3) += 1;
+  check::InvariantReport report;
+  check::check_symmetry(g, D, report);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Invariants, SymmetryIsNoOpOnDirected) {
+  const auto g = graph::rmat<std::uint32_t>(4, 40, 17, graph::Directedness::kDirected);
+  auto D = apsp::floyd_warshall(g);
+  check::InvariantReport report;
+  check::check_symmetry(g, D, report);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Invariants, DetectsTriangleViolation) {
+  const auto g = graph::path_graph<std::uint32_t>(3);  // 0-1-2, D(0,2)=2
+  auto D = apsp::floyd_warshall(g);
+  D.at(0, 2) = 10;  // now D(0,2) > D(0,1) + D(1,2)
+  check::InvariantReport report;
+  check::check_triangle_sampled(D, report, /*samples=*/2048, /*seed=*/1);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Invariants, LandmarkSandwichHoldsAndDetectsCorruption) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(60, 3, 18);
+  auto D = apsp::floyd_warshall(g);
+  const apsp::LandmarkIndex<std::uint32_t> index(g, 4, apsp::LandmarkPolicy::kTopDegree);
+
+  check::InvariantReport clean;
+  check::check_landmark_sandwich(index, D, clean, /*samples=*/2048, /*seed=*/2);
+  EXPECT_TRUE(clean.ok()) << clean.to_string();
+
+  // Lengthen a full row beyond any landmark upper bound: sampling must hit it.
+  for (VertexId v = 1; v < g.num_vertices(); ++v) D.at(1, v) = 1u << 20;
+  check::InvariantReport corrupt;
+  check::check_landmark_sandwich(index, D, corrupt, /*samples=*/4096, /*seed=*/2);
+  EXPECT_FALSE(corrupt.ok());
+}
+
+TEST(Invariants, MonotoneRefinementDetectsLengthening) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(40, 3, 19);
+  const auto before = apsp::floyd_warshall(g);
+  auto after = before;
+  check::InvariantReport ok_report;
+  check::check_monotone_refinement(before, after, ok_report);
+  EXPECT_TRUE(ok_report.ok());
+
+  after.at(3, 4) += 5;
+  check::InvariantReport bad_report;
+  check::check_monotone_refinement(before, after, bad_report);
+  ASSERT_FALSE(bad_report.ok());
+  EXPECT_NE(bad_report.problems[0].find("(3,4)"), std::string::npos);
+}
+
+// ---------- differential coverage: sssp substrates vs dijkstra ----------
+
+template <WeightType W>
+void run_sssp_differential(const char* weight_name) {
+  using check::FuzzFamily;
+  const std::vector<check::FuzzGraphSpec> specs = {
+      {FuzzFamily::kER, 72, 216, /*directed=*/false, /*unit=*/false, 101},
+      {FuzzFamily::kER, 72, 260, /*directed=*/true, /*unit=*/false, 102},
+      {FuzzFamily::kBA, 72, 3, /*directed=*/false, /*unit=*/false, 103},
+      {FuzzFamily::kBA, 72, 3, /*directed=*/true, /*unit=*/false, 104},
+      {FuzzFamily::kRMAT, 64, 256, /*directed=*/true, /*unit=*/false, 105},
+      {FuzzFamily::kRMAT, 64, 200, /*directed=*/false, /*unit=*/false, 106},
+  };
+  const auto dijkstra = check::find_backend<W>("sssp:dijkstra");
+  ASSERT_TRUE(dijkstra.has_value());
+  for (const auto& spec : specs) {
+    const auto g = check::build_fuzz_graph<W>(spec);
+    for (const char* name :
+         {"sssp:bellman-ford", "sssp:spfa", "sssp:delta-stepping", "sssp:dial"}) {
+      const auto backend = check::find_backend<W>(name);
+      if (!backend.has_value()) continue;  // dial on float weights
+      if (!backend->is_applicable(g)) continue;
+      const auto diff = check::diff_backends(g, *dijkstra, *backend, spec.seed,
+                                             spec.replay_flags(weight_name));
+      ASSERT_TRUE(diff) << name << ": " << diff.status().to_string();
+      EXPECT_FALSE(diff->has_value()) << (**diff).to_string();
+    }
+  }
+}
+
+TEST(SsspDifferential, AllSubstratesAgreeU32) { run_sssp_differential<std::uint32_t>("u32"); }
+TEST(SsspDifferential, AllSubstratesAgreeI32) { run_sssp_differential<std::int32_t>("i32"); }
+TEST(SsspDifferential, AllSubstratesAgreeF32) { run_sssp_differential<float>("f32"); }
+TEST(SsspDifferential, AllSubstratesAgreeF64) { run_sssp_differential<double>("f64"); }
+
+// ---------- differential coverage: dynamic update vs recompute ----------
+
+template <WeightType W>
+void run_insertion_differential(const char* weight_name) {
+  check::FuzzGraphSpec spec{check::FuzzFamily::kBA, 64, 3, false, false, 23};
+  const auto g = check::build_fuzz_graph<W>(spec);
+  const VertexId n = g.num_vertices();
+  const auto before = apsp::repeated_dijkstra(g);
+
+  const apsp::EdgeInsertion<W> e{0, n / 2, W{1}, /*undirected=*/true};
+  auto updated = before;
+  const auto improved = apsp::apply_insertion(updated, e);
+  EXPECT_GT(improved, 0u) << weight_name;
+
+  // The refinement law: an insertion never lengthens any entry.
+  check::InvariantReport mono;
+  check::check_monotone_refinement(before, updated, mono);
+  EXPECT_TRUE(mono.ok()) << mono.to_string();
+
+  // Differential: the updated matrix must equal a from-scratch recompute on
+  // the graph with the edge actually added.
+  graph::GraphBuilder<W> b(graph::Directedness::kDirected, n);
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) b.add_edge(u, nb[i], ws[i]);
+  }
+  b.add_edge(e.u, e.v, e.w);
+  b.add_edge(e.v, e.u, e.w);
+  const auto recomputed = apsp::repeated_dijkstra(b.build());
+
+  check::Provenance prov;
+  prov.backend_a = "dynamic:apply-insertion";
+  prov.backend_b = "apsp:repeated-dijkstra-ref";
+  prov.seed = spec.seed;
+  prov.graph_desc = spec.replay_flags(weight_name);
+  const auto diff = check::diff_matrices(updated, recomputed, prov);
+  ASSERT_TRUE(diff) << diff.status().to_string();
+  EXPECT_FALSE(diff->has_value()) << (**diff).to_string();
+}
+
+TEST(DynamicDifferential, InsertionMatchesRecomputeU32) {
+  run_insertion_differential<std::uint32_t>("u32");
+}
+TEST(DynamicDifferential, InsertionMatchesRecomputeI32) {
+  run_insertion_differential<std::int32_t>("i32");
+}
+TEST(DynamicDifferential, InsertionMatchesRecomputeF32) {
+  run_insertion_differential<float>("f32");
+}
+TEST(DynamicDifferential, InsertionMatchesRecomputeF64) {
+  run_insertion_differential<double>("f64");
+}
+
+// ---------- fuzz driver ----------
+
+TEST(FuzzDriver, GraphBuildIsDeterministic) {
+  check::FuzzGraphSpec spec{check::FuzzFamily::kRMAT, 48, 192, true, false, 27};
+  const auto g1 = check::build_fuzz_graph<std::uint32_t>(spec);
+  const auto g2 = check::build_fuzz_graph<std::uint32_t>(spec);
+  EXPECT_EQ(apsp::graph_fingerprint(g1), apsp::graph_fingerprint(g2));
+}
+
+TEST(FuzzDriver, SameSeedSameGraphAcrossWeightTypes) {
+  // The four weight types must see the *same* integer-valued weights so
+  // backends stay bit-comparable (header contract of check/fuzz.hpp).
+  check::FuzzGraphSpec spec{check::FuzzFamily::kBA, 48, 3, false, false, 28};
+  const auto gu = check::build_fuzz_graph<std::uint32_t>(spec);
+  const auto gf = check::build_fuzz_graph<double>(spec);
+  ASSERT_EQ(gu.num_stored_edges(), gf.num_stored_edges());
+  for (std::size_t i = 0; i < gu.edge_weights().size(); ++i) {
+    EXPECT_EQ(static_cast<double>(gu.edge_weights()[i]), gf.edge_weights()[i]);
+  }
+}
+
+TEST(FuzzDriver, ReplayFlagsRoundTrip) {
+  check::FuzzGraphSpec spec{check::FuzzFamily::kER, 96, 288, true, true, 42};
+  EXPECT_EQ(spec.replay_flags("f32"),
+            "--family er --weight f32 --n 96 --param 288 --seed 42 "
+            "--directed --unit-weights");
+}
+
+TEST(FuzzDriver, SmallSweepRunsClean) {
+  check::FuzzConfig cfg;
+  cfg.n = 32;
+  cfg.rounds = 1;
+  cfg.triangle_samples = 128;
+  const auto outcome = check::run_fuzz(cfg);
+  EXPECT_GT(outcome.graphs, 0u);
+  EXPECT_GT(outcome.comparisons, 0u);
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty() ? "" : outcome.failures[0]);
+}
+
+// ---------- delta-stepping: deferred-set dedup fix ----------
+
+TEST(DeltaSteppingDedup, SameDistancesStrictlyFewerHeavyRelaxations) {
+  // Weighted scale-free graph: light-phase improvements re-settle hub
+  // vertices within a bucket, so the historical behavior (one heavy pass per
+  // re-settlement) does strictly more heavy-edge work.
+  const auto g = graph::randomize_weights<std::uint32_t>(
+      graph::barabasi_albert<std::uint32_t>(400, 4, 29), 1, 20, 30);
+
+  sssp::DeltaSteppingStats with_dedup, without_dedup;
+  const auto d1 = sssp::detail::delta_stepping_impl<std::uint32_t>(
+      g, 0, 0, /*dedup_deferred=*/true, &with_dedup, nullptr);
+  const auto d2 = sssp::detail::delta_stepping_impl<std::uint32_t>(
+      g, 0, 0, /*dedup_deferred=*/false, &without_dedup, nullptr);
+
+  EXPECT_EQ(d1, d2);  // bit-identical distances either way
+  EXPECT_EQ(d1, sssp::dijkstra(g, 0));
+  EXPECT_LT(with_dedup.heavy_relaxations, without_dedup.heavy_relaxations);
+  EXPECT_EQ(with_dedup.light_relaxations, without_dedup.light_relaxations);
+}
+
+TEST(DeltaSteppingDedup, StatsAreConsistent) {
+  const auto g = graph::randomize_weights<std::uint32_t>(
+      graph::barabasi_albert<std::uint32_t>(200, 3, 31), 1, 20, 32);
+  sssp::DeltaSteppingStats stats;
+  const auto dist = sssp::delta_stepping(g, 0, 0u, &stats);
+  EXPECT_EQ(dist, sssp::dijkstra(g, 0));
+  EXPECT_GT(stats.settlements, 0u);
+  EXPECT_GT(stats.buckets_processed, 0u);
+  EXPECT_GT(stats.light_relaxations + stats.heavy_relaxations, 0u);
+}
+
+TEST(DeltaSteppingObs, HeavyCounterFlushesIntoRegistry) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  const auto g = graph::randomize_weights<std::uint32_t>(
+      graph::barabasi_albert<std::uint32_t>(150, 3, 33), 1, 20, 34);
+  sssp::DeltaSteppingStats stats;
+  obs::Collection collection(true);
+  const auto dist = sssp::delta_stepping(g, 0, 0u, &stats);
+  (void)dist;
+  const auto totals = obs::Registry::global().totals();
+  EXPECT_EQ(totals[static_cast<std::size_t>(obs::Counter::kHeavyEdgeRelaxations)],
+            stats.heavy_relaxations);
+  EXPECT_EQ(totals[static_cast<std::size_t>(obs::Counter::kEdgeRelaxations)],
+            stats.light_relaxations + stats.heavy_relaxations);
+}
+
+// ---------- execution-control wiring in the secondary solvers ----------
+
+TEST(ExecControlWiring, BoundedApspHonorsCancel) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(80, 3, 35);
+  util::ExecutionControl control;
+  control.request_cancel();
+  const auto D = apsp::bounded_apsp<std::uint32_t>(g, 10, &control);
+  EXPECT_EQ(control.check().code(), util::ErrorCode::kCancelled);
+  EXPECT_EQ(control.progress(), 0u);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_TRUE(is_infinite(D.at(u, v))) << u << "," << v;
+    }
+  }
+}
+
+TEST(ExecControlWiring, BoundedApspUnfiredControlIsTransparent) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(80, 3, 36);
+  util::ExecutionControl control;
+  const auto with = apsp::bounded_apsp<std::uint32_t>(g, 6, &control);
+  const auto without = apsp::bounded_apsp<std::uint32_t>(g, 6);
+  parapsp::testing::expect_same_distances(with, without, "bounded_apsp + control");
+  EXPECT_EQ(control.progress(), g.num_vertices());
+  EXPECT_TRUE(control.check().is_ok());
+}
+
+TEST(ExecControlWiring, BetweennessHonorsCancel) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(80, 3, 37);
+  util::ExecutionControl control;
+  control.request_cancel();
+  const auto scores = analysis::betweenness_centrality(g, false, &control);
+  EXPECT_EQ(control.progress(), 0u);
+  for (const double s : scores) EXPECT_EQ(s, 0.0);
+}
+
+TEST(ExecControlWiring, BetweennessUnfiredControlIsTransparent) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(60, 3, 38);
+  util::ExecutionControl control;
+  const auto with = analysis::betweenness_centrality(g, true, &control);
+  const auto without = analysis::betweenness_centrality(g, true);
+  ASSERT_EQ(with.size(), without.size());
+  for (std::size_t v = 0; v < with.size(); ++v) EXPECT_DOUBLE_EQ(with[v], without[v]);
+  EXPECT_EQ(control.progress(), g.num_vertices());
+}
+
+TEST(ExecControlWiring, DeltaSteppingHonorsDeadline) {
+  const auto g = graph::randomize_weights<std::uint32_t>(
+      graph::barabasi_albert<std::uint32_t>(100, 3, 39), 1, 20, 40);
+  util::ExecutionControl control;
+  control.set_deadline_after(-1.0);  // expired before the first bucket
+  const auto dist = sssp::delta_stepping(g, 0, 0u, nullptr, &control);
+  EXPECT_EQ(control.check().code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(dist[0], 0u);
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(is_infinite(dist[v])) << v;
+  }
+}
+
+TEST(ExecControlWiring, DeltaSteppingUnfiredControlIsTransparent) {
+  const auto g = graph::randomize_weights<std::uint32_t>(
+      graph::barabasi_albert<std::uint32_t>(100, 3, 41), 1, 20, 42);
+  util::ExecutionControl control;
+  const auto with = sssp::delta_stepping(g, 0, 0u, nullptr, &control);
+  const auto without = sssp::delta_stepping(g, 0);
+  EXPECT_EQ(with, without);
+  EXPECT_GT(control.progress(), 0u);
+}
+
+}  // namespace

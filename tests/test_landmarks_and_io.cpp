@@ -114,6 +114,50 @@ TEST(Landmarks, HubLandmarksTighterThanRandomOnScaleFree) {
             mean_gap(apsp::LandmarkPolicy::kRandom));
 }
 
+TEST(Landmarks, DirectedTopDegreeRanksByTotalDegree) {
+  // Regression: on directed graphs kTopDegree used to rank by out-degree
+  // alone, which selects "broadcaster" vertices (huge out-degree, zero
+  // in-degree). No path reaches a broadcaster, so its to-landmark rows are
+  // all-infinite and every upper bound through it collapses to infinity.
+  //
+  // Vertices 0..3: broadcasters — edges out to everyone, no in-edges
+  // (out-degree 36, the largest in the graph). Vertices 4..5: true hubs —
+  // reachable from and reaching every non-broadcaster (out-degree 34,
+  // in-degree 38). Ranking by out-degree picks the broadcasters; ranking by
+  // total degree picks the hubs.
+  constexpr VertexId kN = 40;
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kDirected, kN);
+  for (VertexId bc = 0; bc < 4; ++bc) {
+    for (VertexId v = 4; v < kN; ++v) b.add_edge(bc, v);
+  }
+  for (VertexId hub = 4; hub < 6; ++hub) {
+    for (VertexId v = 6; v < kN; ++v) {
+      b.add_edge(hub, v);
+      b.add_edge(v, hub);
+    }
+  }
+  const auto g = b.build();
+
+  const apsp::LandmarkIndex<std::uint32_t> index(g, 2, apsp::LandmarkPolicy::kTopDegree);
+  for (const VertexId L : index.landmarks()) {
+    EXPECT_TRUE(L == 4 || L == 5) << "selected a broadcaster decoy: " << L;
+  }
+
+  // With hub landmarks every pair among {4..kN-1} routes through a landmark,
+  // so the upper bounds are finite and bracket the exact distances. (With
+  // broadcaster landmarks they would all be infinite.)
+  const auto exact = apsp::floyd_warshall(g);
+  for (VertexId u = 4; u < kN; ++u) {
+    for (VertexId v = 4; v < kN; ++v) {
+      if (u == v) continue;
+      const auto ub = index.upper_bound(u, v);
+      ASSERT_FALSE(is_infinite(ub)) << u << "," << v;
+      EXPECT_GE(ub, exact.at(u, v)) << u << "," << v;
+      EXPECT_LE(index.lower_bound(u, v), exact.at(u, v)) << u << "," << v;
+    }
+  }
+}
+
 TEST(Landmarks, RejectsZeroK) {
   const auto g = graph::path_graph<std::uint32_t>(4);
   EXPECT_THROW((apsp::LandmarkIndex<std::uint32_t>(g, 0, apsp::LandmarkPolicy::kRandom)),

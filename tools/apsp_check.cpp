@@ -1,0 +1,198 @@
+// apsp_check — differential-oracle fuzz driver and replay tool.
+//
+// The operational face of the correctness-verification subsystem
+// (src/check/, docs/TESTING.md): runs every solver backend — each apsp/
+// algorithm, the sweep under each order/ procedure, each sssp/ substrate —
+// against the trusted repeated-Dijkstra reference over seeded generator
+// graphs in all four weight types, checks the invariant catalog on the
+// reference matrix, and starts by proving the oracle itself catches a
+// planted single-entry mutation.
+//
+//   apsp_check --smoke                      # quick CI gate (small graphs)
+//   apsp_check --rounds 4 --n 128 --seed 7  # deeper sweep
+//   apsp_check --self-test                  # just the mutation self-test
+//   apsp_check --list                       # backend catalog
+//
+// Replay: every reported divergence prints the exact flags that rebuild the
+// offending graph; run them to reproduce a single comparison round:
+//
+//   apsp_check --family ba --weight f32 --n 96 --param 3 --seed 1038
+//
+// Exit codes: 0 = all backends agree, 1 = divergence or oracle failure,
+// 2 = usage error.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "check/backends.hpp"
+#include "check/fuzz.hpp"
+#include "check/invariants.hpp"
+#include "check/oracle.hpp"
+#include "parapsp/parapsp.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+check::FuzzFamily family_from_string(const std::string& name) {
+  if (name == "er") return check::FuzzFamily::kER;
+  if (name == "ba") return check::FuzzFamily::kBA;
+  if (name == "ws") return check::FuzzFamily::kWS;
+  if (name == "rmat") return check::FuzzFamily::kRMAT;
+  throw std::invalid_argument("unknown --family '" + name + "' (er|ba|ws|rmat)");
+}
+
+/// Replays one spec in weight type W: every applicable backend vs the
+/// reference plus the invariant catalog. Returns the number of failures.
+template <WeightType W>
+int replay_spec(const check::FuzzGraphSpec& spec, const char* weight_name) {
+  const auto g = check::build_fuzz_graph<W>(spec);
+  std::printf("graph: %s n=%u m=%llu fp=%llu\n", spec.replay_flags(weight_name).c_str(),
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              static_cast<unsigned long long>(apsp::graph_fingerprint(g)));
+
+  const auto reference = check::reference_backend<W>();
+  const auto D_ref = reference.run(g);
+  int failures = 0;
+
+  check::InvariantOptions iopts;
+  iopts.seed = spec.seed;
+  const auto inv = check::check_invariants(g, D_ref, iopts);
+  std::printf("  %-28s %s\n", "invariants(reference)", inv.to_string().c_str());
+  if (!inv.ok()) ++failures;
+
+  for (const auto& backend : check::all_backends<W>()) {
+    if (!backend.is_applicable(g)) {
+      std::printf("  %-28s skipped (precondition)\n", backend.name.c_str());
+      continue;
+    }
+    check::Provenance prov;
+    prov.backend_a = reference.name;
+    prov.backend_b = backend.name;
+    prov.graph_fp = apsp::graph_fingerprint(g);
+    prov.seed = spec.seed;
+    prov.graph_desc = spec.replay_flags(weight_name);
+    const auto D = backend.run(g);
+    const auto diff = check::diff_matrices(D_ref, D, prov);
+    if (!diff) {
+      std::printf("  %-28s oracle error: %s\n", backend.name.c_str(),
+                  diff.status().message().c_str());
+      ++failures;
+    } else if (diff->has_value()) {
+      std::printf("  %-28s %s\n", backend.name.c_str(), (**diff).to_string().c_str());
+      ++failures;
+    } else {
+      std::printf("  %-28s ok\n", backend.name.c_str());
+    }
+  }
+  return failures;
+}
+
+int run_self_test(std::uint64_t seed) {
+  int failures = 0;
+  auto run_one = [&](const char* weight_name, auto witness) {
+    using W = decltype(witness);
+    check::FuzzGraphSpec spec{check::FuzzFamily::kBA, 64, 3, false, false, seed};
+    const auto g = check::build_fuzz_graph<W>(spec);
+    const auto st = check::mutation_self_test(g, check::reference_backend<W>(), seed);
+    std::printf("  mutation self-test [%s]: %s\n", weight_name,
+                st.is_ok() ? "ok" : st.message().c_str());
+    if (!st.is_ok()) ++failures;
+  };
+  run_one("u32", std::uint32_t{});
+  run_one("i32", std::int32_t{});
+  run_one("f32", float{});
+  run_one("f64", double{});
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  try {
+    const util::Args args(argc, argv);
+
+    if (args.get_flag("list")) {
+      // Flags below must still be marked known so reject_unknown() is exact.
+      for (const auto& b : check::all_backends<std::uint32_t>()) {
+        std::printf("%s\n", b.name.c_str());
+      }
+      return 0;
+    }
+
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    if (args.get_flag("self-test")) {
+      args.reject_unknown();
+      std::printf("oracle self-test (seed %llu):\n",
+                  static_cast<unsigned long long>(seed));
+      const int failures = run_self_test(seed);
+      return failures == 0 ? 0 : 1;
+    }
+
+    if (const std::string family = args.get("family"); !family.empty()) {
+      // Replay mode: one graph, every backend.
+      check::FuzzGraphSpec spec;
+      spec.family = family_from_string(family);
+      spec.n = static_cast<VertexId>(args.get_int("n", 96));
+      spec.param = static_cast<std::uint64_t>(
+          args.get_int("param", spec.family == check::FuzzFamily::kER ||
+                                        spec.family == check::FuzzFamily::kRMAT
+                                    ? spec.n * 3
+                                    : 3));
+      spec.directed = args.get_flag("directed");
+      spec.unit_weights = args.get_flag("unit-weights");
+      spec.seed = seed;
+      const std::string weight = args.get("weight", "u32");
+      args.reject_unknown();
+
+      int failures = 0;
+      if (weight == "u32") failures = replay_spec<std::uint32_t>(spec, "u32");
+      else if (weight == "i32") failures = replay_spec<std::int32_t>(spec, "i32");
+      else if (weight == "f32") failures = replay_spec<float>(spec, "f32");
+      else if (weight == "f64") failures = replay_spec<double>(spec, "f64");
+      else throw std::invalid_argument("unknown --weight '" + weight +
+                                       "' (u32|i32|f32|f64)");
+      std::printf("%s\n", failures == 0 ? "CLEAN" : "DIVERGENT");
+      return failures == 0 ? 0 : 1;
+    }
+
+    // Fuzz mode.
+    check::FuzzConfig cfg = args.get_flag("smoke") ? check::smoke_config()
+                                                   : check::FuzzConfig{};
+    cfg.base_seed = seed;
+    if (args.has("n")) cfg.n = static_cast<VertexId>(args.get_int("n", cfg.n));
+    if (args.has("rounds")) {
+      cfg.rounds = static_cast<std::uint64_t>(args.get_int("rounds", 2));
+    }
+    if (args.has("max-failures")) {
+      cfg.max_failures = static_cast<std::size_t>(args.get_int("max-failures", 4));
+    }
+    // Mark replay-only flags as known so mixed invocations fail clearly.
+    (void)args.get("weight");
+    (void)args.get_int("param", 0);
+    (void)args.get_flag("directed");
+    (void)args.get_flag("unit-weights");
+    args.reject_unknown();
+
+    std::printf("differential fuzz: n=%u rounds=%llu seed=%llu (4 weight types, %zu backends)\n",
+                cfg.n, static_cast<unsigned long long>(cfg.rounds),
+                static_cast<unsigned long long>(cfg.base_seed),
+                check::all_backends<std::uint32_t>().size());
+    const auto outcome = check::run_fuzz(cfg);
+    std::printf("graphs=%llu comparisons=%llu failures=%zu\n",
+                static_cast<unsigned long long>(outcome.graphs),
+                static_cast<unsigned long long>(outcome.comparisons),
+                outcome.failures.size());
+    for (const auto& f : outcome.failures) std::printf("FAIL %s\n", f.c_str());
+    std::printf("%s\n", outcome.ok() ? "CLEAN" : "DIVERGENT");
+    return outcome.ok() ? 0 : 1;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "usage error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
