@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "util/crc32.hpp"
 #include "util/failpoints.hpp"
 
 namespace parapsp::apsp::detail {
@@ -42,6 +43,18 @@ Status write_checkpoint_file(const std::string& path, const CheckpointHeader& hd
     out.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
     out.write(reinterpret_cast<const char*>(bitmap.data()),
               static_cast<std::streamsize>(bitmap.size() * sizeof(std::uint64_t)));
+    // v2: CRC-32 of every stored row, bitmap order, ahead of the row data so
+    // a torn tail (the common kill-mid-write shape) still leaves the CRCs of
+    // the rows it claims intact — and therefore detectable.
+    std::vector<std::uint32_t> crcs;
+    crcs.reserve(hdr.completed_count);
+    for (std::uint32_t s = 0; s < hdr.n; ++s) {
+      if (!(bitmap[s / 64] & (std::uint64_t{1} << (s % 64)))) continue;
+      crcs.push_back(util::crc32(
+          matrix + static_cast<std::size_t>(s) * row_stride_bytes, row_bytes));
+    }
+    out.write(reinterpret_cast<const char*>(crcs.data()),
+              static_cast<std::streamsize>(crcs.size() * sizeof(std::uint32_t)));
     for (std::uint32_t s = 0; s < hdr.n; ++s) {
       if (!(bitmap[s / 64] & (std::uint64_t{1} << (s % 64)))) continue;
       out.write(reinterpret_cast<const char*>(matrix +
@@ -69,7 +82,7 @@ Status read_checkpoint_file(const std::string& path, std::uint8_t expected_code,
                             CheckpointHeader& hdr, std::vector<std::uint64_t>& bitmap,
                             std::vector<std::byte>& packed_rows) {
   std::ifstream in(path, std::ios::binary);
-  if (!in || PARAPSP_FAILPOINT("io_open_read")) {
+  if (!in || PARAPSP_FAILPOINT("io_open_read") || PARAPSP_FAILPOINT("checkpoint_read")) {
     return {ErrorCode::kIo,
             "cannot open checkpoint '" + path + "': " + std::strerror(errno)};
   }
@@ -79,10 +92,11 @@ Status read_checkpoint_file(const std::string& path, std::uint8_t expected_code,
   if (hdr.magic != kCheckpointMagic) {
     return {ErrorCode::kFormat, "checkpoint '" + path + "': bad magic"};
   }
-  if (hdr.version != kCheckpointVersion) {
+  if (hdr.version != kCheckpointVersion && hdr.version != kCheckpointVersionNoCrc) {
     return {ErrorCode::kFormat, "checkpoint '" + path + "': unsupported version " +
                                     std::to_string(hdr.version)};
   }
+  const bool has_crc = hdr.version >= kCheckpointVersion;
   if (hdr.weight_code != expected_code) {
     return {ErrorCode::kFormat, "checkpoint '" + path + "': weight type mismatch"};
   }
@@ -95,33 +109,41 @@ Status read_checkpoint_file(const std::string& path, std::uint8_t expected_code,
   // Size sanity before allocating, mirroring the binary graph loader.
   const std::size_t words = (static_cast<std::size_t>(hdr.n) + 63) / 64;
   std::size_t row_bytes = 0, rows_bytes = 0;
-  const std::size_t weight_size = expected_code == 0   ? sizeof(std::uint32_t)
-                                  : expected_code == 1 ? sizeof(float)
-                                                       : sizeof(double);
+  const std::size_t weight_size = expected_code == 1   ? sizeof(float)
+                                  : expected_code == 2 ? sizeof(double)
+                                                       : sizeof(std::uint32_t);
+  // codes 0 (u32) and 3 (i32) are both 4 bytes; see graph/io_binary.hpp
   if (!parapsp::checked_mul(hdr.n, weight_size, row_bytes) ||
       !parapsp::checked_mul(row_bytes, hdr.completed_count, rows_bytes)) {
     return {ErrorCode::kFormat, "checkpoint '" + path + "': header sizes overflow"};
   }
+  const std::size_t crc_bytes =
+      has_crc ? static_cast<std::size_t>(hdr.completed_count) * sizeof(std::uint32_t)
+              : 0;
   std::error_code fs_ec;
   const auto file_size = std::filesystem::file_size(path, fs_ec);
   if (fs_ec) {
     return {ErrorCode::kIo, "cannot stat checkpoint '" + path + "': " + fs_ec.message()};
   }
-  const std::size_t expected = sizeof hdr + words * sizeof(std::uint64_t) + rows_bytes;
+  const std::size_t expected =
+      sizeof hdr + words * sizeof(std::uint64_t) + crc_bytes + rows_bytes;
   if (file_size < expected) {
     return {ErrorCode::kFormat, "checkpoint '" + path + "': file holds " +
                                     std::to_string(file_size) + " bytes, header needs " +
                                     std::to_string(expected)};
   }
 
+  std::vector<std::uint32_t> crcs;
   try {
     bitmap.resize(words);
+    crcs.resize(has_crc ? hdr.completed_count : 0);
     packed_rows.resize(rows_bytes);
   } catch (const std::bad_alloc&) {
     return {ErrorCode::kResource, "checkpoint '" + path + "': allocation failed"};
   }
   if (!read_exact(in, bitmap.data(), words * sizeof(std::uint64_t)) ||
-      !read_exact(in, packed_rows.data(), rows_bytes) ||
+      (crc_bytes != 0 && !read_exact(in, crcs.data(), crc_bytes)) ||
+      (rows_bytes != 0 && !read_exact(in, packed_rows.data(), rows_bytes)) ||
       PARAPSP_FAILPOINT("io_short_read")) {
     return {ErrorCode::kFormat, "checkpoint '" + path + "': truncated payload"};
   }
@@ -133,6 +155,18 @@ Status read_checkpoint_file(const std::string& path, std::uint8_t expected_code,
   for (std::uint32_t s = hdr.n; s < words * 64; ++s) {
     if (bitmap[s / 64] & (std::uint64_t{1} << (s % 64))) {
       return {ErrorCode::kFormat, "checkpoint '" + path + "': bitmap bit past n"};
+    }
+  }
+  // v2: every row block must match its recorded CRC — a torn or corrupt row
+  // is a typed format error (recompute it), never a silent resume.
+  if (has_crc) {
+    for (std::size_t i = 0; i < crcs.size(); ++i) {
+      const std::uint32_t actual =
+          util::crc32(packed_rows.data() + i * row_bytes, row_bytes);
+      if (actual != crcs[i] || PARAPSP_FAILPOINT("checkpoint_crc")) {
+        return {ErrorCode::kFormat, "checkpoint '" + path + "': row block " +
+                                        std::to_string(i) + " fails CRC-32 check"};
+      }
     }
   }
   return Status::ok();

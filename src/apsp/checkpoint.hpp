@@ -11,11 +11,21 @@
 //   magic "PACK" | u32 version | u8 weight_code | u8x3 pad | u32 n
 //   u64 graph_fingerprint | u64 completed_count
 //   bitmap[(n+63)/64] (u64, bit s = row s present)
+//   v2 only: row_crc[completed_count] (u32, CRC-32 of each stored row's
+//            bytes, in bitmap order)
 //   rows: for each set bit in ascending s, n W values
+//
+// Version 2 (current) stamps a CRC-32 on every row block so a torn or
+// corrupt file — a writer SIGKILLed mid-write, a bad disk — is detected and
+// the affected rows recomputed instead of silently merged into a resumed
+// run. The reader still accepts version-1 files (no CRC section, no
+// integrity check beyond the structural ones). The same format carries the
+// dist supervisor's shard files (src/dist/), where the CRC is the line
+// between "merge this shard" and "reassign it".
 //
 // Writes go to "<path>.tmp" and are renamed into place, so a crash mid-write
 // never corrupts the previous checkpoint. The writer consults the
-// `checkpoint_write` failpoint.
+// `checkpoint_write` failpoint; the reader consults `checkpoint_read`.
 //
 // Snapshot safety: rows are immutable once their completion flag is
 // published (release/acquire, see flags.hpp), so a checkpoint taken from a
@@ -40,7 +50,9 @@ namespace parapsp::apsp {
 namespace detail {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4b434150u;  // "PACK"
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// Version 2 adds the per-row CRC-32 section; readers accept 1 and 2.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointVersionNoCrc = 1;
 
 struct CheckpointHeader {
   std::uint32_t magic = kCheckpointMagic;

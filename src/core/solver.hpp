@@ -32,6 +32,7 @@
 #include "util/exec_control.hpp"
 #include "util/expected.hpp"
 #include "util/parallel.hpp"
+#include "util/retry.hpp"
 #include "util/timer.hpp"
 
 namespace parapsp::core {
@@ -215,7 +216,14 @@ template <WeightType W>
 
   // Periodic checkpointer: snapshots the published-row bitmap (acquire) and
   // serializes only frozen rows, so it runs concurrently with the sweep
-  // without locks or pauses. First write failure is remembered and surfaced.
+  // without locks or pauses. Transient write failures (is_retryable — a busy
+  // disk, a momentary EMFILE) are retried with capped backoff before the
+  // failure is remembered; the next periodic tick is another chance anyway.
+  // First unrecovered failure is remembered and surfaced.
+  const util::RetryPolicy checkpoint_retry{.max_attempts = 3,
+                                           .initial_delay_s = 0.02,
+                                           .max_delay_s = 0.2,
+                                           .multiplier = 2.0};
   std::atomic<bool> sweep_done{false};
   util::Status checkpoint_status;
   std::thread checkpointer;
@@ -231,8 +239,10 @@ template <WeightType W>
         last = now;
         obs::ScopedSpan span("checkpoint", "io");
         const auto bitmap = apsp::completed_bitmap(flags);
-        const auto st =
-            apsp::save_checkpoint(opts.checkpoint_path, result.distances, bitmap, fp);
+        const auto st = util::retry_with_backoff(checkpoint_retry, [&] {
+          return apsp::save_checkpoint(opts.checkpoint_path, result.distances,
+                                       bitmap, fp);
+        });
         if (!st.is_ok() && checkpoint_status.is_ok()) checkpoint_status = st;
       }
     });
@@ -259,12 +269,16 @@ template <WeightType W>
     result.completed_rows = apsp::completed_bitmap(flags);
   }
 
-  // Final checkpoint: persists the stop state (or the finished matrix).
+  // Final checkpoint: persists the stop state (or the finished matrix). The
+  // retry matters most here — there is no later tick to paper over a
+  // transient failure.
   if (!opts.checkpoint_path.empty()) {
     obs::ScopedSpan span("checkpoint", "io");
     const auto bitmap = apsp::completed_bitmap(flags);
-    const auto st =
-        apsp::save_checkpoint(opts.checkpoint_path, result.distances, bitmap, fp);
+    const auto st = util::retry_with_backoff(checkpoint_retry, [&] {
+      return apsp::save_checkpoint(opts.checkpoint_path, result.distances, bitmap,
+                                   fp);
+    });
     if (!st.is_ok() && checkpoint_status.is_ok()) checkpoint_status = st;
   }
   // A checkpoint failure must be visible, but never masks a cancel/timeout.

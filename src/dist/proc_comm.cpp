@@ -1,0 +1,223 @@
+#include "dist/proc_comm.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "util/failpoints.hpp"
+
+namespace parapsp::dist {
+
+namespace {
+
+using util::ErrorCode;
+using util::Status;
+
+[[nodiscard]] Status make_socketpair(int out[2]) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, out) != 0) {
+    return {ErrorCode::kIo,
+            std::string("socketpair failed: ") + std::strerror(errno)};
+  }
+  return Status::ok();
+}
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+util::Expected<WorkerProc> spawn_worker_fork(
+    int id, int generation, const std::function<void(int fd)>& body) {
+  int sp[2];
+  if (auto st = make_socketpair(sp); !st.is_ok()) return st;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    close_quietly(sp[0]);
+    close_quietly(sp[1]);
+    return Status{ErrorCode::kResource,
+                  std::string("fork failed: ") + std::strerror(errno)};
+  }
+  if (pid == 0) {
+    // Child: sever the supervisor end, run the worker body, and leave via
+    // _exit — never unwind into the parent's test/tool stack, never run the
+    // parent's atexit handlers.
+    ::close(sp[0]);
+    body(sp[1]);
+    ::_exit(0);
+  }
+  ::close(sp[1]);
+  WorkerProc w;
+  w.pid = static_cast<int>(pid);
+  w.fd = sp[0];
+  w.id = id;
+  w.generation = generation;
+  return w;
+}
+
+util::Expected<WorkerProc> spawn_worker_exec(int id, int generation,
+                                             const std::vector<std::string>& argv) {
+  if (argv.empty()) {
+    return Status{ErrorCode::kInvalidArgument, "spawn_worker_exec: empty argv"};
+  }
+  int sp[2];
+  if (auto st = make_socketpair(sp); !st.is_ok()) return st;
+  // Substitute the child's fd number before fork so no allocation happens in
+  // the child between fork and exec.
+  std::vector<std::string> resolved = argv;
+  const std::string fd_str = std::to_string(sp[1]);
+  for (auto& arg : resolved) {
+    for (std::size_t at = arg.find("{FD}"); at != std::string::npos;
+         at = arg.find("{FD}")) {
+      arg.replace(at, 4, fd_str);
+    }
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(resolved.size() + 1);
+  for (auto& arg : resolved) cargv.push_back(arg.data());
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    close_quietly(sp[0]);
+    close_quietly(sp[1]);
+    return Status{ErrorCode::kResource,
+                  std::string("fork failed: ") + std::strerror(errno)};
+  }
+  if (pid == 0) {
+    ::close(sp[0]);
+    // The socket must survive exec; sockets are not CLOEXEC by default but
+    // clear it defensively in case the allocator handed us a recycled fd.
+    const int flags = ::fcntl(sp[1], F_GETFD);
+    if (flags >= 0) ::fcntl(sp[1], F_SETFD, flags & ~FD_CLOEXEC);
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);  // exec failed; the supervisor sees EOF and retries
+  }
+  ::close(sp[1]);
+  WorkerProc w;
+  w.pid = static_cast<int>(pid);
+  w.fd = sp[0];
+  w.id = id;
+  w.generation = generation;
+  return w;
+}
+
+Status send_frame(int fd, wire::MsgType type, const std::vector<std::uint8_t>& payload,
+                  std::uint64_t* bytes_sent) {
+  if (PARAPSP_FAILPOINT("comm_send")) {
+    return {ErrorCode::kIo, "comm_send failpoint armed"};
+  }
+  const auto frame = wire::encode_frame(type, payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE — the
+    // supervisor treats it as worker death, and a library must never install
+    // process-wide signal dispositions on the caller's behalf.
+    const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return {ErrorCode::kUnavailable, "peer closed the channel"};
+      }
+      return {ErrorCode::kIo, std::string("send failed: ") + std::strerror(errno)};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (bytes_sent) *bytes_sent += frame.size();
+  return Status::ok();
+}
+
+Status pump_frames(int fd, wire::FrameDecoder& dec, bool& eof) {
+  eof = false;
+  if (PARAPSP_FAILPOINT("comm_recv")) {
+    return {ErrorCode::kIo, "comm_recv failpoint armed"};
+  }
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, MSG_DONTWAIT);
+    if (n > 0) {
+      dec.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      return Status::ok();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::ok();
+    if (errno == ECONNRESET) {
+      eof = true;
+      return Status::ok();
+    }
+    return {ErrorCode::kIo, std::string("recv failed: ") + std::strerror(errno)};
+  }
+}
+
+util::Expected<wire::Frame> recv_frame_blocking(int fd, wire::FrameDecoder& dec) {
+  for (;;) {
+    wire::Frame frame;
+    bool has = false;
+    if (auto st = dec.next(frame, has); !st.is_ok()) return st;
+    if (has) return frame;
+
+    if (PARAPSP_FAILPOINT("comm_recv")) {
+      return Status{ErrorCode::kIo, "comm_recv failpoint armed"};
+    }
+    std::uint8_t buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      dec.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0 || errno == ECONNRESET) {
+      return Status{ErrorCode::kUnavailable, "peer closed the channel"};
+    }
+    if (errno == EINTR) continue;
+    return Status{ErrorCode::kIo, std::string("recv failed: ") + std::strerror(errno)};
+  }
+}
+
+int poll_readable(const std::vector<int>& fds, std::vector<bool>& readable,
+                  double timeout_s) {
+  readable.assign(fds.size(), false);
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> index;
+  pfds.reserve(fds.size());
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i] < 0) continue;
+    pfds.push_back(pollfd{fds[i], POLLIN, 0});
+    index.push_back(i);
+  }
+  if (pfds.empty()) return 0;
+  const int timeout_ms =
+      timeout_s < 0 ? -1 : static_cast<int>(std::lround(timeout_s * 1000.0));
+  const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (ready <= 0) return 0;
+  for (std::size_t k = 0; k < pfds.size(); ++k) {
+    if (pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) readable[index[k]] = true;
+  }
+  return ready;
+}
+
+void kill_process(int pid) {
+  if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+bool reap_process(int pid, bool block) {
+  if (pid <= 0) return true;
+  int status = 0;
+  const pid_t r = ::waitpid(pid, &status, block ? 0 : WNOHANG);
+  if (r == pid) return true;
+  if (r < 0 && errno == ECHILD) return true;  // already reaped elsewhere
+  return false;
+}
+
+}  // namespace parapsp::dist

@@ -1,0 +1,82 @@
+// ProcComm — the OS-process communication backend under the fault-tolerant
+// BSP execution mode.
+//
+// Where comm.hpp's CommStats + SharingPolicy describe the *accounting
+// surface* of the simulated cluster, this header is the real thing for one
+// machine: each worker rank is a forked (optionally exec'ed) child process
+// connected to the supervisor by an AF_UNIX stream socketpair carrying the
+// framed messages of wire.hpp. Everything here is deliberately untemplated
+// and syscall-shaped so the supervisor (supervisor.hpp, templated on the
+// weight type) stays free of raw POSIX.
+//
+// Failure surfaces are typed: a dead peer is kUnavailable (retryable — the
+// supervisor respawns and reassigns), a syscall failure is kIo, a corrupt
+// frame is kFormat (permanent). Failpoints `comm_send` and `comm_recv` arm
+// the send/recv paths for the crash-recovery harness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dist/wire.hpp"
+#include "util/expected.hpp"
+#include "util/status.hpp"
+
+namespace parapsp::dist {
+
+/// One live worker process as the supervisor sees it.
+struct WorkerProc {
+  int pid = -1;
+  int fd = -1;         ///< supervisor's end of the socketpair
+  int id = 0;          ///< rank slot [0, ranks)
+  int generation = 0;  ///< how many processes have occupied this slot
+};
+
+/// Spawns a worker by fork(): the child closes the supervisor end, runs
+/// `body(child_fd)` (which must not return control flow to the caller's
+/// stack — it ends in _exit), and never executes supervisor code. Used by
+/// in-process callers (tests, library users) that already hold the graph.
+[[nodiscard]] util::Expected<WorkerProc> spawn_worker_fork(
+    int id, int generation, const std::function<void(int fd)>& body);
+
+/// Spawns a worker by fork()+execv(): every "{FD}" in `argv` is replaced by
+/// the child's socket fd number. Used by tools/apsp_run --dist-ranks, which
+/// re-executes itself with --dist-worker. The fd survives exec (CLOEXEC is
+/// cleared on the child end).
+[[nodiscard]] util::Expected<WorkerProc> spawn_worker_exec(
+    int id, int generation, const std::vector<std::string>& argv);
+
+/// Sends one frame. `bytes_sent`, when non-null, accumulates the frame size
+/// (the CommStats feed). kUnavailable when the peer is gone (EPIPE), kIo on
+/// other syscall failures or an armed `comm_send` failpoint.
+[[nodiscard]] util::Status send_frame(int fd, wire::MsgType type,
+                                      const std::vector<std::uint8_t>& payload,
+                                      std::uint64_t* bytes_sent = nullptr);
+
+/// Non-blocking drain after poll() readiness: reads whatever the socket
+/// holds into the decoder. Sets `eof` when the peer closed (worker death —
+/// the caller owns the kUnavailable decision). kIo on syscall failure or an
+/// armed `comm_recv` failpoint.
+[[nodiscard]] util::Status pump_frames(int fd, wire::FrameDecoder& dec, bool& eof);
+
+/// Blocking receive of the next frame (the worker side's main loop).
+/// kUnavailable on EOF (supervisor died), kFormat on a corrupt frame.
+[[nodiscard]] util::Expected<wire::Frame> recv_frame_blocking(int fd,
+                                                              wire::FrameDecoder& dec);
+
+/// poll(2) over `fds` for readability. `readable[i]` is set when fds[i] has
+/// data or EOF pending. Returns the number of ready fds (0 on timeout).
+/// Entries with fd < 0 are skipped (dead slots).
+int poll_readable(const std::vector<int>& fds, std::vector<bool>& readable,
+                  double timeout_s);
+
+/// SIGKILL — the supervisor's hammer for hung or superseded workers.
+void kill_process(int pid);
+
+/// waitpid wrapper; true once the process has been reaped (or was never
+/// ours). Non-blocking unless `block`.
+bool reap_process(int pid, bool block);
+
+}  // namespace parapsp::dist

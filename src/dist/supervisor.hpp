@@ -1,0 +1,596 @@
+// Fault-tolerant multi-process BSP supervisor.
+//
+// Contract: any single worker process can be killed at any point during the
+// run, and the delivered distance matrix is still bit-identical to the
+// single-process solver's (verified by the crash-recovery harness through
+// the src/check/ oracle). The machinery:
+//
+//   * sources are partitioned into row-block shards along the multilists
+//     degree order (the same order the paper's sweep uses);
+//   * shards are *leased* to worker processes (proc_comm.hpp/worker.hpp)
+//     with a per-lease deadline and a heartbeat-per-row liveness signal;
+//   * worker death (socket EOF + waitpid) and hangs (heartbeat silence or
+//     lease-deadline expiry, then SIGKILL) both return the lease to the
+//     pending queue with capped exponential backoff (util/retry.hpp) and a
+//     bounded per-shard attempt budget, while the worker slot is respawned
+//     from a bounded restart budget;
+//   * workers persist shards with the CRC-stamped v2 checkpoint format; the
+//     supervisor re-validates every row block before merging, so a torn
+//     shard from a killed writer is recomputed, never merged;
+//   * when budgets are exhausted (or no worker can be spawned at all) the
+//     supervisor degrades gracefully: it computes the remaining shards
+//     in-process and reports the degradation as a typed, observable
+//     kUnavailable fault — it never hangs and never delivers corrupt rows.
+//
+// The supervisor is single-threaded (poll-based), so it composes with TSan
+// and with fork()'s constraints; the parallelism lives in the worker fleet.
+//
+// Determinism note: every completed row holds exact shortest-path distances
+// (the library's core invariant), so the merged matrix is bit-identical to
+// any other backend's for integral weights regardless of which worker
+// computed which row, how often leases bounced, or whether the run degraded.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apsp/checkpoint.hpp"
+#include "apsp/distance_matrix.hpp"
+#include "apsp/flags.hpp"
+#include "apsp/modified_dijkstra.hpp"
+#include "dist/comm.hpp"
+#include "dist/proc_comm.hpp"
+#include "dist/wire.hpp"
+#include "dist/worker.hpp"
+#include "graph/csr_graph.hpp"
+#include "obs/obs.hpp"
+#include "order/multilists.hpp"
+#include "util/exec_control.hpp"
+#include "util/expected.hpp"
+#include "util/retry.hpp"
+#include "util/status.hpp"
+#include "util/timer.hpp"
+
+namespace parapsp::dist {
+
+/// Recovery-event accounting for one supervised run (also mirrored into the
+/// obs counter registry: dist_retries, dist_reassignments, ...).
+struct FaultStats {
+  std::uint64_t retries = 0;           ///< shard attempts after a failure
+  std::uint64_t reassignments = 0;     ///< leases taken off a dead/hung worker
+  std::uint64_t heartbeat_misses = 0;  ///< leases reclaimed for silence/expiry
+  std::uint64_t worker_restarts = 0;   ///< processes respawned into a slot
+  std::uint64_t torn_shards = 0;       ///< shard files rejected by CRC/format
+  std::uint64_t degraded_shards = 0;   ///< shards computed in-process
+  std::uint64_t harness_kills = 0;     ///< SIGKILLs injected by kill_after_acks
+};
+
+struct ProcOptions {
+  int ranks = 2;              ///< worker processes
+  std::size_t shard_rows = 16; ///< sources per row-block shard (lease unit)
+  std::string shard_dir;      ///< where shard .pack files live (required)
+
+  double lease_timeout_s = 30.0;      ///< per-superstep deadline for one shard
+  double heartbeat_timeout_s = 10.0;  ///< silence budget for a leased worker
+
+  /// Per-shard attempt budget: first attempt + this many retries, then the
+  /// shard degrades to in-process computation.
+  int max_shard_retries = 3;
+  /// Total worker respawns across all slots before slots stay dead.
+  int max_worker_restarts = 4;
+  /// Backoff schedule for re-leasing a failed shard (delays only — the
+  /// attempt budget above is the authority on counts).
+  util::RetryPolicy backoff{.max_attempts = 4, .initial_delay_s = 0.01,
+                            .max_delay_s = 0.25, .multiplier = 2.0};
+  /// Retry policy for reading an acked shard file (transient I/O only).
+  util::RetryPolicy shard_read_retry{.max_attempts = 3, .initial_delay_s = 0.005,
+                                     .max_delay_s = 0.05, .multiplier = 2.0};
+
+  /// Cancel / deadline for the whole supervised run.
+  const util::ExecutionControl* control = nullptr;
+
+  /// Non-empty: spawn workers by fork+exec of this argv ("{FD}" is replaced
+  /// by the worker's socket fd). Empty: fork-only workers running
+  /// run_worker_loop on the in-memory graph.
+  std::vector<std::string> worker_exec_argv;
+
+  /// Crash-recovery harness: failpoint spec delivered (kArm frame) to the
+  /// first generation of workers only — respawned workers start clean.
+  std::string inject_failpoints;
+  /// Crash-recovery harness: after this many shard acks, SIGKILL one worker
+  /// that currently holds a lease (-1 = never). One-shot.
+  int kill_worker_after_acks = -1;
+};
+
+template <WeightType W>
+struct ProcDistResult {
+  apsp::DistanceMatrix<W> distances;
+  std::vector<std::uint8_t> completed;  ///< completed[s] != 0 ⇔ row s exact
+  CommStats comm;                       ///< messages/bytes/supersteps moved
+  FaultStats faults;
+  /// kOk, or kCancelled/kTimeout when ExecutionControl stopped the run.
+  util::Status status;
+  /// kOk, or a typed kUnavailable describing why the run degraded to
+  /// (partial) single-process execution. Degradation still completes the
+  /// matrix; this field makes it observable.
+  util::Status fault;
+  bool degraded = false;
+  double elapsed_seconds = 0.0;
+
+  [[nodiscard]] bool complete() const noexcept {
+    return std::all_of(completed.begin(), completed.end(),
+                       [](std::uint8_t b) { return b != 0; });
+  }
+};
+
+namespace detail {
+
+using Clock = std::chrono::steady_clock;
+
+enum class ShardState : std::uint8_t { kPending, kLeased, kDone };
+
+struct Shard {
+  std::uint64_t id = 0;
+  std::vector<VertexId> sources;
+  std::string path;
+  ShardState state = ShardState::kPending;
+  int attempts = 0;  ///< failed attempts so far
+  Clock::time_point ready{};  ///< earliest re-lease time (backoff)
+};
+
+struct WorkerSlot {
+  WorkerProc proc;
+  bool alive = false;
+  bool armed = false;        ///< inject spec delivered to this incarnation
+  std::ptrdiff_t lease = -1; ///< shard index, -1 = idle
+  Clock::time_point last_heard{};
+  Clock::time_point deadline{};
+  wire::FrameDecoder dec;
+};
+
+}  // namespace detail
+
+/// Runs APSP as a supervised fleet of worker processes. Returns a typed
+/// Status for setup failures (bad options, unusable shard dir, matrix
+/// allocation); in-run faults never come back as errors — they are absorbed
+/// by retry/reassign/degrade and reported in the result's fault/statistics
+/// fields. Cancel/timeout return a partial result with `status` set.
+template <WeightType W>
+[[nodiscard]] util::Expected<ProcDistResult<W>> supervise_apsp(
+    const graph::Graph<W>& g, const ProcOptions& opts) {
+  using detail::Clock;
+  using detail::Shard;
+  using detail::ShardState;
+  using detail::WorkerSlot;
+  using util::ErrorCode;
+  using util::Status;
+
+  if (opts.ranks <= 0) {
+    return Status{ErrorCode::kInvalidArgument, "supervise_apsp: ranks must be > 0"};
+  }
+  if (opts.shard_rows == 0) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "supervise_apsp: shard_rows must be > 0"};
+  }
+  if (opts.shard_dir.empty()) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "supervise_apsp: shard_dir is required"};
+  }
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.shard_dir, ec);
+    if (ec) {
+      return Status{ErrorCode::kIo, "supervise_apsp: cannot create shard dir '" +
+                                        opts.shard_dir + "': " + ec.message()};
+    }
+  }
+
+  util::WallTimer timer;
+  obs::ScopedSpan run_span("dist_supervise");
+
+  const VertexId n = g.num_vertices();
+  ProcDistResult<W> result;
+  {
+    auto D = apsp::DistanceMatrix<W>::try_create(n);
+    if (!D) return D.status();
+    result.distances = std::move(*D);
+  }
+  result.completed.assign(n, 0);
+  if (n == 0) {
+    result.elapsed_seconds = timer.seconds();
+    return result;
+  }
+
+  const std::uint64_t fp = apsp::graph_fingerprint(g);
+  const std::uint8_t wcode = graph::detail::weight_code<W>();
+  const std::size_t row_bytes = static_cast<std::size_t>(n) * sizeof(W);
+
+  // Row-block shards along the degree order — the same positions-first
+  // partitioning insight the simulated backend uses.
+  std::vector<Shard> shards;
+  {
+    const auto order = order::multilists_order(g.degrees());
+    for (std::size_t at = 0; at < order.size(); at += opts.shard_rows) {
+      Shard s;
+      s.id = shards.size();
+      const std::size_t end = std::min(order.size(), at + opts.shard_rows);
+      s.sources.assign(order.begin() + static_cast<std::ptrdiff_t>(at),
+                       order.begin() + static_cast<std::ptrdiff_t>(end));
+      s.path = opts.shard_dir + "/shard_" + std::to_string(s.id) + ".pack";
+      shards.push_back(std::move(s));
+    }
+  }
+
+  // Rows merged so far, published for reuse by the degrade path's kernel.
+  apsp::FlagArray merged(n);
+  apsp::DijkstraWorkspace degrade_ws;
+
+  const util::Backoff backoff(opts.backoff);
+  std::size_t done_count = 0;
+  int restarts_used = 0;
+  int acks_seen = 0;
+  bool harness_kill_pending = opts.kill_worker_after_acks >= 0;
+  bool aborted = false;
+
+  std::vector<WorkerSlot> workers(static_cast<std::size_t>(opts.ranks));
+
+  auto note_degraded = [&](const Status& why) {
+    result.degraded = true;
+    if (result.fault.is_ok()) {
+      result.fault = Status{ErrorCode::kUnavailable,
+                            "degraded to single-process execution: " + why.message()};
+    }
+  };
+
+  // In-process fallback for one shard — the bottom of the degradation
+  // ladder. Merged rows are published to `merged`, so the kernel still
+  // prunes through every row the fleet did deliver.
+  auto degrade_shard = [&](Shard& s, const Status& why) {
+    obs::ScopedSpan span("dist_degrade");
+    note_degraded(why);
+    ++result.faults.degraded_shards;
+    degrade_ws.resize(n);
+    for (const VertexId src : s.sources) {
+      if (result.completed[src]) continue;
+      (void)apsp::modified_dijkstra(g, src, result.distances, merged, degrade_ws);
+      result.completed[src] = 1;
+    }
+    s.state = ShardState::kDone;
+    ++done_count;
+  };
+
+  // A failed attempt: back off and retry, or exhaust the budget and degrade.
+  // `permanent` short-circuits the budget (same failure on every worker).
+  auto fail_shard = [&](std::ptrdiff_t si, const Status& why, bool permanent) {
+    Shard& s = shards[static_cast<std::size_t>(si)];
+    if (s.state == ShardState::kDone) return;
+    ++s.attempts;
+    if (permanent || s.attempts > opts.max_shard_retries) {
+      degrade_shard(s, why);
+      return;
+    }
+    s.state = ShardState::kPending;
+    s.ready = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     backoff.delay_s(s.attempts)));
+    ++result.faults.retries;
+    obs::count(obs::Counter::kDistRetries);
+  };
+
+  auto spawn_slot = [&](std::size_t wi, int generation) -> bool {
+    auto spawned =
+        opts.worker_exec_argv.empty()
+            ? spawn_worker_fork(static_cast<int>(wi), generation,
+                                [&g](int fd) { run_worker_loop<W>(fd, g); })
+            : spawn_worker_exec(static_cast<int>(wi), generation,
+                                opts.worker_exec_argv);
+    if (!spawned) return false;
+    WorkerSlot& w = workers[wi];
+    w.proc = *spawned;
+    w.alive = true;
+    w.armed = false;
+    w.lease = -1;
+    w.last_heard = Clock::now();
+    w.dec = wire::FrameDecoder{};
+    return true;
+  };
+
+  auto worker_died = [&](std::size_t wi, const Status& why) {
+    WorkerSlot& w = workers[wi];
+    if (!w.alive) return;
+    w.alive = false;
+    if (w.proc.fd >= 0) {
+      ::close(w.proc.fd);
+      w.proc.fd = -1;
+    }
+    kill_process(w.proc.pid);  // idempotent; covers the hung-not-dead case
+    reap_process(w.proc.pid, /*block=*/true);
+    if (w.lease >= 0) {
+      ++result.faults.reassignments;
+      obs::count(obs::Counter::kDistReassignments);
+      fail_shard(w.lease, why, /*permanent=*/false);
+      w.lease = -1;
+    }
+    if (restarts_used < opts.max_worker_restarts) {
+      ++restarts_used;
+      if (spawn_slot(wi, w.proc.generation + 1)) {
+        ++result.faults.worker_restarts;
+      }
+    }
+  };
+
+  // Validates and merges an acked shard file; a failure is reported to the
+  // caller as a Status so the lease can be failed/retried, never merged.
+  auto merge_shard = [&](Shard& s) -> Status {
+    obs::ScopedSpan span("dist_merge", "io");
+    apsp::detail::CheckpointHeader hdr;
+    std::vector<std::uint64_t> bitmap;
+    std::vector<std::byte> packed;
+    const Status read_st = util::retry_with_backoff(opts.shard_read_retry, [&] {
+      return apsp::detail::read_checkpoint_file(s.path, wcode, hdr, bitmap, packed);
+    });
+    if (!read_st.is_ok()) return read_st;
+    if (hdr.n != n || hdr.graph_fingerprint != fp) {
+      return {ErrorCode::kFormat, "shard '" + s.path + "' belongs to another graph"};
+    }
+    if (hdr.completed_count != s.sources.size()) {
+      return {ErrorCode::kFormat, "shard '" + s.path + "' holds " +
+                                      std::to_string(hdr.completed_count) +
+                                      " rows, lease expected " +
+                                      std::to_string(s.sources.size())};
+    }
+    for (const VertexId src : s.sources) {
+      if (!(bitmap[src / 64] & (std::uint64_t{1} << (src % 64)))) {
+        return {ErrorCode::kFormat,
+                "shard '" + s.path + "' is missing leased row " + std::to_string(src)};
+      }
+    }
+    // Rows are packed in ascending-source (bitmap) order.
+    std::vector<VertexId> ascending = s.sources;
+    std::sort(ascending.begin(), ascending.end());
+    for (std::size_t i = 0; i < ascending.size(); ++i) {
+      const VertexId src = ascending[i];
+      std::memcpy(result.distances.row(src).data(), packed.data() + i * row_bytes,
+                  row_bytes);
+      result.completed[src] = 1;
+      merged.publish(src);
+    }
+    result.comm.bytes += packed.size();
+    obs::count(obs::Counter::kDistBytesMoved, packed.size());
+    return Status::ok();
+  };
+
+  auto send_to_worker = [&](std::size_t wi, wire::MsgType type,
+                            const std::vector<std::uint8_t>& payload) -> bool {
+    WorkerSlot& w = workers[wi];
+    std::uint64_t sent = 0;
+    const auto st = send_frame(w.proc.fd, type, payload, &sent);
+    if (!st.is_ok()) {
+      worker_died(wi, Status{ErrorCode::kUnavailable,
+                             "worker send failed: " + st.message()});
+      return false;
+    }
+    ++result.comm.messages;
+    result.comm.bytes += sent;
+    obs::count(obs::Counter::kDistBytesMoved, sent);
+    return true;
+  };
+
+  // --- initial fleet ---------------------------------------------------------
+  for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+    (void)spawn_slot(wi, 0);
+  }
+
+  // --- supervision loop ------------------------------------------------------
+  while (done_count < shards.size()) {
+    if (opts.control != nullptr) {
+      const auto st = opts.control->check();
+      if (!st.is_ok()) {
+        result.status = st;
+        aborted = true;
+        break;
+      }
+    }
+
+    const auto now = Clock::now();
+
+    // Lease pending, ready shards to idle workers.
+    for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+      WorkerSlot& w = workers[wi];
+      if (!w.alive || w.lease >= 0) continue;
+      std::ptrdiff_t pick = -1;
+      for (std::size_t si = 0; si < shards.size(); ++si) {
+        if (shards[si].state == ShardState::kPending && shards[si].ready <= now) {
+          pick = static_cast<std::ptrdiff_t>(si);
+          break;
+        }
+      }
+      if (pick < 0) break;
+      if (!w.armed && w.proc.generation == 0 && !opts.inject_failpoints.empty()) {
+        std::vector<std::uint8_t> spec(opts.inject_failpoints.begin(),
+                                       opts.inject_failpoints.end());
+        if (!send_to_worker(wi, wire::MsgType::kArm, spec)) continue;
+        w.armed = true;
+      }
+      Shard& s = shards[static_cast<std::size_t>(pick)];
+      wire::LeaseMsg lease{s.id, s.sources, s.path};
+      if (!send_to_worker(wi, wire::MsgType::kLease, wire::encode_lease(lease))) {
+        continue;  // worker_died already returned the shard to pending
+      }
+      s.state = ShardState::kLeased;
+      w.lease = pick;
+      w.last_heard = now;
+      w.deadline = now + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(opts.lease_timeout_s));
+      ++result.comm.supersteps;
+      obs::count(obs::Counter::kDistSupersteps);
+    }
+
+    // Bottom of the ladder: nobody alive, nobody respawnable — finish the
+    // remaining shards in-process rather than spinning forever.
+    const bool any_alive =
+        std::any_of(workers.begin(), workers.end(),
+                    [](const WorkerSlot& w) { return w.alive; });
+    if (!any_alive) {
+      const Status why{ErrorCode::kUnavailable,
+                       "no live workers and restart budget exhausted"};
+      for (auto& s : shards) {
+        if (s.state != ShardState::kDone) degrade_shard(s, why);
+      }
+      break;
+    }
+
+    // Poll timeout: wake for the nearest lease deadline, heartbeat check, or
+    // shard backoff expiry — capped so control cancellation stays responsive.
+    double timeout_s = 0.1;
+    for (const auto& w : workers) {
+      if (!w.alive || w.lease < 0) continue;
+      const auto hb_deadline =
+          w.last_heard + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(opts.heartbeat_timeout_s));
+      const auto next = std::min(w.deadline, hb_deadline);
+      timeout_s = std::min(timeout_s,
+                           std::chrono::duration<double>(next - now).count());
+    }
+    for (const auto& s : shards) {
+      if (s.state == ShardState::kPending && s.ready > now) {
+        timeout_s = std::min(
+            timeout_s, std::chrono::duration<double>(s.ready - now).count());
+      }
+    }
+    timeout_s = std::max(timeout_s, 0.0);
+
+    std::vector<int> fds(workers.size(), -1);
+    for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+      if (workers[wi].alive) fds[wi] = workers[wi].proc.fd;
+    }
+    std::vector<bool> readable;
+    (void)poll_readable(fds, readable, timeout_s);
+
+    for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+      WorkerSlot& w = workers[wi];
+      if (!w.alive || !readable[wi]) continue;
+      bool eof = false;
+      const auto pump_st = pump_frames(w.proc.fd, w.dec, eof);
+      if (!pump_st.is_ok()) {
+        worker_died(wi, Status{ErrorCode::kUnavailable,
+                               "worker channel error: " + pump_st.message()});
+        continue;
+      }
+      // Drain complete frames before acting on EOF: a worker that finished
+      // its shard and exited must not lose its ack.
+      for (;;) {
+        wire::Frame frame;
+        bool has = false;
+        const auto st = w.dec.next(frame, has);
+        if (!st.is_ok()) {
+          worker_died(wi, Status{ErrorCode::kUnavailable,
+                                 "worker stream corrupt: " + st.message()});
+          break;
+        }
+        if (!has) break;
+        ++result.comm.messages;
+        result.comm.bytes += frame.payload.size() + sizeof(wire::FrameHeader);
+        obs::count(obs::Counter::kDistBytesMoved,
+                   frame.payload.size() + sizeof(wire::FrameHeader));
+        w.last_heard = Clock::now();
+        switch (frame.type) {
+          case wire::MsgType::kHello:
+            break;
+          case wire::MsgType::kHeartbeat:
+            break;
+          case wire::MsgType::kShardDone: {
+            const auto done = wire::decode_shard_done(frame.payload);
+            if (!done || w.lease < 0 ||
+                shards[static_cast<std::size_t>(w.lease)].id != done->shard_id) {
+              break;  // stale ack from a reclaimed lease — ignore
+            }
+            Shard& s = shards[static_cast<std::size_t>(w.lease)];
+            const auto merge_st = merge_shard(s);
+            if (merge_st.is_ok()) {
+              s.state = ShardState::kDone;
+              ++done_count;
+            } else {
+              // Torn/corrupt shard: never merged, always recomputable.
+              ++result.faults.torn_shards;
+              fail_shard(w.lease, merge_st, /*permanent=*/false);
+            }
+            w.lease = -1;
+            ++acks_seen;
+            if (harness_kill_pending && acks_seen >= opts.kill_worker_after_acks) {
+              // Crash-recovery harness: SIGKILL a worker that is mid-lease
+              // right now; its death is then observed through the normal
+              // EOF path, exercising reassignment end to end.
+              for (std::size_t vi = 0; vi < workers.size(); ++vi) {
+                if (workers[vi].alive && workers[vi].lease >= 0) {
+                  kill_process(workers[vi].proc.pid);
+                  ++result.faults.harness_kills;
+                  harness_kill_pending = false;
+                  break;
+                }
+              }
+            }
+            break;
+          }
+          case wire::MsgType::kShardError: {
+            const auto err = wire::decode_shard_error(frame.payload);
+            if (!err || w.lease < 0) break;
+            const Status why{err->code, err->message};
+            // A permanent worker-side failure (alloc, format) would repeat
+            // on every worker — skip the retry budget, degrade now.
+            fail_shard(w.lease, why, /*permanent=*/!util::is_retryable(why.code()));
+            w.lease = -1;
+            break;
+          }
+          default:
+            break;
+        }
+        if (!w.alive) break;
+      }
+      if (w.alive && eof) {
+        worker_died(wi, Status{ErrorCode::kUnavailable, "worker process exited"});
+      }
+    }
+
+    // Liveness scan: lease deadline or heartbeat silence — either way the
+    // worker is presumed wedged; SIGKILL and reassign.
+    const auto scan_now = Clock::now();
+    for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+      WorkerSlot& w = workers[wi];
+      if (!w.alive || w.lease < 0) continue;
+      const auto silence =
+          std::chrono::duration<double>(scan_now - w.last_heard).count();
+      if (scan_now > w.deadline || silence > opts.heartbeat_timeout_s) {
+        ++result.faults.heartbeat_misses;
+        obs::count(obs::Counter::kDistHeartbeatMisses);
+        worker_died(wi, Status{ErrorCode::kUnavailable,
+                               scan_now > w.deadline ? "lease deadline expired"
+                                                     : "heartbeat silence"});
+      }
+    }
+  }
+
+  // --- teardown --------------------------------------------------------------
+  for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+    WorkerSlot& w = workers[wi];
+    if (!w.alive) continue;
+    (void)send_frame(w.proc.fd, wire::MsgType::kShutdown, {});
+    ::close(w.proc.fd);
+    w.proc.fd = -1;
+    // Belt and braces: a worker wedged past Shutdown must not outlive the
+    // run. SIGKILL is idempotent on the common clean-exit path.
+    kill_process(w.proc.pid);
+    reap_process(w.proc.pid, /*block=*/true);
+    w.alive = false;
+  }
+
+  if (!aborted) result.status = util::Status::ok();
+  result.elapsed_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace parapsp::dist

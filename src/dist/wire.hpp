@@ -1,0 +1,299 @@
+// Framed message protocol for the multi-process BSP backend.
+//
+// Supervisor and workers exchange small control frames over a per-worker
+// AF_UNIX stream socketpair; bulk row data never rides the socket — it goes
+// through CRC-stamped shard files (apsp/checkpoint.hpp) so a killed writer
+// can only produce a *detectably* torn shard, never a silently corrupt one.
+//
+// Frame layout (host byte order — both ends are the same machine; a future
+// network transport would pin little-endian here):
+//
+//   u32 payload_len | u8 type | u8x3 pad | u32 payload_crc32 | payload
+//
+// The payload CRC turns any framing bug or partial write into a typed
+// format error at the receiver instead of a misparsed message. Encoding and
+// decoding are pure byte-vector transforms (testable without sockets); the
+// actual send/recv syscalls live in proc_comm.cpp.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/crc32.hpp"
+#include "util/expected.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::dist::wire {
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,      ///< worker -> supervisor: ready for leases
+  kArm = 2,        ///< supervisor -> worker: failpoint spec (harness only)
+  kLease = 3,      ///< supervisor -> worker: compute this shard
+  kHeartbeat = 4,  ///< worker -> supervisor: liveness + per-row progress
+  kShardDone = 5,  ///< worker -> supervisor: shard persisted, ready to merge
+  kShardError = 6, ///< worker -> supervisor: shard failed with a typed status
+  kShutdown = 7,   ///< supervisor -> worker: clean exit
+};
+
+[[nodiscard]] constexpr const char* to_string(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kArm: return "arm";
+    case MsgType::kLease: return "lease";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kShardDone: return "shard_done";
+    case MsgType::kShardError: return "shard_error";
+    case MsgType::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+struct FrameHeader {
+  std::uint32_t payload_len = 0;
+  std::uint8_t type = 0;
+  std::uint8_t pad[3] = {};
+  std::uint32_t payload_crc = 0;
+};
+static_assert(sizeof(FrameHeader) == 12);
+
+/// Guard against a corrupt length field driving a giant allocation: no
+/// control frame is remotely this large (the biggest is a lease's source
+/// list: shard_rows * 4 bytes).
+inline constexpr std::uint32_t kMaxPayload = 16u << 20;
+
+/// A decoded frame.
+struct Frame {
+  MsgType type{};
+  std::vector<std::uint8_t> payload;
+};
+
+// --- payload (de)serialization helpers --------------------------------------
+
+class PayloadWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  void bytes(const void* data, std::size_t len) { append(data, len); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    append(s.data(), s.size());
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void append(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader; any overrun is a typed format error, never UB.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::vector<std::uint8_t>& buf) : buf_(&buf) {}
+
+  [[nodiscard]] util::Status u8(std::uint8_t& out) { return take(&out, sizeof out); }
+  [[nodiscard]] util::Status u32(std::uint32_t& out) { return take(&out, sizeof out); }
+  [[nodiscard]] util::Status u64(std::uint64_t& out) { return take(&out, sizeof out); }
+  [[nodiscard]] util::Status str(std::string& out) {
+    std::uint32_t len = 0;
+    if (auto st = u32(len); !st.is_ok()) return st;
+    if (pos_ + len > buf_->size()) return overrun();
+    out.assign(reinterpret_cast<const char*>(buf_->data() + pos_), len);
+    pos_ += len;
+    return util::Status::ok();
+  }
+  [[nodiscard]] util::Status vertex_list(std::vector<VertexId>& out) {
+    std::uint32_t count = 0;
+    if (auto st = u32(count); !st.is_ok()) return st;
+    if (pos_ + static_cast<std::size_t>(count) * sizeof(VertexId) > buf_->size()) {
+      return overrun();
+    }
+    out.resize(count);
+    std::memcpy(out.data(), buf_->data() + pos_,
+                static_cast<std::size_t>(count) * sizeof(VertexId));
+    pos_ += static_cast<std::size_t>(count) * sizeof(VertexId);
+    return util::Status::ok();
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == buf_->size(); }
+
+ private:
+  [[nodiscard]] util::Status take(void* out, std::size_t len) {
+    if (pos_ + len > buf_->size()) return overrun();
+    std::memcpy(out, buf_->data() + pos_, len);
+    pos_ += len;
+    return util::Status::ok();
+  }
+  [[nodiscard]] static util::Status overrun() {
+    return {util::ErrorCode::kFormat, "wire: payload shorter than its message"};
+  }
+
+  const std::vector<std::uint8_t>* buf_;
+  std::size_t pos_ = 0;
+};
+
+// --- frame encode / incremental decode --------------------------------------
+
+/// Serializes one frame (header + payload) into a contiguous byte vector.
+[[nodiscard]] inline std::vector<std::uint8_t> encode_frame(
+    MsgType type, const std::vector<std::uint8_t>& payload) {
+  FrameHeader hdr;
+  hdr.payload_len = static_cast<std::uint32_t>(payload.size());
+  hdr.type = static_cast<std::uint8_t>(type);
+  hdr.payload_crc = util::crc32(payload.data(), payload.size());
+  std::vector<std::uint8_t> out(sizeof hdr + payload.size());
+  std::memcpy(out.data(), &hdr, sizeof hdr);
+  std::memcpy(out.data() + sizeof hdr, payload.data(), payload.size());
+  return out;
+}
+
+/// Incremental frame decoder: append raw socket bytes with feed(), pop
+/// complete frames with next(). One instance per connection.
+class FrameDecoder {
+ public:
+  void feed(const std::uint8_t* data, std::size_t len) {
+    buf_.insert(buf_.end(), data, data + len);
+  }
+
+  /// Decodes the next complete frame into `out`. Returns ok with
+  /// `has_frame = true` when one was decoded, ok with `has_frame = false`
+  /// when more bytes are needed, and a kFormat status on a corrupt frame
+  /// (bad length or CRC) — after which the stream is unusable.
+  [[nodiscard]] util::Status next(Frame& out, bool& has_frame) {
+    has_frame = false;
+    if (buf_.size() - pos_ < sizeof(FrameHeader)) {
+      compact();
+      return util::Status::ok();
+    }
+    FrameHeader hdr;
+    std::memcpy(&hdr, buf_.data() + pos_, sizeof hdr);
+    if (hdr.payload_len > kMaxPayload) {
+      return {util::ErrorCode::kFormat, "wire: frame length " +
+                                            std::to_string(hdr.payload_len) +
+                                            " exceeds limit"};
+    }
+    if (buf_.size() - pos_ < sizeof hdr + hdr.payload_len) {
+      compact();
+      return util::Status::ok();
+    }
+    out.type = static_cast<MsgType>(hdr.type);
+    out.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + sizeof hdr),
+                       buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + sizeof hdr +
+                                                                  hdr.payload_len));
+    pos_ += sizeof hdr + hdr.payload_len;
+    if (util::crc32(out.payload.data(), out.payload.size()) != hdr.payload_crc) {
+      return {util::ErrorCode::kFormat, "wire: frame payload fails CRC-32 check"};
+    }
+    has_frame = true;
+    return util::Status::ok();
+  }
+
+ private:
+  void compact() {
+    if (pos_ > 0) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+      pos_ = 0;
+    }
+  }
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+// --- typed message payload builders/parsers ---------------------------------
+
+struct LeaseMsg {
+  std::uint64_t shard_id = 0;
+  std::vector<VertexId> sources;  ///< row block, in global order positions
+  std::string shard_path;         ///< where the worker persists the rows
+};
+
+[[nodiscard]] inline std::vector<std::uint8_t> encode_lease(const LeaseMsg& m) {
+  PayloadWriter w;
+  w.u64(m.shard_id);
+  w.u32(static_cast<std::uint32_t>(m.sources.size()));
+  w.bytes(m.sources.data(), m.sources.size() * sizeof(VertexId));
+  w.str(m.shard_path);
+  return w.take();
+}
+
+[[nodiscard]] inline util::Expected<LeaseMsg> decode_lease(
+    const std::vector<std::uint8_t>& payload) {
+  PayloadReader r(payload);
+  LeaseMsg m;
+  if (auto st = r.u64(m.shard_id); !st.is_ok()) return st;
+  if (auto st = r.vertex_list(m.sources); !st.is_ok()) return st;
+  if (auto st = r.str(m.shard_path); !st.is_ok()) return st;
+  return m;
+}
+
+struct HeartbeatMsg {
+  std::uint64_t shard_id = 0;
+  std::uint32_t rows_done = 0;
+};
+
+[[nodiscard]] inline std::vector<std::uint8_t> encode_heartbeat(const HeartbeatMsg& m) {
+  PayloadWriter w;
+  w.u64(m.shard_id);
+  w.u32(m.rows_done);
+  return w.take();
+}
+
+[[nodiscard]] inline util::Expected<HeartbeatMsg> decode_heartbeat(
+    const std::vector<std::uint8_t>& payload) {
+  PayloadReader r(payload);
+  HeartbeatMsg m;
+  if (auto st = r.u64(m.shard_id); !st.is_ok()) return st;
+  if (auto st = r.u32(m.rows_done); !st.is_ok()) return st;
+  return m;
+}
+
+struct ShardDoneMsg {
+  std::uint64_t shard_id = 0;
+};
+
+[[nodiscard]] inline std::vector<std::uint8_t> encode_shard_done(const ShardDoneMsg& m) {
+  PayloadWriter w;
+  w.u64(m.shard_id);
+  return w.take();
+}
+
+[[nodiscard]] inline util::Expected<ShardDoneMsg> decode_shard_done(
+    const std::vector<std::uint8_t>& payload) {
+  PayloadReader r(payload);
+  ShardDoneMsg m;
+  if (auto st = r.u64(m.shard_id); !st.is_ok()) return st;
+  return m;
+}
+
+struct ShardErrorMsg {
+  std::uint64_t shard_id = 0;
+  util::ErrorCode code = util::ErrorCode::kInternal;
+  std::string message;
+};
+
+[[nodiscard]] inline std::vector<std::uint8_t> encode_shard_error(const ShardErrorMsg& m) {
+  PayloadWriter w;
+  w.u64(m.shard_id);
+  w.u8(static_cast<std::uint8_t>(m.code));
+  w.str(m.message);
+  return w.take();
+}
+
+[[nodiscard]] inline util::Expected<ShardErrorMsg> decode_shard_error(
+    const std::vector<std::uint8_t>& payload) {
+  PayloadReader r(payload);
+  ShardErrorMsg m;
+  std::uint8_t code = 0;
+  if (auto st = r.u64(m.shard_id); !st.is_ok()) return st;
+  if (auto st = r.u8(code); !st.is_ok()) return st;
+  if (auto st = r.str(m.message); !st.is_ok()) return st;
+  m.code = static_cast<util::ErrorCode>(code);
+  return m;
+}
+
+}  // namespace parapsp::dist::wire

@@ -1,0 +1,163 @@
+// Worker side of the fault-tolerant BSP execution mode.
+//
+// A worker is a child process (forked or exec'ed, see proc_comm.hpp) in a
+// lease/ack loop with the supervisor:
+//
+//   recv Lease{shard_id, sources, path}
+//     -> modified-Dijkstra each source into a worker-local matrix
+//        (heartbeat after every row — the supervisor's liveness signal)
+//     -> persist the shard with the CRC-stamped checkpoint format
+//     -> send ShardDone (or a typed ShardError)
+//
+// The worker keeps its local matrix and completion flags across leases, so
+// its own completed rows keep feeding the paper's row-reuse pruning, and a
+// re-leased source it already computed is served from the local row instead
+// of violating modified_dijkstra's all-infinity row precondition.
+//
+// Crash-recovery failpoints consulted here (armed via a kArm frame or the
+// PARAPSP_FAILPOINTS env of an exec'ed worker):
+//   worker_abort      — _exit(134) before computing a row (SIGKILL-alike)
+//   worker_hang       — sleep forever before computing a row (hung worker)
+//   shard_write_torn  — corrupt one byte of the persisted shard, then ack
+//   comm_drop_ack     — persist the shard but never send ShardDone
+#pragma once
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apsp/checkpoint.hpp"
+#include "apsp/distance_matrix.hpp"
+#include "apsp/flags.hpp"
+#include "apsp/modified_dijkstra.hpp"
+#include "dist/proc_comm.hpp"
+#include "dist/wire.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/failpoints.hpp"
+
+namespace parapsp::dist {
+
+namespace detail {
+
+/// Flips one byte near the end of `path` (row-data territory), simulating a
+/// writer that died with a partially flushed page. The v2 per-row CRC must
+/// catch this at merge time.
+inline void corrupt_shard_tail(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return;
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) return;
+  f.seekg(static_cast<std::streamoff>(size - 1));
+  char b = 0;
+  f.read(&b, 1);
+  f.seekp(static_cast<std::streamoff>(size - 1));
+  b = static_cast<char>(b ^ 0x5a);
+  f.write(&b, 1);
+}
+
+}  // namespace detail
+
+/// Runs the worker lease/ack loop over `fd` until a Shutdown frame, EOF
+/// (supervisor died), or an unrecoverable channel error. Never throws — a
+/// worker's failure mode is its exit, observed by the supervisor.
+template <WeightType W>
+void run_worker_loop(int fd, const graph::Graph<W>& g) try {
+  const VertexId n = g.num_vertices();
+  const std::uint64_t fp = apsp::graph_fingerprint(g);
+
+  // Lazily sized on the first lease; persists across leases for row reuse.
+  apsp::DistanceMatrix<W> local;
+  apsp::FlagArray flags;
+  apsp::DijkstraWorkspace ws;
+  std::vector<std::uint8_t> shard_completed;
+
+  wire::FrameDecoder dec;
+  if (!send_frame(fd, wire::MsgType::kHello, {}).is_ok()) return;
+
+  for (;;) {
+    auto frame = recv_frame_blocking(fd, dec);
+    if (!frame) return;  // EOF / corrupt stream: exit, supervisor reassigns
+
+    switch (frame->type) {
+      case wire::MsgType::kShutdown:
+        return;
+      case wire::MsgType::kArm:
+        // Harness-only: the supervisor injects a failpoint spec into the
+        // first worker generation so respawned workers start clean.
+        (void)util::failpoints::arm_from_spec(
+            std::string(frame->payload.begin(), frame->payload.end()));
+        break;
+      case wire::MsgType::kLease: {
+        auto lease = wire::decode_lease(frame->payload);
+        if (!lease) return;
+        if (local.size() != n) {
+          auto m = apsp::DistanceMatrix<W>::try_create(n);
+          if (!m) {
+            wire::ShardErrorMsg err{lease->shard_id, m.status().code(),
+                                    m.status().message()};
+            (void)send_frame(fd, wire::MsgType::kShardError,
+                             wire::encode_shard_error(err));
+            break;
+          }
+          local = std::move(*m);
+          flags = apsp::FlagArray(n);
+          ws.resize(n);
+        }
+
+        std::uint32_t rows_done = 0;
+        for (const VertexId s : lease->sources) {
+          if (PARAPSP_FAILPOINT("worker_abort")) ::_exit(134);
+          if (PARAPSP_FAILPOINT("worker_hang")) {
+            for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+          }
+          // A re-leased source this worker already finished (e.g. its ack
+          // was dropped, or its shard arrived torn): the local row is exact,
+          // recomputing would violate the all-infinity precondition.
+          if (!flags.is_complete(s)) {
+            (void)apsp::modified_dijkstra(g, s, local, flags, ws);
+          }
+          ++rows_done;
+          wire::HeartbeatMsg hb{lease->shard_id, rows_done};
+          if (!send_frame(fd, wire::MsgType::kHeartbeat, wire::encode_heartbeat(hb))
+                   .is_ok()) {
+            return;  // supervisor gone
+          }
+        }
+
+        shard_completed.assign(n, 0);
+        for (const VertexId s : lease->sources) shard_completed[s] = 1;
+        const auto st =
+            apsp::save_checkpoint(lease->shard_path, local, shard_completed, fp);
+        if (!st.is_ok()) {
+          wire::ShardErrorMsg err{lease->shard_id, st.code(), st.message()};
+          (void)send_frame(fd, wire::MsgType::kShardError,
+                           wire::encode_shard_error(err));
+          break;
+        }
+        if (PARAPSP_FAILPOINT("shard_write_torn")) {
+          detail::corrupt_shard_tail(lease->shard_path);
+        }
+        if (PARAPSP_FAILPOINT("comm_drop_ack")) break;  // ack lost in "transit"
+        wire::ShardDoneMsg done{lease->shard_id};
+        if (!send_frame(fd, wire::MsgType::kShardDone, wire::encode_shard_done(done))
+                 .is_ok()) {
+          return;
+        }
+        break;
+      }
+      default:
+        break;  // unknown frame types are ignored, not fatal
+    }
+  }
+} catch (...) {
+  // A worker must never unwind into the forked parent stack; any escape is
+  // equivalent to a crash, which the supervisor already handles.
+}
+
+}  // namespace parapsp::dist

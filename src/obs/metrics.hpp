@@ -53,8 +53,13 @@ enum class Counter : std::uint8_t {
   kSourcesCompleted,      ///< source rows finished and published
   kBucketInsertions,      ///< vertex insertions into ordering-procedure buckets
   kHeavyEdgeRelaxations,  ///< delta-stepping heavy-edge relaxation attempts
+  kDistSupersteps,        ///< dist supervisor: shard leases granted (BSP rounds)
+  kDistRetries,           ///< dist supervisor: shard attempts after a failure
+  kDistReassignments,     ///< dist supervisor: leases moved off a dead/hung worker
+  kDistHeartbeatMisses,   ///< dist supervisor: lease deadlines expired silently
+  kDistBytesMoved,        ///< dist supervisor: frame + merged shard payload bytes
 };
-inline constexpr std::size_t kNumCounters = 9;
+inline constexpr std::size_t kNumCounters = 14;
 
 [[nodiscard]] constexpr const char* to_string(Counter c) noexcept {
   switch (c) {
@@ -67,6 +72,11 @@ inline constexpr std::size_t kNumCounters = 9;
     case Counter::kSourcesCompleted: return "sources_completed";
     case Counter::kBucketInsertions: return "bucket_insertions";
     case Counter::kHeavyEdgeRelaxations: return "heavy_relaxations";
+    case Counter::kDistSupersteps: return "dist_supersteps";
+    case Counter::kDistRetries: return "dist_retries";
+    case Counter::kDistReassignments: return "dist_reassignments";
+    case Counter::kDistHeartbeatMisses: return "dist_heartbeat_misses";
+    case Counter::kDistBytesMoved: return "dist_bytes_moved";
   }
   return "?";
 }
@@ -77,7 +87,9 @@ inline constexpr std::size_t kNumCounters = 9;
           Counter::kQueuePops,            Counter::kRowReuses,
           Counter::kRowReuseImprovements, Counter::kRowCellsScanned,
           Counter::kSourcesCompleted,     Counter::kBucketInsertions,
-          Counter::kHeavyEdgeRelaxations};
+          Counter::kHeavyEdgeRelaxations, Counter::kDistSupersteps,
+          Counter::kDistRetries,          Counter::kDistReassignments,
+          Counter::kDistHeartbeatMisses,  Counter::kDistBytesMoved};
 }
 
 /// One value per catalog entry, indexed by static_cast<size_t>(Counter).

@@ -18,7 +18,9 @@
 #include "util/failpoints.hpp"
 #include "util/parallel.hpp"
 #include "util/status.hpp"
+#include "util/crc32.hpp"
 #include "util/powerlaw.hpp"
+#include "util/retry.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -92,10 +94,15 @@
 #include "check/invariants.hpp"
 #include "check/oracle.hpp"
 
-// Distributed-memory extension (simulated; the paper's future work)
+// Distributed-memory extension: the simulated backend (the paper's future
+// work) plus the fault-tolerant multi-process BSP mode (docs/ROBUSTNESS.md)
 #include "dist/comm.hpp"
 #include "dist/dist_apsp.hpp"
 #include "dist/partition.hpp"
+#include "dist/proc_comm.hpp"
+#include "dist/supervisor.hpp"
+#include "dist/wire.hpp"
+#include "dist/worker.hpp"
 
 // Solver facade
 #include "core/datasets.hpp"

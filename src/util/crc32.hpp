@@ -1,0 +1,47 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// check the crash-safe persistence layer stamps on every row block.
+//
+// A killed writer can leave a shard or checkpoint file torn (rename raced
+// the kill) or a disk can hand back rotten bytes; the per-row CRC lets the
+// reader tell "this row is exactly what the worker computed" from "recompute
+// it". Table-driven, one table for the process, no dependencies — zlib is
+// not guaranteed in the build image.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace parapsp::util {
+
+namespace detail {
+
+[[nodiscard]] constexpr std::array<std::uint32_t, 256> make_crc32_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// One-shot CRC-32 of `len` bytes. `seed` chains incremental computations:
+/// crc32(b, crc32(a)) == crc32(a ++ b).
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t len,
+                                         std::uint32_t seed = 0) noexcept {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace parapsp::util

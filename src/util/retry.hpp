@@ -1,0 +1,117 @@
+// Retry with capped exponential backoff — the policy layer under every
+// "try it again" decision in the library.
+//
+// The fault-tolerant execution mode (src/dist/supervisor.hpp), the solver's
+// periodic checkpointer, and the tools' graph loading all face the same
+// question: an operation failed — is the failure transient (retry after a
+// delay) or permanent (report it)? The answer is is_retryable(Status)
+// (status.hpp); this header supplies the *when*: a RetryPolicy describing a
+// bounded attempt budget with capped exponential delays, a Backoff cursor
+// that walks the delay schedule, and retry_with_backoff() tying the two to
+// any Status/Expected-returning callable.
+//
+// Deterministic by design: no jitter. Every consumer in this codebase
+// retries against local resources (files, child processes) where
+// thundering-herd decorrelation buys nothing and reproducible test timing
+// buys a lot.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "util/expected.hpp"
+#include "util/status.hpp"
+
+namespace parapsp::util {
+
+/// A bounded retry budget with capped exponential backoff.
+/// Attempt k (0-based) that fails sleeps min(initial * multiplier^k, max)
+/// before attempt k+1; after `max_attempts` total attempts the last failure
+/// is reported. Defaults are tuned for local-process faults (fast first
+/// retry, sub-second cap).
+struct RetryPolicy {
+  int max_attempts = 3;            ///< total attempts, including the first
+  double initial_delay_s = 0.01;   ///< delay after the first failure
+  double max_delay_s = 0.5;        ///< cap on any single delay
+  double multiplier = 2.0;         ///< geometric growth factor
+};
+
+/// Walks a RetryPolicy's delay schedule. Separate from the sleep so callers
+/// with their own event loop (the dist supervisor polls sockets while a
+/// shard backs off) can schedule the delay instead of blocking on it.
+class Backoff {
+ public:
+  explicit Backoff(RetryPolicy policy = {}) noexcept : policy_(policy) {}
+
+  /// Delay to apply after the `failures`-th consecutive failure (1-based).
+  [[nodiscard]] double delay_s(int failures) const noexcept {
+    if (failures <= 0) return 0.0;
+    double d = policy_.initial_delay_s;
+    for (int i = 1; i < failures; ++i) {
+      d *= policy_.multiplier;
+      if (d >= policy_.max_delay_s) return policy_.max_delay_s;
+    }
+    return d < policy_.max_delay_s ? d : policy_.max_delay_s;
+  }
+
+  /// Records a failure and returns the delay before the next attempt.
+  [[nodiscard]] double next_delay_s() noexcept { return delay_s(++failures_); }
+
+  /// True while the policy's attempt budget allows another try.
+  [[nodiscard]] bool should_retry() const noexcept {
+    return failures_ < policy_.max_attempts;
+  }
+
+  [[nodiscard]] int failures() const noexcept { return failures_; }
+  void reset() noexcept { failures_ = 0; }
+
+  [[nodiscard]] const RetryPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  int failures_ = 0;
+};
+
+namespace detail {
+
+inline void sleep_for_s(double seconds) {
+  if (seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+template <typename R>
+[[nodiscard]] inline Status to_status_view(const R& r) {
+  if constexpr (std::is_same_v<R, Status>) {
+    return r;
+  } else {
+    return r.has_value() ? Status::ok() : r.status();
+  }
+}
+
+}  // namespace detail
+
+/// Invokes `fn` (returning Status or Expected<T>) up to policy.max_attempts
+/// times, sleeping the backoff schedule between attempts. Only retryable
+/// failures (is_retryable) are retried — a permanent error (parse, format,
+/// invalid argument, corruption) returns immediately, because repeating a
+/// deterministic failure only hides it. Returns fn's last result.
+template <typename Fn>
+[[nodiscard]] auto retry_with_backoff(const RetryPolicy& policy, Fn&& fn)
+    -> decltype(fn()) {
+  Backoff backoff(policy);
+  for (;;) {
+    auto result = fn();
+    const Status st = detail::to_status_view(result);
+    if (st.is_ok() || !is_retryable(st)) return result;
+    // Record the failure first, then ask the budget — total calls to fn()
+    // never exceed policy.max_attempts.
+    const double delay = backoff.next_delay_s();
+    if (backoff.failures() >= policy.max_attempts) return result;
+    detail::sleep_for_s(delay);
+  }
+}
+
+}  // namespace parapsp::util

@@ -26,6 +26,8 @@ enum class ErrorCode : std::uint8_t {
   kTimeout,          ///< run stopped by an expired ExecutionControl deadline
   kInvalidArgument,  ///< caller error: bad option value, size mismatch
   kInternal,         ///< library invariant violated (oracle/self-test failure)
+  kUnavailable,      ///< a cooperating process/resource went away (worker
+                     ///< death, hung heartbeat, lease expiry); retryable
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode c) noexcept {
@@ -39,8 +41,34 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kInvalidArgument: return "invalid_argument";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "?";
+}
+
+/// Transient-vs-permanent classification — the gate every retry loop
+/// consults (util/retry.hpp). Retryable failures are those where the world
+/// may genuinely differ on the next attempt: OS-level I/O hiccups, expired
+/// deadlines, a peer process that died and can be replaced. Permanent
+/// failures are deterministic functions of the input — malformed or corrupt
+/// data, caller errors, violated invariants, an explicit cancel — and
+/// retrying them only repeats (or worse, hides) the failure.
+[[nodiscard]] constexpr bool is_retryable(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kIo:           // transient: contended file, NFS blip
+    case ErrorCode::kTimeout:      // transient: the operation, not the data
+    case ErrorCode::kUnavailable:  // transient: respawn/reassign and go on
+      return true;
+    case ErrorCode::kOk:
+    case ErrorCode::kParse:            // deterministic: same bytes, same error
+    case ErrorCode::kFormat:           // deterministic: corruption won't heal
+    case ErrorCode::kResource:         // same input -> same footprint breach
+    case ErrorCode::kCancelled:        // deliberate: retrying defies the caller
+    case ErrorCode::kInvalidArgument:  // caller bug
+    case ErrorCode::kInternal:         // library bug
+      return false;
+  }
+  return false;
 }
 
 /// An error code plus context message. The ok state carries no message and
@@ -72,6 +100,10 @@ class Status {
 
   friend bool operator==(const Status& a, const Status& b) noexcept {
     return a.code_ == b.code_;  // messages are context, not identity
+  }
+
+  friend bool is_retryable(const Status& s) noexcept {
+    return is_retryable(s.code_);
   }
 
  private:

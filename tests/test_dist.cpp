@@ -177,6 +177,38 @@ TEST(DistApsp, DeterministicAcrossRuns) {
   EXPECT_EQ(a.total_work.edge_relaxations, b.total_work.edge_relaxations);
 }
 
+TEST(DistApsp, MoreRanksThanSourcesStaysExact) {
+  // 12 ranks, 5 sources: most ranks own nothing; the empty ranks must not
+  // deadlock a superstep or corrupt the result.
+  const auto g = graph::path_graph<std::uint32_t>(5);
+  const auto want = apsp::floyd_warshall(g);
+  const auto r = dist::dist_apsp_simulate(
+      g, {.ranks = 12, .batch = 4, .sharing = SharingPolicy::kBroadcast});
+  parapsp::testing::expect_same_distances(r.distances, want, "ranks12_n5");
+}
+
+TEST(DistApsp, BatchLargerThanRankShareIsOneSuperstep) {
+  // batch 1000 vs ~30 sources per rank: each rank finishes its entire share
+  // in its first batch, so the run is a single exchange round.
+  const auto g = graph::barabasi_albert<std::uint32_t>(90, 3, 99);
+  const auto want = apsp::floyd_warshall(g);
+  const auto r = dist::dist_apsp_simulate(
+      g, {.ranks = 3, .batch = 1000, .sharing = SharingPolicy::kBroadcast});
+  parapsp::testing::expect_same_distances(r.distances, want, "huge_batch");
+  EXPECT_EQ(r.comm.supersteps, 1u);
+}
+
+TEST(DistApsp, SingleRankBitIdenticalToPlainSweep) {
+  // One rank, no communication: the simulation collapses to the plain
+  // multilists sweep and must be bit-for-bit identical to it.
+  const auto g = graph::barabasi_albert<std::uint32_t>(160, 3, 101);
+  const auto sweep = apsp::par_apsp(g);
+  const auto one = dist::dist_apsp_simulate(
+      g, {.ranks = 1, .batch = 16, .sharing = SharingPolicy::kBroadcast});
+  EXPECT_EQ(one.distances, sweep.distances);
+  EXPECT_EQ(one.comm.bytes, 0u);
+}
+
 TEST(DistApsp, RejectsBadOptions) {
   const auto g = graph::path_graph<std::uint32_t>(4);
   EXPECT_THROW((void)dist::dist_apsp_simulate(g, {.ranks = 0}), std::invalid_argument);

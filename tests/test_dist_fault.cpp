@@ -1,0 +1,277 @@
+// Crash-recovery harness for the fault-tolerant multi-process BSP mode
+// (src/dist/supervisor.hpp): kills real worker processes at the nastiest
+// points — mid-superstep, mid-shard-write, mid-ack — and proves the
+// recovered distance matrix is bit-identical to the single-process solver's
+// through the differential oracle. Also unit-tests the framed wire protocol
+// and the supervisor's degradation ladder.
+//
+// All supervisor runs here use fork-mode workers (no exec), so the whole
+// harness is hermetic: no binaries to locate, no environment to inherit.
+// Failpoints reach workers through the supervisor's kArm frame, which only
+// the first worker generation receives — respawned workers start clean,
+// which is exactly the recovery contract being tested.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "apsp/parallel.hpp"
+#include "check/oracle.hpp"
+#include "dist/supervisor.hpp"
+#include "dist/wire.hpp"
+#include "graph/generators.hpp"
+#include "test_helpers.hpp"
+#include "util/status.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+// ---------- wire protocol ----------
+
+TEST(Wire, FrameRoundTrip) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  const auto bytes = dist::wire::encode_frame(dist::wire::MsgType::kHeartbeat, payload);
+
+  dist::wire::FrameDecoder dec;
+  // Feed byte-by-byte: the decoder must handle arbitrary fragmentation.
+  for (const auto b : bytes) dec.feed(&b, 1);
+  dist::wire::Frame frame;
+  bool has = false;
+  ASSERT_TRUE(dec.next(frame, has).is_ok());
+  ASSERT_TRUE(has);
+  EXPECT_EQ(frame.type, dist::wire::MsgType::kHeartbeat);
+  EXPECT_EQ(frame.payload, payload);
+  // And nothing further.
+  ASSERT_TRUE(dec.next(frame, has).is_ok());
+  EXPECT_FALSE(has);
+}
+
+TEST(Wire, CorruptPayloadFailsCrc) {
+  auto bytes = dist::wire::encode_frame(dist::wire::MsgType::kShardDone,
+                                        {10, 20, 30, 40, 50, 60, 70, 80});
+  bytes.back() ^= 0x01;  // flip one payload bit
+  dist::wire::FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  dist::wire::Frame frame;
+  bool has = false;
+  const auto st = dec.next(frame, has);
+  EXPECT_EQ(st.code(), util::ErrorCode::kFormat);
+  EXPECT_FALSE(has);
+}
+
+TEST(Wire, OversizedLengthRejected) {
+  dist::wire::FrameHeader hdr;
+  hdr.payload_len = dist::wire::kMaxPayload + 1;
+  dist::wire::FrameDecoder dec;
+  dec.feed(reinterpret_cast<const std::uint8_t*>(&hdr), sizeof hdr);
+  dist::wire::Frame frame;
+  bool has = false;
+  EXPECT_EQ(dec.next(frame, has).code(), util::ErrorCode::kFormat);
+}
+
+TEST(Wire, LeaseMessageRoundTrip) {
+  dist::wire::LeaseMsg in{42, {7, 3, 9, 100}, "/tmp/shard_42.pack"};
+  const auto out = dist::wire::decode_lease(dist::wire::encode_lease(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->shard_id, 42u);
+  EXPECT_EQ(out->sources, in.sources);
+  EXPECT_EQ(out->shard_path, in.shard_path);
+}
+
+TEST(Wire, ShardErrorRoundTripKeepsTypedCode) {
+  dist::wire::ShardErrorMsg in{7, util::ErrorCode::kResource, "matrix too big"};
+  const auto out = dist::wire::decode_shard_error(dist::wire::encode_shard_error(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->code, util::ErrorCode::kResource);
+  EXPECT_EQ(out->message, "matrix too big");
+}
+
+TEST(Wire, TruncatedPayloadIsTypedFormatError) {
+  dist::wire::LeaseMsg in{1, {2, 3}, "p"};
+  auto payload = dist::wire::encode_lease(in);
+  payload.resize(payload.size() / 2);
+  const auto out = dist::wire::decode_lease(payload);
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.status().code(), util::ErrorCode::kFormat);
+}
+
+// ---------- the crash-recovery contract ----------
+
+class DistFault : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = graph::barabasi_albert<std::uint32_t>(120, 3, 417);
+    reference_ = apsp::par_apsp(g_).distances;
+  }
+
+  dist::ProcOptions base_options(const std::string& tag) {
+    dist::ProcOptions o;
+    o.ranks = 3;
+    o.shard_rows = 16;
+    o.shard_dir =
+        (std::filesystem::temp_directory_path() / ("parapsp_fault_" + tag)).string();
+    // Tight liveness budgets so hang/dropped-ack recovery is test-speed.
+    o.heartbeat_timeout_s = 1.0;
+    o.lease_timeout_s = 5.0;
+    return o;
+  }
+
+  /// Runs the supervisor and asserts the recovery contract: completion and
+  /// bit-identity with the single-process sweep, via the differential oracle.
+  dist::ProcDistResult<std::uint32_t> run_and_check(const dist::ProcOptions& o,
+                                                    const std::string& label) {
+    auto r = dist::supervise_apsp<std::uint32_t>(g_, o);
+    EXPECT_TRUE(r.has_value()) << label << ": " << r.status().message();
+    if (!r.has_value()) return {};
+    EXPECT_TRUE(r->status.is_ok()) << label << ": " << r->status.message();
+    EXPECT_TRUE(r->complete()) << label;
+    check::Provenance prov;
+    prov.backend_a = "dist-supervised[" + label + "]";
+    prov.backend_b = "par_apsp";
+    const auto diff = check::diff_matrices(r->distances, reference_, prov);
+    EXPECT_TRUE(diff.has_value()) << label << ": " << diff.status().message();
+    if (diff.has_value()) {
+      EXPECT_FALSE(diff->has_value())
+          << label << ": " << (*diff)->to_string();
+    }
+    return std::move(*r);
+  }
+
+  graph::Graph<std::uint32_t> g_;
+  apsp::DistanceMatrix<std::uint32_t> reference_;
+};
+
+TEST_F(DistFault, CleanMultiWorkerRunIsBitIdentical) {
+  const auto r = run_and_check(base_options("clean"), "clean");
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.faults.retries, 0u);
+  EXPECT_EQ(r.faults.reassignments, 0u);
+  // 120 sources / 16 per shard = 8 leases granted.
+  EXPECT_EQ(r.comm.supersteps, 8u);
+  EXPECT_GT(r.comm.bytes, 0u);
+}
+
+// The injection tests need the failpoint sites compiled in; the SIGKILL
+// test below them does not (kill_worker_after_acks is a supervisor knob).
+#if defined(PARAPSP_FAILPOINTS_ENABLED)
+
+TEST_F(DistFault, WorkerAbortMidSuperstepIsRecovered) {
+  auto o = base_options("abort");
+  // Each armed worker _exit(134)s at its 3rd row — mid-superstep, rows
+  // already persisted by nobody. Respawned workers run clean.
+  o.inject_failpoints = "worker_abort@3";
+  const auto r = run_and_check(o, "worker_abort");
+  EXPECT_GT(r.faults.reassignments, 0u);
+  EXPECT_GT(r.faults.worker_restarts, 0u);
+  EXPECT_FALSE(r.degraded);
+}
+
+TEST_F(DistFault, TornShardWriteIsDetectedAndRecomputed) {
+  auto o = base_options("torn");
+  // Worker persists the shard, then one byte of row data is corrupted —
+  // exactly what a SIGKILL mid-page-flush leaves behind. The v2 per-row CRC
+  // must reject the shard at merge; the lease is recomputed.
+  o.inject_failpoints = "shard_write_torn@2";
+  const auto r = run_and_check(o, "shard_write_torn");
+  EXPECT_GT(r.faults.torn_shards, 0u);
+  EXPECT_GT(r.faults.retries, 0u);
+  EXPECT_FALSE(r.degraded);
+}
+
+TEST_F(DistFault, DroppedAckIsReclaimedByHeartbeatTimeout) {
+  auto o = base_options("drop_ack");
+  // Worker persists the shard but never acks (the mid-ack crash window).
+  // The supervisor must reclaim the lease by liveness timeout.
+  o.inject_failpoints = "comm_drop_ack@1";
+  const auto r = run_and_check(o, "comm_drop_ack");
+  EXPECT_GT(r.faults.heartbeat_misses, 0u);
+  EXPECT_GT(r.faults.reassignments, 0u);
+  EXPECT_FALSE(r.degraded);
+}
+
+#endif  // PARAPSP_FAILPOINTS_ENABLED
+
+TEST_F(DistFault, SigkilledLiveWorkerIsRecovered) {
+  auto o = base_options("sigkill");
+  // After the first shard ack, the supervisor SIGKILLs a worker that holds
+  // a live lease — a real kill -9 of a mid-compute process.
+  o.kill_worker_after_acks = 1;
+  const auto r = run_and_check(o, "sigkill");
+  EXPECT_EQ(r.faults.harness_kills, 1u);
+  EXPECT_GT(r.faults.reassignments, 0u);
+  EXPECT_FALSE(r.degraded);
+}
+
+#if defined(PARAPSP_FAILPOINTS_ENABLED)
+
+TEST_F(DistFault, HungWorkerIsKilledAndReassigned) {
+  auto o = base_options("hang");
+  o.inject_failpoints = "worker_hang@4";
+  const auto r = run_and_check(o, "worker_hang");
+  EXPECT_GT(r.faults.heartbeat_misses, 0u);
+  EXPECT_GT(r.faults.reassignments, 0u);
+  EXPECT_FALSE(r.degraded);
+}
+
+TEST_F(DistFault, ExhaustedBudgetsDegradeToSingleProcessWithTypedFault) {
+  auto o = base_options("degrade");
+  // Every generation-0 worker aborts on its first row and the restart budget
+  // is zero, so the fleet dies entirely. The run must still complete —
+  // in-process — and report a typed, observable kUnavailable fault.
+  o.inject_failpoints = "worker_abort";
+  o.max_worker_restarts = 0;
+  const auto r = run_and_check(o, "degrade");
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.fault.code(), util::ErrorCode::kUnavailable);
+  EXPECT_GT(r.faults.degraded_shards, 0u);
+}
+
+#endif  // PARAPSP_FAILPOINTS_ENABLED
+
+TEST_F(DistFault, SingleRankMatchesToo) {
+  auto o = base_options("rank1");
+  o.ranks = 1;
+  const auto r = run_and_check(o, "rank1");
+  EXPECT_FALSE(r.degraded);
+}
+
+TEST_F(DistFault, MoreRanksThanShardsLeavesExtrasIdle) {
+  auto o = base_options("extra_ranks");
+  o.ranks = 6;
+  o.shard_rows = 64;  // 120 sources -> 2 shards, 4 idle workers
+  const auto r = run_and_check(o, "extra_ranks");
+  EXPECT_EQ(r.comm.supersteps, 2u);
+}
+
+// ---------- option validation & trivial graphs ----------
+
+TEST(DistSupervisor, RejectsBadOptions) {
+  const auto g = graph::path_graph<std::uint32_t>(4);
+  dist::ProcOptions o;
+  o.shard_dir = "/tmp/parapsp_fault_opts";
+  o.ranks = 0;
+  EXPECT_EQ(dist::supervise_apsp<std::uint32_t>(g, o).status().code(),
+            util::ErrorCode::kInvalidArgument);
+  o.ranks = 2;
+  o.shard_rows = 0;
+  EXPECT_EQ(dist::supervise_apsp<std::uint32_t>(g, o).status().code(),
+            util::ErrorCode::kInvalidArgument);
+  o.shard_rows = 4;
+  o.shard_dir.clear();
+  EXPECT_EQ(dist::supervise_apsp<std::uint32_t>(g, o).status().code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST(DistSupervisor, EmptyGraphCompletesTrivially) {
+  const graph::Graph<std::uint32_t> g;
+  dist::ProcOptions o;
+  o.shard_dir = "/tmp/parapsp_fault_empty";
+  const auto r = dist::supervise_apsp<std::uint32_t>(g, o);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->complete());
+  EXPECT_EQ(r->comm.supersteps, 0u);
+}
+
+}  // namespace

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "test_helpers.hpp"
@@ -374,6 +375,65 @@ TEST_F(Robustness, LoadCheckpointRejectsCorruptFiles) {
   }
 }
 
+TEST_F(Robustness, CorruptedRowByteIsCaughtByPerRowCrc) {
+  // The v1 structural checks can't see a flipped byte *inside* a row — the
+  // file is the right size, the bitmap is coherent. The v2 per-row CRC must.
+  const auto g = graph::cycle_graph<std::uint32_t>(32);
+  const auto D = apsp::par_apsp(g).distances;
+  std::vector<std::uint8_t> completed(32, 1);
+  const auto ck = path("crc.pack");
+  ASSERT_TRUE(
+      apsp::save_checkpoint(ck, D, completed, apsp::graph_fingerprint(g)).is_ok());
+
+  std::FILE* f = std::fopen(ck.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, -2, SEEK_END), 0);  // row-data territory
+  const int b = std::fgetc(f);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+  std::fputc(b ^ 0x5a, f);
+  std::fclose(f);
+
+  const auto r = apsp::load_checkpoint<std::uint32_t>(ck);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), ErrorCode::kFormat);
+  EXPECT_NE(r.status().message().find("CRC"), std::string::npos)
+      << r.status().message();
+}
+
+TEST_F(Robustness, Version1CheckpointWithoutCrcStillAccepted) {
+  // Hand-craft a pre-CRC (version 1) file: header + bitmap + raw rows, no
+  // CRC section. Old checkpoints on disk must keep loading after the format
+  // bump.
+  const VertexId n = 8;
+  const auto g = graph::cycle_graph<std::uint32_t>(n);
+  const auto D = apsp::par_apsp(g).distances;
+
+  apsp::detail::CheckpointHeader hdr;
+  hdr.version = apsp::detail::kCheckpointVersionNoCrc;
+  hdr.weight_code = 0;  // u32
+  hdr.n = n;
+  hdr.graph_fingerprint = apsp::graph_fingerprint(g);
+  hdr.completed_count = n;
+  const std::vector<std::uint64_t> bitmap{0xffu};
+
+  const auto p = path("v1.pack");
+  {
+    std::ofstream out(p, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+    out.write(reinterpret_cast<const char*>(bitmap.data()), sizeof(std::uint64_t));
+    for (VertexId s = 0; s < n; ++s) {
+      out.write(reinterpret_cast<const char*>(D.row(s).data()),
+                n * sizeof(std::uint32_t));
+    }
+    ASSERT_TRUE(out.good());
+  }
+
+  const auto ck = apsp::load_checkpoint<std::uint32_t>(p);
+  ASSERT_TRUE(ck.has_value()) << ck.status().message();
+  EXPECT_EQ(ck->num_completed(), n);
+  EXPECT_EQ(ck->distances, D);
+}
+
 // ---------------------------------------------------------------------------
 // Memory budget / overflow precheck
 
@@ -527,7 +587,122 @@ TEST_F(Failpoints, CheckpointWriteInjectionSurfacesInSolveStatus) {
   }
 }
 
+TEST_F(Failpoints, CheckpointReadInjectionYieldsIoError) {
+  const auto g = graph::cycle_graph<std::uint32_t>(16);
+  const auto D = apsp::par_apsp(g).distances;
+  std::vector<std::uint8_t> completed(16, 1);
+  const auto ck = path("read_fp.pack");
+  ASSERT_TRUE(
+      apsp::save_checkpoint(ck, D, completed, apsp::graph_fingerprint(g)).is_ok());
+
+  util::failpoints::arm("checkpoint_read");
+  const auto r = apsp::load_checkpoint<std::uint32_t>(ck);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), ErrorCode::kIo);  // retryable: transient open
+  util::failpoints::disarm_all();
+
+  // And the crc failpoint models the permanent flavor without corrupting a
+  // real file.
+  util::failpoints::arm("checkpoint_crc");
+  const auto c = apsp::load_checkpoint<std::uint32_t>(ck);
+  ASSERT_FALSE(c.has_value());
+  EXPECT_EQ(c.status().code(), ErrorCode::kFormat);
+}
+
 #endif  // PARAPSP_FAILPOINTS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Retry / backoff / error classification (util/retry.hpp, util/status.hpp)
+
+TEST(Retry, IsRetryableDrawsTheTransientPermanentLine) {
+  using util::ErrorCode;
+  // Transient: the world may change under a retry.
+  EXPECT_TRUE(util::is_retryable(ErrorCode::kIo));
+  EXPECT_TRUE(util::is_retryable(ErrorCode::kTimeout));
+  EXPECT_TRUE(util::is_retryable(ErrorCode::kUnavailable));
+  // Permanent: retrying a deterministic failure only hides it.
+  EXPECT_FALSE(util::is_retryable(ErrorCode::kOk));
+  EXPECT_FALSE(util::is_retryable(ErrorCode::kInvalidArgument));
+  EXPECT_FALSE(util::is_retryable(ErrorCode::kFormat));
+  EXPECT_FALSE(util::is_retryable(ErrorCode::kParse));
+  EXPECT_FALSE(util::is_retryable(ErrorCode::kResource));
+  EXPECT_FALSE(util::is_retryable(ErrorCode::kCancelled));
+  EXPECT_FALSE(util::is_retryable(ErrorCode::kInternal));
+  // The Status overload (ADL) agrees with the code overload.
+  const util::Status transient{ErrorCode::kUnavailable, "worker died"};
+  const util::Status permanent{ErrorCode::kFormat, "bad file"};
+  EXPECT_TRUE(is_retryable(transient));
+  EXPECT_FALSE(is_retryable(permanent));
+}
+
+TEST(Retry, BackoffWalksACappedGeometricSchedule) {
+  const util::RetryPolicy policy{.max_attempts = 5, .initial_delay_s = 0.01,
+                                 .max_delay_s = 0.05, .multiplier = 2.0};
+  util::Backoff b(policy);
+  EXPECT_DOUBLE_EQ(b.delay_s(1), 0.01);
+  EXPECT_DOUBLE_EQ(b.delay_s(2), 0.02);
+  EXPECT_DOUBLE_EQ(b.delay_s(3), 0.04);
+  EXPECT_DOUBLE_EQ(b.delay_s(4), 0.05);  // capped
+  EXPECT_DOUBLE_EQ(b.delay_s(9), 0.05);  // stays capped
+  EXPECT_DOUBLE_EQ(b.delay_s(0), 0.0);
+
+  // The cursor honors the attempt budget: after max_attempts failures the
+  // budget is spent.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(b.should_retry()) << i;
+    (void)b.next_delay_s();
+  }
+  EXPECT_FALSE(b.should_retry());
+  b.reset();
+  EXPECT_TRUE(b.should_retry());
+}
+
+TEST(Retry, RetryWithBackoffRetriesTransientFailuresOnly) {
+  const util::RetryPolicy fast{.max_attempts = 4, .initial_delay_s = 0.0,
+                               .max_delay_s = 0.0, .multiplier = 1.0};
+
+  // Transient failure that heals on the 3rd attempt.
+  int calls = 0;
+  const auto healed = util::retry_with_backoff(fast, [&] {
+    ++calls;
+    return calls < 3 ? util::Status{util::ErrorCode::kIo, "flaky"}
+                     : util::Status::ok();
+  });
+  EXPECT_TRUE(healed.is_ok());
+  EXPECT_EQ(calls, 3);
+
+  // Permanent failure: exactly one attempt.
+  calls = 0;
+  const auto refused = util::retry_with_backoff(fast, [&] {
+    ++calls;
+    return util::Status{util::ErrorCode::kFormat, "corrupt"};
+  });
+  EXPECT_EQ(refused.code(), util::ErrorCode::kFormat);
+  EXPECT_EQ(calls, 1);
+
+  // Budget exhaustion: the last failure is reported.
+  calls = 0;
+  const auto exhausted = util::retry_with_backoff(fast, [&] {
+    ++calls;
+    return util::Status{util::ErrorCode::kTimeout, "still down"};
+  });
+  EXPECT_EQ(exhausted.code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(Retry, RetryWithBackoffWorksOnExpectedReturns) {
+  const util::RetryPolicy fast{.max_attempts = 3, .initial_delay_s = 0.0,
+                               .max_delay_s = 0.0, .multiplier = 1.0};
+  int calls = 0;
+  const auto value = util::retry_with_backoff(fast, [&]() -> util::Expected<int> {
+    ++calls;
+    if (calls < 2) return util::Status{util::ErrorCode::kUnavailable, "not yet"};
+    return 42;
+  });
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 42);
+  EXPECT_EQ(calls, 2);
+}
 
 // ---------------------------------------------------------------------------
 // CLI unknown-option rejection

@@ -33,12 +33,23 @@
 //   --trace F         record phase/source spans, write Chrome trace JSON to F
 //                     (load in chrome://tracing or https://ui.perfetto.dev)
 //
+// Fault-tolerant multi-process mode (docs/ROBUSTNESS.md):
+//   --dist-ranks N    run the supervised BSP mode with N worker processes
+//                     (the tool re-executes itself with --dist-worker)
+//   --shard-dir DIR   where shard files live (default: dist_shards)
+//   --shard-rows K    sources per shard lease (default 64)
+//   --dist-worker     internal: run as a worker (requires --dist-fd)
+//   --dist-fd FD      internal: worker's end of the supervisor socketpair
+//
 // Exit codes: 0 = complete, 3 = stopped early (timeout, partial result
 // checkpointed if --checkpoint given), 1 = error, 2 = usage.
 //
 // Fault injection (failpoint-enabled builds): set PARAPSP_FAILPOINTS, e.g.
 //   PARAPSP_FAILPOINTS="checkpoint_write=1" apsp_run ...
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 
@@ -88,10 +99,31 @@ graph::Graph<std::uint32_t> load_or_generate(const util::Args& args) {
   }
   const auto dir = args.get_flag("directed") ? graph::Directedness::kDirected
                                              : graph::Directedness::kUndirected;
-  if (format == "edgelist") return graph::load_edge_list<std::uint32_t>(path, dir);
-  if (format == "binary") return graph::load_binary<std::uint32_t>(path);
-  if (format == "metis") return graph::load_metis<std::uint32_t>(path);
-  throw std::invalid_argument("unknown --format '" + format + "'");
+  // Transient open/read failures (NFS hiccup, EMFILE pressure) are retried
+  // with capped backoff; permanent ones (missing file, parse error) surface
+  // immediately — is_retryable() draws the line.
+  const util::RetryPolicy load_retry{.max_attempts = 3, .initial_delay_s = 0.05,
+                                     .max_delay_s = 0.5, .multiplier = 2.0};
+  auto loaded = util::retry_with_backoff(load_retry, [&] {
+    if (format == "edgelist") return graph::try_load_edge_list<std::uint32_t>(path, dir);
+    if (format == "binary") return graph::try_load_binary<std::uint32_t>(path);
+    if (format == "metis") return graph::try_load_metis<std::uint32_t>(path);
+    return util::Expected<graph::Graph<std::uint32_t>>(
+        util::Status{util::ErrorCode::kInvalidArgument,
+                     "unknown --format '" + format + "'"});
+  });
+  if (!loaded) {
+    throw util::StatusError(loaded.status().code(), loaded.status().message());
+  }
+  return std::move(*loaded);
+}
+
+/// Absolute path of this executable, so the supervisor can re-exec it as a
+/// worker regardless of how it was invoked (relative path, via PATH).
+std::string self_exe_path(const char* argv0) {
+  std::error_code ec;
+  const auto p = std::filesystem::read_symlink("/proc/self/exe", ec);
+  return ec ? std::string(argv0) : p.string();
 }
 
 }  // namespace
@@ -102,6 +134,20 @@ int main(int argc, char** argv) {
     util::failpoints::arm_from_env();
 
     const util::Args args(argc, argv);
+
+    // Internal: worker half of --dist-ranks. Loads the graph the supervisor
+    // persisted, then serves leases over the inherited socket until Shutdown
+    // or supervisor death.
+    if (args.get_flag("dist-worker")) {
+      const int fd = static_cast<int>(args.get_int("dist-fd", -1));
+      if (fd < 0) {
+        std::fprintf(stderr, "error: --dist-worker requires --dist-fd\n");
+        return 2;
+      }
+      const auto g = load_or_generate(args);
+      dist::run_worker_loop<std::uint32_t>(fd, g);
+      return 0;
+    }
     if (args.has("help") || (args.get("graph").empty() && args.get("gen").empty())) {
       std::fprintf(
           stderr,
@@ -124,10 +170,72 @@ int main(int argc, char** argv) {
     const double interval_s = args.get_double("interval-s", 5.0);
     const double ratio = args.get_double("ratio", 1.0);
     const int threads = static_cast<int>(args.get_int("threads", 0));
+    const int dist_ranks = static_cast<int>(args.get_int("dist-ranks", 0));
+    const std::string shard_dir = args.get("shard-dir", "dist_shards");
+    const auto shard_rows = static_cast<std::size_t>(args.get_int("shard-rows", 64));
 
     const auto g = load_or_generate(args);
     args.reject_unknown();  // all getters have run; leftovers are typos
     std::printf("%s\n", g.summary().c_str());
+
+    // Fault-tolerant multi-process BSP mode: this process becomes the
+    // supervisor; workers are re-execed copies of this binary.
+    if (dist_ranks > 0) {
+      std::filesystem::create_directories(shard_dir);
+      const std::string graph_path = shard_dir + "/graph.bin";
+      graph::save_binary(g, graph_path);
+
+      dist::ProcOptions dopts;
+      dopts.ranks = dist_ranks;
+      dopts.shard_rows = shard_rows;
+      dopts.shard_dir = shard_dir;
+      dopts.worker_exec_argv = {self_exe_path(argv[0]), "--dist-worker",
+                                "--dist-fd", "{FD}", "--graph", graph_path,
+                                "--format", "binary"};
+      const char* inject = std::getenv("PARAPSP_DIST_INJECT");
+      if (inject != nullptr) dopts.inject_failpoints = inject;
+      util::ExecutionControl control;
+      if (timeout_s > 0) control.set_deadline_after(timeout_s);
+      dopts.control = &control;
+
+      const auto r = dist::supervise_apsp<std::uint32_t>(g, dopts);
+      if (!r) {
+        std::fprintf(stderr, "error: %s\n", r.status().to_string().c_str());
+        return 1;
+      }
+      std::printf(
+          "dist ranks=%d shards=%llu supersteps=%llu messages=%llu bytes=%llu\n"
+          "faults: retries=%llu reassignments=%llu heartbeat_misses=%llu "
+          "restarts=%llu torn=%llu degraded_shards=%llu\n",
+          dist_ranks,
+          static_cast<unsigned long long>((g.num_vertices() + shard_rows - 1) /
+                                          (shard_rows ? shard_rows : 1)),
+          static_cast<unsigned long long>(r->comm.supersteps),
+          static_cast<unsigned long long>(r->comm.messages),
+          static_cast<unsigned long long>(r->comm.bytes),
+          static_cast<unsigned long long>(r->faults.retries),
+          static_cast<unsigned long long>(r->faults.reassignments),
+          static_cast<unsigned long long>(r->faults.heartbeat_misses),
+          static_cast<unsigned long long>(r->faults.worker_restarts),
+          static_cast<unsigned long long>(r->faults.torn_shards),
+          static_cast<unsigned long long>(r->faults.degraded_shards));
+      if (r->degraded) {
+        std::printf("degraded: %s\n", r->fault.to_string().c_str());
+      }
+      std::printf("dist sweep=%.3fs rows=%u/%u\n", r->elapsed_seconds,
+                  static_cast<VertexId>(
+                      std::count(r->completed.begin(), r->completed.end(), 1)),
+                  g.num_vertices());
+      if (!r->status.is_ok()) {
+        std::printf("stopped early: %s\n", r->status.to_string().c_str());
+        return 3;
+      }
+      if (!out.empty() && r->complete()) {
+        apsp::save_matrix(r->distances, out);
+        std::printf("distance matrix -> %s\n", out.c_str());
+      }
+      return r->complete() ? 0 : 3;
+    }
 
     core::Runner runner(g);
     runner.algorithm(algorithm)
