@@ -1,14 +1,15 @@
 // End-to-end dataset pipeline, the shape of the paper's actual experiments:
 //
 //   edge-list file -> clean (dedup, drop self-loops, largest component)
-//                  -> APSP with a chosen algorithm
-//                  -> analysis report (+ optional distance-matrix export)
+//                  -> APSP with a chosen algorithm (via parapsp::Service)
+//                  -> analysis report (+ optional CSV / servable .padm export)
 //
 // Works on any SNAP/KONECT-style edge list. A tiny sample network ships in
 // data/sample_collab.txt; run without arguments to use it.
 //
 //   ./dataset_pipeline [file] [--directed] [--algorithm parapsp]
 //                      [--threads 0] [--lcc true] [--export-distances out.csv]
+//                      [--export-matrix dist.padm]
 #include <cstdio>
 #include <fstream>
 
@@ -58,11 +59,14 @@ int main(int argc, char** argv) {
     opts.threads = static_cast<int>(args.get_int("threads", 0));
 
     std::printf("\n-- APSP via %s --\n", core::to_string(opts.algorithm));
-    const auto result = core::solve(g, opts);
+    // Service::compute = solve + query endpoint in one step; solve_info()
+    // carries the solver's timing breakdown, matrix() the full result.
+    const auto svc = Service<std::uint32_t>::compute(g, opts).value();
+    const auto& info = svc.solve_info();
     std::printf("done in %.3f s (ordering %.4f s, sweep %.3f s)\n",
-                result.total_seconds(), result.ordering_seconds, result.sweep_seconds);
+                info.total_seconds(), info.ordering_seconds, info.sweep_seconds);
 
-    const auto& D = result.distances;
+    const auto& D = *svc.matrix();
     std::printf("\n-- report --\n");
     std::printf("diameter:        %u\n", analysis::diameter(D));
     std::printf("radius:          %u\n", analysis::radius(D));
@@ -83,6 +87,15 @@ int main(int argc, char** argv) {
         }
       }
       std::printf("distances exported to %s\n", out.c_str());
+    }
+    if (const auto out = args.get("export-matrix"); !out.empty()) {
+      // A .padm file is directly servable: apsp_serve --matrix out, or
+      // Service::open_matrix(out) from code (docs/SERVING.md).
+      if (auto st = svc.export_matrix(out); !st.is_ok()) {
+        std::fprintf(stderr, "export failed: %s\n", st.to_string().c_str());
+        return 1;
+      }
+      std::printf("servable matrix exported to %s\n", out.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

@@ -1,5 +1,6 @@
-// Quickstart: generate a scale-free graph, run ParAPSP, read some distances
-// and graph metrics. The 60-second tour of the public API.
+// Quickstart: generate a scale-free graph, solve + serve it through the
+// parapsp::Service facade, read some distances and graph metrics. The
+// 60-second tour of the public API.
 //
 //   ./quickstart [--n 2000] [--m 4] [--threads 0]
 #include <cstdio>
@@ -17,40 +18,53 @@ int main(int argc, char** argv) {
   const auto g = graph::barabasi_albert<std::uint32_t>(n, m, /*seed=*/42);
   std::printf("graph: %s\n", g.summary().c_str());
 
-  // 2. Solve all-pairs shortest paths through the fluent Runner facade.
-  //    Defaults run ParAPSP — the paper's proposed algorithm (MultiLists
-  //    ordering + dynamic-cyclic parallel sweep) — on all available cores.
-  //    run() never throws; failures come back as a typed Status.
-  auto solved = core::Runner(g)
-                    .threads(static_cast<int>(args.get_int("threads", 0)))
-                    .collect_metrics(true)
-                    .run();
-  if (!solved) {
-    std::fprintf(stderr, "solve failed: %s\n", solved.status().to_string().c_str());
+  // 2. Solve all-pairs shortest paths and stand up a query endpoint in one
+  //    step. Service::compute runs ParAPSP — the paper's proposed algorithm
+  //    (MultiLists ordering + dynamic-cyclic parallel sweep) — and serves
+  //    the result from memory. The same Service opens precomputed files
+  //    too: open_matrix("dist.padm") / open_shard_dir("shards/").
+  //    Nothing here throws; failures come back as a typed Status.
+  core::SolverOptions solver;
+  solver.threads = static_cast<int>(args.get_int("threads", 0));
+  solver.collect_metrics = true;
+  auto svc = Service<std::uint32_t>::compute(g, solver);
+  if (!svc) {
+    std::fprintf(stderr, "solve failed: %s\n", svc.status().to_string().c_str());
     return 1;
   }
-  const auto& result = *solved;
+  const auto& info = svc->solve_info();  // the solve's timings + metrics
   std::printf("solved in %.3f s (ordering %.4f s + sweep %.3f s)\n",
-              result.total_seconds(), result.ordering_seconds, result.sweep_seconds);
+              info.total_seconds(), info.ordering_seconds, info.sweep_seconds);
 
-  // 3. Read distances.
-  const auto& D = result.distances;
-  std::printf("distance 0 -> %u: %u hops\n", n - 1, D.at(0, n - 1));
+  // 3. Query distances — point, batch, or one-to-many. Queries are
+  //    lock-free against an immutable snapshot; any number of threads may
+  //    call these concurrently (see docs/SERVING.md for deadlines,
+  //    hot reload and the on-demand fallback path).
+  const auto d = svc->distance(0, n - 1);
+  if (d) std::printf("distance 0 -> %u: %u hops\n", n - 1, *d);
 
-  // 4. Graph analysis on top of the distance matrix.
+  // 4. Graph analysis on top of the distance matrix. Compute-backed
+  //    services expose the served matrix directly; analysis code that
+  //    wants a bare matrix without serving can still call core::solve.
+  const auto& D = *svc->matrix();
   std::printf("diameter: %u, radius: %u, avg path length: %.3f\n",
               analysis::diameter(D), analysis::radius(D),
               analysis::average_path_length(D));
 
   // 5. The metrics report (collect_metrics above) shows the paper's
   //    mechanism at work: row reuses replace full Dijkstra expansions.
-  //    result.kernel holds the same aggregates without opting in.
-  const auto& report = result.report;
+  //    info.kernel holds the same aggregates without opting in.
+  const auto& report = info.report;
   std::printf("kernel: %llu dequeues, %llu completed-row reuses, %llu edge relaxations\n",
               static_cast<unsigned long long>(report.total(obs::Counter::kQueuePops)),
               static_cast<unsigned long long>(report.total(obs::Counter::kRowReuses)),
               static_cast<unsigned long long>(report.total(obs::Counter::kEdgeRelaxations)));
   std::printf("counters were gathered by %zu thread(s); full JSON via report.to_json()\n",
               report.per_thread.size());
+
+  // 6. Serving stats: every query above was counted.
+  const auto stats = svc->stats();
+  std::printf("served %llu queries, hit rate %.2f\n",
+              static_cast<unsigned long long>(stats.queries), stats.hit_rate());
   return 0;
 }

@@ -55,9 +55,13 @@ int main(int argc, char** argv) {
               deg_dist.fit.alpha);
 
   std::printf("\n-- all-pairs shortest paths (ParAPSP) --\n");
+  // One call solves the network and keeps the result queryable; every
+  // analysis below reads the served matrix (svc also answers point
+  // queries — svc.distance(u, v) — once the analyses narrow interest
+  // down to specific users).
   util::WallTimer timer;
-  const auto result = core::solve(g);
-  const auto& D = result.distances;
+  const auto svc = Service<std::uint32_t>::compute(g).value();
+  const auto& D = *svc.matrix();
   std::printf("APSP in %.3f s; matrix %.1f MiB\n", timer.seconds(),
               static_cast<double>(D.bytes()) / (1024.0 * 1024.0));
 

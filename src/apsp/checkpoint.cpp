@@ -173,3 +173,41 @@ Status read_checkpoint_file(const std::string& path, std::uint8_t expected_code,
 }
 
 }  // namespace parapsp::apsp::detail
+
+namespace parapsp::apsp {
+
+util::Expected<CheckpointInfo> peek_checkpoint(const std::string& path) {
+  using util::ErrorCode;
+  std::ifstream in(path, std::ios::binary);
+  if (!in || PARAPSP_FAILPOINT("io_open_read") || PARAPSP_FAILPOINT("checkpoint_read")) {
+    return util::Status{ErrorCode::kIo,
+                        "cannot open checkpoint '" + path + "': " + std::strerror(errno)};
+  }
+  detail::CheckpointHeader hdr;
+  in.read(reinterpret_cast<char*>(&hdr), sizeof hdr);
+  if (in.gcount() != sizeof hdr || PARAPSP_FAILPOINT("io_short_read")) {
+    return util::Status{ErrorCode::kFormat, "checkpoint '" + path + "': truncated header"};
+  }
+  if (hdr.magic != detail::kCheckpointMagic) {
+    return util::Status{ErrorCode::kFormat, "checkpoint '" + path + "': bad magic"};
+  }
+  if (hdr.version != detail::kCheckpointVersion &&
+      hdr.version != detail::kCheckpointVersionNoCrc) {
+    return util::Status{ErrorCode::kFormat, "checkpoint '" + path +
+                                                "': unsupported version " +
+                                                std::to_string(hdr.version)};
+  }
+  if (hdr.completed_count > hdr.n) {
+    return util::Status{ErrorCode::kFormat,
+                        "checkpoint '" + path + "': completed count " +
+                            std::to_string(hdr.completed_count) +
+                            " exceeds n=" + std::to_string(hdr.n)};
+  }
+  return CheckpointInfo{.version = hdr.version,
+                        .weight_code = hdr.weight_code,
+                        .n = hdr.n,
+                        .graph_fingerprint = hdr.graph_fingerprint,
+                        .completed_count = hdr.completed_count};
+}
+
+}  // namespace parapsp::apsp

@@ -83,6 +83,23 @@ struct CheckpointHeader {
 
 }  // namespace detail
 
+/// Header-only summary of a checkpoint file: everything a caller needs to
+/// decide whether a resume is even admissible (right graph, right weight
+/// type, right size) without touching the bitmap/CRC/row payload — and in
+/// particular without allocating the n x n matrix first.
+struct CheckpointInfo {
+  std::uint32_t version = 0;
+  std::uint8_t weight_code = 0;
+  std::uint32_t n = 0;
+  std::uint64_t graph_fingerprint = 0;
+  std::uint64_t completed_count = 0;
+};
+
+/// Reads and structurally validates just the 32-byte header (magic, version,
+/// completed_count <= n). Untemplated: the weight type check is the
+/// caller's, against CheckpointInfo::weight_code.
+[[nodiscard]] util::Expected<CheckpointInfo> peek_checkpoint(const std::string& path);
+
 /// Identity of the graph a checkpoint belongs to; resuming against a
 /// different graph is rejected with a format error. Cheap structural hash
 /// (FNV over n, m, directedness and sampled CSR offsets) — not

@@ -13,6 +13,7 @@
 
 #include "apsp/distance_matrix.hpp"
 #include "graph/io_binary.hpp"  // weight_code<W>
+#include "util/status.hpp"
 #include "util/types.hpp"
 
 namespace parapsp::apsp {
@@ -28,6 +29,26 @@ struct MatrixHeader {
   std::uint8_t pad[3] = {};
   std::uint32_t n = 0;
 };
+
+/// Header validation shared by the ifstream loader below and the serving
+/// layer's mmap open path (src/serve/shard_store.hpp), so both reject the
+/// same files with the same words.
+[[nodiscard]] inline util::Status validate_matrix_header(const MatrixHeader& hdr,
+                                                         const std::string& path,
+                                                         std::uint8_t expected_code) {
+  if (hdr.magic != kMatrixMagic) {
+    return {util::ErrorCode::kFormat, "matrix file '" + path + "': bad header"};
+  }
+  if (hdr.version != kMatrixVersion) {
+    return {util::ErrorCode::kFormat,
+            "matrix file '" + path + "': unsupported version"};
+  }
+  if (hdr.weight_code != expected_code) {
+    return {util::ErrorCode::kFormat,
+            "matrix file '" + path + "': weight type mismatch"};
+  }
+  return util::Status::ok();
+}
 }  // namespace detail
 
 /// Writes the matrix to `path`; throws std::runtime_error on I/O failure.
@@ -61,14 +82,13 @@ template <WeightType W>
   }
   detail::MatrixHeader hdr;
   in.read(reinterpret_cast<char*>(&hdr), sizeof hdr);
-  if (in.gcount() != sizeof hdr || hdr.magic != detail::kMatrixMagic) {
+  if (in.gcount() != sizeof hdr) {
     throw std::runtime_error("matrix file '" + path + "': bad header");
   }
-  if (hdr.version != detail::kMatrixVersion) {
-    throw std::runtime_error("matrix file '" + path + "': unsupported version");
-  }
-  if (hdr.weight_code != graph::detail::weight_code<W>()) {
-    throw std::runtime_error("matrix file '" + path + "': weight type mismatch");
+  if (const auto st = detail::validate_matrix_header(
+          hdr, path, graph::detail::weight_code<W>());
+      !st.is_ok()) {
+    throw std::runtime_error(st.message());
   }
   DistanceMatrix<W> D(hdr.n);
   const auto row_bytes =

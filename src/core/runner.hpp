@@ -135,6 +135,41 @@ class Runner {
     return external_control_ != nullptr ? *external_control_ : owned_control_;
   }
 
+  /// Eager configuration check: everything run() would reject before doing
+  /// any work, surfaced without running anything. Reports the first deferred
+  /// setter error (unknown algorithm name, ...) or an invalid option
+  /// combination: out-of-range selection ratio, negative thread count, a
+  /// zero Floyd-Warshall tile, or checkpoint/resume/deadline/control on an
+  /// algorithm without a source-row boundary to honor them at. Callers that
+  /// build a Runner from user input (CLIs, services) should validate()
+  /// before committing resources; run() performs the same checks itself.
+  [[nodiscard]] util::Status validate() const {
+    if (!setup_error_.is_ok()) return setup_error_;
+    if (opts_.threads < 0) {
+      return {util::ErrorCode::kInvalidArgument,
+              "threads must be >= 0 (0 = ambient default), got " +
+                  std::to_string(opts_.threads)};
+    }
+    if (opts_.selection_ratio <= 0.0 || opts_.selection_ratio > 1.0) {
+      return {util::ErrorCode::kInvalidArgument,
+              "selection ratio must be in (0, 1], got " +
+                  std::to_string(opts_.selection_ratio)};
+    }
+    if (opts_.algorithm == Algorithm::kFloydWarshallBlocked && opts_.fw_block == 0) {
+      return {util::ErrorCode::kInvalidArgument,
+              "floyd-warshall-blocked needs a tile size >= 1"};
+    }
+    const bool controlled = deadline_s_ > 0.0 || external_control_ != nullptr ||
+                            !opts_.checkpoint_path.empty() ||
+                            !opts_.resume_from.empty();
+    if (controlled && !is_sweep_algorithm(opts_.algorithm)) {
+      return {util::ErrorCode::kInvalidArgument,
+              std::string("algorithm ") + to_string(opts_.algorithm) +
+                  " does not support execution control / checkpointing"};
+    }
+    return util::Status::ok();
+  }
+
   // --- execution -----------------------------------------------------------
 
   /// Runs the configured solve. Never throws: setter errors, bad options,
@@ -142,7 +177,7 @@ class Runner {
   /// Cancel/timeout are NOT errors — they return a value whose
   /// result.status and completed_rows describe the partial state.
   [[nodiscard]] util::Expected<apsp::ApspResult<W>> run() {
-    if (!setup_error_.is_ok()) return setup_error_;
+    if (auto st = validate(); !st.is_ok()) return st;
     return util::try_invoke([&] { return run_or_throw(); },
                             util::ErrorCode::kInvalidArgument);
   }
@@ -150,8 +185,8 @@ class Runner {
   /// Throwing variant of run() (std::invalid_argument / util::StatusError),
   /// for callers already structured around exceptions.
   [[nodiscard]] apsp::ApspResult<W> run_or_throw() {
-    if (!setup_error_.is_ok()) {
-      throw util::StatusError(setup_error_.code(), setup_error_.message());
+    if (auto st = validate(); !st.is_ok()) {
+      throw util::StatusError(st.code(), st.message());
     }
     SolverOptions opts = opts_;
     const bool wants_control = deadline_s_ > 0.0 || external_control_ != nullptr;

@@ -151,6 +151,21 @@ template <WeightType W>
   const VertexId n = g.num_vertices();
   const std::uint64_t fp = apsp::graph_fingerprint(g);
 
+  // Refuse a mismatched resume BEFORE the n x n allocation: a wrong-graph
+  // checkpoint is knowable from its 32-byte header, and discovering it only
+  // after paying (and possibly failing) a multi-GB matrix allocation made
+  // the operator mix-up needlessly expensive to report.
+  if (!opts.resume_from.empty()) {
+    auto info = apsp::peek_checkpoint(opts.resume_from);
+    if (!info) throw StatusError(info.status().code(), info.status().message());
+    if (info->graph_fingerprint != fp || info->n != n ||
+        info->weight_code != graph::detail::weight_code<W>()) {
+      throw StatusError(ErrorCode::kFormat,
+                        "checkpoint '" + opts.resume_from +
+                            "' was written for a different graph");
+    }
+  }
+
   apsp::ApspResult<W> result;
   {
     auto D = apsp::DistanceMatrix<W>::try_create(n);

@@ -35,6 +35,7 @@
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -589,6 +590,28 @@ template <WeightType W>
   }
 
   if (!aborted) result.status = util::Status::ok();
+
+  // Stamp the directory with a small key=value MANIFEST describing what the
+  // shards are for, so operators (and serving-side tooling) can identify a
+  // shard dir without parsing .pack headers. Best-effort: the serving
+  // reader (src/serve/shard_store.hpp) keys on file magic and skips this
+  // file, so a write failure here degrades nothing.
+  {
+    const auto completed_rows = static_cast<VertexId>(
+        std::count(result.completed.begin(), result.completed.end(), 1));
+    std::ofstream manifest(opts.shard_dir + "/MANIFEST", std::ios::trunc);
+    if (manifest) {
+      manifest << "format=parapsp-shard-dir\n"
+               << "n=" << n << '\n'
+               << "weight_code=" << static_cast<unsigned>(wcode) << '\n'
+               << "graph_fingerprint=" << fp << '\n'
+               << "shard_rows=" << opts.shard_rows << '\n'
+               << "shards=" << shards.size() << '\n'
+               << "completed_rows=" << completed_rows << '\n'
+               << "complete=" << (completed_rows == n ? 1 : 0) << '\n';
+    }
+  }
+
   result.elapsed_seconds = timer.seconds();
   return result;
 }

@@ -58,8 +58,12 @@ enum class Counter : std::uint8_t {
   kDistReassignments,     ///< dist supervisor: leases moved off a dead/hung worker
   kDistHeartbeatMisses,   ///< dist supervisor: lease deadlines expired silently
   kDistBytesMoved,        ///< dist supervisor: frame + merged shard payload bytes
+  kServeQueries,          ///< serve: point-to-point distances answered
+  kServeShardHits,        ///< serve: queries answered from a mapped/served row
+  kServeFallbackRows,     ///< serve: rows computed on demand on shard miss
+  kServeDeadlineMisses,   ///< serve: requests stopped by deadline/cancel
 };
-inline constexpr std::size_t kNumCounters = 14;
+inline constexpr std::size_t kNumCounters = 18;
 
 [[nodiscard]] constexpr const char* to_string(Counter c) noexcept {
   switch (c) {
@@ -77,6 +81,10 @@ inline constexpr std::size_t kNumCounters = 14;
     case Counter::kDistReassignments: return "dist_reassignments";
     case Counter::kDistHeartbeatMisses: return "dist_heartbeat_misses";
     case Counter::kDistBytesMoved: return "dist_bytes_moved";
+    case Counter::kServeQueries: return "serve_queries";
+    case Counter::kServeShardHits: return "serve_shard_hits";
+    case Counter::kServeFallbackRows: return "serve_fallback_rows";
+    case Counter::kServeDeadlineMisses: return "serve_deadline_misses";
   }
   return "?";
 }
@@ -89,7 +97,9 @@ inline constexpr std::size_t kNumCounters = 14;
           Counter::kSourcesCompleted,     Counter::kBucketInsertions,
           Counter::kHeavyEdgeRelaxations, Counter::kDistSupersteps,
           Counter::kDistRetries,          Counter::kDistReassignments,
-          Counter::kDistHeartbeatMisses,  Counter::kDistBytesMoved};
+          Counter::kDistHeartbeatMisses,  Counter::kDistBytesMoved,
+          Counter::kServeQueries,         Counter::kServeShardHits,
+          Counter::kServeFallbackRows,    Counter::kServeDeadlineMisses};
 }
 
 /// One value per catalog entry, indexed by static_cast<size_t>(Counter).

@@ -3,8 +3,13 @@
 //   #include <parapsp/parapsp.hpp>
 //
 //   auto g = parapsp::graph::barabasi_albert(10'000, 8, /*seed=*/42);
-//   auto result = parapsp::core::solve(g);          // runs ParAPSP
-//   auto diam = parapsp::analysis::diameter(result.distances);
+//   auto svc = parapsp::Service<std::uint32_t>::compute(g);  // runs ParAPSP
+//   auto d = svc->distance(0, 41);                  // serve queries from it
+//
+// parapsp::Service is the unified front door for distance queries (it also
+// opens precomputed matrix files and dist shard directories — see
+// docs/SERVING.md); parapsp::core::solve / core::Runner remain the low-level
+// path when the bare DistanceMatrix is wanted.
 //
 // See README.md for the architecture overview and examples/ for runnable
 // programs.
@@ -108,6 +113,20 @@
 #include "core/datasets.hpp"
 #include "core/runner.hpp"
 #include "core/solver.hpp"
+
+// Serving: mmap-backed shard store, batch query engine, and the unified
+// Service facade over compute / matrix files / shard dirs (docs/SERVING.md)
+#include "serve/query_engine.hpp"
+#include "serve/service.hpp"
+#include "serve/shard_store.hpp"
+#include "util/mmap_file.hpp"
+
+namespace parapsp {
+/// The recommended entry point for distance queries:
+/// parapsp::Service<W>::open_matrix / open_shard_dir / compute.
+template <WeightType W>
+using Service = serve::Service<W>;
+}  // namespace parapsp
 
 // Complex-graph analysis
 #include "analysis/betweenness.hpp"

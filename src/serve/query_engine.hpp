@@ -1,0 +1,461 @@
+// Batch distance-query engine over a ShardStore snapshot.
+//
+// The read path is the whole design: a batch call loads the store's current
+// snapshot once (one atomic shared_ptr load), then answers every query in
+// the batch by indexing immutable rows — no locks, no per-query atomics, and
+// a generation hot-swap mid-batch is invisible because the batch keeps its
+// snapshot alive. Concurrent readers scale linearly; the only shared writes
+// are the per-batch counter flush at the end.
+//
+// Misses fall back to compute. When a queried source row is in no shard,
+// the engine computes it on demand with the paper's modified-Dijkstra kernel
+// against an attached graph, into a lazily allocated n x n fallback cache
+// that reuses the library's release/acquire row-publication protocol — so
+// concurrent fallbacks for different rows proceed in parallel, concurrent
+// requests for the *same* row compute it once (CAS claim; losers wait on the
+// completion flag), and later fallback rows reuse earlier ones exactly as
+// the solver's sweep would. An admission budget (max_fallback_rows) bounds
+// how much compute queries can trigger; past it misses are kUnavailable,
+// never silent latency cliffs. If the cache itself cannot be allocated
+// (matrix budget), the engine degrades to per-call scratch Dijkstra rows.
+//
+// Deadlines: every batch can carry a deadline (per-call or the engine
+// default) and/or a caller's ExecutionControl; the batch loop and the
+// fallback waits check it cooperatively, and an expired batch returns
+// kTimeout/kCancelled with the deadline-miss counter bumped.
+//
+// Counters flow through obs::Registry (kServeQueries, kServeShardHits,
+// kServeFallbackRows, kServeDeadlineMisses) and are mirrored in a local
+// ServeStats block that is always on (the obs registry only collects inside
+// a Collection window).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "apsp/distance_matrix.hpp"
+#include "apsp/flags.hpp"
+#include "apsp/modified_dijkstra.hpp"
+#include "graph/csr_graph.hpp"
+#include "obs/metrics.hpp"
+#include "serve/shard_store.hpp"
+#include "sssp/dijkstra.hpp"
+#include "util/exec_control.hpp"
+#include "util/expected.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::serve {
+
+struct EngineOptions {
+  /// Deadline applied to every batch that doesn't override it (seconds;
+  /// 0 = none).
+  double default_deadline_s = 0.0;
+  /// Admission budget: total fallback rows this engine may compute over its
+  /// lifetime. 0 forbids fallback entirely (pure shard serving).
+  std::uint64_t max_fallback_rows = std::numeric_limits<std::uint64_t>::max();
+  /// Concurrent fallback computations allowed (0 = unlimited). Excess
+  /// requests wait cooperatively, honoring their deadlines.
+  std::uint32_t max_concurrent_fallback = 0;
+  /// Cache fallback rows in an n x n matrix so each missing row is computed
+  /// once and later fallbacks reuse it. When off (or when the matrix budget
+  /// rejects the allocation) every fallback query recomputes a scratch row.
+  bool fallback_cache = true;
+};
+
+struct QueryOptions {
+  /// Caller-owned cancel/deadline handle checked during the batch (optional).
+  const util::ExecutionControl* control = nullptr;
+  /// Per-batch deadline in seconds: < 0 uses EngineOptions::
+  /// default_deadline_s, 0 disables, > 0 overrides.
+  double deadline_s = -1.0;
+};
+
+/// Monotonic counters since engine construction; reads are racy-but-never-
+/// torn (relaxed atomics), which is all a stats endpoint needs.
+struct ServeStats {
+  std::uint64_t queries = 0;          ///< point-to-point distances answered
+  std::uint64_t shard_hits = 0;       ///< answered straight from a shard row
+  std::uint64_t fallback_rows = 0;    ///< rows computed on demand
+  std::uint64_t deadline_misses = 0;  ///< batches stopped by deadline/cancel
+  std::uint64_t batches = 0;          ///< batch API calls
+  std::uint64_t batch_ns = 0;         ///< summed wall time of batch calls
+
+  /// batch_latency_log2[b] counts batches with ceil(log2(ns)) == b.
+  static constexpr std::size_t kLatencyBuckets = 48;
+  std::array<std::uint64_t, kLatencyBuckets> batch_latency_log2{};
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return queries == 0 ? 1.0 : static_cast<double>(shard_hits) / queries;
+  }
+};
+
+template <WeightType W>
+class QueryEngine {
+ public:
+  using Pair = std::pair<VertexId, VertexId>;
+  using Snapshot = typename ShardStore<W>::Snapshot;
+
+  /// `graph` (optional, non-owning, must outlive the engine) enables the
+  /// fallback path; without it a shard miss is kUnavailable.
+  explicit QueryEngine(std::shared_ptr<ShardStore<W>> store,
+                       const graph::Graph<W>* graph = nullptr,
+                       EngineOptions opts = {})
+      : store_(std::move(store)),
+        graph_(graph),
+        opts_(opts),
+        stats_(std::make_unique<StatsBlock>()),
+        fb_(std::make_unique<FallbackState>()) {}
+
+  /// One point-to-point distance; infinity<W>() means unreachable.
+  [[nodiscard]] util::Expected<W> distance(VertexId s, VertexId t,
+                                           const QueryOptions& q = {}) {
+    W out{};
+    const Pair p{s, t};
+    if (auto st = distances({&p, 1}, {&out, 1}, q); !st.is_ok()) return st;
+    return out;
+  }
+
+  /// Batch of (source, target) pairs; out[i] receives the distance for
+  /// pairs[i]. On an early stop (deadline/cancel/miss error) entries past
+  /// the stop point are unwritten.
+  [[nodiscard]] util::Status distances(std::span<const Pair> pairs, std::span<W> out,
+                                       const QueryOptions& q = {}) {
+    if (out.size() < pairs.size()) {
+      return {util::ErrorCode::kInvalidArgument,
+              "distances: output span smaller than query span"};
+    }
+    BatchScope scope(*this);
+    const auto snap = store_->snapshot();
+    BatchControl ctl(effective_deadline(q), q.control);
+    std::vector<W> scratch;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if ((i & 63u) == 0) {
+        if (auto st = ctl.check(); !st.is_ok()) return scope.finish(st);
+      }
+      const auto [s, t] = pairs[i];
+      if (s >= snap->n || t >= snap->n) {
+        return scope.finish({util::ErrorCode::kInvalidArgument,
+                             "query (" + std::to_string(s) + ", " + std::to_string(t) +
+                                 ") out of range for n=" + std::to_string(snap->n)});
+      }
+      const W* row = snap->rows[s];
+      if (row != nullptr) {
+        ++scope.hits;
+      } else {
+        if (auto st = fallback_row(*snap, s, ctl, scope, scratch, row); !st.is_ok()) {
+          return scope.finish(st);
+        }
+      }
+      out[i] = row[t];
+      ++scope.queries;
+    }
+    return scope.finish(util::Status::ok());
+  }
+
+  /// All distances from `s` to `targets`; the row is resolved once, so this
+  /// is the cheapest shape for fan-out queries.
+  [[nodiscard]] util::Status one_to_many(VertexId s, std::span<const VertexId> targets,
+                                         std::span<W> out, const QueryOptions& q = {}) {
+    if (out.size() < targets.size()) {
+      return {util::ErrorCode::kInvalidArgument,
+              "one_to_many: output span smaller than target span"};
+    }
+    BatchScope scope(*this);
+    const auto snap = store_->snapshot();
+    BatchControl ctl(effective_deadline(q), q.control);
+    if (s >= snap->n) {
+      return scope.finish({util::ErrorCode::kInvalidArgument,
+                           "source " + std::to_string(s) + " out of range for n=" +
+                               std::to_string(snap->n)});
+    }
+    const W* row = snap->rows[s];
+    const bool hit = row != nullptr;
+    std::vector<W> scratch;
+    if (!hit) {
+      if (auto st = fallback_row(*snap, s, ctl, scope, scratch, row); !st.is_ok()) {
+        return scope.finish(st);
+      }
+    }
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if ((i & 63u) == 0) {
+        if (auto st = ctl.check(); !st.is_ok()) return scope.finish(st);
+      }
+      if (targets[i] >= snap->n) {
+        return scope.finish({util::ErrorCode::kInvalidArgument,
+                             "target " + std::to_string(targets[i]) +
+                                 " out of range for n=" + std::to_string(snap->n)});
+      }
+      out[i] = row[targets[i]];
+      if (hit) ++scope.hits;
+      ++scope.queries;
+    }
+    return scope.finish(util::Status::ok());
+  }
+
+  /// Counter snapshot (monotonic since construction).
+  [[nodiscard]] ServeStats stats() const {
+    ServeStats s;
+    s.queries = stats_->queries.load(std::memory_order_relaxed);
+    s.shard_hits = stats_->shard_hits.load(std::memory_order_relaxed);
+    s.fallback_rows = stats_->fallback_rows.load(std::memory_order_relaxed);
+    s.deadline_misses = stats_->deadline_misses.load(std::memory_order_relaxed);
+    s.batches = stats_->batches.load(std::memory_order_relaxed);
+    s.batch_ns = stats_->batch_ns.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < ServeStats::kLatencyBuckets; ++b) {
+      s.batch_latency_log2[b] = stats_->latency[b].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  [[nodiscard]] const std::shared_ptr<ShardStore<W>>& store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const noexcept {
+    return store_->snapshot();
+  }
+  [[nodiscard]] const graph::Graph<W>* graph() const noexcept { return graph_; }
+  [[nodiscard]] const EngineOptions& options() const noexcept { return opts_; }
+
+ private:
+  struct StatsBlock {
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> shard_hits{0};
+    std::atomic<std::uint64_t> fallback_rows{0};
+    std::atomic<std::uint64_t> deadline_misses{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> batch_ns{0};
+    std::array<std::atomic<std::uint64_t>, ServeStats::kLatencyBuckets> latency{};
+  };
+
+  /// Fallback substrate, built on first miss: the shared cache matrix plus
+  /// the claim/flag arrays that make concurrent on-demand rows race-free.
+  struct FallbackState {
+    std::mutex mu;  ///< guards one-time initialization only
+    bool initialized = false;
+    bool cache_ok = false;
+    apsp::DistanceMatrix<W> cache;
+    apsp::FlagArray flags;
+    std::unique_ptr<std::atomic<std::uint8_t>[]> claims;  ///< 1 = being computed
+    std::atomic<std::uint64_t> rows_used{0};
+    std::atomic<std::uint32_t> concurrent{0};
+  };
+
+  /// Caller deadline + per-batch deadline folded into one check.
+  class BatchControl {
+   public:
+    BatchControl(double deadline_s, const util::ExecutionControl* caller)
+        : caller_(caller) {
+      if (deadline_s > 0) {
+        local_.set_deadline_after(deadline_s);
+        have_local_ = true;
+      }
+    }
+    [[nodiscard]] util::Status check() const {
+      if (caller_ != nullptr) {
+        if (auto st = caller_->check(); !st.is_ok()) return st;
+      }
+      if (have_local_ && local_.deadline_expired()) {
+        return {util::ErrorCode::kTimeout, "query deadline expired"};
+      }
+      return util::Status::ok();
+    }
+
+   private:
+    const util::ExecutionControl* caller_;
+    util::ExecutionControl local_;
+    bool have_local_ = false;
+  };
+
+  /// Per-batch counter accumulator: one timestamp pair and one atomic flush
+  /// per batch call, nothing per query.
+  struct BatchScope {
+    explicit BatchScope(QueryEngine& engine)
+        : eng(engine), t0(std::chrono::steady_clock::now()) {}
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+
+    [[nodiscard]] util::Status finish(util::Status st) {
+      if (st.code() == util::ErrorCode::kTimeout ||
+          st.code() == util::ErrorCode::kCancelled) {
+        ++misses;
+      }
+      return st;
+    }
+
+    ~BatchScope() {
+      const auto ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      auto& s = *eng.stats_;
+      s.queries.fetch_add(queries, std::memory_order_relaxed);
+      s.shard_hits.fetch_add(hits, std::memory_order_relaxed);
+      s.fallback_rows.fetch_add(fallback_rows, std::memory_order_relaxed);
+      s.deadline_misses.fetch_add(misses, std::memory_order_relaxed);
+      s.batches.fetch_add(1, std::memory_order_relaxed);
+      s.batch_ns.fetch_add(ns, std::memory_order_relaxed);
+      const auto bucket = std::min<std::size_t>(std::bit_width(ns),
+                                                ServeStats::kLatencyBuckets - 1);
+      s.latency[bucket].fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::Counter::kServeQueries, queries);
+      obs::count(obs::Counter::kServeShardHits, hits);
+      obs::count(obs::Counter::kServeFallbackRows, fallback_rows);
+      obs::count(obs::Counter::kServeDeadlineMisses, misses);
+    }
+
+    QueryEngine& eng;
+    std::chrono::steady_clock::time_point t0;
+    std::uint64_t queries = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t fallback_rows = 0;
+    std::uint64_t misses = 0;
+  };
+
+  [[nodiscard]] double effective_deadline(const QueryOptions& q) const noexcept {
+    return q.deadline_s < 0 ? opts_.default_deadline_s : q.deadline_s;
+  }
+
+  /// One-time fallback-cache setup; false when the matrix budget rejects it
+  /// (the engine then serves scratch rows instead).
+  [[nodiscard]] bool ensure_cache(VertexId n) {
+    std::lock_guard<std::mutex> lock(fb_->mu);
+    if (!fb_->initialized) {
+      fb_->initialized = true;
+      if (auto m = apsp::DistanceMatrix<W>::try_create(n)) {
+        fb_->cache = std::move(*m);
+        fb_->flags = apsp::FlagArray(n);
+        fb_->claims = std::make_unique<std::atomic<std::uint8_t>[]>(n);
+        for (VertexId i = 0; i < n; ++i) {
+          fb_->claims[i].store(0, std::memory_order_relaxed);
+        }
+        fb_->cache_ok = true;
+      }
+    }
+    return fb_->cache_ok;
+  }
+
+  [[nodiscard]] util::Status acquire_slot(const BatchControl& ctl) {
+    const auto cap = opts_.max_concurrent_fallback;
+    if (cap == 0) return util::Status::ok();
+    for (int spins = 0;; ++spins) {
+      auto cur = fb_->concurrent.load(std::memory_order_relaxed);
+      if (cur < cap &&
+          fb_->concurrent.compare_exchange_weak(cur, cur + 1,
+                                                std::memory_order_acquire)) {
+        return util::Status::ok();
+      }
+      if ((spins & 63) == 0) {
+        if (auto st = ctl.check(); !st.is_ok()) return st;
+      }
+      std::this_thread::yield();
+    }
+  }
+  void release_slot() noexcept {
+    if (opts_.max_concurrent_fallback != 0) {
+      fb_->concurrent.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  /// Resolves a row that no shard carries: compute-once into the shared
+  /// cache (CAS claim, losers wait on the publication flag), or a per-call
+  /// scratch row when the cache is off/unavailable. `row_out` stays valid
+  /// for the rest of the batch (`scratch` is the caller's batch-scoped
+  /// buffer in the degraded mode).
+  [[nodiscard]] util::Status fallback_row(const Snapshot& snap, VertexId s,
+                                          const BatchControl& ctl, BatchScope& scope,
+                                          std::vector<W>& scratch, const W*& row_out) {
+    if (graph_ == nullptr) {
+      return {util::ErrorCode::kUnavailable,
+              "row " + std::to_string(s) +
+                  " is in no shard and no graph is attached for fallback"};
+    }
+    if (graph_->num_vertices() != snap.n) {
+      return {util::ErrorCode::kInvalidArgument,
+              "attached graph has n=" + std::to_string(graph_->num_vertices()) +
+                  " but shards have n=" + std::to_string(snap.n)};
+    }
+    if (opts_.max_fallback_rows == 0) {
+      return {util::ErrorCode::kUnavailable,
+              "row " + std::to_string(s) + " is in no shard (fallback disabled)"};
+    }
+
+    if (opts_.fallback_cache && ensure_cache(snap.n)) {
+      auto& fb = *fb_;
+      for (int spins = 0;; ++spins) {
+        if (fb.flags.is_complete(s)) {
+          row_out = fb.cache.row(s).data();
+          return util::Status::ok();
+        }
+        std::uint8_t expected = 0;
+        if (fb.claims[s].compare_exchange_strong(expected, 1,
+                                                 std::memory_order_acq_rel)) {
+          if (fb.rows_used.fetch_add(1, std::memory_order_relaxed) >=
+              opts_.max_fallback_rows) {
+            fb.rows_used.fetch_sub(1, std::memory_order_relaxed);
+            fb.claims[s].store(0, std::memory_order_release);
+            return {util::ErrorCode::kUnavailable,
+                    "fallback admission budget exhausted (" +
+                        std::to_string(opts_.max_fallback_rows) + " rows)"};
+          }
+          if (auto st = acquire_slot(ctl); !st.is_ok()) {
+            fb.rows_used.fetch_sub(1, std::memory_order_relaxed);
+            fb.claims[s].store(0, std::memory_order_release);
+            return st;
+          }
+          thread_local apsp::DijkstraWorkspace ws;
+          ws.resize(snap.n);
+          (void)apsp::modified_dijkstra(*graph_, s, fb.cache, fb.flags, ws);
+          release_slot();
+          ++scope.fallback_rows;
+          row_out = fb.cache.row(s).data();
+          return util::Status::ok();
+        }
+        // Another request is computing row s (or just rolled its claim
+        // back) — wait on the publication flag, honoring the deadline.
+        if ((spins & 63) == 0) {
+          if (auto st = ctl.check(); !st.is_ok()) return st;
+        }
+        std::this_thread::yield();
+      }
+    }
+
+    // Degraded mode: no shared cache, every fallback call pays a full
+    // Dijkstra and the budget meters calls, not distinct rows.
+    if (fb_->rows_used.fetch_add(1, std::memory_order_relaxed) >=
+        opts_.max_fallback_rows) {
+      fb_->rows_used.fetch_sub(1, std::memory_order_relaxed);
+      return {util::ErrorCode::kUnavailable,
+              "fallback admission budget exhausted (" +
+                  std::to_string(opts_.max_fallback_rows) + " rows)"};
+    }
+    if (auto st = acquire_slot(ctl); !st.is_ok()) {
+      fb_->rows_used.fetch_sub(1, std::memory_order_relaxed);
+      return st;
+    }
+    scratch = sssp::dijkstra(*graph_, s);
+    release_slot();
+    ++scope.fallback_rows;
+    row_out = scratch.data();
+    return util::Status::ok();
+  }
+
+  std::shared_ptr<ShardStore<W>> store_;
+  const graph::Graph<W>* graph_;
+  EngineOptions opts_;
+  std::unique_ptr<StatsBlock> stats_;
+  std::unique_ptr<FallbackState> fb_;
+};
+
+}  // namespace parapsp::serve

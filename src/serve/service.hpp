@@ -1,0 +1,196 @@
+// parapsp::Service — one front door to distance queries.
+//
+// Before this facade the library had three ways to get a distance, each with
+// its own ceremony: run core::Runner / core::solve and index the returned
+// matrix, point something at a dist::supervise_apsp shard directory, or call
+// the raw modified_dijkstra kernel for a single row. Service collapses them
+// into three constructors that all end in the same place — a QueryEngine:
+//
+//   auto svc = serve::Service<W>::open_matrix("dist.padm");     // PADM file
+//   auto svc = serve::Service<W>::open_shard_dir("shards/");    // dist output
+//   auto svc = serve::Service<W>::compute(g);                   // solve now
+//   if (!svc) { ... svc.status() ... }
+//   auto d = svc->distance(0, 41);                              // Expected<W>
+//
+// However the rows came to exist, queries behave identically: batch calls,
+// lock-free concurrent readers, per-request deadlines, modified-Dijkstra
+// fallback for absent rows (when a graph is attached), hot reload for
+// file-backed stores. The compute path keeps the solver's timing/metrics
+// breakdown reachable through solve_info(), and a partially completed
+// (cancelled / deadline-expired) solve is served as-is: completed rows from
+// memory, the rest via fallback.
+//
+// Migration note: core::Runner / core::solve remain supported for callers
+// that want a bare DistanceMatrix, but new query-serving code should go
+// through Service — see docs/SERVING.md.
+#pragma once
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apsp/checkpoint.hpp"  // graph_fingerprint
+#include "apsp/matrix_io.hpp"   // MatrixHeader
+#include "apsp/result.hpp"
+#include "core/solver.hpp"
+#include "graph/csr_graph.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/shard_store.hpp"
+#include "util/expected.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::serve {
+
+template <WeightType W>
+class Service {
+ public:
+  using Pair = typename QueryEngine<W>::Pair;
+
+  // --- the three unified entry points --------------------------------------
+
+  /// Serves a "PADM" matrix file (apsp::save_matrix output), mmap'd.
+  [[nodiscard]] static util::Expected<Service> open_matrix(const std::string& path,
+                                                           EngineOptions opts = {}) {
+    auto store = ShardStore<W>::open_matrix(path);
+    if (!store) return store.status();
+    return Service(std::move(*store), nullptr, opts);
+  }
+
+  /// Serves a shard directory: dist::supervise_apsp output, checkpoint
+  /// files, or generation-stamped `gen-<k>/` layouts (see shard_store.hpp).
+  [[nodiscard]] static util::Expected<Service> open_shard_dir(const std::string& dir,
+                                                              EngineOptions opts = {}) {
+    auto store = ShardStore<W>::open_dir(dir);
+    if (!store) return store.status();
+    return Service(std::move(*store), nullptr, opts);
+  }
+
+  /// Solves APSP on `g` now (core::try_solve) and serves the result from
+  /// memory. The graph must outlive the Service (it backs the fallback
+  /// path). A cancelled/deadline-expired solve is not an error here: its
+  /// completed rows are served and the rest fall back on demand — check
+  /// solve_info().status for the stop reason.
+  [[nodiscard]] static util::Expected<Service> compute(
+      const graph::Graph<W>& g, const core::SolverOptions& solver = {},
+      EngineOptions opts = {}) {
+    auto result = core::try_solve(g, solver);
+    if (!result) return result.status();
+    const auto* completed =
+        result->completed_rows.empty() ? nullptr : &result->completed_rows;
+    auto store = ShardStore<W>::from_matrix(std::move(result->distances),
+                                            apsp::graph_fingerprint(g), completed);
+    Service svc(std::move(store), &g, opts);
+    svc.info_ = std::move(*result);  // distances already moved into the store
+    return svc;
+  }
+
+  // --- configuration --------------------------------------------------------
+
+  /// Attaches the graph the rows were computed on, enabling fallback for
+  /// file-backed services. Rejected when the store's recorded fingerprint or
+  /// size disagrees — serving rows against the wrong graph would silently
+  /// mix distance spaces. Resets the engine (fresh stats/fallback cache).
+  [[nodiscard]] util::Status attach_graph(const graph::Graph<W>& g) {
+    const auto snap = store_->snapshot();
+    if (g.num_vertices() != snap->n) {
+      return {util::ErrorCode::kInvalidArgument,
+              "attach_graph: graph has n=" + std::to_string(g.num_vertices()) +
+                  " but the store serves n=" + std::to_string(snap->n)};
+    }
+    if (snap->graph_fp != 0 && apsp::graph_fingerprint(g) != snap->graph_fp) {
+      return {util::ErrorCode::kInvalidArgument,
+              "attach_graph: graph fingerprint does not match the shards "
+              "(rows were computed on a different graph)"};
+    }
+    graph_ = &g;
+    engine_ = QueryEngine<W>(store_, graph_, eopts_);
+    return util::Status::ok();
+  }
+
+  // --- queries (thin passthroughs to the engine) ----------------------------
+
+  [[nodiscard]] util::Expected<W> distance(VertexId s, VertexId t,
+                                           const QueryOptions& q = {}) {
+    return engine_.distance(s, t, q);
+  }
+  [[nodiscard]] util::Status distances(std::span<const Pair> pairs, std::span<W> out,
+                                       const QueryOptions& q = {}) {
+    return engine_.distances(pairs, out, q);
+  }
+  [[nodiscard]] util::Status one_to_many(VertexId s, std::span<const VertexId> targets,
+                                         std::span<W> out, const QueryOptions& q = {}) {
+    return engine_.one_to_many(s, targets, out, q);
+  }
+
+  // --- access ---------------------------------------------------------------
+
+  [[nodiscard]] QueryEngine<W>& engine() noexcept { return engine_; }
+  [[nodiscard]] const QueryEngine<W>& engine() const noexcept { return engine_; }
+  [[nodiscard]] const std::shared_ptr<ShardStore<W>>& store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] ServeStats stats() const { return engine_.stats(); }
+
+  /// The served in-memory distance matrix for compute-backed services;
+  /// nullptr when the store is file-backed (rows live in mapped files).
+  /// Stable for the Service's lifetime — in-memory stores never reload —
+  /// so whole-matrix analysis (diameter, centrality, histograms) can read
+  /// it directly instead of exporting and re-loading.
+  [[nodiscard]] const apsp::DistanceMatrix<W>* matrix() const noexcept {
+    return store_->snapshot()->matrix();
+  }
+
+  /// Re-reads the backing file/directory and swaps the served generation
+  /// (no-op for compute-backed services). Queries keep flowing throughout.
+  [[nodiscard]] util::Status reload() { return store_->reload(); }
+
+  /// Timings/metrics/stop-status of the compute() solve; default-constructed
+  /// (zero timings, ok status) for file-backed services. Its `distances`
+  /// member is empty — the matrix lives in the store.
+  [[nodiscard]] const apsp::ApspResult<W>& solve_info() const noexcept { return info_; }
+
+  /// Writes the served snapshot as a "PADM" matrix file — the bridge from
+  /// "computed it" to "file other services can open_matrix()". Requires
+  /// every row present (kUnavailable otherwise).
+  [[nodiscard]] util::Status export_matrix(const std::string& path) const {
+    const auto snap = store_->snapshot();
+    if (snap->rows_present != snap->n) {
+      return {util::ErrorCode::kUnavailable,
+              "export_matrix: only " + std::to_string(snap->rows_present) + " of " +
+                  std::to_string(snap->n) + " rows are present"};
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      return {util::ErrorCode::kIo,
+              "cannot write matrix '" + path + "': " + std::strerror(errno)};
+    }
+    apsp::detail::MatrixHeader hdr;
+    hdr.weight_code = graph::detail::weight_code<W>();
+    hdr.n = snap->n;
+    out.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+    const auto row_bytes =
+        static_cast<std::streamsize>(static_cast<std::size_t>(snap->n) * sizeof(W));
+    for (VertexId s = 0; s < snap->n; ++s) {
+      out.write(reinterpret_cast<const char*>(snap->rows[s]), row_bytes);
+    }
+    if (!out) return {util::ErrorCode::kIo, "write failed for '" + path + "'"};
+    return util::Status::ok();
+  }
+
+ private:
+  Service(std::shared_ptr<ShardStore<W>> store, const graph::Graph<W>* g,
+          EngineOptions opts)
+      : store_(std::move(store)), graph_(g), eopts_(opts), engine_(store_, g, opts) {}
+
+  std::shared_ptr<ShardStore<W>> store_;
+  const graph::Graph<W>* graph_;
+  EngineOptions eopts_;
+  apsp::ApspResult<W> info_;
+  QueryEngine<W> engine_;
+};
+
+}  // namespace parapsp::serve

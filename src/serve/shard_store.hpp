@@ -1,0 +1,427 @@
+// Read-only shard store: the serving layer's view of precomputed rows.
+//
+// A ShardStore turns what the compute side produces — ".pack" checkpoint /
+// dist-shard files (apsp/checkpoint.hpp), "PADM" matrix files
+// (apsp/matrix_io.hpp), or an in-memory DistanceMatrix — into one immutable
+// Snapshot: a per-source table of row pointers into mmap'd (or owned) memory.
+// Readers grab the snapshot with one atomic shared_ptr load and index rows
+// lock-free; a hot reload builds the next snapshot on the side and swaps the
+// pointer, so in-flight batches keep serving the generation they started on
+// until the last reader drops it (docs/SERVING.md).
+//
+// Directory layout ("generation-stamped"): a shard directory either holds
+// shard files directly (generation 0 — exactly what dist::supervise_apsp
+// writes) or `gen-<k>/` subdirectories, each a complete generation; open and
+// reload pick the highest k that loads cleanly. Files are identified by
+// their 4-byte magic (PACK / PADM); anything else (MANIFEST, graph.bin,
+// temp files) is skipped.
+//
+// Integrity at open, not at query time: header/size structure, bitmap
+// popcount, weight-type and n consistency across files, graph-fingerprint
+// agreement across .pack files, and the v2 per-row CRC-32s are all verified
+// while building a snapshot. A corrupt or truncated file fails the open with
+// a typed Status; the query path never re-checks.
+//
+// Alignment: .pack rows start at 32 + bitmap + CRC-section bytes, which for
+// 8-byte weights can be 8-misaligned when completed_count is odd. Such a
+// shard is materialized into an owned 64-byte-aligned buffer at open (a
+// one-time copy); 4-byte weights always serve zero-copy from the mapping.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apsp/checkpoint.hpp"
+#include "apsp/distance_matrix.hpp"
+#include "apsp/matrix_io.hpp"
+#include "graph/io_binary.hpp"  // weight_code<W>
+#include "util/aligned_buffer.hpp"
+#include "util/crc32.hpp"
+#include "util/expected.hpp"
+#include "util/mmap_file.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::serve {
+
+template <WeightType W>
+class ShardStore {
+ public:
+  /// One immutable generation of served rows. Shared by every in-flight
+  /// batch that started on it; destroyed (unmapping its files) when the
+  /// last reader and the store have both let go.
+  struct Snapshot {
+    VertexId n = 0;
+    std::uint64_t generation = 0;
+    /// Fingerprint of the graph the rows were computed on; 0 when unknown
+    /// (matrix files don't carry one).
+    std::uint64_t graph_fp = 0;
+    VertexId rows_present = 0;
+    /// Per-source row pointer (n entries, each valid for n reads); nullptr
+    /// marks a row no shard provided — the query engine's fallback case.
+    std::vector<const W*> rows;
+
+    [[nodiscard]] bool has_row(VertexId s) const noexcept {
+      return rows[s] != nullptr;
+    }
+    [[nodiscard]] const W* row(VertexId s) const noexcept { return rows[s]; }
+
+    /// The in-memory backing matrix (`from_matrix` / `Service::compute`
+    /// snapshots only); nullptr for file-backed snapshots. Lets
+    /// whole-matrix analysis consume fresh solver output without a copy.
+    [[nodiscard]] const apsp::DistanceMatrix<W>* matrix() const noexcept {
+      return matrix_.size() != 0 ? &matrix_ : nullptr;
+    }
+
+   private:
+    friend class ShardStore;
+    std::vector<util::MappedFile> maps_;          ///< zero-copy backings
+    std::vector<util::AlignedBuffer<W>> owned_;   ///< materialized shards
+    apsp::DistanceMatrix<W> matrix_;              ///< in-memory backing
+  };
+
+  /// Opens a shard directory: `gen-<k>/` subdirectories (highest loadable k
+  /// wins) or a flat directory of shard files (generation 0).
+  [[nodiscard]] static util::Expected<std::shared_ptr<ShardStore>> open_dir(
+      const std::string& dir) {
+    auto snap = load_root(dir);
+    if (!snap) return snap.status();
+    return std::shared_ptr<ShardStore>(
+        new ShardStore(Source::kDir, dir, std::move(*snap)));
+  }
+
+  /// Opens a single "PADM" matrix file (all n rows present).
+  [[nodiscard]] static util::Expected<std::shared_ptr<ShardStore>> open_matrix(
+      const std::string& path) {
+    Snapshot snap;
+    bool have_meta = false;
+    auto mf = util::MappedFile::open(path);
+    if (!mf) return mf.status();
+    if (auto st = add_matrix_file(path, std::move(*mf), snap, have_meta);
+        !st.is_ok()) {
+      return st;
+    }
+    return std::shared_ptr<ShardStore>(
+        new ShardStore(Source::kMatrixFile, path, std::move(snap)));
+  }
+
+  /// Wraps an in-memory matrix (typically fresh solver output). `completed`
+  /// restricts the served rows (nullptr = all rows exact); `graph_fp` ties
+  /// the snapshot to its graph for fallback-consistency checks (0 = unknown).
+  [[nodiscard]] static std::shared_ptr<ShardStore> from_matrix(
+      apsp::DistanceMatrix<W> matrix, std::uint64_t graph_fp = 0,
+      const std::vector<std::uint8_t>* completed = nullptr) {
+    Snapshot snap;
+    snap.n = matrix.size();
+    snap.graph_fp = graph_fp;
+    snap.matrix_ = std::move(matrix);
+    snap.rows.assign(snap.n, nullptr);
+    for (VertexId s = 0; s < snap.n; ++s) {
+      if (completed != nullptr && !(*completed)[s]) continue;
+      snap.rows[s] = snap.matrix_.row(s).data();
+      ++snap.rows_present;
+    }
+    return std::shared_ptr<ShardStore>(
+        new ShardStore(Source::kInMemory, std::string{}, std::move(snap)));
+  }
+
+  /// The current generation; one acquire load, never blocks.
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const noexcept {
+    return snap_.load(std::memory_order_acquire);
+  }
+
+  /// Rebuilds from the backing directory/file and atomically swaps the new
+  /// snapshot in. On failure the previous snapshot stays served and the
+  /// error is returned. In-memory stores have nothing to re-read (no-op).
+  /// Reloads are serialized; queries are never blocked by one.
+  [[nodiscard]] util::Status reload() {
+    if (source_ == Source::kInMemory) return util::Status::ok();
+    std::lock_guard<std::mutex> lock(reload_mu_);
+    util::Expected<Snapshot> next =
+        source_ == Source::kDir ? load_root(origin_) : load_matrix_snapshot(origin_);
+    if (!next) return next.status();
+    const auto cur = snapshot();
+    if (cur != nullptr) {
+      if (next->n != cur->n) {
+        return {util::ErrorCode::kFormat,
+                "reload: new generation has n=" + std::to_string(next->n) +
+                    ", serving n=" + std::to_string(cur->n)};
+      }
+      if (next->graph_fp != 0 && cur->graph_fp != 0 &&
+          next->graph_fp != cur->graph_fp) {
+        return {util::ErrorCode::kFormat,
+                "reload: new generation was computed on a different graph"};
+      }
+    }
+    snap_.store(std::make_shared<const Snapshot>(std::move(*next)),
+                std::memory_order_release);
+    return util::Status::ok();
+  }
+
+ private:
+  enum class Source { kDir, kMatrixFile, kInMemory };
+
+  ShardStore(Source source, std::string origin, Snapshot snap)
+      : source_(source), origin_(std::move(origin)) {
+    snap_.store(std::make_shared<const Snapshot>(std::move(snap)),
+                std::memory_order_release);
+  }
+
+  [[nodiscard]] static util::Expected<Snapshot> load_matrix_snapshot(
+      const std::string& path) {
+    Snapshot snap;
+    bool have_meta = false;
+    auto mf = util::MappedFile::open(path);
+    if (!mf) return mf.status();
+    if (auto st = add_matrix_file(path, std::move(*mf), snap, have_meta);
+        !st.is_ok()) {
+      return st;
+    }
+    return snap;
+  }
+
+  /// Picks the generation to serve: highest loadable `gen-<k>/`, else the
+  /// flat directory as generation 0.
+  [[nodiscard]] static util::Expected<Snapshot> load_root(const std::string& dir) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+      return util::Status{util::ErrorCode::kIo,
+                          "shard dir '" + dir + "' is not a directory"};
+    }
+    std::vector<std::pair<std::uint64_t, fs::path>> gens;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (!entry.is_directory(ec)) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("gen-", 0) != 0) continue;
+      const std::string digits = name.substr(4);
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos) {
+        continue;
+      }
+      gens.emplace_back(std::stoull(digits), entry.path());
+    }
+    if (gens.empty()) return load_generation(dir, 0);
+    std::sort(gens.begin(), gens.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    util::Status first_err = util::Status::ok();
+    for (const auto& [k, path] : gens) {
+      auto snap = load_generation(path.string(), k);
+      if (snap) return snap;
+      if (first_err.is_ok()) first_err = snap.status();
+    }
+    return first_err;  // highest generation's failure, the actionable one
+  }
+
+  /// Loads every shard file in one directory into a snapshot. Files merge
+  /// by source row; when two files carry the same row the first (filename
+  /// order) wins — both hold exact distances, so either is correct.
+  [[nodiscard]] static util::Expected<Snapshot> load_generation(
+      const std::string& dir, std::uint64_t generation) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.is_regular_file(ec)) files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+
+    Snapshot snap;
+    snap.generation = generation;
+    bool have_meta = false;
+    std::size_t recognized = 0;
+    for (const auto& path : files) {
+      auto mf = util::MappedFile::open(path);
+      if (!mf) return mf.status();
+      if (mf->size() < sizeof(std::uint32_t)) continue;
+      std::uint32_t magic = 0;
+      std::memcpy(&magic, mf->data(), sizeof magic);
+      util::Status st = util::Status::ok();
+      if (magic == apsp::detail::kCheckpointMagic) {
+        st = add_pack_file(path, std::move(*mf), snap, have_meta);
+      } else if (magic == apsp::detail::kMatrixMagic) {
+        st = add_matrix_file(path, std::move(*mf), snap, have_meta);
+      } else {
+        continue;  // MANIFEST, graph.bin, scratch files
+      }
+      if (!st.is_ok()) return st;
+      ++recognized;
+    }
+    if (recognized == 0) {
+      return util::Status{util::ErrorCode::kFormat,
+                          "no shard files (PACK/PADM) in '" + dir + "'"};
+    }
+    return snap;
+  }
+
+  /// First recognized file fixes n for the snapshot; later files must agree.
+  [[nodiscard]] static util::Status bind_meta(const std::string& path, VertexId n,
+                                              Snapshot& snap, bool& have_meta) {
+    if (!have_meta) {
+      snap.n = n;
+      snap.rows.assign(n, nullptr);
+      have_meta = true;
+      return util::Status::ok();
+    }
+    if (n != snap.n) {
+      return {util::ErrorCode::kFormat,
+              "shard '" + path + "' has n=" + std::to_string(n) +
+                  ", other shards have n=" + std::to_string(snap.n)};
+    }
+    return util::Status::ok();
+  }
+
+  /// Maps a ".pack" checkpoint/shard file into the snapshot: structural and
+  /// CRC validation, then per-row pointers (zero-copy when aligned).
+  [[nodiscard]] static util::Status add_pack_file(const std::string& path,
+                                                 util::MappedFile mf, Snapshot& snap,
+                                                 bool& have_meta) {
+    using apsp::detail::CheckpointHeader;
+    const std::byte* base = mf.data();
+    if (mf.size() < sizeof(CheckpointHeader)) {
+      return {util::ErrorCode::kFormat, "shard '" + path + "': truncated header"};
+    }
+    CheckpointHeader hdr;
+    std::memcpy(&hdr, base, sizeof hdr);
+    if (hdr.version != apsp::detail::kCheckpointVersion &&
+        hdr.version != apsp::detail::kCheckpointVersionNoCrc) {
+      return {util::ErrorCode::kFormat,
+              "shard '" + path + "': unsupported version " +
+                  std::to_string(hdr.version)};
+    }
+    if (hdr.weight_code != graph::detail::weight_code<W>()) {
+      return {util::ErrorCode::kFormat, "shard '" + path + "': weight type mismatch"};
+    }
+    if (hdr.completed_count > hdr.n) {
+      return {util::ErrorCode::kFormat,
+              "shard '" + path + "': completed_count exceeds n"};
+    }
+    if (auto st = bind_meta(path, hdr.n, snap, have_meta); !st.is_ok()) return st;
+    if (snap.graph_fp == 0) {
+      snap.graph_fp = hdr.graph_fingerprint;
+    } else if (hdr.graph_fingerprint != snap.graph_fp) {
+      return {util::ErrorCode::kFormat,
+              "shard '" + path + "': graph fingerprint differs from sibling shards"};
+    }
+
+    const std::size_t words = (static_cast<std::size_t>(hdr.n) + 63) / 64;
+    const std::size_t completed = static_cast<std::size_t>(hdr.completed_count);
+    const bool has_crc = hdr.version == apsp::detail::kCheckpointVersion;
+    const std::size_t row_bytes = static_cast<std::size_t>(hdr.n) * sizeof(W);
+    const std::size_t bitmap_off = sizeof(CheckpointHeader);
+    const std::size_t crc_off = bitmap_off + words * 8;
+    const std::size_t rows_off = crc_off + (has_crc ? completed * 4 : 0);
+    if (mf.size() < rows_off || (mf.size() - rows_off) / (row_bytes ? row_bytes : 1) <
+                                    completed) {
+      return {util::ErrorCode::kFormat, "shard '" + path + "': truncated payload"};
+    }
+
+    std::vector<std::uint64_t> bitmap(words);
+    std::memcpy(bitmap.data(), base + bitmap_off, words * 8);
+    std::size_t popcount = 0;
+    for (const auto w : bitmap) popcount += std::popcount(w);
+    if (popcount != completed) {
+      return {util::ErrorCode::kFormat,
+              "shard '" + path + "': bitmap popcount != completed_count"};
+    }
+
+    if (has_crc) {
+      for (std::size_t i = 0; i < completed; ++i) {
+        std::uint32_t want = 0;
+        std::memcpy(&want, base + crc_off + i * 4, 4);
+        if (util::crc32(base + rows_off + i * row_bytes, row_bytes) != want) {
+          return {util::ErrorCode::kFormat,
+                  "shard '" + path + "': row CRC mismatch (block " +
+                      std::to_string(i) + ")"};
+        }
+      }
+    }
+
+    // Zero-copy when the packed rows are aligned for W; otherwise (8-byte
+    // weights behind an odd-length CRC section) materialize once.
+    const W* rows_base;
+    if (reinterpret_cast<std::uintptr_t>(base + rows_off) % alignof(W) == 0) {
+      rows_base = reinterpret_cast<const W*>(base + rows_off);
+    } else {
+      util::AlignedBuffer<W> copy(completed * static_cast<std::size_t>(hdr.n));
+      std::memcpy(copy.data(), base + rows_off, completed * row_bytes);
+      rows_base = copy.data();
+      snap.owned_.push_back(std::move(copy));
+    }
+
+    std::size_t idx = 0;
+    for (VertexId s = 0; s < hdr.n; ++s) {
+      if (!(bitmap[s / 64] & (std::uint64_t{1} << (s % 64)))) continue;
+      const W* row = rows_base + idx * static_cast<std::size_t>(hdr.n);
+      ++idx;
+      if (snap.rows[s] != nullptr) continue;  // first shard providing s wins
+      snap.rows[s] = row;
+      ++snap.rows_present;
+    }
+    snap.maps_.push_back(std::move(mf));
+    return util::Status::ok();
+  }
+
+  /// Maps a "PADM" dense matrix file into the snapshot (all n rows).
+  [[nodiscard]] static util::Status add_matrix_file(const std::string& path,
+                                                    util::MappedFile mf,
+                                                    Snapshot& snap, bool& have_meta) {
+    using apsp::detail::MatrixHeader;
+    const std::byte* base = mf.data();
+    if (mf.size() < sizeof(MatrixHeader)) {
+      return {util::ErrorCode::kFormat, "matrix '" + path + "': truncated header"};
+    }
+    MatrixHeader hdr;
+    std::memcpy(&hdr, base, sizeof hdr);
+    if (auto st = apsp::detail::validate_matrix_header(
+            hdr, path, graph::detail::weight_code<W>());
+        !st.is_ok()) {
+      return st;
+    }
+    std::size_t cells = 0;
+    std::size_t payload = 0;
+    if (!parapsp::checked_mul(static_cast<std::size_t>(hdr.n),
+                              static_cast<std::size_t>(hdr.n), cells) ||
+        !parapsp::checked_mul(cells, sizeof(W), payload)) {
+      return {util::ErrorCode::kFormat, "matrix '" + path + "': size overflow"};
+    }
+    if (mf.size() < sizeof(MatrixHeader) + payload) {
+      return {util::ErrorCode::kFormat, "matrix '" + path + "': truncated payload"};
+    }
+    if (auto st = bind_meta(path, hdr.n, snap, have_meta); !st.is_ok()) return st;
+
+    const std::byte* payload_base = base + sizeof(MatrixHeader);
+    const W* rows_base;
+    if (reinterpret_cast<std::uintptr_t>(payload_base) % alignof(W) == 0) {
+      rows_base = reinterpret_cast<const W*>(payload_base);
+    } else {
+      util::AlignedBuffer<W> copy(cells);
+      std::memcpy(copy.data(), payload_base, payload);
+      rows_base = copy.data();
+      snap.owned_.push_back(std::move(copy));
+    }
+    for (VertexId s = 0; s < hdr.n; ++s) {
+      if (snap.rows[s] != nullptr) continue;
+      snap.rows[s] = rows_base + static_cast<std::size_t>(s) * hdr.n;
+      ++snap.rows_present;
+    }
+    snap.maps_.push_back(std::move(mf));
+    return util::Status::ok();
+  }
+
+  Source source_;
+  std::string origin_;  ///< directory or matrix path; empty for in-memory
+  std::mutex reload_mu_;
+  std::atomic<std::shared_ptr<const Snapshot>> snap_;
+};
+
+}  // namespace parapsp::serve

@@ -14,8 +14,12 @@ namespace parapsp::util {
 /// Holds either a T or a non-ok Status. Constructing from an ok Status is a
 /// caller bug and is upgraded to an internal invalid_argument error rather
 /// than silently pretending a value exists.
+///
+/// The type itself is [[nodiscard]]: ignoring a returned Expected discards
+/// an error (and usually a value the caller paid for), so every drop must be
+/// an explicit `(void)` cast.
 template <typename T>
-class Expected {
+class [[nodiscard]] Expected {
  public:
   Expected(T value) : has_value_(true) {  // NOLINT(google-explicit-constructor)
     new (&storage_.value) T(std::move(value));

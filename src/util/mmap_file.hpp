@@ -1,0 +1,105 @@
+// Read-only memory-mapped file with RAII unmapping — the zero-copy substrate
+// of the serving layer (src/serve/, docs/SERVING.md).
+//
+// A MappedFile holds one mmap(PROT_READ) region for the file's whole length.
+// The kernel pages bytes in on first touch and shares clean pages across
+// processes, so N serving threads (or N serving processes on one box) read
+// one physical copy of a precomputed distance shard. Regions are immutable
+// from this process's point of view; a snapshot that holds the MappedFile
+// keeps the mapping alive for as long as any reader holds the snapshot,
+// which is what makes generation hot-swaps safe mid-batch.
+//
+// Failure taxonomy matches the PR-1 loaders: open/stat/map failures are
+// typed kIo Statuses, never exceptions. The `mmap_open` failpoint injects
+// the open failure for fault-drill tests.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "util/expected.hpp"
+#include "util/failpoints.hpp"
+#include "util/status.hpp"
+
+namespace parapsp::util {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+
+  MappedFile(MappedFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      unmap();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  ~MappedFile() { unmap(); }
+
+  /// Maps `path` read-only for its full current length. An empty file maps
+  /// to a valid zero-length MappedFile (data() == nullptr).
+  [[nodiscard]] static Expected<MappedFile> open(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0 || PARAPSP_FAILPOINT("mmap_open")) {
+      if (fd >= 0) ::close(fd);
+      return Status{ErrorCode::kIo,
+                    "cannot open '" + path + "': " + std::strerror(errno)};
+    }
+    struct ::stat st {};
+    if (::fstat(fd, &st) != 0) {
+      const Status err{ErrorCode::kIo,
+                       "cannot stat '" + path + "': " + std::strerror(errno)};
+      ::close(fd);
+      return err;
+    }
+    MappedFile mf;
+    mf.size_ = static_cast<std::size_t>(st.st_size);
+    if (mf.size_ > 0) {
+      void* p = ::mmap(nullptr, mf.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (p == MAP_FAILED) {
+        const Status err{ErrorCode::kIo,
+                         "cannot mmap '" + path + "': " + std::strerror(errno)};
+        ::close(fd);
+        return err;
+      }
+      mf.data_ = static_cast<const std::byte*>(p);
+    }
+    ::close(fd);  // the mapping outlives the descriptor
+    return mf;
+  }
+
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  void unmap() noexcept {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<std::byte*>(data_), size_);
+      data_ = nullptr;
+      size_ = 0;
+    }
+  }
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace parapsp::util

@@ -1,0 +1,621 @@
+// Tests for the serving layer (src/serve/): ShardStore integrity checks
+// (CRC, truncation, type/fingerprint mismatches), generation selection and
+// hot reload (including a swap under an in-flight batch), QueryEngine
+// fallback/budget/deadline behavior, the Service facade's three entry
+// points, concurrent reader/reload stress (the TSan target), and the eager
+// validation satellites (Runner::validate, peek_checkpoint, resume guard).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace parapsp;
+namespace fs = std::filesystem;
+using Weight = std::uint32_t;
+
+// ---------- fixtures ----------
+
+graph::Graph<Weight> test_graph(std::uint64_t seed = 31) {
+  return parapsp::testing::make_graph({"serve_ba",
+                                       parapsp::testing::GraphCase::Family::kBA, 120, 3,
+                                       graph::Directedness::kUndirected, true, seed});
+}
+
+/// Fresh per-test scratch directory under the gtest temp root.
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("serve_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Writes the rows of `D` selected by `keep` as a v2 ".pack" shard file.
+void write_shard(const fs::path& path, const apsp::DistanceMatrix<Weight>& D,
+                 std::uint64_t fp, const std::vector<std::uint8_t>& keep) {
+  ASSERT_TRUE(apsp::save_checkpoint(path.string(), D, keep, fp).is_ok());
+}
+
+std::vector<std::uint8_t> all_rows(VertexId n) {
+  return std::vector<std::uint8_t>(n, 1);
+}
+
+/// completed[s] = 1 for even s, 0 for odd s.
+std::vector<std::uint8_t> even_rows(VertexId n) {
+  std::vector<std::uint8_t> keep(n, 0);
+  for (VertexId s = 0; s < n; s += 2) keep[s] = 1;
+  return keep;
+}
+
+void flip_byte(const fs::path& path, std::uint64_t offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0xff);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+/// Byte offset where the packed rows of a full v2 checkpoint for n start.
+std::uint64_t rows_offset(VertexId n, VertexId completed) {
+  const std::uint64_t words = (static_cast<std::uint64_t>(n) + 63) / 64;
+  return 32 + words * 8 + static_cast<std::uint64_t>(completed) * 4;
+}
+
+// ---------- ShardStore: integrity at open ----------
+
+TEST(ShardStore, ServesCheckpointShardsBitIdenticalToOracle) {
+  const auto g = test_graph();
+  const auto want = apsp::floyd_warshall(g);
+  const auto fp = apsp::graph_fingerprint(g);
+  const auto dir = scratch_dir("oracle");
+  // Two shards with complementary rows; the store merges them.
+  auto even = even_rows(g.num_vertices());
+  auto odd = all_rows(g.num_vertices());
+  for (VertexId s = 0; s < g.num_vertices(); ++s) odd[s] = !even[s];
+  write_shard(dir / "shard_0.pack", want, fp, even);
+  write_shard(dir / "shard_1.pack", want, fp, odd);
+
+  auto store = serve::ShardStore<Weight>::open_dir(dir.string());
+  ASSERT_TRUE(store.has_value()) << store.status().to_string();
+  const auto snap = (*store)->snapshot();
+  EXPECT_EQ(snap->n, g.num_vertices());
+  EXPECT_EQ(snap->rows_present, g.num_vertices());
+  EXPECT_EQ(snap->graph_fp, fp);
+  for (VertexId s = 0; s < snap->n; ++s) {
+    ASSERT_TRUE(snap->has_row(s));
+    for (VertexId t = 0; t < snap->n; ++t) {
+      ASSERT_EQ(snap->row(s)[t], want.at(s, t)) << "(" << s << "," << t << ")";
+    }
+  }
+}
+
+TEST(ShardStore, RejectsCorruptRowCrc) {
+  const auto g = test_graph();
+  const auto D = apsp::floyd_warshall(g);
+  const auto dir = scratch_dir("crc");
+  write_shard(dir / "shard_0.pack", D, 1, all_rows(g.num_vertices()));
+  // Flip one byte in the middle of the packed row payload.
+  flip_byte(dir / "shard_0.pack",
+            rows_offset(g.num_vertices(), g.num_vertices()) + 4097);
+
+  const auto store = serve::ShardStore<Weight>::open_dir(dir.string());
+  ASSERT_FALSE(store.has_value());
+  EXPECT_EQ(store.status().code(), util::ErrorCode::kFormat);
+  EXPECT_NE(store.status().message().find("CRC"), std::string::npos)
+      << store.status().message();
+}
+
+TEST(ShardStore, RejectsCorruptBitmap) {
+  const auto g = test_graph();
+  const auto D = apsp::floyd_warshall(g);
+  const auto dir = scratch_dir("bitmap");
+  write_shard(dir / "shard_0.pack", D, 1, all_rows(g.num_vertices()));
+  flip_byte(dir / "shard_0.pack", 32);  // first bitmap word
+
+  const auto store = serve::ShardStore<Weight>::open_dir(dir.string());
+  ASSERT_FALSE(store.has_value());
+  EXPECT_EQ(store.status().code(), util::ErrorCode::kFormat);
+}
+
+TEST(ShardStore, RejectsTruncatedPayload) {
+  const auto g = test_graph();
+  const auto D = apsp::floyd_warshall(g);
+  const auto dir = scratch_dir("trunc");
+  write_shard(dir / "shard_0.pack", D, 1, all_rows(g.num_vertices()));
+  // Keep the header, bitmap, CRC table and one row; drop the rest.
+  fs::resize_file(dir / "shard_0.pack",
+                  rows_offset(g.num_vertices(), g.num_vertices()) +
+                      static_cast<std::uint64_t>(g.num_vertices()) * sizeof(Weight));
+
+  const auto store = serve::ShardStore<Weight>::open_dir(dir.string());
+  ASSERT_FALSE(store.has_value());
+  EXPECT_EQ(store.status().code(), util::ErrorCode::kFormat);
+  EXPECT_NE(store.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(ShardStore, RejectsWeightTypeMismatch) {
+  const auto g = test_graph();
+  const auto D = apsp::floyd_warshall(g);
+  const auto dir = scratch_dir("wtype");
+  write_shard(dir / "shard_0.pack", D, 1, all_rows(g.num_vertices()));
+
+  const auto store = serve::ShardStore<double>::open_dir(dir.string());
+  ASSERT_FALSE(store.has_value());
+  EXPECT_EQ(store.status().code(), util::ErrorCode::kFormat);
+}
+
+TEST(ShardStore, RejectsFingerprintDisagreementAcrossShards) {
+  const auto g = test_graph();
+  const auto D = apsp::floyd_warshall(g);
+  const auto n = g.num_vertices();
+  const auto dir = scratch_dir("fpmix");
+  auto odd = all_rows(n);
+  const auto even = even_rows(n);
+  for (VertexId s = 0; s < n; ++s) odd[s] = !even[s];
+  write_shard(dir / "shard_0.pack", D, 1111, even);
+  write_shard(dir / "shard_1.pack", D, 2222, odd);
+
+  const auto store = serve::ShardStore<Weight>::open_dir(dir.string());
+  ASSERT_FALSE(store.has_value());
+  EXPECT_EQ(store.status().code(), util::ErrorCode::kFormat);
+  EXPECT_NE(store.status().message().find("fingerprint"), std::string::npos);
+}
+
+TEST(ShardStore, SkipsManifestAndForeignFiles) {
+  const auto g = test_graph();
+  const auto D = apsp::floyd_warshall(g);
+  const auto dir = scratch_dir("manifest");
+  write_shard(dir / "shard_0.pack", D, 1, all_rows(g.num_vertices()));
+  std::ofstream(dir / "MANIFEST") << "format=parapsp-shard-dir\nn=120\n";
+  std::ofstream(dir / "notes.txt") << "not a shard\n";
+
+  const auto store = serve::ShardStore<Weight>::open_dir(dir.string());
+  ASSERT_TRUE(store.has_value()) << store.status().to_string();
+  EXPECT_EQ((*store)->snapshot()->rows_present, g.num_vertices());
+}
+
+// ---------- generations and hot reload ----------
+
+TEST(ShardStore, HighestLoadableGenerationWins) {
+  // gen-1 and gen-2 hold matrices of *different* graphs (same n), so the
+  // served values tell us which generation won.
+  const auto g1 = test_graph(31);
+  const auto g2 = test_graph(77);
+  ASSERT_EQ(g1.num_vertices(), g2.num_vertices());
+  const auto D1 = apsp::floyd_warshall(g1);
+  const auto D2 = apsp::floyd_warshall(g2);
+  const auto dir = scratch_dir("gens");
+  fs::create_directories(dir / "gen-1");
+  fs::create_directories(dir / "gen-2");
+  apsp::save_matrix(D1, (dir / "gen-1" / "dist.padm").string());
+  apsp::save_matrix(D2, (dir / "gen-2" / "dist.padm").string());
+
+  auto store = serve::ShardStore<Weight>::open_dir(dir.string());
+  ASSERT_TRUE(store.has_value()) << store.status().to_string();
+  auto snap = (*store)->snapshot();
+  EXPECT_EQ(snap->generation, 2u);
+  EXPECT_EQ(snap->row(0)[1], D2.at(0, 1));
+
+  // Corrupt gen-2's magic: open falls back to the next loadable generation.
+  flip_byte(dir / "gen-2" / "dist.padm", 0);
+  store = serve::ShardStore<Weight>::open_dir(dir.string());
+  ASSERT_TRUE(store.has_value()) << store.status().to_string();
+  snap = (*store)->snapshot();
+  EXPECT_EQ(snap->generation, 1u);
+  EXPECT_EQ(snap->row(0)[1], D1.at(0, 1));
+}
+
+TEST(ShardStore, ReloadSwapsGenerationWhileOldSnapshotStaysValid) {
+  const auto g = test_graph();
+  const auto D = apsp::floyd_warshall(g);
+  const auto fp = apsp::graph_fingerprint(g);
+  const auto dir = scratch_dir("reload");
+  fs::create_directories(dir / "gen-1");
+  write_shard(dir / "gen-1" / "shard_0.pack", D, fp, all_rows(g.num_vertices()));
+
+  auto store_x = serve::ShardStore<Weight>::open_dir(dir.string());
+  ASSERT_TRUE(store_x.has_value());
+  auto& store = *store_x;
+  const auto held = store->snapshot();  // an "in-flight batch" keeps this alive
+  EXPECT_EQ(held->generation, 1u);
+
+  fs::create_directories(dir / "gen-2");
+  write_shard(dir / "gen-2" / "shard_0.pack", D, fp, all_rows(g.num_vertices()));
+  ASSERT_TRUE(store->reload().is_ok());
+  EXPECT_EQ(store->snapshot()->generation, 2u);
+
+  // The held (pre-reload) snapshot still serves its rows, byte for byte.
+  EXPECT_EQ(held->generation, 1u);
+  for (VertexId t = 0; t < held->n; ++t) {
+    ASSERT_EQ(held->row(5)[t], D.at(5, t));
+  }
+}
+
+TEST(ShardStore, FailedReloadKeepsServingOldGeneration) {
+  const auto g = test_graph();
+  const auto D = apsp::floyd_warshall(g);
+  const auto dir = scratch_dir("reload_fail");
+  write_shard(dir / "shard_0.pack", D, 1, all_rows(g.num_vertices()));
+
+  auto store_x = serve::ShardStore<Weight>::open_dir(dir.string());
+  ASSERT_TRUE(store_x.has_value());
+  auto& store = *store_x;
+  flip_byte(dir / "shard_0.pack",
+            rows_offset(g.num_vertices(), g.num_vertices()) + 64);
+
+  const auto st = store->reload();
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), util::ErrorCode::kFormat);
+  const auto snap = store->snapshot();  // old snapshot, still intact
+  ASSERT_EQ(snap->rows_present, g.num_vertices());
+  EXPECT_EQ(snap->row(3)[7], D.at(3, 7));
+}
+
+// ---------- QueryEngine: fallback, budget, deadlines ----------
+
+TEST(QueryEngine, FallbackRowsAreBitIdenticalToOracle) {
+  const auto g = test_graph();
+  const auto want = apsp::floyd_warshall(g);
+  const auto n = g.num_vertices();
+  const auto dir = scratch_dir("fallback");
+  write_shard(dir / "shard_0.pack", want, apsp::graph_fingerprint(g), even_rows(n));
+
+  auto svc_x = serve::Service<Weight>::open_shard_dir(dir.string());
+  ASSERT_TRUE(svc_x.has_value()) << svc_x.status().to_string();
+  auto& svc = *svc_x;
+  ASSERT_TRUE(svc.attach_graph(g).is_ok());
+
+  std::vector<serve::Service<Weight>::Pair> pairs;
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = 0; t < n; t += 7) pairs.emplace_back(s, t);
+  }
+  std::vector<Weight> out(pairs.size());
+  ASSERT_TRUE(svc.distances(pairs, out).is_ok());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ(out[i], want.at(pairs[i].first, pairs[i].second))
+        << "(" << pairs[i].first << "," << pairs[i].second << ")";
+  }
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.queries, pairs.size());
+  EXPECT_EQ(stats.fallback_rows, n / 2);  // each odd row computed exactly once
+  EXPECT_LT(stats.hit_rate(), 1.0);
+  EXPECT_GT(stats.hit_rate(), 0.0);
+}
+
+TEST(QueryEngine, MissWithoutGraphIsUnavailable) {
+  const auto g = test_graph();
+  const auto D = apsp::floyd_warshall(g);
+  const auto dir = scratch_dir("nograph");
+  write_shard(dir / "shard_0.pack", D, 1, even_rows(g.num_vertices()));
+
+  auto svc = serve::Service<Weight>::open_shard_dir(dir.string());
+  ASSERT_TRUE(svc.has_value());
+  EXPECT_EQ(svc->distance(0, 1).status().code(), util::ErrorCode::kOk);
+  const auto miss = svc->distance(1, 0);  // odd row, no fallback possible
+  ASSERT_FALSE(miss.has_value());
+  EXPECT_EQ(miss.status().code(), util::ErrorCode::kUnavailable);
+}
+
+TEST(QueryEngine, FallbackAdmissionBudgetIsEnforced) {
+  const auto g = test_graph();
+  const auto D = apsp::floyd_warshall(g);
+  const auto dir = scratch_dir("budget");
+  write_shard(dir / "shard_0.pack", D, apsp::graph_fingerprint(g),
+              even_rows(g.num_vertices()));
+
+  serve::EngineOptions eopts;
+  eopts.max_fallback_rows = 1;
+  auto svc = serve::Service<Weight>::open_shard_dir(dir.string(), eopts);
+  ASSERT_TRUE(svc.has_value());
+  ASSERT_TRUE(svc->attach_graph(g).is_ok());
+
+  ASSERT_TRUE(svc->distance(1, 0).has_value());   // first miss: within budget
+  ASSERT_TRUE(svc->distance(1, 5).has_value());   // cached, costs no budget
+  const auto over = svc->distance(3, 0);          // second distinct row: over
+  ASSERT_FALSE(over.has_value());
+  EXPECT_EQ(over.status().code(), util::ErrorCode::kUnavailable);
+  EXPECT_NE(over.status().message().find("budget"), std::string::npos);
+  EXPECT_EQ(svc->stats().fallback_rows, 1u);
+}
+
+TEST(QueryEngine, ZeroBudgetDisablesFallback) {
+  const auto g = test_graph();
+  const auto D = apsp::floyd_warshall(g);
+  const auto dir = scratch_dir("budget0");
+  write_shard(dir / "shard_0.pack", D, apsp::graph_fingerprint(g),
+              even_rows(g.num_vertices()));
+
+  serve::EngineOptions eopts;
+  eopts.max_fallback_rows = 0;
+  auto svc = serve::Service<Weight>::open_shard_dir(dir.string(), eopts);
+  ASSERT_TRUE(svc.has_value());
+  ASSERT_TRUE(svc->attach_graph(g).is_ok());
+  EXPECT_EQ(svc->distance(1, 0).status().code(), util::ErrorCode::kUnavailable);
+}
+
+TEST(QueryEngine, CancelledBatchCountsAsDeadlineMiss) {
+  const auto g = test_graph();
+  auto svc = serve::Service<Weight>::compute(g);
+  ASSERT_TRUE(svc.has_value()) << svc.status().to_string();
+
+  util::ExecutionControl ctl;
+  ctl.request_cancel();
+  serve::QueryOptions q;
+  q.control = &ctl;
+  const auto d = svc->distance(0, 1, q);
+  ASSERT_FALSE(d.has_value());
+  EXPECT_EQ(d.status().code(), util::ErrorCode::kCancelled);
+  EXPECT_EQ(svc->stats().deadline_misses, 1u);
+}
+
+TEST(QueryEngine, ExpiredCallerDeadlineIsTimeout) {
+  const auto g = test_graph();
+  auto svc = serve::Service<Weight>::compute(g);
+  ASSERT_TRUE(svc.has_value());
+
+  util::ExecutionControl ctl;
+  ctl.set_deadline_after(-1.0);  // already expired, deterministically
+  serve::QueryOptions q;
+  q.control = &ctl;
+  const auto d = svc->distance(0, 1, q);
+  ASSERT_FALSE(d.has_value());
+  EXPECT_EQ(d.status().code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(svc->stats().deadline_misses, 1u);
+}
+
+TEST(QueryEngine, OutOfRangeQueryIsInvalidArgument) {
+  const auto g = test_graph();
+  auto svc = serve::Service<Weight>::compute(g);
+  ASSERT_TRUE(svc.has_value());
+  EXPECT_EQ(svc->distance(g.num_vertices(), 0).status().code(),
+            util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(svc->distance(0, g.num_vertices()).status().code(),
+            util::ErrorCode::kInvalidArgument);
+  std::vector<Weight> out(1);
+  const std::vector<VertexId> bad{g.num_vertices()};
+  EXPECT_EQ(svc->one_to_many(0, bad, out).code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(QueryEngine, OneToManyMatchesPointQueries) {
+  const auto g = test_graph();
+  const auto want = apsp::floyd_warshall(g);
+  auto svc = serve::Service<Weight>::compute(g);
+  ASSERT_TRUE(svc.has_value());
+
+  std::vector<VertexId> targets;
+  for (VertexId t = 0; t < g.num_vertices(); t += 3) targets.push_back(t);
+  std::vector<Weight> out(targets.size());
+  ASSERT_TRUE(svc->one_to_many(9, targets, out).is_ok());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(out[i], want.at(9, targets[i]));
+  }
+}
+
+// ---------- Service facade ----------
+
+TEST(Service, ThreeEntryPointsServeIdenticalDistances) {
+  const auto g = test_graph();
+  const auto fp = apsp::graph_fingerprint(g);
+  const auto dir = scratch_dir("facade");
+
+  auto computed = serve::Service<Weight>::compute(g);
+  ASSERT_TRUE(computed.has_value()) << computed.status().to_string();
+  ASSERT_TRUE(computed->solve_info().status.is_ok());
+
+  const auto matrix_path = (dir / "dist.padm").string();
+  ASSERT_TRUE(computed->export_matrix(matrix_path).is_ok());
+  auto from_matrix = serve::Service<Weight>::open_matrix(matrix_path);
+  ASSERT_TRUE(from_matrix.has_value()) << from_matrix.status().to_string();
+
+  const auto D = apsp::floyd_warshall(g);
+  write_shard(dir / "shard_0.pack", D, fp, all_rows(g.num_vertices()));
+  auto from_shards = serve::Service<Weight>::open_shard_dir(dir.string());
+  ASSERT_TRUE(from_shards.has_value()) << from_shards.status().to_string();
+
+  for (VertexId s = 0; s < g.num_vertices(); s += 11) {
+    for (VertexId t = 0; t < g.num_vertices(); t += 13) {
+      const auto a = computed->distance(s, t);
+      const auto b = from_matrix->distance(s, t);
+      const auto c = from_shards->distance(s, t);
+      ASSERT_TRUE(a.has_value() && b.has_value() && c.has_value());
+      EXPECT_EQ(*a, *b) << "(" << s << "," << t << ")";
+      EXPECT_EQ(*a, *c) << "(" << s << "," << t << ")";
+    }
+  }
+}
+
+TEST(Service, AttachGraphRejectsMismatchedGraph) {
+  const auto g = test_graph(31);
+  const auto other = test_graph(99);  // same n, different edges
+  const auto D = apsp::floyd_warshall(g);
+  const auto dir = scratch_dir("attach");
+  write_shard(dir / "shard_0.pack", D, apsp::graph_fingerprint(g),
+              all_rows(g.num_vertices()));
+
+  auto svc = serve::Service<Weight>::open_shard_dir(dir.string());
+  ASSERT_TRUE(svc.has_value());
+  const auto st = svc->attach_graph(other);
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("fingerprint"), std::string::npos);
+  EXPECT_TRUE(svc->attach_graph(g).is_ok());
+}
+
+TEST(Service, ExportMatrixRequiresAllRows) {
+  const auto g = test_graph();
+  const auto D = apsp::floyd_warshall(g);
+  const auto dir = scratch_dir("export_partial");
+  write_shard(dir / "shard_0.pack", D, 1, even_rows(g.num_vertices()));
+
+  auto svc = serve::Service<Weight>::open_shard_dir(dir.string());
+  ASSERT_TRUE(svc.has_value());
+  EXPECT_EQ(svc->export_matrix((dir / "out.padm").string()).code(),
+            util::ErrorCode::kUnavailable);
+}
+
+TEST(Service, MatrixAccessorExposesComputeBackedResultOnly) {
+  const auto g = test_graph();
+  const auto want = apsp::floyd_warshall(g);
+
+  auto computed = serve::Service<Weight>::compute(g);
+  ASSERT_TRUE(computed.has_value());
+  const auto* D = computed->matrix();
+  ASSERT_NE(D, nullptr);
+  ASSERT_EQ(D->size(), want.size());
+  for (VertexId u = 0; u < want.size(); ++u) {
+    for (VertexId v = 0; v < want.size(); ++v) {
+      ASSERT_EQ(D->at(u, v), want.at(u, v));
+    }
+  }
+
+  const auto dir = scratch_dir("matrix_accessor");
+  ASSERT_TRUE(computed->export_matrix((dir / "full.padm").string()).is_ok());
+  auto opened = serve::Service<Weight>::open_matrix((dir / "full.padm").string());
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->matrix(), nullptr);  // rows live in the mapped file
+}
+
+// ---------- concurrency (the TSan target) ----------
+
+TEST(ConcurrentServe, ReadersRacingFallbacksAndReloadsStayExact) {
+  const auto g = test_graph();
+  const auto want = apsp::floyd_warshall(g);
+  const auto n = g.num_vertices();
+  const auto fp = apsp::graph_fingerprint(g);
+  const auto dir = scratch_dir("stress");
+  write_shard(dir / "shard_0.pack", want, fp, even_rows(n));
+
+  auto svc_x = serve::Service<Weight>::open_shard_dir(dir.string());
+  ASSERT_TRUE(svc_x.has_value());
+  auto& svc = *svc_x;
+  ASSERT_TRUE(svc.attach_graph(g).is_ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kBatches = 60;
+  constexpr std::size_t kBatch = 64;
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    readers.emplace_back([&, tid] {
+      util::Xoshiro256 rng(1000 + static_cast<std::uint64_t>(tid));
+      std::vector<serve::Service<Weight>::Pair> pairs(kBatch);
+      std::vector<Weight> out(kBatch);
+      for (int b = 0; b < kBatches; ++b) {
+        for (auto& p : pairs) {
+          p = {static_cast<VertexId>(rng.bounded(n)),
+               static_cast<VertexId>(rng.bounded(n))};
+        }
+        if (!svc.distances(pairs, out).is_ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+          if (out[i] != want.at(pairs[i].first, pairs[i].second)) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  // Hot-reload continuously while the readers hammer the store.
+  std::thread reloader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(svc.reload().is_ok());
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : readers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reloader.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.queries, static_cast<std::uint64_t>(kThreads) * kBatches * kBatch);
+  // Concurrent fallbacks for the same row must compute it exactly once.
+  EXPECT_LE(stats.fallback_rows, static_cast<std::uint64_t>(n) - n / 2);
+}
+
+// ---------- eager validation satellites ----------
+
+TEST(RunnerValidate, ReportsBadConfigurationWithoutRunning) {
+  const auto g = test_graph();
+
+  EXPECT_TRUE(core::Runner<Weight>(g).validate().is_ok());
+  EXPECT_EQ(core::Runner<Weight>(g).threads(-2).validate().code(),
+            util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(core::Runner<Weight>(g).selection_ratio(1.5).validate().code(),
+            util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(core::Runner<Weight>(g).selection_ratio(0.0).validate().code(),
+            util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(core::Runner<Weight>(g)
+                .algorithm(core::Algorithm::kFloydWarshallBlocked)
+                .fw_block(0)
+                .validate()
+                .code(),
+            util::ErrorCode::kInvalidArgument);
+  // Control features on an algorithm without source-row boundaries.
+  EXPECT_EQ(core::Runner<Weight>(g)
+                .algorithm(core::Algorithm::kFloydWarshall)
+                .deadline(1.0)
+                .validate()
+                .code(),
+            util::ErrorCode::kInvalidArgument);
+  // Deferred setter errors surface through validate() too.
+  EXPECT_EQ(core::Runner<Weight>(g).algorithm("no-such-algorithm").validate().code(),
+            util::ErrorCode::kInvalidArgument);
+
+  // run() performs the same check and fails without touching the matrix.
+  auto r = core::Runner<Weight>(g).selection_ratio(-1.0).run();
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(PeekCheckpoint, ReadsHeaderWithoutLoadingRows) {
+  const auto g = test_graph();
+  const auto D = apsp::floyd_warshall(g);
+  const auto fp = apsp::graph_fingerprint(g);
+  const auto dir = scratch_dir("peek");
+  const auto path = (dir / "ckpt.pack").string();
+  write_shard(path, D, fp, even_rows(g.num_vertices()));
+
+  const auto info = apsp::peek_checkpoint(path);
+  ASSERT_TRUE(info.has_value()) << info.status().to_string();
+  EXPECT_EQ(info->n, g.num_vertices());
+  EXPECT_EQ(info->graph_fingerprint, fp);
+  EXPECT_EQ(info->completed_count, static_cast<std::uint64_t>(g.num_vertices() / 2));
+  EXPECT_EQ(info->weight_code, graph::detail::weight_code<Weight>());
+
+  EXPECT_FALSE(apsp::peek_checkpoint((dir / "missing.pack").string()).has_value());
+  std::ofstream(dir / "junk.pack") << "this is not a checkpoint at all........";
+  const auto junk = apsp::peek_checkpoint((dir / "junk.pack").string());
+  ASSERT_FALSE(junk.has_value());
+  EXPECT_EQ(junk.status().code(), util::ErrorCode::kFormat);
+}
+
+TEST(PeekCheckpoint, SolverRefusesForeignResumeBeforeAllocating) {
+  const auto g = test_graph(31);
+  const auto other = test_graph(99);
+  const auto D = apsp::floyd_warshall(other);
+  const auto dir = scratch_dir("resume_guard");
+  const auto path = (dir / "ckpt.pack").string();
+  write_shard(path, D, apsp::graph_fingerprint(other), all_rows(other.num_vertices()));
+
+  auto r = core::Runner<Weight>(g).resume(path).run();
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), util::ErrorCode::kFormat);
+  EXPECT_NE(r.status().message().find("different graph"), std::string::npos);
+}
+
+}  // namespace

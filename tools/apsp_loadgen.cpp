@@ -1,0 +1,250 @@
+// apsp_loadgen — drives a serve::Service with a synthetic query stream and
+// writes BENCH_serving.json: sustained queries/s, batch latency percentiles,
+// hit rate, fallback/deadline counters, and (with --oracle) a bit-identity
+// diff count against a reference PADM matrix.
+//
+//   # precompute in-process and hammer it
+//   apsp_loadgen --gen ba --n 4096 --param 8 --queries 1000000 --threads 8
+//   # serve a matrix file, verify every answer against the oracle copy
+//   apsp_loadgen --matrix dist.padm --oracle dist.padm --queries 100000
+//
+// Traffic model:
+//   --zipf THETA      source popularity ~ 1/(rank+1)^THETA (default 0.99;
+//                     0 = uniform). Targets are uniform.
+//   --poisson-qps R   open-loop Poisson arrivals at R queries/s total;
+//                     latency is measured from the scheduled arrival time,
+//                     so queueing delay counts. 0 (default) = closed loop.
+//   --batch B         queries per distances() call (default 256).
+//
+// Checks (nonzero exit when violated):
+//   --oracle FILE     diff every served distance against the PADM file
+//   --min-hit-rate X  require shard hit rate >= X
+//
+// Other: --queries N, --threads T (0 = hardware), --seed S, --out FILE,
+// plus the service flags shared with apsp_serve (see serve_common.hpp).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve_common.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace parapsp;
+using tools::Weight;
+using Clock = std::chrono::steady_clock;
+
+/// Inverse-CDF sampler for Zipf-distributed ranks over [0, n).
+/// Precomputes the prefix sums of 1/(i+1)^theta once; each draw is one
+/// uniform double plus a binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(VertexId n, double theta) : cdf_(n) {
+    double total = 0.0;
+    for (VertexId i = 0; i < n; ++i) {
+      total += theta == 0.0 ? 1.0 : std::pow(static_cast<double>(i) + 1.0, -theta);
+      cdf_[i] = total;
+    }
+  }
+
+  VertexId operator()(util::Xoshiro256& rng) const {
+    const double u = rng.uniform() * cdf_.back();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<VertexId>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct ThreadResult {
+  std::vector<std::uint64_t> batch_ns;  // one latency sample per batch
+  std::uint64_t queries = 0;
+  std::uint64_t diffs = 0;
+  std::uint64_t errors = 0;  // failed distances() calls (whole batch)
+};
+
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  try {
+    util::failpoints::arm_from_env();
+    const util::Args args(argc, argv);
+    if (args.has("help")) {
+      std::fprintf(stderr,
+                   "usage: apsp_loadgen (--matrix FILE | --shards DIR | --gen MODEL "
+                   "--n N | --graph FILE) [--queries N] [--threads T] [--batch B]\n"
+                   "       [--zipf THETA] [--poisson-qps R] [--oracle FILE]\n"
+                   "       [--min-hit-rate X] [--out FILE] [--seed S]\n");
+      return 2;
+    }
+    const auto total_queries =
+        static_cast<std::uint64_t>(args.get_int("queries", 1'000'000));
+    auto threads = static_cast<unsigned>(args.get_int("threads", 0));
+    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+    const auto batch = std::max<std::size_t>(
+        1, static_cast<std::size_t>(args.get_int("batch", 256)));
+    const double theta = args.get_double("zipf", 0.99);
+    const double poisson_qps = args.get_double("poisson-qps", 0.0);
+    const std::string oracle_path = args.get("oracle");
+    const double min_hit_rate = args.get_double("min-hit-rate", -1.0);
+    const std::string out_path = args.get("out", "BENCH_serving.json");
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+    auto bundle = tools::make_service(args, tools::engine_options_from(args));
+    args.reject_unknown();
+    auto& svc = *bundle.service;
+    const auto snap = svc.engine().snapshot();
+    const VertexId n = snap->n;
+    if (n == 0) {
+      std::fprintf(stderr, "error: store is empty (n=0)\n");
+      return 1;
+    }
+
+    std::optional<apsp::DistanceMatrix<Weight>> oracle;
+    if (!oracle_path.empty()) oracle.emplace(apsp::load_matrix<Weight>(oracle_path));
+    if (oracle && oracle->size() != n) {
+      std::fprintf(stderr, "error: oracle n=%u does not match served n=%u\n",
+                   oracle->size(), n);
+      return 1;
+    }
+
+    const ZipfSampler zipf(n, theta);
+    std::vector<ThreadResult> results(threads);
+    std::atomic<std::uint64_t> next_query{0};  // global work counter
+    const Clock::time_point epoch = Clock::now();
+
+    auto worker = [&](unsigned tid) {
+      ThreadResult& res = results[tid];
+      util::Xoshiro256 rng(seed + 0x9e3779b97f4a7c15ULL * (tid + 1));
+      std::vector<std::pair<VertexId, VertexId>> pairs(batch);
+      std::vector<Weight> out(batch);
+      // Open loop: this thread owns a Poisson stream at its share of the
+      // target rate; arrivals are scheduled on an absolute timeline so a
+      // slow server accumulates queueing delay instead of hiding it.
+      const double per_thread_qps = poisson_qps / static_cast<double>(threads);
+      double arrival_s = 0.0;
+      while (true) {
+        const std::uint64_t begin = next_query.fetch_add(batch, std::memory_order_relaxed);
+        if (begin >= total_queries) break;
+        const std::size_t count =
+            static_cast<std::size_t>(std::min<std::uint64_t>(batch, total_queries - begin));
+        for (std::size_t i = 0; i < count; ++i) {
+          pairs[i] = {zipf(rng), static_cast<VertexId>(rng.bounded(n))};
+        }
+        Clock::time_point t0;
+        if (per_thread_qps > 0.0) {
+          // Exponential inter-arrival per query; the batch departs when its
+          // last query has arrived.
+          for (std::size_t i = 0; i < count; ++i) {
+            arrival_s += -std::log(1.0 - rng.uniform()) / per_thread_qps;
+          }
+          t0 = epoch + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(arrival_s));
+          std::this_thread::sleep_until(t0);
+        } else {
+          t0 = Clock::now();
+        }
+        const auto st = svc.distances(
+            std::span<const std::pair<VertexId, VertexId>>(pairs.data(), count),
+            std::span<Weight>(out.data(), count));
+        const auto t1 = Clock::now();
+        res.batch_ns.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+        if (!st.is_ok()) {
+          ++res.errors;
+          continue;
+        }
+        res.queries += count;
+        if (oracle) {
+          for (std::size_t i = 0; i < count; ++i) {
+            if (out[i] != oracle->row(pairs[i].first)[pairs[i].second]) ++res.diffs;
+          }
+        }
+      }
+    };
+
+    const auto wall0 = Clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& t : pool) t.join();
+    const double elapsed_s =
+        std::chrono::duration<double>(Clock::now() - wall0).count();
+
+    std::vector<std::uint64_t> all_ns;
+    std::uint64_t served = 0, diffs = 0, errors = 0;
+    for (const auto& r : results) {
+      all_ns.insert(all_ns.end(), r.batch_ns.begin(), r.batch_ns.end());
+      served += r.queries;
+      diffs += r.diffs;
+      errors += r.errors;
+    }
+    std::sort(all_ns.begin(), all_ns.end());
+    const double qps = elapsed_s > 0.0 ? static_cast<double>(served) / elapsed_s : 0.0;
+    const auto stats = svc.stats();
+
+    char buf[1536];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"bench\":\"serving\",\"n\":%u,\"rows_present\":%u,\"generation\":%llu,"
+        "\"queries\":%llu,\"threads\":%u,\"batch\":%zu,\"zipf_theta\":%.3f,"
+        "\"poisson_qps\":%.1f,\"elapsed_s\":%.6f,\"qps\":%.1f,"
+        "\"batch_p50_us\":%.3f,\"batch_p99_us\":%.3f,\"batch_p999_us\":%.3f,"
+        "\"batch_max_us\":%.3f,\"hit_rate\":%.6f,\"shard_hits\":%llu,"
+        "\"fallback_rows\":%llu,\"deadline_misses\":%llu,\"errors\":%llu,"
+        "\"oracle\":%s%s%s,\"diffs\":%llu}",
+        n, snap->rows_present, static_cast<unsigned long long>(snap->generation),
+        static_cast<unsigned long long>(served), threads, batch, theta, poisson_qps,
+        elapsed_s, qps, static_cast<double>(percentile(all_ns, 0.50)) / 1e3,
+        static_cast<double>(percentile(all_ns, 0.99)) / 1e3,
+        static_cast<double>(percentile(all_ns, 0.999)) / 1e3,
+        all_ns.empty() ? 0.0 : static_cast<double>(all_ns.back()) / 1e3,
+        stats.hit_rate(), static_cast<unsigned long long>(stats.shard_hits),
+        static_cast<unsigned long long>(stats.fallback_rows),
+        static_cast<unsigned long long>(stats.deadline_misses),
+        static_cast<unsigned long long>(errors),
+        oracle ? "\"" : "", oracle ? oracle_path.c_str() : "null", oracle ? "\"" : "",
+        static_cast<unsigned long long>(diffs));
+    std::printf("%s\n", buf);
+    if (!out_path.empty() && out_path != "-") {
+      std::ofstream out(out_path);
+      out << buf << '\n';
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+        return 1;
+      }
+    }
+
+    bool failed = false;
+    if (oracle && diffs != 0) {
+      std::fprintf(stderr, "FAIL: %llu distances differ from oracle\n",
+                   static_cast<unsigned long long>(diffs));
+      failed = true;
+    }
+    if (min_hit_rate >= 0.0 && stats.hit_rate() < min_hit_rate) {
+      std::fprintf(stderr, "FAIL: hit rate %.6f below required %.6f\n",
+                   stats.hit_rate(), min_hit_rate);
+      failed = true;
+    }
+    return failed ? 3 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

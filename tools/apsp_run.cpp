@@ -246,6 +246,32 @@ int main(int argc, char** argv) {
     if (!checkpoint.empty()) runner.checkpoint(checkpoint, interval_s);
     if (!resume.empty()) runner.resume(resume);
 
+    // Surface configuration mistakes as usage errors before any work runs.
+    if (const auto st = runner.validate(); !st.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+      return 2;
+    }
+    // Refuse a wrong-graph --resume up front, from the checkpoint's 32-byte
+    // header — before the runner allocates the n x n matrix — and say which
+    // identities disagreed instead of a generic solver error.
+    if (!resume.empty()) {
+      const auto info = apsp::peek_checkpoint(resume);
+      if (!info) {
+        std::fprintf(stderr, "error: %s\n", info.status().to_string().c_str());
+        return 1;
+      }
+      const auto fp = apsp::graph_fingerprint(g);
+      if (info->n != g.num_vertices() || info->graph_fingerprint != fp) {
+        std::fprintf(stderr,
+                     "error: refusing --resume: checkpoint '%s' (n=%u fp=%016llx) "
+                     "was written for a different graph (n=%u fp=%016llx)\n",
+                     resume.c_str(), info->n,
+                     static_cast<unsigned long long>(info->graph_fingerprint),
+                     g.num_vertices(), static_cast<unsigned long long>(fp));
+        return 1;
+      }
+    }
+
     // The span recorder is global and off by default; arm it for this run.
     if (!trace_path.empty()) obs::TraceRecorder::global().set_enabled(true);
 

@@ -1,0 +1,334 @@
+// apsp_serve — the distance-query server: JSONL requests on stdin, JSON
+// responses on stdout, one line each. The operational face of the serving
+// layer (src/serve/, docs/SERVING.md).
+//
+//   # serve a precomputed matrix, with on-demand fallback rows
+//   apsp_serve --matrix dist.padm --graph web.txt
+//   # serve a dist shard directory
+//   apsp_serve --shards dist_shards/
+//   # compute now, then serve
+//   apsp_serve --gen ba --n 4096 --param 8
+//
+// Requests (one JSON object per line; unknown fields are ignored):
+//   {"op":"distance","s":0,"t":41}
+//   {"op":"batch","pairs":[[0,1],[2,3],[4,5]]}
+//   {"op":"one_to_many","s":0,"targets":[1,2,3]}
+//   {"op":"stats"}       counters + hit rate + served generation
+//   {"op":"reload"}      re-read the backing file/dir, swap generations
+//   {"op":"quit"}
+//
+// Responses: {"ok":true,...} or {"ok":false,"code":"...","error":"..."}.
+// Unreachable distances are JSON null.
+//
+// Options:
+//   --matrix FILE | --shards DIR | --gen/--graph ...   (see serve_common.hpp)
+//   --deadline-s S            per-request deadline (default: none)
+//   --max-fallback-rows N     admission budget for on-demand rows
+//   --max-concurrent-fallback N
+//   --no-fallback-cache       recompute fallback rows per request
+//
+// Exit codes: 0 = clean shutdown (quit/EOF), 1 = startup error, 2 = usage.
+#include <cctype>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve_common.hpp"
+
+namespace {
+
+using namespace parapsp;
+using tools::Weight;
+
+// --- a deliberately tolerant JSON scanner ----------------------------------
+// The request grammar is flat (one object, scalar/array-of-int fields), so a
+// full parser buys nothing: locate `"key"`, skip `:`, parse the value. Any
+// malformed request yields an ok:false response, never a crash.
+
+std::size_t find_key(const std::string& line, const std::string& key) {
+  const std::string quoted = "\"" + key + "\"";
+  auto at = line.find(quoted);
+  if (at == std::string::npos) return std::string::npos;
+  at += quoted.size();
+  while (at < line.size() && (std::isspace(static_cast<unsigned char>(line[at])) != 0)) ++at;
+  if (at >= line.size() || line[at] != ':') return std::string::npos;
+  ++at;
+  while (at < line.size() && (std::isspace(static_cast<unsigned char>(line[at])) != 0)) ++at;
+  return at;
+}
+
+std::optional<std::string> json_str(const std::string& line, const std::string& key) {
+  auto at = find_key(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') return std::nullopt;
+  const auto end = line.find('"', at + 1);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(at + 1, end - at - 1);
+}
+
+std::optional<std::int64_t> parse_int_at(const std::string& line, std::size_t& at) {
+  while (at < line.size() && (std::isspace(static_cast<unsigned char>(line[at])) != 0)) ++at;
+  const auto start = at;
+  if (at < line.size() && (line[at] == '-' || line[at] == '+')) ++at;
+  while (at < line.size() && (std::isdigit(static_cast<unsigned char>(line[at])) != 0)) ++at;
+  if (at == start) return std::nullopt;
+  try {
+    return std::stoll(line.substr(start, at - start));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::int64_t> json_int(const std::string& line, const std::string& key) {
+  auto at = find_key(line, key);
+  if (at == std::string::npos) return std::nullopt;
+  return parse_int_at(line, at);
+}
+
+/// Parses `[1,2,3]` (ints) or `[[1,2],[3,4]]` (pairs, pair_mode) after key.
+/// Returns nullopt on malformed input; an empty array is valid.
+std::optional<std::vector<std::int64_t>> json_int_array(const std::string& line,
+                                                        const std::string& key,
+                                                        bool pair_mode) {
+  auto at = find_key(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '[') return std::nullopt;
+  ++at;
+  std::vector<std::int64_t> out;
+  auto skip_ws = [&] {
+    while (at < line.size() && (std::isspace(static_cast<unsigned char>(line[at])) != 0)) ++at;
+  };
+  skip_ws();
+  if (at < line.size() && line[at] == ']') return out;
+  while (at < line.size()) {
+    skip_ws();
+    if (pair_mode) {
+      if (at >= line.size() || line[at] != '[') return std::nullopt;
+      ++at;
+      for (int k = 0; k < 2; ++k) {
+        auto v = parse_int_at(line, at);
+        if (!v) return std::nullopt;
+        out.push_back(*v);
+        skip_ws();
+        if (k == 0) {
+          if (at >= line.size() || line[at] != ',') return std::nullopt;
+          ++at;
+        }
+      }
+      if (at >= line.size() || line[at] != ']') return std::nullopt;
+      ++at;
+    } else {
+      auto v = parse_int_at(line, at);
+      if (!v) return std::nullopt;
+      out.push_back(*v);
+    }
+    skip_ws();
+    if (at < line.size() && line[at] == ',') {
+      ++at;
+      continue;
+    }
+    if (at < line.size() && line[at] == ']') return out;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+// --- responses --------------------------------------------------------------
+
+const char* code_name(util::ErrorCode c) {
+  switch (c) {
+    case util::ErrorCode::kTimeout: return "timeout";
+    case util::ErrorCode::kCancelled: return "cancelled";
+    case util::ErrorCode::kUnavailable: return "unavailable";
+    case util::ErrorCode::kInvalidArgument: return "invalid_argument";
+    case util::ErrorCode::kFormat: return "format";
+    case util::ErrorCode::kIo: return "io";
+    case util::ErrorCode::kResource: return "resource";
+    default: return "error";
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void reply_error(const util::Status& st) {
+  std::printf("{\"ok\":false,\"code\":\"%s\",\"error\":\"%s\"}\n", code_name(st.code()),
+              json_escape(st.message()).c_str());
+}
+
+void append_distance(std::string& body, Weight d) {
+  if (parapsp::is_infinite(d)) {
+    body += "null";
+  } else {
+    body += std::to_string(d);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  try {
+    util::failpoints::arm_from_env();
+    const util::Args args(argc, argv);
+    if (args.has("help")) {
+      std::fprintf(stderr,
+                   "usage: apsp_serve (--matrix FILE | --shards DIR | --gen MODEL "
+                   "--n N | --graph FILE) [--deadline-s S] [--max-fallback-rows N]\n"
+                   "JSONL requests on stdin; see the header of tools/apsp_serve.cpp\n");
+      return 2;
+    }
+    auto bundle = tools::make_service(args, tools::engine_options_from(args));
+    args.reject_unknown();
+    auto& svc = *bundle.service;
+    {
+      const auto snap = svc.engine().snapshot();
+      std::fprintf(stderr, "serving n=%u rows=%u generation=%llu fallback=%s\n",
+                   snap->n, snap->rows_present,
+                   static_cast<unsigned long long>(snap->generation),
+                   svc.engine().graph() != nullptr ? "on" : "off");
+    }
+
+    std::string line;
+    std::vector<std::pair<VertexId, VertexId>> pairs;
+    std::vector<VertexId> targets;
+    std::vector<Weight> out;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      const auto op = json_str(line, "op").value_or("");
+      if (op == "quit") {
+        std::printf("{\"ok\":true,\"bye\":true}\n");
+        break;
+      }
+      if (op == "reload") {
+        if (const auto st = svc.reload(); !st.is_ok()) {
+          reply_error(st);
+        } else {
+          std::printf("{\"ok\":true,\"generation\":%llu}\n",
+                      static_cast<unsigned long long>(
+                          svc.engine().snapshot()->generation));
+        }
+      } else if (op == "stats") {
+        const auto s = svc.stats();
+        const auto snap = svc.engine().snapshot();
+        std::printf(
+            "{\"ok\":true,\"queries\":%llu,\"shard_hits\":%llu,"
+            "\"fallback_rows\":%llu,\"deadline_misses\":%llu,\"batches\":%llu,"
+            "\"hit_rate\":%.6f,\"generation\":%llu,\"rows_present\":%u,\"n\":%u}\n",
+            static_cast<unsigned long long>(s.queries),
+            static_cast<unsigned long long>(s.shard_hits),
+            static_cast<unsigned long long>(s.fallback_rows),
+            static_cast<unsigned long long>(s.deadline_misses),
+            static_cast<unsigned long long>(s.batches), s.hit_rate(),
+            static_cast<unsigned long long>(snap->generation), snap->rows_present,
+            snap->n);
+      } else if (op == "distance") {
+        const auto s = json_int(line, "s");
+        const auto t = json_int(line, "t");
+        if (!s || !t || *s < 0 || *t < 0) {
+          reply_error({util::ErrorCode::kInvalidArgument,
+                       "distance needs non-negative \"s\" and \"t\""});
+          continue;
+        }
+        const auto d = svc.distance(static_cast<VertexId>(*s), static_cast<VertexId>(*t));
+        if (!d) {
+          reply_error(d.status());
+          continue;
+        }
+        std::string body = "{\"ok\":true,\"distance\":";
+        append_distance(body, *d);
+        body += "}";
+        std::printf("%s\n", body.c_str());
+      } else if (op == "batch") {
+        const auto flat = json_int_array(line, "pairs", /*pair_mode=*/true);
+        if (!flat) {
+          reply_error({util::ErrorCode::kInvalidArgument,
+                       "batch needs \"pairs\":[[s,t],...]"});
+          continue;
+        }
+        pairs.clear();
+        bool bad = false;
+        for (std::size_t i = 0; i + 1 < flat->size(); i += 2) {
+          if ((*flat)[i] < 0 || (*flat)[i + 1] < 0) {
+            bad = true;
+            break;
+          }
+          pairs.emplace_back(static_cast<VertexId>((*flat)[i]),
+                             static_cast<VertexId>((*flat)[i + 1]));
+        }
+        if (bad) {
+          reply_error({util::ErrorCode::kInvalidArgument, "negative vertex id"});
+          continue;
+        }
+        out.assign(pairs.size(), 0);
+        if (const auto st = svc.distances(pairs, out); !st.is_ok()) {
+          reply_error(st);
+          continue;
+        }
+        std::string body = "{\"ok\":true,\"distances\":[";
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          if (i != 0) body += ',';
+          append_distance(body, out[i]);
+        }
+        body += "]}";
+        std::printf("%s\n", body.c_str());
+      } else if (op == "one_to_many") {
+        const auto s = json_int(line, "s");
+        const auto tgts = json_int_array(line, "targets", /*pair_mode=*/false);
+        if (!s || *s < 0 || !tgts) {
+          reply_error({util::ErrorCode::kInvalidArgument,
+                       "one_to_many needs \"s\" and \"targets\":[...]"});
+          continue;
+        }
+        targets.clear();
+        bool bad = false;
+        for (const auto t : *tgts) {
+          if (t < 0) {
+            bad = true;
+            break;
+          }
+          targets.push_back(static_cast<VertexId>(t));
+        }
+        if (bad) {
+          reply_error({util::ErrorCode::kInvalidArgument, "negative vertex id"});
+          continue;
+        }
+        out.assign(targets.size(), 0);
+        if (const auto st = svc.one_to_many(static_cast<VertexId>(*s), targets, out);
+            !st.is_ok()) {
+          reply_error(st);
+          continue;
+        }
+        std::string body = "{\"ok\":true,\"distances\":[";
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          if (i != 0) body += ',';
+          append_distance(body, out[i]);
+        }
+        body += "]}";
+        std::printf("%s\n", body.c_str());
+      } else {
+        reply_error({util::ErrorCode::kInvalidArgument,
+                     "unknown op '" + op + "' (distance|batch|one_to_many|stats|reload|quit)"});
+      }
+      std::fflush(stdout);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

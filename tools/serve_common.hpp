@@ -1,0 +1,128 @@
+// Shared plumbing for the serving tools (apsp_serve, apsp_loadgen): graph
+// loading/generation mirroring apsp_run's flags, and Service construction
+// from the three unified entry points (--matrix / --shards / --gen|--graph).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "parapsp/parapsp.hpp"
+
+namespace parapsp::tools {
+
+using Weight = std::uint32_t;
+
+/// apsp_run's loader, trimmed: --gen MODEL (ba|er|ws|rmat) or --graph FILE
+/// (format from extension or --format), --directed, generator knobs.
+inline graph::Graph<Weight> load_or_generate(const util::Args& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (const std::string gen = args.get("gen"); !gen.empty()) {
+    const auto n = static_cast<VertexId>(args.get_int("n", 2000));
+    if (gen == "ba") {
+      return graph::barabasi_albert<Weight>(
+          n, static_cast<VertexId>(args.get_int("param", 4)), seed);
+    }
+    if (gen == "er") {
+      return graph::erdos_renyi_gnm<Weight>(
+          n, static_cast<EdgeId>(args.get_int("edges", 4 * static_cast<std::int64_t>(n))),
+          seed);
+    }
+    if (gen == "ws") {
+      return graph::watts_strogatz<Weight>(
+          n, static_cast<VertexId>(args.get_int("param", 4)),
+          args.get_double("beta", 0.1), seed);
+    }
+    if (gen == "rmat") {
+      const auto scale = args.get_int("scale", 12);
+      return graph::rmat<Weight>(static_cast<VertexId>(scale),
+                                 static_cast<EdgeId>(args.get_int("edges", 8 << scale)),
+                                 seed);
+    }
+    throw std::invalid_argument("unknown --gen model '" + gen + "'");
+  }
+  const std::string path = args.get("graph");
+  if (path.empty()) {
+    throw std::invalid_argument("one of --graph or --gen is required here");
+  }
+  std::string format = args.get("format");
+  if (format.empty()) {
+    const auto dot = path.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : path.substr(dot + 1);
+    format = ext == "bin" ? "binary" : ext == "metis" || ext == "graph" ? "metis"
+                                                                        : "edgelist";
+  }
+  const auto dir = args.get_flag("directed") ? graph::Directedness::kDirected
+                                             : graph::Directedness::kUndirected;
+  auto loaded = [&]() -> util::Expected<graph::Graph<Weight>> {
+    if (format == "edgelist") return graph::try_load_edge_list<Weight>(path, dir);
+    if (format == "binary") return graph::try_load_binary<Weight>(path);
+    if (format == "metis") return graph::try_load_metis<Weight>(path);
+    return util::Status{util::ErrorCode::kInvalidArgument,
+                        "unknown --format '" + format + "'"};
+  }();
+  if (!loaded) {
+    throw util::StatusError(loaded.status().code(), loaded.status().message());
+  }
+  return std::move(*loaded);
+}
+
+/// Everything a serving tool needs: the Service plus the graph kept alive
+/// for the fallback path (Service holds a non-owning pointer to it).
+struct ServiceBundle {
+  std::optional<graph::Graph<Weight>> graph;
+  std::optional<serve::Service<Weight>> service;
+};
+
+/// Builds a Service from the tool flags:
+///   --matrix FILE   serve a PADM matrix file
+///   --shards DIR    serve a shard directory (dist output / checkpoints)
+///   --gen/--graph   compute now and serve from memory
+/// With --matrix/--shards, --graph/--gen additionally attaches the graph for
+/// fallback rows.
+inline ServiceBundle make_service(const util::Args& args, serve::EngineOptions eopts) {
+  ServiceBundle b;
+  const std::string matrix = args.get("matrix");
+  const std::string shards = args.get("shards");
+  const bool have_graph_flags = !args.get("graph").empty() || !args.get("gen").empty();
+  if (!matrix.empty() && !shards.empty()) {
+    throw std::invalid_argument("--matrix and --shards are mutually exclusive");
+  }
+  if (matrix.empty() && shards.empty()) {
+    // Compute mode: solve now, serve from memory.
+    b.graph.emplace(load_or_generate(args));
+    core::SolverOptions sopts;
+    sopts.threads = static_cast<int>(args.get_int("solve-threads", 0));
+    auto svc = serve::Service<Weight>::compute(*b.graph, sopts, eopts);
+    if (!svc) throw util::StatusError(svc.status().code(), svc.status().message());
+    b.service.emplace(std::move(*svc));
+    return b;
+  }
+  auto svc = matrix.empty() ? serve::Service<Weight>::open_shard_dir(shards, eopts)
+                            : serve::Service<Weight>::open_matrix(matrix, eopts);
+  if (!svc) throw util::StatusError(svc.status().code(), svc.status().message());
+  b.service.emplace(std::move(*svc));
+  if (have_graph_flags) {
+    b.graph.emplace(load_or_generate(args));
+    if (auto st = b.service->attach_graph(*b.graph); !st.is_ok()) {
+      throw util::StatusError(st.code(), st.message());
+    }
+  }
+  return b;
+}
+
+/// Engine options from the shared tool flags.
+inline serve::EngineOptions engine_options_from(const util::Args& args) {
+  serve::EngineOptions eopts;
+  eopts.default_deadline_s = args.get_double("deadline-s", 0.0);
+  const auto budget = args.get_int("max-fallback-rows", -1);
+  if (budget >= 0) eopts.max_fallback_rows = static_cast<std::uint64_t>(budget);
+  eopts.max_concurrent_fallback =
+      static_cast<std::uint32_t>(args.get_int("max-concurrent-fallback", 0));
+  eopts.fallback_cache = !args.get_flag("no-fallback-cache");
+  return eopts;
+}
+
+}  // namespace parapsp::tools
