@@ -1,0 +1,149 @@
+// Ablation: the stepping substrate's two knobs — batch bound rho and bucket
+// width delta.
+//
+// rho-stepping's batch bound interpolates between Dijkstra (rho = 1: work-
+// optimal, no parallelism) and something Bellman-Ford-shaped (rho = n:
+// maximal parallelism, redundant relaxations); Delta*'s bucket width trades
+// rounds against wasted relaxations the same way. This bench sweeps both on
+// the two regimes the substrate picker separates — a weighted scale-free
+// R-MAT and a weighted high-diameter ring lattice — with classic
+// delta-stepping alongside as the baseline. The work counters (rounds,
+// relaxations, stale entries skipped by lazy deletion) expose the trade-off
+// machine-independently; wall-clock needs real cores to separate.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  const auto cfg = bench::BenchConfig::from_args(argc, argv);
+  bench::banner("Ablation: stepping knobs (rho batch bound, delta bucket width)", cfg);
+
+  const VertexId n = cfg.scaled(4096);
+  VertexId scale = 1;
+  while ((VertexId{1} << scale) < n) ++scale;
+
+  struct Shape {
+    const char* label;
+    graph::Graph<std::uint32_t> g;
+  };
+  const Shape shapes[] = {
+      {"rmat-weighted",
+       graph::randomize_weights<std::uint32_t>(
+           graph::rmat<std::uint32_t>(scale, static_cast<EdgeId>(8) * n, cfg.seed),
+           1, 20, cfg.seed + 1)},
+      {"ring-weighted",
+       graph::randomize_weights<std::uint32_t>(
+           graph::watts_strogatz<std::uint32_t>(n, 4, 0.01, cfg.seed), 1, 20,
+           cfg.seed + 1)},
+  };
+
+  const int threads = cfg.threads().back();
+  util::ThreadScope scope(threads);
+  bench::JsonlWriter jsonl("BENCH_ablation_stepping.json");
+  util::Table table({"graph", "algorithm", "knob", "seconds", "rounds",
+                     "relaxations", "stale_skipped"});
+
+  const VertexId num_sources = std::min<VertexId>(8, n);
+  for (const auto& shape : shapes) {
+    const auto& g = shape.g;
+    std::printf("%s: %s\n", shape.label, g.summary().c_str());
+
+    sssp::SteppingWorkspace<std::uint32_t> ws;
+    const auto measure = [&](const char* algo, const std::string& knob,
+                             auto&& run_source) {
+      sssp::SteppingStats total{};
+      const double secs = bench::mean_seconds(
+          [&] {
+            total = {};
+            for (VertexId s = 0; s < num_sources; ++s) {
+              sssp::SteppingStats st{};
+              const auto dist = run_source(s, &st, &ws);
+              total.relaxations += st.relaxations;
+              total.settlements += st.settlements;
+              total.rounds += st.rounds;
+              total.stale_skipped += st.stale_skipped;
+              if (dist.size() != g.num_vertices()) std::abort();
+            }
+          },
+          cfg.repeats);
+      table.add_row({shape.label, algo, knob, util::fixed(secs, 4),
+                     std::to_string(total.rounds), std::to_string(total.relaxations),
+                     std::to_string(total.stale_skipped)});
+      bench::JsonLine line;
+      line.field("bench", "ablation_stepping")
+          .field("graph", shape.label)
+          .field("algorithm", algo)
+          .field("knob", knob)
+          .field("threads", static_cast<std::int64_t>(threads))
+          .field("sources", static_cast<std::int64_t>(num_sources))
+          .field("seconds", secs)
+          .field("rounds", total.rounds)
+          .field("relaxations", total.relaxations)
+          .field("stale_skipped", total.stale_skipped);
+      jsonl.write(line);
+    };
+
+    const std::size_t rhos[] = {std::size_t{n} / 32, std::size_t{n} / 8,
+                                std::size_t{n} / 2, std::size_t{n} * 2};
+    for (const std::size_t rho : rhos) {
+      measure("rho-stepping", "rho=" + std::to_string(rho),
+              [&](VertexId s, sssp::SteppingStats* st,
+                  sssp::SteppingWorkspace<std::uint32_t>* w) {
+                return sssp::rho_stepping(g, s, rho, st, nullptr, w);
+              });
+    }
+
+    const std::uint32_t base_delta = sssp::default_delta(g);
+    const double multipliers[] = {0.25, 1.0, 4.0};
+    for (const double mult : multipliers) {
+      const auto delta = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(mult * static_cast<double>(base_delta)));
+      measure("delta-star-stepping", "delta=" + std::to_string(delta),
+              [&](VertexId s, sssp::SteppingStats* st,
+                  sssp::SteppingWorkspace<std::uint32_t>* w) {
+                return sssp::delta_star_stepping(g, s, delta, st, nullptr, w);
+              });
+    }
+
+    // Classic delta-stepping baseline; its stats map onto the same columns
+    // (buckets drained -> rounds, light+heavy attempts -> relaxations; lazy
+    // deletion does not exist there, so stale_skipped is structurally 0).
+    {
+      sssp::DeltaSteppingStats total{};
+      sssp::DeltaSteppingWorkspace dws;
+      const double secs = bench::mean_seconds(
+          [&] {
+            total = {};
+            for (VertexId s = 0; s < num_sources; ++s) {
+              sssp::DeltaSteppingStats st{};
+              const auto dist = sssp::delta_stepping(g, s, std::uint32_t{0}, &st,
+                                                     nullptr, &dws);
+              total.light_relaxations += st.light_relaxations;
+              total.heavy_relaxations += st.heavy_relaxations;
+              total.buckets_processed += st.buckets_processed;
+              if (dist.size() != g.num_vertices()) std::abort();
+            }
+          },
+          cfg.repeats);
+      const std::uint64_t relax = total.light_relaxations + total.heavy_relaxations;
+      table.add_row({shape.label, "delta-stepping", "delta=default",
+                     util::fixed(secs, 4), std::to_string(total.buckets_processed),
+                     std::to_string(relax), "0"});
+      bench::JsonLine line;
+      line.field("bench", "ablation_stepping")
+          .field("graph", shape.label)
+          .field("algorithm", "delta-stepping")
+          .field("knob", "delta=default")
+          .field("threads", static_cast<std::int64_t>(threads))
+          .field("sources", static_cast<std::int64_t>(num_sources))
+          .field("seconds", secs)
+          .field("rounds", total.buckets_processed)
+          .field("relaxations", relax)
+          .field("stale_skipped", std::uint64_t{0});
+      jsonl.write(line);
+    }
+  }
+
+  table.emit("stepping knob ablation", cfg.csv_path("ablation_stepping.csv"));
+  jsonl.finish();
+  return 0;
+}

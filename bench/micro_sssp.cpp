@@ -1,7 +1,10 @@
 // google-benchmark microbenchmarks for the SSSP kernels: classic Dijkstra,
-// Bellman-Ford/SPFA, and Peng's modified Dijkstra with cold vs warm
+// Bellman-Ford/SPFA, Peng's modified Dijkstra with cold vs warm
 // (all-rows-published) distance matrices — the per-kernel view of the row
-// reuse that powers the whole APSP algorithm.
+// reuse that powers the whole APSP algorithm — and the stepping substrates
+// (classic delta vs rho vs Delta*) on the two regimes the substrate picker
+// separates: weighted R-MAT and weighted high-diameter inputs, at 1 and 8
+// threads (args: {n, threads}).
 //
 // Besides the normal console output, every run is mirrored as one JSON
 // object per line into BENCH_micro_sssp.json (JSONL) in the working
@@ -14,10 +17,14 @@
 #include "apsp/modified_dijkstra.hpp"
 #include "apsp/sweep.hpp"
 #include "graph/generators.hpp"
+#include "graph/ops.hpp"
 #include "order/counting.hpp"
 #include "sssp/bellman_ford.hpp"
 #include "sssp/bfs.hpp"
+#include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
+#include "sssp/rho_stepping.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -109,6 +116,79 @@ void BM_ModifiedDijkstraWarm(benchmark::State& state) {
   std::copy(saved.begin(), saved.end(), D.row(0).begin());
 }
 BENCHMARK(BM_ModifiedDijkstraWarm)->Range(1 << 10, 1 << 12);
+
+// --- stepping substrates: classic delta vs rho vs Delta* ------------------
+//
+// Two graph shapes, matching the regimes the substrate picker separates:
+// a weighted scale-free R-MAT (low diameter, skewed degrees) and a weighted
+// near-ring Watts-Strogatz (high diameter, the regime where batched stepping
+// pays off). Args are {n, threads}; the thread count is applied with a
+// ThreadScope so each run reports its own parallel configuration.
+
+graph::Graph<std::uint32_t> rmat_weighted(std::int64_t n) {
+  VertexId scale = 1;
+  while ((VertexId{1} << scale) < static_cast<VertexId>(n)) ++scale;
+  const auto g = graph::rmat<std::uint32_t>(scale, static_cast<EdgeId>(8 * n), 7);
+  return graph::randomize_weights<std::uint32_t>(g, 1, 20, 11);
+}
+
+graph::Graph<std::uint32_t> high_diameter_weighted(std::int64_t n) {
+  // beta = 0.01 keeps the ring lattice almost intact: diameter ~ n / (2k).
+  const auto g =
+      graph::watts_strogatz<std::uint32_t>(static_cast<VertexId>(n), 4, 0.01, 7);
+  return graph::randomize_weights<std::uint32_t>(g, 1, 20, 11);
+}
+
+template <graph::Graph<std::uint32_t> (*MakeGraph)(std::int64_t)>
+void BM_DeltaStepping(benchmark::State& state) {
+  const auto g = MakeGraph(state.range(0));
+  util::ThreadScope threads(static_cast<int>(state.range(1)));
+  sssp::DeltaSteppingWorkspace ws;
+  VertexId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sssp::delta_stepping(g, s, std::uint32_t{0}, nullptr, nullptr, &ws));
+    s = (s + 1) % g.num_vertices();
+  }
+}
+
+template <graph::Graph<std::uint32_t> (*MakeGraph)(std::int64_t)>
+void BM_RhoStepping(benchmark::State& state) {
+  const auto g = MakeGraph(state.range(0));
+  util::ThreadScope threads(static_cast<int>(state.range(1)));
+  sssp::SteppingWorkspace<std::uint32_t> ws;
+  VertexId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sssp::rho_stepping(g, s, /*rho=*/0, nullptr, nullptr, &ws));
+    s = (s + 1) % g.num_vertices();
+  }
+}
+
+template <graph::Graph<std::uint32_t> (*MakeGraph)(std::int64_t)>
+void BM_DeltaStarStepping(benchmark::State& state) {
+  const auto g = MakeGraph(state.range(0));
+  util::ThreadScope threads(static_cast<int>(state.range(1)));
+  sssp::SteppingWorkspace<std::uint32_t> ws;
+  VertexId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::delta_star_stepping(
+        g, s, std::uint32_t{0}, nullptr, nullptr, &ws));
+    s = (s + 1) % g.num_vertices();
+  }
+}
+
+#define PARAPSP_STEPPING_ARGS \
+  ->Args({1 << 12, 1})->Args({1 << 12, 8})->Args({1 << 13, 8})
+
+BENCHMARK(BM_DeltaStepping<rmat_weighted>) PARAPSP_STEPPING_ARGS;
+BENCHMARK(BM_RhoStepping<rmat_weighted>) PARAPSP_STEPPING_ARGS;
+BENCHMARK(BM_DeltaStarStepping<rmat_weighted>) PARAPSP_STEPPING_ARGS;
+BENCHMARK(BM_DeltaStepping<high_diameter_weighted>) PARAPSP_STEPPING_ARGS;
+BENCHMARK(BM_RhoStepping<high_diameter_weighted>) PARAPSP_STEPPING_ARGS;
+BENCHMARK(BM_DeltaStarStepping<high_diameter_weighted>) PARAPSP_STEPPING_ARGS;
+
+#undef PARAPSP_STEPPING_ARGS
 
 /// ConsoleReporter that also mirrors every run as a JSONL line. Times are
 /// normalized to nanoseconds per iteration regardless of the display unit.

@@ -23,6 +23,13 @@ namespace parapsp::apsp {
 struct AdaptiveOptions {
   /// Re-rank the remaining sources every `batch_fraction * n` kernel runs.
   double batch_fraction = 0.05;
+
+  /// SSSP substrate for the per-source runs. kAuto picks from structural
+  /// signals (sssp::choose_substrate, full-sweep context). The credit
+  /// adaptation only exists for the row-reuse kernel — reuse credit *is* the
+  /// signal being ranked — so a stepping substrate runs the sources in plain
+  /// degree order instead (exact distances either way).
+  sssp::Substrate substrate = sssp::Substrate::kAuto;
 };
 
 /// Sequential adaptive optimized APSP. Output is the exact distance matrix
@@ -39,6 +46,31 @@ template <WeightType W>
   const auto degrees = g.degrees();
   auto pending = order::counting_order(degrees);  // seed: descending degree
   result.ordering_seconds = timer.seconds();
+
+  sssp::Substrate substrate = opts.substrate;
+  if (substrate == sssp::Substrate::kAuto) {
+    substrate = sssp::choose_substrate(sssp::measure_signals(g), omp_get_max_threads(),
+                                       sssp::SweepContext::kFullSweep);
+  }
+  result.substrate = substrate;
+
+  if (substrate != sssp::Substrate::kModifiedDijkstra) {
+    // No completed rows to reuse ⇒ no credit signal to adapt on: run the
+    // degree-order sweep on the selected substrate and return.
+    timer.reset();
+    sssp::SubstrateWorkspace<W> sws;
+    for (const VertexId s : pending) {
+      sssp::SteppingStats stats;
+      const auto dist = sssp::run_substrate(substrate, g, s, &sws, &stats);
+      std::copy(dist.begin(), dist.end(), result.distances.row(s).begin());
+      flags.publish(s);
+      result.kernel.edge_relaxations += stats.relaxations;
+    }
+    obs::count(obs::Counter::kSsspSubstrateRows, n);
+    obs::count(obs::Counter::kSourcesCompleted, n);
+    result.sweep_seconds = timer.seconds();
+    return result;
+  }
 
   timer.reset();
   std::vector<std::uint64_t> credit(n, 0);

@@ -10,6 +10,7 @@
 #include "apsp/distance_matrix.hpp"
 #include "apsp/modified_dijkstra.hpp"
 #include "obs/report.hpp"
+#include "sssp/substrate.hpp"
 #include "util/status.hpp"
 #include "util/types.hpp"
 
@@ -27,6 +28,12 @@ struct ApspResult {
 
   /// Kernel statistics aggregated over all sources.
   KernelStats kernel;
+
+  /// The SSSP substrate the sweep actually ran (kAuto is resolved before the
+  /// sweep, so this is never kAuto for sweep algorithms). Baseline algorithms
+  /// that have no per-source sweep report kModifiedDijkstra untouched only if
+  /// they are the paper kernel; others leave the default.
+  sssp::Substrate substrate = sssp::Substrate::kModifiedDijkstra;
 
   /// Observability report: phase wall times + per-thread counter breakdowns.
   /// Populated (collected == true) only when the run was made through

@@ -32,6 +32,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "order/ordering.hpp"
+#include "sssp/substrate.hpp"
 #include "util/exec_control.hpp"
 #include "util/types.hpp"
 
@@ -118,6 +119,96 @@ KernelStats sweep_parallel(const graph::Graph<W>& g, const order::Ordering& orde
     detail::flush_kernel_counters(local, completed);
 #pragma omp critical(parapsp_sweep_stats)
     total += local;
+  }
+  return total;
+}
+
+/// Runs the APSP sweep with a pluggable SSSP substrate instead of the
+/// row-reuse kernel: one full SSSP per source in `order`, row copied into D
+/// and published. Two execution shapes, chosen by the substrate:
+///
+///  - **Internally parallel substrates** (delta/rho/Delta*-stepping) run a
+///    *sequential* source loop — each source's relaxation work is already
+///    spread over the OpenMP threads, and nesting parallel sweeps over
+///    parallel SSSPs would oversubscribe. This is the shape that wins on
+///    high-diameter weighted graphs, where row reuse prunes little and a
+///    single source has enough frontier to feed every thread.
+///  - **Sequential substrates** (dijkstra/bellman-ford/spfa) keep the classic
+///    parallel source loop with one reusable workspace per thread.
+///
+/// kAuto / kModifiedDijkstra are not accepted here: callers resolve kAuto via
+/// choose_substrate first, and the row-reuse kernel has its own sweeps above
+/// (it needs D and the flags mid-run, which substrates deliberately do not).
+///
+/// Execution control matches the other sweeps — checked per source row, and a
+/// row interrupted mid-SSSP is *discarded*, never published (a stopped
+/// stepping run returns tentative upper bounds, which must not leak into the
+/// matrix as exact).
+template <WeightType W>
+KernelStats sweep_substrate(const graph::Graph<W>& g, const order::Ordering& order,
+                            DistanceMatrix<W>& D, FlagArray& flags,
+                            sssp::Substrate substrate,
+                            const util::ExecutionControl* ctl = nullptr) {
+  if (substrate == sssp::Substrate::kAuto ||
+      substrate == sssp::Substrate::kModifiedDijkstra) {
+    throw std::invalid_argument(
+        "sweep_substrate: resolve kAuto / use sweep_parallel for the reuse kernel");
+  }
+  KernelStats total;
+
+  auto publish_row = [&](VertexId s, const std::vector<W>& dist) {
+    std::copy(dist.begin(), dist.end(), D.row(s).begin());
+    flags.publish(s);
+  };
+
+  if (sssp::is_parallel_substrate(substrate)) {
+    sssp::SubstrateWorkspace<W> ws;
+    std::uint64_t completed = 0;
+    for (const VertexId s : order) {
+      if (ctl != nullptr) {
+        if (ctl->should_stop()) break;
+        if (flags.is_complete(s)) continue;  // restored from a checkpoint
+      }
+      obs::ScopedSpan span("source", "sweep", s);
+      sssp::SteppingStats stats;
+      const auto dist = sssp::run_substrate(substrate, g, s, &ws, &stats, ctl);
+      // A stop that fired mid-row leaves tentative distances: drop the row.
+      if (ctl != nullptr && ctl->should_stop()) break;
+      publish_row(s, dist);
+      total.edge_relaxations += stats.relaxations;
+      total.dequeues += stats.settlements;
+      ++completed;
+      if (ctl != nullptr) ctl->add_progress();
+    }
+    obs::count(obs::Counter::kSsspSubstrateRows, completed);
+    obs::count(obs::Counter::kSourcesCompleted, completed);
+  } else {
+    const auto n = static_cast<std::int64_t>(order.size());
+#pragma omp parallel
+    {
+      sssp::SubstrateWorkspace<W> ws;
+      KernelStats local;
+      std::uint64_t completed = 0;
+#pragma omp for schedule(dynamic, 1) nowait
+      for (std::int64_t i = 0; i < n; ++i) {
+        const VertexId s = order[static_cast<std::size_t>(i)];
+        if (ctl != nullptr) {
+          if (ctl->should_stop()) continue;
+          if (flags.is_complete(s)) continue;  // restored from a checkpoint
+        }
+        obs::ScopedSpan span("source", "sweep", s);
+        sssp::SteppingStats stats;
+        const auto dist = sssp::run_substrate(substrate, g, s, &ws, &stats, nullptr);
+        publish_row(s, dist);
+        local.edge_relaxations += stats.relaxations;
+        ++completed;
+        if (ctl != nullptr) ctl->add_progress();
+      }
+      obs::count(obs::Counter::kSsspSubstrateRows, completed);
+      obs::count(obs::Counter::kSourcesCompleted, completed);
+#pragma omp critical(parapsp_sweep_substrate_stats)
+      total += local;
+    }
   }
   return total;
 }

@@ -24,6 +24,8 @@
 #include "sssp/delta_stepping.hpp"
 #include "sssp/dial.hpp"
 #include "sssp/dijkstra.hpp"
+#include "sssp/rho_stepping.hpp"
+#include "sssp/substrate.hpp"
 #include "util/types.hpp"
 
 namespace parapsp::check {
@@ -137,6 +139,20 @@ template <WeightType W>
                    });
                  },
                  nullptr});
+  out.push_back({"sssp:rho-stepping",
+                 [](const graph::Graph<W>& g) {
+                   return matrix_from_sssp(g, [](const auto& gr, VertexId s) {
+                     return sssp::rho_stepping(gr, s);
+                   });
+                 },
+                 nullptr});
+  out.push_back({"sssp:delta-star-stepping",
+                 [](const graph::Graph<W>& g) {
+                   return matrix_from_sssp(g, [](const auto& gr, VertexId s) {
+                     return sssp::delta_star_stepping(gr, s);
+                   });
+                 },
+                 nullptr});
   if constexpr (std::is_integral_v<W>) {
     // Dial's bucket count is max_weight + 1 and its runtime carries the
     // largest finite distance, so gate on a modest weight range.
@@ -173,12 +189,40 @@ template <WeightType W>
   return out;
 }
 
+/// The ParAPSP sweep under every non-default SSSP substrate — this exercises
+/// the sweep_substrate matrix path (solver routing, row publication,
+/// workspace reuse across sources), not just the per-source algorithms that
+/// sssp_backends() lifts one call at a time.
+template <WeightType W>
+[[nodiscard]] std::vector<Backend<W>> substrate_backends() {
+  using sssp::Substrate;
+  constexpr Substrate substrates[] = {
+      Substrate::kDeltaStepping,
+      Substrate::kRhoStepping,
+      Substrate::kDeltaStarStepping,
+  };
+  std::vector<Backend<W>> out;
+  out.reserve(std::size(substrates));
+  for (const Substrate s : substrates) {
+    out.push_back({std::string("apsp:parapsp+") + sssp::to_string(s),
+                   [s](const graph::Graph<W>& g) {
+                     core::SolverOptions opts;
+                     opts.algorithm = core::Algorithm::kParApsp;
+                     opts.substrate = s;
+                     return core::solve(g, opts).distances;
+                   },
+                   nullptr});
+  }
+  return out;
+}
+
 /// The full catalog: every backend the library claims computes exact APSP.
 template <WeightType W>
 [[nodiscard]] std::vector<Backend<W>> all_backends() {
   auto out = apsp_backends<W>();
   for (auto& b : ordering_backends<W>()) out.push_back(std::move(b));
   for (auto& b : sssp_backends<W>()) out.push_back(std::move(b));
+  for (auto& b : substrate_backends<W>()) out.push_back(std::move(b));
   return out;
 }
 

@@ -78,6 +78,21 @@ class Runner {
     return *this;
   }
 
+  /// SSSP substrate for the per-source sweep (sweep algorithms and
+  /// peng-adaptive). The default, sssp::Substrate::kAuto, picks per graph
+  /// from structural signals; see sssp/substrate.hpp.
+  Runner& sssp(sssp::Substrate s) {
+    opts_.substrate = s;
+    return *this;
+  }
+
+  /// By name ("rho-stepping", "delta-stepping", "auto", ...). An unknown
+  /// name is remembered and reported by run()/validate() as
+  /// kInvalidArgument — it does not throw out of the chain.
+  Runner& sssp(const std::string& name) {
+    return defer([&] { opts_.substrate = sssp::substrate_from_string(name); });
+  }
+
   // --- execution -----------------------------------------------------------
 
   /// OpenMP thread count; 0 = ambient default.
@@ -166,6 +181,13 @@ class Runner {
       return {util::ErrorCode::kInvalidArgument,
               std::string("algorithm ") + to_string(opts_.algorithm) +
                   " does not support execution control / checkpointing"};
+    }
+    const bool has_sweep = is_sweep_algorithm(opts_.algorithm) ||
+                           opts_.algorithm == Algorithm::kPengAdaptive;
+    if (opts_.substrate != sssp::Substrate::kAuto && !has_sweep) {
+      return {util::ErrorCode::kInvalidArgument,
+              std::string("algorithm ") + to_string(opts_.algorithm) +
+                  " has no per-source sweep; --sssp substrate does not apply"};
     }
     return util::Status::ok();
   }

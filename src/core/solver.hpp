@@ -28,7 +28,9 @@
 #include "apsp/peng.hpp"
 #include "apsp/peng_adaptive.hpp"
 #include "apsp/repeated_dijkstra.hpp"
+#include "apsp/sweep.hpp"
 #include "obs/obs.hpp"
+#include "sssp/substrate.hpp"
 #include "util/exec_control.hpp"
 #include "util/expected.hpp"
 #include "util/parallel.hpp"
@@ -107,6 +109,14 @@ struct SolverOptions {
 
   /// Tile size for the blocked Floyd-Warshall.
   VertexId fw_block = 64;
+
+  /// SSSP substrate for the per-source sweep (sweep algorithms and
+  /// peng-adaptive). kAuto picks per graph from structural signals
+  /// (sssp::choose_substrate); kModifiedDijkstra is the paper's row-reuse
+  /// kernel; the stepping substrates trade row reuse for intra-source
+  /// parallelism. A non-auto substrate on an algorithm without a per-source
+  /// sweep is a typed kInvalidArgument.
+  sssp::Substrate substrate = sssp::Substrate::kAuto;
 
   // --- execution control / fault tolerance (sweep algorithms only) ---
 
@@ -224,6 +234,16 @@ template <WeightType W>
   }
   result.ordering_seconds = timer.seconds();
 
+  // Resolve the SSSP substrate (solve() usually resolved kAuto already; this
+  // covers direct callers). The resolved choice is recorded in the result so
+  // reports and benches can see what actually ran.
+  sssp::Substrate substrate = opts.substrate;
+  if (substrate == sssp::Substrate::kAuto) {
+    substrate = sssp::choose_substrate(sssp::measure_signals(g), omp_get_max_threads(),
+                                       sssp::SweepContext::kFullSweep);
+  }
+  result.substrate = substrate;
+
   // The sweep needs a control handle for the skip-completed-rows logic even
   // when the caller supplied none.
   util::ExecutionControl fallback_ctl;
@@ -266,7 +286,10 @@ template <WeightType W>
   timer.reset();
   {
     obs::ScopedSpan sweep_span("sweep");
-    if (parallel_sweep) {
+    if (substrate != sssp::Substrate::kModifiedDijkstra) {
+      result.kernel =
+          apsp::sweep_substrate(g, order, result.distances, flags, substrate, ctl);
+    } else if (parallel_sweep) {
       result.kernel =
           apsp::sweep_parallel(g, order, result.distances, flags, sched, ctl);
     } else {
@@ -321,6 +344,25 @@ template <WeightType W>
   obs::Collection metrics(opts.collect_metrics);
 
   auto run = [&]() -> apsp::ApspResult<W> {
+    // Resolve the SSSP substrate up front: a non-auto substrate on an
+    // algorithm with no per-source sweep is a typed caller error (there is no
+    // SSSP loop to plug it into), and kAuto resolves once here (with the
+    // effective thread count) rather than per layer.
+    sssp::Substrate substrate = opts.substrate;
+    const bool has_sweep =
+        is_sweep_algorithm(opts.algorithm) || opts.algorithm == Algorithm::kPengAdaptive;
+    if (!has_sweep && substrate != sssp::Substrate::kAuto) {
+      throw util::StatusError(
+          util::ErrorCode::kInvalidArgument,
+          std::string("algorithm ") + to_string(opts.algorithm) +
+              " has no per-source sweep; --sssp substrate does not apply");
+    }
+    if (has_sweep && substrate == sssp::Substrate::kAuto) {
+      substrate = sssp::choose_substrate(sssp::measure_signals(g),
+                                         omp_get_max_threads(),
+                                         sssp::SweepContext::kFullSweep);
+    }
+
     const bool controlled = opts.control != nullptr ||
                             !opts.checkpoint_path.empty() ||
                             !opts.resume_from.empty();
@@ -330,7 +372,18 @@ template <WeightType W>
             std::string("algorithm ") + to_string(opts.algorithm) +
             " does not support execution control / checkpointing");
       }
-      return detail::solve_sweep_controlled(g, opts);
+      SolverOptions resolved = opts;
+      resolved.substrate = substrate;
+      return detail::solve_sweep_controlled(g, resolved);
+    }
+    // A non-reuse substrate turns an uncontrolled sweep-algorithm run into a
+    // substrate sweep; solve_sweep_controlled already knows how to run it
+    // (its fallback control handle never fires).
+    if (is_sweep_algorithm(opts.algorithm) &&
+        substrate != sssp::Substrate::kModifiedDijkstra) {
+      SolverOptions resolved = opts;
+      resolved.substrate = substrate;
+      return detail::solve_sweep_controlled(g, resolved);
     }
 
     auto timed = [](auto&& fn) {
@@ -355,8 +408,11 @@ template <WeightType W>
         return apsp::peng_basic(g);
       case Algorithm::kPengOptimized:
         return apsp::peng_optimized(g, opts.selection_ratio);
-      case Algorithm::kPengAdaptive:
-        return apsp::peng_adaptive(g);
+      case Algorithm::kPengAdaptive: {
+        apsp::AdaptiveOptions adaptive;
+        adaptive.substrate = substrate;
+        return apsp::peng_adaptive(g, adaptive);
+      }
       case Algorithm::kParAlg1:
         return apsp::par_alg1(g, opts.schedule);
       case Algorithm::kParAlg2:

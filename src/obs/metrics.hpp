@@ -53,6 +53,9 @@ enum class Counter : std::uint8_t {
   kSourcesCompleted,      ///< source rows finished and published
   kBucketInsertions,      ///< vertex insertions into ordering-procedure buckets
   kHeavyEdgeRelaxations,  ///< delta-stepping heavy-edge relaxation attempts
+  kSsspBatchPulls,        ///< stepping substrate: lazy-bucket-queue batches pulled
+  kSsspStaleSkipped,      ///< stepping substrate: entries dropped by revalidation
+  kSsspSubstrateRows,     ///< sweep rows computed by a non-reuse SSSP substrate
   kDistSupersteps,        ///< dist supervisor: shard leases granted (BSP rounds)
   kDistRetries,           ///< dist supervisor: shard attempts after a failure
   kDistReassignments,     ///< dist supervisor: leases moved off a dead/hung worker
@@ -63,7 +66,7 @@ enum class Counter : std::uint8_t {
   kServeFallbackRows,     ///< serve: rows computed on demand on shard miss
   kServeDeadlineMisses,   ///< serve: requests stopped by deadline/cancel
 };
-inline constexpr std::size_t kNumCounters = 18;
+inline constexpr std::size_t kNumCounters = 21;
 
 [[nodiscard]] constexpr const char* to_string(Counter c) noexcept {
   switch (c) {
@@ -76,6 +79,9 @@ inline constexpr std::size_t kNumCounters = 18;
     case Counter::kSourcesCompleted: return "sources_completed";
     case Counter::kBucketInsertions: return "bucket_insertions";
     case Counter::kHeavyEdgeRelaxations: return "heavy_relaxations";
+    case Counter::kSsspBatchPulls: return "sssp_batch_pulls";
+    case Counter::kSsspStaleSkipped: return "sssp_stale_skipped";
+    case Counter::kSsspSubstrateRows: return "sssp_substrate_rows";
     case Counter::kDistSupersteps: return "dist_supersteps";
     case Counter::kDistRetries: return "dist_retries";
     case Counter::kDistReassignments: return "dist_reassignments";
@@ -95,11 +101,13 @@ inline constexpr std::size_t kNumCounters = 18;
           Counter::kQueuePops,            Counter::kRowReuses,
           Counter::kRowReuseImprovements, Counter::kRowCellsScanned,
           Counter::kSourcesCompleted,     Counter::kBucketInsertions,
-          Counter::kHeavyEdgeRelaxations, Counter::kDistSupersteps,
-          Counter::kDistRetries,          Counter::kDistReassignments,
-          Counter::kDistHeartbeatMisses,  Counter::kDistBytesMoved,
-          Counter::kServeQueries,         Counter::kServeShardHits,
-          Counter::kServeFallbackRows,    Counter::kServeDeadlineMisses};
+          Counter::kHeavyEdgeRelaxations, Counter::kSsspBatchPulls,
+          Counter::kSsspStaleSkipped,     Counter::kSsspSubstrateRows,
+          Counter::kDistSupersteps,       Counter::kDistRetries,
+          Counter::kDistReassignments,    Counter::kDistHeartbeatMisses,
+          Counter::kDistBytesMoved,       Counter::kServeQueries,
+          Counter::kServeShardHits,       Counter::kServeFallbackRows,
+          Counter::kServeDeadlineMisses};
 }
 
 /// One value per catalog entry, indexed by static_cast<size_t>(Counter).

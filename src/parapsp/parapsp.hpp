@@ -69,6 +69,9 @@
 #include "sssp/bfs.hpp"
 #include "sssp/dial.hpp"
 #include "sssp/dijkstra.hpp"
+#include "sssp/lazy_bucket_queue.hpp"
+#include "sssp/rho_stepping.hpp"
+#include "sssp/substrate.hpp"
 
 // APSP algorithms
 #include "apsp/bounded.hpp"

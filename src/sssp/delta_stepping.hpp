@@ -54,6 +54,35 @@ struct DeltaSteppingStats {
   std::uint64_t buckets_processed = 0;  ///< non-empty buckets drained
 };
 
+/// Reusable scratch for delta_stepping: the bucket array plus the per-vertex
+/// bookkeeping. Grow-only, same discipline as apsp::DijkstraWorkspace — a
+/// per-source sweep reuses one instance across sources, so bucket capacity
+/// (the dominant allocation) is paid once. The per-run cost is two O(n)
+/// fills, which the old allocate-per-call version paid anyway.
+///
+/// The relaxation counters prove the reuse changes nothing: for a given
+/// (graph, source, delta), light/heavy relaxation counts are identical with
+/// a fresh or a reused workspace (tested in tests/test_stepping.cpp via the
+/// heavy_relaxations obs counter).
+struct DeltaSteppingWorkspace {
+  std::vector<std::int64_t> bucket_of;    ///< current bucket index, -1 = none
+  std::vector<std::int64_t> deferred_in;  ///< bucket the vertex is deferred for
+  std::vector<std::vector<VertexId>> buckets;
+  std::vector<VertexId> frontier, deferred;
+
+  void reset(VertexId n) {
+    if (bucket_of.size() < n) {
+      bucket_of.resize(n);
+      deferred_in.resize(n);
+    }
+    std::fill(bucket_of.begin(), bucket_of.begin() + n, -1);
+    std::fill(deferred_in.begin(), deferred_in.begin() + n, -1);
+    for (auto& b : buckets) b.clear();  // keeps capacity
+    frontier.clear();
+    deferred.clear();
+  }
+};
+
 namespace detail {
 
 /// Implementation with the deferred-set dedup as a knob so tests can show
@@ -63,15 +92,20 @@ namespace detail {
 template <WeightType W>
 [[nodiscard]] std::vector<W> delta_stepping_impl(
     const graph::Graph<W>& g, VertexId source, W delta, bool dedup_deferred,
-    DeltaSteppingStats* stats, const util::ExecutionControl* control) {
+    DeltaSteppingStats* stats, const util::ExecutionControl* control,
+    DeltaSteppingWorkspace* ws = nullptr) {
   const VertexId n = g.num_vertices();
   if (source >= n) throw std::out_of_range("delta_stepping: source out of range");
   if (delta <= W{0}) delta = default_delta(g);
 
+  DeltaSteppingWorkspace local_ws;
+  if (ws == nullptr) ws = &local_ws;
+  ws->reset(n);
+
   std::vector<W> dist(n, infinity<W>());
-  std::vector<std::int64_t> bucket_of(n, -1);    // current bucket index, -1 = none
-  std::vector<std::int64_t> deferred_in(n, -1);  // bucket the vertex is deferred for
-  std::vector<std::vector<VertexId>> buckets;
+  auto& bucket_of = ws->bucket_of;
+  auto& deferred_in = ws->deferred_in;
+  auto& buckets = ws->buckets;
   DeltaSteppingStats local_stats;
 
   auto bucket_index = [&](W d) {
@@ -92,7 +126,8 @@ template <WeightType W>
   dist[source] = W{0};
   place(source, W{0});
 
-  std::vector<VertexId> frontier, deferred;
+  auto& frontier = ws->frontier;
+  auto& deferred = ws->deferred;
   for (std::size_t b = 0; b < buckets.size(); ++b) {
     if (control != nullptr && control->should_stop()) break;
     deferred.clear();  // vertices settled in this bucket (for heavy edges)
@@ -223,14 +258,16 @@ template <WeightType W>
 /// (optional) is checked once per bucket: on cancel or deadline expiry the
 /// run stops early and returns the tentative (upper-bound) distances settled
 /// so far — callers that pass a control must consult control->check() before
-/// trusting the result as exact.
+/// trusting the result as exact. `ws` (optional) is reused scratch for
+/// per-source sweeps: grow-only, no per-source bucket allocation.
 template <WeightType W>
 [[nodiscard]] std::vector<W> delta_stepping(const graph::Graph<W>& g, VertexId source,
                                             W delta = W{0},
                                             DeltaSteppingStats* stats = nullptr,
-                                            const util::ExecutionControl* control = nullptr) {
+                                            const util::ExecutionControl* control = nullptr,
+                                            DeltaSteppingWorkspace* ws = nullptr) {
   return detail::delta_stepping_impl(g, source, delta, /*dedup_deferred=*/true, stats,
-                                     control);
+                                     control, ws);
 }
 
 }  // namespace parapsp::sssp

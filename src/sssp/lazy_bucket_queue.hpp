@@ -1,0 +1,207 @@
+// Lazy-batched parallel bucket queue — the priority substrate under the
+// modern stepping algorithms (rho_stepping.hpp).
+//
+// Dong, Gu, Sun & Zhang ("Efficient Stepping Algorithms and Implementations
+// for Parallel Shortest Paths") observe that the priority structure, not the
+// relaxation, is what limits parallel SSSP: a strict priority queue
+// serializes, and eager deletion of decreased keys serializes harder. Their
+// lazy-batched design gives up both:
+//
+//  - **Per-thread insertion buffers.** Threads push (vertex, distance)
+//    entries into private buffers with no synchronization at all; the
+//    buffers are drained into the bucket array at batch boundaries, when the
+//    structure is quiescent. A vertex improved k times simply has k entries.
+//  - **Batched pulls.** Instead of one pop at a time, `pull_batch(rho)`
+//    extracts the <= rho live entries with the smallest distances in one
+//    call — buckets give the coarse order, an nth_element split gives the
+//    exact rho-th-smallest boundary inside the straddling bucket.
+//  - **Lazy deletion via distance-stamp revalidation.** Entries are never
+//    removed when a key decreases. An entry (v, d) is live iff d still
+//    equals dist[v] *and* v has not already been settled at d (the
+//    `settled_at_` stamp); everything else is dropped, and counted, when its
+//    bucket is scanned.
+//
+// The structure owns no distances — the caller's dist[] array is the single
+// source of truth, passed into pull_batch for revalidation. Storage follows
+// the DijkstraWorkspace discipline: grow-only, reusable across sources, so a
+// per-source APSP sweep pays no allocation after the first run.
+//
+// Thread safety: push(tid, ...) from concurrent threads is safe as long as
+// each thread uses its own tid slot (no two threads share a buffer); every
+// other member is caller-serialized. The bucket array itself is only touched
+// between parallel phases.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parapsp::sssp {
+
+template <WeightType W>
+class LazyBucketQueue {
+ public:
+  /// One queue entry: the vertex and the tentative distance it was inserted
+  /// at. The distance doubles as the lazy-deletion stamp.
+  struct Entry {
+    VertexId v;
+    W d;
+  };
+
+  /// Work counters for one run. `stale_skipped` is the number of entries
+  /// dropped by revalidation — the price of lazy deletion, visible so the
+  /// ablation bench can weigh it against eager-deletion alternatives.
+  struct Stats {
+    std::uint64_t pulls = 0;          ///< non-empty batches extracted
+    std::uint64_t pushes = 0;         ///< entries inserted (incl. duplicates)
+    std::uint64_t stale_skipped = 0;  ///< entries dropped by revalidation
+  };
+
+  /// Prepares the queue for a run over `n` vertices with bucket width
+  /// `delta` (> 0), accepting pushes from up to `num_threads` threads.
+  /// Grow-only: arrays are enlarged but never shrunk, and bucket/buffer
+  /// capacity survives across runs.
+  void reset(VertexId n, W delta, int num_threads) {
+    if (delta <= W{0}) throw std::invalid_argument("LazyBucketQueue: delta must be > 0");
+    delta_ = delta;
+    if (settled_at_.size() < n) settled_at_.resize(n);
+    std::fill(settled_at_.begin(), settled_at_.begin() + n, infinity<W>());
+    for (auto& b : buckets_) b.clear();  // keeps capacity
+    if (buffers_.size() < static_cast<std::size_t>(num_threads)) {
+      buffers_.resize(static_cast<std::size_t>(num_threads));
+    }
+    for (auto& buf : buffers_) buf.entries.clear();
+    cur_ = 0;
+    entries_ = 0;
+    stats_ = {};
+  }
+
+  /// Inserts (v, d) from thread `tid`. Lock-free by construction: the buffer
+  /// is private to the thread. Visible to pulls after the next
+  /// flush_buffers().
+  void push(int tid, VertexId v, W d) {
+    buffers_[static_cast<std::size_t>(tid)].entries.push_back({v, d});
+  }
+
+  /// Single-threaded convenience insert (thread slot 0).
+  void push(VertexId v, W d) { push(0, v, d); }
+
+  /// Drains every per-thread buffer into the bucket array. Must be called
+  /// from one thread while no pushes are in flight (a batch boundary).
+  void flush_buffers() {
+    for (auto& buf : buffers_) {
+      for (const Entry e : buf.entries) place(e);
+      stats_.pushes += buf.entries.size();
+      buf.entries.clear();
+    }
+  }
+
+  /// Extracts up to `rho` live entries with the smallest distances into
+  /// `out` (vertex ids, unordered within the batch). `rho == 0` selects
+  /// whole-bucket mode: the entire first bucket with a live entry, whatever
+  /// its size — the Delta*-stepping batch rule. Returns out.size().
+  ///
+  /// Liveness: an entry (v, d) is pulled iff d == dist[v] and
+  /// settled_at_[v] != d; pulling stamps settled_at_[v] = d, so duplicate
+  /// entries (same vertex, same distance, inserted by racing threads) settle
+  /// exactly once. Stale entries are dropped and counted.
+  std::size_t pull_batch(std::size_t rho, const W* dist, std::vector<VertexId>& out) {
+    out.clear();
+    const std::size_t want = rho == 0 ? std::numeric_limits<std::size_t>::max() : rho;
+    while (out.size() < want && cur_ < buckets_.size()) {
+      auto& bucket = buckets_[cur_];
+      if (bucket.empty()) {
+        ++cur_;
+        continue;
+      }
+      // Compact the bucket down to its live entries.
+      scratch_.clear();
+      for (const Entry e : bucket) {
+        if (e.d == dist[e.v] && settled_at_[e.v] != e.d) {
+          scratch_.push_back(e);
+        } else {
+          ++stats_.stale_skipped;
+        }
+      }
+      entries_ -= bucket.size();
+      bucket.clear();
+
+      const std::size_t remaining = want - out.size();
+      if (scratch_.size() <= remaining) {
+        for (const Entry e : scratch_) emit(e, out);
+      } else {
+        // The bucket straddles the batch boundary: split at the exact
+        // remaining-th smallest distance, keep the far side queued.
+        std::nth_element(scratch_.begin(),
+                         scratch_.begin() + static_cast<std::ptrdiff_t>(remaining - 1),
+                         scratch_.end(),
+                         [](const Entry& a, const Entry& b) { return a.d < b.d; });
+        for (std::size_t i = 0; i < remaining; ++i) emit(scratch_[i], out);
+        bucket.assign(scratch_.begin() + static_cast<std::ptrdiff_t>(remaining),
+                      scratch_.end());
+        entries_ += bucket.size();
+        break;  // batch is full
+      }
+      // Whole-bucket mode stops after the first bucket that yielded
+      // something; an all-stale bucket just advances the cursor.
+      if (rho == 0 && !out.empty()) break;
+    }
+    if (!out.empty()) ++stats_.pulls;
+    return out.size();
+  }
+
+  /// True when no entries remain in the bucket array (buffers not counted —
+  /// flush first). Live and stale entries are indistinguishable until their
+  /// bucket is scanned, so empty() can be false while no live entry exists;
+  /// pull_batch() returning 0 is the authoritative termination signal.
+  [[nodiscard]] bool empty() const noexcept { return entries_ == 0; }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Bucket width currently in effect.
+  [[nodiscard]] W delta() const noexcept { return delta_; }
+
+ private:
+  /// Per-thread insertion buffer, cache-line-aligned so neighboring threads'
+  /// size/capacity updates never share a line.
+  struct alignas(64) Buffer {
+    std::vector<Entry> entries;
+  };
+
+  void place(const Entry e) {
+    const auto b = static_cast<std::size_t>(static_cast<double>(e.d) /
+                                            static_cast<double>(delta_));
+    if (b > (std::size_t{1} << 27)) {
+      // Same guard as delta_stepping: a width far below the distance scale
+      // would materialize an absurd bucket array.
+      throw std::runtime_error("LazyBucketQueue: delta too small for distance range");
+    }
+    if (b >= buckets_.size()) buckets_.resize(b + 1);
+    buckets_[b].push_back(e);
+    ++entries_;
+    if (b < cur_) cur_ = b;  // a decreased key may re-open an earlier bucket
+  }
+
+  void emit(const Entry e, std::vector<VertexId>& out) {
+    if (settled_at_[e.v] == e.d) {
+      ++stats_.stale_skipped;  // duplicate within this batch
+      return;
+    }
+    settled_at_[e.v] = e.d;
+    out.push_back(e.v);
+  }
+
+  W delta_{1};
+  std::vector<std::vector<Entry>> buckets_;
+  std::vector<Buffer> buffers_;
+  std::vector<W> settled_at_;   ///< distance stamp of the last settlement
+  std::vector<Entry> scratch_;  ///< live-compaction arena for pull_batch
+  std::size_t cur_ = 0;         ///< first possibly non-empty bucket
+  std::size_t entries_ = 0;     ///< entries resident in buckets_
+  Stats stats_;
+};
+
+}  // namespace parapsp::sssp

@@ -1,0 +1,216 @@
+// rho-stepping and Delta*-stepping — the modern stepping-algorithm suite of
+// Dong, Gu, Sun & Zhang ("Efficient Stepping Algorithms and Implementations
+// for Parallel Shortest Paths"), expressed on the lazy-batched bucket queue
+// (lazy_bucket_queue.hpp).
+//
+// Both are label-correcting batch algorithms over one loop shape:
+//
+//   while queue not empty:
+//     batch = pull the next batch of live (vertex, distance) entries
+//     relax every out-edge of the batch in parallel (CAS-min on dist[])
+//     push improved vertices back (per-thread buffers, no locks)
+//
+// They differ only in the batch rule the queue applies:
+//
+//  - **rho-stepping** pulls the <= rho globally closest vertices. Large
+//    batches amortize the parallel-region and queue costs over many
+//    relaxations; small rho approaches Dijkstra's work-optimal order. The
+//    sweet spot beats classic Delta-stepping because a batch never iterates:
+//    one parallel phase per batch, against Delta-stepping's light-edge
+//    fixpoint loop (a parallel region per inner iteration per bucket) —
+//    the gap widens on weighted and high-diameter graphs where classic
+//    buckets are small and numerous.
+//  - **Delta*-stepping** pulls the whole first non-empty bucket. Unlike
+//    classic Delta-stepping there is no light/heavy edge split and no
+//    in-bucket fixpoint phase structure: all edges relax in one pass, and a
+//    vertex re-settles only if its distance actually improved (the queue's
+//    lazy revalidation), not once per settled neighbor.
+//
+// Exactness: every strict improvement re-enqueues its vertex, so at
+// termination dist[] satisfies the Bellman optimality condition; batches
+// merely order the work. The differential oracle (src/check/) verifies both
+// against Dijkstra bit-for-bit across graph families and weight types.
+//
+// Like the rest of the library, distances require non-negative weights.
+#pragma once
+
+#include <omp.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "obs/metrics.hpp"
+#include "sssp/delta_stepping.hpp"  // default_delta
+#include "sssp/lazy_bucket_queue.hpp"
+#include "util/exec_control.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::sssp {
+
+/// Work counters for one stepping run (mirrored into the obs registry when a
+/// collection window is open).
+struct SteppingStats {
+  std::uint64_t relaxations = 0;   ///< edge relaxation attempts
+  std::uint64_t settlements = 0;   ///< vertices pulled and expanded
+  std::uint64_t rounds = 0;        ///< batches pulled from the queue
+  std::uint64_t stale_skipped = 0; ///< lazily deleted (revalidation-dropped) entries
+};
+
+/// Reusable scratch for the stepping algorithms: the queue (buckets,
+/// per-thread buffers, stamps) plus the batch arena. Grow-only, same
+/// discipline as apsp::DijkstraWorkspace — one instance per sweep thread,
+/// reused across sources, no per-source allocation after the first run.
+template <WeightType W>
+struct SteppingWorkspace {
+  LazyBucketQueue<W> queue;
+  std::vector<VertexId> batch;
+};
+
+/// Default batch bound for rho-stepping. Dong et al. use a large constant on
+/// social-network-scale graphs; scaled down to the library's graph sizes, a batch of
+/// ~n/8 (floored at 256) keeps rounds few without flooding the frontier with
+/// speculative settlements. The ablation bench (bench/ablation_stepping)
+/// sweeps this.
+template <WeightType W>
+[[nodiscard]] std::size_t default_rho(const graph::Graph<W>& g) noexcept {
+  return std::max<std::size_t>(256, g.num_vertices() / 8);
+}
+
+namespace detail {
+
+/// CAS-min on a distance cell shared with concurrent relaxers. Returns true
+/// iff this call strictly lowered the cell to `cand` (the winner — and only
+/// the winner — re-enqueues the vertex).
+template <WeightType W>
+[[nodiscard]] inline bool atomic_relax(W& cell, W cand) noexcept {
+  std::atomic_ref<W> ref(cell);
+  W cur = ref.load(std::memory_order_relaxed);
+  while (cand < cur) {
+    if (ref.compare_exchange_weak(cur, cand, std::memory_order_relaxed)) return true;
+  }
+  return false;
+}
+
+/// Shared loop for both stepping variants. `rho == 0` selects whole-bucket
+/// batches (Delta*-stepping); otherwise batches are the <= rho closest.
+/// `delta` is the queue's bucket width (> 0 required here; the public entry
+/// points fill in defaults).
+template <WeightType W>
+[[nodiscard]] std::vector<W> stepping_impl(const graph::Graph<W>& g, VertexId source,
+                                           std::size_t rho, W delta,
+                                           SteppingStats* stats,
+                                           const util::ExecutionControl* control,
+                                           SteppingWorkspace<W>* ws) {
+  const VertexId n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("stepping: source out of range");
+
+  SteppingWorkspace<W> local_ws;
+  if (ws == nullptr) ws = &local_ws;
+  auto& queue = ws->queue;
+  auto& batch = ws->batch;
+
+  const int max_threads = omp_get_max_threads();
+  queue.reset(n, delta, max_threads);
+
+  std::vector<W> dist(n, infinity<W>());
+  dist[source] = W{0};
+  queue.push(source, W{0});
+
+  SteppingStats local_stats;
+
+  // Below this batch size a parallel region costs more than it saves; the
+  // sequential path also skips the atomic relax. Relevant on high-diameter
+  // graphs whose frontiers are chronically small.
+  constexpr std::size_t kParallelCutoff = 128;
+
+  while (true) {
+    if (control != nullptr && control->should_stop()) break;
+    queue.flush_buffers();
+    if (queue.pull_batch(rho, dist.data(), batch) == 0) break;
+    ++local_stats.rounds;
+    local_stats.settlements += batch.size();
+
+    if (batch.size() < kParallelCutoff || max_threads <= 1) {
+      std::uint64_t attempts = 0;
+      for (const VertexId u : batch) {
+        const W du = dist[u];
+        const auto nb = g.neighbors(u);
+        const auto wts = g.weights(u);
+        for (std::size_t e = 0; e < nb.size(); ++e) {
+          ++attempts;
+          const W cand = dist_add(du, wts[e]);
+          if (cand < dist[nb[e]]) {
+            dist[nb[e]] = cand;
+            queue.push(nb[e], cand);
+          }
+        }
+      }
+      local_stats.relaxations += attempts;
+    } else {
+      std::uint64_t batch_attempts = 0;
+#pragma omp parallel reduction(+ : batch_attempts)
+      {
+        const int tid = omp_get_thread_num();
+#pragma omp for schedule(dynamic, 64) nowait
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(batch.size()); ++i) {
+          const VertexId u = batch[static_cast<std::size_t>(i)];
+          // dist[u] may be improved concurrently by a same-batch neighbor; a
+          // stale read only produces larger candidates, which lose the min.
+          const W du = std::atomic_ref<const W>(dist[u]).load(std::memory_order_relaxed);
+          const auto nb = g.neighbors(u);
+          const auto wts = g.weights(u);
+          for (std::size_t e = 0; e < nb.size(); ++e) {
+            ++batch_attempts;
+            const W cand = dist_add(du, wts[e]);
+            if (atomic_relax(dist[nb[e]], cand)) queue.push(tid, nb[e], cand);
+          }
+        }
+      }
+      local_stats.relaxations += batch_attempts;
+    }
+    if (control != nullptr) control->add_progress();
+  }
+
+  local_stats.stale_skipped = queue.stats().stale_skipped;
+
+  // Flush point (once per run): mirror into an open obs collection window.
+  obs::count(obs::Counter::kEdgeRelaxations, local_stats.relaxations);
+  obs::count(obs::Counter::kSsspBatchPulls, local_stats.rounds);
+  obs::count(obs::Counter::kSsspStaleSkipped, local_stats.stale_skipped);
+  if (stats != nullptr) *stats = local_stats;
+  return dist;
+}
+
+}  // namespace detail
+
+/// rho-stepping from `source`. `rho` == 0 selects default_rho(g). Exact
+/// distances, same as dijkstra(). `control` (optional) is checked once per
+/// batch; on cancel/deadline the run stops early and the returned distances
+/// are tentative upper bounds — consult control->check() before trusting
+/// them as exact. `ws` (optional) is reused scratch for per-source sweeps.
+template <WeightType W>
+[[nodiscard]] std::vector<W> rho_stepping(const graph::Graph<W>& g, VertexId source,
+                                          std::size_t rho = 0,
+                                          SteppingStats* stats = nullptr,
+                                          const util::ExecutionControl* control = nullptr,
+                                          SteppingWorkspace<W>* ws = nullptr) {
+  if (rho == 0) rho = default_rho(g);
+  return detail::stepping_impl(g, source, rho, default_delta(g), stats, control, ws);
+}
+
+/// Delta*-stepping from `source`: whole-bucket batches of width `delta`
+/// (<= 0 selects default_delta(g)), no light/heavy split, lazy re-settlement.
+/// Same exactness and control contract as rho_stepping().
+template <WeightType W>
+[[nodiscard]] std::vector<W> delta_star_stepping(
+    const graph::Graph<W>& g, VertexId source, W delta = W{0},
+    SteppingStats* stats = nullptr, const util::ExecutionControl* control = nullptr,
+    SteppingWorkspace<W>* ws = nullptr) {
+  if (delta <= W{0}) delta = default_delta(g);
+  return detail::stepping_impl(g, source, /*rho=*/0, delta, stats, control, ws);
+}
+
+}  // namespace parapsp::sssp

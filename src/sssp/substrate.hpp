@@ -1,0 +1,264 @@
+// sssp::Substrate — the runtime-selectable parallel-SSSP substrate registry.
+//
+// Every per-source shortest-path engine the library implements, behind one
+// dispatch point, so the APSP sweep (apsp/sweep.hpp), the solver facade
+// (core::Runner::sssp(...), apsp_run --sssp), and peng_adaptive can swap the
+// inner algorithm without the callers changing. kAuto picks per graph from
+// cheap structural signals (measure_signals / choose_substrate below):
+// degree distribution via src/analysis/, the weight range, and a double-sweep
+// BFS diameter estimate — O(n + m) total, measured once per solve.
+//
+// The selection logic in one sentence: **row reuse wins whenever completed
+// rows prune future searches** (scale-free, low-diameter graphs — the
+// paper's setting), and **batch-parallel stepping wins when they don't**
+// (weighted, high-diameter, road/lattice-like graphs, given threads to feed).
+// choose_substrate encodes exactly that, deterministically, so the same
+// graph always gets the same substrate (tested in tests/test_stepping.cpp).
+//
+// Every substrate is registered in the src/check/ oracle catalog
+// (check::sssp_backends) and must produce distances bit-identical to
+// Dijkstra.
+#pragma once
+
+#include <omp.h>
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/degree_distribution.hpp"
+#include "graph/csr_graph.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "sssp/bfs.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/rho_stepping.hpp"
+#include "util/exec_control.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::sssp {
+
+/// The substrate catalog. kModifiedDijkstra is the paper's row-reuse kernel
+/// when run inside an APSP sweep; standalone (no completed rows to reuse) it
+/// degenerates to SPFA, which is what run_substrate executes for it.
+enum class Substrate : std::uint8_t {
+  kAuto,               ///< choose per graph from structural signals
+  kModifiedDijkstra,   ///< Peng's row-reuse kernel (the sweep default)
+  kDijkstra,           ///< binary-heap Dijkstra (sequential reference)
+  kBellmanFord,        ///< round-based Bellman-Ford (sequential)
+  kSpfa,               ///< queue-based label correcting (sequential)
+  kDeltaStepping,      ///< classic Meyer-Sanders delta-stepping (parallel)
+  kRhoStepping,        ///< Dong et al. rho-stepping (parallel, lazy-batched)
+  kDeltaStarStepping,  ///< Dong et al. Delta*-stepping (parallel, lazy-batched)
+};
+
+[[nodiscard]] constexpr const char* to_string(Substrate s) noexcept {
+  switch (s) {
+    case Substrate::kAuto: return "auto";
+    case Substrate::kModifiedDijkstra: return "modified-dijkstra";
+    case Substrate::kDijkstra: return "dijkstra";
+    case Substrate::kBellmanFord: return "bellman-ford";
+    case Substrate::kSpfa: return "spfa";
+    case Substrate::kDeltaStepping: return "delta-stepping";
+    case Substrate::kRhoStepping: return "rho-stepping";
+    case Substrate::kDeltaStarStepping: return "delta-star-stepping";
+  }
+  return "?";
+}
+
+/// Every selectable substrate, catalog order (kAuto first).
+[[nodiscard]] constexpr std::array<Substrate, 8> all_substrates() noexcept {
+  return {Substrate::kAuto,          Substrate::kModifiedDijkstra,
+          Substrate::kDijkstra,      Substrate::kBellmanFord,
+          Substrate::kSpfa,          Substrate::kDeltaStepping,
+          Substrate::kRhoStepping,   Substrate::kDeltaStarStepping};
+}
+
+/// By name ("rho-stepping", ...). Throws std::invalid_argument on an unknown
+/// name — core::Runner::sssp(name) defers that into a typed
+/// kInvalidArgument surfaced by Runner::validate().
+[[nodiscard]] inline Substrate substrate_from_string(const std::string& name) {
+  for (const Substrate s : all_substrates()) {
+    if (name == to_string(s)) return s;
+  }
+  throw std::invalid_argument("unknown SSSP substrate '" + name + "'");
+}
+
+/// True for substrates that parallelize *within* one source (OpenMP inside
+/// the SSSP run). The sweep runs these with a sequential source loop —
+/// intra-source parallelism — and everything else with the classic parallel
+/// source loop.
+[[nodiscard]] constexpr bool is_parallel_substrate(Substrate s) noexcept {
+  switch (s) {
+    case Substrate::kDeltaStepping:
+    case Substrate::kRhoStepping:
+    case Substrate::kDeltaStarStepping:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural signals + the picker
+// ---------------------------------------------------------------------------
+
+/// The cheap structural measurements kAuto decides from. All derivable in
+/// O(n + m): the degree distribution (src/analysis/), the edge-weight range,
+/// and a double-sweep BFS diameter estimate (exact on trees, a good lower
+/// bound elsewhere — enough to separate road-like from scale-free shapes).
+struct SubstrateSignals {
+  VertexId n = 0;
+  EdgeId m = 0;
+  double mean_degree = 0.0;
+  VertexId max_degree = 0;
+  double degree_skew = 0.0;        ///< max_degree / mean_degree (hubbiness)
+  bool unit_weights = true;        ///< every edge weight == 1
+  double weight_ratio = 1.0;       ///< max weight / min weight (finite, > 0)
+  VertexId diameter_estimate = 0;  ///< hops, BFS double sweep
+
+  /// High-diameter means BFS levels far exceed the ~log n of scale-free
+  /// graphs — the road/lattice/WS regime where row reuse prunes little.
+  [[nodiscard]] bool high_diameter() const noexcept {
+    double log2n = 0.0;
+    for (VertexId v = n; v > 1; v >>= 1) log2n += 1.0;
+    return static_cast<double>(diameter_estimate) > 4.0 * log2n + 8.0;
+  }
+};
+
+/// Measures the signals. Two BFS passes + one degree scan + one weight scan.
+template <WeightType W>
+[[nodiscard]] SubstrateSignals measure_signals(const graph::Graph<W>& g) {
+  SubstrateSignals sig;
+  sig.n = g.num_vertices();
+  sig.m = g.num_stored_edges();
+  if (sig.n == 0) return sig;
+
+  const auto degrees = g.degrees();
+  const auto dd = analysis::degree_distribution(degrees);
+  sig.mean_degree = dd.mean_degree;
+  sig.max_degree = dd.max_degree;
+  sig.degree_skew =
+      dd.mean_degree > 0.0 ? static_cast<double>(dd.max_degree) / dd.mean_degree : 0.0;
+
+  W min_w = infinity<W>();
+  W max_w = W{0};
+  sig.unit_weights = true;
+  for (const W w : g.edge_weights()) {
+    if (w != W{1}) sig.unit_weights = false;
+    if (w < min_w) min_w = w;
+    if (w > max_w) max_w = w;
+  }
+  if (g.num_stored_edges() > 0 && min_w > W{0} && !is_infinite(min_w)) {
+    sig.weight_ratio = static_cast<double>(max_w) / static_cast<double>(min_w);
+  }
+
+  // Double-sweep BFS: start at the max-degree vertex, hop to the farthest
+  // reachable vertex, measure again from there.
+  VertexId start = 0;
+  for (VertexId v = 0; v < sig.n; ++v) {
+    if (degrees[v] > degrees[start]) start = v;
+  }
+  auto farthest = [&](VertexId s) {
+    const auto hops = bfs_hops(g, s);
+    VertexId best_v = s, best_h = 0;
+    for (VertexId v = 0; v < sig.n; ++v) {
+      if (hops[v] != kInvalidVertex && hops[v] > best_h) {
+        best_h = hops[v];
+        best_v = v;
+      }
+    }
+    return std::pair{best_v, best_h};
+  };
+  const auto [far_v, h1] = farthest(start);
+  const auto [far2_v, h2] = farthest(far_v);
+  (void)far2_v;
+  sig.diameter_estimate = std::max(h1, h2);
+  return sig;
+}
+
+/// Where the substrate will run: one standalone SSSP call, or every source
+/// of an APSP sweep (where completed-row reuse is on the table).
+enum class SweepContext : std::uint8_t { kSingleSource, kFullSweep };
+
+/// The deterministic picker behind Substrate::kAuto.
+///
+/// Full sweep: modified Dijkstra's row reuse dominates on the scale-free,
+/// low-diameter graphs the paper targets (completed hub rows prune most of
+/// every later search), so it stays the default; only the regime where reuse
+/// demonstrably fades — high-diameter *weighted* graphs with threads to feed
+/// the batch parallelism — hands the sweep to rho-stepping (sequential
+/// source loop, parallel inside each source).
+///
+/// Single source: nothing to reuse, so it is stepping whenever threads are
+/// available (whole-bucket batches when unit weights make buckets exact BFS
+/// levels, rho-batches otherwise) and heap Dijkstra when sequential.
+[[nodiscard]] inline Substrate choose_substrate(const SubstrateSignals& sig, int threads,
+                                                SweepContext ctx) noexcept {
+  if (ctx == SweepContext::kFullSweep) {
+    if (threads > 1 && !sig.unit_weights && sig.high_diameter()) {
+      return Substrate::kRhoStepping;
+    }
+    return Substrate::kModifiedDijkstra;
+  }
+  if (threads <= 1) return Substrate::kDijkstra;
+  if (sig.unit_weights) return Substrate::kDeltaStarStepping;
+  return Substrate::kRhoStepping;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// Reusable scratch covering every substrate, grow-only. One instance per
+/// sweep thread, reused across sources.
+template <WeightType W>
+struct SubstrateWorkspace {
+  SteppingWorkspace<W> stepping;   ///< rho / Delta* (lazy bucket queue)
+  DeltaSteppingWorkspace delta;    ///< classic delta-stepping buckets
+};
+
+/// Runs one SSSP from `source` with the selected substrate and returns the
+/// distance vector. kAuto resolves per call with single-source context —
+/// sweeps should resolve once via choose_substrate and pass the resolved
+/// value. kModifiedDijkstra runs as SPFA here (standalone, no completed rows
+/// to reuse; the sweep handles the reuse path itself).
+///
+/// `stats` (optional) is filled by the stepping substrates only; others
+/// leave it untouched. `control` is honored by the substrates that support
+/// early stop (delta/rho/Delta*) — as everywhere, a stopped run returns
+/// tentative upper bounds.
+template <WeightType W>
+[[nodiscard]] std::vector<W> run_substrate(Substrate s, const graph::Graph<W>& g,
+                                           VertexId source,
+                                           SubstrateWorkspace<W>* ws = nullptr,
+                                           SteppingStats* stats = nullptr,
+                                           const util::ExecutionControl* control = nullptr) {
+  switch (s) {
+    case Substrate::kAuto:
+      return run_substrate(
+          choose_substrate(measure_signals(g), omp_get_max_threads(),
+                           SweepContext::kSingleSource),
+          g, source, ws, stats, control);
+    case Substrate::kModifiedDijkstra:
+    case Substrate::kSpfa:
+      return spfa(g, source);
+    case Substrate::kDijkstra:
+      return dijkstra(g, source);
+    case Substrate::kBellmanFord:
+      return bellman_ford(g, source);
+    case Substrate::kDeltaStepping:
+      return delta_stepping(g, source, W{0}, nullptr, control,
+                            ws != nullptr ? &ws->delta : nullptr);
+    case Substrate::kRhoStepping:
+      return rho_stepping(g, source, 0, stats, control,
+                          ws != nullptr ? &ws->stepping : nullptr);
+    case Substrate::kDeltaStarStepping:
+      return delta_star_stepping(g, source, W{0}, stats, control,
+                                 ws != nullptr ? &ws->stepping : nullptr);
+  }
+  throw std::invalid_argument("run_substrate: unknown substrate value " +
+                              std::to_string(static_cast<unsigned>(s)));
+}
+
+}  // namespace parapsp::sssp

@@ -86,12 +86,12 @@ TEST(Oracle, PerturbNeverTouchesDiagonalAndAlwaysChanges) {
 // ---------- backend registry ----------
 
 TEST(Backends, CatalogCoversEverySolverLayer) {
-  // 10 apsp algorithms + 7 orderings + 6 sssp substrates (dial is
-  // integral-only, so the float catalogs have one fewer).
-  EXPECT_EQ(check::all_backends<std::uint32_t>().size(), 23u);
-  EXPECT_EQ(check::all_backends<std::int32_t>().size(), 23u);
-  EXPECT_EQ(check::all_backends<float>().size(), 22u);
-  EXPECT_EQ(check::all_backends<double>().size(), 22u);
+  // 10 apsp algorithms + 7 orderings + 8 sssp substrates + 3 substrate
+  // sweeps (dial is integral-only, so the float catalogs have one fewer).
+  EXPECT_EQ(check::all_backends<std::uint32_t>().size(), 28u);
+  EXPECT_EQ(check::all_backends<std::int32_t>().size(), 28u);
+  EXPECT_EQ(check::all_backends<float>().size(), 27u);
+  EXPECT_EQ(check::all_backends<double>().size(), 27u);
 }
 
 TEST(Backends, FindByName) {

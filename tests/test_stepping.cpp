@@ -1,0 +1,418 @@
+// Tests for the stepping-substrate layer: the lazy-batched bucket queue,
+// rho-/Delta*-stepping exactness (differential vs Dijkstra through the
+// src/check/ oracle), the structural-signal substrate picker, and the
+// delta-stepping workspace-reuse refactor (proven no-regression via
+// relaxation counters).
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "apsp/parallel.hpp"
+#include "apsp/peng_adaptive.hpp"
+#include "check/fuzz.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/lazy_bucket_queue.hpp"
+#include "sssp/rho_stepping.hpp"
+#include "sssp/substrate.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+// ---------- LazyBucketQueue ----------
+
+TEST(LazyBucketQueue, BatchedPullReturnsClosestAcrossBuckets) {
+  sssp::LazyBucketQueue<std::uint32_t> q;
+  q.reset(/*n=*/10, /*delta=*/1, /*num_threads=*/1);
+  std::vector<std::uint32_t> dist(10, infinity<std::uint32_t>());
+  const std::pair<VertexId, std::uint32_t> entries[] = {
+      {0, 5}, {1, 1}, {2, 3}, {3, 2}, {4, 9}};
+  for (const auto& [v, d] : entries) {
+    dist[v] = d;
+    q.push(v, d);
+  }
+  q.flush_buffers();
+
+  std::vector<VertexId> batch;
+  ASSERT_EQ(q.pull_batch(3, dist.data(), batch), 3u);
+  EXPECT_EQ(std::set<VertexId>(batch.begin(), batch.end()),
+            (std::set<VertexId>{1, 3, 2}));  // d = 1, 2, 3
+
+  ASSERT_EQ(q.pull_batch(3, dist.data(), batch), 2u);
+  EXPECT_EQ(std::set<VertexId>(batch.begin(), batch.end()),
+            (std::set<VertexId>{0, 4}));  // d = 5, 9
+  EXPECT_EQ(q.pull_batch(3, dist.data(), batch), 0u);
+}
+
+TEST(LazyBucketQueue, StraddlingBucketSplitsAtRho) {
+  // All entries land in one bucket; the nth_element split must still hand
+  // out exactly the rho smallest.
+  sssp::LazyBucketQueue<std::uint32_t> q;
+  q.reset(10, /*delta=*/100, 1);
+  std::vector<std::uint32_t> dist(10, infinity<std::uint32_t>());
+  const std::pair<VertexId, std::uint32_t> entries[] = {
+      {0, 5}, {1, 1}, {2, 9}, {3, 3}, {4, 7}};
+  for (const auto& [v, d] : entries) {
+    dist[v] = d;
+    q.push(v, d);
+  }
+  q.flush_buffers();
+
+  std::vector<VertexId> batch;
+  ASSERT_EQ(q.pull_batch(2, dist.data(), batch), 2u);
+  EXPECT_EQ(std::set<VertexId>(batch.begin(), batch.end()),
+            (std::set<VertexId>{1, 3}));  // d = 1, 3
+  ASSERT_EQ(q.pull_batch(10, dist.data(), batch), 3u);
+  EXPECT_EQ(std::set<VertexId>(batch.begin(), batch.end()),
+            (std::set<VertexId>{0, 4, 2}));  // d = 5, 7, 9
+}
+
+TEST(LazyBucketQueue, LazyDeletionDropsStaleEntries) {
+  // A decreased key leaves its old entry behind; revalidation against the
+  // caller's dist[] must drop it (and count it).
+  sssp::LazyBucketQueue<std::uint32_t> q;
+  q.reset(4, /*delta=*/1, 1);
+  std::vector<std::uint32_t> dist(4, infinity<std::uint32_t>());
+  q.push(2, 7);  // stale: dist[2] improves to 3 below
+  q.push(2, 3);
+  dist[2] = 3;
+  q.flush_buffers();
+
+  std::vector<VertexId> batch;
+  ASSERT_EQ(q.pull_batch(0, dist.data(), batch), 1u);
+  EXPECT_EQ(batch[0], 2u);
+  EXPECT_EQ(q.pull_batch(0, dist.data(), batch), 0u);
+  EXPECT_EQ(q.stats().stale_skipped, 1u);
+}
+
+TEST(LazyBucketQueue, DuplicateEntriesSettleOnce) {
+  // Racing threads can insert the same (v, d) twice; the settled_at_ stamp
+  // makes the second one a no-op.
+  sssp::LazyBucketQueue<std::uint32_t> q;
+  q.reset(4, /*delta=*/1, 2);
+  std::vector<std::uint32_t> dist(4, infinity<std::uint32_t>());
+  dist[1] = 5;
+  q.push(0, 1, 5);
+  q.push(1, 1, 5);
+  q.flush_buffers();
+
+  std::vector<VertexId> batch;
+  EXPECT_EQ(q.pull_batch(8, dist.data(), batch), 1u);
+  EXPECT_EQ(batch[0], 1u);
+  EXPECT_EQ(q.stats().stale_skipped, 1u);
+}
+
+TEST(LazyBucketQueue, WholeBucketModePullsExactlyOneBucket) {
+  sssp::LazyBucketQueue<std::uint32_t> q;
+  q.reset(8, /*delta=*/10, 1);
+  std::vector<std::uint32_t> dist(8, infinity<std::uint32_t>());
+  const std::pair<VertexId, std::uint32_t> entries[] = {
+      {0, 1}, {1, 4}, {2, 9}, {3, 12}, {4, 15}};
+  for (const auto& [v, d] : entries) {
+    dist[v] = d;
+    q.push(v, d);
+  }
+  q.flush_buffers();
+
+  std::vector<VertexId> batch;
+  ASSERT_EQ(q.pull_batch(0, dist.data(), batch), 3u);  // bucket [0, 10)
+  EXPECT_EQ(std::set<VertexId>(batch.begin(), batch.end()),
+            (std::set<VertexId>{0, 1, 2}));
+  ASSERT_EQ(q.pull_batch(0, dist.data(), batch), 2u);  // bucket [10, 20)
+  EXPECT_EQ(std::set<VertexId>(batch.begin(), batch.end()),
+            (std::set<VertexId>{3, 4}));
+}
+
+TEST(LazyBucketQueue, DecreasedKeyReopensEarlierBucket) {
+  sssp::LazyBucketQueue<std::uint32_t> q;
+  q.reset(8, /*delta=*/10, 1);
+  std::vector<std::uint32_t> dist(8, infinity<std::uint32_t>());
+  dist[0] = 25;
+  q.push(0, 25);
+  q.flush_buffers();
+  std::vector<VertexId> batch;
+  ASSERT_EQ(q.pull_batch(0, dist.data(), batch), 1u);  // cursor is now past bucket 0
+
+  dist[1] = 3;  // a later improvement lands in bucket 0
+  q.push(1, 3);
+  q.flush_buffers();
+  ASSERT_EQ(q.pull_batch(0, dist.data(), batch), 1u);
+  EXPECT_EQ(batch[0], 1u);
+}
+
+TEST(LazyBucketQueue, ConcurrentPushesFromOwnedBuffers) {
+  // Per-thread buffers are lock-free by thread ownership: concurrent pushes
+  // with distinct tids must all surface after one flush. (This suite runs
+  // under TSan in CI; a racy buffer would trip it.)
+  constexpr int kThreads = 4;
+  constexpr VertexId kN = 400;
+  sssp::LazyBucketQueue<std::uint32_t> q;
+  q.reset(kN, /*delta=*/5, kThreads);
+  std::vector<std::uint32_t> dist(kN);
+
+#pragma omp parallel num_threads(kThreads)
+  {
+    const int tid = omp_get_thread_num();
+#pragma omp for schedule(static)
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(kN); ++v) {
+      const auto d = static_cast<std::uint32_t>((v * 7) % 97);
+      dist[static_cast<std::size_t>(v)] = d;
+      q.push(tid, static_cast<VertexId>(v), d);
+    }
+  }
+  q.flush_buffers();
+  EXPECT_EQ(q.stats().pushes, kN);
+
+  std::set<VertexId> seen;
+  std::vector<VertexId> batch;
+  while (q.pull_batch(64, dist.data(), batch) > 0) {
+    seen.insert(batch.begin(), batch.end());
+  }
+  EXPECT_EQ(seen.size(), kN);
+}
+
+// ---------- stepping exactness: differential vs Dijkstra via the oracle ----
+
+template <WeightType W>
+void expect_stepping_matches_reference(const char* weight_name) {
+  const auto reference = check::reference_backend<W>();
+  const char* names[] = {"sssp:rho-stepping", "sssp:delta-star-stepping"};
+  auto specs = check::fuzz_specs(48);
+  for (std::size_t si = 0; si < specs.size(); ++si) {
+    auto spec = specs[si];
+    spec.seed = 7 + si * 37;
+    const auto g = check::build_fuzz_graph<W>(spec);
+    const auto D_ref = reference.run(g);
+    for (const char* name : names) {
+      const auto backend = check::find_backend<W>(name);
+      ASSERT_TRUE(backend.has_value()) << name;
+      check::Provenance prov;
+      prov.backend_a = reference.name;
+      prov.backend_b = backend->name;
+      prov.graph_desc = spec.replay_flags(weight_name);
+      const auto D = backend->run(g);
+      const auto diff = check::diff_matrices(D_ref, D, prov);
+      ASSERT_TRUE(diff.has_value()) << diff.status().message();
+      EXPECT_FALSE(diff->has_value())
+          << name << " diverged: " << (**diff).to_string();
+    }
+  }
+}
+
+TEST(SteppingDifferential, MatchesDijkstraU32) {
+  expect_stepping_matches_reference<std::uint32_t>("u32");
+}
+TEST(SteppingDifferential, MatchesDijkstraI32) {
+  expect_stepping_matches_reference<std::int32_t>("i32");
+}
+TEST(SteppingDifferential, MatchesDijkstraF32) {
+  expect_stepping_matches_reference<float>("f32");
+}
+TEST(SteppingDifferential, MatchesDijkstraF64) {
+  expect_stepping_matches_reference<double>("f64");
+}
+
+TEST(Stepping, WorkspaceReuseAcrossSourcesStaysExact) {
+  const auto base = graph::barabasi_albert<std::uint32_t>(200, 3, 11);
+  const auto g = graph::randomize_weights<std::uint32_t>(base, 1, 20, 12);
+  sssp::SteppingWorkspace<std::uint32_t> ws;
+  for (const VertexId s : {VertexId{0}, VertexId{57}, VertexId{199}}) {
+    EXPECT_EQ(sssp::rho_stepping(g, s, 0, nullptr, nullptr, &ws), sssp::dijkstra(g, s));
+    EXPECT_EQ(sssp::delta_star_stepping(g, s, 0u, nullptr, nullptr, &ws),
+              sssp::dijkstra(g, s));
+  }
+}
+
+TEST(Stepping, SmallRhoStillExact) {
+  // rho = 1 degenerates to (lazy) Dijkstra order — the slowest but most
+  // work-efficient corner of the knob.
+  const auto base = graph::watts_strogatz<std::uint32_t>(120, 4, 0.1, 5);
+  const auto g = graph::randomize_weights<std::uint32_t>(base, 1, 9, 6);
+  EXPECT_EQ(sssp::rho_stepping(g, 0, /*rho=*/1), sssp::dijkstra(g, 0));
+}
+
+TEST(Stepping, CancelledControlStopsEarly) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(300, 3, 9);
+  util::ExecutionControl ctl;
+  ctl.request_cancel();
+  const auto dist = sssp::rho_stepping(g, 0, 0, nullptr, &ctl);
+  // Stopped before the first batch: only tentative values, but well-formed.
+  EXPECT_EQ(dist.size(), g.num_vertices());
+  EXPECT_EQ(dist[0], 0u);
+}
+
+// ---------- substrate registry + picker ----------
+
+TEST(Substrate, NameRoundTrip) {
+  for (const auto s : sssp::all_substrates()) {
+    EXPECT_EQ(sssp::substrate_from_string(sssp::to_string(s)), s);
+  }
+  EXPECT_THROW((void)sssp::substrate_from_string("bogus-stepping"),
+               std::invalid_argument);
+}
+
+TEST(Substrate, SignalsAreDeterministic) {
+  const auto base = graph::barabasi_albert<std::uint32_t>(500, 4, 3);
+  const auto g = graph::randomize_weights<std::uint32_t>(base, 1, 20, 4);
+  const auto a = sssp::measure_signals(g);
+  const auto b = sssp::measure_signals(g);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.m, b.m);
+  EXPECT_EQ(a.max_degree, b.max_degree);
+  EXPECT_EQ(a.diameter_estimate, b.diameter_estimate);
+  EXPECT_EQ(a.unit_weights, b.unit_weights);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sssp::choose_substrate(a, 8, sssp::SweepContext::kFullSweep),
+              sssp::choose_substrate(b, 8, sssp::SweepContext::kFullSweep));
+  }
+}
+
+TEST(Substrate, PickerFollowsTheRegimes) {
+  using sssp::Substrate;
+  using sssp::SweepContext;
+
+  // Scale-free low-diameter weighted: row reuse wins the sweep.
+  const auto ba = graph::randomize_weights<std::uint32_t>(
+      graph::barabasi_albert<std::uint32_t>(2000, 4, 3), 1, 20, 4);
+  const auto ba_sig = sssp::measure_signals(ba);
+  EXPECT_FALSE(ba_sig.high_diameter());
+  EXPECT_EQ(sssp::choose_substrate(ba_sig, 8, SweepContext::kFullSweep),
+            Substrate::kModifiedDijkstra);
+
+  // High-diameter weighted (path): rho-stepping takes the sweep — given
+  // threads to feed.
+  const auto path = graph::randomize_weights<std::uint32_t>(
+      graph::path_graph<std::uint32_t>(2000), 1, 20, 5);
+  const auto path_sig = sssp::measure_signals(path);
+  EXPECT_TRUE(path_sig.high_diameter());
+  EXPECT_EQ(sssp::choose_substrate(path_sig, 8, SweepContext::kFullSweep),
+            Substrate::kRhoStepping);
+  EXPECT_EQ(sssp::choose_substrate(path_sig, 1, SweepContext::kFullSweep),
+            Substrate::kModifiedDijkstra);
+
+  // Single source: no rows to reuse — stepping when parallel, heap when not.
+  EXPECT_EQ(sssp::choose_substrate(path_sig, 1, SweepContext::kSingleSource),
+            Substrate::kDijkstra);
+  EXPECT_EQ(sssp::choose_substrate(path_sig, 8, SweepContext::kSingleSource),
+            Substrate::kRhoStepping);
+  auto unit_sig = path_sig;
+  unit_sig.unit_weights = true;
+  EXPECT_EQ(sssp::choose_substrate(unit_sig, 8, SweepContext::kSingleSource),
+            Substrate::kDeltaStarStepping);
+}
+
+// ---------- solver / runner integration ----------
+
+TEST(SubstrateSolve, SweepMatchesReuseKernel) {
+  const auto g = graph::randomize_weights<std::uint32_t>(
+      graph::barabasi_albert<std::uint32_t>(150, 3, 21), 1, 20, 22);
+  const auto expected = apsp::par_apsp(g).distances;
+  for (const auto sub : {sssp::Substrate::kRhoStepping,
+                         sssp::Substrate::kDeltaStarStepping,
+                         sssp::Substrate::kDeltaStepping, sssp::Substrate::kDijkstra}) {
+    core::SolverOptions opts;
+    opts.algorithm = core::Algorithm::kParApsp;
+    opts.substrate = sub;
+    const auto result = core::solve(g, opts);
+    EXPECT_TRUE(result.distances == expected) << sssp::to_string(sub);
+    EXPECT_EQ(result.substrate, sub);
+  }
+}
+
+TEST(SubstrateSolve, AutoResolvesAndIsRecorded) {
+  const auto g = graph::randomize_weights<std::uint32_t>(
+      graph::barabasi_albert<std::uint32_t>(120, 3, 31), 1, 20, 32);
+  core::SolverOptions opts;
+  opts.algorithm = core::Algorithm::kParApsp;  // substrate defaults to kAuto
+  const auto result = core::solve(g, opts);
+  EXPECT_NE(result.substrate, sssp::Substrate::kAuto);
+  EXPECT_TRUE(result.distances == apsp::par_apsp(g).distances);
+}
+
+TEST(SubstrateSolve, AdaptiveWithForcedSubstrateStaysExact) {
+  const auto g = graph::randomize_weights<std::uint32_t>(
+      graph::barabasi_albert<std::uint32_t>(120, 3, 41), 1, 20, 42);
+  apsp::AdaptiveOptions opts;
+  opts.substrate = sssp::Substrate::kRhoStepping;
+  const auto result = apsp::peng_adaptive(g, opts);
+  EXPECT_TRUE(result.distances == apsp::par_apsp(g).distances);
+  EXPECT_EQ(result.substrate, sssp::Substrate::kRhoStepping);
+}
+
+TEST(SubstrateRunner, UnknownNameIsTypedInvalidArgument) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(32, 2, 1);
+  core::Runner runner(g);
+  runner.sssp("not-a-substrate");
+  const auto st = runner.validate();
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("not-a-substrate"), std::string::npos);
+  const auto result = runner.run();
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(result.status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(SubstrateRunner, SubstrateOnNonSweepAlgorithmRejected) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(32, 2, 1);
+  core::Runner runner(g);
+  runner.algorithm(core::Algorithm::kFloydWarshall)
+      .sssp(sssp::Substrate::kRhoStepping);
+  EXPECT_EQ(runner.validate().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(SubstrateRunner, FluentSsspSetterRuns) {
+  const auto g = graph::randomize_weights<std::uint32_t>(
+      graph::barabasi_albert<std::uint32_t>(100, 3, 51), 1, 20, 52);
+  const auto result =
+      core::Runner(g).algorithm("parapsp").sssp("delta-star-stepping").run();
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  EXPECT_EQ(result->substrate, sssp::Substrate::kDeltaStarStepping);
+  EXPECT_TRUE(result->distances == apsp::par_apsp(g).distances);
+}
+
+// ---------- delta-stepping workspace reuse (satellite no-regression) -------
+
+TEST(DeltaWorkspace, ReuseChangesNeitherDistancesNorRelaxations) {
+  const auto g = graph::randomize_weights<std::uint32_t>(
+      graph::barabasi_albert<std::uint32_t>(150, 3, 61), 1, 20, 62);
+  sssp::DeltaSteppingWorkspace ws;
+  for (VertexId s = 0; s < 10; ++s) {
+    sssp::DeltaSteppingStats fresh_stats, reused_stats;
+    const auto fresh = sssp::delta_stepping(g, s, 0u, &fresh_stats);
+    const auto reused = sssp::delta_stepping(g, s, 0u, &reused_stats, nullptr, &ws);
+    EXPECT_EQ(fresh, reused) << "source " << s;
+    // The reuse is pure plumbing: identical relaxation work, bucket for
+    // bucket — this is the no-regression proof the refactor rests on.
+    EXPECT_EQ(fresh_stats.light_relaxations, reused_stats.light_relaxations);
+    EXPECT_EQ(fresh_stats.heavy_relaxations, reused_stats.heavy_relaxations);
+    EXPECT_EQ(fresh_stats.settlements, reused_stats.settlements);
+    EXPECT_EQ(fresh_stats.buckets_processed, reused_stats.buckets_processed);
+  }
+}
+
+TEST(DeltaWorkspace, HeavyRelaxationCounterUnchangedThroughObsRegistry) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs layer compiled out";
+  const auto g = graph::randomize_weights<std::uint32_t>(
+      graph::watts_strogatz<std::uint32_t>(200, 4, 0.2, 71), 1, 20, 72);
+
+  auto run_sweep = [&](sssp::DeltaSteppingWorkspace* ws) {
+    obs::Collection window(true);
+    for (VertexId s = 0; s < 16; ++s) {
+      (void)sssp::delta_stepping(g, s, 0u, nullptr, nullptr, ws);
+    }
+    return obs::Registry::global()
+        .totals()[static_cast<std::size_t>(obs::Counter::kHeavyEdgeRelaxations)];
+  };
+  const auto fresh_total = run_sweep(nullptr);
+  sssp::DeltaSteppingWorkspace ws;
+  const auto reused_total = run_sweep(&ws);
+  EXPECT_EQ(fresh_total, reused_total);
+  EXPECT_GT(fresh_total, 0u);
+}
+
+}  // namespace

@@ -21,6 +21,10 @@
 //   --gen MODEL     generate instead of load: ba | er | ws | rmat
 //   --n, --param, --edges, --scale, --beta, --seed   generator knobs
 //   --algorithm     solver algorithm (default parapsp; see --help output)
+//   --sssp NAME     SSSP substrate for the per-source sweep (default auto:
+//                   picked per graph from structural signals; see
+//                   --list-substrates for the catalog)
+//   --list-substrates  print the substrate catalog and exit
 //   --threads       OpenMP thread count (0 = ambient)
 //   --ratio         selection ratio for peng-optimized / paralg2
 //   --timeout-s S   stop the sweep after S seconds of wall clock
@@ -148,6 +152,12 @@ int main(int argc, char** argv) {
       dist::run_worker_loop<std::uint32_t>(fd, g);
       return 0;
     }
+    if (args.get_flag("list-substrates")) {
+      for (const auto s : sssp::all_substrates()) {
+        std::printf("%s\n", sssp::to_string(s));
+      }
+      return 0;
+    }
     if (args.has("help") || (args.get("graph").empty() && args.get("gen").empty())) {
       std::fprintf(
           stderr,
@@ -159,6 +169,7 @@ int main(int argc, char** argv) {
     }
 
     const std::string algorithm = args.get("algorithm", "parapsp");
+    const std::string substrate = args.get("sssp", "auto");
     const std::string checkpoint = args.get("checkpoint");
     const std::string resume = args.get("resume");
     const std::string out = args.get("out");
@@ -239,6 +250,7 @@ int main(int argc, char** argv) {
 
     core::Runner runner(g);
     runner.algorithm(algorithm)
+        .sssp(substrate)
         .threads(threads)
         .selection_ratio(ratio)
         .collect_metrics(collect);
@@ -281,10 +293,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     const auto& result = *solved;
-    std::printf("algorithm=%s ordering=%.3fs sweep=%.3fs rows=%u/%u\n",
-                to_string(runner.options().algorithm), result.ordering_seconds,
-                result.sweep_seconds, result.num_completed_rows(),
-                g.num_vertices());
+    std::printf("algorithm=%s", to_string(runner.options().algorithm));
+    if (core::is_sweep_algorithm(runner.options().algorithm) ||
+        runner.options().algorithm == core::Algorithm::kPengAdaptive) {
+      std::printf(" sssp=%s", sssp::to_string(result.substrate));
+    }
+    std::printf(" ordering=%.3fs sweep=%.3fs rows=%u/%u\n", result.ordering_seconds,
+                result.sweep_seconds, result.num_completed_rows(), g.num_vertices());
 
     if (!trace_path.empty()) {
       obs::TraceRecorder::global().set_enabled(false);
