@@ -92,6 +92,15 @@ int main(int argc, char** argv) {
               });
     }
 
+    // Adaptive rho: the stale-fraction feedback controller against the fixed
+    // sweep above — same columns, so the JSONL separates "best fixed rho"
+    // from "what the controller converged to" per graph shape.
+    measure("rho-stepping", "rho=adaptive",
+            [&](VertexId s, sssp::SteppingStats* st,
+                sssp::SteppingWorkspace<std::uint32_t>* w) {
+              return sssp::rho_stepping_adaptive(g, s, {}, st, nullptr, w);
+            });
+
     const std::uint32_t base_delta = sssp::default_delta(g);
     const double multipliers[] = {0.25, 1.0, 4.0};
     for (const double mult : multipliers) {

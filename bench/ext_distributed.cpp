@@ -5,9 +5,19 @@
 //   * total + critical-path work (edge relaxations),
 //   * communication volume (messages / MiB),
 //   * supersteps (latency proxy).
+//
+// The final section leaves the simulator: it runs the *real* fork-mode
+// supervised BSP (src/dist/supervisor.hpp) in three configurations —
+// in-memory merge, --stream-merge, and --stream-merge with the RowPublish
+// hub broadcast — and emits BENCH_dist_stream.json (bytes moved, prefetch
+// overlap efficiency, rows broadcast, cross-worker reuse hit rate) for CI
+// artifact tracking.
 #include "bench_common.hpp"
 
+#include <filesystem>
+
 #include "dist/dist_apsp.hpp"
+#include "dist/supervisor.hpp"
 
 int main(int argc, char** argv) {
   using namespace parapsp;
@@ -69,6 +79,114 @@ int main(int argc, char** argv) {
     }
     t.emit("partition scheme load balance",
            cfg.csv_path("ext_distributed_partition.csv"));
+  }
+
+  // --- real fork-mode streaming merge + hub broadcast ---
+  //
+  // Three supervised runs per graph: the in-memory merge baseline, the
+  // out-of-core streaming merge, and streaming with the RowPublish hub
+  // broadcast. The JSONL captures the streaming pipeline's health (bytes
+  // moved, prefetch overlap) and the cross-worker reuse win (reuse_hits > 0
+  // means a worker pruned a Dijkstra run with a row another process
+  // computed, visible as fewer edge relaxations than broadcast-off).
+  {
+    bench::JsonlWriter jsonl("BENCH_dist_stream.json");
+    util::Table t({"graph", "mode", "seconds", "MiB_moved", "stream_MiB",
+                   "overlap_eff", "rows_bcast", "rows_applied", "reuse_hits",
+                   "edge_relax"});
+
+    struct StreamShape {
+      const char* label;
+      graph::Graph<std::uint32_t> g;
+    };
+    const VertexId sn = cfg.scaled(1200);
+    VertexId sscale = 1;
+    while ((VertexId{1} << sscale) < sn) ++sscale;
+    const StreamShape stream_shapes[] = {
+        {"rmat-weighted",
+         graph::randomize_weights<std::uint32_t>(
+             graph::rmat<std::uint32_t>(sscale, static_cast<EdgeId>(8) * sn,
+                                        cfg.seed),
+             1, 20, cfg.seed + 1)},
+        {"ba", graph::barabasi_albert<std::uint32_t>(sn, 4, cfg.seed + 2)},
+    };
+
+    const auto tmp = std::filesystem::temp_directory_path() / "parapsp_bench_stream";
+    struct Mode {
+      const char* label;
+      bool stream;
+      int broadcast;
+    };
+    const Mode modes[] = {{"inmem", false, 0},
+                          {"stream", true, 0},
+                          {"stream+bcast", true, 192}};
+
+    for (const auto& shape : stream_shapes) {
+      std::printf("%s: %s\n", shape.label, shape.g.summary().c_str());
+      for (const auto& mode : modes) {
+        dist::ProcOptions o;
+        o.ranks = 3;
+        o.shard_rows = 32;
+        o.shard_dir =
+            (tmp / (std::string(shape.label) + "_" + mode.label)).string();
+        o.stream_merge = mode.stream;
+        if (mode.stream) o.stream_path = o.shard_dir + "/merged.padm";
+        o.row_broadcast_budget = mode.broadcast;
+        const auto r = dist::supervise_apsp<std::uint32_t>(shape.g, o);
+        if (!r || !r->complete()) {
+          std::printf("  %s: FAILED (%s)\n", mode.label,
+                      r ? r->status.to_string().c_str()
+                        : r.status().to_string().c_str());
+          continue;
+        }
+        const double overlap_eff =
+            r->stream.prefetch_read_s > 0.0
+                ? std::max(0.0, 1.0 - r->stream.prefetch_stall_s /
+                                          r->stream.prefetch_read_s)
+                : 1.0;
+        const double hit_rate =
+            r->work.broadcast_rows_applied > 0
+                ? static_cast<double>(r->work.broadcast_row_reuses) /
+                      static_cast<double>(r->work.broadcast_rows_applied)
+                : 0.0;
+        t.add(shape.label, mode.label, util::fixed(r->elapsed_seconds, 3),
+              util::fixed(static_cast<double>(r->comm.bytes) / (1024.0 * 1024.0), 1),
+              util::fixed(static_cast<double>(r->stream.bytes_streamed) /
+                              (1024.0 * 1024.0),
+                          1),
+              util::fixed(overlap_eff, 3), r->stream.rows_broadcast,
+              r->work.broadcast_rows_applied, r->work.broadcast_row_reuses,
+              r->work.edge_relaxations);
+        bench::JsonLine line;
+        line.field("bench", "dist_stream")
+            .field("graph", shape.label)
+            .field("mode", mode.label)
+            .field("n", static_cast<std::int64_t>(shape.g.num_vertices()))
+            .field("ranks", std::int64_t{3})
+            .field("seconds", r->elapsed_seconds)
+            .field("bytes_moved", r->comm.bytes)
+            .field("stream_bytes", r->stream.bytes_streamed)
+            .field("prefetch_read_s", r->stream.prefetch_read_s)
+            .field("prefetch_stall_s", r->stream.prefetch_stall_s)
+            .field("prefetch_stalls", r->stream.prefetch_stalls)
+            .field("overlap_efficiency", overlap_eff)
+            .field("simd_checked_rows", r->stream.simd_checked_rows)
+            .field("rows_broadcast", r->stream.rows_broadcast)
+            .field("broadcast_bytes", r->stream.broadcast_bytes)
+            .field("rows_applied", r->work.broadcast_rows_applied)
+            .field("reuse_hits", r->work.broadcast_row_reuses)
+            .field("reuse_hit_rate", hit_rate)
+            .field("edge_relaxations", r->work.edge_relaxations)
+            .field("row_reuses", r->work.row_reuses)
+            .field("degraded", r->degraded);
+        jsonl.write(line);
+      }
+    }
+    t.emit("real streaming merge + hub broadcast (3 ranks, fork workers)",
+           cfg.csv_path("ext_distributed_stream.csv"));
+    jsonl.finish();
+    std::error_code ec;
+    std::filesystem::remove_all(tmp, ec);
   }
   return 0;
 }

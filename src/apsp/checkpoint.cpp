@@ -5,6 +5,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 
 #include "util/crc32.hpp"
 #include "util/failpoints.hpp"
@@ -29,10 +30,10 @@ using util::Status;
 
 }  // namespace
 
-Status write_checkpoint_file(const std::string& path, const CheckpointHeader& hdr,
-                             const std::vector<std::uint64_t>& bitmap,
-                             const std::byte* matrix, std::size_t row_bytes,
-                             std::size_t row_stride_bytes) {
+Status write_checkpoint_file_rows(const std::string& path, const CheckpointHeader& hdr,
+                                  const std::vector<std::uint64_t>& bitmap,
+                                  const std::function<const std::byte*(std::uint32_t)>& row_at,
+                                  std::size_t row_bytes) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -50,15 +51,13 @@ Status write_checkpoint_file(const std::string& path, const CheckpointHeader& hd
     crcs.reserve(hdr.completed_count);
     for (std::uint32_t s = 0; s < hdr.n; ++s) {
       if (!(bitmap[s / 64] & (std::uint64_t{1} << (s % 64)))) continue;
-      crcs.push_back(util::crc32(
-          matrix + static_cast<std::size_t>(s) * row_stride_bytes, row_bytes));
+      crcs.push_back(util::crc32(row_at(s), row_bytes));
     }
     out.write(reinterpret_cast<const char*>(crcs.data()),
               static_cast<std::streamsize>(crcs.size() * sizeof(std::uint32_t)));
     for (std::uint32_t s = 0; s < hdr.n; ++s) {
       if (!(bitmap[s / 64] & (std::uint64_t{1} << (s % 64)))) continue;
-      out.write(reinterpret_cast<const char*>(matrix +
-                                              static_cast<std::size_t>(s) * row_stride_bytes),
+      out.write(reinterpret_cast<const char*>(row_at(s)),
                 static_cast<std::streamsize>(row_bytes));
     }
     if (!out || PARAPSP_FAILPOINT("checkpoint_write_flush")) {
@@ -76,6 +75,18 @@ Status write_checkpoint_file(const std::string& path, const CheckpointHeader& hd
     return st;
   }
   return Status::ok();
+}
+
+Status write_checkpoint_file(const std::string& path, const CheckpointHeader& hdr,
+                             const std::vector<std::uint64_t>& bitmap,
+                             const std::byte* matrix, std::size_t row_bytes,
+                             std::size_t row_stride_bytes) {
+  return write_checkpoint_file_rows(
+      path, hdr, bitmap,
+      [matrix, row_stride_bytes](std::uint32_t s) {
+        return matrix + static_cast<std::size_t>(s) * row_stride_bytes;
+      },
+      row_bytes);
 }
 
 Status read_checkpoint_file(const std::string& path, std::uint8_t expected_code,

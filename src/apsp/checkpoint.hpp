@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,14 @@ struct CheckpointHeader {
                                                  const std::byte* matrix,
                                                  std::size_t row_bytes,
                                                  std::size_t row_stride_bytes);
+/// Row-callback variant for non-contiguous storage (a worker's RowStore):
+/// `row_at(s)` returns the first of `row_bytes` bytes for each source set in
+/// `bitmap`. The flat-matrix overload above delegates to this.
+[[nodiscard]] util::Status write_checkpoint_file_rows(
+    const std::string& path, const CheckpointHeader& hdr,
+    const std::vector<std::uint64_t>& bitmap,
+    const std::function<const std::byte*(std::uint32_t)>& row_at,
+    std::size_t row_bytes);
 [[nodiscard]] util::Status read_checkpoint_file(const std::string& path,
                                                 std::uint8_t expected_code,
                                                 CheckpointHeader& hdr,
@@ -164,6 +173,36 @@ template <WeightType W>
   return detail::write_checkpoint_file(
       path, hdr, bitmap, reinterpret_cast<const std::byte*>(D.data()),
       static_cast<std::size_t>(n) * sizeof(W), D.stride() * sizeof(W));
+}
+
+/// save_checkpoint for row-granular storage (a dist worker's RowStore):
+/// `row_at(s)` must return the W* of each completed row. Same atomic
+/// tmp-then-rename protocol and v2 CRC stamping as the matrix overload.
+template <WeightType W>
+[[nodiscard]] util::Status save_checkpoint_rows(
+    const std::string& path, VertexId n, const std::vector<std::uint8_t>& completed,
+    std::uint64_t graph_fp, const std::function<const W*(VertexId)>& row_at) {
+  if (completed.size() != n) {
+    return {util::ErrorCode::kInvalidArgument,
+            "save_checkpoint_rows: bitmap size != n"};
+  }
+  detail::CheckpointHeader hdr;
+  hdr.weight_code = graph::detail::weight_code<W>();
+  hdr.n = n;
+  hdr.graph_fingerprint = graph_fp;
+  std::vector<std::uint64_t> bitmap((static_cast<std::size_t>(n) + 63) / 64, 0);
+  for (VertexId s = 0; s < n; ++s) {
+    if (completed[s]) {
+      bitmap[s / 64] |= (std::uint64_t{1} << (s % 64));
+      ++hdr.completed_count;
+    }
+  }
+  return detail::write_checkpoint_file_rows(
+      path, hdr, bitmap,
+      [&row_at](std::uint32_t s) {
+        return reinterpret_cast<const std::byte*>(row_at(s));
+      },
+      static_cast<std::size_t>(n) * sizeof(W));
 }
 
 /// Loads a checkpoint written with the same weight type. The caller should

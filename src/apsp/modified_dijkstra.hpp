@@ -65,6 +65,8 @@ struct KernelStats {
   std::uint64_t reuse_improvements = 0; ///< entries improved via reused rows
   std::uint64_t edge_relaxations = 0;
   std::uint64_t row_cells_scanned = 0;  ///< cells streamed by min-plus row passes
+  std::uint64_t foreign_row_reuses = 0; ///< reuses of rows computed elsewhere
+  std::uint64_t foreign_reuse_improvements = 0;  ///< entries improved by them
 
   KernelStats& operator+=(const KernelStats& o) noexcept {
     dequeues += o.dequeues;
@@ -73,6 +75,8 @@ struct KernelStats {
     reuse_improvements += o.reuse_improvements;
     edge_relaxations += o.edge_relaxations;
     row_cells_scanned += o.row_cells_scanned;
+    foreign_row_reuses += o.foreign_row_reuses;
+    foreign_reuse_improvements += o.foreign_reuse_improvements;
     return *this;
   }
 };
@@ -93,12 +97,24 @@ struct KernelStats {
 /// v == source. Successor maintenance composes with row reuse because the
 /// first hop toward v through a completed row t equals the first hop toward
 /// t — an own-row lookup, no cross-thread reads (see paths.hpp).
-template <WeightType W>
+///
+/// `Matrix` is any row storage exposing the DistanceMatrix surface the loop
+/// touches (row / row_padded / stride) — the dense DistanceMatrix, or the
+/// sparse RowStore a dist worker keeps so its footprint stays proportional
+/// to the rows it actually holds (see row_store.hpp). With RowStore, every
+/// published flag must correspond to a resident row.
+///
+/// `foreign_rows`, when non-null (sized n), marks sources whose rows came
+/// from outside this process (RowPublish frames from the dist supervisor);
+/// reuses of those rows are tallied separately so the cross-worker sharing
+/// win is measurable.
+template <WeightType W, typename Matrix = DistanceMatrix<W>>
 KernelStats modified_dijkstra(const graph::Graph<W>& g, VertexId source,
-                              DistanceMatrix<W>& D, FlagArray& flags,
+                              Matrix& D, FlagArray& flags,
                               DijkstraWorkspace& ws,
                               std::vector<std::uint64_t>* reuse_credit = nullptr,
-                              std::span<VertexId> succ_row = {}) {
+                              std::span<VertexId> succ_row = {},
+                              const std::uint8_t* foreign_rows = nullptr) {
   KernelStats stats;
   const VertexId n = g.num_vertices();
   auto row_s = D.row(source);
@@ -135,6 +151,10 @@ KernelStats modified_dijkstra(const graph::Graph<W>& g, VertexId source,
       }
       stats.reuse_improvements += improvements;
       stats.row_cells_scanned += n;
+      if (foreign_rows && foreign_rows[t]) {
+        ++stats.foreign_row_reuses;
+        stats.foreign_reuse_improvements += improvements;
+      }
       if (reuse_credit) (*reuse_credit)[t] += improvements;
     } else {
       // Edge relaxation stays scalar: the CSR targets make it an indexed

@@ -1,0 +1,114 @@
+// Sparse row-granular distance storage for dist workers.
+//
+// A BSP worker computes a shard of ~shard_rows sources, but the modified
+// Dijkstra kernel still reads *whole rows* of whatever other sources have
+// completed (its reuse pass). The in-process sweeps back that with the
+// dense DistanceMatrix; a worker process that holds only its shard plus a
+// handful of RowPublish rows from the supervisor should not pay n x n RSS
+// for it — with --stream-merge the whole point is that no process holds the
+// full matrix. RowStore keeps one independently allocated, SIMD-padded row
+// per resident source and exposes the same surface the kernel streams
+// (row / row_padded / stride), so modified_dijkstra<W, RowStore<W>>
+// compiles unchanged.
+//
+// Contract mirroring DistanceMatrix: every resident row is 64-byte aligned,
+// padded to padded_stride(n), padding cells held at infinity. The caller
+// (worker loop) must ensure a row is resident before the kernel can observe
+// its completion flag — publish(s) only after try_ensure_row(s) + fill.
+//
+// Single-threaded by design: a worker process runs its kernel on one
+// thread (parallelism comes from ranks), so no locks.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "apsp/distance_matrix.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/failpoints.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::apsp {
+
+template <WeightType W>
+class RowStore {
+ public:
+  RowStore() = default;
+
+  /// Drops all rows and re-targets the store at an n-vertex graph.
+  void reset(VertexId n) {
+    n_ = n;
+    stride_ = DistanceMatrix<W>::padded_stride(n);
+    rows_.assign(n, util::AlignedBuffer<W>{});
+    resident_ = 0;
+  }
+
+  [[nodiscard]] VertexId size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+  [[nodiscard]] bool has_row(VertexId u) const noexcept {
+    return !rows_[u].empty();
+  }
+  [[nodiscard]] VertexId resident_rows() const noexcept { return resident_; }
+
+  /// Allocates row u (all-infinity, padding included) if absent. A typed
+  /// resource error — not bad_alloc — on exhaustion, so the worker can turn
+  /// it into a retryable ShardError. The `alloc_fail` failpoint injects the
+  /// failure, same as DistanceMatrix::try_create.
+  [[nodiscard]] util::Status try_ensure_row(VertexId u) {
+    if (!rows_[u].empty()) return util::Status::ok();
+    if (PARAPSP_FAILPOINT("alloc_fail")) {
+      return {util::ErrorCode::kResource,
+              "injected row allocation failure (failpoint alloc_fail)"};
+    }
+    try {
+      util::AlignedBuffer<W> buf(stride_);
+      W* p = buf.data();
+      for (std::size_t i = 0; i < stride_; ++i) p[i] = infinity<W>();
+      rows_[u] = std::move(buf);
+    } catch (const std::bad_alloc&) {
+      return {util::ErrorCode::kResource,
+              "row allocation failed for source " + std::to_string(u)};
+    }
+    ++resident_;
+    return util::Status::ok();
+  }
+
+  /// The logical row (n entries). Must be resident.
+  [[nodiscard]] std::span<W> row(VertexId u) noexcept {
+    assert(has_row(u) && "RowStore::row on a non-resident row");
+    return {rows_[u].data(), n_};
+  }
+  [[nodiscard]] std::span<const W> row(VertexId u) const noexcept {
+    assert(has_row(u) && "RowStore::row on a non-resident row");
+    return {rows_[u].data(), n_};
+  }
+
+  /// The full padded row (stride entries) for the SIMD kernels.
+  [[nodiscard]] std::span<W> row_padded(VertexId u) noexcept {
+    assert(has_row(u) && "RowStore::row_padded on a non-resident row");
+    return {rows_[u].data(), stride_};
+  }
+  [[nodiscard]] std::span<const W> row_padded(VertexId u) const noexcept {
+    assert(has_row(u) && "RowStore::row_padded on a non-resident row");
+    return {rows_[u].data(), stride_};
+  }
+
+  /// Resident-row storage bytes (padding included) — what a bounded-memory
+  /// worker actually occupies, printed by diagnostics and asserted by the
+  /// streaming RSS tests.
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return static_cast<std::size_t>(resident_) * stride_ * sizeof(W);
+  }
+
+ private:
+  VertexId n_ = 0;
+  std::size_t stride_ = 0;
+  VertexId resident_ = 0;
+  std::vector<util::AlignedBuffer<W>> rows_;  ///< empty buffer = absent row
+};
+
+}  // namespace parapsp::apsp

@@ -1,0 +1,228 @@
+#include "apsp/stream_io.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "apsp/checkpoint.hpp"
+#include "apsp/matrix_io.hpp"
+#include "util/crc32.hpp"
+#include "util/failpoints.hpp"
+
+namespace parapsp::apsp {
+
+namespace {
+
+using util::ErrorCode;
+using util::Status;
+
+/// Common tmp-file plumbing: open/seek/write/rename with typed errors.
+/// Subclasses own the layout (where row s and its metadata live).
+class FileRowStream : public RowStreamWriter {
+ public:
+  ~FileRowStream() override { FileRowStream::abort(); }
+
+  Status write_row(std::uint32_t source, const std::byte* row) override {
+    if (file_ == nullptr) {
+      return {ErrorCode::kInvalidArgument,
+              "stream '" + path_ + "': write_row after finalize/abort"};
+    }
+    if (source >= n_) {
+      return {ErrorCode::kInvalidArgument, "stream '" + path_ + "': source " +
+                                               std::to_string(source) +
+                                               " out of range (n=" + std::to_string(n_) + ")"};
+    }
+    if (written_[source]) {
+      return {ErrorCode::kInvalidArgument, "stream '" + path_ + "': row " +
+                                               std::to_string(source) +
+                                               " written twice"};
+    }
+    if (PARAPSP_FAILPOINT("stream_write")) {
+      return {ErrorCode::kIo,
+              "injected stream write failure (failpoint stream_write)"};
+    }
+    if (auto st = put_row(source, row); !st.is_ok()) return st;
+    written_[source] = 1;
+    ++rows_;
+    bytes_ += row_bytes_;
+    return Status::ok();
+  }
+
+  Status finalize() override {
+    if (file_ == nullptr) {
+      return {ErrorCode::kInvalidArgument,
+              "stream '" + path_ + "': finalize after finalize/abort"};
+    }
+    if (rows_ != n_) {
+      const Status st{ErrorCode::kFormat,
+                      "stream '" + path_ + "': only " + std::to_string(rows_) +
+                          " of " + std::to_string(n_) + " rows written"};
+      abort();
+      return st;
+    }
+    const bool flush_ok = std::fflush(file_) == 0 && std::ferror(file_) == 0;
+    if (!flush_ok) {
+      abort();
+      return {ErrorCode::kIo, "stream flush failed for '" + tmp_ + "'"};
+    }
+    std::fclose(file_);
+    file_ = nullptr;
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+      const Status st{ErrorCode::kIo, "cannot rename stream '" + tmp_ + "' to '" +
+                                          path_ + "': " + std::strerror(errno)};
+      std::remove(tmp_.c_str());
+      return st;
+    }
+    return Status::ok();
+  }
+
+  void abort() noexcept override {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+      std::remove(tmp_.c_str());
+    }
+  }
+
+  [[nodiscard]] std::uint32_t rows_written() const noexcept override { return rows_; }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept override { return bytes_; }
+
+ protected:
+  FileRowStream(std::string path, VertexId n, std::size_t row_bytes)
+      : path_(std::move(path)), tmp_(path_ + ".tmp"), n_(n), row_bytes_(row_bytes),
+        written_(n, 0) {}
+
+  /// Opens the tmp file; Status instead of a constructor throw so the
+  /// factory can return typed errors.
+  [[nodiscard]] Status open() {
+    file_ = std::fopen(tmp_.c_str(), "wb");
+    if (file_ == nullptr) {
+      return {ErrorCode::kIo,
+              "cannot write stream '" + tmp_ + "': " + std::strerror(errno)};
+    }
+    return Status::ok();
+  }
+
+  [[nodiscard]] Status write_at(std::uint64_t offset, const void* data,
+                                std::size_t bytes) {
+    if (fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0 ||
+        std::fwrite(data, 1, bytes, file_) != bytes) {
+      return {ErrorCode::kIo,
+              "stream write failed for '" + tmp_ + "': " + std::strerror(errno)};
+    }
+    return Status::ok();
+  }
+
+  /// Layout hook: land row `source` (row_bytes_ bytes) plus any per-row
+  /// metadata at their final offsets.
+  [[nodiscard]] virtual Status put_row(std::uint32_t source, const std::byte* row) = 0;
+
+  std::string path_;
+  std::string tmp_;
+  VertexId n_ = 0;
+  std::size_t row_bytes_ = 0;
+  std::FILE* file_ = nullptr;
+  std::uint32_t rows_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::vector<std::uint8_t> written_;  ///< duplicate-row guard
+};
+
+/// Dense .padm (matrix_io.hpp v1): header then row s at a fixed offset.
+class PadmRowStream final : public FileRowStream {
+ public:
+  PadmRowStream(std::string path, VertexId n, std::uint8_t weight_code,
+                std::size_t row_bytes)
+      : FileRowStream(std::move(path), n, row_bytes) {
+    hdr_.weight_code = weight_code;
+    hdr_.n = n;
+  }
+
+  [[nodiscard]] Status open_with_header() {
+    if (auto st = open(); !st.is_ok()) return st;
+    return write_at(0, &hdr_, sizeof hdr_);
+  }
+
+ private:
+  [[nodiscard]] Status put_row(std::uint32_t source, const std::byte* row) override {
+    const std::uint64_t off =
+        sizeof(detail::MatrixHeader) +
+        static_cast<std::uint64_t>(source) * row_bytes_;
+    return write_at(off, row, row_bytes_);
+  }
+
+  detail::MatrixHeader hdr_;
+};
+
+/// v2 .pack checkpoint with completed_count = n: the all-ones bitmap makes
+/// every CRC slot and row offset statically addressable, so each row and its
+/// CRC-32 land together in one write_row call and the finished file is
+/// indistinguishable from a save_checkpoint of the full matrix.
+class PackRowStream final : public FileRowStream {
+ public:
+  PackRowStream(std::string path, VertexId n, std::uint8_t weight_code,
+                std::size_t row_bytes, std::uint64_t graph_fp)
+      : FileRowStream(std::move(path), n, row_bytes) {
+    hdr_.weight_code = weight_code;
+    hdr_.n = n;
+    hdr_.graph_fingerprint = graph_fp;
+    hdr_.completed_count = n;
+    const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+    bitmap_.assign(words, ~std::uint64_t{0});
+    // Bits past n must be zero — the reader rejects them (checkpoint.cpp).
+    for (std::uint32_t s = n; s < words * 64; ++s) {
+      bitmap_[s / 64] &= ~(std::uint64_t{1} << (s % 64));
+    }
+    crc_base_ = sizeof(detail::CheckpointHeader) + words * sizeof(std::uint64_t);
+    rows_base_ = crc_base_ + static_cast<std::uint64_t>(n) * sizeof(std::uint32_t);
+  }
+
+  [[nodiscard]] Status open_with_header() {
+    if (auto st = open(); !st.is_ok()) return st;
+    if (auto st = write_at(0, &hdr_, sizeof hdr_); !st.is_ok()) return st;
+    return write_at(sizeof hdr_, bitmap_.data(),
+                    bitmap_.size() * sizeof(std::uint64_t));
+  }
+
+ private:
+  [[nodiscard]] Status put_row(std::uint32_t source, const std::byte* row) override {
+    const std::uint32_t crc = util::crc32(row, row_bytes_);
+    if (auto st = write_at(crc_base_ + static_cast<std::uint64_t>(source) * sizeof crc,
+                           &crc, sizeof crc);
+        !st.is_ok()) {
+      return st;
+    }
+    return write_at(rows_base_ + static_cast<std::uint64_t>(source) * row_bytes_, row,
+                    row_bytes_);
+  }
+
+  detail::CheckpointHeader hdr_;
+  std::vector<std::uint64_t> bitmap_;
+  std::uint64_t crc_base_ = 0;
+  std::uint64_t rows_base_ = 0;
+};
+
+[[nodiscard]] bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+util::Expected<std::unique_ptr<RowStreamWriter>> open_row_stream(
+    const std::string& path, VertexId n, std::uint8_t weight_code,
+    std::size_t row_bytes, std::uint64_t graph_fp) {
+  if (path.empty()) {
+    return Status{ErrorCode::kInvalidArgument, "open_row_stream: empty path"};
+  }
+  if (ends_with(path, ".pack")) {
+    auto w = std::make_unique<PackRowStream>(path, n, weight_code, row_bytes, graph_fp);
+    if (auto st = w->open_with_header(); !st.is_ok()) return st;
+    return std::unique_ptr<RowStreamWriter>(std::move(w));
+  }
+  auto w = std::make_unique<PadmRowStream>(path, n, weight_code, row_bytes);
+  if (auto st = w->open_with_header(); !st.is_ok()) return st;
+  return std::unique_ptr<RowStreamWriter>(std::move(w));
+}
+
+}  // namespace parapsp::apsp

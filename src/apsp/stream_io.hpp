@@ -1,0 +1,71 @@
+// Incremental row-stream writers: build a .padm matrix or a v2 .pack
+// checkpoint on disk one row at a time, in any arrival order, without ever
+// materializing the n x n matrix in memory.
+//
+// This is the out-of-core half of the dist supervisor's --stream-merge mode
+// (src/dist/supervisor.hpp): shards arrive CRC-validated from worker
+// processes and their rows go straight to their final file offsets. Both
+// formats make that possible because with *every* row present the layout is
+// statically addressable:
+//   .padm  — 16-byte MatrixHeader, then row s at header + s*row_bytes
+//            (matrix_io.hpp, version 1, dense, no padding on disk).
+//   .pack  — 32-byte CheckpointHeader with completed_count = n, an all-ones
+//            bitmap, then CRC slot s at a fixed offset and row s after the
+//            CRC section (checkpoint.hpp, version 2). The CRC is computed
+//            and written together with its row.
+//
+// Crash atomicity matches the checkpoint writer: everything goes to
+// "<path>.tmp"; finalize() renames into place only after all n rows landed
+// (a short stream is a typed kFormat error, the tmp file is removed). A
+// supervisor killed mid-stream leaves no half-written final artifact.
+//
+// The writers are byte-level and untemplated (row_bytes = n * sizeof(W));
+// the caller owns the weight-type choice via weight_code, mirroring
+// detail::write_checkpoint_file. The `stream_write` failpoint injects I/O
+// failure in write_row for fault testing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/expected.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::apsp {
+
+/// Destination-agnostic row sink. Rows may arrive in any order; each source
+/// must be written exactly once (a duplicate is kInvalidArgument). Exactly
+/// one of finalize() / abort() ends the stream; the destructor aborts an
+/// unfinished stream so a supervisor error path never leaks a tmp file.
+class RowStreamWriter {
+ public:
+  virtual ~RowStreamWriter() = default;
+
+  /// Writes the `row_bytes` bytes of row `source` at its final offset.
+  [[nodiscard]] virtual util::Status write_row(std::uint32_t source,
+                                               const std::byte* row) = 0;
+
+  /// Flushes and atomically renames the tmp file into place. Requires all n
+  /// rows written — a partial matrix is never published.
+  [[nodiscard]] virtual util::Status finalize() = 0;
+
+  /// Drops the stream: closes and removes the tmp file. Idempotent.
+  virtual void abort() noexcept = 0;
+
+  [[nodiscard]] virtual std::uint32_t rows_written() const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t bytes_written() const noexcept = 0;
+};
+
+/// Opens a stream writer for `path`: a ".pack" suffix selects the v2
+/// checkpoint layout (CRC-stamped rows, loadable with load_checkpoint),
+/// anything else the .padm dense matrix (loadable with load_matrix).
+/// `row_bytes` must equal n * sizeof(weight type of `weight_code`);
+/// `graph_fp` is stamped into checkpoint headers and ignored for .padm.
+[[nodiscard]] util::Expected<std::unique_ptr<RowStreamWriter>> open_row_stream(
+    const std::string& path, VertexId n, std::uint8_t weight_code,
+    std::size_t row_bytes, std::uint64_t graph_fp);
+
+}  // namespace parapsp::apsp

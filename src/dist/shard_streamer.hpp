@@ -1,0 +1,214 @@
+// Double-buffered shard prefetcher for the supervisor's streaming merge.
+//
+// In --stream-merge mode the supervisor never holds the n x n matrix; it
+// consumes acked shard files one at a time and forwards their rows to an
+// incremental RowStreamWriter (apsp/stream_io.hpp). Reading a shard is disk
+// work (open + CRC re-validation of every row block); consuming it is CPU
+// and socket work (tighten, broadcast, sink writes). ShardStreamer overlaps
+// the two: a single background thread reads and CRC-validates the *next*
+// acked shard while the supervision loop consumes the current one.
+//
+// Memory bound: at most one fully read shard parked in the ready slot plus
+// one in flight on the reader thread — ~2 shards of row data, never more,
+// regardless of how many acks queue up (paths are queued, not payloads).
+//
+// Fork-safety: the supervisor forks worker processes (proc_comm.hpp), and a
+// background thread mid-read could hold heap locks across that fork. Wrap
+// every spawn with pause_for_fork()/resume_after_fork(): pause parks the
+// reader inside a condition-variable wait (no locks held, no allocation in
+// progress) and *keeps the streamer mutex* until resume, so the reader
+// cannot wake — let alone allocate — while a fork is in flight.
+//
+// Failure stays typed: a shard that fails open/CRC surfaces through
+// StreamedShard::status and the supervision loop runs its normal
+// torn-shard retry ladder; the streamer itself never throws.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "apsp/checkpoint.hpp"
+#include "util/retry.hpp"
+#include "util/status.hpp"
+#include "util/timer.hpp"
+
+namespace parapsp::dist {
+
+/// One shard file, read and CRC-validated off-thread. `status` is kOk with
+/// hdr/bitmap/packed filled, or the typed read failure.
+struct StreamedShard {
+  std::size_t shard_index = 0;  ///< index into the supervisor's shard table
+  util::Status status;
+  apsp::detail::CheckpointHeader hdr;
+  std::vector<std::uint64_t> bitmap;
+  std::vector<std::byte> packed;  ///< completed rows, bitmap order
+};
+
+class ShardStreamer {
+ public:
+  struct Stats {
+    std::uint64_t shards_read = 0;
+    std::uint64_t bytes_read = 0;      ///< packed row bytes pulled off disk
+    std::uint64_t stalls = 0;          ///< collect waits with nothing ready
+    double read_s = 0.0;               ///< reader-thread time in disk reads
+    double stall_wait_s = 0.0;         ///< consumer time blocked on the reader
+  };
+
+  ShardStreamer(std::uint8_t weight_code, util::RetryPolicy read_retry)
+      : wcode_(weight_code), read_retry_(read_retry) {}
+
+  ShardStreamer(const ShardStreamer&) = delete;
+  ShardStreamer& operator=(const ShardStreamer&) = delete;
+
+  ~ShardStreamer() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    if (reader_.joinable()) reader_.join();
+  }
+
+  /// Queues an acked shard file for background read + CRC validation.
+  /// Cheap: only the path is queued; the reader thread (started on first
+  /// submit) pulls payloads one at a time.
+  void submit(std::size_t shard_index, std::string path) {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_.emplace_back(shard_index, std::move(path));
+    ++in_flight_;
+    if (!reader_.joinable()) {
+      reader_ = std::thread([this] { run(); });
+    }
+    cv_work_.notify_all();
+  }
+
+  /// Non-blocking: pops a validated shard if one is ready.
+  [[nodiscard]] bool try_collect(StreamedShard& out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (ready_.empty()) return false;
+    out = std::move(ready_.front());
+    ready_.pop_front();
+    --in_flight_;
+    cv_work_.notify_all();  // the ready slot freed up — keep reading
+    return true;
+  }
+
+  /// Blocks until a shard is ready or `timeout_s` passes; a wait with
+  /// nothing ready is a prefetch stall (the disk is the bottleneck) and is
+  /// accounted in stats().
+  [[nodiscard]] bool collect_blocking(StreamedShard& out, double timeout_s) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (ready_.empty()) {
+      ++stats_.stalls;
+      util::WallTimer stall;
+      cv_ready_.wait_for(lk, std::chrono::duration<double>(timeout_s),
+                         [&] { return !ready_.empty(); });
+      stats_.stall_wait_s += stall.seconds();
+    }
+    if (ready_.empty()) return false;
+    out = std::move(ready_.front());
+    ready_.pop_front();
+    --in_flight_;
+    cv_work_.notify_all();
+    return true;
+  }
+
+  /// Shards submitted but not yet collected (queued + reading + ready).
+  [[nodiscard]] std::size_t in_flight() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return in_flight_;
+  }
+
+  /// Parks the reader inside its condition wait and holds the streamer
+  /// mutex until resume_after_fork(), so a fork cannot race a heap-touching
+  /// reader. No-op (beyond the lock) when the reader was never started.
+  void pause_for_fork() {
+    std::unique_lock<std::mutex> lk(mu_);
+    paused_ = true;
+    cv_work_.notify_all();
+    if (reader_.joinable()) {
+      cv_parked_.wait(lk, [&] { return parked_; });
+    }
+    pause_lock_ = std::move(lk);  // hold until resume
+  }
+
+  void resume_after_fork() {
+    paused_ = false;
+    cv_work_.notify_all();
+    pause_lock_.unlock();
+    pause_lock_.release();
+  }
+
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+ private:
+  static constexpr std::size_t kReadyCap = 1;  ///< the double-buffer bound
+
+  void run() {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_work_.wait(lk, [&] {
+        const bool runnable =
+            stop_ || (!paused_ && !pending_.empty() && ready_.size() < kReadyCap);
+        if (!runnable && !parked_) {
+          parked_ = true;
+          cv_parked_.notify_all();
+        }
+        return runnable;
+      });
+      parked_ = false;
+      if (stop_) return;
+      auto [index, path] = std::move(pending_.front());
+      pending_.pop_front();
+      lk.unlock();
+
+      StreamedShard shard;
+      shard.shard_index = index;
+      util::WallTimer read_timer;
+      shard.status = util::retry_with_backoff(read_retry_, [&] {
+        shard.bitmap.clear();
+        shard.packed.clear();
+        return apsp::detail::read_checkpoint_file(path, wcode_, shard.hdr,
+                                                  shard.bitmap, shard.packed);
+      });
+      const double read_s = read_timer.seconds();
+      const std::uint64_t bytes = shard.packed.size();
+
+      lk.lock();
+      ++stats_.shards_read;
+      stats_.bytes_read += bytes;
+      stats_.read_s += read_s;
+      ready_.push_back(std::move(shard));
+      cv_ready_.notify_all();
+    }
+  }
+
+  const std::uint8_t wcode_;
+  const util::RetryPolicy read_retry_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;    ///< reader: work available / unpause
+  std::condition_variable cv_ready_;   ///< consumer: a shard became ready
+  std::condition_variable cv_parked_;  ///< pause_for_fork: reader quiesced
+  std::deque<std::pair<std::size_t, std::string>> pending_;
+  std::deque<StreamedShard> ready_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  bool paused_ = false;
+  bool parked_ = false;
+  std::unique_lock<std::mutex> pause_lock_;  ///< held between pause and resume
+  std::thread reader_;
+  Stats stats_;
+};
+
+}  // namespace parapsp::dist

@@ -22,13 +22,41 @@
 //     in-process and reports the degradation as a typed, observable
 //     kUnavailable fault — it never hangs and never delivers corrupt rows.
 //
-// The supervisor is single-threaded (poll-based), so it composes with TSan
-// and with fork()'s constraints; the parallelism lives in the worker fleet.
+// Two merge modes:
+//
+//   * In-memory (default): acked shards are validated and copied into a
+//     dense result matrix — the right call when the caller wants the matrix
+//     in RAM anyway.
+//   * Streaming (`ProcOptions::stream_merge`): the supervisor never
+//     allocates the n x n matrix. A ShardStreamer (shard_streamer.hpp)
+//     prefetches + CRC-validates the next acked shard on a background
+//     thread while the current one is consumed, and consumed rows go
+//     straight to their final offsets through a RowStreamWriter
+//     (apsp/stream_io.hpp) — peak supervisor RSS stays at ~2 shards plus
+//     control state. Streamed rows also pass a SIMD triangle-inequality
+//     tighten check (kernel::relax_row against a cached pivot row, integral
+//     weights): an exact row can never be improved by relaxing through
+//     another exact row, so any improvement marks the shard corrupt and it
+//     is recomputed, never written. The recovery contract is unchanged —
+//     the streamed file is bit-identical to the in-memory matrix.
+//
+// Cross-worker row reuse (`ProcOptions::row_broadcast_budget`): the first
+// `budget` rows in multilists order — the high-degree hubs whose rows prune
+// the most — are forwarded to the other live workers as RowPublish frames
+// when they complete, so one process's finished rows prune another
+// process's remaining Dijkstra runs. Reuse is an optimization, never a
+// correctness dependency: a lost or late broadcast row costs time, not
+// exactness.
+//
+// The supervision loop stays single-threaded and poll-based; the only
+// helper thread is the streamer's reader, which is parked (and the heap
+// quiesced) around every fork — see ShardStreamer::pause_for_fork.
 //
 // Determinism note: every completed row holds exact shortest-path distances
 // (the library's core invariant), so the merged matrix is bit-identical to
 // any other backend's for integral weights regardless of which worker
-// computed which row, how often leases bounced, or whether the run degraded.
+// computed which row, how often leases bounced, whether the run degraded,
+// or which broadcast rows arrived in time to be reused.
 #pragma once
 
 #include <algorithm>
@@ -36,20 +64,28 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "apsp/checkpoint.hpp"
 #include "apsp/distance_matrix.hpp"
 #include "apsp/flags.hpp"
 #include "apsp/modified_dijkstra.hpp"
+#include "apsp/stream_io.hpp"
 #include "dist/comm.hpp"
 #include "dist/proc_comm.hpp"
+#include "dist/shard_streamer.hpp"
 #include "dist/wire.hpp"
 #include "dist/worker.hpp"
 #include "graph/csr_graph.hpp"
+#include "kernel/relax_row.hpp"
 #include "obs/obs.hpp"
 #include "order/multilists.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/substrate.hpp"
+#include "util/aligned_buffer.hpp"
 #include "util/exec_control.hpp"
 #include "util/expected.hpp"
 #include "util/retry.hpp"
@@ -68,6 +104,30 @@ struct FaultStats {
   std::uint64_t torn_shards = 0;       ///< shard files rejected by CRC/format
   std::uint64_t degraded_shards = 0;   ///< shards computed in-process
   std::uint64_t harness_kills = 0;     ///< SIGKILLs injected by kill_after_acks
+};
+
+/// Streaming-merge + row-broadcast accounting for one supervised run.
+struct StreamStats {
+  bool enabled = false;
+  std::string path;                     ///< where the streamed artifact landed
+  std::uint64_t rows_streamed = 0;      ///< rows written through the sink
+  std::uint64_t bytes_streamed = 0;     ///< row payload bytes the sink wrote
+  std::uint64_t simd_checked_rows = 0;  ///< rows through the tighten check
+  std::uint64_t rows_broadcast = 0;     ///< completed rows forwarded to workers
+  std::uint64_t broadcast_bytes = 0;    ///< RowPublish payload bytes sent
+  std::uint64_t prefetch_stalls = 0;    ///< consumer waits with no shard ready
+  double prefetch_read_s = 0.0;         ///< reader-thread disk time
+  double prefetch_stall_s = 0.0;        ///< consumer time blocked on reads
+};
+
+/// Fleet-wide worker kernel counters, summed from ShardDone acks (both merge
+/// modes). broadcast_row_reuses > 0 is the cross-process reuse win showing
+/// up: a worker pruned a search with a row another process computed.
+struct WorkerWorkStats {
+  std::uint64_t edge_relaxations = 0;
+  std::uint64_t row_reuses = 0;
+  std::uint64_t broadcast_row_reuses = 0;
+  std::uint64_t broadcast_rows_applied = 0;
 };
 
 struct ProcOptions {
@@ -99,6 +159,25 @@ struct ProcOptions {
   /// run_worker_loop on the in-memory graph.
   std::vector<std::string> worker_exec_argv;
 
+  /// Streaming merge: never allocate the full matrix; write merged rows
+  /// incrementally to `stream_path` (".pack" -> v2 checkpoint, else .padm
+  /// matrix). The result's `distances` stays empty in this mode.
+  bool stream_merge = false;
+  std::string stream_path;
+
+  /// Forward the first `budget` completed rows (multilists order — the
+  /// hubs) to the other live workers as RowPublish frames. 0 = off.
+  int row_broadcast_budget = 0;
+
+  /// Per-source engine the workers run (delivered via the Arm frame).
+  /// kModifiedDijkstra (default) is the paper's row-reuse kernel; stepping
+  /// substrates compute rows independently. kAuto resolves to the default.
+  sssp::Substrate worker_substrate = sssp::Substrate::kModifiedDijkstra;
+
+  /// In-memory mode only: budget handed to DistanceMatrix::try_create
+  /// (0 = the PARAPSP_MATRIX_BUDGET_BYTES env default).
+  std::size_t matrix_budget_bytes = 0;
+
   /// Crash-recovery harness: failpoint spec delivered (kArm frame) to the
   /// first generation of workers only — respawned workers start clean.
   std::string inject_failpoints;
@@ -109,11 +188,16 @@ struct ProcOptions {
 
 template <WeightType W>
 struct ProcDistResult {
+  /// The merged matrix (in-memory mode). Empty with stream_merge — the
+  /// merged artifact is the file at stream.path instead.
   apsp::DistanceMatrix<W> distances;
   std::vector<std::uint8_t> completed;  ///< completed[s] != 0 ⇔ row s exact
   CommStats comm;                       ///< messages/bytes/supersteps moved
   FaultStats faults;
-  /// kOk, or kCancelled/kTimeout when ExecutionControl stopped the run.
+  StreamStats stream;
+  WorkerWorkStats work;
+  /// kOk, or kCancelled/kTimeout when ExecutionControl stopped the run, or
+  /// the sink failure that aborted a streaming merge.
   util::Status status;
   /// kOk, or a typed kUnavailable describing why the run degraded to
   /// (partial) single-process execution. Degradation still completes the
@@ -132,7 +216,12 @@ namespace detail {
 
 using Clock = std::chrono::steady_clock;
 
-enum class ShardState : std::uint8_t { kPending, kLeased, kDone };
+enum class ShardState : std::uint8_t {
+  kPending,
+  kLeased,
+  kValidating,  ///< acked; file handed to the streamer, not yet consumed
+  kDone,
+};
 
 struct Shard {
   std::uint64_t id = 0;
@@ -146,7 +235,7 @@ struct Shard {
 struct WorkerSlot {
   WorkerProc proc;
   bool alive = false;
-  bool armed = false;        ///< inject spec delivered to this incarnation
+  bool armed = false;        ///< arm payload delivered to this incarnation
   std::ptrdiff_t lease = -1; ///< shard index, -1 = idle
   Clock::time_point last_heard{};
   Clock::time_point deadline{};
@@ -157,9 +246,10 @@ struct WorkerSlot {
 
 /// Runs APSP as a supervised fleet of worker processes. Returns a typed
 /// Status for setup failures (bad options, unusable shard dir, matrix
-/// allocation); in-run faults never come back as errors — they are absorbed
-/// by retry/reassign/degrade and reported in the result's fault/statistics
-/// fields. Cancel/timeout return a partial result with `status` set.
+/// allocation, unopenable stream sink); in-run faults never come back as
+/// errors — they are absorbed by retry/reassign/degrade and reported in the
+/// result's fault/statistics fields. Cancel/timeout return a partial result
+/// with `status` set.
 template <WeightType W>
 [[nodiscard]] util::Expected<ProcDistResult<W>> supervise_apsp(
     const graph::Graph<W>& g, const ProcOptions& opts) {
@@ -181,6 +271,14 @@ template <WeightType W>
     return Status{ErrorCode::kInvalidArgument,
                   "supervise_apsp: shard_dir is required"};
   }
+  if (opts.stream_merge && opts.stream_path.empty()) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "supervise_apsp: stream_merge requires stream_path"};
+  }
+  if (opts.row_broadcast_budget < 0) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "supervise_apsp: row_broadcast_budget must be >= 0"};
+  }
   {
     std::error_code ec;
     std::filesystem::create_directories(opts.shard_dir, ec);
@@ -194,21 +292,35 @@ template <WeightType W>
   obs::ScopedSpan run_span("dist_supervise");
 
   const VertexId n = g.num_vertices();
+  const std::uint64_t fp = apsp::graph_fingerprint(g);
+  const std::uint8_t wcode = graph::detail::weight_code<W>();
+  const std::size_t row_bytes = static_cast<std::size_t>(n) * sizeof(W);
+
   ProcDistResult<W> result;
-  {
-    auto D = apsp::DistanceMatrix<W>::try_create(n);
+  result.stream.enabled = opts.stream_merge;
+  result.stream.path = opts.stream_path;
+
+  // Streaming mode replaces the dense result matrix with an incremental
+  // file sink; in-memory mode allocates up front (budget-checked).
+  std::unique_ptr<apsp::RowStreamWriter> sink;
+  if (opts.stream_merge) {
+    auto opened = apsp::open_row_stream(opts.stream_path, n, wcode, row_bytes, fp);
+    if (!opened) return opened.status();
+    sink = std::move(*opened);
+  } else {
+    auto D = apsp::DistanceMatrix<W>::try_create(n, infinity<W>(),
+                                                 opts.matrix_budget_bytes);
     if (!D) return D.status();
     result.distances = std::move(*D);
   }
   result.completed.assign(n, 0);
   if (n == 0) {
+    if (sink) {
+      if (auto st = sink->finalize(); !st.is_ok()) return st;
+    }
     result.elapsed_seconds = timer.seconds();
     return result;
   }
-
-  const std::uint64_t fp = apsp::graph_fingerprint(g);
-  const std::uint8_t wcode = graph::detail::weight_code<W>();
-  const std::size_t row_bytes = static_cast<std::size_t>(n) * sizeof(W);
 
   // Row-block shards along the degree order — the same positions-first
   // partitioning insight the simulated backend uses.
@@ -230,6 +342,16 @@ template <WeightType W>
   apsp::FlagArray merged(n);
   apsp::DijkstraWorkspace degrade_ws;
 
+  // Streaming state: background prefetcher + SIMD tighten-check scratch.
+  std::unique_ptr<ShardStreamer> streamer;
+  if (opts.stream_merge) {
+    streamer = std::make_unique<ShardStreamer>(wcode, opts.shard_read_retry);
+  }
+  const std::size_t stride = apsp::DistanceMatrix<W>::padded_stride(n);
+  util::AlignedBuffer<W> pivot_row;   ///< first streamed row, padded
+  VertexId pivot_src = kInvalidVertex;
+  util::AlignedBuffer<W> check_scratch;
+
   const util::Backoff backoff(opts.backoff);
   std::size_t done_count = 0;
   int restarts_used = 0;
@@ -247,18 +369,57 @@ template <WeightType W>
     }
   };
 
+  auto send_to_worker = [&workers, &result](std::size_t wi, wire::MsgType type,
+                                            const std::vector<std::uint8_t>& payload,
+                                            auto&& on_dead) -> bool {
+    WorkerSlot& w = workers[wi];
+    std::uint64_t sent = 0;
+    const auto st = send_frame(w.proc.fd, type, payload, &sent);
+    if (!st.is_ok()) {
+      on_dead(wi, Status{ErrorCode::kUnavailable,
+                         "worker send failed: " + st.message()});
+      return false;
+    }
+    ++result.comm.messages;
+    result.comm.bytes += sent;
+    obs::count(obs::Counter::kDistBytesMoved, sent);
+    return true;
+  };
+
   // In-process fallback for one shard — the bottom of the degradation
-  // ladder. Merged rows are published to `merged`, so the kernel still
-  // prunes through every row the fleet did deliver.
+  // ladder. In-memory mode runs the row-reuse kernel against everything
+  // merged so far; streaming mode computes each row with heap Dijkstra and
+  // hands it straight to the sink, so degradation never re-grows supervisor
+  // memory past the streaming bound. Both produce exact rows, so the output
+  // stays bit-identical.
   auto degrade_shard = [&](Shard& s, const Status& why) {
     obs::ScopedSpan span("dist_degrade");
     note_degraded(why);
     ++result.faults.degraded_shards;
-    degrade_ws.resize(n);
-    for (const VertexId src : s.sources) {
-      if (result.completed[src]) continue;
-      (void)apsp::modified_dijkstra(g, src, result.distances, merged, degrade_ws);
-      result.completed[src] = 1;
+    if (opts.stream_merge) {
+      for (const VertexId src : s.sources) {
+        if (result.completed[src]) continue;
+        const auto dvec = sssp::dijkstra(g, src);
+        const auto st =
+            sink->write_row(src, reinterpret_cast<const std::byte*>(dvec.data()));
+        if (!st.is_ok()) {
+          if (result.status.is_ok()) result.status = st;
+          aborted = true;
+          return;
+        }
+        ++result.stream.rows_streamed;
+        result.stream.bytes_streamed += row_bytes;
+        obs::count(obs::Counter::kDistStreamBytes, row_bytes);
+        result.completed[src] = 1;
+        merged.publish(src);
+      }
+    } else {
+      degrade_ws.resize(n);
+      for (const VertexId src : s.sources) {
+        if (result.completed[src]) continue;
+        (void)apsp::modified_dijkstra(g, src, result.distances, merged, degrade_ws);
+        result.completed[src] = 1;
+      }
     }
     s.state = ShardState::kDone;
     ++done_count;
@@ -283,12 +444,16 @@ template <WeightType W>
   };
 
   auto spawn_slot = [&](std::size_t wi, int generation) -> bool {
+    // The streamer's reader thread must be parked (no heap locks held)
+    // across the fork — see ShardStreamer::pause_for_fork.
+    if (streamer) streamer->pause_for_fork();
     auto spawned =
         opts.worker_exec_argv.empty()
             ? spawn_worker_fork(static_cast<int>(wi), generation,
                                 [&g](int fd) { run_worker_loop<W>(fd, g); })
             : spawn_worker_exec(static_cast<int>(wi), generation,
                                 opts.worker_exec_argv);
+    if (streamer) streamer->resume_after_fork();
     if (!spawned) return false;
     WorkerSlot& w = workers[wi];
     w.proc = *spawned;
@@ -324,17 +489,51 @@ template <WeightType W>
     }
   };
 
-  // Validates and merges an acked shard file; a failure is reported to the
-  // caller as a Status so the lease can be failed/retried, never merged.
-  auto merge_shard = [&](Shard& s) -> Status {
-    obs::ScopedSpan span("dist_merge", "io");
-    apsp::detail::CheckpointHeader hdr;
-    std::vector<std::uint64_t> bitmap;
-    std::vector<std::byte> packed;
-    const Status read_st = util::retry_with_backoff(opts.shard_read_retry, [&] {
-      return apsp::detail::read_checkpoint_file(s.path, wcode, hdr, bitmap, packed);
-    });
-    if (!read_st.is_ok()) return read_st;
+  auto send_or_bury = [&](std::size_t wi, wire::MsgType type,
+                          const std::vector<std::uint8_t>& payload) -> bool {
+    return send_to_worker(wi, type, payload,
+                          [&](std::size_t dead_wi, const Status& why) {
+                            worker_died(dead_wi, why);
+                          });
+  };
+
+  // Row j of shard s sits at global multilists position id*shard_rows + j;
+  // the first `budget` positions are the hubs worth shipping.
+  auto broadcast_eligible = [&](const Shard& s, std::size_t j) -> bool {
+    return opts.row_broadcast_budget > 0 &&
+           s.id * opts.shard_rows + j <
+               static_cast<std::size_t>(opts.row_broadcast_budget);
+  };
+
+  // Ships one completed row to every other live worker. `origin_wi` (or
+  // workers.size() for "unknown") is skipped — that worker already holds
+  // the row. Best-effort: a send failure runs the normal death path.
+  auto broadcast_row = [&](VertexId src, const W* row, std::size_t origin_wi) {
+    wire::RowPublishMsg msg;
+    msg.source = src;
+    msg.n = n;
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(row);
+    msg.row.assign(bytes, bytes + row_bytes);
+    const auto payload = wire::encode_row_publish(msg);
+    if (payload.size() > wire::kMaxPayload) return;  // row too large to frame
+    bool sent_any = false;
+    for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+      if (wi == origin_wi || !workers[wi].alive) continue;
+      if (send_or_bury(wi, wire::MsgType::kRowPublish, payload)) {
+        sent_any = true;
+        result.stream.broadcast_bytes += payload.size();
+      }
+    }
+    if (sent_any) {
+      ++result.stream.rows_broadcast;
+      obs::count(obs::Counter::kDistRowsBroadcast);
+    }
+  };
+
+  // Structural checks shared by both merge paths.
+  auto validate_shard_header = [&](const Shard& s,
+                                   const apsp::detail::CheckpointHeader& hdr,
+                                   const std::vector<std::uint64_t>& bitmap) -> Status {
     if (hdr.n != n || hdr.graph_fingerprint != fp) {
       return {ErrorCode::kFormat, "shard '" + s.path + "' belongs to another graph"};
     }
@@ -350,6 +549,22 @@ template <WeightType W>
                 "shard '" + s.path + "' is missing leased row " + std::to_string(src)};
       }
     }
+    return Status::ok();
+  };
+
+  // Validates and merges an acked shard file into the in-memory matrix; a
+  // failure is reported as a Status so the lease can be failed/retried,
+  // never merged. `origin_wi` lets the broadcast skip the computing worker.
+  auto merge_shard = [&](Shard& s, std::size_t origin_wi) -> Status {
+    obs::ScopedSpan span("dist_merge", "io");
+    apsp::detail::CheckpointHeader hdr;
+    std::vector<std::uint64_t> bitmap;
+    std::vector<std::byte> packed;
+    const Status read_st = util::retry_with_backoff(opts.shard_read_retry, [&] {
+      return apsp::detail::read_checkpoint_file(s.path, wcode, hdr, bitmap, packed);
+    });
+    if (!read_st.is_ok()) return read_st;
+    if (auto st = validate_shard_header(s, hdr, bitmap); !st.is_ok()) return st;
     // Rows are packed in ascending-source (bitmap) order.
     std::vector<VertexId> ascending = s.sources;
     std::sort(ascending.begin(), ascending.end());
@@ -362,23 +577,94 @@ template <WeightType W>
     }
     result.comm.bytes += packed.size();
     obs::count(obs::Counter::kDistBytesMoved, packed.size());
+    for (std::size_t j = 0; j < s.sources.size(); ++j) {
+      if (!broadcast_eligible(s, j)) continue;
+      broadcast_row(s.sources[j], result.distances.row(s.sources[j]).data(),
+                    origin_wi);
+    }
     return Status::ok();
   };
 
-  auto send_to_worker = [&](std::size_t wi, wire::MsgType type,
-                            const std::vector<std::uint8_t>& payload) -> bool {
-    WorkerSlot& w = workers[wi];
-    std::uint64_t sent = 0;
-    const auto st = send_frame(w.proc.fd, type, payload, &sent);
-    if (!st.is_ok()) {
-      worker_died(wi, Status{ErrorCode::kUnavailable,
-                             "worker send failed: " + st.message()});
-      return false;
+  // Streaming consume: a shard the background reader has already pulled off
+  // disk and CRC-validated. Pass 1 re-verifies semantics on the SIMD path
+  // (triangle inequality against the pivot row — kernel::relax_row can
+  // never improve an exact row through another exact row); pass 2 writes
+  // rows to the sink, so a rejected shard leaves the sink untouched and
+  // stays retryable.
+  auto consume_streamed = [&](StreamedShard&& sh) {
+    const auto si = static_cast<std::ptrdiff_t>(sh.shard_index);
+    Shard& s = shards[sh.shard_index];
+    if (s.state != ShardState::kValidating) return;
+    if (!sh.status.is_ok()) {
+      ++result.faults.torn_shards;
+      fail_shard(si, sh.status, /*permanent=*/false);
+      return;
     }
-    ++result.comm.messages;
-    result.comm.bytes += sent;
-    obs::count(obs::Counter::kDistBytesMoved, sent);
-    return true;
+    Status st = validate_shard_header(s, sh.hdr, sh.bitmap);
+    std::vector<VertexId> ascending = s.sources;
+    std::sort(ascending.begin(), ascending.end());
+    if constexpr (std::is_integral_v<W>) {
+      if (st.is_ok() && !ascending.empty()) {
+        obs::ScopedSpan span("dist_tighten", "simd");
+        if (check_scratch.size() != stride) {
+          check_scratch = util::AlignedBuffer<W>(stride);
+        }
+        if (pivot_row.empty()) {
+          // First streamed row anchors the check; hub rows stream first
+          // (multilists order), so the pivot reaches most of the graph.
+          pivot_row = util::AlignedBuffer<W>(stride);
+          std::memcpy(pivot_row.data(), sh.packed.data(), row_bytes);
+          std::fill(pivot_row.data() + n, pivot_row.data() + stride, infinity<W>());
+          pivot_src = ascending.front();
+        }
+        for (std::size_t i = 0; i < ascending.size() && st.is_ok(); ++i) {
+          const VertexId src = ascending[i];
+          if (src == pivot_src) continue;
+          const auto* row =
+              reinterpret_cast<const W*>(sh.packed.data() + i * row_bytes);
+          std::memcpy(check_scratch.data(), row, row_bytes);
+          std::fill(check_scratch.data() + n, check_scratch.data() + stride,
+                    infinity<W>());
+          const std::uint64_t improved = kernel::relax_row(
+              row[pivot_src], pivot_row.data(), check_scratch.data(), stride);
+          ++result.stream.simd_checked_rows;
+          if (improved != 0) {
+            st = {ErrorCode::kFormat,
+                  "shard '" + s.path + "' row " + std::to_string(src) +
+                      " violates the triangle inequality against row " +
+                      std::to_string(pivot_src) + " — corrupt, recomputing"};
+          }
+        }
+      }
+    }
+    if (!st.is_ok()) {
+      ++result.faults.torn_shards;
+      fail_shard(si, st, /*permanent=*/false);
+      return;
+    }
+    for (std::size_t i = 0; i < ascending.size(); ++i) {
+      const VertexId src = ascending[i];
+      const auto* row = sh.packed.data() + i * row_bytes;
+      if (const auto w_st = sink->write_row(src, row); !w_st.is_ok()) {
+        if (result.status.is_ok()) result.status = w_st;
+        aborted = true;
+        return;
+      }
+      ++result.stream.rows_streamed;
+      result.stream.bytes_streamed += row_bytes;
+      obs::count(obs::Counter::kDistStreamBytes, row_bytes);
+      result.completed[src] = 1;
+      merged.publish(src);
+      const auto jit = std::find(s.sources.begin(), s.sources.end(), src);
+      const auto j = static_cast<std::size_t>(jit - s.sources.begin());
+      if (broadcast_eligible(s, j)) {
+        broadcast_row(src, reinterpret_cast<const W*>(row), workers.size());
+      }
+    }
+    result.comm.bytes += sh.packed.size();
+    obs::count(obs::Counter::kDistBytesMoved, sh.packed.size());
+    s.state = ShardState::kDone;
+    ++done_count;
   };
 
   // --- initial fleet ---------------------------------------------------------
@@ -411,15 +697,27 @@ template <WeightType W>
         }
       }
       if (pick < 0) break;
-      if (!w.armed && w.proc.generation == 0 && !opts.inject_failpoints.empty()) {
-        std::vector<std::uint8_t> spec(opts.inject_failpoints.begin(),
-                                       opts.inject_failpoints.end());
-        if (!send_to_worker(wi, wire::MsgType::kArm, spec)) continue;
+      if (!w.armed) {
+        // One config frame per worker incarnation: the substrate choice for
+        // every generation, the failpoint spec for generation 0 only
+        // (respawned workers start clean — that's the recovery story).
+        std::string arm;
+        if (opts.worker_substrate != sssp::Substrate::kModifiedDijkstra &&
+            opts.worker_substrate != sssp::Substrate::kAuto) {
+          arm += "sssp=" + std::string(sssp::to_string(opts.worker_substrate)) + "\n";
+        }
+        if (w.proc.generation == 0 && !opts.inject_failpoints.empty()) {
+          arm += "failpoints=" + opts.inject_failpoints + "\n";
+        }
+        if (!arm.empty()) {
+          std::vector<std::uint8_t> spec(arm.begin(), arm.end());
+          if (!send_or_bury(wi, wire::MsgType::kArm, spec)) continue;
+        }
         w.armed = true;
       }
       Shard& s = shards[static_cast<std::size_t>(pick)];
       wire::LeaseMsg lease{s.id, s.sources, s.path};
-      if (!send_to_worker(wi, wire::MsgType::kLease, wire::encode_lease(lease))) {
+      if (!send_or_bury(wi, wire::MsgType::kLease, wire::encode_lease(lease))) {
         continue;  // worker_died already returned the shard to pending
       }
       s.state = ShardState::kLeased;
@@ -432,21 +730,32 @@ template <WeightType W>
     }
 
     // Bottom of the ladder: nobody alive, nobody respawnable — finish the
-    // remaining shards in-process rather than spinning forever.
+    // remaining shards in-process rather than spinning forever. Streaming:
+    // drain every in-flight prefetch first, so rows the fleet did deliver
+    // land through the normal consume path.
     const bool any_alive =
         std::any_of(workers.begin(), workers.end(),
                     [](const WorkerSlot& w) { return w.alive; });
     if (!any_alive) {
+      if (streamer) {
+        StreamedShard sh;
+        while (streamer->in_flight() > 0 && !aborted) {
+          if (streamer->collect_blocking(sh, 1.0)) consume_streamed(std::move(sh));
+        }
+      }
+      if (aborted) break;
       const Status why{ErrorCode::kUnavailable,
                        "no live workers and restart budget exhausted"};
       for (auto& s : shards) {
         if (s.state != ShardState::kDone) degrade_shard(s, why);
+        if (aborted) break;
       }
       break;
     }
 
     // Poll timeout: wake for the nearest lease deadline, heartbeat check, or
-    // shard backoff expiry — capped so control cancellation stays responsive.
+    // shard backoff expiry — capped so control cancellation stays responsive,
+    // and tighter still while a prefetched shard may be about to land.
     double timeout_s = 0.1;
     for (const auto& w : workers) {
       if (!w.alive || w.lease < 0) continue;
@@ -462,6 +771,9 @@ template <WeightType W>
         timeout_s = std::min(
             timeout_s, std::chrono::duration<double>(s.ready - now).count());
       }
+    }
+    if (streamer && streamer->in_flight() > 0) {
+      timeout_s = std::min(timeout_s, 0.005);
     }
     timeout_s = std::max(timeout_s, 0.0);
 
@@ -510,15 +822,26 @@ template <WeightType W>
                 shards[static_cast<std::size_t>(w.lease)].id != done->shard_id) {
               break;  // stale ack from a reclaimed lease — ignore
             }
+            result.work.edge_relaxations += done->edge_relaxations;
+            result.work.row_reuses += done->row_reuses;
+            result.work.broadcast_row_reuses += done->broadcast_reuses;
+            result.work.broadcast_rows_applied += done->broadcast_rows_applied;
             Shard& s = shards[static_cast<std::size_t>(w.lease)];
-            const auto merge_st = merge_shard(s);
-            if (merge_st.is_ok()) {
-              s.state = ShardState::kDone;
-              ++done_count;
+            if (opts.stream_merge) {
+              // Hand the file to the background reader; the supervision
+              // loop keeps leasing while the disk works.
+              s.state = ShardState::kValidating;
+              streamer->submit(static_cast<std::size_t>(w.lease), s.path);
             } else {
-              // Torn/corrupt shard: never merged, always recomputable.
-              ++result.faults.torn_shards;
-              fail_shard(w.lease, merge_st, /*permanent=*/false);
+              const auto merge_st = merge_shard(s, wi);
+              if (merge_st.is_ok()) {
+                s.state = ShardState::kDone;
+                ++done_count;
+              } else {
+                // Torn/corrupt shard: never merged, always recomputable.
+                ++result.faults.torn_shards;
+                fail_shard(w.lease, merge_st, /*permanent=*/false);
+              }
             }
             w.lease = -1;
             ++acks_seen;
@@ -550,10 +873,36 @@ template <WeightType W>
           default:
             break;
         }
-        if (!w.alive) break;
+        if (!w.alive || aborted) break;
       }
+      if (aborted) break;
       if (w.alive && eof) {
         worker_died(wi, Status{ErrorCode::kUnavailable, "worker process exited"});
+      }
+    }
+    if (aborted) break;
+
+    // Streaming: consume whatever the prefetcher finished while the loop
+    // was polling sockets — overlap is exactly this interleaving.
+    if (streamer) {
+      StreamedShard sh;
+      while (streamer->try_collect(sh)) {
+        consume_streamed(std::move(sh));
+        if (aborted) break;
+      }
+      if (aborted) break;
+      // Tail case: every remaining shard is acked and being read — the disk
+      // is the bottleneck. Block on the reader (an accounted prefetch
+      // stall) instead of spinning the poll loop.
+      const bool lease_work_left = std::any_of(
+          shards.begin(), shards.end(), [](const Shard& s) {
+            return s.state == ShardState::kPending || s.state == ShardState::kLeased;
+          });
+      if (!lease_work_left && streamer->in_flight() > 0) {
+        if (streamer->collect_blocking(sh, 0.05)) {
+          consume_streamed(std::move(sh));
+          if (aborted) break;
+        }
       }
     }
 
@@ -590,6 +939,24 @@ template <WeightType W>
   }
 
   if (!aborted) result.status = util::Status::ok();
+
+  if (streamer) {
+    const auto sstats = streamer->stats();
+    result.stream.prefetch_stalls = sstats.stalls;
+    result.stream.prefetch_read_s = sstats.read_s;
+    result.stream.prefetch_stall_s = sstats.stall_wait_s;
+    obs::count(obs::Counter::kDistPrefetchStalls, sstats.stalls);
+  }
+  if (sink) {
+    if (!aborted && result.complete()) {
+      if (auto st = sink->finalize(); !st.is_ok() && result.status.is_ok()) {
+        result.status = st;
+      }
+    } else {
+      // Cancelled / failed mid-stream: never publish a partial artifact.
+      sink->abort();
+    }
+  }
 
   // Stamp the directory with a small key=value MANIFEST describing what the
   // shards are for, so operators (and serving-side tooling) can identify a

@@ -36,6 +36,7 @@ enum class MsgType : std::uint8_t {
   kShardDone = 5,  ///< worker -> supervisor: shard persisted, ready to merge
   kShardError = 6, ///< worker -> supervisor: shard failed with a typed status
   kShutdown = 7,   ///< supervisor -> worker: clean exit
+  kRowPublish = 8, ///< supervisor -> worker: a completed row, install for reuse
 };
 
 [[nodiscard]] constexpr const char* to_string(MsgType t) noexcept {
@@ -47,6 +48,7 @@ enum class MsgType : std::uint8_t {
     case MsgType::kShardDone: return "shard_done";
     case MsgType::kShardError: return "shard_error";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kRowPublish: return "row_publish";
   }
   return "?";
 }
@@ -118,6 +120,13 @@ class PayloadReader {
     std::memcpy(out.data(), buf_->data() + pos_,
                 static_cast<std::size_t>(count) * sizeof(VertexId));
     pos_ += static_cast<std::size_t>(count) * sizeof(VertexId);
+    return util::Status::ok();
+  }
+  [[nodiscard]] util::Status blob(std::vector<std::uint8_t>& out, std::size_t len) {
+    if (pos_ + len > buf_->size()) return overrun();
+    out.assign(buf_->begin() + static_cast<std::ptrdiff_t>(pos_),
+               buf_->begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
     return util::Status::ok();
   }
   [[nodiscard]] bool exhausted() const noexcept { return pos_ == buf_->size(); }
@@ -252,13 +261,60 @@ struct HeartbeatMsg {
   return m;
 }
 
+/// One completed distance row, forwarded supervisor -> worker so the
+/// receiver's modified-Dijkstra reuse pass can prune against rows computed
+/// in *other* processes — the cross-process analog of the in-process row
+/// publication. The row travels as raw weight bytes (row_bytes = n *
+/// sizeof(W)); the receiver knows W and validates n against its graph. This
+/// is the one message class where bulk row data rides the socket: it is
+/// bounded by the supervisor's --row-broadcast-budget and each frame is CRC
+/// checked like any other, so a corrupt row dies at the decoder.
+struct RowPublishMsg {
+  std::uint32_t source = 0;
+  std::uint32_t n = 0;
+  std::vector<std::uint8_t> row;  ///< n * sizeof(W) raw weight bytes
+};
+
+[[nodiscard]] inline std::vector<std::uint8_t> encode_row_publish(const RowPublishMsg& m) {
+  PayloadWriter w;
+  w.u32(m.source);
+  w.u32(m.n);
+  w.u32(static_cast<std::uint32_t>(m.row.size()));
+  w.bytes(m.row.data(), m.row.size());
+  return w.take();
+}
+
+[[nodiscard]] inline util::Expected<RowPublishMsg> decode_row_publish(
+    const std::vector<std::uint8_t>& payload) {
+  PayloadReader r(payload);
+  RowPublishMsg m;
+  std::uint32_t row_len = 0;
+  if (auto st = r.u32(m.source); !st.is_ok()) return st;
+  if (auto st = r.u32(m.n); !st.is_ok()) return st;
+  if (auto st = r.u32(row_len); !st.is_ok()) return st;
+  if (auto st = r.blob(m.row, row_len); !st.is_ok()) return st;
+  return m;
+}
+
+/// The ack also carries the worker's kernel work counters for the lease, so
+/// the supervisor can aggregate fleet-wide work (and the cross-process
+/// row-reuse hit rate) without a second channel. Decoding tolerates a bare
+/// shard_id payload (stats stay zero) for mixed-version fleets.
 struct ShardDoneMsg {
   std::uint64_t shard_id = 0;
+  std::uint64_t edge_relaxations = 0;   ///< scalar relaxations this lease
+  std::uint64_t row_reuses = 0;         ///< completed-row prunes this lease
+  std::uint64_t broadcast_reuses = 0;   ///< prunes through rows from other workers
+  std::uint64_t broadcast_rows_applied = 0;  ///< RowPublish rows installed so far
 };
 
 [[nodiscard]] inline std::vector<std::uint8_t> encode_shard_done(const ShardDoneMsg& m) {
   PayloadWriter w;
   w.u64(m.shard_id);
+  w.u64(m.edge_relaxations);
+  w.u64(m.row_reuses);
+  w.u64(m.broadcast_reuses);
+  w.u64(m.broadcast_rows_applied);
   return w.take();
 }
 
@@ -267,6 +323,11 @@ struct ShardDoneMsg {
   PayloadReader r(payload);
   ShardDoneMsg m;
   if (auto st = r.u64(m.shard_id); !st.is_ok()) return st;
+  if (r.exhausted()) return m;  // stats-free ack from an older worker
+  if (auto st = r.u64(m.edge_relaxations); !st.is_ok()) return st;
+  if (auto st = r.u64(m.row_reuses); !st.is_ok()) return st;
+  if (auto st = r.u64(m.broadcast_reuses); !st.is_ok()) return st;
+  if (auto st = r.u64(m.broadcast_rows_applied); !st.is_ok()) return st;
   return m;
 }
 

@@ -4,15 +4,27 @@
 // lease/ack loop with the supervisor:
 //
 //   recv Lease{shard_id, sources, path}
-//     -> modified-Dijkstra each source into a worker-local matrix
-//        (heartbeat after every row — the supervisor's liveness signal)
+//     -> SSSP each source into a worker-local RowStore
+//        (heartbeat after every row — the supervisor's liveness signal;
+//         after each heartbeat, drain any RowPublish frames the supervisor
+//         pushed, so foreign rows start pruning mid-lease)
 //     -> persist the shard with the CRC-stamped checkpoint format
-//     -> send ShardDone (or a typed ShardError)
+//     -> send ShardDone carrying the lease's kernel work counters
+//        (or a typed ShardError)
 //
-// The worker keeps its local matrix and completion flags across leases, so
-// its own completed rows keep feeding the paper's row-reuse pruning, and a
-// re-leased source it already computed is served from the local row instead
-// of violating modified_dijkstra's all-infinity row precondition.
+// Storage is a RowStore (apsp/row_store.hpp), not a dense matrix: a worker
+// holds only the rows it computed plus the rows the supervisor broadcast to
+// it, so worker RSS scales with shard size + broadcast budget, never n x n —
+// the property the --stream-merge rlimit tests pin down. Rows persist
+// across leases, so completed rows keep feeding the paper's row-reuse
+// pruning, and a re-leased source the worker already computed is served
+// from the local row instead of violating modified_dijkstra's all-infinity
+// row precondition.
+//
+// The inner per-source engine is selectable: the default is the row-reuse
+// modified Dijkstra; an Arm frame can switch the worker to any
+// sssp::Substrate (rho-stepping etc.), in which case rows are computed
+// independently and row reuse is off — exactness is identical either way.
 //
 // Crash-recovery failpoints consulted here (armed via a kArm frame or the
 // PARAPSP_FAILPOINTS env of an exec'ed worker):
@@ -24,7 +36,9 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -32,12 +46,13 @@
 #include <vector>
 
 #include "apsp/checkpoint.hpp"
-#include "apsp/distance_matrix.hpp"
 #include "apsp/flags.hpp"
 #include "apsp/modified_dijkstra.hpp"
+#include "apsp/row_store.hpp"
 #include "dist/proc_comm.hpp"
 #include "dist/wire.hpp"
 #include "graph/csr_graph.hpp"
+#include "sssp/substrate.hpp"
 #include "util/failpoints.hpp"
 
 namespace parapsp::dist {
@@ -61,6 +76,30 @@ inline void corrupt_shard_tail(const std::string& path) {
   f.write(&b, 1);
 }
 
+/// Applies one Arm-frame line. The payload is newline-separated directives:
+///   failpoints=<spec>   arm a PARAPSP_FAILPOINTS-style spec
+///   sssp=<name>         switch the per-source engine (substrate_from_string)
+/// A line with no recognized prefix is treated as a bare failpoint spec, so
+/// pre-existing single-spec Arm payloads keep working.
+inline void apply_arm_line(const std::string& line, sssp::Substrate& substrate) {
+  if (line.empty()) return;
+  if (line.rfind("failpoints=", 0) == 0) {
+    (void)util::failpoints::arm_from_spec(line.substr(11));
+    return;
+  }
+  if (line.rfind("sssp=", 0) == 0) {
+    try {
+      const auto s = sssp::substrate_from_string(line.substr(5));
+      // kAuto has no per-source meaning here; keep the row-reuse default.
+      if (s != sssp::Substrate::kAuto) substrate = s;
+    } catch (const std::invalid_argument&) {
+      // Unknown name from a newer supervisor: ignore, keep the default.
+    }
+    return;
+  }
+  (void)util::failpoints::arm_from_spec(line);
+}
+
 }  // namespace detail
 
 /// Runs the worker lease/ack loop over `fd` until a Shutdown frame, EOF
@@ -70,15 +109,38 @@ template <WeightType W>
 void run_worker_loop(int fd, const graph::Graph<W>& g) try {
   const VertexId n = g.num_vertices();
   const std::uint64_t fp = apsp::graph_fingerprint(g);
+  const std::size_t row_bytes = static_cast<std::size_t>(n) * sizeof(W);
 
-  // Lazily sized on the first lease; persists across leases for row reuse.
-  apsp::DistanceMatrix<W> local;
-  apsp::FlagArray flags;
+  // Row-granular storage, persistent across leases for row reuse.
+  apsp::RowStore<W> local;
+  local.reset(n);
+  apsp::FlagArray flags(n);
   apsp::DijkstraWorkspace ws;
+  ws.resize(n);
+  std::vector<std::uint8_t> from_broadcast(n, 0);  ///< rows from other workers
   std::vector<std::uint8_t> shard_completed;
+  sssp::Substrate substrate = sssp::Substrate::kModifiedDijkstra;
+  sssp::SubstrateWorkspace<W> sub_ws;
+  std::uint64_t broadcast_rows_applied = 0;
 
   wire::FrameDecoder dec;
   if (!send_frame(fd, wire::MsgType::kHello, {}).is_ok()) return;
+
+  // Installs one broadcast row: allocate, copy, mark foreign, publish. Best
+  // effort — a row that cannot be installed (wrong n, already complete,
+  // allocation failure) is simply not reused; correctness never depends on
+  // broadcast rows landing.
+  auto apply_row_publish = [&](const std::vector<std::uint8_t>& payload) {
+    const auto msg = wire::decode_row_publish(payload);
+    if (!msg || msg->n != n || msg->source >= n) return;
+    if (msg->row.size() != row_bytes) return;
+    if (flags.is_complete(msg->source)) return;
+    if (!local.try_ensure_row(msg->source).is_ok()) return;
+    std::memcpy(local.row(msg->source).data(), msg->row.data(), row_bytes);
+    from_broadcast[msg->source] = 1;
+    flags.publish(msg->source);
+    ++broadcast_rows_applied;
+  };
 
   for (;;) {
     auto frame = recv_frame_blocking(fd, dec);
@@ -87,30 +149,31 @@ void run_worker_loop(int fd, const graph::Graph<W>& g) try {
     switch (frame->type) {
       case wire::MsgType::kShutdown:
         return;
-      case wire::MsgType::kArm:
-        // Harness-only: the supervisor injects a failpoint spec into the
-        // first worker generation so respawned workers start clean.
-        (void)util::failpoints::arm_from_spec(
-            std::string(frame->payload.begin(), frame->payload.end()));
+      case wire::MsgType::kArm: {
+        // Harness/config channel: newline-separated directives (see
+        // detail::apply_arm_line).
+        const std::string payload(frame->payload.begin(), frame->payload.end());
+        std::size_t at = 0;
+        while (at <= payload.size()) {
+          const auto nl = payload.find('\n', at);
+          const auto end = (nl == std::string::npos) ? payload.size() : nl;
+          detail::apply_arm_line(payload.substr(at, end - at), substrate);
+          if (nl == std::string::npos) break;
+          at = nl + 1;
+        }
+        break;
+      }
+      case wire::MsgType::kRowPublish:
+        apply_row_publish(frame->payload);
         break;
       case wire::MsgType::kLease: {
         auto lease = wire::decode_lease(frame->payload);
         if (!lease) return;
-        if (local.size() != n) {
-          auto m = apsp::DistanceMatrix<W>::try_create(n);
-          if (!m) {
-            wire::ShardErrorMsg err{lease->shard_id, m.status().code(),
-                                    m.status().message()};
-            (void)send_frame(fd, wire::MsgType::kShardError,
-                             wire::encode_shard_error(err));
-            break;
-          }
-          local = std::move(*m);
-          flags = apsp::FlagArray(n);
-          ws.resize(n);
-        }
 
+        apsp::KernelStats lease_stats;
         std::uint32_t rows_done = 0;
+        bool lease_failed = false;
+        bool shutdown_seen = false;
         for (const VertexId s : lease->sources) {
           if (PARAPSP_FAILPOINT("worker_abort")) ::_exit(134);
           if (PARAPSP_FAILPOINT("worker_hang")) {
@@ -120,7 +183,27 @@ void run_worker_loop(int fd, const graph::Graph<W>& g) try {
           // was dropped, or its shard arrived torn): the local row is exact,
           // recomputing would violate the all-infinity precondition.
           if (!flags.is_complete(s)) {
-            (void)apsp::modified_dijkstra(g, s, local, flags, ws);
+            if (const auto st = local.try_ensure_row(s); !st.is_ok()) {
+              wire::ShardErrorMsg err{lease->shard_id, st.code(), st.message()};
+              (void)send_frame(fd, wire::MsgType::kShardError,
+                               wire::encode_shard_error(err));
+              lease_failed = true;
+              break;
+            }
+            if (substrate == sssp::Substrate::kModifiedDijkstra) {
+              lease_stats += apsp::modified_dijkstra(g, s, local, flags, ws,
+                                                     nullptr, {}, from_broadcast.data());
+            } else {
+              // Independent-row substrate: no cross-row reads, so the result
+              // is exact without any reuse machinery (every substrate is
+              // oracle-verified bit-identical to Dijkstra).
+              sssp::SteppingStats sstats;
+              const auto dvec =
+                  sssp::run_substrate(substrate, g, s, &sub_ws, &sstats);
+              std::copy(dvec.begin(), dvec.end(), local.row(s).begin());
+              lease_stats.edge_relaxations += sstats.relaxations;
+              flags.publish(s);
+            }
           }
           ++rows_done;
           wire::HeartbeatMsg hb{lease->shard_id, rows_done};
@@ -128,12 +211,32 @@ void run_worker_loop(int fd, const graph::Graph<W>& g) try {
                    .is_ok()) {
             return;  // supervisor gone
           }
+          // Mid-lease drain: pick up RowPublish rows as soon as they arrive
+          // so they prune the *remaining* sources of this very lease.
+          bool eof = false;
+          if (!pump_frames(fd, dec, eof).is_ok()) return;
+          for (;;) {
+            wire::Frame pushed;
+            bool has = false;
+            if (!dec.next(pushed, has).is_ok()) return;
+            if (!has) break;
+            if (pushed.type == wire::MsgType::kRowPublish) {
+              apply_row_publish(pushed.payload);
+            } else if (pushed.type == wire::MsgType::kShutdown) {
+              shutdown_seen = true;
+            }
+            // Anything else mid-lease is unexpected; ignore, not fatal.
+          }
+          if (eof || shutdown_seen) break;
         }
+        if (lease_failed) break;
+        if (shutdown_seen) return;
 
         shard_completed.assign(n, 0);
         for (const VertexId s : lease->sources) shard_completed[s] = 1;
-        const auto st =
-            apsp::save_checkpoint(lease->shard_path, local, shard_completed, fp);
+        const auto st = apsp::save_checkpoint_rows<W>(
+            lease->shard_path, n, shard_completed, fp,
+            [&local](VertexId s) { return local.row(s).data(); });
         if (!st.is_ok()) {
           wire::ShardErrorMsg err{lease->shard_id, st.code(), st.message()};
           (void)send_frame(fd, wire::MsgType::kShardError,
@@ -144,7 +247,10 @@ void run_worker_loop(int fd, const graph::Graph<W>& g) try {
           detail::corrupt_shard_tail(lease->shard_path);
         }
         if (PARAPSP_FAILPOINT("comm_drop_ack")) break;  // ack lost in "transit"
-        wire::ShardDoneMsg done{lease->shard_id};
+        wire::ShardDoneMsg done{lease->shard_id, lease_stats.edge_relaxations,
+                                lease_stats.row_reuses,
+                                lease_stats.foreign_row_reuses,
+                                broadcast_rows_applied};
         if (!send_frame(fd, wire::MsgType::kShardDone, wire::encode_shard_done(done))
                  .is_ok()) {
           return;

@@ -61,12 +61,15 @@ enum class Counter : std::uint8_t {
   kDistReassignments,     ///< dist supervisor: leases moved off a dead/hung worker
   kDistHeartbeatMisses,   ///< dist supervisor: lease deadlines expired silently
   kDistBytesMoved,        ///< dist supervisor: frame + merged shard payload bytes
+  kDistRowsBroadcast,     ///< dist supervisor: completed rows forwarded to workers
+  kDistStreamBytes,       ///< dist supervisor: row bytes written by the stream sink
+  kDistPrefetchStalls,    ///< dist supervisor: waits with no prefetched shard ready
   kServeQueries,          ///< serve: point-to-point distances answered
   kServeShardHits,        ///< serve: queries answered from a mapped/served row
   kServeFallbackRows,     ///< serve: rows computed on demand on shard miss
   kServeDeadlineMisses,   ///< serve: requests stopped by deadline/cancel
 };
-inline constexpr std::size_t kNumCounters = 21;
+inline constexpr std::size_t kNumCounters = 24;
 
 [[nodiscard]] constexpr const char* to_string(Counter c) noexcept {
   switch (c) {
@@ -87,6 +90,9 @@ inline constexpr std::size_t kNumCounters = 21;
     case Counter::kDistReassignments: return "dist_reassignments";
     case Counter::kDistHeartbeatMisses: return "dist_heartbeat_misses";
     case Counter::kDistBytesMoved: return "dist_bytes_moved";
+    case Counter::kDistRowsBroadcast: return "dist_rows_broadcast";
+    case Counter::kDistStreamBytes: return "dist_stream_bytes";
+    case Counter::kDistPrefetchStalls: return "dist_prefetch_stalls";
     case Counter::kServeQueries: return "serve_queries";
     case Counter::kServeShardHits: return "serve_shard_hits";
     case Counter::kServeFallbackRows: return "serve_fallback_rows";
@@ -105,9 +111,10 @@ inline constexpr std::size_t kNumCounters = 21;
           Counter::kSsspStaleSkipped,     Counter::kSsspSubstrateRows,
           Counter::kDistSupersteps,       Counter::kDistRetries,
           Counter::kDistReassignments,    Counter::kDistHeartbeatMisses,
-          Counter::kDistBytesMoved,       Counter::kServeQueries,
-          Counter::kServeShardHits,       Counter::kServeFallbackRows,
-          Counter::kServeDeadlineMisses};
+          Counter::kDistBytesMoved,       Counter::kDistRowsBroadcast,
+          Counter::kDistStreamBytes,      Counter::kDistPrefetchStalls,
+          Counter::kServeQueries,         Counter::kServeShardHits,
+          Counter::kServeFallbackRows,    Counter::kServeDeadlineMisses};
 }
 
 /// One value per catalog entry, indexed by static_cast<size_t>(Counter).

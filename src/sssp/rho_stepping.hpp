@@ -36,6 +36,7 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <stdexcept>
@@ -57,6 +58,8 @@ struct SteppingStats {
   std::uint64_t settlements = 0;   ///< vertices pulled and expanded
   std::uint64_t rounds = 0;        ///< batches pulled from the queue
   std::uint64_t stale_skipped = 0; ///< lazily deleted (revalidation-dropped) entries
+  std::uint64_t rho_adjustments = 0; ///< adaptive-controller resizes (0 when fixed)
+  std::size_t final_rho = 0;       ///< batch bound in force when the run ended
 };
 
 /// Reusable scratch for the stepping algorithms: the queue (buckets,
@@ -79,6 +82,24 @@ template <WeightType W>
   return std::max<std::size_t>(256, g.num_vertices() / 8);
 }
 
+/// Feedback controller for the rho-stepping batch bound. The fixed n/8
+/// default is a compromise: too large a batch floods the frontier with
+/// speculative settlements that are later improved and re-pulled (visible as
+/// the queue's lazily-dropped stale entries), too small a batch pays a
+/// parallel region per handful of relaxations. The controller watches the
+/// stale fraction of pulled entries over a sliding window of batches and
+/// resizes geometrically: lots of stale work → halve rho (closer to
+/// Dijkstra's order), almost none → double it (amortize the queue better).
+/// Exactness is unaffected — rho only orders the work.
+struct AdaptiveRhoConfig {
+  std::size_t initial = 0;     ///< starting batch bound; 0 = default_rho(g)
+  std::size_t min_rho = 64;    ///< floor (keep batches worth a parallel region)
+  std::size_t max_rho = 0;     ///< ceiling; 0 = n
+  std::uint64_t window = 4;    ///< batches between controller decisions
+  double shrink_above = 0.40;  ///< stale fraction that halves rho
+  double grow_below = 0.10;    ///< stale fraction that doubles rho
+};
+
 namespace detail {
 
 /// CAS-min on a distance cell shared with concurrent relaxers. Returns true
@@ -97,13 +118,15 @@ template <WeightType W>
 /// Shared loop for both stepping variants. `rho == 0` selects whole-bucket
 /// batches (Delta*-stepping); otherwise batches are the <= rho closest.
 /// `delta` is the queue's bucket width (> 0 required here; the public entry
-/// points fill in defaults).
+/// points fill in defaults). `adaptive` (optional, rho-stepping only)
+/// resizes `rho` between batches from the observed stale fraction.
 template <WeightType W>
 [[nodiscard]] std::vector<W> stepping_impl(const graph::Graph<W>& g, VertexId source,
                                            std::size_t rho, W delta,
                                            SteppingStats* stats,
                                            const util::ExecutionControl* control,
-                                           SteppingWorkspace<W>* ws) {
+                                           SteppingWorkspace<W>* ws,
+                                           const AdaptiveRhoConfig* adaptive = nullptr) {
   const VertexId n = g.num_vertices();
   if (source >= n) throw std::out_of_range("stepping: source out of range");
 
@@ -120,6 +143,20 @@ template <WeightType W>
   queue.push(source, W{0});
 
   SteppingStats local_stats;
+
+  // Adaptive-rho controller state: deltas of pulled-entry outcomes since the
+  // last decision point.
+  const std::size_t rho_floor = adaptive != nullptr ? std::max<std::size_t>(1, adaptive->min_rho) : 0;
+  const std::size_t rho_ceil =
+      adaptive != nullptr
+          ? (adaptive->max_rho != 0 ? adaptive->max_rho : static_cast<std::size_t>(n))
+          : 0;
+  if (adaptive != nullptr && rho != 0) {
+    rho = std::min(std::max(rho, rho_floor), std::max(rho_floor, rho_ceil));
+  }
+  std::uint64_t ctrl_last_stale = 0;
+  std::uint64_t ctrl_last_settled = 0;
+  std::uint64_t ctrl_rounds = 0;
 
   // Below this batch size a parallel region costs more than it saves; the
   // sequential path also skips the atomic relax. Relevant on high-diameter
@@ -171,9 +208,30 @@ template <WeightType W>
       }
       local_stats.relaxations += batch_attempts;
     }
+    if (adaptive != nullptr && rho != 0 && ++ctrl_rounds >= adaptive->window) {
+      ctrl_rounds = 0;
+      const std::uint64_t stale_now = queue.stats().stale_skipped;
+      const std::uint64_t stale_d = stale_now - ctrl_last_stale;
+      const std::uint64_t settled_d = local_stats.settlements - ctrl_last_settled;
+      ctrl_last_stale = stale_now;
+      ctrl_last_settled = local_stats.settlements;
+      const std::uint64_t pulled = stale_d + settled_d;
+      if (pulled != 0) {
+        const double stale_frac =
+            static_cast<double>(stale_d) / static_cast<double>(pulled);
+        if (stale_frac > adaptive->shrink_above && rho / 2 >= rho_floor) {
+          rho /= 2;
+          ++local_stats.rho_adjustments;
+        } else if (stale_frac < adaptive->grow_below && rho * 2 <= rho_ceil) {
+          rho *= 2;
+          ++local_stats.rho_adjustments;
+        }
+      }
+    }
     if (control != nullptr) control->add_progress();
   }
 
+  local_stats.final_rho = rho;
   local_stats.stale_skipped = queue.stats().stale_skipped;
 
   // Flush point (once per run): mirror into an open obs collection window.
@@ -199,6 +257,21 @@ template <WeightType W>
                                           SteppingWorkspace<W>* ws = nullptr) {
   if (rho == 0) rho = default_rho(g);
   return detail::stepping_impl(g, source, rho, default_delta(g), stats, control, ws);
+}
+
+/// rho-stepping with the feedback controller of AdaptiveRhoConfig: the batch
+/// bound starts at cfg.initial (or default_rho) and is halved/doubled between
+/// batches from the observed stale fraction. Exactness, control and workspace
+/// contracts are identical to rho_stepping(); stats->rho_adjustments and
+/// stats->final_rho report what the controller did.
+template <WeightType W>
+[[nodiscard]] std::vector<W> rho_stepping_adaptive(
+    const graph::Graph<W>& g, VertexId source, AdaptiveRhoConfig cfg = {},
+    SteppingStats* stats = nullptr, const util::ExecutionControl* control = nullptr,
+    SteppingWorkspace<W>* ws = nullptr) {
+  const std::size_t rho = cfg.initial != 0 ? cfg.initial : default_rho(g);
+  return detail::stepping_impl(g, source, rho, default_delta(g), stats, control, ws,
+                               &cfg);
 }
 
 /// Delta*-stepping from `source`: whole-bucket batches of width `delta`

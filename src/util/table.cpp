@@ -22,7 +22,8 @@ void Table::add_row(std::vector<std::string> row) {
 std::vector<std::string> Table::metrics_header() {
   return {"run",          "relaxations", "pushes",  "pops",
           "reuses",       "reuse_improved", "row_cells", "sources", "bucket_ins",
-          "heavy_relax",  "ordering_s",  "sweep_s"};
+          "heavy_relax",  "rows_bcast",  "stream_bytes", "prefetch_stalls",
+          "ordering_s",   "sweep_s"};
 }
 
 void Table::add_metrics_row(const std::string& label, const obs::Report& report) {
@@ -35,6 +36,9 @@ void Table::add_metrics_row(const std::string& label, const obs::Report& report)
       report.total(Counter::kSourcesCompleted),
       report.total(Counter::kBucketInsertions),
       report.total(Counter::kHeavyEdgeRelaxations),
+      report.total(Counter::kDistRowsBroadcast),
+      report.total(Counter::kDistStreamBytes),
+      report.total(Counter::kDistPrefetchStalls),
       fixed(report.phase_seconds("ordering")),
       fixed(report.phase_seconds("sweep")));
 }

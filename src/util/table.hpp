@@ -35,8 +35,9 @@ class Table {
   void add_metrics_row(const std::string& label, const obs::Report& report);
 
   /// The header matching add_metrics_row():
-  /// {run, relaxations, pushes, pops, reuses, reuse_improved, sources,
-  ///  bucket_ins, ordering_s, sweep_s}.
+  /// {run, relaxations, pushes, pops, reuses, reuse_improved, row_cells,
+  ///  sources, bucket_ins, heavy_relax, rows_bcast, stream_bytes,
+  ///  prefetch_stalls, ordering_s, sweep_s}.
   [[nodiscard]] static std::vector<std::string> metrics_header();
 
   /// Renders the table with column alignment for terminal output.

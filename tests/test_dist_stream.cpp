@@ -1,0 +1,385 @@
+// Out-of-core streaming merge + cross-worker row broadcast
+// (src/dist/supervisor.hpp --stream-merge, src/apsp/stream_io.hpp,
+// src/dist/shard_streamer.hpp):
+//
+//   * the incremental row-stream writers build bit-identical .padm/.pack
+//     artifacts from rows arriving in any order, atomically;
+//   * a streamed supervised run never allocates the n x n matrix (proved by
+//     running it under a matrix budget that makes the in-memory path fail)
+//     yet its artifact is bit-identical to the in-memory merge, including
+//     under injected worker crashes, torn writes, dropped acks, SIGKILL,
+//     and full degradation;
+//   * the RowPublish broadcast lane ships hub rows between workers without
+//     perturbing exactness;
+//   * workers can run a stepping substrate instead of the row-reuse kernel
+//     and the merged matrix is still bit-identical.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apsp/checkpoint.hpp"
+#include "apsp/matrix_io.hpp"
+#include "apsp/parallel.hpp"
+#include "apsp/stream_io.hpp"
+#include "check/oracle.hpp"
+#include "dist/supervisor.hpp"
+#include "dist/wire.hpp"
+#include "graph/generators.hpp"
+#include "test_helpers.hpp"
+#include "util/status.hpp"
+
+namespace {
+
+using namespace parapsp;
+
+// ---------- wire additions ----------
+
+TEST(Wire, RowPublishRoundTrip) {
+  dist::wire::RowPublishMsg in;
+  in.source = 17;
+  in.n = 4;
+  in.row = {1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 4, 0, 0, 0};
+  const auto out = dist::wire::decode_row_publish(dist::wire::encode_row_publish(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->source, 17u);
+  EXPECT_EQ(out->n, 4u);
+  EXPECT_EQ(out->row, in.row);
+}
+
+TEST(Wire, ShardDoneCarriesWorkStats) {
+  dist::wire::ShardDoneMsg in{9, 1000, 12, 5, 3};
+  const auto out = dist::wire::decode_shard_done(dist::wire::encode_shard_done(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->shard_id, 9u);
+  EXPECT_EQ(out->edge_relaxations, 1000u);
+  EXPECT_EQ(out->row_reuses, 12u);
+  EXPECT_EQ(out->broadcast_reuses, 5u);
+  EXPECT_EQ(out->broadcast_rows_applied, 3u);
+}
+
+TEST(Wire, BareShardDoneStillDecodes) {
+  // A pre-stats ack is just the 8-byte shard id; decode must tolerate it
+  // (mixed-version fleets) and default the work counters.
+  std::vector<std::uint8_t> payload(8, 0);
+  payload[0] = 42;
+  const auto out = dist::wire::decode_shard_done(payload);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->shard_id, 42u);
+  EXPECT_EQ(out->edge_relaxations, 0u);
+  EXPECT_EQ(out->broadcast_rows_applied, 0u);
+}
+
+// ---------- incremental row-stream writers ----------
+
+class StreamIo : public ::testing::Test {
+ protected:
+  static constexpr VertexId kN = 9;
+
+  std::string path(const std::string& name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  }
+
+  /// n rows of deterministic u32 payload, row s cell v = s * 100 + v.
+  std::vector<std::uint32_t> row_of(VertexId s) {
+    std::vector<std::uint32_t> r(kN);
+    for (VertexId v = 0; v < kN; ++v) r[v] = s * 100 + v;
+    return r;
+  }
+
+  util::Status stream_all(apsp::RowStreamWriter& w,
+                          const std::vector<VertexId>& order) {
+    for (const VertexId s : order) {
+      const auto row = row_of(s);
+      if (auto st = w.write_row(s, reinterpret_cast<const std::byte*>(row.data()));
+          !st.is_ok()) {
+        return st;
+      }
+    }
+    return util::Status::ok();
+  }
+};
+
+TEST_F(StreamIo, PadmStreamInShuffledOrderLoadsBack) {
+  const auto p = path("parapsp_stream_padm.padm");
+  auto w = apsp::open_row_stream(p, kN, graph::detail::weight_code<std::uint32_t>(),
+                                 kN * sizeof(std::uint32_t), 0);
+  ASSERT_TRUE(w.has_value()) << w.status().message();
+  // Any arrival order must land at final offsets.
+  ASSERT_TRUE(stream_all(**w, {4, 0, 8, 2, 6, 1, 7, 3, 5}).is_ok());
+  EXPECT_EQ((*w)->rows_written(), kN);
+  ASSERT_TRUE((*w)->finalize().is_ok());
+  EXPECT_FALSE(std::filesystem::exists(p + ".tmp"));
+
+  const auto D = apsp::load_matrix<std::uint32_t>(p);
+  ASSERT_EQ(D.size(), kN);
+  for (VertexId s = 0; s < kN; ++s) {
+    for (VertexId v = 0; v < kN; ++v) EXPECT_EQ(D.row(s)[v], s * 100 + v);
+  }
+  std::filesystem::remove(p);
+}
+
+TEST_F(StreamIo, PackStreamIsALoadableCompleteCheckpoint) {
+  const auto p = path("parapsp_stream_pack.pack");
+  auto w = apsp::open_row_stream(p, kN, graph::detail::weight_code<std::uint32_t>(),
+                                 kN * sizeof(std::uint32_t), 0xfeedbeef);
+  ASSERT_TRUE(w.has_value()) << w.status().message();
+  std::vector<VertexId> order(kN);
+  for (VertexId s = 0; s < kN; ++s) order[s] = kN - 1 - s;  // reverse order
+  ASSERT_TRUE(stream_all(**w, order).is_ok());
+  ASSERT_TRUE((*w)->finalize().is_ok());
+
+  const auto ck = apsp::load_checkpoint<std::uint32_t>(p);
+  ASSERT_TRUE(ck.has_value()) << ck.status().message();
+  EXPECT_EQ(ck->num_completed(), kN);
+  EXPECT_EQ(ck->graph_fp, 0xfeedbeefu);
+  for (VertexId s = 0; s < kN; ++s) {
+    ASSERT_TRUE(ck->completed[s]);
+    for (VertexId v = 0; v < kN; ++v) EXPECT_EQ(ck->distances.row(s)[v], s * 100 + v);
+  }
+  std::filesystem::remove(p);
+}
+
+TEST_F(StreamIo, DuplicateAndOutOfRangeRowsAreTypedErrors) {
+  const auto p = path("parapsp_stream_dup.padm");
+  auto w = apsp::open_row_stream(p, kN, graph::detail::weight_code<std::uint32_t>(),
+                                 kN * sizeof(std::uint32_t), 0);
+  ASSERT_TRUE(w.has_value());
+  const auto row = row_of(3);
+  const auto* bytes = reinterpret_cast<const std::byte*>(row.data());
+  ASSERT_TRUE((*w)->write_row(3, bytes).is_ok());
+  EXPECT_EQ((*w)->write_row(3, bytes).code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ((*w)->write_row(kN, bytes).code(), util::ErrorCode::kInvalidArgument);
+  (*w)->abort();
+  EXPECT_FALSE(std::filesystem::exists(p + ".tmp"));
+  EXPECT_FALSE(std::filesystem::exists(p));
+}
+
+TEST_F(StreamIo, ShortStreamCannotFinalizeAndLeavesNoArtifact) {
+  const auto p = path("parapsp_stream_short.pack");
+  auto w = apsp::open_row_stream(p, kN, graph::detail::weight_code<std::uint32_t>(),
+                                 kN * sizeof(std::uint32_t), 0);
+  ASSERT_TRUE(w.has_value());
+  ASSERT_TRUE(stream_all(**w, {0, 1, 2}).is_ok());
+  EXPECT_EQ((*w)->finalize().code(), util::ErrorCode::kFormat);
+  // finalize() on a short stream aborts: tmp removed, final never created.
+  EXPECT_FALSE(std::filesystem::exists(p + ".tmp"));
+  EXPECT_FALSE(std::filesystem::exists(p));
+}
+
+// ---------- the streaming recovery contract ----------
+
+class DistStream : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = graph::barabasi_albert<std::uint32_t>(120, 3, 417);
+    reference_ = apsp::par_apsp(g_).distances;
+  }
+
+  dist::ProcOptions base_options(const std::string& tag) {
+    dist::ProcOptions o;
+    o.ranks = 3;
+    o.shard_rows = 16;
+    o.shard_dir =
+        (std::filesystem::temp_directory_path() / ("parapsp_stream_" + tag)).string();
+    o.stream_merge = true;
+    o.stream_path = o.shard_dir + "/merged.padm";
+    o.heartbeat_timeout_s = 1.0;
+    o.lease_timeout_s = 5.0;
+    return o;
+  }
+
+  /// Runs a streaming supervised run and asserts the contract: completion,
+  /// no in-memory matrix, and the streamed artifact bit-identical to the
+  /// single-process sweep via the differential oracle.
+  dist::ProcDistResult<std::uint32_t> run_and_check(const dist::ProcOptions& o,
+                                                    const std::string& label) {
+    auto r = dist::supervise_apsp<std::uint32_t>(g_, o);
+    EXPECT_TRUE(r.has_value()) << label << ": " << r.status().message();
+    if (!r.has_value()) return {};
+    EXPECT_TRUE(r->status.is_ok()) << label << ": " << r->status.message();
+    EXPECT_TRUE(r->complete()) << label;
+    if (o.stream_merge) {
+      EXPECT_EQ(r->distances.size(), 0u) << label << ": streamed run held a matrix";
+      EXPECT_EQ(r->stream.rows_streamed + /*degraded rows*/ 0,
+                static_cast<std::uint64_t>(g_.num_vertices()))
+          << label;
+      const auto D = apsp::load_matrix<std::uint32_t>(o.stream_path);
+      check::Provenance prov;
+      prov.backend_a = "dist-stream[" + label + "]";
+      prov.backend_b = "par_apsp";
+      const auto diff = check::diff_matrices(D, reference_, prov);
+      EXPECT_TRUE(diff.has_value()) << label << ": " << diff.status().message();
+      if (diff.has_value()) {
+        EXPECT_FALSE(diff->has_value()) << label << ": " << (*diff)->to_string();
+      }
+    }
+    return std::move(*r);
+  }
+
+  graph::Graph<std::uint32_t> g_;
+  apsp::DistanceMatrix<std::uint32_t> reference_;
+};
+
+TEST_F(DistStream, CleanStreamedRunIsBitIdentical) {
+  const auto r = run_and_check(base_options("clean"), "clean");
+  EXPECT_FALSE(r.degraded);
+  EXPECT_TRUE(r.stream.enabled);
+  EXPECT_EQ(r.stream.rows_streamed, 120u);
+  EXPECT_EQ(r.stream.bytes_streamed, 120u * 120u * sizeof(std::uint32_t));
+  // Every non-pivot row went through the SIMD tighten check.
+  EXPECT_GT(r.stream.simd_checked_rows, 0u);
+}
+
+TEST_F(DistStream, PackArtifactIsBitIdenticalToo) {
+  auto o = base_options("pack");
+  o.stream_path = o.shard_dir + "/merged.pack";
+  auto r = dist::supervise_apsp<std::uint32_t>(g_, o);
+  ASSERT_TRUE(r.has_value()) << r.status().message();
+  ASSERT_TRUE(r->complete());
+  const auto ck = apsp::load_checkpoint<std::uint32_t>(o.stream_path);
+  ASSERT_TRUE(ck.has_value()) << ck.status().message();
+  EXPECT_EQ(ck->num_completed(), g_.num_vertices());
+  EXPECT_EQ(ck->graph_fp, apsp::graph_fingerprint(g_));
+  const auto diff = check::diff_matrices(ck->distances, reference_);
+  ASSERT_TRUE(diff.has_value()) << diff.status().message();
+  EXPECT_FALSE(diff->has_value());
+}
+
+TEST_F(DistStream, StreamingSucceedsUnderBudgetThatSinksInMemoryMerge) {
+  // The budget proof: a matrix budget one row short of the full n x n
+  // footprint makes the in-memory supervisor fail its up-front allocation,
+  // while the streaming supervisor — which never allocates the matrix —
+  // completes bit-identically under the same budget.
+  const std::size_t full_bytes =
+      apsp::DistanceMatrix<std::uint32_t>::padded_stride(g_.num_vertices()) *
+      static_cast<std::size_t>(g_.num_vertices()) * sizeof(std::uint32_t);
+
+  auto in_mem = base_options("budget_inmem");
+  in_mem.stream_merge = false;
+  in_mem.stream_path.clear();
+  in_mem.matrix_budget_bytes = full_bytes - 1;
+  EXPECT_EQ(dist::supervise_apsp<std::uint32_t>(g_, in_mem).status().code(),
+            util::ErrorCode::kResource);
+
+  auto streamed = base_options("budget_stream");
+  streamed.matrix_budget_bytes = full_bytes - 1;
+  const auto r = run_and_check(streamed, "budget_stream");
+  EXPECT_FALSE(r.degraded);
+}
+
+TEST_F(DistStream, RowBroadcastKeepsStreamedRunBitIdentical) {
+  auto o = base_options("broadcast");
+  o.row_broadcast_budget = 48;  // the first 3 shards' worth of hub rows
+  const auto r = run_and_check(o, "broadcast");
+  EXPECT_FALSE(r.degraded);
+  EXPECT_GT(r.stream.rows_broadcast, 0u);
+  EXPECT_GT(r.stream.broadcast_bytes, 0u);
+}
+
+TEST_F(DistStream, RowBroadcastKeepsInMemoryRunBitIdentical) {
+  // Broadcast is orthogonal to streaming: exercise it on the in-memory path.
+  auto o = base_options("broadcast_inmem");
+  o.stream_merge = false;
+  o.stream_path.clear();
+  o.row_broadcast_budget = 64;
+  auto r = dist::supervise_apsp<std::uint32_t>(g_, o);
+  ASSERT_TRUE(r.has_value()) << r.status().message();
+  ASSERT_TRUE(r->complete());
+  EXPECT_GT(r->stream.rows_broadcast, 0u);
+  const auto diff = check::diff_matrices(r->distances, reference_);
+  ASSERT_TRUE(diff.has_value()) << diff.status().message();
+  EXPECT_FALSE(diff->has_value());
+}
+
+TEST_F(DistStream, SigkilledWorkerMidStreamIsRecovered) {
+  auto o = base_options("sigkill");
+  o.kill_worker_after_acks = 1;
+  const auto r = run_and_check(o, "sigkill");
+  EXPECT_EQ(r.faults.harness_kills, 1u);
+  EXPECT_GT(r.faults.reassignments, 0u);
+  EXPECT_FALSE(r.degraded);
+}
+
+#if defined(PARAPSP_FAILPOINTS_ENABLED)
+
+TEST_F(DistStream, WorkerAbortMidStreamIsRecovered) {
+  auto o = base_options("abort");
+  o.inject_failpoints = "worker_abort@3";
+  const auto r = run_and_check(o, "worker_abort");
+  EXPECT_GT(r.faults.reassignments, 0u);
+  EXPECT_FALSE(r.degraded);
+}
+
+TEST_F(DistStream, TornShardIsRejectedBeforeTheSink) {
+  auto o = base_options("torn");
+  // The prefetcher's CRC re-validation must reject the torn shard before a
+  // single byte of it reaches the sink; the lease is recomputed.
+  o.inject_failpoints = "shard_write_torn@2";
+  const auto r = run_and_check(o, "shard_write_torn");
+  EXPECT_GT(r.faults.torn_shards, 0u);
+  EXPECT_GT(r.faults.retries, 0u);
+  EXPECT_FALSE(r.degraded);
+}
+
+TEST_F(DistStream, DroppedAckMidStreamIsReclaimed) {
+  auto o = base_options("drop_ack");
+  o.inject_failpoints = "comm_drop_ack@1";
+  const auto r = run_and_check(o, "comm_drop_ack");
+  EXPECT_GT(r.faults.heartbeat_misses, 0u);
+  EXPECT_FALSE(r.degraded);
+}
+
+TEST_F(DistStream, FullDegradationStillStreamsABitIdenticalArtifact) {
+  auto o = base_options("degrade");
+  // Fleet dies entirely; the degrade path must keep the streaming memory
+  // bound (per-row Dijkstra straight into the sink) and stay bit-identical.
+  o.inject_failpoints = "worker_abort";
+  o.max_worker_restarts = 0;
+  const auto r = run_and_check(o, "degrade");
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.fault.code(), util::ErrorCode::kUnavailable);
+  EXPECT_GT(r.faults.degraded_shards, 0u);
+}
+
+#endif  // PARAPSP_FAILPOINTS_ENABLED
+
+TEST_F(DistStream, SteppingSubstrateWorkersAreBitIdentical) {
+  // Satellite: dist workers dispatch per-source runs through
+  // sssp::run_substrate when armed with a substrate name.
+  auto o = base_options("rho_worker");
+  o.worker_substrate = sssp::Substrate::kRhoStepping;
+  const auto r = run_and_check(o, "rho_worker");
+  EXPECT_FALSE(r.degraded);
+}
+
+TEST(DistStreamOptions, StreamMergeRequiresAPath) {
+  const auto g = graph::path_graph<std::uint32_t>(4);
+  dist::ProcOptions o;
+  o.shard_dir = "/tmp/parapsp_stream_opts";
+  o.stream_merge = true;
+  EXPECT_EQ(dist::supervise_apsp<std::uint32_t>(g, o).status().code(),
+            util::ErrorCode::kInvalidArgument);
+  o.stream_merge = false;
+  o.row_broadcast_budget = -1;
+  EXPECT_EQ(dist::supervise_apsp<std::uint32_t>(g, o).status().code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST(DistStreamOptions, EmptyGraphStreamsAnEmptyArtifact) {
+  const graph::Graph<std::uint32_t> g;
+  dist::ProcOptions o;
+  o.shard_dir = "/tmp/parapsp_stream_empty";
+  o.stream_merge = true;
+  o.stream_path = "/tmp/parapsp_stream_empty/merged.padm";
+  const auto r = dist::supervise_apsp<std::uint32_t>(g, o);
+  ASSERT_TRUE(r.has_value()) << r.status().message();
+  EXPECT_TRUE(r->complete());
+  const auto D = apsp::load_matrix<std::uint32_t>(o.stream_path);
+  EXPECT_EQ(D.size(), 0u);
+}
+
+}  // namespace

@@ -237,6 +237,65 @@ TEST(Stepping, SmallRhoStillExact) {
   EXPECT_EQ(sssp::rho_stepping(g, 0, /*rho=*/1), sssp::dijkstra(g, 0));
 }
 
+TEST(AdaptiveRho, DefaultsStayExactAcrossSources) {
+  const auto base = graph::barabasi_albert<std::uint32_t>(250, 3, 21);
+  const auto g = graph::randomize_weights<std::uint32_t>(base, 1, 20, 22);
+  sssp::SteppingWorkspace<std::uint32_t> ws;
+  for (const VertexId s : {VertexId{0}, VertexId{99}, VertexId{249}}) {
+    sssp::SteppingStats st;
+    EXPECT_EQ(sssp::rho_stepping_adaptive(g, s, {}, &st, nullptr, &ws),
+              sssp::dijkstra(g, s))
+        << "source " << s;
+    EXPECT_GT(st.final_rho, 0u);
+  }
+}
+
+TEST(AdaptiveRho, GrowThresholdDoublesRhoWithinBounds) {
+  const auto base = graph::watts_strogatz<std::uint32_t>(400, 4, 0.05, 31);
+  const auto g = graph::randomize_weights<std::uint32_t>(base, 1, 9, 32);
+  // grow_below > 1 makes every window's stale fraction "low": the controller
+  // must double rho each decision until the ceiling, and stay exact.
+  sssp::AdaptiveRhoConfig cfg;
+  cfg.initial = 4;
+  cfg.min_rho = 4;
+  cfg.max_rho = 64;
+  cfg.window = 1;
+  cfg.grow_below = 1.5;
+  cfg.shrink_above = 2.0;  // unreachable: fractions are <= 1
+  sssp::SteppingStats st;
+  EXPECT_EQ(sssp::rho_stepping_adaptive(g, 0, cfg, &st), sssp::dijkstra(g, 0));
+  EXPECT_GT(st.rho_adjustments, 0u);
+  EXPECT_GT(st.final_rho, cfg.initial);
+  EXPECT_LE(st.final_rho, cfg.max_rho);
+}
+
+TEST(AdaptiveRho, ShrinkThresholdHalvesRhoDownToTheFloor) {
+  const auto base = graph::barabasi_albert<std::uint32_t>(300, 3, 41);
+  const auto g = graph::randomize_weights<std::uint32_t>(base, 1, 20, 42);
+  // shrink_above < 0 makes every window's stale fraction "high": rho halves
+  // each decision until the floor — the Dijkstra-ward direction.
+  sssp::AdaptiveRhoConfig cfg;
+  cfg.initial = 256;
+  cfg.min_rho = 8;
+  cfg.max_rho = 256;
+  cfg.window = 1;
+  cfg.grow_below = -1.0;     // unreachable: fractions are >= 0
+  cfg.shrink_above = -0.5;   // always exceeded
+  sssp::SteppingStats st;
+  EXPECT_EQ(sssp::rho_stepping_adaptive(g, 0, cfg, &st), sssp::dijkstra(g, 0));
+  EXPECT_GT(st.rho_adjustments, 0u);
+  EXPECT_LT(st.final_rho, cfg.initial);
+  EXPECT_GE(st.final_rho, cfg.min_rho);
+}
+
+TEST(AdaptiveRho, FixedRhoReportsZeroAdjustments) {
+  const auto g = graph::barabasi_albert<std::uint32_t>(150, 3, 51);
+  sssp::SteppingStats st;
+  (void)sssp::rho_stepping(g, 0, 64, &st);
+  EXPECT_EQ(st.rho_adjustments, 0u);
+  EXPECT_EQ(st.final_rho, 64u);
+}
+
 TEST(Stepping, CancelledControlStopsEarly) {
   const auto g = graph::barabasi_albert<std::uint32_t>(300, 3, 9);
   util::ExecutionControl ctl;

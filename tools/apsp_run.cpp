@@ -42,14 +42,25 @@
 //                     (the tool re-executes itself with --dist-worker)
 //   --shard-dir DIR   where shard files live (default: dist_shards)
 //   --shard-rows K    sources per shard lease (default 64)
+//   --stream-merge    out-of-core merge (docs/PERFORMANCE.md): never allocate
+//                     the n x n matrix in the supervisor; stream validated
+//                     shard rows straight into --out (required; ".pack" for
+//                     checkpoint layout, anything else for .padm)
+//   --row-broadcast-budget K   forward the first K completed rows (multilists
+//                     order — the hubs) to the other workers for cross-process
+//                     row reuse (default 0 = off)
 //   --dist-worker     internal: run as a worker (requires --dist-fd)
 //   --dist-fd FD      internal: worker's end of the supervisor socketpair
+// --sssp also applies to --dist-ranks: workers run the named substrate for
+// each source instead of the row-reuse modified Dijkstra.
 //
 // Exit codes: 0 = complete, 3 = stopped early (timeout, partial result
 // checkpointed if --checkpoint given), 1 = error, 2 = usage.
 //
 // Fault injection (failpoint-enabled builds): set PARAPSP_FAILPOINTS, e.g.
 //   PARAPSP_FAILPOINTS="checkpoint_write=1" apsp_run ...
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +73,15 @@
 namespace {
 
 using namespace parapsp;
+
+/// Peak resident set of this process in MiB (ru_maxrss is KiB on Linux).
+/// The number that makes --stream-merge legible: the supervisor's high-water
+/// mark stays near ~2 shards instead of the n x n matrix.
+double peak_rss_mib() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
 
 graph::Graph<std::uint32_t> load_or_generate(const util::Args& args) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
@@ -184,6 +204,16 @@ int main(int argc, char** argv) {
     const int dist_ranks = static_cast<int>(args.get_int("dist-ranks", 0));
     const std::string shard_dir = args.get("shard-dir", "dist_shards");
     const auto shard_rows = static_cast<std::size_t>(args.get_int("shard-rows", 64));
+    const bool stream_merge = args.get_flag("stream-merge");
+    const int row_broadcast_budget =
+        static_cast<int>(args.get_int("row-broadcast-budget", 0));
+
+    if (stream_merge && (dist_ranks <= 0 || out.empty())) {
+      std::fprintf(stderr,
+                   "error: --stream-merge requires --dist-ranks and --out (the "
+                   "streamed artifact's destination)\n");
+      return 2;
+    }
 
     const auto g = load_or_generate(args);
     args.reject_unknown();  // all getters have run; leftovers are typos
@@ -200,6 +230,12 @@ int main(int argc, char** argv) {
       dopts.ranks = dist_ranks;
       dopts.shard_rows = shard_rows;
       dopts.shard_dir = shard_dir;
+      dopts.stream_merge = stream_merge;
+      if (stream_merge) dopts.stream_path = out;
+      dopts.row_broadcast_budget = row_broadcast_budget;
+      if (substrate != "auto") {
+        dopts.worker_substrate = sssp::substrate_from_string(substrate);
+      }
       dopts.worker_exec_argv = {self_exe_path(argv[0]), "--dist-worker",
                                 "--dist-fd", "{FD}", "--graph", graph_path,
                                 "--format", "binary"};
@@ -233,17 +269,41 @@ int main(int argc, char** argv) {
       if (r->degraded) {
         std::printf("degraded: %s\n", r->fault.to_string().c_str());
       }
-      std::printf("dist sweep=%.3fs rows=%u/%u\n", r->elapsed_seconds,
+      if (r->stream.enabled) {
+        std::printf(
+            "stream: rows=%llu bytes=%llu simd_checked=%llu prefetch_stalls=%llu "
+            "read=%.3fs stalled=%.3fs\n",
+            static_cast<unsigned long long>(r->stream.rows_streamed),
+            static_cast<unsigned long long>(r->stream.bytes_streamed),
+            static_cast<unsigned long long>(r->stream.simd_checked_rows),
+            static_cast<unsigned long long>(r->stream.prefetch_stalls),
+            r->stream.prefetch_read_s, r->stream.prefetch_stall_s);
+      }
+      if (r->stream.rows_broadcast > 0 || r->work.broadcast_rows_applied > 0) {
+        std::printf(
+            "broadcast: rows=%llu bytes=%llu applied=%llu reuse_hits=%llu\n",
+            static_cast<unsigned long long>(r->stream.rows_broadcast),
+            static_cast<unsigned long long>(r->stream.broadcast_bytes),
+            static_cast<unsigned long long>(r->work.broadcast_rows_applied),
+            static_cast<unsigned long long>(r->work.broadcast_row_reuses));
+      }
+      std::printf("dist sweep=%.3fs rows=%u/%u peak_rss_mib=%.1f\n",
+                  r->elapsed_seconds,
                   static_cast<VertexId>(
                       std::count(r->completed.begin(), r->completed.end(), 1)),
-                  g.num_vertices());
+                  g.num_vertices(), peak_rss_mib());
       if (!r->status.is_ok()) {
         std::printf("stopped early: %s\n", r->status.to_string().c_str());
         return 3;
       }
       if (!out.empty() && r->complete()) {
-        apsp::save_matrix(r->distances, out);
-        std::printf("distance matrix -> %s\n", out.c_str());
+        if (r->stream.enabled) {
+          // The streaming sink already wrote (and renamed into place) --out.
+          std::printf("distance matrix -> %s (streamed)\n", out.c_str());
+        } else {
+          apsp::save_matrix(r->distances, out);
+          std::printf("distance matrix -> %s\n", out.c_str());
+        }
       }
       return r->complete() ? 0 : 3;
     }
