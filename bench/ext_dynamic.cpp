@@ -1,0 +1,257 @@
+// ext_dynamic — the streaming-update scenario the serving extension targets:
+// a road-style grid whose edge weights churn (incidents slow arcs down,
+// clearances restore them) while Zipf-skewed query traffic keeps hitting the
+// served matrix. Each epoch is applied through apsp::DynamicEngine behind
+// serve::DynamicService and compared against the cost of recomputing from
+// scratch.
+//
+// The headline number is relaxations-per-epoch: repair must relax strictly
+// fewer arcs than a full repeated-Dijkstra rebuild (n * stored_arcs on a
+// connected graph — every source scans every arc once). Correctness is
+// spot-checked by diffing the engine's matrix against a from-scratch solve
+// on a sample of epochs; any divergence or a repair that does not beat the
+// rebuild fails the bench (exit 1), so CI can run it as a gate.
+//
+// Output: text table + BENCH_dynamic.json (JSONL, one object per epoch plus
+// a trailing summary object).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace parapsp;
+using Weight = std::uint32_t;
+
+/// Inverse-CDF Zipf over [0, n) with exponent theta — same sampler the load
+/// generator uses, so the query mix matches apsp_loadgen traffic.
+class ZipfSampler {
+ public:
+  ZipfSampler(VertexId n, double theta) : cdf_(n) {
+    double total = 0.0;
+    for (VertexId i = 0; i < n; ++i) {
+      total += theta == 0.0 ? 1.0 : std::pow(static_cast<double>(i) + 1.0, -theta);
+      cdf_[i] = total;
+    }
+  }
+
+  VertexId operator()(util::Xoshiro256& rng) const {
+    const double u = rng.uniform() * cdf_.back();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<VertexId>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct SimEdge {
+  VertexId u, v;
+  Weight base_w;     // clear-road weight
+  bool incident = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parapsp;
+  const auto cfg = bench::BenchConfig::from_args(argc, argv);
+  bench::banner("ext: dynamic updates — epoch repair vs full recompute", cfg);
+
+  // A weighted grid stands in for the road network: bounded degree, long
+  // shortest paths, exactly the regime where incremental repair should shine.
+  const auto side = static_cast<VertexId>(
+      std::max(16.0, std::sqrt(static_cast<double>(cfg.scaled(2304)))));
+  auto g = graph::grid_graph<Weight>(side, side);
+  g = graph::randomize_weights<Weight>(g, 1, 9, cfg.seed);
+  const VertexId n = g.num_vertices();
+
+  typename serve::DynamicService<Weight>::Options opts;
+  auto svc_or = serve::DynamicService<Weight>::create(g, opts);
+  if (!svc_or) {
+    std::fprintf(stderr, "error: %s\n", svc_or.status().message().c_str());
+    return 1;
+  }
+  auto& svc = *svc_or;
+
+  // The editable edge list, from the engine's own committed graph.
+  std::vector<SimEdge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nb = svc.engine().graph().neighbors(u);
+    const auto ws = svc.engine().graph().weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (u < nb[i]) edges.push_back({u, nb[i], ws[i]});
+    }
+  }
+  std::printf("grid %ux%u: n=%u edges=%zu\n", side, side, n, edges.size());
+
+  bench::JsonlWriter jsonl(cfg.csv_path("BENCH_dynamic.json"));
+  util::Xoshiro256 rng(cfg.seed ^ 0xd1f7ULL);
+  const ZipfSampler zipf(n, 0.8);
+
+  const int epochs = std::max(8, 2 * cfg.repeats);
+  const std::size_t churn = std::max<std::size_t>(4, edges.size() / 200);
+  std::uint64_t repair_total = 0, full_total = 0, identity_checks = 0;
+  bool all_beat_full = true;
+  bool all_identical = true;
+
+  std::printf("%-6s %-10s %-10s %-10s %-12s %-12s %-8s %-10s\n", "epoch", "repaired",
+              "recomp", "skipped", "repair_rlx", "full_rlx", "ratio", "query_ms");
+  for (int epoch = 1; epoch <= epochs; ++epoch) {
+    // Incident epoch (odd): slow a random slice of clear roads to 5x their
+    // base weight — a remove+insert pair per edge, the weight-increase path.
+    // Clearance epoch (even): restore every active incident — pure weight
+    // decreases, the insertion-repair path.
+    std::vector<apsp::EdgeUpdate<Weight>> batch;
+    if (epoch % 2 == 1) {
+      for (std::size_t i = 0; i < churn; ++i) {
+        auto& e = edges[rng.bounded(edges.size())];
+        if (e.incident) continue;
+        e.incident = true;
+        batch.push_back(apsp::EdgeUpdate<Weight>::remove(e.u, e.v));
+        batch.push_back(apsp::EdgeUpdate<Weight>::insert(e.u, e.v, e.base_w * 5));
+      }
+    } else {
+      for (auto& e : edges) {
+        if (!e.incident) continue;
+        e.incident = false;
+        batch.push_back(apsp::EdgeUpdate<Weight>::insert(e.u, e.v, e.base_w));
+      }
+    }
+    if (batch.empty()) continue;
+
+    util::WallTimer apply_timer;
+    const auto stats = svc.update(batch);
+    const double apply_s = apply_timer.seconds();
+    if (!stats) {
+      std::fprintf(stderr, "epoch %d failed: %s\n", epoch,
+                   stats.status().message().c_str());
+      return 1;
+    }
+
+    // Full-recompute baseline: on a connected graph every Dijkstra source
+    // scans every stored arc exactly once.
+    const std::uint64_t full_relax =
+        static_cast<std::uint64_t>(n) * svc.engine().graph().num_stored_edges();
+    const std::uint64_t repair_relax = stats->total_relaxations();
+    repair_total += repair_relax;
+    full_total += full_relax;
+    // Per-epoch the repair must never LOSE to a rebuild (a worst-case
+    // deletion epoch that recomputes every row degrades to exactly n*m);
+    // across the run it must win strictly — that is the whole point.
+    if (repair_relax > full_relax) all_beat_full = false;
+
+    // Zipf-source query traffic against the freshly published generation.
+    std::vector<std::pair<VertexId, VertexId>> pairs(256);
+    std::vector<Weight> out(pairs.size());
+    util::WallTimer query_timer;
+    for (auto& p : pairs) {
+      p = {zipf(rng), static_cast<VertexId>(rng.bounded(n))};
+    }
+    if (const auto st = svc.distances(pairs, out); !st.is_ok()) {
+      std::fprintf(stderr, "query batch failed: %s\n", st.message().c_str());
+      return 1;
+    }
+    const double query_ms = query_timer.seconds() * 1e3;
+
+    // Bit-identity spot check on a sample of epochs (full solves are the
+    // expensive part of this bench; every 4th epoch is plenty to gate on).
+    bool checked = false, identical = true;
+    if (epoch % 4 == 0 || epoch == epochs) {
+      checked = true;
+      ++identity_checks;
+      const auto ref = apsp::repeated_dijkstra_parallel(svc.engine().graph());
+      check::Provenance prov;
+      prov.backend_a = "dynamic-engine";
+      prov.backend_b = "recompute";
+      prov.graph_desc = "grid " + std::to_string(side) + "x" + std::to_string(side) +
+                        " epoch " + std::to_string(epoch);
+      const auto diff = check::diff_matrices(svc.engine().matrix(), ref, prov);
+      if (!diff) {
+        std::fprintf(stderr, "diff failed: %s\n", diff.status().message().c_str());
+        return 1;
+      }
+      if (diff->has_value()) {
+        identical = false;
+        all_identical = false;
+        std::fprintf(stderr, "DIVERGENCE at epoch %d: %s\n", epoch,
+                     (**diff).to_string().c_str());
+      }
+    }
+
+    const double ratio =
+        full_relax == 0 ? 0.0
+                        : static_cast<double>(repair_relax) / static_cast<double>(full_relax);
+    std::printf("%-6d %-10llu %-10llu %-10llu %-12llu %-12llu %-8.4f %-10.3f%s\n",
+                epoch, static_cast<unsigned long long>(stats->rows_repaired),
+                static_cast<unsigned long long>(stats->rows_recomputed),
+                static_cast<unsigned long long>(stats->rows_skipped),
+                static_cast<unsigned long long>(repair_relax),
+                static_cast<unsigned long long>(full_relax), ratio, query_ms,
+                checked ? (identical ? "  [identity ok]" : "  [DIVERGED]") : "");
+    std::fflush(stdout);
+
+    bench::JsonLine line;
+    line.field("bench", "ext_dynamic")
+        .field("epoch", static_cast<std::uint64_t>(epoch))
+        .field("n", static_cast<std::uint64_t>(n))
+        .field("updates", static_cast<std::uint64_t>(batch.size()))
+        .field("arcs_decreased", stats->arcs_decreased)
+        .field("arcs_removed", stats->arcs_removed)
+        .field("rows_repaired", stats->rows_repaired)
+        .field("rows_recomputed", stats->rows_recomputed)
+        .field("rows_skipped", stats->rows_skipped)
+        .field("repair_relaxations", repair_relax)
+        .field("full_relaxations", full_relax)
+        .field("relax_ratio", ratio)
+        .field("apply_s", apply_s)
+        .field("query_batch_ms", query_ms)
+        .field("generation", svc.generation())
+        .field("identity_checked", checked)
+        .field("identical", checked ? identical : true);
+    jsonl.write(line);
+  }
+
+  bench::JsonLine summary;
+  summary.field("bench", "ext_dynamic")
+      .field("summary", true)
+      .field("epochs", svc.engine().totals().epochs)
+      .field("repair_relaxations_total", repair_total)
+      .field("full_relaxations_total", full_total)
+      .field("relax_ratio_total",
+             full_total == 0 ? 0.0
+                             : static_cast<double>(repair_total) /
+                                   static_cast<double>(full_total))
+      .field("identity_checks", identity_checks)
+      .field("repair_never_worse", all_beat_full)
+      .field("repair_wins_overall", repair_total < full_total)
+      .field("bit_identical", all_identical);
+  jsonl.write(summary);
+  jsonl.finish();
+
+  std::printf("total: repair %llu vs full %llu relaxations (%.4fx), %llu identity checks\n",
+              static_cast<unsigned long long>(repair_total),
+              static_cast<unsigned long long>(full_total),
+              full_total == 0 ? 0.0
+                              : static_cast<double>(repair_total) /
+                                    static_cast<double>(full_total),
+              static_cast<unsigned long long>(identity_checks));
+  const bool wins_overall = repair_total < full_total;
+  if (!all_identical || !all_beat_full || !wins_overall) {
+    std::fprintf(stderr, "FAIL: %s\n",
+                 !all_identical  ? "repaired matrix diverged from recompute"
+                 : !all_beat_full ? "an epoch relaxed more arcs than a full rebuild"
+                                  : "repair did not relax strictly fewer arcs overall");
+    return 1;
+  }
+  std::printf("OK: bit-identical on every check, %.1f%% of the rebuild's relaxations\n",
+              100.0 * static_cast<double>(repair_total) /
+                  static_cast<double>(full_total));
+  return 0;
+}

@@ -6,19 +6,41 @@
 // exact:
 //     D[a,b] = min(D[a,b], D[a,u] + w + D[v,b])    for all (a,b)
 // (plus the mirrored pivot for undirected edges). Deletions / weight
-// increases can lengthen distances and need a recompute — deliberately not
-// hidden behind this API.
+// increases can lengthen distances and need a decremental path — that lives
+// in dynamic_engine.hpp (the epoch-batched engine), deliberately not hidden
+// behind this API.
 //
 // The update is embarrassingly parallel over rows `a` and costs O(n^2) per
 // edge vs O(n^2.4) for a full ParAPSP recompute — worth it for small batches
 // of changes on large matrices.
+//
+// Error/control contract (matches the rest of the library):
+//  - invalid input (vertex out of range, negative/NaN weight) returns a typed
+//    kInvalidArgument through Expected — never an exception;
+//  - apply_insertions validates the whole batch before touching D, so an
+//    invalid entry leaves the matrix bit-identical to its pre-call state;
+//  - an ExecutionControl cancel/deadline is honored at row granularity. A
+//    stopped call returns kCancelled/kTimeout; D then holds a *monotone
+//    refinement* (every entry between its old value and the exact new one —
+//    still a valid upper bound, no longer guaranteed exact). Callers that
+//    need all-or-nothing semantics use DynamicEngine, which snapshots and
+//    rolls back.
+//  - obs counters: pivot cells stream through kRowCellsScanned, improvements
+//    through kRowReuseImprovements, and the no-op fast path counts skipped
+//    pivots via kDynNoopSkips.
 #pragma once
 
 #include <omp.h>
 
-#include <stdexcept>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "apsp/distance_matrix.hpp"
+#include "obs/metrics.hpp"
+#include "util/exec_control.hpp"
+#include "util/expected.hpp"
+#include "util/status.hpp"
 #include "util/types.hpp"
 
 namespace parapsp::apsp {
@@ -33,15 +55,56 @@ struct EdgeInsertion {
   bool undirected = false;  ///< also pivot through v->u
 };
 
-/// Applies one insertion to an exact matrix, keeping it exact.
-/// Returns the number of (a, b) entries that improved.
+namespace detail {
+
+/// Shared validation for the single and batch entry points. `index` < 0
+/// means "not part of a batch" (omitted from the message).
 template <WeightType W>
-std::uint64_t apply_insertion(DistanceMatrix<W>& D, const EdgeInsertion<W>& e) {
+[[nodiscard]] inline util::Status validate_insertion(VertexId n,
+                                                     const EdgeInsertion<W>& e,
+                                                     std::int64_t index = -1) {
+  const auto where = index < 0 ? std::string{}
+                               : " (batch entry " + std::to_string(index) + ")";
+  if (e.u >= n || e.v >= n) {
+    return {util::ErrorCode::kInvalidArgument,
+            "apply_insertion: vertex out of range: (" + std::to_string(e.u) + "," +
+                std::to_string(e.v) + ") with n=" + std::to_string(n) + where};
+  }
+  if (!(e.w >= W{0})) {  // negation catches NaN float weights too
+    return {util::ErrorCode::kInvalidArgument,
+            "apply_insertion: negative weight" + where};
+  }
+  return util::Status::ok();
+}
+
+}  // namespace detail
+
+/// Applies one insertion to an exact matrix, keeping it exact.
+/// Returns the number of (a, b) entries that improved, or a typed error
+/// (kInvalidArgument on bad input; kCancelled/kTimeout when `control` stops
+/// the pivot mid-way — see the header contract for the partial-refinement
+/// semantics of a stopped call).
+template <WeightType W>
+[[nodiscard]] util::Expected<std::uint64_t> apply_insertion(
+    DistanceMatrix<W>& D, const EdgeInsertion<W>& e,
+    const util::ExecutionControl* control = nullptr) {
   const VertexId n = D.size();
-  if (e.u >= n || e.v >= n) throw std::out_of_range("apply_insertion: vertex out of range");
-  if (e.w < W{0}) throw std::invalid_argument("apply_insertion: negative weight");
+  if (auto st = detail::validate_insertion(n, e); !st.is_ok()) return st;
+  if (control != nullptr) {
+    if (auto st = control->check(); !st.is_ok()) return st;
+  }
+
+  // No-op fast path: when D[u,v] <= w the new edge is never a shortcut —
+  // for any (a,b), D[a,u] + w + D[v,b] >= D[a,u] + D[u,v] + D[v,b] >= D[a,b]
+  // by the triangle inequality — so the O(n^2) pivot cannot improve a cell.
+  // (Undirected needs both orientations dominated before skipping both.)
+  const bool fwd_noop = D.at(e.u, e.v) <= e.w;
+  const bool rev_noop = D.at(e.v, e.u) <= e.w;
+  std::uint64_t noop_skips = 0;
 
   std::uint64_t improved = 0;
+  std::uint64_t cells = 0;
+  bool stopped = false;
 
   auto pivot = [&](VertexId u, VertexId v, W w) {
     // D[a,b] <- min(D[a,b], D[a,u] + w + D[v,b])
@@ -52,8 +115,10 @@ std::uint64_t apply_insertion(DistanceMatrix<W>& D, const EdgeInsertion<W>& e) {
     // below the addend), so no write to row v ever executes and the loop is
     // race-free with rows otherwise disjoint.
     std::uint64_t count = 0;
-#pragma omp parallel for schedule(static) reduction(+ : count)
+    std::uint64_t scanned = 0;
+#pragma omp parallel for schedule(static) reduction(+ : count, scanned)
     for (std::int64_t ai = 0; ai < static_cast<std::int64_t>(n); ++ai) {
+      if (control != nullptr && control->should_stop()) continue;
       const auto a = static_cast<VertexId>(ai);
       const W au = D.at(a, u);
       if (is_infinite(au)) continue;
@@ -61,6 +126,7 @@ std::uint64_t apply_insertion(DistanceMatrix<W>& D, const EdgeInsertion<W>& e) {
       if (is_infinite(base)) continue;
       auto row_a = D.row(a);
       const auto row_v = D.row(v);
+      scanned += n;
       for (VertexId b = 0; b < n; ++b) {
         const W cand = dist_add(base, row_v[b]);
         if (cand < row_a[b]) {
@@ -69,21 +135,58 @@ std::uint64_t apply_insertion(DistanceMatrix<W>& D, const EdgeInsertion<W>& e) {
         }
       }
     }
-    return count;
+    improved += count;
+    cells += scanned;
   };
 
-  improved += pivot(e.u, e.v, e.w);
-  if (e.undirected && e.u != e.v) improved += pivot(e.v, e.u, e.w);
+  if (fwd_noop) {
+    ++noop_skips;
+  } else {
+    pivot(e.u, e.v, e.w);
+  }
+  if (e.undirected && e.u != e.v) {
+    if (rev_noop) {
+      ++noop_skips;
+    } else if (control == nullptr || !control->should_stop()) {
+      pivot(e.v, e.u, e.w);
+    } else {
+      stopped = true;
+    }
+  }
+  if (control != nullptr && control->should_stop()) stopped = true;
+
+  obs::count(obs::Counter::kRowCellsScanned, cells);
+  obs::count(obs::Counter::kRowReuseImprovements, improved);
+  obs::count(obs::Counter::kDynNoopSkips, noop_skips);
+  if (stopped) return control->check();
   return improved;
 }
 
 /// Applies a batch of insertions in order. (Order matters only for the
 /// improvement counts; the final matrix is the same for any order.)
+///
+/// Torn-batch guarantee: every edge is validated *before* the first pivot, so
+/// an invalid entry returns kInvalidArgument (naming the offending index)
+/// with D bit-identical to its pre-call state. Only a mid-batch control stop
+/// can leave a partial (still monotone-refined) matrix.
 template <WeightType W>
-std::uint64_t apply_insertions(DistanceMatrix<W>& D,
-                               const std::vector<EdgeInsertion<W>>& edges) {
+[[nodiscard]] util::Expected<std::uint64_t> apply_insertions(
+    DistanceMatrix<W>& D, const std::vector<EdgeInsertion<W>>& edges,
+    const util::ExecutionControl* control = nullptr) {
+  const VertexId n = D.size();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (auto st = detail::validate_insertion(n, edges[i],
+                                             static_cast<std::int64_t>(i));
+        !st.is_ok()) {
+      return st;
+    }
+  }
   std::uint64_t improved = 0;
-  for (const auto& e : edges) improved += apply_insertion(D, e);
+  for (const auto& e : edges) {
+    auto r = apply_insertion(D, e, control);
+    if (!r) return r.status();
+    improved += *r;
+  }
   return improved;
 }
 

@@ -1,0 +1,549 @@
+// Epoch-batched incremental APSP engine — the streaming/dynamic scenario
+// (docs/DYNAMIC.md).
+//
+// The static layers compute one exact matrix and stop; real-time routing
+// needs the matrix to *track* a live graph. DynamicEngine owns the current
+// graph (a min-weight adjacency) and its exact DistanceMatrix, and applies
+// updates in **epochs**: a batch of edge insertions/deletions is validated,
+// classified, repaired, and committed as one atomic step. Between epochs the
+// matrix is exact for the current graph — always.
+//
+// Repair strategy per epoch (the interesting part):
+//
+//  * Insertions / weight decreases. Row `a` can only change if some
+//    decreased arc (u,v,w) opens a shortcut: dist_add(D[a,u], w) < D[a,v]
+//    (otherwise the triangle inequality caps every candidate path through
+//    the new arc at the old distance). Rows failing this *endpoint-distance
+//    pre-filter* for every decreased arc are provably untouched and are
+//    skipped without reading the other n-1 cells. Affected rows are repaired
+//    in place by a truncated Dijkstra seeded with the improved endpoints —
+//    the Ramalingam-Reps incremental SSSP specialized to warm-started rows:
+//    the old row entries are valid upper bounds on the new graph, so the
+//    heap starts from the seed improvements and only touches the shrinking
+//    region. Multi-arc interactions (a path through two new arcs) are found
+//    because the repair relaxes *all* arcs of the new graph from settled
+//    vertices.
+//
+//  * Deletions / weight increases. These can lengthen distances, which
+//    in-place min-plus repair cannot express. Source `s` is *possibly*
+//    affected by removing arc (u,v,w_old) only if the arc is tight from s:
+//    dist_add(D[s,u], w_old) == D[s,v] — a necessary condition for (u,v) to
+//    lie on any shortest path out of s. Sources failing the tightness test
+//    for every removed arc keep exact rows (their old shortest paths
+//    survive) and flow through the insertion repair above; flagged sources
+//    get a full Dijkstra re-run on the new graph (counted separately through
+//    kHeavyEdgeRelaxations — the "heavy" decremental work).
+//
+// Atomicity: the whole batch is validated before anything mutates, and every
+// row is snapshotted before its first write. A cancel/deadline stop (or a
+// failed verification) restores the snapshots and leaves engine state
+// bit-identical to the pre-epoch state; the typed error says why. The new
+// adjacency/CSR are built on the side and only swapped in on commit.
+//
+// Verification: opts.verify_landmarks samples the landmark-sandwich
+// invariant (check/invariants.hpp) against a LandmarkIndex built on the new
+// graph before committing — the cheap in-process guard; the full
+// recompute differential lives in the src/check/ oracle backends
+// (check/backends.hpp: dynamic_backends) and CI.
+//
+// Publication: an optional Publisher callback receives the committed matrix,
+// graph, and epoch number — serve::DynamicService wires this to
+// ShardStore::publish_matrix so query readers swap generations atomically
+// while in-flight batches keep their snapshot (docs/SERVING.md).
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apsp/distance_matrix.hpp"
+#include "apsp/landmarks.hpp"
+#include "apsp/repeated_dijkstra.hpp"
+#include "check/invariants.hpp"
+#include "graph/csr_graph.hpp"
+#include "obs/metrics.hpp"
+#include "util/exec_control.hpp"
+#include "util/expected.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::apsp {
+
+/// One edge update inside an epoch batch. On undirected engines an update
+/// applies to both orientations. Inserting an existing edge min-combines the
+/// weight (a heavier duplicate is a no-op, a lighter one a decrease);
+/// removing a missing edge is an error (it usually means the caller's view
+/// of the graph has drifted).
+template <WeightType W>
+struct EdgeUpdate {
+  enum class Op : std::uint8_t { kInsert, kRemove };
+
+  Op op = Op::kInsert;
+  VertexId u = 0;
+  VertexId v = 0;
+  W w = W{1};  ///< ignored for kRemove
+
+  [[nodiscard]] static EdgeUpdate insert(VertexId u, VertexId v, W w) {
+    return {Op::kInsert, u, v, w};
+  }
+  [[nodiscard]] static EdgeUpdate remove(VertexId u, VertexId v) {
+    return {Op::kRemove, u, v, W{0}};
+  }
+};
+
+/// What one committed epoch did — the engine's per-batch observability.
+struct EpochStats {
+  std::uint64_t epoch = 0;            ///< epoch number after the commit (1-based)
+  std::uint64_t arcs_decreased = 0;   ///< stored arcs that got shorter / appeared
+  std::uint64_t arcs_removed = 0;     ///< stored arcs removed or lengthened
+  std::uint64_t noop_arcs = 0;        ///< touched arcs whose final weight is unchanged
+  std::uint64_t rows_repaired = 0;    ///< rows fixed by truncated Dijkstra
+  std::uint64_t rows_recomputed = 0;  ///< rows re-run from scratch (deletion path)
+  std::uint64_t rows_skipped = 0;     ///< rows proved unaffected by the pre-filters
+  std::uint64_t repair_relaxations = 0;     ///< arc relaxations in truncated repair
+  std::uint64_t recompute_relaxations = 0;  ///< arc relaxations in full re-runs
+  std::uint64_t heap_pops = 0;        ///< repair heap extractions
+  std::uint64_t improved_cells = 0;   ///< matrix entries shortened this epoch
+  std::uint64_t prefilter_cells = 0;  ///< matrix cells read by the pre-filters
+  util::Status publish_status = util::Status::ok();  ///< publisher outcome
+
+  /// Total relaxation work the epoch cost (repair + decremental re-runs) —
+  /// the number BENCH_dynamic compares against a full recompute.
+  [[nodiscard]] std::uint64_t total_relaxations() const noexcept {
+    return repair_relaxations + recompute_relaxations;
+  }
+};
+
+/// Lifetime totals across epochs (for stats endpoints).
+struct DynamicEngineTotals {
+  std::uint64_t epochs = 0;
+  std::uint64_t rows_repaired = 0;
+  std::uint64_t rows_recomputed = 0;
+  std::uint64_t rows_skipped = 0;
+  std::uint64_t repair_relaxations = 0;
+  std::uint64_t recompute_relaxations = 0;
+  std::uint64_t improved_cells = 0;
+};
+
+struct DynamicEngineOptions {
+  /// Cooperative cancel/deadline, checked at row granularity inside an
+  /// epoch. A stop rolls the epoch back (all-or-nothing).
+  const util::ExecutionControl* control = nullptr;
+  /// Sample the landmark-sandwich invariant on the repaired matrix before
+  /// committing; a violation aborts and rolls back the epoch (kInternal).
+  bool verify_landmarks = false;
+  VertexId landmark_count = 4;
+  std::size_t landmark_samples = 256;
+  std::uint64_t verify_seed = 1;
+};
+
+/// The epoch-batched incremental APSP engine. Not internally synchronized:
+/// one writer at a time calls apply(); concurrent readers go through the
+/// published snapshots (serve::DynamicService), never through matrix().
+template <WeightType W>
+class DynamicEngine {
+ public:
+  using Update = EdgeUpdate<W>;
+  /// Called after a commit with the exact matrix, the graph it matches, and
+  /// the (1-based) epoch number. Failures are reported through
+  /// EpochStats::publish_status — the epoch itself stays committed.
+  using Publisher = std::function<util::Status(
+      const DistanceMatrix<W>&, const graph::Graph<W>&, std::uint64_t)>;
+
+  /// Builds the engine from a starting graph: adopts its min-weight simple
+  /// projection (parallel arcs collapse to the lightest — distance-neutral
+  /// with W >= 0) and solves the initial matrix.
+  [[nodiscard]] static util::Expected<DynamicEngine> create(
+      const graph::Graph<W>& g, DynamicEngineOptions opts = {}) {
+    DynamicEngine e;
+    e.opts_ = opts;
+    e.n_ = g.num_vertices();
+    e.dir_ = g.directedness();
+    e.adj_.assign(e.n_, {});
+    for (VertexId u = 0; u < e.n_; ++u) {
+      const auto nb = g.neighbors(u);
+      const auto ws = g.weights(u);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        auto [it, fresh] = e.adj_[u].try_emplace(nb[i], ws[i]);
+        if (!fresh && ws[i] < it->second) it->second = ws[i];
+      }
+    }
+    e.graph_ = build_csr(e.dir_, e.n_, e.adj_);
+    e.D_ = repeated_dijkstra_parallel(e.graph_);
+    return e;
+  }
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return n_; }
+  [[nodiscard]] graph::Directedness directedness() const noexcept { return dir_; }
+  /// Epochs committed so far (0 = fresh engine).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  /// The current exact matrix (exact for graph() between apply() calls).
+  [[nodiscard]] const DistanceMatrix<W>& matrix() const noexcept { return D_; }
+  /// The current graph as CSR (rebuilt on each commit).
+  [[nodiscard]] const graph::Graph<W>& graph() const noexcept { return graph_; }
+  [[nodiscard]] const DynamicEngineTotals& totals() const noexcept { return totals_; }
+
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const {
+    return u < n_ && adj_[u].count(v) != 0;
+  }
+  [[nodiscard]] std::optional<W> edge_weight(VertexId u, VertexId v) const {
+    if (u >= n_) return std::nullopt;
+    const auto it = adj_[u].find(v);
+    if (it == adj_[u].end()) return std::nullopt;
+    return it->second;
+  }
+
+  void set_publisher(Publisher p) { publisher_ = std::move(p); }
+
+  /// Single-update conveniences (one-update epochs).
+  [[nodiscard]] util::Expected<EpochStats> insert_edge(VertexId u, VertexId v, W w) {
+    const Update one[] = {Update::insert(u, v, w)};
+    return apply(one);
+  }
+  [[nodiscard]] util::Expected<EpochStats> remove_edge(VertexId u, VertexId v) {
+    const Update one[] = {Update::remove(u, v)};
+    return apply(one);
+  }
+
+  /// Applies one epoch: validate everything, repair affected rows, commit,
+  /// publish. On any error (invalid update, cancel/deadline, verification
+  /// failure) the engine — matrix *and* graph — is bit-identical to its
+  /// pre-call state.
+  [[nodiscard]] util::Expected<EpochStats> apply(std::span<const Update> updates) {
+    const util::ExecutionControl* control = opts_.control;
+    EpochStats stats;
+
+    // ---- Phase 1: validate the whole batch, build the final-state overlay
+    // of touched arcs. Nothing mutates yet, so the first invalid entry
+    // returns with the engine untouched (no torn epoch). The overlay is the
+    // *net* effect: remove+reinsert of the same edge in one batch cancels.
+    std::map<std::pair<VertexId, VertexId>, std::optional<W>> overlay;
+    const auto current = [&](VertexId a, VertexId b) -> std::optional<W> {
+      const auto it = overlay.find({a, b});
+      if (it != overlay.end()) return it->second;
+      const auto jt = adj_[a].find(b);
+      if (jt == adj_[a].end()) return std::nullopt;
+      return jt->second;
+    };
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      const Update& up = updates[i];
+      const auto where = " (batch entry " + std::to_string(i) + ")";
+      if (up.u >= n_ || up.v >= n_) {
+        return util::Status{util::ErrorCode::kInvalidArgument,
+                            "dynamic update: vertex out of range: (" +
+                                std::to_string(up.u) + "," + std::to_string(up.v) +
+                                ") with n=" + std::to_string(n_) + where};
+      }
+      const bool both = dir_ == graph::Directedness::kUndirected && up.u != up.v;
+      if (up.op == Update::Op::kInsert) {
+        if (!(up.w >= W{0}) || is_infinite(up.w)) {
+          return util::Status{util::ErrorCode::kInvalidArgument,
+                              "dynamic update: insert weight must be finite and "
+                              "non-negative" + where};
+        }
+        const auto cur = current(up.u, up.v);
+        const W w = cur.has_value() ? std::min(*cur, up.w) : up.w;
+        overlay[{up.u, up.v}] = w;
+        if (both) overlay[{up.v, up.u}] = w;
+      } else {
+        if (!current(up.u, up.v).has_value()) {
+          return util::Status{util::ErrorCode::kInvalidArgument,
+                              "dynamic update: removing nonexistent edge (" +
+                                  std::to_string(up.u) + "," + std::to_string(up.v) +
+                                  ")" + where};
+        }
+        overlay[{up.u, up.v}] = std::nullopt;
+        if (both) overlay[{up.v, up.u}] = std::nullopt;
+      }
+    }
+
+    // ---- Phase 2: diff the overlay against the pre-epoch adjacency.
+    struct Decrease {
+      VertexId u, v;
+      W w;  ///< new (shorter) weight
+    };
+    struct Removal {
+      VertexId u, v;
+      W w_old;  ///< pre-epoch weight (removed or lengthened arc)
+    };
+    std::vector<Decrease> decreased;
+    std::vector<Removal> weakened;
+    for (const auto& [arc, final_w] : overlay) {
+      const auto [u, v] = arc;
+      const auto it = adj_[u].find(v);
+      const std::optional<W> old_w =
+          it == adj_[u].end() ? std::nullopt : std::optional<W>(it->second);
+      if (final_w.has_value() && old_w.has_value() && *final_w == *old_w) {
+        ++stats.noop_arcs;
+        continue;
+      }
+      if (final_w.has_value() && (!old_w.has_value() || *final_w < *old_w)) {
+        decreased.push_back({u, v, *final_w});
+      } else if (old_w.has_value()) {
+        weakened.push_back({u, v, *old_w});
+      }
+    }
+    stats.arcs_decreased = decreased.size();
+    stats.arcs_removed = weakened.size();
+
+    // ---- Phase 3: build the post-epoch adjacency + CSR on the side.
+    std::vector<std::map<VertexId, W>> new_adj = adj_;
+    for (const auto& [arc, final_w] : overlay) {
+      if (final_w.has_value()) {
+        new_adj[arc.first][arc.second] = *final_w;
+      } else {
+        new_adj[arc.first].erase(arc.second);
+      }
+    }
+    graph::Graph<W> new_graph = build_csr(dir_, n_, new_adj);
+
+    // ---- Phase 4: deletion pre-filter — flag sources for which a removed
+    // arc was tight (necessary for the arc to carry any shortest path).
+    std::vector<std::uint8_t> needs_recompute(n_, 0);
+    std::uint64_t filter_cells = 0;
+    if (!weakened.empty()) {
+#pragma omp parallel for schedule(static) reduction(+ : filter_cells)
+      for (std::int64_t si = 0; si < static_cast<std::int64_t>(n_); ++si) {
+        const auto s = static_cast<VertexId>(si);
+        const auto row = std::as_const(D_).row(s);
+        for (const auto& r : weakened) {
+          filter_cells += 2;
+          if (!is_infinite(row[r.u]) && dist_add(row[r.u], r.w_old) <= row[r.v]) {
+            needs_recompute[s] = 1;
+            break;
+          }
+        }
+      }
+    }
+
+    // ---- Phase 5: repair. Each row is owned by exactly one thread; a row
+    // is snapshotted into `undo` before its first write so a stop (or a
+    // failed verification) can restore the pre-epoch matrix exactly.
+    std::vector<std::unique_ptr<W[]>> undo(n_);
+    std::uint64_t rows_repaired = 0, rows_recomputed = 0, rows_skipped = 0;
+    std::uint64_t repair_relax = 0, recompute_relax = 0, pops = 0;
+    std::uint64_t improved_cells = 0, prefilter_cells = 0;
+
+#pragma omp parallel reduction(+ : rows_repaired, rows_recomputed, rows_skipped, \
+                                   repair_relax, recompute_relax, pops,          \
+                                   improved_cells, prefilter_cells)
+    {
+      using HeapEntry = std::pair<W, VertexId>;
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+      std::vector<VertexId> seeds;
+
+      const auto backup = [&](VertexId s) {
+        auto copy = std::make_unique<W[]>(n_);
+        const auto row = std::as_const(D_).row(s);
+        std::copy(row.begin(), row.begin() + n_, copy.get());
+        undo[s] = std::move(copy);
+      };
+
+#pragma omp for schedule(dynamic, 8)
+      for (std::int64_t si = 0; si < static_cast<std::int64_t>(n_); ++si) {
+        if (control != nullptr && control->should_stop()) continue;
+        const auto s = static_cast<VertexId>(si);
+
+        if (needs_recompute[s] != 0) {
+          // Decremental path: full Dijkstra on the new graph.
+          backup(s);
+          auto row = D_.row(s);
+          std::fill(row.begin(), row.begin() + n_, infinity<W>());
+          row[s] = W{0};
+          while (!heap.empty()) heap.pop();
+          heap.emplace(W{0}, s);
+          while (!heap.empty()) {
+            const auto [d, x] = heap.top();
+            heap.pop();
+            ++pops;
+            if (d > row[x]) continue;  // stale entry
+            const auto nb = new_graph.neighbors(x);
+            const auto ws = new_graph.weights(x);
+            for (std::size_t i = 0; i < nb.size(); ++i) {
+              ++recompute_relax;
+              const W cand = dist_add(d, ws[i]);
+              if (cand < row[nb[i]]) {
+                row[nb[i]] = cand;
+                heap.emplace(cand, nb[i]);
+              }
+            }
+          }
+          ++rows_recomputed;
+          continue;
+        }
+
+        // Incremental path: endpoint-distance pre-filter, then truncated
+        // Dijkstra seeded from the improved endpoints.
+        {
+          const auto row = std::as_const(D_).row(s);
+          seeds.clear();
+          for (const auto& d : decreased) {
+            prefilter_cells += 2;
+            if (is_infinite(row[d.u])) continue;
+            if (dist_add(row[d.u], d.w) < row[d.v]) {
+              seeds.push_back(static_cast<VertexId>(&d - decreased.data()));
+            }
+          }
+        }
+        if (seeds.empty()) {
+          ++rows_skipped;
+          continue;
+        }
+        backup(s);
+        auto row = D_.row(s);
+        while (!heap.empty()) heap.pop();
+        for (const VertexId di : seeds) {
+          const auto& d = decreased[di];
+          const W cand = dist_add(row[d.u], d.w);
+          if (cand < row[d.v]) {
+            row[d.v] = cand;
+            ++improved_cells;
+            heap.emplace(cand, d.v);
+          }
+        }
+        while (!heap.empty()) {
+          const auto [dist, x] = heap.top();
+          heap.pop();
+          ++pops;
+          if (dist > row[x]) continue;  // stale entry
+          const auto nb = new_graph.neighbors(x);
+          const auto ws = new_graph.weights(x);
+          for (std::size_t i = 0; i < nb.size(); ++i) {
+            ++repair_relax;
+            const W cand = dist_add(dist, ws[i]);
+            if (cand < row[nb[i]]) {
+              row[nb[i]] = cand;
+              ++improved_cells;
+              heap.emplace(cand, nb[i]);
+            }
+          }
+        }
+        ++rows_repaired;
+      }
+    }
+
+    const auto rollback = [&] {
+      for (VertexId s = 0; s < n_; ++s) {
+        if (undo[s] == nullptr) continue;
+        auto row = D_.row(s);
+        std::copy(undo[s].get(), undo[s].get() + n_, row.begin());
+      }
+    };
+
+    if (control != nullptr && control->should_stop()) {
+      rollback();
+      auto st = control->check();
+      return st.is_ok() ? util::Status{util::ErrorCode::kCancelled,
+                                       "dynamic epoch stopped"}
+                        : st;
+    }
+
+    // ---- Phase 6: optional sampled verification before the commit.
+    if (opts_.verify_landmarks && n_ > 0) {
+      const VertexId k = std::max<VertexId>(
+          1, std::min<VertexId>(opts_.landmark_count, n_));
+      const LandmarkIndex<W> index(new_graph, k, LandmarkPolicy::kTopDegree,
+                                   opts_.verify_seed);
+      check::InvariantReport report;
+      check::check_landmark_sandwich(index, D_, report, opts_.landmark_samples,
+                                     opts_.verify_seed, /*max_problems=*/1);
+      if (!report.ok()) {
+        rollback();
+        return util::Status{util::ErrorCode::kInternal,
+                            "dynamic epoch failed landmark verification: " +
+                                report.problems.front()};
+      }
+    }
+
+    // ---- Phase 7: commit + publish.
+    adj_ = std::move(new_adj);
+    graph_ = std::move(new_graph);
+    ++epoch_;
+
+    stats.epoch = epoch_;
+    stats.rows_repaired = rows_repaired;
+    stats.rows_recomputed = rows_recomputed;
+    stats.rows_skipped = rows_skipped;
+    stats.repair_relaxations = repair_relax;
+    stats.recompute_relaxations = recompute_relax;
+    stats.heap_pops = pops;
+    stats.improved_cells = improved_cells;
+    stats.prefilter_cells = prefilter_cells + filter_cells;
+
+    totals_.epochs += 1;
+    totals_.rows_repaired += rows_repaired;
+    totals_.rows_recomputed += rows_recomputed;
+    totals_.rows_skipped += rows_skipped;
+    totals_.repair_relaxations += repair_relax;
+    totals_.recompute_relaxations += recompute_relax;
+    totals_.improved_cells += improved_cells;
+
+    obs::count(obs::Counter::kEdgeRelaxations, repair_relax);
+    obs::count(obs::Counter::kHeavyEdgeRelaxations, recompute_relax);
+    obs::count(obs::Counter::kRowCellsScanned, stats.prefilter_cells);
+    obs::count(obs::Counter::kSourcesCompleted, rows_repaired + rows_recomputed);
+    obs::count(obs::Counter::kDynEpochs);
+    obs::count(obs::Counter::kDynRowsRepaired, rows_repaired + rows_recomputed);
+    obs::count(obs::Counter::kDynRowsSkipped, rows_skipped);
+
+    if (publisher_) stats.publish_status = publisher_(D_, graph_, epoch_);
+    return stats;
+  }
+
+ private:
+  DynamicEngine() = default;
+
+  /// Assembles the CSR view of a min-weight adjacency (maps keep targets
+  /// sorted, so the arc order is deterministic).
+  [[nodiscard]] static graph::Graph<W> build_csr(
+      graph::Directedness dir, VertexId n,
+      const std::vector<std::map<VertexId, W>>& adj) {
+    std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+    EdgeId m = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      offsets[u] = m;
+      m += static_cast<EdgeId>(adj[u].size());
+    }
+    offsets[n] = m;
+    std::vector<VertexId> targets;
+    std::vector<W> weights;
+    targets.reserve(m);
+    weights.reserve(m);
+    EdgeId self_loops = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      for (const auto& [v, w] : adj[u]) {
+        targets.push_back(v);
+        weights.push_back(w);
+        if (u == v) ++self_loops;
+      }
+    }
+    graph::Graph<W> g(dir, n, std::move(offsets), std::move(targets),
+                      std::move(weights));
+    g.set_num_self_loops(self_loops);
+    return g;
+  }
+
+  VertexId n_ = 0;
+  graph::Directedness dir_ = graph::Directedness::kUndirected;
+  /// Min-weight simple adjacency — the authoritative graph state. Undirected
+  /// edges are stored in both directions (self-loops once), matching CSR.
+  std::vector<std::map<VertexId, W>> adj_;
+  graph::Graph<W> graph_;  ///< CSR mirror of adj_, rebuilt per commit
+  DistanceMatrix<W> D_;    ///< exact for graph_ between apply() calls
+  std::uint64_t epoch_ = 0;
+  DynamicEngineOptions opts_;
+  Publisher publisher_;
+  DynamicEngineTotals totals_;
+};
+
+}  // namespace parapsp::apsp

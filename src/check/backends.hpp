@@ -4,6 +4,8 @@
 //   apsp_backends()      every core::Algorithm through the solver facade
 //   ordering_backends()  the ParAPSP sweep over every order/ procedure
 //   sssp_backends()      every sssp/ substrate lifted to a per-source matrix
+//   dynamic_backends()   the epoch-batched DynamicEngine reaching g through
+//                        insertion-only / deletion-only / mixed update epochs
 //
 // All of them must produce the same distances on the same graph; the fuzz
 // driver (fuzz.hpp, tools/apsp_check) diffs each against the trusted
@@ -13,11 +15,17 @@
 #pragma once
 
 #include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
 #include <vector>
 
+#include "apsp/dynamic_engine.hpp"
 #include "apsp/repeated_dijkstra.hpp"
 #include "check/oracle.hpp"
 #include "core/solver.hpp"
+#include "graph/builder.hpp"
 #include "graph/csr_graph.hpp"
 #include "sssp/bellman_ford.hpp"
 #include "sssp/bfs.hpp"
@@ -216,6 +224,181 @@ template <WeightType W>
   return out;
 }
 
+namespace detail {
+
+/// The graph's min-weight logical arcs: all stored arcs for directed graphs,
+/// one (u<=v) representative per edge for undirected ones, parallel arcs
+/// collapsed to the lightest. This is exactly the arc set DynamicEngine
+/// adopts, so replaying it through updates reproduces the engine's graph —
+/// and the engine's distances equal distances on the multigraph (a heavier
+/// parallel arc or self-loop never carries a shortest path with W >= 0).
+template <WeightType W>
+[[nodiscard]] inline std::vector<std::tuple<VertexId, VertexId, W>> logical_arcs(
+    const graph::Graph<W>& g) {
+  std::map<std::pair<VertexId, VertexId>, W> min_arc;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nb = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      VertexId a = u, b = nb[i];
+      if (!g.is_directed() && a > b) std::swap(a, b);
+      const auto [it, fresh] = min_arc.try_emplace({a, b}, ws[i]);
+      if (!fresh && ws[i] < it->second) it->second = ws[i];
+    }
+  }
+  std::vector<std::tuple<VertexId, VertexId, W>> out;
+  out.reserve(min_arc.size());
+  for (const auto& [ab, w] : min_arc) out.emplace_back(ab.first, ab.second, w);
+  return out;
+}
+
+/// Builds a graph from a subset of logical arcs, keeping g's vertex count
+/// and directedness (isolated vertices matter for matrix shape).
+template <WeightType W>
+[[nodiscard]] inline graph::Graph<W> graph_from_arcs(
+    const graph::Graph<W>& g,
+    const std::vector<std::tuple<VertexId, VertexId, W>>& arcs) {
+  graph::GraphBuilder<W> b(g.directedness(), g.num_vertices());
+  b.reserve_vertices(g.num_vertices());
+  for (const auto& [u, v, w] : arcs) b.add_edge(u, v, w);
+  return b.build();
+}
+
+/// Runs one epoch, surfacing engine errors as exceptions (backends return
+/// matrices; a failed epoch is an oracle bug worth aborting the run over).
+template <WeightType W>
+inline void must_apply(apsp::DynamicEngine<W>& engine,
+                       const std::vector<apsp::EdgeUpdate<W>>& batch) {
+  if (batch.empty()) return;
+  const auto st = engine.apply(batch);
+  if (!st) throw util::StatusError(st.status().code(), st.status().message());
+}
+
+}  // namespace detail
+
+/// The DynamicEngine reaching the target graph through update epochs — each
+/// backend must land on exactly the matrix every static backend computes:
+///
+///   dynamic:insert-epochs    start from g minus every 3rd arc, re-insert
+///                            the dropped arcs in insertion-only epochs
+///   dynamic:delete-reinsert  start from g, delete every 4th arc in
+///                            deletion-only epochs, then re-insert them
+///   dynamic:mixed-epochs     start from g minus dropped arcs plus alien
+///                            extras, converge with mixed epochs that both
+///                            insert (restores) and remove (extras)
+template <WeightType W>
+[[nodiscard]] std::vector<Backend<W>> dynamic_backends() {
+  using Update = apsp::EdgeUpdate<W>;
+  constexpr std::size_t kEpochArcs = 4;  ///< updates per epoch
+
+  std::vector<Backend<W>> out;
+  out.push_back(
+      {"dynamic:insert-epochs",
+       [](const graph::Graph<W>& g) {
+         const auto arcs = detail::logical_arcs(g);
+         std::vector<std::tuple<VertexId, VertexId, W>> kept;
+         std::vector<std::tuple<VertexId, VertexId, W>> dropped;
+         for (std::size_t i = 0; i < arcs.size(); ++i) {
+           (i % 3 == 0 ? dropped : kept).push_back(arcs[i]);
+         }
+         auto engine =
+             apsp::DynamicEngine<W>::create(detail::graph_from_arcs(g, kept));
+         if (!engine) {
+           throw util::StatusError(engine.status().code(), engine.status().message());
+         }
+         std::vector<Update> batch;
+         for (std::size_t i = 0; i < dropped.size(); i += kEpochArcs) {
+           batch.clear();
+           for (std::size_t j = i; j < std::min(i + kEpochArcs, dropped.size()); ++j) {
+             const auto& [u, v, w] = dropped[j];
+             batch.push_back(Update::insert(u, v, w));
+           }
+           detail::must_apply(*engine, batch);
+         }
+         return engine->matrix();
+       },
+       nullptr});
+  out.push_back(
+      {"dynamic:delete-reinsert",
+       [](const graph::Graph<W>& g) {
+         const auto arcs = detail::logical_arcs(g);
+         std::vector<std::tuple<VertexId, VertexId, W>> chosen;
+         for (std::size_t i = 0; i < arcs.size(); i += 4) chosen.push_back(arcs[i]);
+         auto engine = apsp::DynamicEngine<W>::create(g);
+         if (!engine) {
+           throw util::StatusError(engine.status().code(), engine.status().message());
+         }
+         std::vector<Update> batch;
+         for (std::size_t i = 0; i < chosen.size(); i += kEpochArcs) {
+           batch.clear();
+           for (std::size_t j = i; j < std::min(i + kEpochArcs, chosen.size()); ++j) {
+             batch.push_back(Update::remove(std::get<0>(chosen[j]),
+                                            std::get<1>(chosen[j])));
+           }
+           detail::must_apply(*engine, batch);
+         }
+         for (std::size_t i = 0; i < chosen.size(); i += kEpochArcs) {
+           batch.clear();
+           for (std::size_t j = i; j < std::min(i + kEpochArcs, chosen.size()); ++j) {
+             const auto& [u, v, w] = chosen[j];
+             batch.push_back(Update::insert(u, v, w));
+           }
+           detail::must_apply(*engine, batch);
+         }
+         return engine->matrix();
+       },
+       nullptr});
+  out.push_back(
+      {"dynamic:mixed-epochs",
+       [](const graph::Graph<W>& g) {
+         const auto arcs = detail::logical_arcs(g);
+         std::set<std::pair<VertexId, VertexId>> present;
+         for (const auto& [u, v, w] : arcs) present.insert({u, v});
+         std::vector<std::tuple<VertexId, VertexId, W>> kept;
+         std::vector<std::tuple<VertexId, VertexId, W>> dropped;
+         for (std::size_t i = 0; i < arcs.size(); ++i) {
+           (i % 5 == 0 ? dropped : kept).push_back(arcs[i]);
+         }
+         // Alien extras: deterministic arcs absent from g, to be removed.
+         const VertexId n = g.num_vertices();
+         std::vector<std::pair<VertexId, VertexId>> extras;
+         for (VertexId i = 0; i < n && extras.size() < 6; ++i) {
+           VertexId a = i;
+           VertexId b = static_cast<VertexId>((static_cast<std::uint64_t>(i) * 7 + 3) % n);
+           if (!g.is_directed() && a > b) std::swap(a, b);
+           if (a == b || present.count({a, b}) != 0) continue;
+           if (std::find(extras.begin(), extras.end(), std::make_pair(a, b)) !=
+               extras.end()) {
+             continue;
+           }
+           extras.push_back({a, b});
+         }
+         auto base = kept;
+         for (const auto& [u, v] : extras) base.emplace_back(u, v, W{25});
+         auto engine =
+             apsp::DynamicEngine<W>::create(detail::graph_from_arcs(g, base));
+         if (!engine) {
+           throw util::StatusError(engine.status().code(), engine.status().message());
+         }
+         std::vector<Update> batch;
+         std::size_t di = 0, xi = 0;
+         while (di < dropped.size() || xi < extras.size()) {
+           batch.clear();
+           for (std::size_t k = 0; k < kEpochArcs / 2 && di < dropped.size(); ++k, ++di) {
+             const auto& [u, v, w] = dropped[di];
+             batch.push_back(Update::insert(u, v, w));
+           }
+           for (std::size_t k = 0; k < kEpochArcs / 2 && xi < extras.size(); ++k, ++xi) {
+             batch.push_back(Update::remove(extras[xi].first, extras[xi].second));
+           }
+           detail::must_apply(*engine, batch);
+         }
+         return engine->matrix();
+       },
+       nullptr});
+  return out;
+}
+
 /// The full catalog: every backend the library claims computes exact APSP.
 template <WeightType W>
 [[nodiscard]] std::vector<Backend<W>> all_backends() {
@@ -223,6 +406,7 @@ template <WeightType W>
   for (auto& b : ordering_backends<W>()) out.push_back(std::move(b));
   for (auto& b : sssp_backends<W>()) out.push_back(std::move(b));
   for (auto& b : substrate_backends<W>()) out.push_back(std::move(b));
+  for (auto& b : dynamic_backends<W>()) out.push_back(std::move(b));
   return out;
 }
 

@@ -68,8 +68,12 @@ enum class Counter : std::uint8_t {
   kServeShardHits,        ///< serve: queries answered from a mapped/served row
   kServeFallbackRows,     ///< serve: rows computed on demand on shard miss
   kServeDeadlineMisses,   ///< serve: requests stopped by deadline/cancel
+  kDynEpochs,             ///< dynamic: update epochs committed
+  kDynRowsRepaired,       ///< dynamic: rows repaired or recomputed by an epoch
+  kDynRowsSkipped,        ///< dynamic: rows proved unaffected by the pre-filters
+  kDynNoopSkips,          ///< dynamic: pivot updates skipped by the no-op fast path
 };
-inline constexpr std::size_t kNumCounters = 24;
+inline constexpr std::size_t kNumCounters = 28;
 
 [[nodiscard]] constexpr const char* to_string(Counter c) noexcept {
   switch (c) {
@@ -97,6 +101,10 @@ inline constexpr std::size_t kNumCounters = 24;
     case Counter::kServeShardHits: return "serve_shard_hits";
     case Counter::kServeFallbackRows: return "serve_fallback_rows";
     case Counter::kServeDeadlineMisses: return "serve_deadline_misses";
+    case Counter::kDynEpochs: return "dyn_epochs";
+    case Counter::kDynRowsRepaired: return "dyn_rows_repaired";
+    case Counter::kDynRowsSkipped: return "dyn_rows_skipped";
+    case Counter::kDynNoopSkips: return "dyn_noop_skips";
   }
   return "?";
 }
@@ -114,7 +122,9 @@ inline constexpr std::size_t kNumCounters = 24;
           Counter::kDistBytesMoved,       Counter::kDistRowsBroadcast,
           Counter::kDistStreamBytes,      Counter::kDistPrefetchStalls,
           Counter::kServeQueries,         Counter::kServeShardHits,
-          Counter::kServeFallbackRows,    Counter::kServeDeadlineMisses};
+          Counter::kServeFallbackRows,    Counter::kServeDeadlineMisses,
+          Counter::kDynEpochs,            Counter::kDynRowsRepaired,
+          Counter::kDynRowsSkipped,       Counter::kDynNoopSkips};
 }
 
 /// One value per catalog entry, indexed by static_cast<size_t>(Counter).

@@ -78,6 +78,7 @@
 #include "apsp/checkpoint.hpp"
 #include "apsp/distance_matrix.hpp"
 #include "apsp/dynamic.hpp"
+#include "apsp/dynamic_engine.hpp"
 #include "apsp/flags.hpp"
 #include "apsp/floyd_warshall.hpp"
 #include "apsp/landmarks.hpp"
@@ -119,6 +120,7 @@
 
 // Serving: mmap-backed shard store, batch query engine, and the unified
 // Service facade over compute / matrix files / shard dirs (docs/SERVING.md)
+#include "serve/dynamic_service.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/service.hpp"
 #include "serve/shard_store.hpp"

@@ -1,0 +1,190 @@
+// DynamicService — concurrent queries over a live graph (docs/DYNAMIC.md).
+//
+// Composes the three pieces the streaming scenario needs:
+//   apsp::DynamicEngine  — owns the graph + exact matrix, applies epochs;
+//   ShardStore           — holds the published generation-swapped snapshots;
+//   QueryEngine          — answers distance queries lock-free off a snapshot.
+//
+// One writer calls update() (epochs are serialized by a mutex); any number
+// of reader threads call distance()/distances()/one_to_many() concurrently.
+// Readers never see a half-applied epoch: an update repairs the engine's
+// private matrix, then publishes a *copy* through ShardStore::publish_matrix
+// — one atomic shared_ptr swap. In-flight query batches keep the snapshot
+// they started on; new batches see the new generation. Every published
+// snapshot has all n rows, so queries never take the fallback path and the
+// engine needs no graph pointer.
+//
+// Generations: the store's generation advances by one per committed epoch
+// (generation k serves the matrix after epoch k). `publish_dir` additionally
+// persists each generation as `gen-<k>/matrix.padm` — the same layout
+// ShardStore::open_dir serves, so a restart can warm-start from the last
+// published matrix.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "apsp/checkpoint.hpp"  // graph_fingerprint
+#include "apsp/dynamic_engine.hpp"
+#include "apsp/matrix_io.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/shard_store.hpp"
+#include "util/expected.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace parapsp::serve {
+
+template <WeightType W>
+class DynamicService {
+ public:
+  using Pair = typename QueryEngine<W>::Pair;
+  using Update = apsp::EdgeUpdate<W>;
+
+  struct Options {
+    apsp::DynamicEngineOptions engine;  ///< repair/verification knobs
+    EngineOptions query;                ///< deadlines for the read side
+    std::string publish_dir;  ///< also persist each generation (empty = off)
+  };
+
+  /// Solves the initial matrix for `g` and starts serving it as
+  /// generation 0; later update() epochs publish generations 1, 2, ...
+  [[nodiscard]] static util::Expected<DynamicService> create(
+      const graph::Graph<W>& g, Options opts = {}) {
+    auto engine = apsp::DynamicEngine<W>::create(g, opts.engine);
+    if (!engine) return engine.status();
+    DynamicService svc;
+    svc.engine_ = std::make_unique<apsp::DynamicEngine<W>>(std::move(*engine));
+    svc.publish_dir_ = opts.publish_dir;
+    svc.store_ = ShardStore<W>::from_matrix(
+        copy_matrix(svc.engine_->matrix()),
+        apsp::graph_fingerprint(svc.engine_->graph()));
+    svc.query_ = std::make_unique<QueryEngine<W>>(svc.store_, nullptr, opts.query);
+    if (!svc.publish_dir_.empty()) {
+      if (auto st = persist_generation(svc.publish_dir_, 0, svc.engine_->matrix());
+          !st.is_ok()) {
+        return st;
+      }
+    }
+    // The publisher captures the store (shared) and the directory by value —
+    // never `this` — so the service stays movable.
+    auto store = svc.store_;
+    auto dir = svc.publish_dir_;
+    svc.engine_->set_publisher(
+        [store, dir](const apsp::DistanceMatrix<W>& D, const graph::Graph<W>& graph,
+                     std::uint64_t epoch) -> util::Status {
+          if (auto st = store->publish_matrix(copy_matrix(D),
+                                              apsp::graph_fingerprint(graph));
+              !st.is_ok()) {
+            return st;
+          }
+          if (dir.empty()) return util::Status::ok();
+          return persist_generation(dir, epoch, D);
+        });
+    return svc;
+  }
+
+  // --- write side (serialized) ---------------------------------------------
+
+  /// Applies one epoch and publishes the repaired matrix. Returns the epoch
+  /// stats (publish_status inside reports a failed persist/swap); a typed
+  /// error means the epoch was rolled back and nothing was published.
+  [[nodiscard]] util::Expected<apsp::EpochStats> update(
+      std::span<const Update> updates) {
+    std::lock_guard<std::mutex> lock(*update_mu_);
+    return engine_->apply(updates);
+  }
+
+  [[nodiscard]] util::Expected<apsp::EpochStats> insert_edge(VertexId u, VertexId v,
+                                                             W w) {
+    const Update one[] = {Update::insert(u, v, w)};
+    return update(one);
+  }
+  [[nodiscard]] util::Expected<apsp::EpochStats> remove_edge(VertexId u, VertexId v) {
+    const Update one[] = {Update::remove(u, v)};
+    return update(one);
+  }
+
+  // --- read side (lock-free, any thread) -----------------------------------
+
+  [[nodiscard]] util::Expected<W> distance(VertexId s, VertexId t,
+                                           const QueryOptions& q = {}) {
+    return query_->distance(s, t, q);
+  }
+  [[nodiscard]] util::Status distances(std::span<const Pair> pairs, std::span<W> out,
+                                       const QueryOptions& q = {}) {
+    return query_->distances(pairs, out, q);
+  }
+  [[nodiscard]] util::Status one_to_many(VertexId s, std::span<const VertexId> targets,
+                                         std::span<W> out,
+                                         const QueryOptions& q = {}) {
+    return query_->one_to_many(s, targets, out, q);
+  }
+
+  // --- introspection --------------------------------------------------------
+
+  [[nodiscard]] std::shared_ptr<const typename ShardStore<W>::Snapshot> snapshot()
+      const noexcept {
+    return store_->snapshot();
+  }
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return store_->snapshot()->generation;
+  }
+  [[nodiscard]] ServeStats stats() const { return query_->stats(); }
+  /// Engine state — owned by the writer; readers must not touch matrix().
+  [[nodiscard]] const apsp::DynamicEngine<W>& engine() const noexcept {
+    return *engine_;
+  }
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return engine_->num_vertices();
+  }
+
+ private:
+  DynamicService() = default;
+
+  [[nodiscard]] static apsp::DistanceMatrix<W> copy_matrix(
+      const apsp::DistanceMatrix<W>& D) {
+    return D;  // DistanceMatrix copies row storage (padding included)
+  }
+
+  /// Writes `gen-<k>/matrix.padm` under `dir` (tmp + rename, so a crashed
+  /// publish never leaves a half-written generation for open_dir to trip on).
+  [[nodiscard]] static util::Status persist_generation(
+      const std::string& dir, std::uint64_t generation,
+      const apsp::DistanceMatrix<W>& D) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path gen_dir = fs::path(dir) / ("gen-" + std::to_string(generation));
+    fs::create_directories(gen_dir, ec);
+    if (ec) {
+      return {util::ErrorCode::kIo,
+              "publish: cannot create '" + gen_dir.string() + "': " + ec.message()};
+    }
+    const fs::path tmp = gen_dir / "matrix.padm.tmp";
+    const fs::path final_path = gen_dir / "matrix.padm";
+    try {
+      apsp::save_matrix(D, tmp.string());
+    } catch (const std::exception& e) {
+      return {util::ErrorCode::kIo, std::string("publish: ") + e.what()};
+    }
+    fs::rename(tmp, final_path, ec);
+    if (ec) {
+      return {util::ErrorCode::kIo,
+              "publish: rename to '" + final_path.string() + "': " + ec.message()};
+    }
+    return util::Status::ok();
+  }
+
+  std::unique_ptr<apsp::DynamicEngine<W>> engine_;
+  std::shared_ptr<ShardStore<W>> store_;
+  std::unique_ptr<QueryEngine<W>> query_;
+  std::string publish_dir_;
+  /// Heap-allocated so the service stays movable (Expected construction).
+  std::unique_ptr<std::mutex> update_mu_ = std::make_unique<std::mutex>();
+};
+
+}  // namespace parapsp::serve

@@ -167,6 +167,38 @@ class ShardStore {
     return util::Status::ok();
   }
 
+  /// Publishes a fresh in-memory matrix as the next generation: builds a
+  /// complete Snapshot (generation = current + 1) on the side and atomically
+  /// swaps it in, exactly like reload() — in-flight batches keep the
+  /// generation they started on. This is the dynamic-update path
+  /// (apsp::DynamicEngine commits an epoch, serve::DynamicService publishes
+  /// it); `graph_fp` stamps the post-update graph. The published generation
+  /// lives in memory only — for kDir/kMatrixFile stores a later reload()
+  /// replaces it with the backing files' state.
+  [[nodiscard]] util::Status publish_matrix(apsp::DistanceMatrix<W> matrix,
+                                            std::uint64_t graph_fp = 0) {
+    std::lock_guard<std::mutex> lock(reload_mu_);
+    const auto cur = snapshot();
+    if (cur != nullptr && matrix.size() != cur->n) {
+      return {util::ErrorCode::kInvalidArgument,
+              "publish_matrix: matrix has n=" + std::to_string(matrix.size()) +
+                  ", serving n=" + std::to_string(cur->n)};
+    }
+    Snapshot snap;
+    snap.n = matrix.size();
+    snap.generation = cur != nullptr ? cur->generation + 1 : 0;
+    snap.graph_fp = graph_fp;
+    snap.matrix_ = std::move(matrix);
+    snap.rows.assign(snap.n, nullptr);
+    for (VertexId s = 0; s < snap.n; ++s) {
+      snap.rows[s] = snap.matrix_.row(s).data();
+      ++snap.rows_present;
+    }
+    snap_.store(std::make_shared<const Snapshot>(std::move(snap)),
+                std::memory_order_release);
+    return util::Status::ok();
+  }
+
  private:
   enum class Source { kDir, kMatrixFile, kInMemory };
 

@@ -87,11 +87,12 @@ TEST(Oracle, PerturbNeverTouchesDiagonalAndAlwaysChanges) {
 
 TEST(Backends, CatalogCoversEverySolverLayer) {
   // 10 apsp algorithms + 7 orderings + 8 sssp substrates + 3 substrate
-  // sweeps (dial is integral-only, so the float catalogs have one fewer).
-  EXPECT_EQ(check::all_backends<std::uint32_t>().size(), 28u);
-  EXPECT_EQ(check::all_backends<std::int32_t>().size(), 28u);
-  EXPECT_EQ(check::all_backends<float>().size(), 27u);
-  EXPECT_EQ(check::all_backends<double>().size(), 27u);
+  // sweeps + 3 dynamic-engine epoch replays (dial is integral-only, so the
+  // float catalogs have one fewer).
+  EXPECT_EQ(check::all_backends<std::uint32_t>().size(), 31u);
+  EXPECT_EQ(check::all_backends<std::int32_t>().size(), 31u);
+  EXPECT_EQ(check::all_backends<float>().size(), 30u);
+  EXPECT_EQ(check::all_backends<double>().size(), 30u);
 }
 
 TEST(Backends, FindByName) {
@@ -259,7 +260,8 @@ void run_insertion_differential(const char* weight_name) {
   const apsp::EdgeInsertion<W> e{0, n / 2, W{1}, /*undirected=*/true};
   auto updated = before;
   const auto improved = apsp::apply_insertion(updated, e);
-  EXPECT_GT(improved, 0u) << weight_name;
+  ASSERT_TRUE(improved) << improved.status().message();
+  EXPECT_GT(*improved, 0u) << weight_name;
 
   // The refinement law: an insertion never lengthens any entry.
   check::InvariantReport mono;
@@ -299,6 +301,45 @@ TEST(DynamicDifferential, InsertionMatchesRecomputeF32) {
 }
 TEST(DynamicDifferential, InsertionMatchesRecomputeF64) {
   run_insertion_differential<double>("f64");
+}
+
+// The epoch engine through the oracle: each dynamic backend replays update
+// epochs (insertion-only / deletion-only / mixed) and must land bit-identical
+// on the reference matrix — on a directed and an undirected fuzz graph.
+template <WeightType W>
+void run_dynamic_epoch_differential(const char* weight_name) {
+  const check::FuzzGraphSpec specs[] = {
+      {check::FuzzFamily::kBA, 56, 3, false, false, 31},
+      {check::FuzzFamily::kRMAT, 56, 224, true, false, 32},
+  };
+  for (const auto& spec : specs) {
+    const auto g = check::build_fuzz_graph<W>(spec);
+    const auto ref = apsp::repeated_dijkstra(g);
+    for (auto& backend : check::dynamic_backends<W>()) {
+      const auto got = backend.run(g);
+      check::Provenance prov;
+      prov.backend_a = backend.name;
+      prov.backend_b = "apsp:repeated-dijkstra-ref";
+      prov.seed = spec.seed;
+      prov.graph_desc = spec.replay_flags(weight_name);
+      const auto diff = check::diff_matrices(got, ref, prov);
+      ASSERT_TRUE(diff) << diff.status().to_string();
+      EXPECT_FALSE(diff->has_value()) << (**diff).to_string();
+    }
+  }
+}
+
+TEST(DynamicDifferential, EpochReplaysMatchRecomputeU32) {
+  run_dynamic_epoch_differential<std::uint32_t>("u32");
+}
+TEST(DynamicDifferential, EpochReplaysMatchRecomputeI32) {
+  run_dynamic_epoch_differential<std::int32_t>("i32");
+}
+TEST(DynamicDifferential, EpochReplaysMatchRecomputeF32) {
+  run_dynamic_epoch_differential<float>("f32");
+}
+TEST(DynamicDifferential, EpochReplaysMatchRecomputeF64) {
+  run_dynamic_epoch_differential<double>("f64");
 }
 
 // ---------- fuzz driver ----------

@@ -1,8 +1,15 @@
-// Tests for incremental APSP updates (edge insertions / weight decreases).
+// Tests for incremental APSP updates (edge insertions / weight decreases):
+// the typed-error contract, the torn-batch guarantee, the no-op fast path,
+// and the incremental-vs-recompute differentials.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "apsp/dynamic.hpp"
+#include "check/oracle.hpp"
+#include "obs/metrics.hpp"
 #include "test_helpers.hpp"
+#include "util/exec_control.hpp"
 
 namespace {
 
@@ -26,7 +33,8 @@ TEST(DynamicApsp, SingleInsertionMatchesRecompute) {
 
   const auto improved = apsp::apply_insertion(
       D, EdgeInsertion<std::uint32_t>{0, 35, 1, /*undirected=*/true});
-  EXPECT_GT(improved, 0u);
+  ASSERT_TRUE(improved) << improved.status().message();
+  EXPECT_GT(*improved, 0u);
   parapsp::testing::expect_same_distances(D, apsp::floyd_warshall(g2),
                                           "incremental vs recompute");
 }
@@ -37,7 +45,7 @@ TEST(DynamicApsp, DirectedInsertion) {
   b.add_edge(1, 2, 4);
   auto D = apsp::floyd_warshall(b.build());
   EXPECT_EQ(D.at(0, 2), 8u);
-  (void)apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{0, 2, 3, false});
+  ASSERT_TRUE(apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{0, 2, 3, false}));
   EXPECT_EQ(D.at(0, 2), 3u);
   // Directed: the reverse pair must be untouched.
   EXPECT_TRUE(is_infinite(D.at(2, 0)));
@@ -50,7 +58,7 @@ TEST(DynamicApsp, WeightDecreaseIsInsertion) {
   auto D = apsp::floyd_warshall(b.build());
   EXPECT_EQ(D.at(0, 2), 11u);
   // Edge (0,1) drops from 10 to 2: model as an insertion of the new weight.
-  (void)apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{0, 1, 2, true});
+  ASSERT_TRUE(apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{0, 1, 2, true}));
   EXPECT_EQ(D.at(0, 1), 2u);
   EXPECT_EQ(D.at(0, 2), 3u);
   EXPECT_EQ(D.at(2, 0), 3u);
@@ -61,7 +69,43 @@ TEST(DynamicApsp, NoopWhenEdgeDoesNotHelp) {
   auto D = apsp::floyd_warshall(g);
   const auto improved =
       apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{0, 1, 7, true});
-  EXPECT_EQ(improved, 0u);
+  ASSERT_TRUE(improved) << improved.status().message();
+  EXPECT_EQ(*improved, 0u);
+}
+
+TEST(DynamicApsp, NoopFastPathIsBitIdentical) {
+  // The fast path (D[u,v] <= w) must return 0 without scanning — and the
+  // oracle proves the skipped pivot could not have changed anything: the
+  // matrix is bit-identical to the pre-call state.
+  const auto g = graph::barabasi_albert<std::uint32_t>(64, 3, 5);
+  auto D = apsp::repeated_dijkstra(g);
+  const auto before = D;
+
+  // An edge no shorter than the current distance, both orientations.
+  const EdgeInsertion<std::uint32_t> e{3, 41, D.at(3, 41) + 2, /*undirected=*/true};
+  const auto improved = apsp::apply_insertion(D, e);
+  ASSERT_TRUE(improved) << improved.status().message();
+  EXPECT_EQ(*improved, 0u);
+
+  check::Provenance prov;
+  prov.backend_a = "after-noop-insertion";
+  prov.backend_b = "before";
+  const auto diff = check::diff_matrices(D, before, prov);
+  ASSERT_TRUE(diff) << diff.status().to_string();
+  EXPECT_FALSE(diff->has_value()) << (**diff).to_string();
+}
+
+TEST(DynamicApsp, NoopFastPathCountsSkips) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  const auto g = graph::complete_graph<std::uint32_t>(6);
+  auto D = apsp::floyd_warshall(g);
+  obs::Collection window(true);
+  // complete_graph has unit distances everywhere: w=7 is dominated in both
+  // orientations, so the undirected insertion skips both pivots.
+  ASSERT_TRUE(apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{0, 1, 7, true}));
+  const auto totals = obs::Registry::global().totals();
+  EXPECT_EQ(totals[static_cast<std::size_t>(obs::Counter::kDynNoopSkips)], 2u);
+  EXPECT_EQ(totals[static_cast<std::size_t>(obs::Counter::kRowCellsScanned)], 0u);
 }
 
 TEST(DynamicApsp, ConnectsComponents) {
@@ -72,7 +116,7 @@ TEST(DynamicApsp, ConnectsComponents) {
   b.add_edge(4, 5);
   auto D = apsp::floyd_warshall(b.build());
   EXPECT_TRUE(is_infinite(D.at(0, 5)));
-  (void)apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{2, 3, 1, true});
+  ASSERT_TRUE(apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{2, 3, 1, true}));
   EXPECT_EQ(D.at(0, 5), 5u);  // 0-1-2-3-4-5
   EXPECT_EQ(D.at(5, 0), 5u);
 }
@@ -105,20 +149,77 @@ TEST(DynamicApsp, RandomBatchMatchesRecompute) {
       batch.push_back({u, v, w, true});
       b.add_edge(u, v, w);
     }
-    (void)apsp::apply_insertions(D, batch);
+    ASSERT_TRUE(apsp::apply_insertions(D, batch));
     parapsp::testing::expect_same_distances(
         D, apsp::floyd_warshall(b.build()),
         "batch seed " + std::to_string(seed));
   }
 }
 
-TEST(DynamicApsp, RejectsBadInput) {
+TEST(DynamicApsp, RejectsBadInputWithTypedErrors) {
   apsp::DistanceMatrix<std::uint32_t> D(3, 0);
-  EXPECT_THROW((void)apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{0, 9, 1}),
-               std::out_of_range);
+  const auto oob =
+      apsp::apply_insertion(D, EdgeInsertion<std::uint32_t>{0, 9, 1});
+  ASSERT_FALSE(oob);
+  EXPECT_EQ(oob.status().code(), util::ErrorCode::kInvalidArgument);
+
   apsp::DistanceMatrix<double> Dd(3, 0.0);
-  EXPECT_THROW((void)apsp::apply_insertion(Dd, EdgeInsertion<double>{0, 1, -1.0}),
-               std::invalid_argument);
+  const auto neg = apsp::apply_insertion(Dd, EdgeInsertion<double>{0, 1, -1.0});
+  ASSERT_FALSE(neg);
+  EXPECT_EQ(neg.status().code(), util::ErrorCode::kInvalidArgument);
+  const auto nan = apsp::apply_insertion(
+      Dd, EdgeInsertion<double>{0, 1, std::numeric_limits<double>::quiet_NaN()});
+  ASSERT_FALSE(nan);
+  EXPECT_EQ(nan.status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(DynamicApsp, InvalidBatchEntryLeavesMatrixUntouched) {
+  // The torn-batch regression: entry 0 would improve the matrix, entry 1 is
+  // invalid — the call must fail without applying entry 0.
+  const auto g = graph::grid_graph<std::uint32_t>(5, 5);
+  auto D = apsp::floyd_warshall(g);
+  const auto before = D;
+
+  const std::vector<EdgeInsertion<std::uint32_t>> batch = {
+      {0, 24, 1, true},   // a genuine shortcut across the grid
+      {0, 99, 1, true},   // out of range -> whole batch must be rejected
+  };
+  const auto r = apsp::apply_insertions(D, batch);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.status().code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("batch entry 1"), std::string::npos)
+      << r.status().message();
+
+  check::Provenance prov;
+  prov.backend_a = "after-rejected-batch";
+  prov.backend_b = "before";
+  const auto diff = check::diff_matrices(D, before, prov);
+  ASSERT_TRUE(diff) << diff.status().to_string();
+  EXPECT_FALSE(diff->has_value())
+      << "rejected batch tore the matrix: " << (**diff).to_string();
+}
+
+TEST(DynamicApsp, ControlStopsWithTypedError) {
+  const auto g = graph::grid_graph<std::uint32_t>(5, 5);
+  auto D = apsp::floyd_warshall(g);
+  const auto before = D;
+
+  util::ExecutionControl control;
+  control.request_cancel();
+  const auto r = apsp::apply_insertion(
+      D, EdgeInsertion<std::uint32_t>{0, 24, 1, true}, &control);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.status().code(), util::ErrorCode::kCancelled);
+  // Cancel observed at entry: nothing ran, matrix untouched.
+  EXPECT_EQ(D, before);
+
+  util::ExecutionControl expired;
+  expired.set_deadline_after(-1.0);
+  const auto t = apsp::apply_insertion(
+      D, EdgeInsertion<std::uint32_t>{0, 24, 1, true}, &expired);
+  ASSERT_FALSE(t);
+  EXPECT_EQ(t.status().code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(D, before);
 }
 
 TEST(DynamicApsp, ThreadInvariant) {
@@ -129,11 +230,11 @@ TEST(DynamicApsp, ThreadInvariant) {
   const EdgeInsertion<std::uint32_t> e{3, 77, 1, true};
   {
     util::ThreadScope scope(1);
-    (void)apsp::apply_insertion(d1, e);
+    ASSERT_TRUE(apsp::apply_insertion(d1, e));
   }
   {
     util::ThreadScope scope(4);
-    (void)apsp::apply_insertion(d4, e);
+    ASSERT_TRUE(apsp::apply_insertion(d4, e));
   }
   EXPECT_EQ(d1, d4);
 }

@@ -1,0 +1,470 @@
+// Tests for the epoch-batched dynamic APSP engine (apsp/dynamic_engine.hpp)
+// and its serving wire-up (serve/dynamic_service.hpp): epoch repairs vs full
+// recompute, all-or-nothing epoch semantics, snapshot publication, and the
+// concurrent updater-vs-reader scenario the TSan CI job drives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "apsp/dynamic_engine.hpp"
+#include "check/fuzz.hpp"
+#include "check/oracle.hpp"
+#include "obs/metrics.hpp"
+#include "serve/dynamic_service.hpp"
+#include "test_helpers.hpp"
+#include "util/exec_control.hpp"
+
+namespace {
+
+using namespace parapsp;
+using apsp::DynamicEngine;
+using apsp::EdgeUpdate;
+
+template <WeightType W>
+void expect_exact(const DynamicEngine<W>& engine, const std::string& label) {
+  const auto ref = apsp::repeated_dijkstra(engine.graph());
+  check::Provenance prov;
+  prov.backend_a = "dynamic-engine";
+  prov.backend_b = "recompute";
+  prov.graph_desc = label;
+  const auto diff = check::diff_matrices(engine.matrix(), ref, prov);
+  ASSERT_TRUE(diff) << diff.status().to_string();
+  EXPECT_FALSE(diff->has_value()) << label << ": " << (**diff).to_string();
+}
+
+TEST(DynamicEngine, InsertionEpochsMatchRecompute) {
+  auto g = graph::erdos_renyi_gnm<std::uint32_t>(60, 110, 3);
+  g = graph::randomize_weights<std::uint32_t>(g, 1, 9, 11);
+  auto engine = DynamicEngine<std::uint32_t>::create(g);
+  ASSERT_TRUE(engine) << engine.status().message();
+
+  util::Xoshiro256 rng(17);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    std::vector<EdgeUpdate<std::uint32_t>> batch;
+    for (int i = 0; i < 6; ++i) {
+      const auto u = static_cast<VertexId>(rng.bounded(60));
+      const auto v = static_cast<VertexId>(rng.bounded(60));
+      if (u == v) continue;
+      batch.push_back(EdgeUpdate<std::uint32_t>::insert(
+          u, v, static_cast<std::uint32_t>(1 + rng.bounded(9))));
+    }
+    const auto stats = engine->apply(batch);
+    ASSERT_TRUE(stats) << stats.status().message();
+    EXPECT_EQ(stats->rows_recomputed, 0u);  // insertion-only epoch
+    expect_exact(*engine, "insert epoch " + std::to_string(epoch));
+  }
+  EXPECT_EQ(engine->epoch(), 4u);
+}
+
+TEST(DynamicEngine, DeletionEpochsMatchRecompute) {
+  auto g = graph::barabasi_albert<std::uint32_t>(64, 3, 7);
+  g = graph::randomize_weights<std::uint32_t>(g, 1, 9, 13);
+  auto engine = DynamicEngine<std::uint32_t>::create(g);
+  ASSERT_TRUE(engine) << engine.status().message();
+
+  // Delete a slice of real edges per epoch (taken from the engine's own
+  // min-weight projection so removals always exist).
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < 64; ++u) {
+    for (VertexId v = u + 1; v < 64; ++v) {
+      if (engine->has_edge(u, v)) edges.push_back({u, v});
+    }
+  }
+  ASSERT_GT(edges.size(), 12u);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    std::vector<EdgeUpdate<std::uint32_t>> batch;
+    for (int i = 0; i < 4; ++i) {
+      const auto [u, v] = edges[static_cast<std::size_t>(epoch * 4 + i)];
+      batch.push_back(EdgeUpdate<std::uint32_t>::remove(u, v));
+    }
+    const auto stats = engine->apply(batch);
+    ASSERT_TRUE(stats) << stats.status().message();
+    EXPECT_EQ(stats->arcs_removed, 8u);  // undirected: both orientations
+    expect_exact(*engine, "delete epoch " + std::to_string(epoch));
+  }
+}
+
+TEST(DynamicEngine, DisconnectionProducesInfinities) {
+  // A path graph cut in the middle: the two halves must become unreachable.
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kUndirected, 8);
+  for (VertexId u = 0; u + 1 < 8; ++u) b.add_edge(u, u + 1, 2);
+  auto engine = DynamicEngine<std::uint32_t>::create(b.build());
+  ASSERT_TRUE(engine) << engine.status().message();
+  EXPECT_EQ(engine->matrix().at(0, 7), 14u);
+
+  const auto stats = engine->remove_edge(3, 4);
+  ASSERT_TRUE(stats) << stats.status().message();
+  EXPECT_GT(stats->rows_recomputed, 0u);
+  EXPECT_TRUE(is_infinite(engine->matrix().at(0, 7)));
+  EXPECT_TRUE(is_infinite(engine->matrix().at(7, 0)));
+  EXPECT_EQ(engine->matrix().at(0, 3), 6u);
+  expect_exact(*engine, "disconnect");
+}
+
+template <WeightType W>
+void run_mixed_epochs(const char* weight_name) {
+  check::FuzzGraphSpec spec{check::FuzzFamily::kWS, 56, 3, false, false, 41};
+  const auto g = check::build_fuzz_graph<W>(spec);
+  auto engine = DynamicEngine<W>::create(g);
+  ASSERT_TRUE(engine) << engine.status().message();
+
+  // One mixed epoch: drop two real edges, add two shortcuts, decrease one.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < 56 && edges.size() < 2; ++u) {
+    for (VertexId v = u + 1; v < 56 && edges.size() < 2; ++v) {
+      if (engine->has_edge(u, v)) edges.push_back({u, v});
+    }
+  }
+  ASSERT_EQ(edges.size(), 2u);
+  std::vector<EdgeUpdate<W>> batch;
+  batch.push_back(EdgeUpdate<W>::remove(edges[0].first, edges[0].second));
+  batch.push_back(EdgeUpdate<W>::remove(edges[1].first, edges[1].second));
+  batch.push_back(EdgeUpdate<W>::insert(0, 28, W{1}));
+  batch.push_back(EdgeUpdate<W>::insert(5, 50, W{2}));
+  const auto stats = engine->apply(batch);
+  ASSERT_TRUE(stats) << stats.status().message();
+  expect_exact(*engine, std::string("mixed epoch ") + weight_name);
+}
+
+TEST(DynamicEngine, MixedEpochU32) { run_mixed_epochs<std::uint32_t>("u32"); }
+TEST(DynamicEngine, MixedEpochI32) { run_mixed_epochs<std::int32_t>("i32"); }
+TEST(DynamicEngine, MixedEpochF32) { run_mixed_epochs<float>("f32"); }
+TEST(DynamicEngine, MixedEpochF64) { run_mixed_epochs<double>("f64"); }
+
+TEST(DynamicEngine, DirectedEpochsStayDirected) {
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kDirected, 4);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 2, 5);
+  auto engine = DynamicEngine<std::uint32_t>::create(b.build());
+  ASSERT_TRUE(engine) << engine.status().message();
+  ASSERT_TRUE(engine->insert_edge(2, 0, 1));
+  EXPECT_EQ(engine->matrix().at(2, 0), 1u);
+  EXPECT_EQ(engine->matrix().at(0, 2), 10u);  // forward unchanged
+  EXPECT_TRUE(engine->has_edge(2, 0));
+  EXPECT_FALSE(engine->has_edge(0, 2));
+  expect_exact(*engine, "directed insert");
+
+  ASSERT_TRUE(engine->remove_edge(1, 2));
+  EXPECT_TRUE(is_infinite(engine->matrix().at(0, 2)));
+  expect_exact(*engine, "directed remove");
+}
+
+TEST(DynamicEngine, InvalidEpochIsAtomicallyRejected) {
+  const auto g = graph::grid_graph<std::uint32_t>(5, 5);
+  auto engine = DynamicEngine<std::uint32_t>::create(g);
+  ASSERT_TRUE(engine) << engine.status().message();
+  const auto before = engine->matrix();
+
+  // Each batch starts with a *valid, improving* update; the later invalid
+  // entry must reject the whole epoch without applying it.
+  using U = EdgeUpdate<std::uint32_t>;
+  const std::vector<std::vector<U>> bad_batches = {
+      {U::insert(0, 24, 1), U::insert(0, 99, 1)},   // out of range
+      {U::insert(0, 24, 1), U::remove(0, 24)},      // net no-op is fine...
+      {U::insert(0, 24, 1), U::remove(1, 3)},       // ...but this one is missing
+  };
+  // Batch 1 (index 1) is actually *valid*: insert-then-remove of an edge the
+  // insert itself created cancels out. Apply it and expect a committed no-op
+  // epoch; the others must be rejected atomically.
+  {
+    const auto ok = engine->apply(bad_batches[1]);
+    ASSERT_TRUE(ok) << ok.status().message();
+    EXPECT_EQ(ok->arcs_decreased, 0u);
+    EXPECT_EQ(ok->arcs_removed, 0u);
+    EXPECT_EQ(engine->matrix(), before);
+  }
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    const auto r = engine->apply(bad_batches[i]);
+    ASSERT_FALSE(r) << "batch " << i;
+    EXPECT_EQ(r.status().code(), util::ErrorCode::kInvalidArgument);
+    EXPECT_EQ(engine->matrix(), before) << "batch " << i << " tore the matrix";
+    EXPECT_FALSE(engine->has_edge(0, 24));
+  }
+  EXPECT_EQ(engine->epoch(), 1u);  // only the valid no-op epoch committed
+
+  // NaN / negative / infinite insert weights are rejected for floats.
+  auto gd = graph::grid_graph<double>(3, 3);
+  auto ed = DynamicEngine<double>::create(gd);
+  ASSERT_TRUE(ed) << ed.status().message();
+  EXPECT_FALSE(ed->insert_edge(0, 8, -1.0));
+  EXPECT_FALSE(ed->insert_edge(0, 8, std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(ed->insert_edge(0, 8, infinity<double>()));
+}
+
+TEST(DynamicEngine, CancelRollsBackTheEpoch) {
+  util::ExecutionControl control;
+  apsp::DynamicEngineOptions opts;
+  opts.control = &control;
+  const auto g = graph::grid_graph<std::uint32_t>(6, 6);
+  auto engine = DynamicEngine<std::uint32_t>::create(g, opts);
+  ASSERT_TRUE(engine) << engine.status().message();
+  const auto before = engine->matrix();
+
+  control.request_cancel();
+  const auto r = engine->insert_edge(0, 35, 1);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.status().code(), util::ErrorCode::kCancelled);
+  EXPECT_EQ(engine->matrix(), before);
+  EXPECT_FALSE(engine->has_edge(0, 35));
+  EXPECT_EQ(engine->epoch(), 0u);
+
+  // The same update succeeds once the control is re-armed — the rollback
+  // left a consistent engine behind.
+  control.reset();
+  ASSERT_TRUE(engine->insert_edge(0, 35, 1));
+  expect_exact(*engine, "post-rollback epoch");
+}
+
+TEST(DynamicEngine, NoopEpochSkipsEveryRow) {
+  const auto g = graph::complete_graph<std::uint32_t>(24);
+  auto engine = DynamicEngine<std::uint32_t>::create(g);
+  ASSERT_TRUE(engine) << engine.status().message();
+  const auto before = engine->matrix();
+
+  // A heavier parallel edge min-combines into "no change": the diff finds no
+  // decreased arc, the pre-filter skips all n rows without any repair work.
+  const auto stats = engine->insert_edge(0, 1, 50);
+  ASSERT_TRUE(stats) << stats.status().message();
+  EXPECT_EQ(stats->arcs_decreased, 0u);
+  EXPECT_EQ(stats->arcs_removed, 0u);
+  EXPECT_GE(stats->noop_arcs, 1u);
+  EXPECT_EQ(stats->rows_skipped, 24u);
+  EXPECT_EQ(stats->rows_repaired, 0u);
+  EXPECT_EQ(stats->total_relaxations(), 0u);
+  EXPECT_EQ(engine->matrix(), before);
+  EXPECT_EQ(engine->edge_weight(0, 1), std::optional<std::uint32_t>(1));
+}
+
+TEST(DynamicEngine, PrefilterSkipsUnaffectedRows) {
+  // A long path: inserting a shortcut near one end leaves far-away sources'
+  // rows untouched — the endpoint pre-filter must prove that and skip them.
+  graph::GraphBuilder<std::uint32_t> b(graph::Directedness::kDirected, 40);
+  for (VertexId u = 0; u + 1 < 40; ++u) b.add_edge(u, u + 1, 1);
+  auto engine = DynamicEngine<std::uint32_t>::create(b.build());
+  ASSERT_TRUE(engine) << engine.status().message();
+
+  // Shortcut 36->39 (skips 3 hops, saves 2): only sources that can reach 36
+  // benefit; rows with D[s,36]=inf... all s<=36 reach it, so most repair.
+  // Use the reverse: shortcut 0->3 only helps source 0's... no: any s<=0.
+  // Sources 1..39 have D[s,0]=inf (directed path), so exactly one row
+  // (s=0) is affected.
+  const auto stats = engine->insert_edge(0, 3, 1);
+  ASSERT_TRUE(stats) << stats.status().message();
+  EXPECT_EQ(stats->rows_repaired, 1u);
+  EXPECT_EQ(stats->rows_skipped, 39u);
+  expect_exact(*engine, "prefilter shortcut");
+}
+
+TEST(DynamicEngine, LandmarkVerificationAcceptsCorrectEpochs) {
+  apsp::DynamicEngineOptions opts;
+  opts.verify_landmarks = true;
+  opts.landmark_count = 3;
+  opts.landmark_samples = 128;
+  auto g = graph::barabasi_albert<std::uint32_t>(48, 3, 21);
+  g = graph::randomize_weights<std::uint32_t>(g, 1, 9, 22);
+  auto engine = DynamicEngine<std::uint32_t>::create(g, opts);
+  ASSERT_TRUE(engine) << engine.status().message();
+  ASSERT_TRUE(engine->insert_edge(0, 47, 1));
+  const auto rm = engine->remove_edge(0, 47);
+  ASSERT_TRUE(rm) << rm.status().message();
+  expect_exact(*engine, "verified epochs");
+}
+
+TEST(DynamicEngine, PublisherSeesEveryCommit) {
+  const auto g = graph::grid_graph<std::uint32_t>(4, 4);
+  auto engine = DynamicEngine<std::uint32_t>::create(g);
+  ASSERT_TRUE(engine) << engine.status().message();
+
+  std::vector<std::uint64_t> published;
+  engine->set_publisher([&](const apsp::DistanceMatrix<std::uint32_t>& D,
+                            const graph::Graph<std::uint32_t>& graph,
+                            std::uint64_t epoch) {
+    published.push_back(epoch);
+    EXPECT_EQ(D.size(), 16u);
+    EXPECT_EQ(graph.num_vertices(), 16u);
+    return util::Status::ok();
+  });
+  ASSERT_TRUE(engine->insert_edge(0, 15, 1));
+  ASSERT_TRUE(engine->remove_edge(0, 15));
+  EXPECT_EQ(published, (std::vector<std::uint64_t>{1, 2}));
+
+  // A failing publisher doesn't un-commit the epoch; the error surfaces in
+  // the stats.
+  engine->set_publisher([](const auto&, const auto&, std::uint64_t) {
+    return util::Status{util::ErrorCode::kIo, "disk full"};
+  });
+  const auto stats = engine->insert_edge(0, 15, 1);
+  ASSERT_TRUE(stats) << stats.status().message();
+  EXPECT_FALSE(stats->publish_status.is_ok());
+  EXPECT_EQ(engine->epoch(), 3u);
+}
+
+TEST(DynamicEngine, ObsCountersFlow) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  const auto g = graph::grid_graph<std::uint32_t>(5, 5);
+  auto engine = DynamicEngine<std::uint32_t>::create(g);
+  ASSERT_TRUE(engine) << engine.status().message();
+
+  obs::Collection window(true);
+  ASSERT_TRUE(engine->insert_edge(0, 24, 1));
+  ASSERT_TRUE(engine->remove_edge(0, 24));
+  const auto totals = obs::Registry::global().totals();
+  const auto at = [&](obs::Counter c) {
+    return totals[static_cast<std::size_t>(c)];
+  };
+  EXPECT_EQ(at(obs::Counter::kDynEpochs), 2u);
+  EXPECT_EQ(at(obs::Counter::kDynRowsRepaired) + at(obs::Counter::kDynRowsSkipped),
+            2u * 25u);
+  EXPECT_GT(at(obs::Counter::kEdgeRelaxations), 0u);       // truncated repair
+  EXPECT_GT(at(obs::Counter::kHeavyEdgeRelaxations), 0u);  // decremental re-runs
+  EXPECT_GT(at(obs::Counter::kRowCellsScanned), 0u);       // pre-filter reads
+
+  const auto& t = engine->totals();
+  EXPECT_EQ(t.epochs, 2u);
+  EXPECT_EQ(t.rows_repaired + t.rows_recomputed + t.rows_skipped, 2u * 25u);
+}
+
+// ---------- serving wire-up ----------
+
+TEST(DynamicService, UpdateThenQueryServesTheNewGraph) {
+  const auto g = graph::grid_graph<std::uint32_t>(6, 6);
+  auto svc = serve::DynamicService<std::uint32_t>::create(g);
+  ASSERT_TRUE(svc) << svc.status().message();
+  EXPECT_EQ(svc->generation(), 0u);
+
+  const auto before = svc->distance(0, 35);
+  ASSERT_TRUE(before);
+  EXPECT_EQ(*before, 10u);
+
+  const auto stats = svc->insert_edge(0, 35, 1);
+  ASSERT_TRUE(stats) << stats.status().message();
+  ASSERT_TRUE(stats->publish_status.is_ok()) << stats->publish_status.message();
+  EXPECT_EQ(svc->generation(), 1u);
+
+  const auto after = svc->distance(0, 35);
+  ASSERT_TRUE(after);
+  EXPECT_EQ(*after, 1u);
+
+  const auto rm = svc->remove_edge(0, 35);
+  ASSERT_TRUE(rm) << rm.status().message();
+  EXPECT_EQ(svc->generation(), 2u);
+  const auto restored = svc->distance(0, 35);
+  ASSERT_TRUE(restored);
+  EXPECT_EQ(*restored, 10u);
+}
+
+TEST(DynamicService, InFlightSnapshotOutlivesThePublish) {
+  const auto g = graph::grid_graph<std::uint32_t>(5, 5);
+  auto svc = serve::DynamicService<std::uint32_t>::create(g);
+  ASSERT_TRUE(svc) << svc.status().message();
+
+  const auto old_snap = svc->snapshot();
+  ASSERT_NE(old_snap, nullptr);
+  const auto old_value = old_snap->row(0)[24];
+  EXPECT_EQ(old_value, 8u);
+
+  ASSERT_TRUE(svc->insert_edge(0, 24, 1));
+  // The held snapshot still serves the pre-update generation, bit for bit.
+  EXPECT_EQ(old_snap->row(0)[24], old_value);
+  EXPECT_EQ(old_snap->generation, 0u);
+  // New readers see the new generation.
+  const auto new_snap = svc->snapshot();
+  EXPECT_EQ(new_snap->generation, 1u);
+  EXPECT_EQ(new_snap->row(0)[24], 1u);
+}
+
+TEST(DynamicService, PublishDirPersistsGenerations) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "dynsvc_publish";
+  fs::remove_all(dir);
+
+  const auto g = graph::grid_graph<std::uint32_t>(4, 4);
+  typename serve::DynamicService<std::uint32_t>::Options opts;
+  opts.publish_dir = dir.string();
+  auto svc = serve::DynamicService<std::uint32_t>::create(g, opts);
+  ASSERT_TRUE(svc) << svc.status().message();
+  const auto s1 = svc->insert_edge(0, 15, 1);
+  ASSERT_TRUE(s1) << s1.status().message();
+  ASSERT_TRUE(s1->publish_status.is_ok()) << s1->publish_status.message();
+
+  // The persisted layout is exactly what ShardStore::open_dir serves: the
+  // highest generation wins and carries the post-update matrix.
+  auto store = serve::ShardStore<std::uint32_t>::open_dir(dir.string());
+  ASSERT_TRUE(store) << store.status().message();
+  const auto snap = (*store)->snapshot();
+  EXPECT_EQ(snap->generation, 1u);
+  EXPECT_EQ(snap->row(0)[15], 1u);
+  fs::remove_all(dir);
+}
+
+TEST(DynamicService, ConcurrentUpdatersAndReaders) {
+  // The TSan scenario: one writer applying epochs while reader threads
+  // hammer query batches. Readers must always see *some* committed
+  // generation — never a torn matrix — and every batch must succeed.
+  auto g = graph::barabasi_albert<std::uint32_t>(96, 3, 33);
+  g = graph::randomize_weights<std::uint32_t>(g, 1, 9, 34);
+  auto svc = serve::DynamicService<std::uint32_t>::create(g);
+  ASSERT_TRUE(svc) << svc.status().message();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_failures{0};
+  std::atomic<std::uint64_t> reader_batches{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      util::Xoshiro256 rng(100 + static_cast<std::uint64_t>(r));
+      std::vector<std::pair<VertexId, VertexId>> pairs;
+      std::vector<std::uint32_t> out;
+      while (!stop.load(std::memory_order_acquire)) {
+        pairs.clear();
+        for (int i = 0; i < 16; ++i) {
+          pairs.emplace_back(static_cast<VertexId>(rng.bounded(96)),
+                             static_cast<VertexId>(rng.bounded(96)));
+        }
+        out.assign(pairs.size(), 0);
+        if (!svc->distances(pairs, out).is_ok()) {
+          reader_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        reader_batches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    const auto u = static_cast<VertexId>((epoch * 17) % 96);
+    const auto v = static_cast<VertexId>((epoch * 29 + 48) % 96);
+    if (u == v) continue;
+    if (epoch % 2 == 0) {
+      const auto st = svc->insert_edge(u, v, 1 + static_cast<std::uint32_t>(epoch % 5));
+      ASSERT_TRUE(st) << st.status().message();
+    } else if (svc->engine().has_edge(u, v)) {
+      const auto st = svc->remove_edge(u, v);
+      ASSERT_TRUE(st) << st.status().message();
+    }
+  }
+  // Keep the overlap window open until every reader has run batches against
+  // the final generation — the epochs above can finish in microseconds.
+  const auto floor = reader_batches.load(std::memory_order_relaxed) + 6;
+  while (reader_batches.load(std::memory_order_relaxed) < floor) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(reader_failures.load(), 0);
+  EXPECT_GT(svc->stats().batches, 0u);
+
+  // After the dust settles the served matrix equals a recompute.
+  const auto snap = svc->snapshot();
+  const auto ref = apsp::repeated_dijkstra(svc->engine().graph());
+  for (VertexId s = 0; s < 96; ++s) {
+    const auto row = snap->row(s);
+    for (VertexId t = 0; t < 96; ++t) {
+      ASSERT_EQ(row[t], ref.at(s, t)) << "(" << s << "," << t << ")";
+    }
+  }
+}
+
+}  // namespace

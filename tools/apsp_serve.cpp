@@ -1,6 +1,6 @@
 // apsp_serve — the distance-query server: JSONL requests on stdin, JSON
 // responses on stdout, one line each. The operational face of the serving
-// layer (src/serve/, docs/SERVING.md).
+// layer (src/serve/, docs/SERVING.md, docs/DYNAMIC.md).
 //
 //   # serve a precomputed matrix, with on-demand fallback rows
 //   apsp_serve --matrix dist.padm --graph web.txt
@@ -8,6 +8,8 @@
 //   apsp_serve --shards dist_shards/
 //   # compute now, then serve
 //   apsp_serve --gen ba --n 4096 --param 8
+//   # live graph: accept edge updates, republish snapshots per epoch
+//   apsp_serve --dynamic --gen ba --n 2048 --param 8 [--publish-dir DIR]
 //
 // Requests (one JSON object per line; unknown fields are ignored):
 //   {"op":"distance","s":0,"t":41}
@@ -16,12 +18,20 @@
 //   {"op":"stats"}       counters + hit rate + served generation
 //   {"op":"reload"}      re-read the backing file/dir, swap generations
 //   {"op":"quit"}
+// Dynamic mode only (--dynamic):
+//   {"op":"update","action":"insert","u":0,"v":5,"w":3}
+//   {"op":"update","action":"remove","u":0,"v":5}
+//   {"op":"update_batch","insert":[[0,5,3],[1,7,2]],"remove":[[2,9]]}
 //
 // Responses: {"ok":true,...} or {"ok":false,"code":"...","error":"..."}.
-// Unreachable distances are JSON null.
+// Unreachable distances are JSON null. Update replies carry the committed
+// epoch, the published generation, and the repair accounting.
 //
 // Options:
 //   --matrix FILE | --shards DIR | --gen/--graph ...   (see serve_common.hpp)
+//   --dynamic                 epoch-batched updates (requires --gen/--graph)
+//   --publish-dir DIR         persist each generation as gen-<k>/matrix.padm
+//   --verify-landmarks        landmark-sandwich check before each commit
 //   --deadline-s S            per-request deadline (default: none)
 //   --max-fallback-rows N     admission budget for on-demand rows
 //   --max-concurrent-fallback N
@@ -87,11 +97,12 @@ std::optional<std::int64_t> json_int(const std::string& line, const std::string&
   return parse_int_at(line, at);
 }
 
-/// Parses `[1,2,3]` (ints) or `[[1,2],[3,4]]` (pairs, pair_mode) after key.
+/// Parses `[1,2,3]` (tuple=0: flat ints) or `[[1,2],[3,4]]` / `[[0,5,3]]`
+/// (tuple=2 or 3: fixed-width inner arrays, flattened into the result).
 /// Returns nullopt on malformed input; an empty array is valid.
 std::optional<std::vector<std::int64_t>> json_int_array(const std::string& line,
                                                         const std::string& key,
-                                                        bool pair_mode) {
+                                                        int tuple) {
   auto at = find_key(line, key);
   if (at == std::string::npos || at >= line.size() || line[at] != '[') return std::nullopt;
   ++at;
@@ -103,15 +114,15 @@ std::optional<std::vector<std::int64_t>> json_int_array(const std::string& line,
   if (at < line.size() && line[at] == ']') return out;
   while (at < line.size()) {
     skip_ws();
-    if (pair_mode) {
+    if (tuple > 0) {
       if (at >= line.size() || line[at] != '[') return std::nullopt;
       ++at;
-      for (int k = 0; k < 2; ++k) {
+      for (int k = 0; k < tuple; ++k) {
         auto v = parse_int_at(line, at);
         if (!v) return std::nullopt;
         out.push_back(*v);
         skip_ws();
-        if (k == 0) {
+        if (k + 1 < tuple) {
           if (at >= line.size() || line[at] != ',') return std::nullopt;
           ++at;
         }
@@ -178,6 +189,27 @@ void append_distance(std::string& body, Weight d) {
   }
 }
 
+/// Update reply: the committed epoch's accounting plus the generation the
+/// readers now see. A failed publish is reported inline — the epoch is still
+/// committed in the engine, so hiding it behind ok:false would be a lie.
+void reply_epoch(const apsp::EpochStats& st, std::uint64_t generation) {
+  std::string body = "{\"ok\":true";
+  body += ",\"epoch\":" + std::to_string(st.epoch);
+  body += ",\"generation\":" + std::to_string(generation);
+  body += ",\"arcs_decreased\":" + std::to_string(st.arcs_decreased);
+  body += ",\"arcs_removed\":" + std::to_string(st.arcs_removed);
+  body += ",\"noop_arcs\":" + std::to_string(st.noop_arcs);
+  body += ",\"rows_repaired\":" + std::to_string(st.rows_repaired);
+  body += ",\"rows_recomputed\":" + std::to_string(st.rows_recomputed);
+  body += ",\"rows_skipped\":" + std::to_string(st.rows_skipped);
+  body += ",\"edges_relaxed\":" + std::to_string(st.total_relaxations());
+  if (!st.publish_status.is_ok()) {
+    body += ",\"publish_error\":\"" + json_escape(st.publish_status.message()) + "\"";
+  }
+  body += "}";
+  std::printf("%s\n", body.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -188,25 +220,53 @@ int main(int argc, char** argv) {
     if (args.has("help")) {
       std::fprintf(stderr,
                    "usage: apsp_serve (--matrix FILE | --shards DIR | --gen MODEL "
-                   "--n N | --graph FILE) [--deadline-s S] [--max-fallback-rows N]\n"
+                   "--n N | --graph FILE) [--dynamic] [--publish-dir DIR] "
+                   "[--deadline-s S] [--max-fallback-rows N]\n"
                    "JSONL requests on stdin; see the header of tools/apsp_serve.cpp\n");
       return 2;
     }
-    auto bundle = tools::make_service(args, tools::engine_options_from(args));
-    args.reject_unknown();
-    auto& svc = *bundle.service;
+    const bool dynamic = args.get_flag("dynamic");
+    tools::ServiceBundle bundle;
+    std::optional<serve::DynamicService<Weight>> dsvc;
+    if (dynamic) {
+      if (!args.get("matrix").empty() || !args.get("shards").empty()) {
+        throw std::invalid_argument(
+            "--dynamic computes from a graph; it does not take --matrix/--shards");
+      }
+      typename serve::DynamicService<Weight>::Options dopts;
+      dopts.query = tools::engine_options_from(args);
+      dopts.publish_dir = args.get("publish-dir");
+      dopts.engine.verify_landmarks = args.get_flag("verify-landmarks");
+      const auto g = tools::load_or_generate(args);
+      args.reject_unknown();
+      auto svc = serve::DynamicService<Weight>::create(g, dopts);
+      if (!svc) throw util::StatusError(svc.status().code(), svc.status().message());
+      dsvc.emplace(std::move(*svc));
+    } else {
+      bundle = tools::make_service(args, tools::engine_options_from(args));
+      args.reject_unknown();
+    }
+    // The two modes share every read path; only snapshot access and the
+    // update/reload ops differ.
+    auto snapshot = [&] {
+      return dsvc ? dsvc->snapshot() : bundle.service->engine().snapshot();
+    };
+    auto serve_stats = [&] { return dsvc ? dsvc->stats() : bundle.service->stats(); };
     {
-      const auto snap = svc.engine().snapshot();
-      std::fprintf(stderr, "serving n=%u rows=%u generation=%llu fallback=%s\n",
-                   snap->n, snap->rows_present,
+      const auto snap = snapshot();
+      std::fprintf(stderr, "serving n=%u rows=%u generation=%llu %s\n", snap->n,
+                   snap->rows_present,
                    static_cast<unsigned long long>(snap->generation),
-                   svc.engine().graph() != nullptr ? "on" : "off");
+                   dsvc ? "dynamic=on"
+                        : (bundle.service->engine().graph() != nullptr ? "fallback=on"
+                                                                       : "fallback=off"));
     }
 
     std::string line;
     std::vector<std::pair<VertexId, VertexId>> pairs;
     std::vector<VertexId> targets;
     std::vector<Weight> out;
+    std::vector<apsp::EdgeUpdate<Weight>> batch;
     while (std::getline(std::cin, line)) {
       if (line.empty()) continue;
       const auto op = json_str(line, "op").value_or("");
@@ -215,27 +275,128 @@ int main(int argc, char** argv) {
         break;
       }
       if (op == "reload") {
-        if (const auto st = svc.reload(); !st.is_ok()) {
+        if (dsvc) {
+          reply_error({util::ErrorCode::kInvalidArgument,
+                       "reload has no backing store under --dynamic; updates "
+                       "publish generations directly"});
+        } else if (const auto st = bundle.service->reload(); !st.is_ok()) {
           reply_error(st);
         } else {
           std::printf("{\"ok\":true,\"generation\":%llu}\n",
-                      static_cast<unsigned long long>(
-                          svc.engine().snapshot()->generation));
+                      static_cast<unsigned long long>(snapshot()->generation));
         }
+      } else if (op == "update" || op == "update_batch") {
+        if (!dsvc) {
+          reply_error({util::ErrorCode::kInvalidArgument,
+                       "'" + op + "' requires --dynamic"});
+          continue;
+        }
+        batch.clear();
+        if (op == "update") {
+          const auto action = json_str(line, "action").value_or("");
+          const auto u = json_int(line, "u");
+          const auto v = json_int(line, "v");
+          if (!u || !v || *u < 0 || *v < 0) {
+            reply_error({util::ErrorCode::kInvalidArgument,
+                         "update needs non-negative \"u\" and \"v\""});
+            continue;
+          }
+          if (action == "insert") {
+            const auto w = json_int(line, "w");
+            if (!w || *w < 0) {
+              reply_error({util::ErrorCode::kInvalidArgument,
+                           "insert needs a non-negative \"w\""});
+              continue;
+            }
+            batch.push_back(apsp::EdgeUpdate<Weight>::insert(
+                static_cast<VertexId>(*u), static_cast<VertexId>(*v),
+                static_cast<Weight>(*w)));
+          } else if (action == "remove") {
+            batch.push_back(apsp::EdgeUpdate<Weight>::remove(
+                static_cast<VertexId>(*u), static_cast<VertexId>(*v)));
+          } else {
+            reply_error({util::ErrorCode::kInvalidArgument,
+                         "update \"action\" must be \"insert\" or \"remove\""});
+            continue;
+          }
+        } else {
+          // update_batch: both arrays optional, each entry a fixed tuple.
+          bool bad = false;
+          if (find_key(line, "insert") != std::string::npos) {
+            const auto ins = json_int_array(line, "insert", /*tuple=*/3);
+            if (!ins) {
+              bad = true;
+            } else {
+              for (std::size_t i = 0; i + 2 < ins->size(); i += 3) {
+                if ((*ins)[i] < 0 || (*ins)[i + 1] < 0 || (*ins)[i + 2] < 0) {
+                  bad = true;
+                  break;
+                }
+                batch.push_back(apsp::EdgeUpdate<Weight>::insert(
+                    static_cast<VertexId>((*ins)[i]),
+                    static_cast<VertexId>((*ins)[i + 1]),
+                    static_cast<Weight>((*ins)[i + 2])));
+              }
+            }
+          }
+          if (!bad && find_key(line, "remove") != std::string::npos) {
+            const auto rem = json_int_array(line, "remove", /*tuple=*/2);
+            if (!rem) {
+              bad = true;
+            } else {
+              for (std::size_t i = 0; i + 1 < rem->size(); i += 2) {
+                if ((*rem)[i] < 0 || (*rem)[i + 1] < 0) {
+                  bad = true;
+                  break;
+                }
+                batch.push_back(apsp::EdgeUpdate<Weight>::remove(
+                    static_cast<VertexId>((*rem)[i]),
+                    static_cast<VertexId>((*rem)[i + 1])));
+              }
+            }
+          }
+          if (bad || batch.empty()) {
+            reply_error({util::ErrorCode::kInvalidArgument,
+                         "update_batch needs \"insert\":[[u,v,w],...] and/or "
+                         "\"remove\":[[u,v],...] with non-negative entries"});
+            continue;
+          }
+        }
+        const auto stats = dsvc->update(batch);
+        if (!stats) {
+          reply_error(stats.status());
+          continue;
+        }
+        reply_epoch(*stats, dsvc->generation());
       } else if (op == "stats") {
-        const auto s = svc.stats();
-        const auto snap = svc.engine().snapshot();
-        std::printf(
-            "{\"ok\":true,\"queries\":%llu,\"shard_hits\":%llu,"
-            "\"fallback_rows\":%llu,\"deadline_misses\":%llu,\"batches\":%llu,"
-            "\"hit_rate\":%.6f,\"generation\":%llu,\"rows_present\":%u,\"n\":%u}\n",
-            static_cast<unsigned long long>(s.queries),
-            static_cast<unsigned long long>(s.shard_hits),
-            static_cast<unsigned long long>(s.fallback_rows),
-            static_cast<unsigned long long>(s.deadline_misses),
-            static_cast<unsigned long long>(s.batches), s.hit_rate(),
-            static_cast<unsigned long long>(snap->generation), snap->rows_present,
-            snap->n);
+        const auto s = serve_stats();
+        const auto snap = snapshot();
+        std::string body =
+            "{\"ok\":true,\"queries\":" + std::to_string(s.queries) +
+            ",\"shard_hits\":" + std::to_string(s.shard_hits) +
+            ",\"fallback_rows\":" + std::to_string(s.fallback_rows) +
+            ",\"deadline_misses\":" + std::to_string(s.deadline_misses) +
+            ",\"batches\":" + std::to_string(s.batches);
+        {
+          char rate[32];
+          std::snprintf(rate, sizeof(rate), "%.6f", s.hit_rate());
+          body += ",\"hit_rate\":";
+          body += rate;
+        }
+        body += ",\"generation\":" + std::to_string(snap->generation) +
+                ",\"rows_present\":" + std::to_string(snap->rows_present) +
+                ",\"n\":" + std::to_string(snap->n);
+        if (dsvc) {
+          const auto& t = dsvc->engine().totals();
+          body += ",\"epoch\":" + std::to_string(dsvc->engine().epoch()) +
+                  ",\"rows_repaired\":" + std::to_string(t.rows_repaired) +
+                  ",\"rows_recomputed\":" + std::to_string(t.rows_recomputed) +
+                  ",\"rows_skipped\":" + std::to_string(t.rows_skipped) +
+                  ",\"edges_relaxed\":" +
+                  std::to_string(t.repair_relaxations + t.recompute_relaxations);
+        }
+        body += "}";
+        std::printf("%s\n", body.c_str());
       } else if (op == "distance") {
         const auto s = json_int(line, "s");
         const auto t = json_int(line, "t");
@@ -244,7 +405,9 @@ int main(int argc, char** argv) {
                        "distance needs non-negative \"s\" and \"t\""});
           continue;
         }
-        const auto d = svc.distance(static_cast<VertexId>(*s), static_cast<VertexId>(*t));
+        const auto sv = static_cast<VertexId>(*s);
+        const auto tv = static_cast<VertexId>(*t);
+        const auto d = dsvc ? dsvc->distance(sv, tv) : bundle.service->distance(sv, tv);
         if (!d) {
           reply_error(d.status());
           continue;
@@ -254,7 +417,7 @@ int main(int argc, char** argv) {
         body += "}";
         std::printf("%s\n", body.c_str());
       } else if (op == "batch") {
-        const auto flat = json_int_array(line, "pairs", /*pair_mode=*/true);
+        const auto flat = json_int_array(line, "pairs", /*tuple=*/2);
         if (!flat) {
           reply_error({util::ErrorCode::kInvalidArgument,
                        "batch needs \"pairs\":[[s,t],...]"});
@@ -275,7 +438,9 @@ int main(int argc, char** argv) {
           continue;
         }
         out.assign(pairs.size(), 0);
-        if (const auto st = svc.distances(pairs, out); !st.is_ok()) {
+        const auto st = dsvc ? dsvc->distances(pairs, out)
+                             : bundle.service->distances(pairs, out);
+        if (!st.is_ok()) {
           reply_error(st);
           continue;
         }
@@ -288,7 +453,7 @@ int main(int argc, char** argv) {
         std::printf("%s\n", body.c_str());
       } else if (op == "one_to_many") {
         const auto s = json_int(line, "s");
-        const auto tgts = json_int_array(line, "targets", /*pair_mode=*/false);
+        const auto tgts = json_int_array(line, "targets", /*tuple=*/0);
         if (!s || *s < 0 || !tgts) {
           reply_error({util::ErrorCode::kInvalidArgument,
                        "one_to_many needs \"s\" and \"targets\":[...]"});
@@ -308,8 +473,10 @@ int main(int argc, char** argv) {
           continue;
         }
         out.assign(targets.size(), 0);
-        if (const auto st = svc.one_to_many(static_cast<VertexId>(*s), targets, out);
-            !st.is_ok()) {
+        const auto sv = static_cast<VertexId>(*s);
+        const auto st = dsvc ? dsvc->one_to_many(sv, targets, out)
+                             : bundle.service->one_to_many(sv, targets, out);
+        if (!st.is_ok()) {
           reply_error(st);
           continue;
         }
@@ -321,8 +488,10 @@ int main(int argc, char** argv) {
         body += "]}";
         std::printf("%s\n", body.c_str());
       } else {
-        reply_error({util::ErrorCode::kInvalidArgument,
-                     "unknown op '" + op + "' (distance|batch|one_to_many|stats|reload|quit)"});
+        reply_error(
+            {util::ErrorCode::kInvalidArgument,
+             "unknown op '" + op +
+                 "' (distance|batch|one_to_many|stats|reload|update|update_batch|quit)"});
       }
       std::fflush(stdout);
     }
